@@ -1,0 +1,36 @@
+#ifndef PAXI_BENCH_BENCH_UTIL_H_
+#define PAXI_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace paxi::bench {
+
+/// Section header for a figure/table reproduction.
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// A qualitative shape check against a claim the paper makes. Benches are
+/// not expected to match the paper's absolute numbers (different substrate)
+/// but the stated relationships must hold.
+inline bool Check(bool ok, const std::string& claim) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK " : "SHAPE-FAIL", claim.c_str());
+  return ok;
+}
+
+inline int Summary(int failures) {
+  if (failures == 0) {
+    std::printf("\nAll shape checks passed.\n");
+    return 0;
+  }
+  std::printf("\n%d shape check(s) FAILED.\n", failures);
+  return 1;
+}
+
+}  // namespace paxi::bench
+
+#endif  // PAXI_BENCH_BENCH_UTIL_H_

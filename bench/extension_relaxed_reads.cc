@@ -1,0 +1,94 @@
+// Extension (paper §7, future work): relaxed consistency. Paxos with
+// follower local reads trades linearizability for bounded staleness and
+// leader offload. This bench quantifies both sides of the trade:
+//   * throughput: read-heavy workloads scale far past the single-leader
+//     ceiling because only writes touch the leader;
+//   * consistency: the linearizability checker flags the stale reads the
+//     relaxation permits, while the bounded-staleness checker shows
+//     staleness stays within a couple of heartbeat intervals.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "checker/staleness.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Relaxed-consistency reads (extension)",
+                "§7 future work: bounded consistency");
+
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/1000, /*write_ratio=*/0.1);
+  options.duration_s = 1.5;
+  options.warmup_s = 0.4;
+  options.clients_per_zone = 60;
+
+  Config linearizable = Config::Lan9("paxos");
+  Config relaxed = Config::Lan9("paxos");
+  relaxed.params["local_reads"] = "true";
+  relaxed.params["spread_clients"] = "true";
+  relaxed.params["heartbeat_ms"] = "50";
+
+  const BenchResult strict = RunBenchmark(linearizable, options);
+  const BenchResult local = RunBenchmark(relaxed, options);
+
+  std::printf("\nread-heavy workload (90%% reads), 9 replicas:\n");
+  std::printf("  linearizable Paxos: %8.0f ops/s  mean %.2f ms\n",
+              strict.throughput, strict.MeanLatencyMs());
+  std::printf("  local-read Paxos:   %8.0f ops/s  mean %.2f ms\n",
+              local.throughput, local.MeanLatencyMs());
+
+  int failures = 0;
+  failures += !bench::Check(
+      local.throughput > strict.throughput * 2.0,
+      "follower reads push a read-heavy workload far past the "
+      "single-leader ceiling");
+
+  // Consistency audit of the relaxed mode under a contended workload.
+  BenchOptions audit = options;
+  audit.workload = UniformWorkload(20, 0.3);
+  audit.clients_per_zone = 8;
+  audit.record_ops = true;
+  const BenchResult strict_audit = RunBenchmark(linearizable, audit);
+  const BenchResult local_audit = RunBenchmark(relaxed, audit);
+
+  LinearizabilityChecker strict_lin, local_lin;
+  strict_lin.AddAll(strict_audit.ops);
+  local_lin.AddAll(local_audit.ops);
+  const auto strict_anomalies = strict_lin.Check();
+  const auto local_anomalies = local_lin.Check();
+  const auto staleness =
+      CheckBoundedStaleness(local_audit.ops, /*bound=*/200 * kMillisecond);
+
+  std::printf("\nconsistency audit (contended, 30%% writes):\n");
+  std::printf("  linearizable: %zu anomalous reads of %zu ops\n",
+              strict_anomalies.size(), strict_audit.ops.size());
+  std::printf("  local reads:  %zu anomalous reads, %zu stale reads, max "
+              "staleness %.1f ms\n",
+              local_anomalies.size(), staleness.stale_reads(),
+              ToMillis(staleness.max_staleness()));
+
+  failures += !bench::Check(strict_anomalies.empty(),
+                            "linearizable mode produces zero anomalies");
+  failures += !bench::Check(
+      !local_anomalies.empty(),
+      "the checker catches the relaxation: local reads are not "
+      "linearizable");
+  failures += !bench::Check(
+      staleness.violations.empty(),
+      "every stale read is within the bound (a few heartbeat intervals)");
+  failures += !bench::Check(
+      ToMillis(staleness.max_staleness()) < 200.0,
+      "max observed staleness stays under 200 ms with a 50 ms heartbeat");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

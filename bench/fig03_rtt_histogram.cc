@@ -1,0 +1,64 @@
+// Figure 3: histogram of local-area RTTs within an AWS EC2 region.
+//
+// The paper measured mu = 0.4271 ms, sigma = 0.0476 ms over a few minutes
+// of pings and uses that Normal distribution as the LAN latency model
+// (§3.1). Here we sample the simulator's calibrated latency model and
+// verify it reproduces the same distribution.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "net/latency.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Local-area RTT histogram", "Fig. 3 (§3.1)");
+
+  TopologyLatencyModel model(Topology::Lan(1));
+  Rng rng(2026);
+  RunningStats stats;
+  Histogram hist(0.30, 0.60, 30);
+  const NodeId a{1, 1}, b{1, 2};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double rtt_ms =
+        ToMillis(model.SampleOneWay(a, b, rng) + model.SampleOneWay(b, a, rng));
+    stats.Add(rtt_ms);
+    hist.Add(rtt_ms);
+  }
+
+  std::printf("\nsamples=%d  mu=%.4f ms  sigma=%.4f ms\n", kSamples,
+              stats.mean(), stats.stddev());
+  std::printf("paper:       mu=0.4271 ms  sigma=0.0476 ms\n\n");
+  std::printf("rtt_ms | density bar (probability)\n%s\n",
+              hist.ToAscii(48).c_str());
+
+  std::printf("csv: bucket_center_ms,count,density\n");
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+    std::printf("csv: %.4f,%zu,%.4f\n", hist.BucketCenter(i),
+                hist.BucketCount(i), hist.Density(i));
+  }
+
+  int failures = 0;
+  failures += !bench::Check(std::abs(stats.mean() - 0.4271) < 0.005,
+                            "mean RTT within 5 us of the paper's 0.4271 ms");
+  failures += !bench::Check(std::abs(stats.stddev() - 0.0476) < 0.005,
+                            "RTT sigma within 5 us of the paper's 0.0476 ms");
+  // Approximately normal: the mode sits near the mean.
+  std::size_t mode = 0;
+  for (std::size_t i = 1; i < hist.bucket_count(); ++i) {
+    if (hist.BucketCount(i) > hist.BucketCount(mode)) mode = i;
+  }
+  failures += !bench::Check(
+      std::abs(hist.BucketCenter(mode) - stats.mean()) < 0.03,
+      "distribution is unimodal around the mean (approximately Normal)");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

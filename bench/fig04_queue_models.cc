@@ -1,0 +1,91 @@
+// Figure 4 (and Table 1): latency-vs-throughput of the four queueing
+// approximations (M/M/1, M/D/1, M/G/1, G/G/1) for 9-node LAN Paxos,
+// against a reference Paxos implementation in the framework.
+//
+// The paper's conclusion: M/D/1 and M/G/1 track the implementation almost
+// identically; M/D/1 is the simplest, so all further modeling uses it.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+#include "model/protocol_model.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Queueing models vs Paxi reference Paxos", "Fig. 4 / Table 1 (§3.3)");
+
+  const std::vector<double> loads = {0.25, 0.45, 0.6, 0.75, 0.85, 0.92, 0.96};
+
+  // Model curves, one per queue kind.
+  model::ModelEnv env;
+  env.topology = Topology::Lan(1);
+  env.zones = 1;
+  env.nodes_per_zone = 9;
+  const model::QueueKind kinds[] = {
+      model::QueueKind::kMM1, model::QueueKind::kMD1, model::QueueKind::kMG1,
+      model::QueueKind::kGG1};
+
+  std::printf("\ncsv: series,throughput_ops_s,latency_ms\n");
+  double md1_latency_mid = 0.0, mg1_latency_mid = 0.0, mm1_latency_mid = 0.0;
+  for (auto kind : kinds) {
+    env.queue = kind;
+    model::PaxosModel model(env, NodeId{1, 1});
+    for (double load : loads) {
+      const double lambda = model.MaxThroughput() * load;
+      const double latency = model.LatencyMs(lambda);
+      std::printf("csv: %s,%.0f,%.3f\n", model::QueueKindName(kind), lambda,
+                  latency);
+      if (load == 0.75) {
+        if (kind == model::QueueKind::kMD1) md1_latency_mid = latency;
+        if (kind == model::QueueKind::kMG1) mg1_latency_mid = latency;
+        if (kind == model::QueueKind::kMM1) mm1_latency_mid = latency;
+      }
+    }
+  }
+
+  // Reference implementation: saturation sweep of framework Paxos.
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.duration_s = 2.0;
+  options.warmup_s = 0.5;
+  const std::vector<int> levels = {2, 4, 8, 16, 24, 40, 60};
+  const auto points = SaturationSweep(Config::Lan9("paxos"), options, levels);
+  double paxi_mid_latency = 0.0;
+  for (const auto& p : points) {
+    std::printf("csv: Paxi,%.0f,%.3f\n", p.throughput, p.mean_latency_ms);
+    if (p.clients_per_zone == 16) paxi_mid_latency = p.mean_latency_ms;
+  }
+
+  env.queue = model::QueueKind::kMD1;
+  model::PaxosModel md1(env, NodeId{1, 1});
+
+  int failures = 0;
+  failures += !bench::Check(
+      std::abs(md1_latency_mid - mg1_latency_mid) <
+          0.2 * std::max(md1_latency_mid, mg1_latency_mid),
+      "M/D/1 and M/G/1 are nearly identical (paper: 'perform nearly "
+      "identical')");
+  failures += !bench::Check(
+      mm1_latency_mid > md1_latency_mid,
+      "M/M/1 overestimates queueing relative to M/D/1");
+  const double paxi_max = points.back().throughput;
+  failures += !bench::Check(
+      paxi_max > md1.MaxThroughput() * 0.7 &&
+          paxi_max < md1.MaxThroughput() * 1.2,
+      "reference implementation saturates near the modeled max throughput");
+  failures += !bench::Check(
+      paxi_mid_latency < 3.0,
+      "reference implementation latency stays in the low-ms band below "
+      "saturation (Fig. 4 y-range)");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

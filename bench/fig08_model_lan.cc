@@ -1,0 +1,91 @@
+// Figure 8: modeled LAN performance of MultiPaxos, FPaxos (|q2|=3),
+// EPaxos and WPaxos on 9 nodes.
+//   (a) full curves to max throughput — single-leader bottleneck; WPaxos
+//       tops out roughly ~1.5-2x Paxos (the paper reports ~55%+).
+//   (b) latency at lower throughput — FPaxos trims a sliver off Paxos;
+//       EPaxos pays its processing penalty.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/protocol_model.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Modeled LAN latency vs throughput", "Fig. 8a/8b (§5.2)");
+
+  model::ModelEnv flat;
+  flat.topology = Topology::Lan(1);
+  flat.zones = 1;
+  flat.nodes_per_zone = 9;
+
+  model::ModelEnv grid;
+  grid.topology = Topology::Lan(3);
+  grid.zones = 3;
+  grid.nodes_per_zone = 3;
+
+  model::PaxosModel paxos(flat, NodeId{1, 1});
+  model::PaxosModel fpaxos(flat, NodeId{1, 1}, /*q2=*/3);
+  model::EPaxosModel epaxos(flat, /*conflict=*/0.05, /*penalty=*/2.0);
+  model::WPaxosModel wpaxos(grid, /*fz=*/0, /*locality=*/1.0);
+
+  struct Entry {
+    const char* name;
+    const model::ProtocolModel* model;
+  };
+  const Entry entries[] = {{"MultiPaxos", &paxos},
+                           {"FPaxos(|q2|=3)", &fpaxos},
+                           {"EPaxos", &epaxos},
+                           {"WPaxos", &wpaxos}};
+
+  std::printf("\n-- Fig. 8a: curves up to saturation --\n");
+  std::printf("csv: series,throughput_rounds_s,latency_ms\n");
+  for (const auto& e : entries) {
+    for (const auto& pt : e.model->Curve(12, 0.97)) {
+      std::printf("csv: %s,%.0f,%.3f\n", e.name, pt.throughput,
+                  pt.latency_ms);
+    }
+    std::printf("max throughput %-16s = %8.0f rounds/s\n", e.name,
+                e.model->MaxThroughput());
+  }
+
+  std::printf("\n-- Fig. 8b: latency at lower throughput (<= 8k) --\n");
+  std::printf("csv: series,throughput_rounds_s,latency_ms\n");
+  for (const auto& e : entries) {
+    for (double lambda = 1000; lambda <= 8000;
+         lambda += 1000) {
+      if (lambda >= e.model->MaxThroughput()) break;
+      std::printf("csv: %s,%.0f,%.3f\n", e.name, lambda,
+                  e.model->LatencyMs(lambda));
+    }
+  }
+
+  int failures = 0;
+  const double ratio = wpaxos.MaxThroughput() / paxos.MaxThroughput();
+  failures += !bench::Check(
+      ratio > 1.4 && ratio < 2.5,
+      "WPaxos max throughput ~1.5-2x Paxos (multi-leader helps, but far "
+      "from 3x: no linear scaling)");
+  failures += !bench::Check(
+      epaxos.MaxThroughput() > paxos.MaxThroughput(),
+      "EPaxos (model) exceeds Paxos throughput despite the penalty: no "
+      "single-leader bottleneck");
+  const double gain =
+      paxos.LatencyMs(2000.0) - fpaxos.LatencyMs(2000.0);
+  failures += !bench::Check(
+      gain > 0.0 && gain < 0.2,
+      "FPaxos gives a modest LAN latency improvement (paper: ~0.03 ms)");
+  failures += !bench::Check(
+      epaxos.LatencyMs(2000.0) > paxos.LatencyMs(2000.0),
+      "EPaxos latency exceeds Paxos at low load (processing penalty)");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

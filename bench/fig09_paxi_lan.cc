@@ -1,0 +1,97 @@
+// Figure 9: experimental LAN comparison on the framework itself —
+// Paxos, FPaxos, WPaxos, EPaxos, WanKeeper; 9 replicas, 1000 keys,
+// 50% reads, uniform workload.
+//
+// Paper findings (§5.2): single-leader protocols bottleneck first;
+// multi-leader WPaxos does better (but not linearly); hierarchical
+// WanKeeper does best (fewer messages per leader); EPaxos does worst
+// (conflict handling + processing penalty).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+
+namespace paxi {
+namespace {
+
+struct Series {
+  std::string name;
+  Config config;
+  std::vector<int> levels;
+  double max_throughput = 0;
+  double low_load_latency = 0;
+};
+
+int Run() {
+  bench::Banner("Experimental LAN comparison (framework)", "Fig. 9 (§5.2)");
+
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/1000, /*write_ratio=*/0.5);
+  options.duration_s = 2.0;
+  options.warmup_s = 0.5;
+
+  Config fpaxos = Config::Lan9("fpaxos");
+  fpaxos.params["q2"] = "3";
+
+  // Flat 1x9 for single-leader and leaderless; 3x3 grid for the
+  // multi-leader protocols (paper: one leader per region, 3 leaders).
+  std::vector<Series> series;
+  series.push_back({"Paxos", Config::Lan9("paxos"), {2, 8, 16, 32, 60}});
+  series.push_back({"FPaxos", fpaxos, {2, 8, 16, 32, 60}});
+  series.push_back({"EPaxos", Config::Lan9("epaxos"), {2, 8, 16, 32, 60}});
+  series.push_back(
+      {"WPaxos", Config::LanGrid3x3("wpaxos"), {1, 3, 6, 11, 20, 34}});
+  series.push_back(
+      {"WanKeeper", Config::LanGrid3x3("wankeeper"), {1, 3, 6, 11, 20, 34}});
+
+  std::printf("\ncsv: series,clients_total,throughput_ops_s,latency_ms\n");
+  for (auto& s : series) {
+    const auto points = SaturationSweep(s.config, options, s.levels);
+    for (const auto& p : points) {
+      std::printf("csv: %s,%d,%.0f,%.3f\n", s.name.c_str(),
+                  p.clients_per_zone * s.config.zones, p.throughput,
+                  p.mean_latency_ms);
+    }
+    s.max_throughput = 0;
+    for (const auto& p : points) {
+      s.max_throughput = std::max(s.max_throughput, p.throughput);
+    }
+    s.low_load_latency = points.front().mean_latency_ms;
+    std::printf("max %-10s = %8.0f ops/s  (low-load latency %.3f ms)\n",
+                s.name.c_str(), s.max_throughput, s.low_load_latency);
+  }
+
+  const auto& paxos = series[0];
+  const auto& fpx = series[1];
+  const auto& epaxos = series[2];
+  const auto& wpaxos = series[3];
+  const auto& wankeeper = series[4];
+
+  int failures = 0;
+  failures += !bench::Check(
+      wpaxos.max_throughput > paxos.max_throughput * 1.3,
+      "multi-leader WPaxos clearly outperforms single-leader Paxos");
+  failures += !bench::Check(
+      wpaxos.max_throughput < paxos.max_throughput * 3.0,
+      "...but 3 leaders do not give 3x Paxos (no linear scaling)");
+  failures += !bench::Check(
+      wankeeper.max_throughput > wpaxos.max_throughput,
+      "hierarchical WanKeeper beats WPaxos (fewer messages per leader)");
+  failures += !bench::Check(
+      epaxos.max_throughput < paxos.max_throughput,
+      "EPaxos performs worst among LAN protocols (conflicts + processing "
+      "penalty)");
+  failures += !bench::Check(
+      fpx.max_throughput > paxos.max_throughput * 0.85 &&
+          fpx.max_throughput < paxos.max_throughput * 1.15,
+      "FPaxos throughput tracks Paxos (same leader bottleneck)");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

@@ -1,0 +1,88 @@
+// Figure 10: modeled WAN performance across the five AWS regions (VA, OH,
+// CA, IR, JP): MultiPaxos (CA leader), FPaxos (CA leader), EPaxos at
+// conflict 0.3, EPaxos over a conflict range, WPaxos at locality 0.7.
+//
+// Paper finding (§5.3): unlike the LAN, WAN curves differ by >100 ms;
+// flexible quorums dominate — WPaxos commits near-locally while
+// single-leader Paxos pays client-to-CA plus CA-to-quorum on every round.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/protocol_model.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Modeled WAN latency vs aggregate throughput", "Fig. 10 (§5.3)");
+
+  model::ModelEnv wan;
+  wan.topology = Topology::WanFiveRegions();
+  wan.zones = 5;
+  wan.nodes_per_zone = 3;
+
+  const NodeId california{3, 1};
+  model::PaxosModel paxos(wan, california);
+  model::PaxosModel fpaxos(wan, california, /*q2=*/4);
+  model::EPaxosModel epaxos_low(wan, /*conflict=*/0.02);
+  model::EPaxosModel epaxos_mid(wan, /*conflict=*/0.3);
+  model::EPaxosModel epaxos_high(wan, /*conflict=*/0.7);
+  model::WPaxosModel wpaxos(wan, /*fz=*/0, /*locality=*/0.7);
+
+  struct Entry {
+    const char* name;
+    const model::ProtocolModel* model;
+  };
+  const Entry entries[] = {
+      {"MultiPaxos (CA leader)", &paxos},
+      {"FPaxos (CA leader)", &fpaxos},
+      {"EPaxos (c=0.02)", &epaxos_low},
+      {"EPaxos (c=0.3)", &epaxos_mid},
+      {"EPaxos (c=0.7)", &epaxos_high},
+      {"WPaxos (l=0.7)", &wpaxos},
+  };
+
+  std::printf("\ncsv: series,throughput_rounds_s,latency_ms\n");
+  for (const auto& e : entries) {
+    for (const auto& pt : e.model->Curve(10, 0.95)) {
+      std::printf("csv: %s,%.0f,%.3f\n", e.name, pt.throughput,
+                  pt.latency_ms);
+    }
+    std::printf("%-24s base latency %7.1f ms   max throughput %8.0f\n",
+                e.name, e.model->LatencyMs(e.model->MaxThroughput() * 0.1),
+                e.model->MaxThroughput());
+  }
+
+  const double paxos_lat = paxos.LatencyMs(paxos.MaxThroughput() * 0.2);
+  const double wpaxos_lat = wpaxos.LatencyMs(wpaxos.MaxThroughput() * 0.2);
+  const double fpaxos_lat = fpaxos.LatencyMs(fpaxos.MaxThroughput() * 0.2);
+
+  const double epaxos_hi_lat =
+      epaxos_high.LatencyMs(epaxos_high.MaxThroughput() * 0.2);
+
+  int failures = 0;
+  failures += !bench::Check(
+      std::max(paxos_lat, epaxos_hi_lat) - wpaxos_lat > 100.0,
+      "more than 100 ms spread between the slowest and fastest protocols");
+  failures += !bench::Check(
+      paxos_lat - wpaxos_lat > 90.0,
+      "single-leader Paxos pays ~100 ms more than locality-aware WPaxos");
+  failures += !bench::Check(
+      fpaxos_lat < paxos_lat,
+      "flexible quorums reduce FPaxos's WAN quorum wait vs Paxos");
+  failures += !bench::Check(
+      epaxos_high.LatencyMs(2000) > epaxos_low.LatencyMs(2000) + 20.0,
+      "EPaxos WAN latency rises sharply with the conflict rate");
+  failures += !bench::Check(
+      wpaxos.MaxThroughput() > paxos.MaxThroughput() * 2.0,
+      "WPaxos aggregate throughput far exceeds single-leader Paxos in WAN");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

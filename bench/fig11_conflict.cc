@@ -1,0 +1,153 @@
+// Figure 11: conflict experiments across the WAN (one replica per region,
+// as in the paper's "5-nodes/regions" deployments). One hot key, led by
+// Ohio, is targeted by `conflict%` of every region's requests; all other
+// keys are region-private and settle locally during warmup.
+//
+// Reported: average latency per region (Virginia, Ohio, California) for
+// WPaxos fz=0, WPaxos fz=1, WanKeeper, EPaxos, VPaxos and Paxos, sweeping
+// conflict from 0% to 100%.
+//
+// Paper findings (§5.3):
+//  (1) The non-region-fault-tolerant trio (WPaxos fz=0, WanKeeper,
+//      VPaxos) behave alike everywhere: non-interfering commands commit
+//      in-region; interfering ones are forwarded to the owner region.
+//  (2) The hot key's leader region (Ohio) keeps low, steady latency;
+//      leaderless EPaxos suffers even in Ohio.
+//  (3) Among region-fault-tolerant protocols, WPaxos fz=1 is best until
+//      conflicts dominate.
+//  (4) EPaxos latency grows non-linearly with the conflict ratio,
+//      worst in far-away California.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+
+namespace paxi {
+namespace {
+
+struct Variant {
+  std::string name;
+  Config config;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> out;
+  {
+    Config c = Config::Wan5("wpaxos", 1);
+    c.params["fz"] = "0";
+    c.params["initial_owner"] = "2.1";
+    out.push_back({"WPaxos(fz=0)", c});
+  }
+  {
+    Config c = Config::Wan5("wpaxos", 1);
+    c.params["fz"] = "1";
+    c.params["initial_owner"] = "2.1";
+    out.push_back({"WPaxos(fz=1)", c});
+  }
+  {
+    Config c = Config::Wan5("wankeeper", 1);
+    c.params["master_zone"] = "2";
+    out.push_back({"WanKeeper", c});
+  }
+  {
+    Config c = Config::Wan5("vpaxos", 1);
+    c.params["master_zone"] = "2";
+    c.params["initial_owner_zone"] = "2";
+    out.push_back({"VPaxos", c});
+  }
+  {
+    Config c = Config::Wan5("epaxos", 1);
+    out.push_back({"EPaxos", c});
+  }
+  {
+    Config c = Config::Wan5("paxos", 1);
+    c.params["leader"] = "2.1";  // hot-object leader region: Ohio
+    out.push_back({"Paxos", c});
+  }
+  return out;
+}
+
+int Run() {
+  bench::Banner("WAN conflict experiment, latency per region",
+                "Fig. 11a-c (§5.3)");
+
+  const std::vector<double> ratios = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const char* region_names[] = {"VA", "OH", "CA", "IR", "JP"};
+
+  // results[variant][ratio][zone] = mean latency ms
+  std::map<std::string, std::map<double, std::map<int, double>>> results;
+
+  std::printf("\ncsv: series,conflict_pct,region,mean_latency_ms\n");
+  for (const auto& variant : Variants()) {
+    for (double ratio : ratios) {
+      BenchOptions options;
+      // Small private pools and a long warmup so every key's placement
+      // settles before measurement (the paper reports the steady state;
+      // WPaxos steals in particular are full cross-WAN phase-1 rounds).
+      options.workload = ConflictWorkload(ratio, /*zones=*/5,
+                                          /*keys_per_zone=*/20);
+      options.clients_per_zone = 2;
+      options.bootstrap_s = 1.0;
+      options.warmup_s = 10.0;  // ownership/token settling
+      options.duration_s = 6.0;
+      const BenchResult r = RunBenchmark(variant.config, options);
+      for (int z = 1; z <= 3; ++z) {  // paper plots VA, OH, CA
+        const auto it = r.zone_latency_ms.find(z);
+        const double ms = it == r.zone_latency_ms.end() ? -1.0
+                                                        : it->second.mean();
+        results[variant.name][ratio][z] = ms;
+        std::printf("csv: %s,%.0f,%s,%.2f\n", variant.name.c_str(),
+                    ratio * 100, region_names[z - 1], ms);
+      }
+    }
+  }
+
+  int failures = 0;
+  // (1) WPaxos fz=0 ~ WanKeeper ~ VPaxos in every region at mid conflict.
+  for (int z = 1; z <= 3; ++z) {
+    const double a = results["WPaxos(fz=0)"][0.4][z];
+    const double b = results["WanKeeper"][0.4][z];
+    const double c = results["VPaxos"][0.4][z];
+    const double hi = std::max({a, b, c});
+    const double lo = std::min({a, b, c});
+    failures += !bench::Check(
+        hi - lo < std::max(12.0, 0.5 * hi),
+        std::string("fz=0 trio behaves alike in ") + region_names[z - 1] +
+            " at 40% conflict");
+  }
+  // (2) Ohio stays low and steady for owner-based protocols; EPaxos pays
+  // even in Ohio under conflict.
+  failures += !bench::Check(
+      results["WPaxos(fz=0)"][1.0][2] < 10.0,
+      "Ohio latency stays near-local for WPaxos fz=0 at 100% conflict");
+  failures += !bench::Check(
+      results["EPaxos"][1.0][2] > results["WPaxos(fz=0)"][1.0][2] * 3,
+      "EPaxos suffers under conflict even in the hot key's home region");
+  // (3) WPaxos fz=1 beats Paxos and EPaxos (region-fault-tolerant class)
+  // through mid conflict in Virginia.
+  failures += !bench::Check(
+      results["WPaxos(fz=1)"][0.4][1] < results["Paxos"][0.4][1] &&
+          results["WPaxos(fz=1)"][0.4][1] < results["EPaxos"][0.4][1],
+      "WPaxos fz=1 is the best region-fault-tolerant option at 40% "
+      "conflict (VA)");
+  // (4) EPaxos grows steeply with conflict in California.
+  failures += !bench::Check(
+      results["EPaxos"][1.0][3] > results["EPaxos"][0.0][3] + 20.0,
+      "EPaxos California latency rises sharply with conflict");
+  // Remote regions of forwarding protocols scale with the conflict share.
+  failures += !bench::Check(
+      results["WPaxos(fz=0)"][1.0][3] >
+          results["WPaxos(fz=0)"][0.0][3] + 20.0,
+      "California pays the CA->OH forward in proportion to conflict% "
+      "(WPaxos fz=0)");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

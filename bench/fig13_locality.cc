@@ -1,0 +1,147 @@
+// Figure 13: locality workload across the WAN. All objects start in Ohio;
+// each region's accesses follow a Normal over its own slice of the key
+// pool (overlap controlled by sigma); protocols adapt placement with the
+// three-consecutive-access policy.
+//   (a) average latency per region: WPaxos fz=0, WanKeeper, VPaxos,
+//       WPaxos fz=2, Paxos, EPaxos.
+//   (b) latency CDF for the locality-aware protocols.
+//
+// Paper findings (§5.3): WanKeeper gives Ohio (its master region)
+// near-LAN latency at the cost of the other regions; WPaxos and VPaxos
+// balance objects and end up with almost identical latency profiles;
+// globally WanKeeper experiences more WAN latency than either.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+
+namespace paxi {
+namespace {
+
+struct Variant {
+  std::string name;
+  Config config;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> out;
+  {
+    Config c = Config::Wan5("wpaxos", 1);
+    c.params["fz"] = "0";
+    c.params["initial_owner"] = "2.1";
+    out.push_back({"WPaxos(fz=0)", c});
+  }
+  {
+    Config c = Config::Wan5("wankeeper", 1);
+    c.params["master_zone"] = "2";
+    out.push_back({"WanKeeper", c});
+  }
+  {
+    Config c = Config::Wan5("vpaxos", 1);
+    c.params["master_zone"] = "2";
+    c.params["initial_owner_zone"] = "2";
+    out.push_back({"VPaxos", c});
+  }
+  {
+    Config c = Config::Wan5("wpaxos", 1);
+    c.params["fz"] = "2";
+    c.params["initial_owner"] = "2.1";
+    out.push_back({"WPaxos(fz=2)", c});
+  }
+  {
+    Config c = Config::Wan5("paxos", 1);
+    c.params["leader"] = "2.1";
+    out.push_back({"Paxos", c});
+  }
+  {
+    Config c = Config::Wan5("epaxos", 1);
+    out.push_back({"EPaxos", c});
+  }
+  return out;
+}
+
+int Run() {
+  bench::Banner("WAN locality workload: per-region latency and CDF",
+                "Fig. 13a/13b (§5.3)");
+
+  const char* region_names[] = {"VA", "OH", "CA", "IR", "JP"};
+  std::map<std::string, std::map<int, double>> region_means;
+  std::map<std::string, Sampler> global;
+
+  std::printf("\n-- Fig. 13a: average latency per region (ms) --\n");
+  std::printf("csv: series,region,mean_latency_ms\n");
+  for (const auto& variant : Variants()) {
+    BenchOptions options;
+    // Scaled-down pool (200 keys, sigma 10) with enough closed-loop load
+    // and settle time that each region's band accumulates the repeat
+    // accesses migration needs; the residual inter-band overlap keeps the
+    // WAN tail the paper's CDFs show.
+    options.workload = LocalityWorkload(/*zones=*/5, /*keys=*/200,
+                                        /*sigma=*/10.0);
+    options.clients_per_zone = 16;
+    options.bootstrap_s = 1.0;
+    options.warmup_s = 15.0;  // objects migrate out of Ohio
+    options.duration_s = 10.0;
+    const BenchResult r = RunBenchmark(variant.config, options);
+    for (int z = 1; z <= 5; ++z) {
+      auto it = r.zone_latency_ms.find(z);
+      const double ms =
+          it == r.zone_latency_ms.end() ? -1.0 : it->second.mean();
+      region_means[variant.name][z] = ms;
+      std::printf("csv: %s,%s,%.2f\n", variant.name.c_str(),
+                  region_names[z - 1], ms);
+      if (it != r.zone_latency_ms.end()) {
+        global[variant.name].Merge(it->second);
+      }
+    }
+  }
+
+  std::printf("\n-- Fig. 13b: latency CDF (locality-aware protocols) --\n");
+  std::printf("csv: series,latency_ms,cum_probability\n");
+  for (const char* name : {"WPaxos(fz=0)", "WanKeeper", "VPaxos",
+                           "WPaxos(fz=2)"}) {
+    for (const auto& [ms, p] : global[name].Cdf(20)) {
+      std::printf("csv: %s,%.2f,%.2f\n", name, ms, p);
+    }
+  }
+
+  int failures = 0;
+  failures += !bench::Check(
+      region_means["WanKeeper"][2] < 5.0,
+      "WanKeeper gives Ohio (master) near-LAN average latency");
+  // WPaxos/VPaxos balanced: their global means are close.
+  const double wp = global["WPaxos(fz=0)"].mean();
+  const double vp = global["VPaxos"].mean();
+  failures += !bench::Check(
+      std::abs(wp - vp) < std::max(8.0, 0.5 * std::max(wp, vp)),
+      "WPaxos and VPaxos share a very similar latency profile");
+  failures += !bench::Check(
+      global["WanKeeper"].mean() > std::max(wp, vp),
+      "globally, WanKeeper experiences more WAN latency than WPaxos/"
+      "VPaxos");
+  // Locality-aware protocols beat static single-leader Paxos overall.
+  double paxos_mean = 0.0;
+  int n = 0;
+  for (int z = 1; z <= 5; ++z) {
+    paxos_mean += region_means["Paxos"][z];
+    ++n;
+  }
+  paxos_mean /= n;
+  failures += !bench::Check(
+      wp < paxos_mean && vp < paxos_mean,
+      "locality-adaptive protocols beat single-leader Paxos on average");
+  // fz=2 pays extra for cross-region phase-2 quorums.
+  failures += !bench::Check(
+      global["WPaxos(fz=2)"].mean() > global["WPaxos(fz=0)"].mean() + 5.0,
+      "WPaxos fz=2 pays a visible latency premium over fz=0");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

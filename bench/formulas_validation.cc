@@ -1,0 +1,135 @@
+// §6 formulas: back-of-the-envelope forecasting validated against the
+// framework.
+//
+//   Load    L(S) = (1+c)(Q + L - 2)/L        (Formula 3)
+//   Cap(S)  = 1/L(S)                          (Formula 1)
+//   Latency = (1+c)((1-l)(DL+DQ) + l*DQ)      (Formula 7)
+//
+// The load/capacity formulas are validated by ordering and by the
+// busiest-node message counters; the latency formula by comparing its
+// prediction against measured WAN latencies.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+#include "model/formulas.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Unified throughput/latency formulas", "§6, Formulas 1-7");
+
+  // --- Load & capacity at N = 9 (§6.1 worked examples) ---------------------
+  std::printf("\nLoad at N=9:  Paxos=%.2f  EPaxos(c=0)=%.2f  "
+              "EPaxos(c=1)=%.2f  WPaxos(3x3)=%.2f\n",
+              model::LoadPaxos(9), model::LoadEPaxos(9, 0.0),
+              model::LoadEPaxos(9, 1.0), model::LoadWPaxos(9, 3));
+
+  int failures = 0;
+  failures += !bench::Check(model::LoadPaxos(9) == 4.0,
+                            "L(Paxos) = 4 at N=9 (Eq. 4)");
+  failures += !bench::Check(
+      std::abs(model::LoadEPaxos(9, 0.0) - 4.0 / 3.0) < 1e-9,
+      "L(EPaxos) = 4/3 (1+c) at N=9 (Eq. 5)");
+  failures += !bench::Check(
+      std::abs(model::LoadWPaxos(9, 3) - 4.0 / 3.0) < 1e-9,
+      "L(WPaxos) = 4/3 on the 3x3 grid (Eq. 6)");
+
+  // --- Capacity ordering vs measured max throughput -------------------------
+  BenchOptions saturate;
+  saturate.workload = UniformWorkload(1000, 0.5);
+  saturate.duration_s = 1.5;
+  saturate.warmup_s = 0.4;
+  saturate.clients_per_zone = 50;
+  const BenchResult paxos = RunBenchmark(Config::Lan9("paxos"), saturate);
+  saturate.clients_per_zone = 17;
+  const BenchResult wpaxos =
+      RunBenchmark(Config::LanGrid3x3("wpaxos"), saturate);
+
+  std::printf("\nmeasured max throughput: Paxos %.0f ops/s, WPaxos %.0f "
+              "ops/s (ratio %.2f; formula capacity ratio %.2f)\n",
+              paxos.throughput, wpaxos.throughput,
+              wpaxos.throughput / paxos.throughput,
+              model::Capacity(3, 3, 0) / model::Capacity(1, 5, 0));
+  failures += !bench::Check(
+      (model::Capacity(3, 3, 0) > model::Capacity(1, 5, 0)) ==
+          (wpaxos.throughput > paxos.throughput),
+      "capacity formula predicts the measured throughput ordering "
+      "(WPaxos > Paxos)");
+
+  // Busiest-node check: Paxos leader handles ~N+2 messages/round while
+  // followers handle ~2, the imbalance the load formula abstracts.
+  std::size_t leader = 0, follower_max = 0;
+  for (const auto& [id, msgs] : paxos.node_messages) {
+    if (id == NodeId{1, 1}) {
+      leader = msgs;
+    } else {
+      follower_max = std::max(follower_max, msgs);
+    }
+  }
+  std::printf("Paxos messages processed: leader %zu, busiest follower %zu "
+              "(ratio %.1f; model predicts ~(N+2)/2 = 5.5)\n",
+              leader, follower_max,
+              static_cast<double>(leader) / follower_max);
+  failures += !bench::Check(
+      leader > 3 * follower_max,
+      "the single leader is by far the busiest node (§5.2)");
+
+  // --- Latency formula in WAN (Formula 7) -----------------------------------
+  // Paxos, Ohio leader, Virginia clients: c=0, l=0, DL = RTT(VA,OH),
+  // DQ = RTT from OH to the (Q-1)th fastest follower.
+  Config paxos_wan = Config::Wan5("paxos", 1);
+  paxos_wan.params["leader"] = "2.1";
+  BenchOptions light;
+  light.workload = UniformWorkload(100, 1.0);
+  light.clients_per_zone = 1;
+  light.client_zones = {1};  // Virginia only
+  light.duration_s = 8.0;
+  light.warmup_s = 2.0;
+  const BenchResult measured = RunBenchmark(paxos_wan, light);
+
+  const Topology topo = Topology::WanFiveRegions();
+  const double dl = topo.RttMeanMs(1, 2);
+  // Majority of 5 = 3: leader + 2 acks; 2nd-fastest follower from OH.
+  std::vector<double> rtts;
+  for (int z = 1; z <= 5; ++z) {
+    if (z != 2) rtts.push_back(topo.RttMeanMs(2, z));
+  }
+  std::sort(rtts.begin(), rtts.end());
+  const double dq = rtts[1];
+  const double predicted = model::LatencyFormula(0.0, 0.0, dl, dq);
+  std::printf("\nFormula 7 (Paxos, VA->OH leader): predicted %.1f ms, "
+              "measured %.1f ms\n",
+              predicted, measured.MeanLatencyMs());
+  failures += !bench::Check(
+      std::abs(measured.MeanLatencyMs() - predicted) <
+          0.30 * predicted + 3.0,
+      "Formula 7 forecasts the measured WAN latency within ~30%");
+
+  // WPaxos fz=0 with full locality: l=1 -> latency ~ DQ (local quorum).
+  // A tiny pool plus a long warmup lets every object's one-time steal
+  // (a full cross-WAN phase-1) finish before measurement.
+  Config wpaxos_wan = Config::Wan5("wpaxos", 1);
+  wpaxos_wan.params["fz"] = "0";
+  BenchOptions local = light;
+  local.workload = UniformWorkload(10, 1.0);
+  local.warmup_s = 5.0;
+  const BenchResult wp_measured = RunBenchmark(wpaxos_wan, local);
+  const double wp_predicted =
+      model::LatencyFormula(0.0, 1.0, dl, topo.RttMeanMs(1, 1));
+  std::printf("Formula 7 (WPaxos fz=0, l=1): predicted %.2f ms, measured "
+              "%.2f ms\n",
+              wp_predicted, wp_measured.MeanLatencyMs());
+  failures += !bench::Check(
+      wp_measured.MeanLatencyMs() < 5.0,
+      "WPaxos with full locality commits at near-local latency (l=1 term "
+      "of Formula 7)");
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

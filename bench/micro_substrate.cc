@@ -1,0 +1,117 @@
+// Microbenchmarks of the framework substrate (google-benchmark): the
+// event kernel, RNG, datastore, quorum tallies, message dispatch, and a
+// full simulated Paxos round — the costs that bound how much virtual time
+// the simulator can chew through per wall-clock second.
+
+#include <benchmark/benchmark.h>
+
+#include "benchmark/runner.h"
+#include "common/rng.h"
+#include "quorum/quorum.h"
+#include "sim/simulator.h"
+#include "store/kvstore.h"
+
+namespace paxi {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.Push(++t, [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.Pop().at);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.At(i, [&counter] { ++counter; });
+    }
+    sim.RunUntil(1000);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Normal(0.5, 0.05));
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Zipf(1000, 2.0, 1.0));
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_KvStorePut(benchmark::State& state) {
+  KvStore store;
+  Command cmd;
+  cmd.op = Command::Op::kPut;
+  cmd.value = "value";
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    cmd.key = i % 1024;
+    cmd.request = ++i;
+    benchmark::DoNotOptimize(store.Execute(cmd));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_MajorityQuorumTally(benchmark::State& state) {
+  std::vector<NodeId> members;
+  for (int i = 1; i <= 9; ++i) members.push_back(NodeId{1, i});
+  for (auto _ : state) {
+    auto q = CountQuorum::Majority(members);
+    for (int i = 1; i <= 5; ++i) {
+      q->Ack(NodeId{1, i});
+      benchmark::DoNotOptimize(q->Satisfied());
+    }
+  }
+}
+BENCHMARK(BM_MajorityQuorumTally);
+
+void BM_ZoneMajorityTally(benchmark::State& state) {
+  std::vector<NodeId> members;
+  for (int z = 1; z <= 5; ++z) {
+    for (int i = 1; i <= 3; ++i) members.push_back(NodeId{z, i});
+  }
+  const auto by_zone = GroupByZone(members);
+  for (auto _ : state) {
+    ZoneMajorityQuorum q(by_zone, 2);
+    for (int z = 1; z <= 2; ++z) {
+      q.Ack(NodeId{z, 1});
+      q.Ack(NodeId{z, 2});
+      benchmark::DoNotOptimize(q.Satisfied());
+    }
+  }
+}
+BENCHMARK(BM_ZoneMajorityTally);
+
+/// End-to-end: virtual-time Paxos rounds simulated per wall second.
+void BM_SimulatedPaxosRounds(benchmark::State& state) {
+  for (auto _ : state) {
+    BenchOptions options;
+    options.workload = UniformWorkload(100, 0.5);
+    options.clients_per_zone = 4;
+    options.bootstrap_s = 0.2;
+    options.warmup_s = 0.0;
+    options.duration_s = 0.3;
+    const BenchResult result = RunBenchmark(Config::Lan9("paxos"), options);
+    benchmark::DoNotOptimize(result.completed);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(result.completed));
+  }
+}
+BENCHMARK(BM_SimulatedPaxosRounds)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,114 @@
+// Scalability benchmarks — the §4.2 "Scalability" axis of the Paxi
+// benchmarker: how throughput responds to adding nodes and growing the
+// dataset.
+//
+//   (a) Paxos max throughput vs cluster size N: the leader processes
+//       N + 2 messages per round, so capacity *shrinks* as the cluster
+//       grows — the anti-scalability the paper's load formula predicts.
+//   (b) WPaxos aggregate throughput vs number of regions (leaders):
+//       grows with leaders, sublinearly.
+//   (c) Throughput vs dataset size K: flat (the datastore is O(1) per
+//       op), so dataset growth is not a consensus bottleneck.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+#include "model/protocol_model.h"
+
+namespace paxi {
+namespace {
+
+int Run() {
+  bench::Banner("Scalability: nodes, leaders, dataset", "§4.2 Scalability");
+  int failures = 0;
+
+  BenchOptions saturate;
+  saturate.workload = UniformWorkload(1000, 0.5);
+  saturate.duration_s = 1.5;
+  saturate.warmup_s = 0.4;
+
+  // --- (a) Paxos vs N -------------------------------------------------------
+  std::printf("\ncsv: series,nodes,measured_ops_s,modeled_ops_s\n");
+  std::vector<double> paxos_tput;
+  for (int n : {3, 5, 9, 15}) {
+    Config cfg = Config::Lan9("paxos");
+    cfg.nodes_per_zone = n;
+    saturate.clients_per_zone = 60;
+    const BenchResult r = RunBenchmark(cfg, saturate);
+
+    model::ModelEnv env;
+    env.topology = Topology::Lan(1);
+    env.zones = 1;
+    env.nodes_per_zone = n;
+    model::PaxosModel m(env, NodeId{1, 1});
+    std::printf("csv: Paxos,%d,%.0f,%.0f\n", n, r.throughput,
+                m.MaxThroughput());
+    paxos_tput.push_back(r.throughput);
+  }
+  failures += !bench::Check(
+      paxos_tput.front() > paxos_tput.back() * 1.5,
+      "adding replicas SHRINKS single-leader capacity (N+2 messages per "
+      "round at the leader)");
+  bool monotone = true;
+  for (std::size_t i = 1; i < paxos_tput.size(); ++i) {
+    monotone = monotone && paxos_tput[i] < paxos_tput[i - 1] * 1.05;
+  }
+  failures += !bench::Check(monotone,
+                            "capacity decreases (within noise) at every "
+                            "cluster-size step");
+
+  // --- (b) WPaxos leaders at fixed N = 9: 1x9 vs 3x3 vs 9x1 ----------------
+  // The §6.1 grid story: same node count, more leader regions -> more
+  // aggregate capacity (Load = (N/L + L - 2)/L shrinks with L here).
+  std::vector<double> wpaxos_tput;
+  struct Layout {
+    int zones;
+    int per_zone;
+  };
+  for (const Layout& layout : {Layout{1, 9}, Layout{3, 3}, Layout{9, 1}}) {
+    Config cfg;
+    cfg.zones = layout.zones;
+    cfg.nodes_per_zone = layout.per_zone;
+    cfg.topology = Topology::Lan(layout.zones);
+    cfg.protocol = "wpaxos";
+    saturate.clients_per_zone = 120 / layout.zones + 4;
+    const BenchResult r = RunBenchmark(cfg, saturate);
+    std::printf("csv: WPaxos-%dx%d,%d,%.0f,-\n", layout.zones,
+                layout.per_zone, 9, r.throughput);
+    wpaxos_tput.push_back(r.throughput);
+  }
+  failures += !bench::Check(
+      wpaxos_tput[1] > wpaxos_tput[0] * 1.3 &&
+          wpaxos_tput[2] > wpaxos_tput[1],
+      "at fixed N=9, more leader regions means more aggregate capacity "
+      "(1x9 < 3x3 < 9x1)");
+  failures += !bench::Check(
+      wpaxos_tput[2] < wpaxos_tput[0] * 9.0,
+      "...but 9 leaders are far from 9x one leader (followership costs)");
+
+  // --- (c) dataset size K ----------------------------------------------------
+  std::printf("\ncsv: series,keys,measured_ops_s\n");
+  std::vector<double> k_tput;
+  for (std::int64_t k : {100, 1000, 10000, 100000}) {
+    Config cfg = Config::Lan9("paxos");
+    BenchOptions options = saturate;
+    options.workload = UniformWorkload(k, 0.5);
+    options.clients_per_zone = 40;
+    const BenchResult r = RunBenchmark(cfg, options);
+    std::printf("csv: Paxos,%lld,%.0f\n", static_cast<long long>(k),
+                r.throughput);
+    k_tput.push_back(r.throughput);
+  }
+  failures += !bench::Check(
+      k_tput.back() > k_tput.front() * 0.8,
+      "dataset size (K) barely affects consensus throughput");
+
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

@@ -1,0 +1,94 @@
+// Table 1: the four queue approximations and their waiting-time formulas,
+// validated against a brute-force discrete-event queue simulation built
+// on the same kernel the framework uses.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "model/queueing.h"
+
+namespace paxi {
+namespace {
+
+/// Simulates a single-server FIFO queue and returns the average wait (s).
+/// `deterministic_service` selects M/D/1 vs M/M/1 service.
+double SimulateQueue(double lambda, double mu, bool deterministic_service,
+                     int rounds, Rng& rng) {
+  double clock = 0.0;
+  double server_free = 0.0;
+  double total_wait = 0.0;
+  for (int i = 0; i < rounds; ++i) {
+    clock += rng.Exponential(lambda);  // Poisson arrivals
+    const double start = std::max(clock, server_free);
+    total_wait += start - clock;
+    const double service =
+        deterministic_service ? 1.0 / mu : rng.Exponential(mu);
+    server_free = start + service;
+  }
+  return total_wait / rounds;
+}
+
+int Run() {
+  bench::Banner("Queue types and waiting-time formulas", "Table 1 (§3.2)");
+
+  const double mu = 8000.0;  // ~Paxos LAN service rate
+  std::printf("\n%-8s %-12s %-14s %-12s\n", "queue", "arrival",
+              "service", "Wq at rho=0.7 (us)");
+  struct Row {
+    model::QueueKind kind;
+    const char* arrival;
+    const char* service;
+  };
+  const Row rows[] = {
+      {model::QueueKind::kMM1, "Poisson", "Exponential"},
+      {model::QueueKind::kMD1, "Poisson", "Constant"},
+      {model::QueueKind::kMG1, "Poisson", "General"},
+      {model::QueueKind::kGG1, "General", "General"},
+  };
+  for (const Row& row : rows) {
+    model::QueueParams p;
+    p.lambda = 0.7 * mu;
+    p.mu = mu;
+    p.service_sigma = 0.25 / mu;
+    p.ca2 = 1.0;
+    p.cs2 = 0.0625;
+    std::printf("%-8s %-12s %-14s %10.2f\n", model::QueueKindName(row.kind),
+                row.arrival, row.service,
+                model::WaitTime(row.kind, p) * 1e6);
+  }
+
+  // Validate M/M/1 and M/D/1 against brute-force simulation.
+  Rng rng(11);
+  int failures = 0;
+  for (double rho : {0.3, 0.6, 0.85}) {
+    const double lambda = rho * mu;
+    model::QueueParams p;
+    p.lambda = lambda;
+    p.mu = mu;
+
+    const double md1_sim =
+        SimulateQueue(lambda, mu, /*deterministic=*/true, 400000, rng);
+    const double md1_formula = model::WaitTime(model::QueueKind::kMD1, p);
+    std::printf("\nrho=%.2f  M/D/1 formula %.2f us vs simulated %.2f us",
+                rho, md1_formula * 1e6, md1_sim * 1e6);
+    failures += !bench::Check(
+        std::abs(md1_sim - md1_formula) < 0.12 * md1_formula + 2e-6,
+        "M/D/1 formula matches brute-force queue simulation");
+
+    const double mm1_sim =
+        SimulateQueue(lambda, mu, /*deterministic=*/false, 400000, rng);
+    const double mm1_formula = model::WaitTime(model::QueueKind::kMM1, p);
+    std::printf("rho=%.2f  M/M/1 formula %.2f us vs simulated %.2f us\n",
+                rho, mm1_formula * 1e6, mm1_sim * 1e6);
+    failures += !bench::Check(
+        std::abs(mm1_sim - mm1_formula) < 0.12 * mm1_formula + 2e-6,
+        "M/M/1 formula matches brute-force queue simulation");
+  }
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main() { return paxi::Run(); }

@@ -1,0 +1,93 @@
+// Protocol advisor: the paper's Fig. 14 flowchart as a program, plus the
+// §6 back-of-the-envelope formulas evaluated for the chosen deployment.
+//
+//   $ ./build/examples/protocol_advisor                 # walk all paths
+//   $ ./build/examples/protocol_advisor wan locality dynamic failures
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "model/flowchart.h"
+#include "model/formulas.h"
+
+using namespace paxi;
+
+namespace {
+
+void PrintRecommendation(const model::DeploymentProfile& p) {
+  const auto rec = model::RecommendProtocol(p);
+  std::printf("deployment: consensus=%d wan=%d read-heavy=%d locality=%d "
+              "dynamic=%d region-failure=%d\n",
+              p.need_consensus, p.wan, p.read_heavy, p.workload_locality,
+              p.dynamic_locality, p.region_failure_concern);
+  std::printf("  consider: ");
+  for (std::size_t i = 0; i < rec.protocols.size(); ++i) {
+    std::printf("%s%s", i > 0 ? ", " : "", rec.protocols[i].c_str());
+  }
+  std::printf("\n  why: %s\n\n", rec.rationale.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    model::DeploymentProfile p;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "no-consensus") == 0) p.need_consensus = false;
+      if (std::strcmp(argv[i], "wan") == 0) p.wan = true;
+      if (std::strcmp(argv[i], "reads") == 0) p.read_heavy = true;
+      if (std::strcmp(argv[i], "locality") == 0) p.workload_locality = true;
+      if (std::strcmp(argv[i], "dynamic") == 0) p.dynamic_locality = true;
+      if (std::strcmp(argv[i], "failures") == 0) {
+        p.region_failure_concern = true;
+      }
+    }
+    PrintRecommendation(p);
+  } else {
+    std::printf("--- Fig. 14 decision flowchart, representative paths ---\n\n");
+    model::DeploymentProfile lan;
+    PrintRecommendation(lan);
+
+    model::DeploymentProfile wan_reads;
+    wan_reads.wan = true;
+    wan_reads.read_heavy = true;
+    PrintRecommendation(wan_reads);
+
+    model::DeploymentProfile sharded;
+    sharded.wan = true;
+    sharded.workload_locality = true;
+    PrintRecommendation(sharded);
+
+    model::DeploymentProfile hierarchical;
+    hierarchical.wan = true;
+    hierarchical.workload_locality = true;
+    hierarchical.dynamic_locality = true;
+    PrintRecommendation(hierarchical);
+
+    model::DeploymentProfile full;
+    full.wan = true;
+    full.workload_locality = true;
+    full.dynamic_locality = true;
+    full.region_failure_concern = true;
+    PrintRecommendation(full);
+  }
+
+  // Back-of-the-envelope forecasting (§6.3) for a 9-node deployment.
+  std::printf("--- §6 formulas at N = 9 ---\n");
+  std::printf("load:     Paxos %.2f | EPaxos(c=0) %.2f | EPaxos(c=0.5) "
+              "%.2f | WPaxos(3x3) %.2f\n",
+              model::LoadPaxos(9), model::LoadEPaxos(9, 0.0),
+              model::LoadEPaxos(9, 0.5), model::LoadWPaxos(9, 3));
+  std::printf("capacity: Paxos %.2f | EPaxos(c=0) %.2f | EPaxos(c=0.5) "
+              "%.2f | WPaxos(3x3) %.2f  (relative)\n",
+              1.0 / model::LoadPaxos(9), 1.0 / model::LoadEPaxos(9, 0.0),
+              1.0 / model::LoadEPaxos(9, 0.5),
+              1.0 / model::LoadWPaxos(9, 3));
+  std::printf("latency forecast, VA client / OH leader (DL=11ms, DQ=50ms):"
+              "\n  single-leader (l=0): %.1f ms   multi-leader with full "
+              "locality (l=1, DQ=0.4ms): %.1f ms\n",
+              model::LatencyFormula(0.0, 0.0, 11.0, 50.0),
+              model::LatencyFormula(0.0, 1.0, 11.0, 0.4));
+  return 0;
+}

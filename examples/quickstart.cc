@@ -1,0 +1,98 @@
+// Quickstart: stand up a 5-replica Paxos cluster, write and read a few
+// keys, inspect the replicated state, and audit the run with the
+// built-in checkers. Everything runs on the deterministic virtual-time
+// simulator, so this finishes in milliseconds of wall clock.
+//
+//   $ cmake -B build -G Ninja && cmake --build build
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "checker/consensus.h"
+#include "checker/linearizability.h"
+#include "core/cluster.h"
+#include "protocols/paxos/paxos.h"
+
+using namespace paxi;
+
+int main() {
+  // 1. Configure a deployment: 5 replicas in one LAN zone running
+  //    MultiPaxos. Config::FromFile / FromString accept the same settings
+  //    as text.
+  Config config = Config::Lan9("paxos");
+  config.nodes_per_zone = 5;
+
+  Cluster cluster(config);
+  cluster.Start();
+  cluster.RunFor(kSecond);  // let the leader finish phase-1
+
+  auto* leader = dynamic_cast<PaxosReplica*>(cluster.node(cluster.leader()));
+  std::printf("leader %s elected with ballot %s\n",
+              cluster.leader().ToString().c_str(),
+              leader->ballot().ToString().c_str());
+
+  // 2. Issue commands through a client. The API is asynchronous: each
+  //    call takes a completion callback; cluster.RunFor drives virtual
+  //    time until the callbacks have fired.
+  Client* client = cluster.NewClient(/*zone=*/1);
+  LinearizabilityChecker audit;
+
+  for (Key key = 1; key <= 3; ++key) {
+    const Time invoke = cluster.sim().Now();
+    client->Put(key, "value-" + std::to_string(key), cluster.leader(),
+                [&, key, invoke](const Client::Reply& reply) {
+                  std::printf("PUT %lld -> %s in %.2f ms\n",
+                              static_cast<long long>(key),
+                              reply.status.ToString().c_str(),
+                              ToMillis(reply.latency));
+                  OpRecord op;
+                  op.invoke = invoke;
+                  op.response = cluster.sim().Now();
+                  op.is_write = true;
+                  op.key = key;
+                  op.value = "value-" + std::to_string(key);
+                  op.found = true;
+                  audit.Add(op);
+                });
+    cluster.RunFor(10 * kMillisecond);
+  }
+
+  for (Key key = 1; key <= 3; ++key) {
+    const Time invoke = cluster.sim().Now();
+    client->Get(key, cluster.leader(),
+                [&, key, invoke](const Client::Reply& reply) {
+                  std::printf("GET %lld -> \"%s\" in %.2f ms\n",
+                              static_cast<long long>(key),
+                              reply.value.c_str(), ToMillis(reply.latency));
+                  OpRecord op;
+                  op.invoke = invoke;
+                  op.response = cluster.sim().Now();
+                  op.is_write = false;
+                  op.key = key;
+                  op.value = reply.value;
+                  op.found = reply.found;
+                  audit.Add(op);
+                });
+    cluster.RunFor(10 * kMillisecond);
+  }
+
+  // 3. Let the commit watermark reach the followers, then inspect their
+  //    state machines directly.
+  cluster.RunFor(kSecond);
+  std::printf("\nreplica state for key 2:\n");
+  for (const NodeId& id : cluster.nodes()) {
+    const auto value = cluster.node(id)->store().Get(2);
+    std::printf("  %s: %s\n", id.ToString().c_str(),
+                value.ok() ? value.value().c_str() : "(missing)");
+  }
+
+  // 4. Audit: client-observed linearizability and RSM-level consensus.
+  const auto anomalies = audit.Check();
+  std::printf("\nlinearizability: %zu anomalous reads\n", anomalies.size());
+
+  ConsensusChecker consensus;
+  const auto violations = consensus.Check(cluster, {1, 2, 3});
+  std::printf("consensus: %zu history divergences\n", violations.size());
+
+  return anomalies.empty() && violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+#include "benchmark/runner.h"
+
+#include <cassert>
+#include <memory>
+
+namespace paxi {
+namespace {
+
+/// Per-client closed-loop driver. Owns its workload stream; reschedules
+/// itself from the completion callback until the deadline passes. Managed
+/// by shared_ptr: callbacks keep the loop alive even if a straggler reply
+/// lands after the run finishes.
+/// Result sink shared by all loops; heap-allocated so straggler replies
+/// that arrive after BenchRunner::Run returned write into live (ignored)
+/// storage instead of a dead stack frame.
+struct SharedState {
+  BenchResult result;
+  BenchOptions options;
+};
+
+struct ClientLoop : std::enable_shared_from_this<ClientLoop> {
+  ClientLoop(Client* client_in, int zone_in, WorkloadGenerator gen_in,
+             Cluster* cluster_in, std::shared_ptr<SharedState> state_in,
+             Time measure_start_in, Time deadline_in)
+      : client(client_in),
+        zone(zone_in),
+        gen(std::move(gen_in)),
+        cluster(cluster_in),
+        state(std::move(state_in)),
+        measure_start(measure_start_in),
+        deadline(deadline_in) {}
+
+  Client* client;
+  int zone;
+  WorkloadGenerator gen;
+  Cluster* cluster;
+  std::shared_ptr<SharedState> state;
+  Time measure_start;
+  Time deadline;
+
+  void IssueNext() {
+    Simulator& sim = cluster->sim();
+    if (sim.Now() >= deadline) return;
+    Command cmd = gen.Next(sim.Now());
+    const bool is_write = cmd.IsWrite();
+    const Key key = cmd.key;
+    const Value written = cmd.value;
+    const NodeId target =
+        cluster->TargetForClient(zone, client->client_id());
+    const Time invoke = sim.Now();
+    client->Issue(std::move(cmd), target,
+                  [self = shared_from_this(), invoke, is_write, key,
+                   written](const Client::Reply& reply) {
+                    self->OnReply(invoke, is_write, key, written, reply);
+                  });
+  }
+
+  void OnReply(Time invoke, bool is_write, Key key, const Value& written,
+               const Client::Reply& reply) {
+    Simulator& sim = cluster->sim();
+    BenchResult* result = &state->result;
+    const BenchOptions* options = &state->options;
+    const Time response = sim.Now();
+    const bool in_window = invoke >= measure_start && response <= deadline;
+    if (in_window) {
+      if (reply.status.ok() || reply.status.IsNotFound()) {
+        ++result->completed;
+        if (reply.status.IsNotFound()) ++result->not_found;
+        const double ms = ToMillis(reply.latency);
+        result->latency_ms.Add(ms);
+        result->zone_latency_ms[zone].Add(ms);
+      } else {
+        ++result->errors;
+      }
+    }
+    // Op records cover the whole run (not just the measured window): the
+    // linearizability checker needs the complete write history, or reads
+    // of warmup-era values would look like phantom reads.
+    if (options->record_ops &&
+        (reply.status.ok() || reply.status.IsNotFound())) {
+      OpRecord op;
+      op.invoke = invoke;
+      op.response = response;
+      op.is_write = is_write;
+      op.key = key;
+      op.value = is_write ? written : reply.value;
+      op.found = is_write || reply.found;
+      op.client = client->client_id();
+      result->ops.push_back(op);
+    }
+    IssueNext();
+  }
+};
+
+}  // namespace
+
+BenchRunner::BenchRunner(Cluster* cluster, BenchOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  assert(cluster_ != nullptr);
+}
+
+BenchResult BenchRunner::Run() {
+  auto state = std::make_shared<SharedState>();
+  state->options = options_;
+  Simulator& sim = cluster_->sim();
+  const Config& config = cluster_->config();
+
+  std::vector<int> zones = options_.client_zones;
+  if (zones.empty()) {
+    for (int z = 1; z <= config.zones; ++z) zones.push_back(z);
+  }
+
+  cluster_->Start();
+  const Time bootstrap_end =
+      sim.Now() + static_cast<Time>(options_.bootstrap_s * kSecond);
+  sim.RunUntil(bootstrap_end);
+
+  const Time traffic_start = sim.Now();
+  const Time measure_start =
+      traffic_start + static_cast<Time>(options_.warmup_s * kSecond);
+  const Time deadline =
+      measure_start + static_cast<Time>(options_.duration_s * kSecond);
+
+  std::vector<std::shared_ptr<ClientLoop>> loops;
+  int stream = 0;
+  for (int zone : zones) {
+    for (int i = 0; i < options_.clients_per_zone; ++i) {
+      ++stream;
+      auto loop = std::make_shared<ClientLoop>(
+          cluster_->NewClient(zone), zone,
+          WorkloadGenerator(options_.workload, zone, stream,
+                            config.seed * 7919 +
+                                static_cast<std::uint64_t>(stream)),
+          cluster_, state, measure_start, deadline);
+      loops.push_back(std::move(loop));
+    }
+  }
+
+  // Stagger the initial issues by a microsecond each so clients do not
+  // start in lockstep.
+  Time offset = 0;
+  for (auto& loop : loops) {
+    sim.After(++offset, [loop]() { loop->IssueNext(); });
+  }
+
+  // Run through the measured window plus a grace period for in-flight
+  // requests (they do not count, but their callbacks must not dangle).
+  sim.RunUntil(deadline + config.client_timeout + kSecond);
+
+  BenchResult result = state->result;
+  result.throughput =
+      static_cast<double>(result.completed) / options_.duration_s;
+  for (const NodeId& id : cluster_->nodes()) {
+    result.node_messages[id] = cluster_->node(id)->messages_processed();
+  }
+  return result;
+}
+
+BenchResult RunBenchmark(const Config& config, const BenchOptions& options) {
+  Cluster cluster(config);
+  BenchRunner runner(&cluster, options);
+  return runner.Run();
+}
+
+std::vector<SweepPoint> SaturationSweep(const Config& config,
+                                        const BenchOptions& base,
+                                        const std::vector<int>& levels) {
+  std::vector<SweepPoint> points;
+  for (int level : levels) {
+    BenchOptions options = base;
+    options.clients_per_zone = level;
+    const BenchResult result = RunBenchmark(config, options);
+    SweepPoint p;
+    p.clients_per_zone = level;
+    p.throughput = result.throughput;
+    p.mean_latency_ms = result.MeanLatencyMs();
+    p.median_latency_ms = result.MedianLatencyMs();
+    p.p99_latency_ms = result.P99LatencyMs();
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace paxi

@@ -1,0 +1,91 @@
+#ifndef PAXI_BENCHMARK_RUNNER_H_
+#define PAXI_BENCHMARK_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "checker/linearizability.h"
+#include "common/stats.h"
+#include "core/cluster.h"
+#include "workload/workload.h"
+
+namespace paxi {
+
+/// Benchmark run options — the harness side of Table 3. Clients are
+/// closed-loop: each issues its next command as soon as the previous one
+/// completes, so raising `clients_per_zone` raises offered load, which is
+/// how the paper pushes systems to saturation (§4.2 Performance).
+struct BenchOptions {
+  WorkloadSpec workload;
+  /// Concurrency per zone.
+  int clients_per_zone = 1;
+  /// Zones that host clients; empty = every zone.
+  std::vector<int> client_zones;
+  /// Virtual seconds to run before traffic (leader election, ownership
+  /// settling).
+  double bootstrap_s = 0.5;
+  /// Virtual seconds of traffic excluded from measurement (ownership
+  /// migration, cache warmup).
+  double warmup_s = 1.0;
+  /// Measured window in virtual seconds (T of Table 3).
+  double duration_s = 5.0;
+  /// Collect per-op records for the linearizability checker.
+  bool record_ops = false;
+};
+
+/// Outcome of one benchmark run.
+struct BenchResult {
+  double throughput = 0.0;  ///< Completed ops/s over the measured window.
+  Sampler latency_ms;       ///< Latencies of measured ops, milliseconds.
+  std::map<int, Sampler> zone_latency_ms;
+  std::size_t completed = 0;
+  std::size_t errors = 0;   ///< TimedOut / Unavailable replies.
+  std::size_t not_found = 0;
+  std::vector<OpRecord> ops;  ///< When record_ops is set.
+  /// Messages processed per replica over the whole run — the "busiest
+  /// node" data behind the §6.1 load analysis.
+  std::map<NodeId, std::size_t> node_messages;
+
+  double MeanLatencyMs() const { return latency_ms.mean(); }
+  double MedianLatencyMs() const { return latency_ms.Percentile(50); }
+  double P99LatencyMs() const { return latency_ms.Percentile(99); }
+};
+
+/// Drives closed-loop clients against a cluster on the virtual timeline
+/// and aggregates metrics — Paxi's benchmarker component (§4.2).
+class BenchRunner {
+ public:
+  BenchRunner(Cluster* cluster, BenchOptions options);
+
+  /// Runs bootstrap + warmup + measurement; returns aggregated results.
+  BenchResult Run();
+
+ private:
+  Cluster* cluster_;
+  BenchOptions options_;
+};
+
+/// Builds a cluster for `config`, runs one benchmark, returns the result.
+BenchResult RunBenchmark(const Config& config, const BenchOptions& options);
+
+/// One point of a saturation sweep.
+struct SweepPoint {
+  int clients_per_zone = 0;
+  double throughput = 0.0;
+  double mean_latency_ms = 0.0;
+  double median_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+/// Ramps concurrency and measures throughput/latency at each level — the
+/// paper's saturation methodology ("increase concurrency until throughput
+/// stops increasing or latency starts to climb"). A fresh cluster is
+/// built per level.
+std::vector<SweepPoint> SaturationSweep(const Config& config,
+                                        const BenchOptions& base,
+                                        const std::vector<int>& levels);
+
+}  // namespace paxi
+
+#endif  // PAXI_BENCHMARK_RUNNER_H_

@@ -1,0 +1,53 @@
+#include "checker/consensus.h"
+
+#include <algorithm>
+
+namespace paxi {
+namespace {
+
+std::vector<CommandId> FilteredWriteHistory(const Node& node, Key key) {
+  std::vector<CommandId> out;
+  for (const CommandId& id : node.store().WriteHistory(key)) {
+    if (id.client != 0) out.push_back(id);  // skip synthetic transfers
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ConsensusChecker::CommonPrefix(const std::vector<CommandId>& a,
+                                    const std::vector<CommandId>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+std::vector<ConsensusViolation> ConsensusChecker::Check(
+    Cluster& cluster, const std::vector<Key>& keys) const {
+  std::vector<ConsensusViolation> violations;
+  const auto& nodes = cluster.nodes();
+  for (Key key : keys) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (within_zone_only_ && nodes[i].zone != nodes[j].zone) continue;
+        const auto ha = FilteredWriteHistory(*cluster.node(nodes[i]), key);
+        const auto hb = FilteredWriteHistory(*cluster.node(nodes[j]), key);
+        if (!CommonPrefix(ha, hb)) {
+          ConsensusViolation v;
+          v.key = key;
+          v.node_a = nodes[i];
+          v.node_b = nodes[j];
+          v.detail = "write histories diverge (lengths " +
+                     std::to_string(ha.size()) + " vs " +
+                     std::to_string(hb.size()) + ")";
+          violations.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace paxi

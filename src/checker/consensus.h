@@ -1,0 +1,51 @@
+#ifndef PAXI_CHECKER_CONSENSUS_H_
+#define PAXI_CHECKER_CONSENSUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/cluster.h"
+#include "store/command.h"
+
+namespace paxi {
+
+/// A divergence between two replicas' execution histories for one key.
+struct ConsensusViolation {
+  Key key = 0;
+  NodeId node_a;
+  NodeId node_b;
+  std::string detail;
+};
+
+/// The paper's consensus checker (§4.2): collects every replica's
+/// execution history per record and verifies that all histories share a
+/// common prefix — i.e., the replicated state machines agreed on the
+/// order of state transitions. Unlike client-observed linearizability,
+/// this validates agreement *inside* the RSM.
+///
+/// Only write histories are compared: reads execute at a single replica
+/// in most protocols and do not transition state. Synthetic transfer
+/// writes (client id 0) are ignored. For hierarchical protocols, pass
+/// `within_zone_only = true` to compare replicas of the same group only
+/// (each zone group runs its own RSM).
+class ConsensusChecker {
+ public:
+  explicit ConsensusChecker(bool within_zone_only = false)
+      : within_zone_only_(within_zone_only) {}
+
+  /// Audits every pair of replicas in the cluster over `keys`.
+  std::vector<ConsensusViolation> Check(Cluster& cluster,
+                                        const std::vector<Key>& keys) const;
+
+  /// True when `a` is a prefix of `b` or vice versa.
+  static bool CommonPrefix(const std::vector<CommandId>& a,
+                           const std::vector<CommandId>& b);
+
+ private:
+  bool within_zone_only_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_CHECKER_CONSENSUS_H_

@@ -1,0 +1,79 @@
+#include "checker/linearizability.h"
+
+#include <algorithm>
+#include <map>
+
+namespace paxi {
+
+void LinearizabilityChecker::Add(const OpRecord& op) { ops_.push_back(op); }
+
+void LinearizabilityChecker::AddAll(const std::vector<OpRecord>& ops) {
+  ops_.insert(ops_.end(), ops.begin(), ops.end());
+}
+
+std::vector<Anomaly> LinearizabilityChecker::Check() const {
+  std::vector<Anomaly> anomalies;
+
+  // Bucket by key, then audit each key independently (per-record check,
+  // as in the paper's checker: "a list of all operations per record
+  // sorted by invocation time").
+  std::map<Key, std::vector<const OpRecord*>> by_key;
+  for (const OpRecord& op : ops_) by_key[op.key].push_back(&op);
+
+  for (auto& [key, ops] : by_key) {
+    (void)key;
+    std::vector<const OpRecord*> writes;
+    for (const OpRecord* op : ops) {
+      if (op->is_write) writes.push_back(op);
+    }
+    // Unique written values -> value to write lookup.
+    std::map<Value, const OpRecord*> write_by_value;
+    for (const OpRecord* w : writes) write_by_value[w->value] = w;
+
+    for (const OpRecord* op : ops) {
+      if (op->is_write) continue;
+      const OpRecord& read = *op;
+      if (!read.found) {
+        // Not-found is anomalous once any write has fully completed
+        // before this read began.
+        for (const OpRecord* w : writes) {
+          if (w->response < read.invoke) {
+            anomalies.push_back(
+                {read, "read returned not-found after a completed write (" +
+                           w->value + ")"});
+            break;
+          }
+        }
+        continue;
+      }
+      auto it = write_by_value.find(read.value);
+      if (it == write_by_value.end()) {
+        anomalies.push_back({read, "read returned a value never written: " +
+                                       read.value});
+        continue;
+      }
+      const OpRecord& w = *it->second;
+      if (w.invoke > read.response) {
+        anomalies.push_back(
+            {read, "read returned a value whose write began after the read "
+                   "completed (read from the future)"});
+        continue;
+      }
+      // Stale read: some other write w2 lies entirely between w and the
+      // read — in every linearization w2 overwrites w before the read.
+      for (const OpRecord* w2 : writes) {
+        if (w2 == &w) continue;
+        if (w2->invoke > w.response && w2->response < read.invoke) {
+          anomalies.push_back(
+              {read, "stale read: write " + w2->value +
+                         " completed entirely between " + w.value +
+                         " and the read"});
+          break;
+        }
+      }
+    }
+  }
+  return anomalies;
+}
+
+}  // namespace paxi

@@ -1,0 +1,60 @@
+#ifndef PAXI_CHECKER_LINEARIZABILITY_H_
+#define PAXI_CHECKER_LINEARIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// One completed client operation, as observed at the client.
+struct OpRecord {
+  Time invoke = 0;
+  Time response = 0;
+  bool is_write = false;
+  Key key = 0;
+  Value value;        ///< Value written (writes) or returned (found reads).
+  bool found = false; ///< Reads: whether a value was returned.
+  ClientId client = 0;
+  RequestId request = 0;
+};
+
+/// An anomalous read detected by the checker.
+struct Anomaly {
+  OpRecord read;
+  std::string reason;
+};
+
+/// Offline read/write linearizability checker in the style the paper
+/// adopts from Facebook TAO's consistency analysis (§4.2): operations are
+/// sorted per key by invocation time and every read is audited against
+/// the write intervals; the output is the list of anomalous reads —
+/// reads that could not have returned their result in any linearizable
+/// execution.
+///
+/// Requires written values to be unique per key (the benchmark workload
+/// guarantees this), which lets each read be mapped to the write that
+/// produced its value:
+///  - a read of value v is anomalous if v's write started after the read
+///    completed (read from the future), or if some other write completed
+///    entirely between v's write and the read (stale read);
+///  - a not-found read is anomalous if any write to the key completed
+///    before the read began.
+class LinearizabilityChecker {
+ public:
+  void Add(const OpRecord& op);
+  void AddAll(const std::vector<OpRecord>& ops);
+
+  /// Runs the audit over everything added so far.
+  std::vector<Anomaly> Check() const;
+
+  std::size_t num_ops() const { return ops_.size(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_CHECKER_LINEARIZABILITY_H_

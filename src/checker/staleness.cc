@@ -1,0 +1,70 @@
+#include "checker/staleness.h"
+
+#include <algorithm>
+#include <map>
+
+namespace paxi {
+
+StalenessReport CheckBoundedStaleness(const std::vector<OpRecord>& ops,
+                                      Time bound) {
+  StalenessReport report;
+
+  std::map<Key, std::vector<const OpRecord*>> by_key;
+  for (const OpRecord& op : ops) by_key[op.key].push_back(&op);
+
+  for (auto& [key, key_ops] : by_key) {
+    (void)key;
+    std::vector<const OpRecord*> writes;
+    std::map<Value, const OpRecord*> write_by_value;
+    for (const OpRecord* op : key_ops) {
+      if (op->is_write) {
+        writes.push_back(op);
+        write_by_value[op->value] = op;
+      }
+    }
+
+    for (const OpRecord* op : key_ops) {
+      if (op->is_write) continue;
+      const OpRecord& read = *op;
+      if (!read.found) {
+        // A not-found read is as stale as the oldest completed write.
+        Time staleness = 0;
+        for (const OpRecord* w : writes) {
+          if (w->response < read.invoke) {
+            staleness = std::max(staleness, read.invoke - w->response);
+          }
+        }
+        report.read_staleness.push_back(staleness);
+        if (staleness > bound) {
+          report.violations.push_back(
+              {read, "not-found read is staler than the bound"});
+        }
+        continue;
+      }
+      auto it = write_by_value.find(read.value);
+      if (it == write_by_value.end()) {
+        report.read_staleness.push_back(0);
+        report.violations.push_back(
+            {read, "read returned a value never written: " + read.value});
+        continue;
+      }
+      const OpRecord& w = *it->second;
+      // Earliest overwrite of w that completed before the read began.
+      Time staleness = 0;
+      for (const OpRecord* w2 : writes) {
+        if (w2 == &w) continue;
+        if (w2->invoke > w.response && w2->response < read.invoke) {
+          staleness = std::max(staleness, read.invoke - w2->response);
+        }
+      }
+      report.read_staleness.push_back(staleness);
+      if (staleness > bound) {
+        report.violations.push_back(
+            {read, "stale read exceeds the staleness bound"});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace paxi

@@ -1,0 +1,47 @@
+#ifndef PAXI_CHECKER_STALENESS_H_
+#define PAXI_CHECKER_STALENESS_H_
+
+#include <vector>
+
+#include "checker/linearizability.h"
+
+namespace paxi {
+
+/// Bounded-staleness audit — the relaxed-consistency direction the paper
+/// names as future work (§7: "bounded-consistency and session
+/// consistency"). Where the linearizability checker rejects any stale
+/// read, this checker *quantifies* staleness and enforces a bound.
+///
+/// For a read returning value v (written by w), the read is stale if some
+/// other write w2 to the same key completed entirely between w and the
+/// read's invocation; its staleness is how long before the read's
+/// invocation the overwrite completed: `read.invoke - w2.response` for
+/// the earliest such w2. Fresh reads have staleness 0.
+struct StalenessReport {
+  /// Staleness of every audited read, in virtual-time units (0 = fresh).
+  std::vector<Time> read_staleness;
+  /// Reads whose staleness exceeded the bound.
+  std::vector<Anomaly> violations;
+
+  std::size_t stale_reads() const {
+    std::size_t n = 0;
+    for (Time t : read_staleness) n += t > 0;
+    return n;
+  }
+  Time max_staleness() const {
+    Time max = 0;
+    for (Time t : read_staleness) max = std::max(max, t);
+    return max;
+  }
+};
+
+/// Audits `ops` (unique written values per key, as produced by the
+/// benchmark workload) against a staleness bound. `bound` in virtual
+/// time; reads of never-written / phantom values are reported as
+/// violations regardless of the bound.
+StalenessReport CheckBoundedStaleness(const std::vector<OpRecord>& ops,
+                                      Time bound);
+
+}  // namespace paxi
+
+#endif  // PAXI_CHECKER_STALENESS_H_

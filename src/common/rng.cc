@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace paxi {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* x) {
+  std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four xoshiro words with SplitMix64, as recommended by the
+  // xoshiro authors, so that a zero seed still produces a sound stream.
+  for (auto& word : state_) word = SplitMix64(&seed);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return lo + static_cast<std::int64_t>(Next() % span);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+std::int64_t Rng::Zipf(std::int64_t n, double s, double v) {
+  assert(n > 0);
+  assert(s > 1.0);
+  assert(v >= 1.0);
+  // Rejection-inversion sampling (Hormann & Derflinger 1996), the same
+  // algorithm Go's math/rand Zipf generator uses — matching Paxi.
+  const double q = s;
+  auto h = [&](double x) {
+    return std::exp((1.0 - q) * std::log(v + x)) / (1.0 - q);
+  };
+  auto h_inv = [&](double x) {
+    return -v + std::exp((1.0 / (1.0 - q)) * std::log((1.0 - q) * x));
+  };
+  const double imax = static_cast<double>(n - 1);
+  const double hx0 = h(0.5) - std::exp(-q * std::log(v));
+  const double himax = h(imax + 0.5);
+  const double s_cut = 1.0 - h_inv(h(1.5) - std::exp(-q * std::log(v + 1.0)));
+  for (;;) {
+    const double u = himax + NextDouble() * (hx0 - himax);
+    const double x = h_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 0.0) k = 0.0;
+    if (k > imax) k = imax;
+    if (k - x <= s_cut ||
+        u >= h(k + 0.5) - std::exp(-q * std::log(v + k))) {
+      return static_cast<std::int64_t>(k);
+    }
+  }
+}
+
+}  // namespace paxi

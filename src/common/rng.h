@@ -1,0 +1,62 @@
+#ifndef PAXI_COMMON_RNG_H_
+#define PAXI_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace paxi {
+
+/// Deterministic pseudo-random number generator (xoshiro256++) with the
+/// sampling helpers the simulator and workload generator need.
+///
+/// Every stochastic component takes an explicit `Rng&` (or a seed) so that
+/// simulations and benchmarks are reproducible run-to-run; there is no
+/// global RNG state in the library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Normal variate via Box-Muller. (The paper models LAN RTTs as Normal.)
+  double Normal(double mean, double stddev);
+
+  /// Exponential variate with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  /// Zipfian-distributed integer in [0, n). `s` is the skew exponent and
+  /// `v` shifts the rank, matching Paxi's Zipfian_s / Zipfian_v parameters
+  /// (Table 3). Uses rejection-inversion sampling so it stays O(1) even
+  /// for large n.
+  std::int64_t Zipf(std::int64_t n, double s, double v);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  // Cached second Box-Muller variate.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_RNG_H_

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paxi {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv_squared() const {
+  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  return variance() / (mean_ * mean_);
+}
+
+void Sampler::Add(double x) {
+  if (!samples_.empty() && x < samples_.back()) sorted_ = false;
+  samples_.push_back(x);
+}
+
+void Sampler::Merge(const Sampler& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double Sampler::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Sampler::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Sampler::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Sampler::EnsureSorted() const {
+  if (sorted_) return;
+  auto* self = const_cast<Sampler*>(this);
+  std::sort(self->samples_.begin(), self->samples_.end());
+  self->sorted_ = true;
+}
+
+double Sampler::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Sampler::Cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  EnsureSorted();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples_.size()))) - 1;
+    out.emplace_back(samples_[std::min(idx, samples_.size() - 1)], q);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::BucketCenter(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::Density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::ToAscii(std::size_t max_width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+  std::string out;
+  char line[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%8.4f | ", BucketCenter(i));
+    out += line;
+    const auto bar = counts_[i] * max_width / peak;
+    out.append(bar, '#');
+    out += "  ";
+    out += std::to_string(counts_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace paxi

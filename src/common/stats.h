@@ -1,0 +1,95 @@
+#ifndef PAXI_COMMON_STATS_H_
+#define PAXI_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace paxi {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Squared coefficient of variation (sigma/mean)^2, the C_a / C_s term
+  /// in the G/G/1 waiting-time approximation (Table 1 of the paper).
+  double cv_squared() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples for percentile / CDF reporting. Used for the
+/// latency series behind every figure; keeps all samples (benchmark runs
+/// here are bounded, so memory is not a concern).
+class Sampler {
+ public:
+  void Add(double x);
+  void Merge(const Sampler& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// p in [0, 100]. Nearest-rank percentile on the sorted samples.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// CDF evaluated at `points` equally spaced quantiles: pairs of
+  /// (value, cumulative probability). Used for Fig. 13b.
+  std::vector<std::pair<double, double>> Cdf(std::size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// boundary buckets. Renders the Fig. 3 RTT histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Midpoint of bucket i.
+  double BucketCenter(std::size_t i) const;
+  std::size_t BucketCount(std::size_t i) const { return counts_[i]; }
+  /// Probability density estimate for bucket i (count / total / width).
+  double Density(std::size_t i) const;
+
+  /// ASCII rendering, one row per bucket, bar length proportional to count.
+  std::string ToAscii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_STATS_H_

@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+namespace paxi {
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace paxi

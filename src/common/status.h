@@ -1,0 +1,118 @@
+#ifndef PAXI_COMMON_STATUS_H_
+#define PAXI_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace paxi {
+
+/// Error handling follows the RocksDB/LevelDB idiom: library code never
+/// throws across the public API; fallible operations return a `Status`
+/// (or a `Result<T>` carrying a value on success).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kTimedOut,
+    kUnavailable,
+    kAborted,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, e.g. "NotFound: key 42".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-Status holder, analogous to absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call
+  /// sites terse: `return value;` / `return Status::NotFound();`.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from Status requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_STATUS_H_

@@ -1,0 +1,96 @@
+#ifndef PAXI_COMMON_TYPES_H_
+#define PAXI_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+
+namespace paxi {
+
+/// Virtual time in the simulation, in microseconds. The discrete-event
+/// kernel (src/sim) advances this clock; all latency/throughput metrics
+/// are derived from it.
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+/// Converts a duration in (fractional) milliseconds to Time.
+constexpr Time FromMillis(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts Time to fractional milliseconds (for reporting).
+constexpr double ToMillis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Node identifier, following Paxi's "zone.node" scheme: a node lives in a
+/// zone (region/datacenter) and has an index within that zone. Both are
+/// 1-based to match the paper's deployment notation; `Invalid()` is {0,0}.
+struct NodeId {
+  std::int32_t zone = 0;
+  std::int32_t node = 0;
+
+  static constexpr NodeId Invalid() { return NodeId{0, 0}; }
+
+  bool valid() const { return zone > 0 && node > 0; }
+
+  /// Renders as "zone.node", e.g. "2.1".
+  std::string ToString() const {
+    return std::to_string(zone) + "." + std::to_string(node);
+  }
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+/// Paxos ballot number: a monotonically increasing counter paired with the
+/// id of the node that created it, so that ballots from different nodes
+/// never compare equal. Ordered first by counter, then by node id.
+struct Ballot {
+  std::int64_t n = 0;
+  NodeId id = NodeId::Invalid();
+
+  bool valid() const { return n > 0; }
+
+  /// The next ballot owned by `owner` that is strictly greater than this.
+  Ballot Next(NodeId owner) const { return Ballot{n + 1, owner}; }
+
+  std::string ToString() const {
+    return std::to_string(n) + "@" + id.ToString();
+  }
+
+  friend bool operator==(const Ballot&, const Ballot&) = default;
+  friend auto operator<=>(const Ballot&, const Ballot&) = default;
+};
+
+/// Keys in the replicated key-value store. The paper's benchmarks draw
+/// integer keys from K-sized pools (Table 3).
+using Key = std::int64_t;
+
+/// Values are opaque strings.
+using Value = std::string;
+
+/// Per-client monotonically increasing request id.
+using RequestId = std::int64_t;
+
+/// Client identifier (clients are numbered per zone, like nodes).
+using ClientId = std::int32_t;
+
+/// A slot in a replicated log.
+using Slot = std::int64_t;
+
+}  // namespace paxi
+
+template <>
+struct std::hash<paxi::NodeId> {
+  std::size_t operator()(const paxi::NodeId& id) const noexcept {
+    return std::hash<std::int64_t>()(
+        (static_cast<std::int64_t>(id.zone) << 32) | id.node);
+  }
+};
+
+#endif  // PAXI_COMMON_TYPES_H_

@@ -1,0 +1,127 @@
+#include "core/client.h"
+
+#include <cassert>
+#include <utility>
+
+namespace paxi {
+
+Client::Client(ClientId cid, int zone, Simulator* sim, Transport* transport,
+               const Config* config)
+    : id_(NodeId{zone, kClientNodeBase + cid}),
+      cid_(cid),
+      sim_(sim),
+      transport_(transport),
+      config_(config) {
+  assert(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
+}
+
+void Client::Issue(Command cmd, NodeId target, Callback done) {
+  const RequestId rid = next_request_++;
+  cmd.client = cid_;
+  cmd.request = rid;
+  Pending p;
+  p.cmd = std::move(cmd);
+  p.target = target;
+  p.done = std::move(done);
+  p.issued_at = sim_->Now();
+  auto [it, inserted] = pending_.emplace(rid, std::move(p));
+  assert(inserted);
+  (void)inserted;
+  ++issued_;
+  SendRequest(it->second);
+  ArmTimeout(rid, it->second.epoch);
+}
+
+void Client::Put(Key key, Value value, NodeId target, Callback done) {
+  Command cmd;
+  cmd.op = Command::Op::kPut;
+  cmd.key = key;
+  cmd.value = std::move(value);
+  Issue(std::move(cmd), target, std::move(done));
+}
+
+void Client::Get(Key key, NodeId target, Callback done) {
+  Command cmd;
+  cmd.op = Command::Op::kGet;
+  cmd.key = key;
+  Issue(std::move(cmd), target, std::move(done));
+}
+
+void Client::SendRequest(const Pending& p) {
+  ClientRequest req;
+  req.cmd = p.cmd;
+  req.client_addr = id_;
+  req.issued_at = p.issued_at;
+  req.from = id_;
+  transport_->Send(p.target, std::make_shared<const ClientRequest>(req),
+                   sim_->Now());
+}
+
+void Client::ArmTimeout(RequestId rid, std::uint64_t epoch) {
+  sim_->After(config_->client_timeout, [this, rid, epoch]() {
+    auto it = pending_.find(rid);
+    if (it == pending_.end() || it->second.epoch != epoch) return;
+    Pending& p = it->second;
+    ++timeouts_;
+    if (p.attempts >= kMaxAttempts) {
+      Reply reply;
+      reply.status = Status::TimedOut("request " + std::to_string(rid));
+      reply.latency = sim_->Now() - p.issued_at;
+      reply.attempts = p.attempts;
+      Callback done = std::move(p.done);
+      pending_.erase(it);
+      done(reply);
+      return;
+    }
+    ++p.attempts;
+    ++p.epoch;
+    p.target = NextTarget(p.target);
+    SendRequest(p);
+    ArmTimeout(rid, p.epoch);
+  });
+}
+
+NodeId Client::NextTarget(NodeId current) const {
+  // Round-robin over the replica list so a retry lands on a different node
+  // (the previous target may be crashed or partitioned away).
+  const auto nodes = config_->Nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == current) return nodes[(i + 1) % nodes.size()];
+  }
+  return nodes.empty() ? current : nodes.front();
+}
+
+void Client::Deliver(MessagePtr msg) {
+  const auto* reply = dynamic_cast<const ClientReply*>(msg.get());
+  if (reply == nullptr || reply->client != cid_) return;
+  auto it = pending_.find(reply->request);
+  if (it == pending_.end()) return;  // duplicate or post-timeout reply
+  Pending& p = it->second;
+  if (!reply->ok && p.attempts < kMaxAttempts) {
+    // Rejected (e.g. by a non-leader): retry immediately, following the
+    // leader hint when one was provided.
+    ++p.attempts;
+    ++p.epoch;
+    p.target = reply->leader_hint.valid() &&
+                       reply->leader_hint.node < Client::kClientNodeBase
+                   ? reply->leader_hint
+                   : NextTarget(p.target);
+    SendRequest(p);
+    ArmTimeout(reply->request, p.epoch);
+    return;
+  }
+  Reply out;
+  out.status = reply->ok ? Status::Ok() : Status::Unavailable("rejected");
+  if (reply->ok && p.cmd.IsRead() && !reply->found) {
+    out.status = Status::NotFound("key " + std::to_string(p.cmd.key));
+  }
+  out.value = reply->value;
+  out.found = reply->found;
+  out.latency = sim_->Now() - p.issued_at;
+  out.attempts = p.attempts;
+  Callback done = std::move(p.done);
+  pending_.erase(it);
+  done(out);
+}
+
+}  // namespace paxi

@@ -1,0 +1,89 @@
+#ifndef PAXI_CORE_CLIENT_H_
+#define PAXI_CORE_CLIENT_H_
+
+#include <functional>
+#include <map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+
+/// Client endpoint: issues commands to replicas, measures round-trip
+/// latency, and retries on timeout (round-robin over replicas, honoring
+/// leader hints). The counterpart of Paxi's RESTful client library (§4.1),
+/// minus HTTP: requests are ClientRequest messages over the same transport,
+/// so the client-to-leader distance D_L is modeled by the topology.
+///
+/// Clients model no processing cost — the paper's queueing analysis puts
+/// the bottleneck at replicas, and benchmark clients must not be one.
+class Client : public Endpoint {
+ public:
+  struct Reply {
+    Status status;     ///< OK, NotFound (read miss), or TimedOut (gave up).
+    Value value;       ///< Read result when found.
+    bool found = false;
+    Time latency = 0;  ///< Issue-to-reply round trip in virtual time.
+    int attempts = 1;  ///< 1 = first try succeeded.
+  };
+  using Callback = std::function<void(const Reply&)>;
+
+  /// Client ids are packed into NodeId{zone, kClientNodeBase + index} so
+  /// they share the replica address space and latency model.
+  static constexpr std::int32_t kClientNodeBase = 1000;
+
+  Client(ClientId cid, int zone, Simulator* sim, Transport* transport,
+         const Config* config);
+
+  NodeId id() const override { return id_; }
+  ClientId client_id() const { return cid_; }
+  int zone() const { return id_.zone; }
+
+  /// Issues `cmd` to `target`. Fills in the command's client/request ids.
+  /// `done` fires exactly once, on reply or final timeout.
+  void Issue(Command cmd, NodeId target, Callback done);
+
+  /// Convenience wrappers used by examples.
+  void Put(Key key, Value value, NodeId target, Callback done);
+  void Get(Key key, NodeId target, Callback done);
+
+  void Deliver(MessagePtr msg) override;
+
+  std::size_t timeouts() const { return timeouts_; }
+  std::size_t issued() const { return issued_; }
+
+  /// Maximum retry attempts before reporting TimedOut.
+  static constexpr int kMaxAttempts = 5;
+
+ private:
+  struct Pending {
+    Command cmd;
+    NodeId target;
+    Callback done;
+    Time issued_at = 0;
+    int attempts = 1;
+    std::uint64_t epoch = 0;  ///< Guards stale timeout events.
+  };
+
+  void SendRequest(const Pending& p);
+  void ArmTimeout(RequestId rid, std::uint64_t epoch);
+  NodeId NextTarget(NodeId current) const;
+
+  NodeId id_;
+  ClientId cid_;
+  Simulator* sim_;
+  Transport* transport_;
+  const Config* config_;
+  RequestId next_request_ = 1;
+  std::map<RequestId, Pending> pending_;
+  std::size_t timeouts_ = 0;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_CORE_CLIENT_H_

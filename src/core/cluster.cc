@@ -1,0 +1,152 @@
+#include "core/cluster.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "net/latency.h"
+#include "protocols/epaxos/epaxos.h"
+#include "protocols/fpaxos/fpaxos.h"
+#include "protocols/paxos/paxos.h"
+#include "protocols/mencius/mencius.h"
+#include "protocols/raft/raft.h"
+#include "protocols/vpaxos/vpaxos.h"
+#include "protocols/wankeeper/wankeeper.h"
+#include "protocols/wpaxos/wpaxos.h"
+
+namespace paxi {
+namespace {
+
+struct RegistryEntry {
+  NodeFactory factory;
+  ProtocolTraits traits;
+};
+
+std::unordered_map<std::string, RegistryEntry>& Registry() {
+  static auto* registry =
+      new std::unordered_map<std::string, RegistryEntry>();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterProtocol(const std::string& name, NodeFactory factory,
+                      ProtocolTraits traits) {
+  Registry()[name] = RegistryEntry{std::move(factory), traits};
+}
+
+void RegisterBuiltinProtocols() {
+  static const bool done = [] {
+    RegisterPaxosProtocol();
+    RegisterFPaxosProtocol();
+    RegisterRaftProtocol();
+    RegisterMenciusProtocol();
+    RegisterEPaxosProtocol();
+    RegisterWPaxosProtocol();
+    RegisterWanKeeperProtocol();
+    RegisterVPaxosProtocol();
+    return true;
+  }();
+  (void)done;
+}
+
+std::vector<std::string> RegisteredProtocols() {
+  RegisterBuiltinProtocols();
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, entry] : Registry()) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+NodeId ParseNodeId(const std::string& text) {
+  const auto dot = text.find('.');
+  if (dot == std::string::npos) return NodeId::Invalid();
+  const int zone = std::atoi(text.substr(0, dot).c_str());
+  const int node = std::atoi(text.substr(dot + 1).c_str());
+  if (zone <= 0 || node <= 0) return NodeId::Invalid();
+  return NodeId{zone, node};
+}
+
+Cluster::Cluster(Config config) : config_(std::move(config)) {
+  RegisterBuiltinProtocols();
+  auto it = Registry().find(config_.protocol);
+  assert(it != Registry().end() && "unknown protocol");
+  traits_ = it->second.traits;
+
+  leader_ = ParseNodeId(config_.GetParam("leader", "1.1"));
+  if (!leader_.valid()) leader_ = NodeId{1, 1};
+
+  sim_ = std::make_unique<Simulator>(config_.seed);
+  transport_ = std::make_unique<Transport>(
+      sim_.get(),
+      std::make_shared<TopologyLatencyModel>(config_.topology),
+      config_.ordered_transport);
+
+  node_ids_ = config_.Nodes();
+  Node::Env env{sim_.get(), transport_.get(), &config_};
+  for (const NodeId& id : node_ids_) {
+    auto node = it->second.factory(id, env, config_);
+    transport_->Register(node.get());
+    nodes_.emplace(id, std::move(node));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Start() {
+  for (const NodeId& id : node_ids_) nodes_.at(id)->Start();
+}
+
+Node* Cluster::node(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Client* Cluster::NewClient(int zone) {
+  auto client = std::make_unique<Client>(next_client_++, zone, sim_.get(),
+                                         transport_.get(), &config_);
+  transport_->Register(client.get());
+  clients_.push_back(std::move(client));
+  return clients_.back().get();
+}
+
+NodeId Cluster::TargetFor(int zone) const {
+  if (traits_.single_leader) return leader_;
+  return NodeId{zone, 1};
+}
+
+NodeId Cluster::TargetForClient(int zone, ClientId cid) const {
+  if (config_.GetParamBool("spread_clients", false)) {
+    // Spread clients over every replica regardless of protocol traits —
+    // used by relaxed-consistency deployments where followers serve reads.
+    const auto& all = node_ids_;
+    return all[static_cast<std::size_t>(cid) % all.size()];
+  }
+  if (traits_.single_leader) return leader_;
+  if (traits_.leaderless) {
+    const auto in_zone = config_.NodesIn(zone);
+    return in_zone[static_cast<std::size_t>(cid) % in_zone.size()];
+  }
+  return NodeId{zone, 1};
+}
+
+void Cluster::RunFor(Time duration) { sim_->RunUntil(sim_->Now() + duration); }
+
+void Cluster::CrashNode(NodeId id, Time duration) {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end());
+  it->second->Crash(duration);
+}
+
+std::size_t Cluster::TotalMessagesProcessed() const {
+  std::size_t total = 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    total += node->messages_processed();
+  }
+  return total;
+}
+
+}  // namespace paxi

@@ -1,0 +1,114 @@
+#ifndef PAXI_CORE_CLUSTER_H_
+#define PAXI_CORE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/client.h"
+#include "core/config.h"
+#include "core/node.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+
+/// Creates a replica of the given protocol. Protocol modules register one
+/// of these under their name.
+using NodeFactory =
+    std::function<std::unique_ptr<Node>(NodeId, Node::Env, const Config&)>;
+
+/// Static knowledge the harness needs about a protocol.
+struct ProtocolTraits {
+  /// True for protocols where clients should address a fixed leader
+  /// (Paxos, FPaxos, Raft); false for multi-leader/leaderless protocols
+  /// where clients talk to the nearest replica.
+  bool single_leader = false;
+  /// True for leaderless protocols (EPaxos) where every replica is an
+  /// opportunistic leader and clients spread across all of them.
+  bool leaderless = false;
+};
+
+/// Registers a protocol implementation; typically called once at startup.
+/// Re-registering a name replaces the previous entry.
+void RegisterProtocol(const std::string& name, NodeFactory factory,
+                      ProtocolTraits traits);
+
+/// Ensures all built-in protocols (paxos, fpaxos, raft, mencius, epaxos,
+/// wpaxos, wankeeper, vpaxos) are registered. Idempotent; Cluster calls it.
+void RegisterBuiltinProtocols();
+
+/// Names of all registered protocols.
+std::vector<std::string> RegisteredProtocols();
+
+/// An in-process deployment: simulator + transport + one replica per
+/// NodeId of the config, running the configured protocol — Paxi's cluster
+/// "simulation mode" (§4.1 Networking), here as the primary mode, with
+/// virtual time standing in for the AWS testbed.
+class Cluster {
+ public:
+  explicit Cluster(Config config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Calls Start() on every replica (leader election, heartbeats). Must be
+  /// called once before issuing traffic; runs no events itself.
+  void Start();
+
+  Simulator& sim() { return *sim_; }
+  Transport& transport() { return *transport_; }
+  const Config& config() const { return config_; }
+
+  const std::vector<NodeId>& nodes() const { return node_ids_; }
+  Node* node(NodeId id);
+
+  /// Creates a client homed in `zone`. Owned by the cluster.
+  Client* NewClient(int zone);
+
+  /// Where a client in `zone` should send requests: the configured leader
+  /// for single-leader protocols, the zone's first replica otherwise.
+  NodeId TargetFor(int zone) const;
+
+  /// Per-client target: like TargetFor, but for leaderless protocols
+  /// clients are spread round-robin over the zone's replicas so every node
+  /// acts as an opportunistic leader.
+  NodeId TargetForClient(int zone, ClientId cid) const;
+
+  /// The configured leader (param "leader", default "1.1"); meaningful for
+  /// single-leader protocols.
+  NodeId leader() const { return leader_; }
+
+  const ProtocolTraits& traits() const { return traits_; }
+
+  /// Runs virtual time forward by `duration`.
+  void RunFor(Time duration);
+
+  /// Freezes a node for `duration` (availability experiments).
+  void CrashNode(NodeId id, Time duration);
+
+  /// Sum of messages processed across replicas; per-node counters are on
+  /// Node itself.
+  std::size_t TotalMessagesProcessed() const;
+
+ private:
+  Config config_;
+  ProtocolTraits traits_;
+  NodeId leader_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<NodeId> node_ids_;
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  ClientId next_client_ = 1;
+};
+
+/// Parses "z.n" into a NodeId; Invalid() on malformed input.
+NodeId ParseNodeId(const std::string& text);
+
+}  // namespace paxi
+
+#endif  // PAXI_CORE_CLUSTER_H_

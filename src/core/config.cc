@@ -1,0 +1,168 @@
+#include "core/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace paxi {
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::vector<NodeId> Config::Nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(num_nodes()));
+  for (int z = 1; z <= zones; ++z) {
+    for (int n = 1; n <= nodes_per_zone; ++n) {
+      out.push_back(NodeId{z, n});
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Config::NodesIn(int zone) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(nodes_per_zone));
+  for (int n = 1; n <= nodes_per_zone; ++n) out.push_back(NodeId{zone, n});
+  return out;
+}
+
+std::string Config::GetParam(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::int64_t Config::GetParamInt(const std::string& key,
+                                 std::int64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetParamDouble(const std::string& key, double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetParamBool(const std::string& key, bool fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Result<Config> Config::FromString(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": empty key or value");
+    }
+    if (key.rfind("param.", 0) == 0) {
+      cfg.params[key.substr(6)] = value;
+    } else if (key == "zones") {
+      cfg.zones = std::atoi(value.c_str());
+    } else if (key == "nodes_per_zone") {
+      cfg.nodes_per_zone = std::atoi(value.c_str());
+    } else if (key == "protocol") {
+      cfg.protocol = value;
+    } else if (key == "seed") {
+      cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "proc_in_us") {
+      cfg.proc_in_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "proc_out_us") {
+      cfg.proc_out_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "bandwidth_bps") {
+      cfg.bandwidth_bps = std::strtod(value.c_str(), nullptr);
+    } else if (key == "message_bytes") {
+      cfg.message_bytes = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "ordered_transport") {
+      cfg.ordered_transport = value == "true" || value == "1";
+    } else if (key == "topology") {
+      if (value == "lan") {
+        // Applied after parsing (needs final zone count); mark via params.
+        cfg.params["__topology"] = "lan";
+      } else if (value == "wan5") {
+        cfg.params["__topology"] = "wan5";
+      } else {
+        return Status::InvalidArgument("unknown topology: " + value);
+      }
+    } else {
+      return Status::InvalidArgument("unknown key: " + key);
+    }
+  }
+  if (cfg.zones <= 0 || cfg.nodes_per_zone <= 0) {
+    return Status::InvalidArgument("zones and nodes_per_zone must be > 0");
+  }
+  const std::string topo = cfg.GetParam("__topology", "lan");
+  cfg.params.erase("__topology");
+  if (topo == "wan5") {
+    if (cfg.zones != kNumRegions) {
+      return Status::InvalidArgument("wan5 topology requires zones = 5");
+    }
+    cfg.topology = Topology::WanFiveRegions();
+  } else {
+    cfg.topology = Topology::Lan(cfg.zones);
+  }
+  return cfg;
+}
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromString(buf.str());
+}
+
+Config Config::Lan9(const std::string& protocol_name) {
+  Config cfg;
+  cfg.zones = 1;
+  cfg.nodes_per_zone = 9;
+  cfg.topology = Topology::Lan(1);
+  cfg.protocol = protocol_name;
+  return cfg;
+}
+
+Config Config::LanGrid3x3(const std::string& protocol_name) {
+  Config cfg;
+  cfg.zones = 3;
+  cfg.nodes_per_zone = 3;
+  cfg.topology = Topology::Lan(3);
+  cfg.protocol = protocol_name;
+  return cfg;
+}
+
+Config Config::Wan5(const std::string& protocol_name, int nodes_per_region) {
+  Config cfg;
+  cfg.zones = kNumRegions;
+  cfg.nodes_per_zone = nodes_per_region;
+  cfg.topology = Topology::WanFiveRegions();
+  cfg.protocol = protocol_name;
+  return cfg;
+}
+
+}  // namespace paxi

@@ -1,0 +1,85 @@
+#ifndef PAXI_CORE_CONFIG_H_
+#define PAXI_CORE_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace paxi {
+
+/// Deployment + protocol configuration, the counterpart of Paxi's JSON
+/// config (§4.1). A Config fully determines a cluster: topology, node
+/// placement, the node processing model of §3.3, the protocol under test
+/// and its parameters.
+struct Config {
+  // --- Deployment ---------------------------------------------------------
+  /// Zones (regions) and replicas per zone. LAN experiments use 1x9 or 3x3;
+  /// WAN experiments use the 5-region topology with nodes_per_zone each.
+  int zones = 1;
+  int nodes_per_zone = 9;
+  Topology topology = Topology::Lan(1);
+
+  // --- Node processing model (paper §3.3), calibrated to m5.large ---------
+  /// CPU time to process one incoming message (t_i), microseconds.
+  Time proc_in_us = 9;
+  /// CPU time to serialize one outgoing message/broadcast (t_o), us.
+  Time proc_out_us = 15;
+  /// NIC bandwidth available at each node (b), bits per second.
+  double bandwidth_bps = 1e9;
+  /// Default message size (s_m), bytes; messages may override ByteSize().
+  std::size_t message_bytes = 100;
+
+  // --- Transport -----------------------------------------------------------
+  /// TCP-like per-link FIFO ordering (true) or UDP-like unordered (false).
+  bool ordered_transport = true;
+
+  // --- Protocol ------------------------------------------------------------
+  std::string protocol = "paxos";
+  /// Protocol-specific knobs, e.g. {"q2","3"} for FPaxos, {"fz","1"} for
+  /// WPaxos, {"penalty","2.0"} for EPaxos.
+  std::map<std::string, std::string> params;
+
+  /// Client request timeout before retrying (possibly at another node).
+  Time client_timeout = 2 * kSecond;
+
+  std::uint64_t seed = 1;
+
+  // --- Helpers -------------------------------------------------------------
+  int num_nodes() const { return zones * nodes_per_zone; }
+
+  /// All replica ids, zone-major: 1.1, 1.2, ..., 2.1, ...
+  std::vector<NodeId> Nodes() const;
+
+  /// Replica ids in `zone`.
+  std::vector<NodeId> NodesIn(int zone) const;
+
+  std::string GetParam(const std::string& key,
+                       const std::string& fallback) const;
+  std::int64_t GetParamInt(const std::string& key, std::int64_t fallback) const;
+  double GetParamDouble(const std::string& key, double fallback) const;
+  bool GetParamBool(const std::string& key, bool fallback) const;
+
+  /// Parses a simple `key = value` config text (one pair per line, `#`
+  /// comments). Recognized keys: zones, nodes_per_zone, topology (lan|wan5),
+  /// protocol, seed, proc_in_us, proc_out_us, bandwidth_bps, message_bytes,
+  /// ordered_transport, and `param.<name>` for protocol parameters.
+  static Result<Config> FromString(const std::string& text);
+  static Result<Config> FromFile(const std::string& path);
+
+  // --- Canned deployments used throughout the paper -----------------------
+  /// 9 replicas in one LAN zone (Figs. 4, 7, 9).
+  static Config Lan9(const std::string& protocol_name);
+  /// 3 zones x 3 replicas in a LAN (WPaxos/WanKeeper LAN grid).
+  static Config LanGrid3x3(const std::string& protocol_name);
+  /// 5 regions x nodes_per_region replicas across the WAN (Figs. 10-13).
+  static Config Wan5(const std::string& protocol_name,
+                     int nodes_per_region = 3);
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_CORE_CONFIG_H_

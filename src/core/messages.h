@@ -1,0 +1,43 @@
+#ifndef PAXI_CORE_MESSAGES_H_
+#define PAXI_CORE_MESSAGES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "store/command.h"
+
+namespace paxi {
+
+/// Client -> replica: execute one command. Any replica may receive this;
+/// protocols forward it internally (e.g. to the leader or the object's
+/// owner) and some replica eventually answers the client at `client_addr`
+/// directly.
+struct ClientRequest : Message {
+  Command cmd;
+  /// Endpoint id of the issuing client, for the direct reply.
+  NodeId client_addr = NodeId::Invalid();
+  /// Virtual time the client issued the request (round-trip accounting).
+  Time issued_at = 0;
+
+  std::size_t ByteSize() const override { return 100; }
+};
+
+/// Replica -> client: outcome of a command.
+struct ClientReply : Message {
+  RequestId request = 0;
+  ClientId client = 0;
+  bool ok = false;
+  /// Read result for GETs (empty if not found or for PUTs).
+  Value value;
+  /// True when `value` holds a real read result.
+  bool found = false;
+  /// Where future requests should go (leader hint; Invalid if none).
+  NodeId leader_hint = NodeId::Invalid();
+
+  std::size_t ByteSize() const override { return 100; }
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_CORE_MESSAGES_H_

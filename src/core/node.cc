@@ -1,0 +1,111 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi {
+
+Node::Node(NodeId id, Env env)
+    : id_(id),
+      sim_(env.sim),
+      transport_(env.transport),
+      config_(env.config) {
+  assert(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
+  peers_ = config_->Nodes();
+}
+
+std::vector<NodeId> Node::PeersInZone(int zone) const {
+  std::vector<NodeId> out;
+  for (const NodeId& p : peers_) {
+    if (p.zone == zone) out.push_back(p);
+  }
+  return out;
+}
+
+Time Node::ProcOutCost() const {
+  return static_cast<Time>(static_cast<double>(config_->proc_out_us) *
+                           proc_multiplier_);
+}
+
+Time Node::NicTime(std::size_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_->bandwidth_bps;
+  return static_cast<Time>(seconds * static_cast<double>(kSecond));
+}
+
+void Node::Deliver(MessagePtr msg) {
+  // Model the single NIC+CPU processing queue: the message waits for the
+  // queue to drain (and for any freeze to end), then occupies the node for
+  // t_i + s_m/b before its handler runs.
+  const Time start = std::max({sim_->Now(), busy_until_, crashed_until_});
+  const Time cost =
+      static_cast<Time>(static_cast<double>(config_->proc_in_us) *
+                        proc_multiplier_) +
+      NicTime(msg->ByteSize());
+  busy_until_ = start + cost;
+  sim_->At(busy_until_, [this, msg = std::move(msg)]() mutable {
+    Dispatch(std::move(msg));
+  });
+}
+
+void Node::Dispatch(MessagePtr msg) {
+  ++messages_processed_;
+  auto it = handlers_.find(std::type_index(typeid(*msg)));
+  if (it == handlers_.end()) return;  // unhandled type: silently ignored
+  it->second(*msg);
+}
+
+void Node::SendShared(NodeId to, MessagePtr msg) {
+  // Outgoing message: t_o serialization + NIC transfer, queued behind any
+  // in-progress work. The message departs once the NIC is done with it.
+  busy_until_ = std::max(busy_until_, sim_->Now());
+  busy_until_ += ProcOutCost() + NicTime(msg->ByteSize());
+  ++messages_sent_;
+  transport_->Send(to, std::move(msg), busy_until_);
+}
+
+void Node::BroadcastShared(const std::vector<NodeId>& targets,
+                           MessagePtr msg) {
+  if (targets.empty()) return;
+  // One serialization (t_o) for the whole broadcast, then per-destination
+  // NIC time; this is why a leader's CPU cost per round stays ~2 t_o while
+  // NIC cost grows with N.
+  busy_until_ = std::max(busy_until_, sim_->Now());
+  busy_until_ += ProcOutCost();
+  for (const NodeId& to : targets) {
+    busy_until_ += NicTime(msg->ByteSize());
+    ++messages_sent_;
+    transport_->Send(to, msg, busy_until_);
+  }
+}
+
+void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
+                         bool found, NodeId leader_hint) {
+  ClientReply reply;
+  reply.request = req.cmd.request;
+  reply.client = req.cmd.client;
+  reply.ok = ok;
+  reply.value = value;
+  reply.found = found;
+  reply.leader_hint = leader_hint;
+  Send(req.client_addr, std::move(reply));
+}
+
+void Node::Crash(Time duration) {
+  crashed_until_ = std::max(crashed_until_, sim_->Now() + duration);
+  busy_until_ = std::max(busy_until_, crashed_until_);
+}
+
+void Node::SetTimer(Time delay, std::function<void()> fn) {
+  sim_->After(delay, [this, fn = std::move(fn)]() {
+    if (IsCrashed()) {
+      // Postpone timer callbacks past the freeze, preserving order.
+      const Time remaining = crashed_until_ - sim_->Now();
+      sim_->After(remaining, fn);
+      return;
+    }
+    fn();
+  });
+}
+
+}  // namespace paxi

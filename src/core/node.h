@@ -1,0 +1,178 @@
+#ifndef PAXI_CORE_NODE_H_
+#define PAXI_CORE_NODE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+#include "store/kvstore.h"
+
+namespace paxi {
+
+/// Base class for protocol replicas — the counterpart of Paxi's Replica/
+/// Node modules (paper Fig. 5). A protocol implementation subclasses Node,
+/// registers one handler per message type in its constructor, and uses
+/// Send/Broadcast/ReplyToClient; everything else (queueing, processing
+/// costs, timers, the datastore) is provided here.
+///
+/// Performance model (paper §3.2-3.3): each node is a single processing
+/// queue covering CPU + NIC. An incoming message charges t_i CPU plus
+/// s_m/b NIC time; an outgoing send charges t_o plus NIC time; a broadcast
+/// charges t_o once (one serialization) plus NIC time per destination.
+/// Messages queue FIFO behind `busy_until_`, which is exactly what makes a
+/// single leader saturate at 1/t_s.
+class Node : public Endpoint {
+ public:
+  struct Env {
+    Simulator* sim = nullptr;
+    Transport* transport = nullptr;
+    const Config* config = nullptr;
+  };
+
+  Node(NodeId id, Env env);
+  ~Node() override = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const override { return id_; }
+
+  /// Arrival of a message: models the processing queue, then dispatches to
+  /// the handler registered for the message's dynamic type.
+  void Deliver(MessagePtr msg) final;
+
+  /// Hook invoked once the cluster is fully wired, before any traffic.
+  /// Protocols start leadership / heartbeat timers here.
+  virtual void Start() {}
+
+  /// Freezes the node for `duration` (paper §4.2 Crash(t)): no message is
+  /// processed and no timer fires until the freeze ends; arrivals queue up
+  /// behind it.
+  void Crash(Time duration);
+  bool IsCrashed() const { return sim_->Now() < crashed_until_; }
+
+  /// All replica ids in the cluster (zone-major order).
+  const std::vector<NodeId>& peers() const { return peers_; }
+
+  /// Replica ids in `zone`.
+  std::vector<NodeId> PeersInZone(int zone) const;
+
+  /// Read-only access to this replica's state machine, for checkers.
+  const KvStore& store() const { return store_; }
+
+  /// Messages this node has fully processed (handler ran). The busiest-node
+  /// load analysis of §6.1 reads these counters.
+  std::size_t messages_processed() const { return messages_processed_; }
+  std::size_t messages_sent() const { return messages_sent_; }
+
+ protected:
+  /// Registers the handler for message type M (subclass of Message).
+  /// Exactly one handler per type; later registrations replace earlier.
+  template <typename M>
+  void OnMessage(std::function<void(const M&)> handler) {
+    handlers_[std::type_index(typeid(M))] =
+        [handler = std::move(handler)](const Message& msg) {
+          handler(static_cast<const M&>(msg));
+        };
+  }
+
+  /// Sends one message: charges t_o + NIC, stamps `from`, hands to the
+  /// transport with the correct departure time.
+  template <typename M>
+  void Send(NodeId to, M msg) {
+    msg.from = id_;
+    auto ptr = std::make_shared<const M>(std::move(msg));
+    SendShared(to, ptr);
+  }
+
+  /// Re-sends an already-built message (e.g. forwarding a received
+  /// ClientRequest). Charges like Send; restamps the sender.
+  template <typename M>
+  void Forward(NodeId to, const M& msg) {
+    M copy = msg;
+    Send(to, std::move(copy));
+  }
+
+  /// Broadcasts to `targets` (skipping self): one t_o serialization charge,
+  /// then per-destination NIC time — the broadcast optimization the paper's
+  /// model assumes (§5.2 footnote 2).
+  template <typename M>
+  void Broadcast(const std::vector<NodeId>& targets, M msg) {
+    msg.from = id_;
+    auto ptr = std::make_shared<const M>(std::move(msg));
+    BroadcastShared(targets, ptr);
+  }
+
+  /// Convenience: broadcast to every peer (including self via loopback if
+  /// `include_self`; self-delivery still goes through the queue).
+  template <typename M>
+  void BroadcastToAll(M msg, bool include_self = false) {
+    msg.from = id_;
+    auto ptr = std::make_shared<const M>(std::move(msg));
+    std::vector<NodeId> targets;
+    targets.reserve(peers_.size());
+    for (const NodeId& p : peers_) {
+      if (include_self || p != id_) targets.push_back(p);
+    }
+    BroadcastShared(targets, ptr);
+  }
+
+  /// Replies to the client that issued `req`.
+  void ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
+                     bool found, NodeId leader_hint = NodeId::Invalid());
+
+  /// Schedules `fn` after `delay`; if the node is frozen when it fires, the
+  /// callback is postponed to the unfreeze instant.
+  void SetTimer(Time delay, std::function<void()> fn);
+
+  Simulator& sim() { return *sim_; }
+  Time Now() const { return sim_->Now(); }
+  Rng& rng() { return sim_->rng(); }
+  const Config& config() const { return *config_; }
+  Transport& transport() { return *transport_; }
+
+  /// NIC transfer time for a message of `bytes` (s_m / b).
+  Time NicTime(std::size_t bytes) const;
+
+  /// CPU cost of one outgoing serialization (t_o scaled by the multiplier).
+  Time ProcOutCost() const;
+
+  /// Scales this node's CPU costs (t_i, t_o). Protocols with heavier
+  /// per-message work use this: EPaxos charges extra for dependency
+  /// computation and conflict resolution (§5.2), the Raft baseline for
+  /// etcd's HTTP/serialization overhead (§5.1).
+  void SetProcessingMultiplier(double m) { proc_multiplier_ = m; }
+  double processing_multiplier() const { return proc_multiplier_; }
+
+  KvStore store_;
+
+ private:
+  void SendShared(NodeId to, MessagePtr msg);
+  void BroadcastShared(const std::vector<NodeId>& targets, MessagePtr msg);
+  void Dispatch(MessagePtr msg);
+
+  NodeId id_;
+  Simulator* sim_;
+  Transport* transport_;
+  const Config* config_;
+  std::vector<NodeId> peers_;
+  std::unordered_map<std::type_index, std::function<void(const Message&)>>
+      handlers_;
+  Time busy_until_ = 0;
+  Time crashed_until_ = 0;
+  double proc_multiplier_ = 1.0;
+  std::size_t messages_processed_ = 0;
+  std::size_t messages_sent_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_CORE_NODE_H_

@@ -1,0 +1,50 @@
+#include "model/flowchart.h"
+
+namespace paxi::model {
+
+Recommendation RecommendProtocol(const DeploymentProfile& p) {
+  if (!p.need_consensus) {
+    return Recommendation{
+        {"Atomic Storage", "Chain Replication", "Eventually-consistent replication"},
+        "Consensus protocols implement SMR for critical coordination tasks; "
+        "consensus is not required to provide read/write linearizability to "
+        "clients."};
+  }
+  if (!p.wan) {
+    return Recommendation{
+        {"Multi-Paxos", "Raft", "Zab"},
+        "Deployment with a small number of nodes in a LAN preserves decent "
+        "performance even with single-leader protocols, and benefits from a "
+        "simple implementation."};
+  }
+  if (!p.workload_locality) {
+    if (p.read_heavy) {
+      return Recommendation{
+          {"Generalized Paxos", "EPaxos"},
+          "More frequent read operations mean fewer interfering commands, "
+          "which benefits the leaderless approach."};
+    }
+    return Recommendation{
+        {"WPaxos", "Vertical Paxos with cross-region Paxos groups"},
+        "A multi-leader protocol able to dynamically adapt to locality and "
+        "tolerate datacenter failures is the best fit."};
+  }
+  if (!p.dynamic_locality) {
+    return Recommendation{
+        {"Paxos Groups"},
+        "Static locality means a sharding technique works in the best-case "
+        "scenario."};
+  }
+  if (!p.region_failure_concern) {
+    return Recommendation{
+        {"Vertical Paxos", "WanKeeper"},
+        "The group of replicas can be deployed in one region and managed by "
+        "a master or hierarchical architecture."};
+  }
+  return Recommendation{
+      {"WPaxos", "Vertical Paxos with cross-region Paxos groups"},
+      "A multi-leader protocol with the ability to dynamically adapt to "
+      "locality and tolerate datacenter failures is the best fit."};
+}
+
+}  // namespace paxi::model

@@ -1,0 +1,32 @@
+#ifndef PAXI_MODEL_FLOWCHART_H_
+#define PAXI_MODEL_FLOWCHART_H_
+
+#include <string>
+#include <vector>
+
+namespace paxi::model {
+
+/// Answers to the questions of the paper's protocol-selection flowchart
+/// (Fig. 14).
+struct DeploymentProfile {
+  bool need_consensus = true;
+  bool wan = false;
+  bool read_heavy = false;          ///< More reads than writes?
+  bool workload_locality = false;   ///< Is there locality in the workload?
+  bool dynamic_locality = false;    ///< Does the locality shift over time?
+  bool region_failure_concern = false;  ///< Is datacenter failure a concern?
+};
+
+/// One recommendation: the protocols to consider plus the rationale, taken
+/// verbatim from the corresponding flowchart node.
+struct Recommendation {
+  std::vector<std::string> protocols;
+  std::string rationale;
+};
+
+/// Walks Fig. 14 for the given deployment profile.
+Recommendation RecommendProtocol(const DeploymentProfile& profile);
+
+}  // namespace paxi::model
+
+#endif  // PAXI_MODEL_FLOWCHART_H_

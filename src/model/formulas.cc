@@ -1,0 +1,43 @@
+#include "model/formulas.h"
+
+#include <cassert>
+
+namespace paxi::model {
+
+double Load(std::size_t leaders, std::size_t quorum, double conflict) {
+  assert(leaders >= 1);
+  assert(quorum >= 1);
+  const double ld = static_cast<double>(leaders);
+  const double q = static_cast<double>(quorum);
+  return (1.0 + conflict) * (q + ld - 2.0) / ld;
+}
+
+double Capacity(std::size_t leaders, std::size_t quorum, double conflict) {
+  return 1.0 / Load(leaders, quorum, conflict);
+}
+
+double LoadPaxos(std::size_t n) {
+  // L=1, c=0, Q = floor(N/2)+1: (Q + 1 - 2) / 1 = floor(N/2).
+  return static_cast<double>(n / 2);
+}
+
+double LoadEPaxos(std::size_t n, double conflict) {
+  // L=N, Q = floor(N/2)+1: (1+c)(Q + N - 2)/N = (1+c)(floor(N/2)+N-1)/N.
+  const double q = static_cast<double>(n / 2 + 1);
+  const double dn = static_cast<double>(n);
+  return (1.0 + conflict) * (q + dn - 2.0) / dn;
+}
+
+double LoadWPaxos(std::size_t n, std::size_t leaders) {
+  // c=0, per-leader phase-2 quorum Q = N/L: (N/L + L - 2) / L.
+  const double dn = static_cast<double>(n);
+  const double dl = static_cast<double>(leaders);
+  return (dn / dl + dl - 2.0) / dl;
+}
+
+double LatencyFormula(double conflict, double locality, double dl,
+                      double dq) {
+  return (1.0 + conflict) * ((1.0 - locality) * (dl + dq) + locality * dq);
+}
+
+}  // namespace paxi::model

@@ -1,0 +1,41 @@
+#ifndef PAXI_MODEL_FORMULAS_H_
+#define PAXI_MODEL_FORMULAS_H_
+
+#include <cstddef>
+
+namespace paxi::model {
+
+/// The distilled load/capacity/latency formulas of §6 — "a simple unified
+/// theory of strongly-consistent replication".
+///
+/// Parameters (paper §1.2):
+///   L  number of (operation) leaders
+///   Q  quorum size used by a leader in phase-2
+///   c  conflict probability in [0, 1]
+///   l  locality in [0, 1]
+///   DL RTT from request origin to its leader
+///   DQ RTT from the leader to the quorum-forming follower
+
+/// Formula 2/3: Load(S) = (1+c)(Q + L - 2) / L — average operations the
+/// busiest node performs per request.
+double Load(std::size_t leaders, std::size_t quorum, double conflict);
+
+/// Formula 1: Cap(S) = 1 / Load(S) (relative capacity units).
+double Capacity(std::size_t leaders, std::size_t quorum, double conflict);
+
+/// Formula 4: single-leader Paxos with N nodes: Load = floor(N/2).
+double LoadPaxos(std::size_t n);
+
+/// Formula 5: EPaxos: Load = (1+c)(floor(N/2) + N - 1) / N.
+double LoadEPaxos(std::size_t n, double conflict);
+
+/// Formula 6: WPaxos on an L-leader grid over N nodes with per-leader
+/// phase-2 quorum N/L: Load = (N/L + L - 2) / L.
+double LoadWPaxos(std::size_t n, std::size_t leaders);
+
+/// Formula 7: Latency = (1+c) * ((1-l)(DL+DQ) + l*DQ).
+double LatencyFormula(double conflict, double locality, double dl, double dq);
+
+}  // namespace paxi::model
+
+#endif  // PAXI_MODEL_FORMULAS_H_

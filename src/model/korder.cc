@@ -1,0 +1,33 @@
+#include "model/korder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi::model {
+
+double ExpectedKthOrderStatisticNormal(std::size_t k, std::size_t n,
+                                       double mean, double sigma, Rng& rng,
+                                       std::size_t iterations) {
+  assert(k >= 1 && k <= n);
+  assert(iterations > 0);
+  std::vector<double> samples(n);
+  double sum = 0.0;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) samples[i] = rng.Normal(mean, sigma);
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     samples.end());
+    sum += samples[k - 1];
+  }
+  return sum / static_cast<double>(iterations);
+}
+
+double KthSmallest(std::vector<double> values, std::size_t k) {
+  assert(k >= 1 && k <= values.size());
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   values.end());
+  return values[k - 1];
+}
+
+}  // namespace paxi::model

@@ -1,0 +1,26 @@
+#ifndef PAXI_MODEL_KORDER_H_
+#define PAXI_MODEL_KORDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace paxi::model {
+
+/// Expected value of the k-th smallest of `n` i.i.d. Normal(mean, sigma)
+/// samples, estimated by Monte Carlo (paper §3.3: the RTT of the reply
+/// that completes a quorum in a LAN is a k-order statistic of the
+/// follower RTT distribution). k is 1-based; requires 1 <= k <= n.
+double ExpectedKthOrderStatisticNormal(std::size_t k, std::size_t n,
+                                       double mean, double sigma, Rng& rng,
+                                       std::size_t iterations = 20000);
+
+/// k-th smallest element of `values` (1-based). Used for WAN quorums,
+/// where RTTs differ per pair and the paper simply picks the (Q-1)-th
+/// smallest leader-to-follower RTT.
+double KthSmallest(std::vector<double> values, std::size_t k);
+
+}  // namespace paxi::model
+
+#endif  // PAXI_MODEL_KORDER_H_

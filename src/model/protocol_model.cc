@@ -1,0 +1,349 @@
+#include "model/protocol_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "model/korder.h"
+
+namespace paxi::model {
+namespace {
+
+/// Average over all ordered zone pairs (z != w) of the inter-zone RTT —
+/// the expected forwarding distance for a uniformly random remote owner.
+double MeanRemoteRttMs(const Topology& topo, int zones) {
+  if (zones <= 1) return topo.RttMeanMs(1, 1);
+  double sum = 0.0;
+  int count = 0;
+  for (int z = 1; z <= zones; ++z) {
+    for (int w = 1; w <= zones; ++w) {
+      if (z == w) continue;
+      sum += topo.RttMeanMs(z, w);
+      ++count;
+    }
+  }
+  return sum / count;
+}
+
+}  // namespace
+
+double ProtocolModel::RttMs(NodeId a, NodeId b) const {
+  return env_.topology.RttMeanMs(a.zone, b.zone);
+}
+
+std::vector<NodeId> ProtocolModel::AllNodes() const {
+  std::vector<NodeId> out;
+  for (int z = 1; z <= env_.zones; ++z) {
+    for (int n = 1; n <= env_.nodes_per_zone; ++n) out.push_back(NodeId{z, n});
+  }
+  return out;
+}
+
+double ProtocolModel::QuorumWaitMs(NodeId leader,
+                                   const std::vector<NodeId>& followers,
+                                   std::size_t needed) const {
+  if (needed == 0 || followers.empty()) return 0.0;
+  assert(needed <= followers.size());
+  if (!env_.topology.is_wan()) {
+    // LAN: follower RTTs are i.i.d. Normal; the quorum completes on the
+    // needed-th order statistic (§3.3, Monte Carlo).
+    Rng rng(env_.seed);
+    return ExpectedKthOrderStatisticNormal(
+        needed, followers.size(), env_.topology.RttMeanMs(1, 1),
+        env_.topology.RttSigmaMs(1, 1), rng);
+  }
+  // WAN: RTTs differ per pair; pick the needed-th smallest mean (§3.3).
+  std::vector<double> rtts;
+  rtts.reserve(followers.size());
+  for (const NodeId& f : followers) rtts.push_back(RttMs(leader, f));
+  return KthSmallest(std::move(rtts), needed);
+}
+
+double ProtocolModel::MeanClientRttMs(NodeId target) const {
+  double sum = 0.0;
+  for (int z = 1; z <= env_.zones; ++z) {
+    sum += env_.topology.RttMeanMs(z, target.zone);
+  }
+  return sum / env_.zones;
+}
+
+double ProtocolModel::MaxThroughput() const {
+  return 1e6 / EffectiveServiceUs();
+}
+
+double ProtocolModel::LatencyMs(double lambda) const {
+  const double ts_s = EffectiveServiceUs() * 1e-6;
+  QueueParams q;
+  q.lambda = lambda;
+  q.mu = 1.0 / ts_s;
+  q.service_sigma = env_.service_cv * ts_s;
+  q.ca2 = 1.0;
+  q.cs2 = env_.service_cv * env_.service_cv;
+  const double wq_s = WaitTime(env_.queue, q);
+  if (std::isinf(wq_s)) return std::numeric_limits<double>::infinity();
+  return wq_s * 1e3 + OwnRoundServiceUs() * 1e-3 + NetworkLatencyMs();
+}
+
+std::vector<ModelPoint> ProtocolModel::Curve(std::size_t points,
+                                             double fraction_of_max) const {
+  std::vector<ModelPoint> out;
+  const double max = MaxThroughput() * fraction_of_max;
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double lambda = max * static_cast<double>(i) / points;
+    out.push_back(ModelPoint{lambda, LatencyMs(lambda)});
+  }
+  return out;
+}
+
+// --- PaxosModel --------------------------------------------------------------
+
+PaxosModel::PaxosModel(ModelEnv env, NodeId leader, std::size_t q2)
+    : ProtocolModel(std::move(env)), leader_(leader), q2_(q2) {
+  if (q2_ == 0) q2_ = static_cast<std::size_t>(env_.NumNodes()) / 2 + 1;
+}
+
+std::string PaxosModel::Name() const {
+  const auto majority = static_cast<std::size_t>(env_.NumNodes()) / 2 + 1;
+  if (q2_ == majority) return "MultiPaxos";
+  return "FPaxos(|q2|=" + std::to_string(q2_) + ")";
+}
+
+double PaxosModel::EffectiveServiceUs() const {
+  // t_s = 2 t_o + N t_i + 2N s_m/b  (§3.3): per round the leader takes one
+  // client request and N-1 phase-2b replies in, and one broadcast plus one
+  // client reply out; phase-3 is piggybacked.
+  const double n = env_.NumNodes();
+  return 2.0 * env_.node.t_out_us + n * env_.node.t_in_us +
+         2.0 * n * env_.node.NicUs();
+}
+
+double PaxosModel::NetworkLatencyMs() const {
+  std::vector<NodeId> followers;
+  for (const NodeId& node : AllNodes()) {
+    if (node != leader_) followers.push_back(node);
+  }
+  const double dl = MeanClientRttMs(leader_);
+  const double dq = QuorumWaitMs(leader_, followers, q2_ - 1);
+  return dl + dq;
+}
+
+// --- EPaxosModel -------------------------------------------------------------
+
+EPaxosModel::EPaxosModel(ModelEnv env, double conflict, double penalty)
+    : ProtocolModel(std::move(env)),
+      conflict_(std::clamp(conflict, 0.0, 1.0)),
+      penalty_(penalty) {}
+
+std::string EPaxosModel::Name() const {
+  return "EPaxos(c=" + std::to_string(conflict_).substr(0, 4) + ")";
+}
+
+double EPaxosModel::OwnRoundServiceUs() const {
+  const double n = env_.NumNodes();
+  const double ti = env_.node.t_in_us * penalty_;
+  const double to = env_.node.t_out_us * penalty_;
+  const double nic = env_.node.NicUs();
+  // Fast path at the command leader: client in + (N-1) PreAcceptOks in;
+  // PreAccept broadcast + Commit broadcast + client reply out.
+  const double fast =
+      n * ti + 3.0 * to + (n + 2.0 * (n - 1.0) + 1.0) * nic;
+  // A conflict adds an Accept round: broadcast out, N-1 replies in.
+  const double extra =
+      (n - 1.0) * ti + to + ((n - 1.0) + (n - 1.0)) * nic;
+  return fast + conflict_ * extra;
+}
+
+double EPaxosModel::EffectiveServiceUs() const {
+  const double n = env_.NumNodes();
+  const double ti = env_.node.t_in_us * penalty_;
+  const double to = env_.node.t_out_us * penalty_;
+  const double nic = env_.node.NicUs();
+  // Follower duty per (someone else's) round: PreAccept + Commit in,
+  // PreAcceptOk out; a conflict adds Accept in + AcceptOk out.
+  const double follower = 2.0 * ti + to + 3.0 * nic +
+                          conflict_ * (ti + to + 2.0 * nic);
+  // L = N opportunistic leaders share the load evenly.
+  return OwnRoundServiceUs() / n + (1.0 - 1.0 / n) * follower;
+}
+
+double EPaxosModel::FastQuorumWaitMs() const {
+  const auto n = static_cast<std::size_t>(env_.NumNodes());
+  const std::size_t f = n / 2;
+  const std::size_t fq = f + (f + 1) / 2;  // EPaxos optimized fast quorum
+  // Average over command leaders (one per zone is representative).
+  double sum = 0.0;
+  int count = 0;
+  for (int z = 1; z <= env_.zones; ++z) {
+    const NodeId leader{z, 1};
+    std::vector<NodeId> followers;
+    for (const NodeId& node : AllNodes()) {
+      if (node != leader) followers.push_back(node);
+    }
+    sum += QuorumWaitMs(leader, followers, fq - 1);
+    ++count;
+  }
+  return sum / count;
+}
+
+double EPaxosModel::MajorityWaitMs() const {
+  const auto n = static_cast<std::size_t>(env_.NumNodes());
+  const std::size_t maj = n / 2 + 1;
+  double sum = 0.0;
+  int count = 0;
+  for (int z = 1; z <= env_.zones; ++z) {
+    const NodeId leader{z, 1};
+    std::vector<NodeId> followers;
+    for (const NodeId& node : AllNodes()) {
+      if (node != leader) followers.push_back(node);
+    }
+    sum += QuorumWaitMs(leader, followers, maj - 1);
+    ++count;
+  }
+  return sum / count;
+}
+
+double EPaxosModel::NetworkLatencyMs() const {
+  // Clients use their zone's replica as opportunistic leader: l = 1, so
+  // D_L is just the local RTT (§6.2).
+  const double dl = env_.topology.RttMeanMs(1, 1);
+  return dl + FastQuorumWaitMs() + conflict_ * MajorityWaitMs();
+}
+
+// --- WPaxosModel -------------------------------------------------------------
+
+WPaxosModel::WPaxosModel(ModelEnv env, int fz, double locality)
+    : ProtocolModel(std::move(env)),
+      fz_(std::clamp(fz, 0, env_.zones - 1)),
+      locality_(std::clamp(locality, 0.0, 1.0)) {}
+
+std::string WPaxosModel::Name() const {
+  return "WPaxos(fz=" + std::to_string(fz_) + ")";
+}
+
+double WPaxosModel::LeadRoundUs() const {
+  const double n = env_.NumNodes();
+  const double ti = env_.node.t_in_us;
+  const double to = env_.node.t_out_us;
+  const double nic = env_.node.NicUs();
+  // Request in + (N-1) P2b in; P2a broadcast + explicit P3 commit
+  // broadcast + client reply out (matching the Paxi WPaxos
+  // implementation, which sends a separate phase-3 message).
+  return n * ti + 3.0 * to + (n + 2.0 * (n - 1.0) + 1.0) * nic;
+}
+
+double WPaxosModel::FollowerDutyUs() const {
+  const double ti = env_.node.t_in_us;
+  const double to = env_.node.t_out_us;
+  const double nic = env_.node.NicUs();
+  // P2a + P3 in, P2b out.
+  return 2.0 * ti + to + 3.0 * nic;
+}
+
+double WPaxosModel::EffectiveServiceUs() const {
+  const double leaders = env_.zones;
+  const double ti = env_.node.t_in_us;
+  const double to = env_.node.t_out_us;
+  const double nic = env_.node.NicUs();
+  double ts = LeadRoundUs() / leaders +
+              (1.0 - 1.0 / leaders) * FollowerDutyUs();
+  // A non-local request also transits the client's zone leader (in + out).
+  ts += (1.0 - locality_) * (ti + to + 2.0 * nic) / leaders;
+  return ts;
+}
+
+double WPaxosModel::OwnRoundServiceUs() const { return LeadRoundUs(); }
+
+double WPaxosModel::Phase2WaitMs(NodeId leader) const {
+  // Majority of the leader's own zone...
+  std::vector<NodeId> own_zone;
+  for (int i = 1; i <= env_.nodes_per_zone; ++i) {
+    const NodeId node{leader.zone, i};
+    if (node != leader) own_zone.push_back(node);
+  }
+  const auto zone_majority =
+      static_cast<std::size_t>(env_.nodes_per_zone) / 2 + 1;
+  double wait = zone_majority > 1
+                    ? QuorumWaitMs(leader, own_zone, zone_majority - 1)
+                    : 0.0;
+  // ...plus, for fz > 0, the fz nearest other zones' majorities; the RTT
+  // to the fz-th nearest zone dominates the intra-zone spread there.
+  if (fz_ > 0) {
+    std::vector<double> rtts;
+    for (int z = 1; z <= env_.zones; ++z) {
+      if (z != leader.zone) {
+        rtts.push_back(env_.topology.RttMeanMs(leader.zone, z));
+      }
+    }
+    wait = std::max(wait, KthSmallest(std::move(rtts),
+                                      static_cast<std::size_t>(fz_)));
+  }
+  return wait;
+}
+
+double WPaxosModel::NetworkLatencyMs() const {
+  const double local_rtt = env_.topology.RttMeanMs(1, 1);
+  double dq = 0.0;
+  for (int z = 1; z <= env_.zones; ++z) {
+    dq += Phase2WaitMs(NodeId{z, 1});
+  }
+  dq /= env_.zones;
+  const double remote = MeanRemoteRttMs(env_.topology, env_.zones);
+  // Local requests: client -> zone leader (local RTT) + quorum wait.
+  // Remote requests additionally traverse to the owning leader.
+  return local_rtt + dq + (1.0 - locality_) * remote;
+}
+
+// --- WanKeeperModel ----------------------------------------------------------
+
+WanKeeperModel::WanKeeperModel(ModelEnv env, int master_zone, double locality)
+    : ProtocolModel(std::move(env)),
+      master_zone_(master_zone),
+      locality_(std::clamp(locality, 0.0, 1.0)) {}
+
+std::string WanKeeperModel::Name() const { return "WanKeeper"; }
+
+double WanKeeperModel::GroupRoundUs() const {
+  const double g = env_.nodes_per_zone;
+  const double ti = env_.node.t_in_us;
+  const double to = env_.node.t_out_us;
+  const double nic = env_.node.NicUs();
+  // Commit within the zone group only: request + (g-1) acks in, broadcast
+  // + reply out, commit piggybacked.
+  return g * ti + 2.0 * to + 2.0 * g * nic;
+}
+
+double WanKeeperModel::GroupWaitMs(NodeId leader) const {
+  std::vector<NodeId> own_zone;
+  for (int i = 1; i <= env_.nodes_per_zone; ++i) {
+    const NodeId node{leader.zone, i};
+    if (node != leader) own_zone.push_back(node);
+  }
+  const auto majority = static_cast<std::size_t>(env_.nodes_per_zone) / 2 + 1;
+  if (majority <= 1) return 0.0;
+  return QuorumWaitMs(leader, own_zone, majority - 1);
+}
+
+double WanKeeperModel::EffectiveServiceUs() const {
+  // The master-zone leader is the busiest node: it leads its own zone's
+  // local share plus every non-local request in the system.
+  const double leaders = env_.zones;
+  const double share =
+      locality_ / leaders + (1.0 - locality_);
+  return share * GroupRoundUs();
+}
+
+double WanKeeperModel::NetworkLatencyMs() const {
+  const double local_rtt = env_.topology.RttMeanMs(1, 1);
+  const NodeId master{master_zone_, 1};
+  double to_master = 0.0;
+  for (int z = 1; z <= env_.zones; ++z) {
+    to_master += env_.topology.RttMeanMs(z, master_zone_);
+  }
+  to_master /= env_.zones;
+  const double local = local_rtt + GroupWaitMs(NodeId{1, 1});
+  const double remote = to_master + GroupWaitMs(master);
+  return locality_ * local + (1.0 - locality_) * remote;
+}
+
+}  // namespace paxi::model

@@ -1,0 +1,187 @@
+#ifndef PAXI_MODEL_PROTOCOL_MODEL_H_
+#define PAXI_MODEL_PROTOCOL_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "model/queueing.h"
+#include "net/topology.h"
+
+namespace paxi::model {
+
+/// Physical node parameters of the analytic model (§3.3), mirroring the
+/// simulator's Config so model and experiment are calibrated identically.
+struct NodeParams {
+  double t_in_us = 9.0;    ///< CPU cost per incoming message (t_i).
+  double t_out_us = 15.0;  ///< CPU cost per outgoing serialization (t_o).
+  double bandwidth_bps = 1e9;
+  double msg_bytes = 100.0;
+
+  /// NIC time per message in microseconds (s_m / b).
+  double NicUs() const { return msg_bytes * 8.0 / bandwidth_bps * 1e6; }
+};
+
+/// Deployment the model evaluates: topology plus node placement. Requests
+/// are assumed to originate uniformly from every zone (the paper's
+/// uniform-workload modeling assumption).
+struct ModelEnv {
+  NodeParams node;
+  Topology topology = Topology::Lan(1);
+  int zones = 1;
+  int nodes_per_zone = 9;
+  QueueKind queue = QueueKind::kMD1;
+  /// Service-time CV used by the M/G/1 and G/G/1 variants (Fig. 4): our
+  /// modeled service times are nearly deterministic, so this is small.
+  double service_cv = 0.2;
+  std::uint64_t seed = 7;
+
+  int NumNodes() const { return zones * nodes_per_zone; }
+};
+
+/// A (throughput, latency) point on a modeled curve.
+struct ModelPoint {
+  double throughput = 0.0;  ///< Offered load, rounds/s (aggregate).
+  double latency_ms = 0.0;  ///< Average end-to-end client latency.
+};
+
+/// Base of the §3 analytic protocol models: Latency = W_q + t_s + D_L + D_Q,
+/// with W_q from the queueing approximation at the bottleneck (leader) node
+/// and max throughput the reciprocal of the effective per-request service
+/// time at that node.
+class ProtocolModel {
+ public:
+  explicit ProtocolModel(ModelEnv env) : env_(std::move(env)) {}
+  virtual ~ProtocolModel() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Effective service time per request at the busiest node, microseconds.
+  virtual double EffectiveServiceUs() const = 0;
+
+  /// Network portion of a round's latency (D_L + D_Q and any extra round
+  /// trips), milliseconds, independent of load.
+  virtual double NetworkLatencyMs() const = 0;
+
+  /// Service time of the rounds the bottleneck node leads (enters latency
+  /// directly, while EffectiveServiceUs governs the queue), microseconds.
+  virtual double OwnRoundServiceUs() const { return EffectiveServiceUs(); }
+
+  /// Aggregate saturation throughput, rounds per second.
+  double MaxThroughput() const;
+
+  /// Average client-perceived latency (ms) at aggregate arrival rate
+  /// `lambda` (rounds/s); +infinity past saturation.
+  double LatencyMs(double lambda) const;
+
+  /// Samples the latency curve at `points` arrival rates up to
+  /// `fraction_of_max` * MaxThroughput().
+  std::vector<ModelPoint> Curve(std::size_t points,
+                                double fraction_of_max = 0.98) const;
+
+  const ModelEnv& env() const { return env_; }
+
+ protected:
+  /// Mean RTT in ms between two nodes per the topology.
+  double RttMs(NodeId a, NodeId b) const;
+
+  /// Expected wait (ms) for `needed` acks out of the followers of
+  /// `leader`: Monte-Carlo k-order statistics of the common Normal RTT in
+  /// LAN; the needed-th smallest mean RTT in WAN (§3.3-3.4).
+  double QuorumWaitMs(NodeId leader, const std::vector<NodeId>& followers,
+                      std::size_t needed) const;
+
+  /// Average client-to-node RTT (D_L) for clients homed uniformly across
+  /// zones addressing `target`.
+  double MeanClientRttMs(NodeId target) const;
+
+  std::vector<NodeId> AllNodes() const;
+
+  ModelEnv env_;
+};
+
+/// MultiPaxos / FPaxos model. Phase-2 quorum size `q2` includes the
+/// leader's self-vote (majority for Paxos, the configured |q2| for
+/// FPaxos). Commit is piggybacked: N+2 messages per round at the leader.
+class PaxosModel : public ProtocolModel {
+ public:
+  PaxosModel(ModelEnv env, NodeId leader, std::size_t q2 = 0);
+
+  std::string Name() const override;
+  double EffectiveServiceUs() const override;
+  double NetworkLatencyMs() const override;
+
+ private:
+  NodeId leader_;
+  std::size_t q2_;
+};
+
+/// EPaxos model (§3.4): every node is an opportunistic leader; conflicts
+/// (probability `c`) add an Accept round; a processing `penalty` scales
+/// CPU costs for dependency computation/conflict resolution.
+class EPaxosModel : public ProtocolModel {
+ public:
+  EPaxosModel(ModelEnv env, double conflict, double penalty = 2.0);
+
+  std::string Name() const override;
+  double EffectiveServiceUs() const override;
+  double OwnRoundServiceUs() const override;
+  double NetworkLatencyMs() const override;
+
+  double conflict() const { return conflict_; }
+
+ private:
+  double FastQuorumWaitMs() const;
+  double MajorityWaitMs() const;
+
+  double conflict_;
+  double penalty_;
+};
+
+/// WPaxos model: one leader per zone, flexible grid quorums with
+/// fault-tolerance level fz; explicit phase-3 commit broadcast (as in the
+/// Paxi implementation). `locality` is the fraction of requests whose
+/// object is owned in the client's own zone (l of Formula 7); the rest
+/// forward to a uniformly random remote leader.
+class WPaxosModel : public ProtocolModel {
+ public:
+  WPaxosModel(ModelEnv env, int fz, double locality);
+
+  std::string Name() const override;
+  double EffectiveServiceUs() const override;
+  double OwnRoundServiceUs() const override;
+  double NetworkLatencyMs() const override;
+
+ private:
+  double LeadRoundUs() const;
+  double FollowerDutyUs() const;
+  /// D_Q for a phase-2 quorum led from `leader`.
+  double Phase2WaitMs(NodeId leader) const;
+
+  int fz_;
+  double locality_;
+};
+
+/// WanKeeper model: per-zone groups commit locally; non-local objects are
+/// brokered by the master zone. `locality` is the fraction of requests
+/// hitting objects whose token is local.
+class WanKeeperModel : public ProtocolModel {
+ public:
+  WanKeeperModel(ModelEnv env, int master_zone, double locality);
+
+  std::string Name() const override;
+  double EffectiveServiceUs() const override;
+  double NetworkLatencyMs() const override;
+
+ private:
+  double GroupRoundUs() const;
+  double GroupWaitMs(NodeId leader) const;
+
+  int master_zone_;
+  double locality_;
+};
+
+}  // namespace paxi::model
+
+#endif  // PAXI_MODEL_PROTOCOL_MODEL_H_

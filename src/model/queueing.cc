@@ -1,0 +1,53 @@
+#include "model/queueing.h"
+
+#include <limits>
+
+namespace paxi::model {
+
+const char* QueueKindName(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kMM1:
+      return "M/M/1";
+    case QueueKind::kMD1:
+      return "M/D/1";
+    case QueueKind::kMG1:
+      return "M/G/1";
+    case QueueKind::kGG1:
+      return "G/G/1";
+  }
+  return "?";
+}
+
+double Utilization(const QueueParams& p) {
+  if (p.lambda <= 0.0 || p.mu <= 0.0) return 0.0;
+  return p.lambda / p.mu;
+}
+
+double WaitTime(QueueKind kind, const QueueParams& p) {
+  if (p.lambda <= 0.0) return 0.0;
+  const double rho = Utilization(p);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  switch (kind) {
+    case QueueKind::kMM1:
+      // rho^2 / (lambda (1 - rho))
+      return rho * rho / (p.lambda * (1.0 - rho));
+    case QueueKind::kMD1:
+      // rho / (2 mu (1 - rho))
+      return rho / (2.0 * p.mu * (1.0 - rho));
+    case QueueKind::kMG1: {
+      // Pollaczek-Khinchine: (lambda^2 sigma^2 + rho^2) / (2 lambda (1 - rho))
+      const double ls = p.lambda * p.service_sigma;
+      return (ls * ls + rho * rho) / (2.0 * p.lambda * (1.0 - rho));
+    }
+    case QueueKind::kGG1: {
+      // Kingman-style approximation from Table 1:
+      // rho^2 (1 + Cs)(Ca + rho^2 Cs) / (2 lambda (1 - rho)(1 + rho^2 Cs))
+      const double rho2cs = rho * rho * p.cs2;
+      return rho * rho * (1.0 + p.cs2) * (p.ca2 + rho2cs) /
+             (2.0 * p.lambda * (1.0 - rho) * (1.0 + rho2cs));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace paxi::model

@@ -1,0 +1,35 @@
+#ifndef PAXI_MODEL_QUEUEING_H_
+#define PAXI_MODEL_QUEUEING_H_
+
+namespace paxi::model {
+
+/// The four single-server queue approximations of Table 1. The first
+/// letter is the inter-arrival assumption, the second the service-time
+/// assumption (M = Markovian/Poisson, D = deterministic, G = general).
+enum class QueueKind { kMM1, kMD1, kMG1, kGG1 };
+
+const char* QueueKindName(QueueKind kind);
+
+/// Inputs to the waiting-time formulas. Rates are per second; times in
+/// seconds. `service_sigma` is the service-time standard deviation (M/G/1);
+/// `ca2` / `cs2` are the squared coefficients of variation of inter-arrival
+/// and service times (G/G/1).
+struct QueueParams {
+  double lambda = 0.0;         ///< Arrival rate (rounds/s).
+  double mu = 0.0;             ///< Service rate = 1 / t_s.
+  double service_sigma = 0.0;  ///< Std dev of service time (s), M/G/1 only.
+  double ca2 = 1.0;            ///< CV^2 of inter-arrival times, G/G/1 only.
+  double cs2 = 0.0;            ///< CV^2 of service times, G/G/1 only.
+};
+
+/// Average waiting time W_q in seconds for the given queue approximation
+/// (the formulas of Table 1). Returns +infinity when the queue is unstable
+/// (lambda >= mu) and 0 when lambda <= 0.
+double WaitTime(QueueKind kind, const QueueParams& params);
+
+/// Utilization rho = lambda / mu (clamped at 0 for non-positive inputs).
+double Utilization(const QueueParams& params);
+
+}  // namespace paxi::model
+
+#endif  // PAXI_MODEL_QUEUEING_H_

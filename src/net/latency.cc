@@ -1,0 +1,36 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace paxi {
+namespace {
+
+// Loopback delay for messages a node sends to itself (e.g. a leader
+// self-voting through the normal code path).
+constexpr Time kLoopbackDelay = 1;  // 1 us
+
+}  // namespace
+
+TopologyLatencyModel::TopologyLatencyModel(Topology topology)
+    : topology_(std::move(topology)) {}
+
+Time TopologyLatencyModel::SampleOneWay(NodeId from, NodeId to,
+                                        Rng& rng) const {
+  if (from == to) return kLoopbackDelay;
+  const double rtt_mean = topology_.RttMeanMs(from.zone, to.zone);
+  const double rtt_sigma = topology_.RttSigmaMs(from.zone, to.zone);
+  // One-way ~ Normal(rtt/2, sigma/sqrt(2)) so that the sum of the two
+  // directions reproduces RTT ~ Normal(rtt, sigma).
+  const double ms = rng.Normal(rtt_mean / 2.0, rtt_sigma / std::sqrt(2.0));
+  const Time t = FromMillis(ms);
+  return std::max<Time>(t, kLoopbackDelay);
+}
+
+Time TopologyLatencyModel::MeanOneWay(NodeId from, NodeId to) const {
+  if (from == to) return kLoopbackDelay;
+  return FromMillis(topology_.RttMeanMs(from.zone, to.zone) / 2.0);
+}
+
+}  // namespace paxi

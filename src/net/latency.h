@@ -1,0 +1,59 @@
+#ifndef PAXI_NET_LATENCY_H_
+#define PAXI_NET_LATENCY_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace paxi {
+
+/// Samples one-way network delays between nodes. One-way delays are drawn
+/// so that the round trip of two independent one-way samples matches the
+/// topology's RTT distribution: one-way ~ Normal(rtt_mean/2, rtt_sigma/sqrt2).
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way message delay from `from` to `to`, in virtual time.
+  /// Never negative. Delay between a node and itself is zero CPU-wise but
+  /// still gets a minimal loopback latency so event ordering stays sane.
+  virtual Time SampleOneWay(NodeId from, NodeId to, Rng& rng) const = 0;
+
+  /// Expected (mean) one-way delay, used by the analytic model and by
+  /// protocols that rank peers by proximity (e.g. FPaxos thrifty quorums,
+  /// WPaxos q2 zone selection).
+  virtual Time MeanOneWay(NodeId from, NodeId to) const = 0;
+};
+
+/// Latency model backed by a Topology: intra-zone pairs use the LAN normal
+/// distribution, inter-zone pairs the WAN matrix.
+class TopologyLatencyModel : public LatencyModel {
+ public:
+  explicit TopologyLatencyModel(Topology topology);
+
+  Time SampleOneWay(NodeId from, NodeId to, Rng& rng) const override;
+  Time MeanOneWay(NodeId from, NodeId to) const override;
+
+  const Topology& topology() const { return topology_; }
+
+ private:
+  Topology topology_;
+};
+
+/// Fixed-delay model (tests and deterministic examples).
+class FixedLatencyModel : public LatencyModel {
+ public:
+  explicit FixedLatencyModel(Time one_way) : one_way_(one_way) {}
+
+  Time SampleOneWay(NodeId, NodeId, Rng&) const override { return one_way_; }
+  Time MeanOneWay(NodeId, NodeId) const override { return one_way_; }
+
+ private:
+  Time one_way_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_NET_LATENCY_H_

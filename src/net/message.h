@@ -1,0 +1,35 @@
+#ifndef PAXI_NET_MESSAGE_H_
+#define PAXI_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Base class for every message exchanged between nodes (and clients).
+///
+/// Protocol authors subclass this per message type, exactly like filling in
+/// Paxi's shaded "Messages" module (paper Fig. 5). Dispatch at the receiver
+/// is by dynamic type (Node::Register<T>), so no manual type tags are
+/// needed. Messages are delivered as shared const pointers — a broadcast
+/// shares one instance across receivers, so handlers must treat received
+/// messages as immutable.
+struct Message {
+  virtual ~Message() = default;
+
+  /// Sender, stamped by the transport on send.
+  NodeId from = NodeId::Invalid();
+
+  /// Wire size in bytes. Used by the transport to charge NIC/bandwidth
+  /// time (the s_m parameter of the paper's service-time model, §3.3).
+  /// Default matches the paper's small-command workload.
+  virtual std::size_t ByteSize() const { return 100; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace paxi
+
+#endif  // PAXI_NET_MESSAGE_H_

@@ -1,0 +1,84 @@
+#include "net/topology.h"
+
+#include <cassert>
+
+namespace paxi {
+namespace {
+
+// Symmetric inter-region RTT means in milliseconds, calibrated to public
+// AWS measurements for us-east-1 (VA), us-east-2 (OH), us-west-1 (CA),
+// eu-west-1 (IR) and ap-northeast-1 (JP). Order matches enum Region.
+constexpr double kRttMs[kNumRegions][kNumRegions] = {
+    //  VA     OH     CA     IR     JP
+    {0.43, 11.0, 61.0, 75.0, 160.0},   // VA
+    {11.0, 0.43, 50.0, 86.0, 156.0},   // OH
+    {61.0, 50.0, 0.43, 140.0, 107.0},  // CA
+    {75.0, 86.0, 140.0, 0.43, 220.0},  // IR
+    {160.0, 156.0, 107.0, 220.0, 0.43},  // JP
+};
+
+}  // namespace
+
+const char* RegionName(Region r) {
+  switch (r) {
+    case Region::kVirginia:
+      return "VA";
+    case Region::kOhio:
+      return "OH";
+    case Region::kCalifornia:
+      return "CA";
+    case Region::kIreland:
+      return "IR";
+    case Region::kJapan:
+      return "JP";
+  }
+  return "??";
+}
+
+Topology Topology::Lan(int zones, double rtt_mean_ms, double rtt_sigma_ms) {
+  assert(zones > 0);
+  Topology t;
+  t.wan_ = false;
+  t.zone_regions_.assign(static_cast<std::size_t>(zones), Region::kVirginia);
+  t.lan_rtt_mean_ms_ = rtt_mean_ms;
+  t.lan_rtt_sigma_ms_ = rtt_sigma_ms;
+  return t;
+}
+
+Topology Topology::Wan(const std::vector<Region>& regions) {
+  assert(!regions.empty());
+  Topology t;
+  t.wan_ = true;
+  t.zone_regions_ = regions;
+  return t;
+}
+
+Topology Topology::WanFiveRegions() {
+  return Wan({Region::kVirginia, Region::kOhio, Region::kCalifornia,
+              Region::kIreland, Region::kJapan});
+}
+
+Region Topology::ZoneRegion(int zone) const {
+  assert(zone >= 1 && zone <= num_zones());
+  return zone_regions_[static_cast<std::size_t>(zone - 1)];
+}
+
+double Topology::RttMeanMs(int zone_a, int zone_b) const {
+  const Region ra = ZoneRegion(zone_a);
+  const Region rb = ZoneRegion(zone_b);
+  if (ra == rb) return lan_rtt_mean_ms_;
+  return InterRegionRttMs(ra, rb);
+}
+
+double Topology::RttSigmaMs(int zone_a, int zone_b) const {
+  const Region ra = ZoneRegion(zone_a);
+  const Region rb = ZoneRegion(zone_b);
+  if (ra == rb) return lan_rtt_sigma_ms_;
+  return InterRegionRttMs(ra, rb) * wan_jitter_fraction_;
+}
+
+double Topology::InterRegionRttMs(Region a, Region b) {
+  return kRttMs[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+}  // namespace paxi

@@ -1,0 +1,71 @@
+#ifndef PAXI_NET_TOPOLOGY_H_
+#define PAXI_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Named deployment regions used throughout the paper's WAN evaluation:
+/// N. Virginia, Ohio, California, Ireland, Japan (§5).
+enum class Region { kVirginia = 0, kOhio, kCalifornia, kIreland, kJapan };
+
+inline constexpr int kNumRegions = 5;
+
+/// Short region tag, e.g. "VA".
+const char* RegionName(Region r);
+
+/// Describes where zones live and how far apart they are. A "zone" is the
+/// unit nodes are assigned to (NodeId.zone, 1-based); in LAN deployments
+/// all zones share one region, in WAN deployments zone i maps onto one of
+/// the five AWS regions above.
+class Topology {
+ public:
+  /// LAN topology: `zones` zones colocated in a single datacenter. RTTs
+  /// between any two distinct nodes follow Normal(rtt_mean_ms, rtt_sigma_ms),
+  /// the distribution the paper measured inside an AWS region (Fig. 3:
+  /// mu = 0.4271 ms, sigma = 0.0476 ms).
+  static Topology Lan(int zones, double rtt_mean_ms = 0.4271,
+                      double rtt_sigma_ms = 0.0476);
+
+  /// WAN topology over the paper's five AWS regions (zone i -> regions[i-1]).
+  /// Inter-region RTT means come from `InterRegionRttMs`; intra-region pairs
+  /// use the LAN distribution.
+  static Topology Wan(const std::vector<Region>& regions);
+
+  /// The paper's standard 5-region deployment: VA, OH, CA, IR, JP.
+  static Topology WanFiveRegions();
+
+  int num_zones() const { return static_cast<int>(zone_regions_.size()); }
+  bool is_wan() const { return wan_; }
+
+  /// Region hosting 1-based zone `zone`.
+  Region ZoneRegion(int zone) const;
+
+  /// Mean round-trip time between two zones, in milliseconds.
+  double RttMeanMs(int zone_a, int zone_b) const;
+
+  /// RTT standard deviation between two zones, in milliseconds. WAN links
+  /// jitter proportionally to their mean; local links use the measured
+  /// LAN sigma.
+  double RttSigmaMs(int zone_a, int zone_b) const;
+
+  /// Publicly documented AWS inter-region RTT means (milliseconds) used to
+  /// calibrate the simulator; symmetric.
+  static double InterRegionRttMs(Region a, Region b);
+
+ private:
+  Topology() = default;
+
+  bool wan_ = false;
+  std::vector<Region> zone_regions_;  // index = zone-1
+  double lan_rtt_mean_ms_ = 0.4271;
+  double lan_rtt_sigma_ms_ = 0.0476;
+  double wan_jitter_fraction_ = 0.02;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_NET_TOPOLOGY_H_

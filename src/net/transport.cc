@@ -1,0 +1,87 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi {
+
+Transport::Transport(Simulator* sim,
+                     std::shared_ptr<const LatencyModel> latency, bool ordered)
+    : sim_(sim), latency_(std::move(latency)), ordered_(ordered) {
+  assert(sim_ != nullptr);
+  assert(latency_ != nullptr);
+}
+
+void Transport::Register(Endpoint* endpoint) {
+  assert(endpoint != nullptr);
+  assert(endpoint->id().valid());
+  const bool inserted =
+      endpoints_.emplace(endpoint->id(), endpoint).second;
+  assert(inserted && "duplicate endpoint id");
+  (void)inserted;
+}
+
+void Transport::Unregister(NodeId id) { endpoints_.erase(id); }
+
+void Transport::Send(NodeId to, MessagePtr msg, Time departure) {
+  assert(msg != nullptr);
+  assert(msg->from.valid() && "message must be stamped with a sender");
+  ++messages_sent_;
+
+  const Link link{msg->from, to};
+  Time extra = 0;
+  if (auto it = faults_.find(link); it != faults_.end()) {
+    LinkFault& f = it->second;
+    const Time now = sim_->Now();
+    if (now < f.drop_until) {
+      ++messages_dropped_;
+      return;
+    }
+    if (now < f.flaky_until && sim_->rng().Bernoulli(f.flaky_p)) {
+      ++messages_dropped_;
+      return;
+    }
+    if (now < f.slow_until && f.slow_extra > 0) {
+      extra = sim_->rng().UniformInt(0, f.slow_extra);
+    }
+  }
+
+  auto dest = endpoints_.find(to);
+  if (dest == endpoints_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+
+  const Time net = latency_->SampleOneWay(msg->from, to, sim_->rng());
+  Time arrival = std::max(departure, sim_->Now()) + net + extra;
+  if (ordered_) {
+    // TCP-like per-link FIFO: an out-of-order sample is pushed behind the
+    // previous delivery on the same link.
+    Time& watermark = last_arrival_[link];
+    arrival = std::max(arrival, watermark);
+    watermark = arrival;
+  }
+
+  Endpoint* endpoint = dest->second;
+  sim_->At(arrival, [endpoint, msg = std::move(msg)]() mutable {
+    endpoint->Deliver(std::move(msg));
+  });
+}
+
+void Transport::Drop(NodeId i, NodeId j, Time duration) {
+  faults_[{i, j}].drop_until = sim_->Now() + duration;
+}
+
+void Transport::Slow(NodeId i, NodeId j, Time max_extra, Time duration) {
+  LinkFault& f = faults_[{i, j}];
+  f.slow_until = sim_->Now() + duration;
+  f.slow_extra = max_extra;
+}
+
+void Transport::Flaky(NodeId i, NodeId j, double p, Time duration) {
+  LinkFault& f = faults_[{i, j}];
+  f.flaky_until = sim_->Now() + duration;
+  f.flaky_p = p;
+}
+
+}  // namespace paxi

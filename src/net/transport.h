@@ -1,0 +1,94 @@
+#ifndef PAXI_NET_TRANSPORT_H_
+#define PAXI_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.h"
+#include "net/latency.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+
+/// Anything that can receive messages: replicas and clients.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  virtual NodeId id() const = 0;
+
+  /// Invoked by the transport at the message's arrival time (the event's
+  /// virtual time is the arrival instant). The endpoint is responsible for
+  /// modeling its own processing/queueing delay before handling.
+  virtual void Deliver(MessagePtr msg) = 0;
+};
+
+/// Message fabric between endpoints, the counterpart of Paxi's networking
+/// module (§4.1). Delivery latency comes from a LatencyModel; per-link
+/// ordering emulates TCP (default) or can be disabled for UDP-like
+/// semantics. Implements the paper's failure-injection primitives
+/// Drop / Slow / Flaky (§4.2); Crash is a node-side freeze, see
+/// Node::Crash.
+class Transport {
+ public:
+  Transport(Simulator* sim, std::shared_ptr<const LatencyModel> latency,
+            bool ordered = true);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Registers an endpoint; its id must be unique. Not owned.
+  void Register(Endpoint* endpoint);
+  void Unregister(NodeId id);
+
+  /// Sends `msg` (whose `from` field must already be stamped) to `to`.
+  /// `departure` is the virtual time the message clears the sender's NIC;
+  /// network latency is added on top. Unknown destinations are counted as
+  /// drops (a crashed-forever or not-yet-started node).
+  void Send(NodeId to, MessagePtr msg, Time departure);
+
+  /// Drops every message from `i` to `j` for the next `duration`.
+  void Drop(NodeId i, NodeId j, Time duration);
+
+  /// Delays each message from `i` to `j` by an extra uniform random amount
+  /// in [0, max_extra] for the next `duration`.
+  void Slow(NodeId i, NodeId j, Time max_extra, Time duration);
+
+  /// Drops each message from `i` to `j` with probability `p` for the next
+  /// `duration`.
+  void Flaky(NodeId i, NodeId j, double p, Time duration);
+
+  const LatencyModel& latency() const { return *latency_; }
+  Simulator* sim() const { return sim_; }
+
+  std::size_t messages_sent() const { return messages_sent_; }
+  std::size_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  struct LinkFault {
+    Time drop_until = 0;
+    Time slow_until = 0;
+    Time slow_extra = 0;
+    Time flaky_until = 0;
+    double flaky_p = 0.0;
+  };
+
+  using Link = std::pair<NodeId, NodeId>;
+
+  Simulator* sim_;
+  std::shared_ptr<const LatencyModel> latency_;
+  bool ordered_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::map<Link, LinkFault> faults_;
+  std::map<Link, Time> last_arrival_;  // per-link FIFO watermark (TCP mode)
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_dropped_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_NET_TRANSPORT_H_

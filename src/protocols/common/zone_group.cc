@@ -1,0 +1,122 @@
+#include "protocols/common/zone_group.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi {
+
+using zone_group::GroupP2a;
+using zone_group::GroupP2b;
+
+ZoneGroupNode::ZoneGroupNode(NodeId id, Env env) : Node(id, env) {
+  const auto zone_size =
+      static_cast<std::size_t>(config().nodes_per_zone);
+  group_majority_ = zone_size / 2 + 1;
+  for (const NodeId& p : peers()) {
+    if (p.zone == id.zone && p != id) group_peers_.push_back(p);
+  }
+  flush_interval_ = config().GetParamInt("group_flush_ms", 100) * kMillisecond;
+
+  OnMessage<GroupP2a>([this](const GroupP2a& m) { HandleGroupP2a(m); });
+  OnMessage<GroupP2b>([this](const GroupP2b& m) { HandleGroupP2b(m); });
+}
+
+void ZoneGroupNode::Start() {
+  if (IsGroupLeader()) ArmFlush();
+}
+
+void ZoneGroupNode::ArmFlush() {
+  SetTimer(flush_interval_, [this]() {
+    GroupP2a flush;
+    flush.slot = -1;
+    flush.commit_up_to = commit_up_to_;
+    Broadcast(group_peers_, std::move(flush));
+    ArmFlush();
+  });
+}
+
+void ZoneGroupNode::GroupSubmit(Command cmd,
+                                std::function<void(Result<Value>)> done) {
+  assert(IsGroupLeader());
+  const Slot slot = next_slot_++;
+  GroupEntry entry;
+  entry.cmd = cmd;
+  entry.done = std::move(done);
+  const bool solo = group_majority_ <= 1;
+  log_[slot] = std::move(entry);
+
+  GroupP2a msg;
+  msg.slot = slot;
+  msg.cmd = std::move(cmd);
+  msg.commit_up_to = commit_up_to_;
+  Broadcast(group_peers_, std::move(msg));
+
+  if (solo) {
+    log_[slot].committed = true;
+    AdvanceCommit();
+  }
+}
+
+void ZoneGroupNode::HandleGroupP2a(const GroupP2a& msg) {
+  if (msg.from.zone != id().zone || IsGroupLeader()) return;
+  if (msg.slot >= 0) {
+    GroupEntry entry;
+    entry.cmd = msg.cmd;
+    log_[msg.slot] = std::move(entry);
+    GroupP2b reply;
+    reply.slot = msg.slot;
+    Send(msg.from, std::move(reply));
+  }
+  if (msg.commit_up_to > commit_up_to_) {
+    bool all_known = true;
+    for (Slot s = commit_up_to_ + 1; s <= msg.commit_up_to; ++s) {
+      auto it = log_.find(s);
+      if (it == log_.end()) {
+        all_known = false;
+        break;
+      }
+      it->second.committed = true;
+    }
+    if (all_known) {
+      commit_up_to_ = msg.commit_up_to;
+      ExecuteCommitted();
+    }
+  }
+}
+
+void ZoneGroupNode::HandleGroupP2b(const GroupP2b& msg) {
+  if (!IsGroupLeader()) return;
+  auto it = log_.find(msg.slot);
+  if (it == log_.end() || it->second.committed) return;
+  ++it->second.acks;
+  if (it->second.acks >= group_majority_) {
+    it->second.committed = true;
+    AdvanceCommit();
+  }
+}
+
+void ZoneGroupNode::AdvanceCommit() {
+  while (true) {
+    auto it = log_.find(commit_up_to_ + 1);
+    if (it == log_.end() || !it->second.committed) break;
+    ++commit_up_to_;
+  }
+  ExecuteCommitted();
+}
+
+void ZoneGroupNode::ExecuteCommitted() {
+  while (execute_up_to_ < commit_up_to_) {
+    const Slot slot = execute_up_to_ + 1;
+    auto it = log_.find(slot);
+    if (it == log_.end() || !it->second.committed) break;
+    Result<Value> result = store_.Execute(it->second.cmd);
+    ++execute_up_to_;
+    if (it->second.done) {
+      auto done = std::move(it->second.done);
+      it->second.done = nullptr;
+      done(std::move(result));
+    }
+  }
+}
+
+}  // namespace paxi

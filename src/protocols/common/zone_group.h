@@ -1,0 +1,78 @@
+#ifndef PAXI_PROTOCOLS_COMMON_ZONE_GROUP_H_
+#define PAXI_PROTOCOLS_COMMON_ZONE_GROUP_H_
+
+#include <functional>
+#include <map>
+
+#include "common/status.h"
+#include "core/node.h"
+
+namespace paxi {
+
+/// Per-zone Paxos-group machinery shared by the hierarchical protocols
+/// (WanKeeper's level-1/level-2 groups, Vertical Paxos's data and master
+/// groups). Each zone forms one group whose stable leader is node z.1;
+/// the leader commits commands with a majority of its zone via a
+/// phase-2-style exchange, piggybacking the commit watermark.
+///
+/// Group leadership is fixed (the paper's §5 deployments likewise pin one
+/// leader per region); leader fail-over inside a group is out of scope for
+/// the hierarchical protocols, matching their "does not tolerate region
+/// failure" characterization (§5.3).
+namespace zone_group {
+
+struct GroupP2a : Message {
+  Slot slot = -1;  ///< -1 = pure watermark flush.
+  Command cmd;
+  Slot commit_up_to = -1;
+};
+
+struct GroupP2b : Message {
+  Slot slot = 0;
+};
+
+}  // namespace zone_group
+
+class ZoneGroupNode : public Node {
+ public:
+  ZoneGroupNode(NodeId id, Env env);
+
+  void Start() override;
+
+  bool IsGroupLeader() const { return id().node == 1; }
+  static NodeId GroupLeaderOf(int zone) { return NodeId{zone, 1}; }
+
+  Slot group_committed() const { return commit_up_to_; }
+
+ protected:
+  /// Leader-only: replicate `cmd` on this zone's group; `done` fires at
+  /// the leader with the execution result once a zone majority acked and
+  /// every prior group slot has executed.
+  void GroupSubmit(Command cmd, std::function<void(Result<Value>)> done);
+
+ private:
+  void HandleGroupP2a(const zone_group::GroupP2a& msg);
+  void HandleGroupP2b(const zone_group::GroupP2b& msg);
+  void AdvanceCommit();
+  void ExecuteCommitted();
+  void ArmFlush();
+
+  struct GroupEntry {
+    Command cmd;
+    bool committed = false;
+    std::size_t acks = 1;  // leader self-vote
+    std::function<void(Result<Value>)> done;
+  };
+
+  std::map<Slot, GroupEntry> log_;
+  Slot next_slot_ = 0;
+  Slot commit_up_to_ = -1;
+  Slot execute_up_to_ = -1;
+  std::size_t group_majority_;
+  std::vector<NodeId> group_peers_;  ///< Zone members excluding self.
+  Time flush_interval_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_COMMON_ZONE_GROUP_H_

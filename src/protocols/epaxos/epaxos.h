@@ -1,0 +1,164 @@
+#ifndef PAXI_PROTOCOLS_EPAXOS_EPAXOS_H_
+#define PAXI_PROTOCOLS_EPAXOS_EPAXOS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+
+namespace paxi {
+
+/// Egalitarian Paxos (EPaxos, §2): leaderless — every replica is an
+/// opportunistic command leader for the commands its clients submit.
+///
+/// Non-interfering commands commit in one round trip to a fast quorum
+/// (~3N/4 replicas). When acceptors report extra dependencies (a
+/// conflict), the command leader falls back to a Paxos-style Accept round
+/// with a majority before committing. Committed commands execute in
+/// dependency order; strongly-connected components (mutual conflicts) are
+/// executed in (seq, replica) order, per the EPaxos execution algorithm.
+///
+/// Replies: writes are acknowledged at commit; reads at execution (a read
+/// needs its dependencies' effects). This is why the paper observes
+/// non-linear latency growth under conflict — a new conflicting command
+/// cannot execute until the previous one commits (§5.3 observation 4).
+///
+/// The "penalty" parameter (default 2.0) scales this node's CPU costs to
+/// account for dependency computation and conflict resolution, the same
+/// message-processing penalty the paper's model applies (§5.2).
+namespace epaxos {
+
+/// Instance identity: (command leader, per-leader slot).
+struct InstanceId {
+  NodeId replica;
+  Slot slot = 0;
+
+  bool valid() const { return replica.valid(); }
+
+  friend bool operator==(const InstanceId&, const InstanceId&) = default;
+  friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
+};
+
+struct PreAccept : Message {
+  InstanceId iid;
+  Command cmd;
+  std::int64_t seq = 0;
+  std::vector<InstanceId> deps;
+
+  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+};
+
+struct PreAcceptOk : Message {
+  InstanceId iid;
+  std::int64_t seq = 0;
+  std::vector<InstanceId> deps;
+  bool changed = false;  ///< Acceptor added deps / bumped seq.
+
+  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+};
+
+struct Accept : Message {
+  InstanceId iid;
+  Command cmd;
+  std::int64_t seq = 0;
+  std::vector<InstanceId> deps;
+
+  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+};
+
+struct AcceptOk : Message {
+  InstanceId iid;
+};
+
+struct CommitMsg : Message {
+  InstanceId iid;
+  Command cmd;
+  std::int64_t seq = 0;
+  std::vector<InstanceId> deps;
+
+  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+};
+
+}  // namespace epaxos
+
+class EPaxosReplica : public Node {
+ public:
+  EPaxosReplica(NodeId id, Env env);
+
+  /// Commands committed via the fast path / slow (Accept) path, for the
+  /// conflict-rate analyses.
+  std::size_t fast_path_commits() const { return fast_commits_; }
+  std::size_t slow_path_commits() const { return slow_commits_; }
+  std::size_t executed() const { return executed_count_; }
+
+ private:
+  enum class Phase { kNone, kPreAccepted, kAccepted, kCommitted, kExecuted };
+
+  struct Instance {
+    Command cmd;
+    std::int64_t seq = 0;
+    std::vector<epaxos::InstanceId> deps;
+    Phase phase = Phase::kNone;
+    // Leader-side round state.
+    std::size_t preaccept_acks = 0;
+    std::size_t accept_acks = 0;
+    bool attrs_changed = false;
+    std::int64_t merged_seq = 0;
+    std::vector<epaxos::InstanceId> merged_deps;
+    bool has_origin = false;
+    ClientRequest origin;
+    bool replied = false;
+  };
+
+  void HandleRequest(const ClientRequest& req);
+  void HandlePreAccept(const epaxos::PreAccept& msg);
+  void HandlePreAcceptOk(const epaxos::PreAcceptOk& msg);
+  void HandleAccept(const epaxos::Accept& msg);
+  void HandleAcceptOk(const epaxos::AcceptOk& msg);
+  void HandleCommit(const epaxos::CommitMsg& msg);
+
+  /// Dependencies of `cmd` given this replica's local interference record.
+  std::vector<epaxos::InstanceId> LocalDeps(const Command& cmd) const;
+  std::int64_t SeqFor(const std::vector<epaxos::InstanceId>& deps) const;
+  /// Records `iid` as the latest interfering instance for its key.
+  void RecordInterference(const Command& cmd, const epaxos::InstanceId& iid);
+
+  void CommitInstance(const epaxos::InstanceId& iid, Instance& inst,
+                      std::int64_t seq,
+                      const std::vector<epaxos::InstanceId>& deps,
+                      bool broadcast);
+  void MaybeReplyAtCommit(Instance& inst);
+
+  // --- Execution (dependency graph) ---------------------------------------
+  void TryExecute(const epaxos::InstanceId& iid);
+  void ExecuteInstance(const epaxos::InstanceId& iid, Instance& inst);
+
+  std::size_t FastQuorumSize() const { return fast_quorum_; }
+  std::size_t SlowQuorumSize() const { return peers().size() / 2 + 1; }
+
+  std::map<epaxos::InstanceId, Instance> instances_;
+  Slot next_slot_ = 0;
+  std::size_t fast_quorum_;
+
+  // Per-key interference frontier: the last write instance plus the reads
+  // issued since it (reads only conflict with writes).
+  std::map<Key, epaxos::InstanceId> last_write_;
+  std::map<Key, std::vector<epaxos::InstanceId>> reads_since_write_;
+
+  // Instances whose execution is blocked on an uncommitted dependency.
+  std::map<epaxos::InstanceId, std::set<epaxos::InstanceId>> waiters_;
+
+  std::size_t fast_commits_ = 0;
+  std::size_t slow_commits_ = 0;
+  std::size_t executed_count_ = 0;
+};
+
+/// Registers "epaxos" with the cluster factory.
+void RegisterEPaxosProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_EPAXOS_EPAXOS_H_

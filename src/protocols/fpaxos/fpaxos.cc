@@ -1,0 +1,24 @@
+#include "protocols/fpaxos/fpaxos.h"
+
+#include <algorithm>
+
+namespace paxi {
+
+FPaxosReplica::FPaxosReplica(NodeId id, Env env) : PaxosReplica(id, env) {
+  const std::size_t n = peers().size();
+  const auto q2 = static_cast<std::size_t>(config().GetParamInt("q2", 3));
+  q2_ = std::clamp<std::size_t>(q2, 1, n);
+  // Smallest phase-1 quorum that intersects every phase-2 quorum.
+  q1_ = n - q2_ + 1;
+}
+
+void RegisterFPaxosProtocol() {
+  RegisterProtocol(
+      "fpaxos",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<FPaxosReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = true});
+}
+
+}  // namespace paxi

@@ -1,0 +1,36 @@
+#ifndef PAXI_PROTOCOLS_FPAXOS_FPAXOS_H_
+#define PAXI_PROTOCOLS_FPAXOS_FPAXOS_H_
+
+#include "protocols/paxos/paxos.h"
+
+namespace paxi {
+
+/// Flexible-quorums Paxos (FPaxos, §2): identical to MultiPaxos except the
+/// phase quorums only need to intersect each other, not be majorities.
+/// The phase-2 quorum size |q2| comes from the "q2" parameter (default 3,
+/// matching the paper's "FPaxos 9 Nodes (|q2|=3)" configuration); phase-1
+/// uses |q1| = N - |q2| + 1, the smallest intersecting choice.
+///
+/// The leader still replicates to all followers (the paper's
+/// full-replication assumption), so the throughput profile matches Paxos;
+/// the win is waiting for fewer/faster acks — a small latency gain in LAN
+/// and a large one in WAN.
+class FPaxosReplica : public PaxosReplica {
+ public:
+  FPaxosReplica(NodeId id, Env env);
+
+ protected:
+  std::size_t Phase1QuorumSize() const override { return q1_; }
+  std::size_t Phase2QuorumSize() const override { return q2_; }
+
+ private:
+  std::size_t q1_;
+  std::size_t q2_;
+};
+
+/// Registers "fpaxos" with the cluster factory.
+void RegisterFPaxosProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_FPAXOS_FPAXOS_H_

@@ -1,0 +1,253 @@
+#include "protocols/mencius/mencius.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi {
+
+using mencius::Accept;
+using mencius::AcceptAck;
+using mencius::CommitFlush;
+using mencius::Skip;
+
+MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
+  n_ = static_cast<int>(peers().size());
+  for (int i = 0; i < n_; ++i) {
+    if (peers()[static_cast<std::size_t>(i)] == id) index_ = i;
+  }
+  next_own_slot_ = index_;
+  majority_ = peers().size() / 2 + 1;
+  skip_interval_ = config().GetParamInt("skip_interval_ms", 5) * kMillisecond;
+
+  OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
+  OnMessage<Accept>([this](const Accept& m) { HandleAccept(m); });
+  OnMessage<AcceptAck>([this](const AcceptAck& m) { HandleAck(m); });
+  OnMessage<Skip>([this](const Skip& m) { HandleSkip(m); });
+  OnMessage<CommitFlush>([this](const CommitFlush& m) { HandleFlush(m); });
+}
+
+void MenciusReplica::Start() { ArmSkipTimer(); }
+
+Slot MenciusReplica::NextOwnedSlot(Slot at) const {
+  const Slot base = std::max<Slot>(at, 0);
+  const Slot rem = base % n_;
+  Slot slot = base - rem + index_;
+  if (slot < base) slot += n_;
+  return slot;
+}
+
+void MenciusReplica::ArmSkipTimer() {
+  SetTimer(skip_interval_, [this]() {
+    if (max_slot_seen_ >= next_own_slot_) {
+      // The log moved past our due slots while we were idle: relinquish
+      // them so execution does not stall on us.
+      const Slot up_to = max_slot_seen_ + 1;
+      const Slot from = next_own_slot_;
+      MarkSkipped(index_, from, up_to);
+      next_own_slot_ = NextOwnedSlot(up_to);
+      ++skips_sent_;
+      Skip msg;
+      msg.skip_from = from;
+      msg.up_to = up_to;
+      msg.commit_up_to = commit_up_to_;
+      flushed_up_to_ = commit_up_to_;
+      BroadcastToAll(std::move(msg));
+      AdvanceExecution();
+    } else if (commit_up_to_ > flushed_up_to_) {
+      // Commits advanced but nothing carried the watermark out: flush it
+      // so followers can execute (and reply paths stay live).
+      CommitFlush flush;
+      flush.commit_up_to = commit_up_to_;
+      flushed_up_to_ = commit_up_to_;
+      BroadcastToAll(std::move(flush));
+    }
+    ArmSkipTimer();
+  });
+}
+
+void MenciusReplica::ApplyWatermark(Slot up_to) {
+  if (up_to <= commit_up_to_) return;
+  bool contiguous = true;
+  for (Slot s = commit_up_to_ + 1; s <= up_to; ++s) {
+    auto entry = log_.find(s);
+    if (entry == log_.end()) {
+      contiguous = false;
+      break;
+    }
+    entry->second.committed = true;
+  }
+  if (contiguous) commit_up_to_ = up_to;
+}
+
+void MenciusReplica::HandleRequest(const ClientRequest& req) {
+  // Propose in our next owned slot, jumping (and implicitly skipping)
+  // forward if the log has advanced past it.
+  const Slot slot =
+      std::max(next_own_slot_, NextOwnedSlot(max_slot_seen_ + 1));
+  const Slot skip_from = next_own_slot_;
+  MarkSkipped(index_, skip_from, slot);
+  next_own_slot_ = slot + n_;
+  max_slot_seen_ = std::max(max_slot_seen_, slot);
+
+  Entry entry;
+  entry.cmd = req.cmd;
+  entry.has_cmd = true;
+  log_[slot] = std::move(entry);
+  pending_[slot] = req;
+
+  Accept msg;
+  msg.slot = slot;
+  msg.cmd = req.cmd;
+  msg.skip_before = skip_from;
+  msg.commit_up_to = commit_up_to_;
+  BroadcastToAll(std::move(msg));
+  if (majority_ <= 1) {
+    log_[slot].committed = true;
+    AdvanceExecution();
+  }
+}
+
+void MenciusReplica::MarkSkipped(int owner_index, Slot from, Slot before) {
+  // Mark every slot owned by `owner_index` in [from, before) that has no
+  // entry as a committed no-op.
+  Slot slot = from;
+  const Slot rem = slot % n_;
+  if (rem != owner_index) {
+    slot += owner_index - rem + (owner_index < rem ? n_ : 0);
+  }
+  for (; slot < before; slot += n_) {
+    auto it = log_.find(slot);
+    if (it != log_.end()) continue;
+    Entry noop;
+    noop.noop = true;
+    noop.committed = true;
+    log_[slot] = std::move(noop);
+  }
+}
+
+void MenciusReplica::HandleAccept(const Accept& msg) {
+  const int sender_index =
+      static_cast<int>(msg.slot % n_);  // slot ownership names the sender
+  max_slot_seen_ = std::max(max_slot_seen_, msg.slot);
+  // The proposer's own unused slots in [skip_before, slot) are implicitly
+  // skipped; its earlier slots were settled by earlier (FIFO-ordered)
+  // messages on this link.
+  MarkSkipped(sender_index, msg.skip_before, msg.slot);
+
+  auto it = log_.find(msg.slot);
+  if (it == log_.end()) {
+    Entry entry;
+    entry.cmd = msg.cmd;
+    entry.has_cmd = true;
+    log_[msg.slot] = std::move(entry);
+  } else if (!it->second.has_cmd && !it->second.noop) {
+    // Fill a vote-only placeholder left by an early ack.
+    it->second.cmd = msg.cmd;
+    it->second.has_cmd = true;
+  }
+  // Acks are broadcast (learner pattern): every replica tallies every
+  // slot's majority independently, so commits are learned in one round
+  // without a separate commit message — the classic Mencius cost profile
+  // (N^2 messages per round, perfectly balanced across replicas).
+  AcceptAck ack;
+  ack.slot = msg.slot;
+  // Piggybacked skip: seeing a higher slot means our earlier due slots go
+  // unused; relinquish them in the same message (no timer wait).
+  if (msg.slot > next_own_slot_) {
+    ack.skip_from = next_own_slot_;
+    ack.skip_up_to = msg.slot;
+    MarkSkipped(index_, next_own_slot_, msg.slot);
+    next_own_slot_ = NextOwnedSlot(msg.slot);
+    ++skips_sent_;
+  }
+  BroadcastToAll(std::move(ack));
+  // Count our own vote locally (our broadcast does not loop back).
+  auto voted = log_.find(msg.slot);
+  if (voted != log_.end() && !voted->second.committed) {
+    ++voted->second.acks;
+    if (voted->second.acks >= majority_) {
+      voted->second.committed = true;
+    }
+  }
+
+  // Piggybacked commit watermark.
+  ApplyWatermark(msg.commit_up_to);
+  AdvanceExecution();
+}
+
+void MenciusReplica::HandleFlush(const CommitFlush& msg) {
+  ApplyWatermark(msg.commit_up_to);
+  AdvanceExecution();
+}
+
+void MenciusReplica::HandleAck(const AcceptAck& msg) {
+  max_slot_seen_ = std::max(max_slot_seen_, msg.slot);
+  if (msg.skip_up_to > msg.skip_from) {
+    int sender_index = 0;
+    for (int i = 0; i < n_; ++i) {
+      if (peers()[static_cast<std::size_t>(i)] == msg.from) sender_index = i;
+    }
+    MarkSkipped(sender_index, msg.skip_from, msg.skip_up_to);
+  }
+  auto it = log_.find(msg.slot);
+  if (it == log_.end()) {
+    // Ack outran the Accept on this link topology; remember the vote.
+    Entry placeholder;
+    placeholder.acks = 1;  // implicit proposer self-ack
+    it = log_.emplace(msg.slot, std::move(placeholder)).first;
+  }
+  if (!it->second.committed) {
+    ++it->second.acks;
+    if (it->second.acks >= majority_) {
+      it->second.committed = true;
+    }
+  }
+  AdvanceExecution();
+}
+
+void MenciusReplica::HandleSkip(const Skip& msg) {
+  // Determine the sender's rotation index from its peer position.
+  int sender_index = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (peers()[static_cast<std::size_t>(i)] == msg.from) sender_index = i;
+  }
+  MarkSkipped(sender_index, msg.skip_from, msg.up_to);
+  ApplyWatermark(msg.commit_up_to);
+  AdvanceExecution();
+}
+
+void MenciusReplica::AdvanceExecution() {
+  // Maintain the contiguous committed prefix, then execute it in order.
+  while (true) {
+    auto it = log_.find(commit_up_to_ + 1);
+    if (it == log_.end() || !it->second.committed) break;
+    ++commit_up_to_;
+  }
+  while (execute_up_to_ < commit_up_to_) {
+    const Slot slot = execute_up_to_ + 1;
+    auto it = log_.find(slot);
+    if (it == log_.end() || !it->second.committed) break;
+    if (!it->second.noop && !it->second.has_cmd) break;  // command in flight
+    ++execute_up_to_;
+    if (it->second.noop) continue;
+    Result<Value> result = store_.Execute(it->second.cmd);
+    auto pending = pending_.find(slot);
+    if (pending != pending_.end()) {
+      const ClientRequest req = pending->second;
+      pending_.erase(pending);
+      ReplyToClient(req, /*ok=*/true,
+                    result.ok() ? result.value() : Value(), result.ok());
+    }
+  }
+}
+
+void RegisterMenciusProtocol() {
+  RegisterProtocol(
+      "mencius",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<MenciusReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = false, .leaderless = true});
+}
+
+}  // namespace paxi

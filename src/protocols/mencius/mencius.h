@@ -1,0 +1,131 @@
+#ifndef PAXI_PROTOCOLS_MENCIUS_MENCIUS_H_
+#define PAXI_PROTOCOLS_MENCIUS_MENCIUS_H_
+
+#include <map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+
+namespace paxi {
+
+/// Mencius (Mao et al., OSDI'08 — cited by the paper as the classic
+/// rotating-leader WAN state machine). The log's slots are partitioned
+/// round-robin: server k owns slots where slot % N == k. Every server
+/// commits its clients' commands in its own slots with a majority quorum
+/// (no phase-1 in the failure-free path: slot ownership doubles as the
+/// default ballot), which removes the single-leader bottleneck while
+/// keeping one total order.
+///
+/// The rotation's cost is the *skip* machinery: execution is in global
+/// slot order, so an idle server's unused slots must be skipped or the
+/// log stalls. A proposer implicitly skips its earlier unused slots when
+/// proposing (the Accept carries `skip_before`), and an idle server that
+/// observes the log advancing broadcasts explicit Skip messages for its
+/// due slots on a timer.
+///
+/// Simplifications vs the full protocol (documented scope): no revocation
+/// (a crashed server's slots block execution until it unfreezes), and
+/// skips take effect at receipt rather than by consensus — both only
+/// matter under failures, which the paper's Mencius discussion does not
+/// evaluate either.
+namespace mencius {
+
+struct Accept : Message {
+  Slot slot = 0;
+  Command cmd;
+  /// The sender implicitly skips every slot it owns in
+  /// [skip_before, slot); its slots below skip_before were settled by
+  /// earlier messages (FIFO links).
+  Slot skip_before = 0;
+  /// Piggybacked commit watermark (all slots <= this are committed at the
+  /// sender).
+  Slot commit_up_to = -1;
+};
+
+struct AcceptAck : Message {
+  Slot slot = 0;
+  /// Piggybacked skip (Mao et al. §4): by acking slot `slot`, the sender
+  /// also relinquishes its own unused slots in [skip_from, skip_up_to).
+  /// The range start matters: the sender's slots below it were already
+  /// proposed or skipped, and FIFO links guarantee receivers saw those
+  /// messages first — marking from 0 would race in-flight Accepts.
+  Slot skip_from = 0;
+  Slot skip_up_to = 0;
+};
+
+/// Idle-server announcement: "I will not use my slots in
+/// [skip_from, up_to)". Carries the sender's commit watermark so execution
+/// keeps advancing at followers even when the sender stops proposing.
+struct Skip : Message {
+  Slot skip_from = 0;
+  Slot up_to = 0;
+  Slot commit_up_to = -1;
+};
+
+/// Watermark-only flush, broadcast from the timer when commits advanced
+/// but no Accept carried them (an idle proposer's committed tail would
+/// otherwise never reach the other replicas).
+struct CommitFlush : Message {
+  Slot commit_up_to = -1;
+};
+
+}  // namespace mencius
+
+class MenciusReplica : public Node {
+ public:
+  MenciusReplica(NodeId id, Env env);
+
+  void Start() override;
+
+  Slot executed_up_to() const { return execute_up_to_; }
+  std::size_t skips_sent() const { return skips_sent_; }
+
+ private:
+  struct Entry {
+    Command cmd;
+    /// False for vote-only placeholders (an ack overtook its Accept on a
+    /// different link); execution must wait for the command to arrive.
+    bool has_cmd = false;
+    bool noop = false;
+    bool committed = false;
+    std::size_t acks = 1;  // proposer self-ack
+  };
+
+  void HandleRequest(const ClientRequest& req);
+  void HandleAccept(const mencius::Accept& msg);
+  void HandleAck(const mencius::AcceptAck& msg);
+  void HandleSkip(const mencius::Skip& msg);
+  void HandleFlush(const mencius::CommitFlush& msg);
+  void ApplyWatermark(Slot up_to);
+
+  void MarkSkipped(int owner_index, Slot from, Slot before);
+  void AdvanceExecution();
+  void ArmSkipTimer();
+
+  /// This replica's index in the rotation (0-based).
+  int index_ = 0;
+  int n_ = 1;
+  bool OwnsSlot(Slot slot) const { return slot % n_ == index_; }
+  /// Smallest slot this node owns that is >= `at`.
+  Slot NextOwnedSlot(Slot at) const;
+
+  std::map<Slot, Entry> log_;
+  Slot next_own_slot_;         ///< Next slot this node will propose in.
+  Slot max_slot_seen_ = -1;    ///< Highest slot observed anywhere.
+  Slot commit_up_to_ = -1;
+  Slot execute_up_to_ = -1;
+  std::map<Slot, ClientRequest> pending_;
+  std::size_t majority_;
+  Time skip_interval_;
+  std::size_t skips_sent_ = 0;
+  Slot flushed_up_to_ = -1;
+};
+
+/// Registers "mencius" with the cluster factory.
+void RegisterMenciusProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_MENCIUS_MENCIUS_H_

@@ -1,0 +1,335 @@
+#include "protocols/paxos/paxos.h"
+
+#include <algorithm>
+
+namespace paxi {
+
+using paxos::LogEntryWire;
+using paxos::P1a;
+using paxos::P1b;
+using paxos::P2a;
+using paxos::P2b;
+
+PaxosReplica::PaxosReplica(NodeId id, Env env) : Node(id, env) {
+  heartbeat_interval_ =
+      config().GetParamInt("heartbeat_ms", 100) * kMillisecond;
+  election_timeout_ =
+      config().GetParamInt("election_timeout_ms", 500) * kMillisecond;
+  local_reads_ = config().GetParamBool("local_reads", false);
+
+  OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
+  OnMessage<P1a>([this](const P1a& m) { HandleP1a(m); });
+  OnMessage<P1b>([this](const P1b& m) { HandleP1b(m); });
+  OnMessage<P2a>([this](const P2a& m) { HandleP2a(m); });
+  OnMessage<P2b>([this](const P2b& m) { HandleP2b(m); });
+}
+
+std::size_t PaxosReplica::Phase1QuorumSize() const {
+  return peers().size() / 2 + 1;
+}
+
+std::size_t PaxosReplica::Phase2QuorumSize() const {
+  return peers().size() / 2 + 1;
+}
+
+void PaxosReplica::Start() {
+  const NodeId initial = ParseNodeId(config().GetParam("leader", "1.1"));
+  last_leader_contact_ = Now();
+  if (id() == initial) {
+    StartPhase1();
+  }
+  ArmElectionTimer();
+}
+
+bool PaxosReplica::LeaderIsFresh() const {
+  return Now() - last_leader_contact_ < election_timeout_;
+}
+
+void PaxosReplica::ArmElectionTimer() {
+  // Jittered so rival candidates do not duel forever.
+  const Time jitter = rng().UniformInt(0, election_timeout_ / 2);
+  SetTimer(election_timeout_ + jitter, [this]() {
+    if (!active_ && !electing_ && !LeaderIsFresh()) {
+      StartPhase1();
+    }
+    ArmElectionTimer();
+  });
+}
+
+void PaxosReplica::ArmHeartbeat() {
+  SetTimer(heartbeat_interval_, [this]() {
+    if (!active_) return;
+    P2a hb;
+    hb.ballot = ballot_;
+    hb.slot = -1;
+    hb.commit_up_to = commit_up_to_;
+    BroadcastToAll(std::move(hb));
+    ArmHeartbeat();
+  });
+}
+
+void PaxosReplica::StartPhase1() {
+  electing_ = true;
+  active_ = false;
+  ballot_ = ballot_.Next(id());
+  p1_acks_ = 1;  // self-vote
+  recovered_.clear();
+  // The self-vote contributes this node's own entries above its
+  // watermark (slots the old leader committed but whose watermark never
+  // reached us included).
+  for (const auto& [slot, entry] : log_) {
+    if (slot > commit_up_to_) {
+      recovered_.push_back(
+          LogEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+    }
+  }
+  P1a msg;
+  msg.ballot = ballot_;
+  msg.commit_up_to = commit_up_to_;
+  BroadcastToAll(std::move(msg));
+}
+
+void PaxosReplica::HandleRequest(const ClientRequest& req) {
+  if (active_) {
+    Propose(req);
+    return;
+  }
+  if (local_reads_ && req.cmd.IsRead()) {
+    // Relaxed-consistency read: answer from the local state machine
+    // without a consensus round. Freshness lags the leader by at most the
+    // watermark propagation (one heartbeat + delivery).
+    Result<Value> result = store_.Get(req.cmd.key);
+    ReplyToClient(req, /*ok=*/true,
+                  result.ok() ? result.value() : Value(), result.ok());
+    return;
+  }
+  if (electing_) {
+    backlog_.push_back(req);
+    return;
+  }
+  const NodeId leader = ballot_.id;
+  if (leader.valid() && leader != id() && LeaderIsFresh()) {
+    Forward(leader, req);
+    return;
+  }
+  // No live leader known: campaign and serve the request once elected.
+  backlog_.push_back(req);
+  StartPhase1();
+}
+
+void PaxosReplica::Propose(const ClientRequest& req) {
+  const Slot slot = next_slot_++;
+  Entry entry;
+  entry.ballot = ballot_;
+  entry.cmd = req.cmd;
+  entry.acks = 1;
+  log_[slot] = std::move(entry);
+  pending_replies_[slot] = req;
+
+  P2a msg;
+  msg.ballot = ballot_;
+  msg.slot = slot;
+  msg.cmd = req.cmd;
+  msg.commit_up_to = commit_up_to_;
+  BroadcastToAll(std::move(msg));
+
+  if (Phase2QuorumSize() <= 1) {
+    log_[slot].committed = true;
+    AdvanceCommit();
+  }
+}
+
+void PaxosReplica::HandleP1a(const P1a& msg) {
+  P1b reply;
+  if (msg.ballot > ballot_) {
+    ballot_ = msg.ballot;
+    active_ = false;
+    electing_ = false;
+    last_leader_contact_ = Now();
+    reply.ok = true;
+    // Everything above the requester's watermark, committed entries
+    // included, so the new leader cannot inherit a hole.
+    for (const auto& [slot, entry] : log_) {
+      if (slot > msg.commit_up_to) {
+        reply.entries.push_back(
+            LogEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+      }
+    }
+  } else {
+    reply.ok = false;
+  }
+  reply.ballot = ballot_;
+  Send(msg.from, std::move(reply));
+}
+
+void PaxosReplica::HandleP1b(const P1b& msg) {
+  if (!electing_ || msg.ballot.id != id() || msg.ballot != ballot_) {
+    if (msg.ballot > ballot_) {
+      // Preempted by a higher ballot.
+      ballot_ = msg.ballot;
+      electing_ = false;
+      active_ = false;
+    }
+    return;
+  }
+  if (!msg.ok) return;
+  ++p1_acks_;
+  recovered_.insert(recovered_.end(), msg.entries.begin(),
+                    msg.entries.end());
+  if (p1_acks_ < Phase1QuorumSize()) return;
+
+  // Elected. Adopt reported-committed entries outright; re-propose the
+  // highest-ballot uncommitted command per remaining slot.
+  electing_ = false;
+  active_ = true;
+  std::map<Slot, LogEntryWire> best;
+  for (const auto& e : recovered_) {
+    auto it = best.find(e.slot);
+    if (it == best.end() || (e.committed && !it->second.committed) ||
+        (e.committed == it->second.committed &&
+         e.ballot > it->second.ballot)) {
+      best[e.slot] = e;
+    }
+  }
+  for (auto& [slot, wire] : best) {
+    auto it = log_.find(slot);
+    if (it != log_.end() && it->second.committed) continue;
+    Entry entry;
+    entry.ballot = ballot_;
+    entry.cmd = wire.cmd;
+    entry.acks = 1;
+    next_slot_ = std::max(next_slot_, slot + 1);
+    if (wire.committed) {
+      entry.committed = true;
+      log_[slot] = std::move(entry);
+      // Re-broadcast so followers that missed the old regime's P2a can
+      // fill the slot and advance their watermark.
+      P2a refresh;
+      refresh.ballot = ballot_;
+      refresh.slot = slot;
+      refresh.cmd = log_[slot].cmd;
+      refresh.commit_up_to = commit_up_to_;
+      BroadcastToAll(std::move(refresh));
+      continue;
+    }
+    log_[slot] = std::move(entry);
+    P2a p2a;
+    p2a.ballot = ballot_;
+    p2a.slot = slot;
+    p2a.cmd = wire.cmd;
+    p2a.commit_up_to = commit_up_to_;
+    BroadcastToAll(std::move(p2a));
+  }
+  recovered_.clear();
+  AdvanceCommit();
+
+  std::vector<ClientRequest> queued;
+  queued.swap(backlog_);
+  for (const ClientRequest& req : queued) Propose(req);
+  ArmHeartbeat();
+}
+
+void PaxosReplica::HandleP2a(const P2a& msg) {
+  if (msg.ballot >= ballot_) {
+    if (msg.ballot > ballot_ || active_ || electing_) {
+      ballot_ = msg.ballot;
+      active_ = false;
+      electing_ = false;
+    }
+    last_leader_contact_ = Now();
+    if (msg.slot >= 0) {
+      Entry entry;
+      entry.ballot = msg.ballot;
+      entry.cmd = msg.cmd;
+      log_[msg.slot] = std::move(entry);
+      next_slot_ = std::max(next_slot_, msg.slot + 1);
+      P2b reply;
+      reply.ballot = msg.ballot;
+      reply.slot = msg.slot;
+      reply.ok = true;
+      Send(msg.from, std::move(reply));
+    }
+    // Piggybacked commit watermark (phase-3).
+    if (msg.commit_up_to > commit_up_to_) {
+      for (Slot s = commit_up_to_ + 1; s <= msg.commit_up_to; ++s) {
+        auto it = log_.find(s);
+        if (it == log_.end()) return;  // gap: wait for retransmission
+        it->second.committed = true;
+      }
+      commit_up_to_ = msg.commit_up_to;
+      ExecuteCommitted();
+    }
+    return;
+  }
+  if (msg.slot >= 0) {
+    P2b reply;
+    reply.ballot = ballot_;
+    reply.slot = msg.slot;
+    reply.ok = false;
+    Send(msg.from, std::move(reply));
+  }
+}
+
+void PaxosReplica::HandleP2b(const P2b& msg) {
+  if (!msg.ok) {
+    if (msg.ballot > ballot_) {
+      ballot_ = msg.ballot;
+      active_ = false;
+      electing_ = false;
+    }
+    return;
+  }
+  if (!active_ || msg.ballot != ballot_) return;
+  auto it = log_.find(msg.slot);
+  if (it == log_.end() || it->second.committed) return;
+  ++it->second.acks;
+  if (it->second.acks >= Phase2QuorumSize()) {
+    it->second.committed = true;
+    AdvanceCommit();
+  }
+}
+
+void PaxosReplica::AdvanceCommit() {
+  while (true) {
+    auto it = log_.find(commit_up_to_ + 1);
+    if (it == log_.end() || !it->second.committed) break;
+    ++commit_up_to_;
+  }
+  ExecuteCommitted();
+}
+
+void PaxosReplica::ExecuteCommitted() {
+  while (execute_up_to_ < commit_up_to_) {
+    const Slot slot = execute_up_to_ + 1;
+    auto it = log_.find(slot);
+    if (it == log_.end() || !it->second.committed) break;
+    Result<Value> result = store_.Execute(it->second.cmd);
+    ++execute_up_to_;
+    auto pending = pending_replies_.find(slot);
+    if (pending != pending_replies_.end() && active_) {
+      const ClientRequest req = pending->second;
+      pending_replies_.erase(pending);
+      const bool found = result.ok();
+      const Value value = result.ok() ? result.value() : Value();
+      const Time extra = ReplyExtraDelay();
+      if (extra > 0) {
+        SetTimer(extra, [this, req, value, found]() {
+          ReplyToClient(req, /*ok=*/true, value, found);
+        });
+      } else {
+        ReplyToClient(req, /*ok=*/true, value, found);
+      }
+    }
+  }
+}
+
+void RegisterPaxosProtocol() {
+  RegisterProtocol(
+      "paxos",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<PaxosReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = true});
+}
+
+}  // namespace paxi

@@ -1,0 +1,141 @@
+#ifndef PAXI_PROTOCOLS_PAXOS_PAXOS_H_
+#define PAXI_PROTOCOLS_PAXOS_PAXOS_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+
+namespace paxi {
+
+/// Multi-decree Paxos (MultiPaxos) as described in §2 of the paper: a
+/// stable leader runs phase-1 once, then drives phase-2 per command;
+/// commit (phase-3) is piggybacked on subsequent phase-2a broadcasts and
+/// on heartbeats. Followers forward client requests to the leader; a
+/// crashed leader is detected via heartbeat timeout and replaced through a
+/// fresh phase-1 with a higher ballot.
+///
+/// The "local_reads" parameter enables the relaxed-consistency mode the
+/// paper lists as future work (§7): followers serve GETs from their local
+/// store, trading linearizability for bounded staleness (bounded by the
+/// heartbeat-driven watermark propagation) and offloading the leader.
+namespace paxos {
+
+struct P1a : Message {
+  Ballot ballot;
+  /// Requester's commit watermark; responders report entries above it.
+  Slot commit_up_to = -1;
+};
+
+struct LogEntryWire {
+  Slot slot = 0;
+  Ballot ballot;
+  Command cmd;
+  /// True if the reporter knows this slot committed (the new leader can
+  /// adopt it without a fresh phase-2).
+  bool committed = false;
+};
+
+struct P1b : Message {
+  Ballot ballot;      ///< Responder's current ballot (the promise or the rival).
+  bool ok = false;    ///< True if the sender promised.
+  std::vector<LogEntryWire> entries;  ///< Entries above the watermark.
+
+  std::size_t ByteSize() const override {
+    return 100 + entries.size() * 50;
+  }
+};
+
+struct P2a : Message {
+  Ballot ballot;
+  /// Slot < 0 marks a heartbeat / commit-flush carrying no command.
+  Slot slot = -1;
+  Command cmd;
+  /// Piggybacked phase-3: all slots <= this are committed at the leader.
+  Slot commit_up_to = -1;
+};
+
+struct P2b : Message {
+  Ballot ballot;  ///< Responder's ballot (rival ballot when ok == false).
+  Slot slot = 0;
+  bool ok = false;
+};
+
+}  // namespace paxos
+
+class PaxosReplica : public Node {
+ public:
+  PaxosReplica(NodeId id, Env env);
+
+  void Start() override;
+
+  bool IsLeader() const { return active_; }
+  Ballot ballot() const { return ballot_; }
+  Slot committed_up_to() const { return commit_up_to_; }
+  std::size_t log_size() const { return log_.size(); }
+
+ protected:
+  /// Quorum sizes including the leader's self-vote. Majority/majority for
+  /// Paxos; FPaxos overrides (|q1| + |q2| > N).
+  virtual std::size_t Phase1QuorumSize() const;
+  virtual std::size_t Phase2QuorumSize() const;
+
+  /// Extra fixed latency added to each client reply; RaftReplica's HTTP
+  /// emulation reuses the Paxos pipeline through this hook.
+  virtual Time ReplyExtraDelay() const { return 0; }
+
+ private:
+  struct Entry {
+    Ballot ballot;
+    Command cmd;
+    bool committed = false;
+    std::size_t acks = 1;  ///< Counts the leader's self-vote.
+  };
+
+  void HandleRequest(const ClientRequest& req);
+  void HandleP1a(const paxos::P1a& msg);
+  void HandleP1b(const paxos::P1b& msg);
+  void HandleP2a(const paxos::P2a& msg);
+  void HandleP2b(const paxos::P2b& msg);
+
+  void StartPhase1();
+  void Propose(const ClientRequest& req);
+  void AdvanceCommit();
+  void ExecuteCommitted();
+  void ArmElectionTimer();
+  void ArmHeartbeat();
+  bool LeaderIsFresh() const;
+
+  // --- State ---------------------------------------------------------------
+  Ballot ballot_;                 ///< Highest ballot seen.
+  bool active_ = false;           ///< True iff this node completed phase-1.
+  bool electing_ = false;         ///< Phase-1 in flight.
+  std::size_t p1_acks_ = 0;
+  std::vector<paxos::LogEntryWire> recovered_;
+
+  std::map<Slot, Entry> log_;
+  Slot next_slot_ = 0;
+  Slot commit_up_to_ = -1;        ///< Highest slot s.t. all <= it committed.
+  Slot execute_up_to_ = -1;       ///< Highest executed slot.
+
+  std::map<Slot, ClientRequest> pending_replies_;
+  std::vector<ClientRequest> backlog_;  ///< Requests queued during election.
+
+  Time last_leader_contact_ = 0;
+  Time heartbeat_interval_;
+  Time election_timeout_;
+  /// Relaxed consistency (paper §7 future work): followers answer reads
+  /// from their local state machine without consensus. Staleness is
+  /// bounded by the commit-watermark propagation (heartbeat) interval.
+  bool local_reads_ = false;
+};
+
+/// Registers "paxos" with the cluster factory.
+void RegisterPaxosProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_PAXOS_PAXOS_H_

@@ -1,0 +1,287 @@
+#include "protocols/raft/raft.h"
+
+#include <algorithm>
+
+namespace paxi {
+
+using raft::AppendEntries;
+using raft::AppendReply;
+using raft::LogEntry;
+using raft::RequestVote;
+using raft::VoteReply;
+
+RaftReplica::RaftReplica(NodeId id, Env env) : Node(id, env) {
+  heartbeat_interval_ =
+      config().GetParamInt("heartbeat_ms", 50) * kMillisecond;
+  election_timeout_ =
+      config().GetParamInt("election_timeout_ms", 300) * kMillisecond;
+  http_extra_ = config().GetParamInt("http_extra_us", 300);
+  SetProcessingMultiplier(config().GetParamDouble("etcd_penalty", 1.15));
+
+  OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
+  OnMessage<AppendEntries>([this](const AppendEntries& m) { HandleAppend(m); });
+  OnMessage<AppendReply>([this](const AppendReply& m) { HandleAppendReply(m); });
+  OnMessage<RequestVote>([this](const RequestVote& m) { HandleVote(m); });
+  OnMessage<VoteReply>([this](const VoteReply& m) { HandleVoteReply(m); });
+}
+
+void RaftReplica::Start() {
+  const NodeId initial = ParseNodeId(config().GetParam("leader", "1.1"));
+  last_leader_contact_ = Now();
+  if (id() == initial) {
+    // Bootstrap: the designated node campaigns immediately so benchmarks
+    // start from a stable leader, as in the paper's deployments.
+    BecomeCandidate();
+  }
+  ArmElectionTimer();
+}
+
+void RaftReplica::ArmElectionTimer() {
+  const std::uint64_t epoch = election_epoch_;
+  const Time jitter = rng().UniformInt(0, election_timeout_);
+  SetTimer(election_timeout_ + jitter, [this, epoch]() {
+    if (role_ != Role::kLeader && epoch == election_epoch_ &&
+        Now() - last_leader_contact_ >= election_timeout_) {
+      BecomeCandidate();
+    }
+    if (epoch == election_epoch_) ArmElectionTimer();
+  });
+}
+
+void RaftReplica::ArmHeartbeat() {
+  SetTimer(heartbeat_interval_, [this]() {
+    if (role_ != Role::kLeader) return;
+    for (const NodeId& p : peers()) {
+      if (p != id()) ReplicateTo(p);
+    }
+    ArmHeartbeat();
+  });
+}
+
+void RaftReplica::BecomeFollower(std::int64_t term) {
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = NodeId::Invalid();
+  }
+  role_ = Role::kFollower;
+}
+
+void RaftReplica::BecomeCandidate() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id();
+  votes_ = 1;
+  ++election_epoch_;
+  ArmElectionTimer();
+  RequestVote rv;
+  rv.term = term_;
+  rv.last_log_index = LastIndex();
+  rv.last_log_term = LastTerm();
+  BroadcastToAll(std::move(rv));
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  leader_ = id();
+  for (const NodeId& p : peers()) {
+    next_index_[p] = LastIndex() + 1;
+    match_index_[p] = -1;
+  }
+  // Raft commits entries from prior terms only via a current-term entry:
+  // append a no-op barrier on election.
+  LogEntry noop;
+  noop.term = term_;
+  noop.noop = true;
+  log_.push_back(std::move(noop));
+  BroadcastNewEntry();
+  ArmHeartbeat();
+}
+
+void RaftReplica::HandleRequest(const ClientRequest& req) {
+  if (role_ != Role::kLeader) {
+    if (leader_.valid() && leader_ != id() &&
+        Now() - last_leader_contact_ < election_timeout_) {
+      Forward(leader_, req);
+    } else {
+      // No known leader: reject with a hint; the client retries elsewhere.
+      ReplyToClient(req, /*ok=*/false, Value(), /*found=*/false, leader_);
+    }
+    return;
+  }
+  LogEntry entry;
+  entry.term = term_;
+  entry.cmd = req.cmd;
+  entry.noop = false;
+  log_.push_back(std::move(entry));
+  pending_replies_[LastIndex()] = req;
+  BroadcastNewEntry();
+}
+
+void RaftReplica::BroadcastNewEntry() {
+  // Fast path: every up-to-date follower gets just the tail entry in one
+  // broadcast (one serialization). Laggards are repaired via ReplicateTo
+  // when their AppendReply reports a mismatch.
+  AppendEntries ae;
+  ae.term = term_;
+  ae.prev_index = LastIndex() - 1;
+  ae.prev_term = log_.size() >= 2 ? log_[log_.size() - 2].term : 0;
+  ae.entries = {log_.back()};
+  ae.commit_index = commit_index_;
+  BroadcastToAll(std::move(ae));
+}
+
+void RaftReplica::ReplicateTo(NodeId peer) {
+  const Slot next = next_index_.count(peer) ? next_index_[peer] : 0;
+  AppendEntries ae;
+  ae.term = term_;
+  ae.prev_index = next - 1;
+  ae.prev_term =
+      (next - 1 >= 0 && next - 1 <= LastIndex())
+          ? log_[static_cast<std::size_t>(next - 1)].term
+          : 0;
+  for (Slot i = next; i <= LastIndex(); ++i) {
+    ae.entries.push_back(log_[static_cast<std::size_t>(i)]);
+  }
+  ae.commit_index = commit_index_;
+  Send(peer, std::move(ae));
+}
+
+void RaftReplica::HandleAppend(const AppendEntries& msg) {
+  if (msg.term < term_) {
+    AppendReply reply;
+    reply.term = term_;
+    reply.success = false;
+    Send(msg.from, std::move(reply));
+    return;
+  }
+  BecomeFollower(msg.term);
+  leader_ = msg.from;
+  last_leader_contact_ = Now();
+
+  AppendReply reply;
+  reply.term = term_;
+  // Log-matching check.
+  if (msg.prev_index >= 0 &&
+      (msg.prev_index > LastIndex() ||
+       log_[static_cast<std::size_t>(msg.prev_index)].term != msg.prev_term)) {
+    reply.success = false;
+    reply.match_index = std::min(msg.prev_index - 1, LastIndex());
+    Send(msg.from, std::move(reply));
+    return;
+  }
+  // Append, truncating any conflicting suffix.
+  Slot index = msg.prev_index;
+  for (const LogEntry& e : msg.entries) {
+    ++index;
+    if (index <= LastIndex()) {
+      if (log_[static_cast<std::size_t>(index)].term != e.term) {
+        log_.resize(static_cast<std::size_t>(index));
+        log_.push_back(e);
+      }
+    } else {
+      log_.push_back(e);
+    }
+  }
+  if (msg.commit_index > commit_index_) {
+    commit_index_ = std::min(msg.commit_index, LastIndex());
+    Apply();
+  }
+  reply.success = true;
+  reply.match_index = index;
+  Send(msg.from, std::move(reply));
+}
+
+void RaftReplica::HandleAppendReply(const AppendReply& msg) {
+  if (msg.term > term_) {
+    BecomeFollower(msg.term);
+    return;
+  }
+  if (role_ != Role::kLeader || msg.term != term_) return;
+  if (msg.success) {
+    match_index_[msg.from] = std::max(match_index_[msg.from], msg.match_index);
+    next_index_[msg.from] = match_index_[msg.from] + 1;
+    AdvanceCommit();
+  } else {
+    // Back up and retry from the follower's hinted match point.
+    next_index_[msg.from] = std::max<Slot>(0, msg.match_index + 1);
+    ReplicateTo(msg.from);
+  }
+}
+
+void RaftReplica::AdvanceCommit() {
+  for (Slot n = LastIndex(); n > commit_index_; --n) {
+    if (log_[static_cast<std::size_t>(n)].term != term_) continue;
+    std::size_t count = 1;  // self
+    for (const auto& [peer, match] : match_index_) {
+      if (peer != id() && match >= n) ++count;
+    }
+    if (count >= peers().size() / 2 + 1) {
+      commit_index_ = n;
+      Apply();
+      break;
+    }
+  }
+}
+
+void RaftReplica::Apply() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const LogEntry& e = log_[static_cast<std::size_t>(last_applied_)];
+    if (e.noop) continue;
+    Result<Value> result = store_.Execute(e.cmd);
+    auto it = pending_replies_.find(last_applied_);
+    if (it != pending_replies_.end() && role_ == Role::kLeader) {
+      const ClientRequest req = it->second;
+      pending_replies_.erase(it);
+      const bool found = result.ok();
+      const Value value = result.ok() ? result.value() : Value();
+      if (http_extra_ > 0) {
+        // etcd's REST front end: extra client-path latency, no CPU charge.
+        SetTimer(http_extra_, [this, req, value, found]() {
+          ReplyToClient(req, /*ok=*/true, value, found);
+        });
+      } else {
+        ReplyToClient(req, /*ok=*/true, value, found);
+      }
+    }
+  }
+}
+
+void RaftReplica::HandleVote(const RequestVote& msg) {
+  if (msg.term > term_) BecomeFollower(msg.term);
+  VoteReply reply;
+  reply.term = term_;
+  const bool log_ok =
+      msg.last_log_term > LastTerm() ||
+      (msg.last_log_term == LastTerm() && msg.last_log_index >= LastIndex());
+  if (msg.term == term_ && log_ok &&
+      (!voted_for_.valid() || voted_for_ == msg.from)) {
+    voted_for_ = msg.from;
+    last_leader_contact_ = Now();  // grant resets the election clock
+    reply.granted = true;
+  }
+  Send(msg.from, std::move(reply));
+}
+
+void RaftReplica::HandleVoteReply(const VoteReply& msg) {
+  if (msg.term > term_) {
+    BecomeFollower(msg.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) return;
+  ++votes_;
+  if (static_cast<std::size_t>(votes_) >= peers().size() / 2 + 1) {
+    BecomeLeader();
+  }
+}
+
+void RegisterRaftProtocol() {
+  RegisterProtocol(
+      "raft",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<RaftReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = true});
+}
+
+}  // namespace paxi

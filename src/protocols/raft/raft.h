@@ -1,0 +1,119 @@
+#ifndef PAXI_PROTOCOLS_RAFT_RAFT_H_
+#define PAXI_PROTOCOLS_RAFT_RAFT_H_
+
+#include <map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+
+namespace paxi {
+
+/// Raft, the baseline the paper compares Paxi/Paxos against via etcd
+/// (§5.1, Fig. 7). Terms, randomized-timeout elections, log matching and
+/// majority commit are implemented; persistence and snapshots are not
+/// (the paper disabled persistent logging in etcd for the comparison).
+///
+/// etcd's extra costs — HTTP inter-node transport and heavier message
+/// serialization — are emulated with a CPU multiplier ("etcd_penalty",
+/// default 1.15) and a fixed client-path delay ("http_extra_us", default
+/// 300), which reproduces Fig. 7: the same ~8k ops/s single-leader
+/// saturation as Paxos with visibly higher latency below saturation.
+namespace raft {
+
+struct LogEntry {
+  std::int64_t term = 0;
+  Command cmd;
+  bool noop = true;  ///< Leader-change barrier entries carry no command.
+};
+
+struct AppendEntries : Message {
+  std::int64_t term = 0;
+  Slot prev_index = -1;
+  std::int64_t prev_term = 0;
+  std::vector<LogEntry> entries;
+  Slot commit_index = -1;
+
+  std::size_t ByteSize() const override { return 100 + entries.size() * 50; }
+};
+
+struct AppendReply : Message {
+  std::int64_t term = 0;
+  bool success = false;
+  Slot match_index = -1;
+};
+
+struct RequestVote : Message {
+  std::int64_t term = 0;
+  Slot last_log_index = -1;
+  std::int64_t last_log_term = 0;
+};
+
+struct VoteReply : Message {
+  std::int64_t term = 0;
+  bool granted = false;
+};
+
+}  // namespace raft
+
+class RaftReplica : public Node {
+ public:
+  RaftReplica(NodeId id, Env env);
+
+  void Start() override;
+
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  std::int64_t term() const { return term_; }
+  Slot commit_index() const { return commit_index_; }
+  Slot log_size() const { return static_cast<Slot>(log_.size()); }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  void HandleRequest(const ClientRequest& req);
+  void HandleAppend(const raft::AppendEntries& msg);
+  void HandleAppendReply(const raft::AppendReply& msg);
+  void HandleVote(const raft::RequestVote& msg);
+  void HandleVoteReply(const raft::VoteReply& msg);
+
+  void BecomeFollower(std::int64_t term);
+  void BecomeCandidate();
+  void BecomeLeader();
+  void ReplicateTo(NodeId peer);
+  void BroadcastNewEntry();
+  void AdvanceCommit();
+  void Apply();
+  void ArmElectionTimer();
+  void ArmHeartbeat();
+  Slot LastIndex() const { return static_cast<Slot>(log_.size()) - 1; }
+  std::int64_t LastTerm() const {
+    return log_.empty() ? 0 : log_.back().term;
+  }
+
+  Role role_ = Role::kFollower;
+  std::int64_t term_ = 0;
+  NodeId voted_for_ = NodeId::Invalid();
+  NodeId leader_ = NodeId::Invalid();
+  std::vector<raft::LogEntry> log_;
+  Slot commit_index_ = -1;
+  Slot last_applied_ = -1;
+  std::map<NodeId, Slot> next_index_;
+  std::map<NodeId, Slot> match_index_;
+  int votes_ = 0;
+
+  std::map<Slot, ClientRequest> pending_replies_;
+
+  Time last_leader_contact_ = 0;
+  Time heartbeat_interval_;
+  Time election_timeout_;
+  Time http_extra_;
+  std::uint64_t election_epoch_ = 0;
+};
+
+/// Registers "raft" with the cluster factory.
+void RegisterRaftProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_RAFT_RAFT_H_

@@ -1,0 +1,217 @@
+#include "protocols/vpaxos/vpaxos.h"
+
+#include <cassert>
+
+namespace paxi {
+
+using vpaxos::ConfigChangeReq;
+using vpaxos::ConfigUpdate;
+using vpaxos::StateTransfer;
+
+VPaxosReplica::VPaxosReplica(NodeId id, Env env) : ZoneGroupNode(id, env) {
+  master_zone_ = static_cast<int>(config().GetParamInt(
+      "master_zone", config().topology.is_wan() ? 2 : 1));
+  default_owner_zone_ = static_cast<int>(
+      config().GetParamInt("initial_owner_zone", master_zone_));
+  migrate_threshold_ =
+      static_cast<int>(config().GetParamInt("migrate_threshold", 3));
+  migrate_cooldown_ =
+      config().GetParamInt("migrate_cooldown_ms", 1000) * kMillisecond;
+
+  OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
+  OnMessage<ConfigChangeReq>(
+      [this](const ConfigChangeReq& m) { HandleConfigChange(m); });
+  OnMessage<ConfigUpdate>(
+      [this](const ConfigUpdate& m) { HandleConfigUpdate(m); });
+  OnMessage<StateTransfer>(
+      [this](const StateTransfer& m) { HandleStateTransfer(m); });
+}
+
+std::string VPaxosReplica::DebugKey(Key key) const {
+  auto it = owners_.find(key);
+  if (it == owners_.end()) return "(default owner)";
+  const OwnerInfo& info = it->second;
+  return "zone=" + std::to_string(info.zone) +
+         " v=" + std::to_string(info.version) +
+         " run=" + std::to_string(info.run_zone) + "x" +
+         std::to_string(info.run_length) +
+         " req=" + std::to_string(info.change_requested) +
+         " awaiting=" + std::to_string(info.awaiting_transfer) +
+         " early=" + std::to_string(info.transfer_arrived_early) +
+         " parked=" + std::to_string(info.parked.size());
+}
+
+VPaxosReplica::OwnerInfo& VPaxosReplica::Info(Key key) {
+  auto [it, inserted] = owners_.try_emplace(key);
+  if (inserted) it->second.zone = default_owner_zone_;
+  return it->second;
+}
+
+int VPaxosReplica::OwnerZone(Key key) const {
+  auto it = owners_.find(key);
+  return it == owners_.end() ? default_owner_zone_ : it->second.zone;
+}
+
+void VPaxosReplica::HandleRequest(const ClientRequest& req) {
+  Serve(req, /*track_policy=*/true);
+}
+
+void VPaxosReplica::Serve(const ClientRequest& req, bool track_policy) {
+  if (!IsGroupLeader()) {
+    Forward(GroupLeaderOf(id().zone), req);
+    return;
+  }
+  OwnerInfo& info = Info(req.cmd.key);
+  if (info.zone != id().zone) {
+    Forward(GroupLeaderOf(info.zone), req);
+    return;
+  }
+  if (info.awaiting_transfer) {
+    // Freshly assigned owner: the previous group's value snapshot has not
+    // landed yet; serving now could read stale state. Park the request.
+    info.parked.push_back(req);
+    return;
+  }
+
+  // We own the object: commit in our group, and run the migration policy
+  // on the demand stream (the paper's three-consecutive-access rule).
+  // Demand is attributed to the client's origin region.
+  if (track_policy && Now() >= info.policy_cooldown_until) {
+    const int source_zone = req.client_addr.valid() ? req.client_addr.zone
+                            : req.from.valid()      ? req.from.zone
+                                                    : id().zone;
+    if (source_zone == info.run_zone) {
+      ++info.run_length;
+    } else {
+      info.run_zone = source_zone;
+      info.run_length = 1;
+      info.change_requested = false;
+    }
+    if (info.run_zone != id().zone &&
+        info.run_length >= migrate_threshold_ && !info.change_requested) {
+      info.change_requested = true;
+      ConfigChangeReq change;
+      change.key = req.cmd.key;
+      change.to_zone = info.run_zone;
+      Send(MasterLeader(), std::move(change));
+    }
+  }
+  CommitLocally(req);
+}
+
+void VPaxosReplica::CommitLocally(const ClientRequest& req) {
+  GroupSubmit(req.cmd, [this, req](Result<Value> result) {
+    ReplyToClient(req, /*ok=*/true,
+                  result.ok() ? result.value() : Value(), result.ok());
+  });
+}
+
+void VPaxosReplica::HandleConfigChange(const ConfigChangeReq& msg) {
+  if (!IsGroupLeader() || !IsMasterZone()) return;
+  // Replicate the decision in the master group before announcing it; the
+  // marker command lives in a reserved key space (client 0).
+  const std::int64_t version = ++config_version_;
+  Command marker;
+  marker.op = Command::Op::kPut;
+  marker.key = -1 - msg.key;  // control-plane namespace
+  marker.value = std::to_string(msg.to_zone);
+  marker.client = 0;
+  marker.request = version;
+  const Key key = msg.key;
+  const int to_zone = msg.to_zone;
+  GroupSubmit(std::move(marker), [this, key, to_zone, version](Result<Value>) {
+    ConfigUpdate update;
+    update.key = key;
+    update.owner_zone = to_zone;
+    update.version = version;
+    for (int z = 1; z <= config().zones; ++z) {
+      if (GroupLeaderOf(z) == id()) {
+        // Local application for the master's own leadership — through the
+        // same handler, so the master runs the old-owner state transfer
+        // when the object is leaving its own zone.
+        HandleConfigUpdate(update);
+        continue;
+      }
+      Forward(GroupLeaderOf(z), update);
+    }
+  });
+}
+
+void VPaxosReplica::HandleConfigUpdate(const ConfigUpdate& msg) {
+  if (!IsGroupLeader()) return;
+  OwnerInfo& info = Info(msg.key);
+  if (msg.version <= info.version) return;
+  const bool was_owner = info.zone == id().zone;
+  const bool becomes_owner = msg.owner_zone == id().zone;
+  info.zone = msg.owner_zone;
+  info.version = msg.version;
+  info.run_zone = 0;
+  info.run_length = 0;
+  info.change_requested = false;
+  ++migrations_;
+  if (was_owner && !becomes_owner) {
+    // Ship the latest value to the new owner group, behind a group
+    // barrier so every in-flight local write to the key is included.
+    const Key key = msg.key;
+    const int new_zone = msg.owner_zone;
+    Command barrier;
+    barrier.op = Command::Op::kGet;
+    barrier.key = key;
+    barrier.client = 0;
+    barrier.request = 0;
+    GroupSubmit(std::move(barrier),
+                [this, key, new_zone](Result<Value> value) {
+                  StateTransfer st;
+                  st.key = key;
+                  st.has_value = value.ok();
+                  if (value.ok()) st.value = std::move(value).value();
+                  Send(GroupLeaderOf(new_zone), std::move(st));
+                });
+  }
+  if (becomes_owner && !was_owner) {
+    info.policy_cooldown_until = Now() + migrate_cooldown_;
+    if (info.transfer_arrived_early) {
+      info.transfer_arrived_early = false;  // snapshot already seeded
+    } else {
+      info.awaiting_transfer = true;
+    }
+  }
+}
+
+void VPaxosReplica::HandleStateTransfer(const StateTransfer& msg) {
+  if (!IsGroupLeader()) return;
+  if (msg.has_value) {
+    Command seed;
+    seed.op = Command::Op::kPut;
+    seed.key = msg.key;
+    seed.value = msg.value;
+    seed.client = 0;
+    seed.request = 0;
+    GroupSubmit(std::move(seed), nullptr);
+  }
+  OwnerInfo& info = Info(msg.key);
+  if (!info.awaiting_transfer) {
+    // Transfer outran the master's ConfigUpdate on this link.
+    info.transfer_arrived_early = true;
+    return;
+  }
+  info.awaiting_transfer = false;
+  // Group slots are ordered, so parked commands submitted now execute
+  // after the seed.
+  std::vector<ClientRequest> parked = std::move(info.parked);
+  info.parked.clear();
+  for (const ClientRequest& req : parked) {
+    Serve(req, /*track_policy=*/false);
+  }
+}
+
+void RegisterVPaxosProtocol() {
+  RegisterProtocol(
+      "vpaxos",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<VPaxosReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = false});
+}
+
+}  // namespace paxi

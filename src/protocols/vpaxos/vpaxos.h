@@ -1,0 +1,108 @@
+#ifndef PAXI_PROTOCOLS_VPAXOS_VPAXOS_H_
+#define PAXI_PROTOCOLS_VPAXOS_VPAXOS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+#include "protocols/common/zone_group.h"
+
+namespace paxi {
+
+/// Vertical Paxos (§2), in the augmented form the paper evaluates in §5.3:
+/// a master Paxos group sits above per-zone data groups and owns the
+/// object -> group assignment (the control plane). Commands commit inside
+/// the owning zone's group; moving an object to another group is a
+/// reconfiguration decided and replicated by the master group.
+///
+/// Placement: objects default to "initial_owner_zone" (Ohio in the paper's
+/// experiments). The owner applies the three-consecutive-access policy:
+/// sustained demand from one remote zone triggers a ConfigChange through
+/// the master; interleaved (conflicting) demand keeps the object put and
+/// remote requests pay a WAN forward — which is why VPaxos tracks WPaxos
+/// fz=0 and WanKeeper so closely in Figs. 11 and 13.
+namespace vpaxos {
+
+/// Owner zone leader -> master leader: demand has settled at `to_zone`.
+struct ConfigChangeReq : Message {
+  Key key = 0;
+  int to_zone = 0;
+};
+
+/// Master leader -> all zone leaders: new owner for `key`.
+struct ConfigUpdate : Message {
+  Key key = 0;
+  int owner_zone = 0;
+  std::int64_t version = 0;
+};
+
+/// Old owner -> new owner: latest value of the moved object.
+struct StateTransfer : Message {
+  Key key = 0;
+  bool has_value = false;
+  Value value;
+};
+
+}  // namespace vpaxos
+
+class VPaxosReplica : public ZoneGroupNode {
+ public:
+  VPaxosReplica(NodeId id, Env env);
+
+  bool IsMasterZone() const { return id().zone == master_zone_; }
+  std::size_t migrations() const { return migrations_; }
+
+  /// One-line dump of this node's view of `key` (tests/diagnostics).
+  std::string DebugKey(Key key) const;
+
+ private:
+  struct OwnerInfo {
+    int zone = 0;
+    std::int64_t version = 0;
+    int run_zone = 0;
+    int run_length = 0;
+    bool change_requested = false;
+    /// New-owner handshake: serve nothing until the old group's value
+    /// snapshot (StateTransfer) lands; park requests meanwhile.
+    bool awaiting_transfer = false;
+    bool transfer_arrived_early = false;
+    std::vector<ClientRequest> parked;
+    /// Post-migration hysteresis: handoff triggers are ignored until this
+    /// instant, so freshly moved objects are not immediately re-captured
+    /// by a fast neighbor's stray traffic.
+    Time policy_cooldown_until = 0;
+  };
+
+  void HandleRequest(const ClientRequest& req);
+  /// Request intake; `track_policy` is false when replaying parked
+  /// requests (a replay burst is an artifact of the transfer, not a
+  /// locality signal).
+  void Serve(const ClientRequest& req, bool track_policy);
+  void HandleConfigChange(const vpaxos::ConfigChangeReq& msg);
+  void HandleConfigUpdate(const vpaxos::ConfigUpdate& msg);
+  void HandleStateTransfer(const vpaxos::StateTransfer& msg);
+
+  void CommitLocally(const ClientRequest& req);
+  int OwnerZone(Key key) const;
+  OwnerInfo& Info(Key key);
+
+  NodeId MasterLeader() const { return GroupLeaderOf(master_zone_); }
+
+  int master_zone_;
+  int default_owner_zone_;
+  int migrate_threshold_;
+  Time migrate_cooldown_;
+  std::map<Key, OwnerInfo> owners_;
+  std::int64_t config_version_ = 0;  ///< Master-side version counter.
+  std::size_t migrations_ = 0;
+};
+
+/// Registers "vpaxos" with the cluster factory.
+void RegisterVPaxosProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_VPAXOS_VPAXOS_H_

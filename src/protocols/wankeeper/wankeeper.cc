@@ -1,0 +1,234 @@
+#include "protocols/wankeeper/wankeeper.h"
+
+#include <cassert>
+
+namespace paxi {
+
+using wankeeper::TokenGrant;
+using wankeeper::TokenRequest;
+using wankeeper::TokenReturn;
+using wankeeper::TokenRevoke;
+
+WanKeeperReplica::WanKeeperReplica(NodeId id, Env env)
+    : ZoneGroupNode(id, env) {
+  master_zone_ = static_cast<int>(config().GetParamInt(
+      "master_zone", config().topology.is_wan() ? 2 : 1));
+  token_threshold_ =
+      static_cast<int>(config().GetParamInt("token_threshold", 3));
+  token_cooldown_ =
+      config().GetParamInt("token_cooldown_ms", 1000) * kMillisecond;
+
+  OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
+  OnMessage<TokenRequest>(
+      [this](const TokenRequest& m) { HandleTokenRequest(m); });
+  OnMessage<TokenGrant>([this](const TokenGrant& m) { HandleTokenGrant(m); });
+  OnMessage<TokenRevoke>(
+      [this](const TokenRevoke& m) { HandleTokenRevoke(m); });
+  OnMessage<TokenReturn>(
+      [this](const TokenReturn& m) { HandleTokenReturn(m); });
+}
+
+void WanKeeperReplica::HandleRequest(const ClientRequest& req) {
+  if (!IsGroupLeader()) {
+    Forward(GroupLeaderOf(id().zone), req);
+    return;
+  }
+  if (IsMasterZone()) {
+    MasterDecide(req);
+    return;
+  }
+  if (tokens_.count(req.cmd.key) > 0) {
+    CommitLocally(req);
+    return;
+  }
+  // No token: ask the master. The command travels with the request so the
+  // master can execute it at level 2 if it keeps the token.
+  TokenRequest msg;
+  msg.req = req;
+  Send(MasterLeader(), std::move(msg));
+}
+
+void WanKeeperReplica::CommitLocally(const ClientRequest& req) {
+  GroupSubmit(req.cmd, [this, req](Result<Value> result) {
+    ReplyToClient(req, /*ok=*/true,
+                  result.ok() ? result.value() : Value(), result.ok());
+  });
+}
+
+void WanKeeperReplica::MasterDecide(const ClientRequest& req,
+                                    bool track_policy) {
+  assert(IsGroupLeader() && IsMasterZone());
+  const Key key = req.cmd.key;
+  TokenState& token = table_[key];
+  // Demand is attributed to the client's origin region.
+  const int source_zone = req.client_addr.valid() ? req.client_addr.zone
+                          : req.from.valid()      ? req.from.zone
+                                                  : id().zone;
+
+  if (track_policy) {
+    if (source_zone == token.run_zone) {
+      ++token.run_length;
+    } else {
+      token.run_zone = source_zone;
+      token.run_length = 1;
+    }
+  }
+
+  // Token in motion (grant or revoke in flight): park the request; it is
+  // re-decided once the movement completes.
+  if (token.state == TokenState::State::kGranting ||
+      token.state == TokenState::State::kRevoking) {
+    token.queued.push_back(req);
+    return;
+  }
+
+  if (token.state == TokenState::State::kAtMaster) {
+    if (token.run_zone != master_zone_ &&
+        token.run_length >= token_threshold_ &&
+        Now() >= token.policy_cooldown_until) {
+      // Locality settled at one region: pass the token down, then route
+      // the triggering request there (after the grant, on the same FIFO
+      // link, so the zone leader already holds the token when it lands).
+      MasterGrant(key, token, token.run_zone, req);
+      return;
+    }
+    // Execute at level 2 (the master group).
+    CommitLocally(req);
+    return;
+  }
+
+  // kAtZone:
+  if (token.zone == source_zone) {
+    // The holder itself asked (e.g. a request raced its grant); bounce it
+    // back — the token is already there.
+    Forward(GroupLeaderOf(token.zone), req);
+    return;
+  }
+  // Another zone wants the object: retract the token to the master (the
+  // paper's contention rule), parking requests until it returns. Tokens
+  // that just moved get a grace period before they can be yanked back.
+  if (Now() < token.policy_cooldown_until) {
+    // Serve the stray at level 2 once the token returns... until then the
+    // holder keeps it; forward the request to the holder instead.
+    Forward(GroupLeaderOf(token.zone), req);
+    return;
+  }
+  token.state = TokenState::State::kRevoking;
+  token.queued.push_back(req);
+  ++revokes_;
+  TokenRevoke revoke;
+  revoke.key = key;
+  Send(GroupLeaderOf(token.zone), std::move(revoke));
+}
+
+void WanKeeperReplica::MasterGrant(Key key, TokenState& token, int zone,
+                                   const ClientRequest& trigger) {
+  token.state = TokenState::State::kGranting;
+  token.policy_cooldown_until = Now() + token_cooldown_;
+  token.zone = zone;
+  token.run_zone = zone;
+  token.run_length = 0;
+  ++grants_;
+  // Barrier read through the master group: every in-flight level-2 write
+  // to this key executes before the grant's value snapshot is taken, so
+  // the token never travels with a stale value.
+  Command barrier;
+  barrier.op = Command::Op::kGet;
+  barrier.key = key;
+  barrier.client = 0;
+  barrier.request = 0;
+  GroupSubmit(std::move(barrier),
+              [this, key, zone, trigger](Result<Value> value) {
+                TokenGrant grant;
+                grant.key = key;
+                grant.has_value = value.ok();
+                if (value.ok()) grant.value = std::move(value).value();
+                Send(GroupLeaderOf(zone), std::move(grant));
+                Forward(GroupLeaderOf(zone), trigger);
+                // Token officially at the zone; re-decide parked requests.
+                TokenState& token = table_[key];
+                token.state = TokenState::State::kAtZone;
+                std::vector<ClientRequest> queued = std::move(token.queued);
+                token.queued.clear();
+                for (const ClientRequest& req : queued) {
+                  MasterDecide(req, /*track_policy=*/false);
+                }
+              });
+}
+
+void WanKeeperReplica::HandleTokenRequest(const TokenRequest& msg) {
+  if (!IsGroupLeader() || !IsMasterZone()) return;
+  // Attribute the demand to the requesting zone leader.
+  ClientRequest req = msg.req;
+  req.from = msg.from;
+  MasterDecide(req);
+}
+
+void WanKeeperReplica::HandleTokenGrant(const TokenGrant& msg) {
+  if (!IsGroupLeader()) return;
+  tokens_.insert(msg.key);
+  if (msg.has_value) {
+    // State transfer: replicate the key's latest value into this group
+    // before serving. Client 0 marks synthetic transfer writes. Group
+    // slots are ordered, so subsequent commands see the seeded value.
+    Command seed;
+    seed.op = Command::Op::kPut;
+    seed.key = msg.key;
+    seed.value = msg.value;
+    seed.client = 0;
+    seed.request = 0;
+    GroupSubmit(std::move(seed), nullptr);
+  }
+}
+
+void WanKeeperReplica::HandleTokenRevoke(const TokenRevoke& msg) {
+  if (!IsGroupLeader()) return;
+  tokens_.erase(msg.key);  // new requests now go to the master
+  // Barrier read through this zone's group: in-flight local writes to the
+  // key execute before the token returns with the value snapshot.
+  const Key key = msg.key;
+  Command barrier;
+  barrier.op = Command::Op::kGet;
+  barrier.key = key;
+  barrier.client = 0;
+  barrier.request = 0;
+  GroupSubmit(std::move(barrier), [this, key](Result<Value> value) {
+    TokenReturn ret;
+    ret.key = key;
+    ret.has_value = value.ok();
+    if (value.ok()) ret.value = std::move(value).value();
+    Send(MasterLeader(), std::move(ret));
+  });
+}
+
+void WanKeeperReplica::HandleTokenReturn(const TokenReturn& msg) {
+  if (!IsGroupLeader() || !IsMasterZone()) return;
+  TokenState& token = table_[msg.key];
+  token.zone = 0;
+  token.state = TokenState::State::kAtMaster;
+  if (msg.has_value) {
+    Command seed;
+    seed.op = Command::Op::kPut;
+    seed.key = msg.key;
+    seed.value = msg.value;
+    seed.client = 0;
+    seed.request = 0;
+    GroupSubmit(std::move(seed), nullptr);
+  }
+  std::vector<ClientRequest> queued = std::move(token.queued);
+  token.queued.clear();
+  for (const ClientRequest& req : queued) {
+    MasterDecide(req, /*track_policy=*/false);
+  }
+}
+
+void RegisterWanKeeperProtocol() {
+  RegisterProtocol(
+      "wankeeper",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<WanKeeperReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = false});
+}
+
+}  // namespace paxi

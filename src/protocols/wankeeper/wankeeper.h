@@ -1,0 +1,120 @@
+#ifndef PAXI_PROTOCOLS_WANKEEPER_WANKEEPER_H_
+#define PAXI_PROTOCOLS_WANKEEPER_WANKEEPER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+#include "protocols/common/zone_group.h"
+
+namespace paxi {
+
+/// WanKeeper (§2): a hierarchical two-level protocol. Level-1 Paxos groups
+/// (one per zone) execute commands for objects whose *token* they hold;
+/// the level-2 master group (the "master_zone" region, Ohio in the paper's
+/// WAN experiments) brokers all token movement.
+///
+/// When several zones contend for an object, the master retracts its token
+/// and executes the commands itself in the master group; once access
+/// locality settles (token_threshold consecutive requests from one zone,
+/// default 3), the master passes the token to that zone, restoring local
+/// commit latency. This reproduces the paper's observations: Ohio enjoys
+/// near-LAN latency under conflict (Fig. 11b), while under the locality
+/// workload remote regions pay WAN round trips to the master whenever
+/// their objects' tokens are being brokered (Fig. 13).
+namespace wankeeper {
+
+/// Zone leader -> master leader: I lack the token for this command's key.
+struct TokenRequest : Message {
+  ClientRequest req;
+};
+
+/// Master -> zone leader: you now hold the token (state transfer included
+/// when the master has a value for the key).
+struct TokenGrant : Message {
+  Key key = 0;
+  bool has_value = false;
+  Value value;
+};
+
+/// Master -> zone leader: return the token for `key`.
+struct TokenRevoke : Message {
+  Key key = 0;
+};
+
+/// Zone leader -> master: token returned (with latest value for state
+/// transfer).
+struct TokenReturn : Message {
+  Key key = 0;
+  bool has_value = false;
+  Value value;
+};
+
+}  // namespace wankeeper
+
+class WanKeeperReplica : public ZoneGroupNode {
+ public:
+  WanKeeperReplica(NodeId id, Env env);
+
+  bool IsMasterZone() const { return id().zone == master_zone_; }
+  std::size_t tokens_held() const { return tokens_.size(); }
+  std::size_t grants() const { return grants_; }
+  std::size_t revokes() const { return revokes_; }
+
+ private:
+  /// Master-side bookkeeping for one key's token.
+  struct TokenState {
+    /// Token lifecycle at the master: held at level 2 (kAtMaster), being
+    /// passed down (kGranting), held by `zone` (kAtZone), or being
+    /// retracted (kRevoking). Requests that arrive mid-movement queue in
+    /// `queued` and are re-decided when the movement completes.
+    enum class State { kAtMaster, kGranting, kAtZone, kRevoking };
+
+    State state = State::kAtMaster;
+    /// Holding zone when state == kAtZone/kGranting; 0 = master.
+    int zone = 0;
+    int run_zone = 0;
+    int run_length = 0;
+    std::vector<ClientRequest> queued;
+    /// Post-movement hysteresis: policy triggers suppressed until then.
+    Time policy_cooldown_until = 0;
+  };
+
+  void HandleRequest(const ClientRequest& req);
+  void HandleTokenRequest(const wankeeper::TokenRequest& msg);
+  void HandleTokenGrant(const wankeeper::TokenGrant& msg);
+  void HandleTokenRevoke(const wankeeper::TokenRevoke& msg);
+  void HandleTokenReturn(const wankeeper::TokenReturn& msg);
+
+  /// Commits `req`'s command on this zone's group and replies.
+  void CommitLocally(const ClientRequest& req);
+  /// Master: serve `req` at level 2 or move the token, per policy.
+  /// `track_policy` is false when re-deciding parked requests after a
+  /// token movement (the burst is an artifact, not a locality signal).
+  void MasterDecide(const ClientRequest& req, bool track_policy = true);
+  /// Master: pass the token to `zone`, then route `trigger` there. The
+  /// grant's value snapshot is taken behind a group barrier so in-flight
+  /// level-2 writes are included.
+  void MasterGrant(Key key, TokenState& token, int zone,
+                   const ClientRequest& trigger);
+
+  NodeId MasterLeader() const { return GroupLeaderOf(master_zone_); }
+
+  int master_zone_;
+  int token_threshold_;
+  Time token_cooldown_;
+  std::set<Key> tokens_;                ///< Zone-leader token cache.
+  std::map<Key, TokenState> table_;    ///< Master-leader token table.
+  std::size_t grants_ = 0;
+  std::size_t revokes_ = 0;
+};
+
+/// Registers "wankeeper" with the cluster factory.
+void RegisterWanKeeperProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_WANKEEPER_WANKEEPER_H_

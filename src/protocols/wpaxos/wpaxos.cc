@@ -1,0 +1,394 @@
+#include "protocols/wpaxos/wpaxos.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi {
+
+using wpaxos::Handoff;
+using wpaxos::ObjEntryWire;
+using wpaxos::P1a;
+using wpaxos::P1b;
+using wpaxos::P2a;
+using wpaxos::P2b;
+
+WPaxosReplica::WPaxosReplica(NodeId id, Env env) : Node(id, env) {
+  fz_ = static_cast<int>(config().GetParamInt("fz", 0));
+  fz_ = std::clamp(fz_, 0, config().zones - 1);
+  handoff_threshold_ =
+      static_cast<int>(config().GetParamInt("handoff_threshold", 3));
+  handoff_cooldown_ =
+      config().GetParamInt("handoff_cooldown_ms", 1000) * kMillisecond;
+  initial_owner_ = ParseNodeId(config().GetParam("initial_owner", ""));
+
+  OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
+  OnMessage<P1a>([this](const P1a& m) { HandleP1a(m); });
+  OnMessage<P1b>([this](const P1b& m) { HandleP1b(m); });
+  OnMessage<P2a>([this](const P2a& m) { HandleP2a(m); });
+  OnMessage<P2b>([this](const P2b& m) { HandleP2b(m); });
+  OnMessage<Handoff>([this](const Handoff& m) { HandleHandoff(m); });
+}
+
+std::size_t WPaxosReplica::objects_owned() const {
+  std::size_t n = 0;
+  for (const auto& [key, obj] : objects_) {
+    (void)key;
+    if (obj.active) ++n;
+  }
+  return n;
+}
+
+std::string WPaxosReplica::DebugObject(Key key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return "(no state)";
+  const ObjectState& obj = it->second;
+  std::string s = "ballot=" + obj.ballot.ToString() +
+                  " active=" + std::to_string(obj.active) +
+                  " stealing=" + std::to_string(obj.stealing) +
+                  " backlog=" + std::to_string(obj.backlog.size()) +
+                  " pending=" + std::to_string(obj.pending.size()) +
+                  " next=" + std::to_string(obj.next_slot) +
+                  " commit=" + std::to_string(obj.commit_up_to) +
+                  " exec=" + std::to_string(obj.execute_up_to);
+  if (obj.q1 != nullptr && obj.stealing) {
+    s += " q1acks=" + std::to_string(obj.q1->num_acks());
+  }
+  return s;
+}
+
+std::unique_ptr<ZoneMajorityQuorum> WPaxosReplica::MakeQuorum(
+    int zones_needed) const {
+  return std::make_unique<ZoneMajorityQuorum>(GroupByZone(peers()),
+                                              zones_needed);
+}
+
+NodeId WPaxosReplica::OwnerOf(const ObjectState& obj) const {
+  if (obj.ballot.valid()) return obj.ballot.id;
+  return initial_owner_;
+}
+
+void WPaxosReplica::HandleRequest(const ClientRequest& req) {
+  ObjectState& obj = Obj(req.cmd.key);
+  if (obj.active) {
+    // The migration policy attributes demand to the request's origin
+    // region (the client), not the last forwarding hop.
+    TrackAccess(req.cmd.key, obj,
+                req.client_addr.valid() ? req.client_addr.zone
+                                        : req.from.zone);
+    Propose(req.cmd.key, req);
+    return;
+  }
+  if (obj.stealing) {
+    obj.backlog.push_back(req);
+    return;
+  }
+  const NodeId owner = OwnerOf(obj);
+  if (owner.valid() && owner != id()) {
+    Forward(owner, req);
+    return;
+  }
+  // Unowned (or default-owned by us but not yet established): steal.
+  obj.backlog.push_back(req);
+  Steal(req.cmd.key);
+}
+
+void WPaxosReplica::TrackAccess(Key key, ObjectState& obj, int source_zone) {
+  // The three-consecutive-access policy (§5.3), evaluated at the owner:
+  // client requests arriving directly carry the client's zone; forwarded
+  // requests carry the forwarding leader's zone. Either way `source_zone`
+  // is the zone the demand comes from.
+  if (source_zone == obj.run_zone) {
+    ++obj.run_length;
+  } else {
+    obj.run_zone = source_zone;
+    obj.run_length = 1;
+    obj.handoff_sent = false;
+  }
+  if (obj.run_zone != id().zone && obj.run_length >= handoff_threshold_ &&
+      !obj.handoff_sent && Now() >= obj.policy_cooldown_until) {
+    obj.handoff_sent = true;
+    Handoff msg;
+    msg.key = key;
+    msg.ballot = obj.ballot;
+    Send(NodeId{obj.run_zone, 1}, std::move(msg));
+  }
+}
+
+void WPaxosReplica::HandleHandoff(const Handoff& msg) {
+  ObjectState& obj = Obj(msg.key);
+  if (obj.active || obj.stealing) return;
+  if (msg.ballot > obj.ballot) obj.ballot = msg.ballot;
+  Steal(msg.key);
+}
+
+void WPaxosReplica::Steal(Key key) {
+  ObjectState& obj = Obj(key);
+  obj.stealing = true;
+  obj.active = false;
+  obj.ballot = obj.ballot.Next(id());
+  obj.q1 = MakeQuorum(config().zones - fz_);
+  obj.q1->Ack(id());
+  obj.recovered.clear();
+  // Self-vote carries this node's own entries above its watermark.
+  for (const auto& [slot, entry] : obj.log) {
+    if (slot > obj.commit_up_to) {
+      obj.recovered.push_back(
+          ObjEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+    }
+  }
+  ++steals_;
+  P1a msg;
+  msg.key = key;
+  msg.ballot = obj.ballot;
+  msg.commit_up_to = obj.commit_up_to;
+  BroadcastToAll(std::move(msg));
+}
+
+void WPaxosReplica::HandleP1a(const P1a& msg) {
+  ObjectState& obj = Obj(msg.key);
+  P1b reply;
+  reply.key = msg.key;
+  if (msg.ballot > obj.ballot) {
+    obj.ballot = msg.ballot;
+    obj.active = false;
+    obj.stealing = false;
+    reply.ok = true;
+    // Report everything above the requester's watermark, committed
+    // entries included: with fz=0 quorums this responder may be the only
+    // node that knows a slot committed.
+    for (const auto& [slot, entry] : obj.log) {
+      if (slot > msg.commit_up_to) {
+        reply.entries.push_back(
+            ObjEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+      }
+    }
+    // Requests queued or in flight under the old regime chase the new
+    // owner; a rare duplicate proposal is acceptable in exchange for not
+    // stranding clients until their timeout (migration is infrequent under
+    // the handoff policy).
+    std::vector<ClientRequest> chase;
+    chase.swap(obj.backlog);
+    for (auto& [slot, pending] : obj.pending) {
+      (void)slot;
+      chase.push_back(pending);
+    }
+    obj.pending.clear();
+    for (const ClientRequest& r : chase) Forward(msg.ballot.id, r);
+  } else {
+    reply.ok = false;
+  }
+  reply.ballot = obj.ballot;
+  Send(msg.from, std::move(reply));
+}
+
+void WPaxosReplica::HandleP1b(const P1b& msg) {
+  ObjectState& obj = Obj(msg.key);
+  if (!obj.stealing || msg.ballot != obj.ballot) {
+    if (msg.ballot > obj.ballot) {
+      obj.ballot = msg.ballot;
+      obj.stealing = false;
+      obj.active = false;
+      // Lost the race: pass the backlog to the winner.
+      std::vector<ClientRequest> backlog;
+      backlog.swap(obj.backlog);
+      for (const ClientRequest& r : backlog) Forward(msg.ballot.id, r);
+    }
+    return;
+  }
+  if (!msg.ok) return;
+  obj.q1->Ack(msg.from);
+  obj.recovered.insert(obj.recovered.end(), msg.entries.begin(),
+                       msg.entries.end());
+  if (!obj.q1->Satisfied()) return;
+
+  // Ownership acquired.
+  obj.stealing = false;
+  obj.active = true;
+  obj.run_zone = id().zone;
+  obj.run_length = 0;
+  obj.handoff_sent = false;
+  obj.policy_cooldown_until = Now() + handoff_cooldown_;
+
+  // Per slot: a committed report is authoritative; otherwise re-propose
+  // the highest-ballot accepted value.
+  std::map<Slot, ObjEntryWire> best;
+  for (const auto& e : obj.recovered) {
+    auto it = best.find(e.slot);
+    if (it == best.end() || (e.committed && !it->second.committed) ||
+        (e.committed == it->second.committed &&
+         e.ballot > it->second.ballot)) {
+      best[e.slot] = e;
+    }
+  }
+  obj.recovered.clear();
+  for (auto& [slot, wire] : best) {
+    auto it = obj.log.find(slot);
+    if (it != obj.log.end() && it->second.committed) continue;
+    Entry entry;
+    entry.ballot = obj.ballot;
+    entry.cmd = wire.cmd;
+    obj.next_slot = std::max(obj.next_slot, slot + 1);
+    if (wire.committed) {
+      entry.committed = true;
+      obj.log[slot] = std::move(entry);
+      // Re-broadcast so followers that missed the old regime's P2a can
+      // fill the slot and advance their watermark.
+      P2a refresh;
+      refresh.key = msg.key;
+      refresh.ballot = obj.ballot;
+      refresh.slot = slot;
+      refresh.cmd = obj.log[slot].cmd;
+      refresh.commit_up_to = obj.commit_up_to;
+      BroadcastToAll(std::move(refresh));
+      continue;
+    }
+    entry.q2 = MakeQuorum(fz_ + 1);
+    entry.q2->Ack(id());
+    const bool already = entry.q2->Satisfied();
+    obj.log[slot] = std::move(entry);
+    P2a p2a;
+    p2a.key = msg.key;
+    p2a.ballot = obj.ballot;
+    p2a.slot = slot;
+    p2a.cmd = wire.cmd;
+    p2a.commit_up_to = obj.commit_up_to;
+    BroadcastToAll(std::move(p2a));
+    if (already) obj.log[slot].committed = true;
+  }
+  AdvanceCommit(msg.key, obj);
+
+  // Replay the backlog without feeding the migration policy: a burst of
+  // same-zone requests queued during the steal is an artifact of the
+  // steal, not a locality signal, and tracking it causes handoff thrash.
+  std::vector<ClientRequest> backlog;
+  backlog.swap(obj.backlog);
+  for (const ClientRequest& r : backlog) Propose(msg.key, r);
+}
+
+void WPaxosReplica::Propose(Key key, const ClientRequest& req) {
+  ObjectState& obj = Obj(key);
+  assert(obj.active);
+  const Slot slot = obj.next_slot++;
+  Entry entry;
+  entry.ballot = obj.ballot;
+  entry.cmd = req.cmd;
+  entry.q2 = MakeQuorum(fz_ + 1);
+  entry.q2->Ack(id());
+  const bool already_satisfied = entry.q2->Satisfied();
+  obj.log[slot] = std::move(entry);
+  obj.pending[slot] = req;
+
+  P2a msg;
+  msg.key = key;
+  msg.ballot = obj.ballot;
+  msg.slot = slot;
+  msg.cmd = req.cmd;
+  msg.commit_up_to = obj.commit_up_to;
+  BroadcastToAll(std::move(msg));
+
+  if (already_satisfied) {
+    obj.log[slot].committed = true;
+    AdvanceCommit(key, obj);
+  }
+}
+
+void WPaxosReplica::HandleP2a(const P2a& msg) {
+  ObjectState& obj = Obj(msg.key);
+  P2b reply;
+  reply.key = msg.key;
+  reply.slot = msg.slot;
+  if (msg.ballot >= obj.ballot) {
+    if (msg.ballot > obj.ballot) {
+      obj.ballot = msg.ballot;
+      obj.active = false;
+      obj.stealing = false;
+    }
+    Entry entry;
+    entry.ballot = msg.ballot;
+    entry.cmd = msg.cmd;
+    obj.log[msg.slot] = std::move(entry);
+    obj.next_slot = std::max(obj.next_slot, msg.slot + 1);
+    reply.ok = true;
+    reply.ballot = msg.ballot;
+    Send(msg.from, std::move(reply));
+    if (msg.commit_up_to > obj.commit_up_to) {
+      bool all_known = true;
+      for (Slot s = obj.commit_up_to + 1; s <= msg.commit_up_to; ++s) {
+        auto it = obj.log.find(s);
+        if (it == obj.log.end()) {
+          all_known = false;
+          break;
+        }
+        it->second.committed = true;
+      }
+      if (all_known) {
+        obj.commit_up_to = msg.commit_up_to;
+        ExecuteCommitted(msg.key, obj);
+      }
+    }
+    return;
+  }
+  reply.ok = false;
+  reply.ballot = obj.ballot;
+  Send(msg.from, std::move(reply));
+}
+
+void WPaxosReplica::HandleP2b(const P2b& msg) {
+  ObjectState& obj = Obj(msg.key);
+  if (!msg.ok) {
+    if (msg.ballot > obj.ballot) {
+      obj.ballot = msg.ballot;
+      obj.active = false;
+    }
+    return;
+  }
+  if (!obj.active || msg.ballot != obj.ballot) return;
+  auto it = obj.log.find(msg.slot);
+  if (it == obj.log.end() || it->second.committed ||
+      it->second.q2 == nullptr) {
+    return;
+  }
+  it->second.q2->Ack(msg.from);
+  if (it->second.q2->Satisfied()) {
+    it->second.committed = true;
+    AdvanceCommit(msg.key, obj);
+  }
+}
+
+void WPaxosReplica::AdvanceCommit(Key key, ObjectState& obj) {
+  while (true) {
+    auto it = obj.log.find(obj.commit_up_to + 1);
+    if (it == obj.log.end() || !it->second.committed) break;
+    ++obj.commit_up_to;
+  }
+  ExecuteCommitted(key, obj);
+}
+
+void WPaxosReplica::ExecuteCommitted(Key key, ObjectState& obj) {
+  (void)key;
+  while (obj.execute_up_to < obj.commit_up_to) {
+    const Slot slot = obj.execute_up_to + 1;
+    auto it = obj.log.find(slot);
+    if (it == obj.log.end() || !it->second.committed) break;
+    Result<Value> result = store_.Execute(it->second.cmd);
+    ++obj.execute_up_to;
+    auto pending = obj.pending.find(slot);
+    if (pending != obj.pending.end() && obj.active) {
+      const ClientRequest req = pending->second;
+      obj.pending.erase(pending);
+      ReplyToClient(req, /*ok=*/true,
+                    result.ok() ? result.value() : Value(), result.ok());
+    }
+  }
+}
+
+void RegisterWPaxosProtocol() {
+  RegisterProtocol(
+      "wpaxos",
+      [](NodeId id, Node::Env env, const Config&) {
+        return std::make_unique<WPaxosReplica>(id, env);
+      },
+      ProtocolTraits{.single_leader = false});
+}
+
+}  // namespace paxi

@@ -1,0 +1,167 @@
+#ifndef PAXI_PROTOCOLS_WPAXOS_WPAXOS_H_
+#define PAXI_PROTOCOLS_WPAXOS_WPAXOS_H_
+
+#include <map>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/messages.h"
+#include "core/node.h"
+#include "quorum/quorum.h"
+
+namespace paxi {
+
+/// WPaxos (§2): a multi-leader Paxos variant for WANs built on flexible
+/// grid quorums. Every node can own objects (keys) and run phase-2 for
+/// them independently; ownership moves between leaders by running phase-1
+/// for that object across the WAN — no external master is needed.
+///
+/// Quorums over a Z-zone deployment with fault-tolerance parameter fz:
+///   phase-1 (object steal):  a majority of nodes in each of Z - fz zones,
+///   phase-2 (commit):        a majority of nodes in each of fz + 1 zones.
+/// With fz = 0 commands commit inside the owner's own region; fz = 1
+/// additionally waits for the nearest neighbor region (tolerating a full
+/// region failure), at a latency cost — the trade Fig. 11 quantifies.
+///
+/// Object placement: if "initial_owner" is set (e.g. "2.1", the paper's
+/// locality experiment starts all objects in Ohio), unowned keys default
+/// to that owner; otherwise the first leader to be asked steals the
+/// object. Migration follows the paper's three-consecutive-access policy,
+/// evaluated at the owner: when `handoff_threshold` consecutive requests
+/// for a key arrive from the same remote zone, the owner hands the object
+/// to that zone's leader (which then steals it via phase-1). Interleaved
+/// access from many zones therefore keeps the object put and remote
+/// requests are forwarded — exactly the conflict-workload behavior of
+/// §5.3.
+namespace wpaxos {
+
+struct ObjEntryWire {
+  Slot slot = 0;
+  Ballot ballot;
+  Command cmd;
+  /// True if the reporter knows this slot is committed. Required for
+  /// safety with flexible quorums: under fz=0 a command can be committed
+  /// by the owner's zone alone, so only the old owner can tell the new
+  /// one about it (q1 intersects q2 exactly there).
+  bool committed = false;
+};
+
+struct P1a : Message {
+  Key key = 0;
+  Ballot ballot;
+  /// Requester's commit watermark: the responder only reports entries
+  /// above it.
+  Slot commit_up_to = -1;
+};
+
+struct P1b : Message {
+  Key key = 0;
+  Ballot ballot;  ///< Current ballot of the responder for this object.
+  bool ok = false;
+  /// Entries above the requester's watermark, committed or not.
+  std::vector<ObjEntryWire> entries;
+
+  std::size_t ByteSize() const override {
+    return 100 + entries.size() * 50;
+  }
+};
+
+struct P2a : Message {
+  Key key = 0;
+  Ballot ballot;
+  Slot slot = 0;
+  Command cmd;
+  Slot commit_up_to = -1;
+};
+
+struct P2b : Message {
+  Key key = 0;
+  Ballot ballot;
+  Slot slot = 0;
+  bool ok = false;
+};
+
+/// Owner-initiated migration: "you have been accessing this object
+/// consistently; steal it."
+struct Handoff : Message {
+  Key key = 0;
+  Ballot ballot;  ///< Owner's current ballot, so the new leader outbids it.
+};
+
+}  // namespace wpaxos
+
+class WPaxosReplica : public Node {
+ public:
+  WPaxosReplica(NodeId id, Env env);
+
+  /// Number of objects this node currently owns.
+  std::size_t objects_owned() const;
+
+  /// One-line dump of this node's state for `key` (tests/diagnostics).
+  std::string DebugObject(Key key) const;
+  /// Phase-1 rounds started (object steals), for migration analyses.
+  std::size_t steals() const { return steals_; }
+
+ private:
+  struct Entry {
+    Ballot ballot;
+    Command cmd;
+    bool committed = false;
+    std::unique_ptr<ZoneMajorityQuorum> q2;
+  };
+
+  struct ObjectState {
+    Ballot ballot;
+    bool active = false;    ///< This node owns the object.
+    bool stealing = false;  ///< Phase-1 in flight.
+    std::unique_ptr<ZoneMajorityQuorum> q1;
+    std::vector<wpaxos::ObjEntryWire> recovered;
+    std::map<Slot, Entry> log;
+    Slot next_slot = 0;
+    Slot commit_up_to = -1;
+    Slot execute_up_to = -1;
+    std::map<Slot, ClientRequest> pending;
+    std::vector<ClientRequest> backlog;
+    // Owner-side handoff policy state.
+    int run_zone = 0;
+    int run_length = 0;
+    bool handoff_sent = false;
+    /// Post-steal hysteresis: handoffs are suppressed until this instant.
+    Time policy_cooldown_until = 0;
+  };
+
+  void HandleRequest(const ClientRequest& req);
+  void HandleP1a(const wpaxos::P1a& msg);
+  void HandleP1b(const wpaxos::P1b& msg);
+  void HandleP2a(const wpaxos::P2a& msg);
+  void HandleP2b(const wpaxos::P2b& msg);
+  void HandleHandoff(const wpaxos::Handoff& msg);
+
+  void Steal(Key key);
+  void Propose(Key key, const ClientRequest& req);
+  void AdvanceCommit(Key key, ObjectState& obj);
+  void ExecuteCommitted(Key key, ObjectState& obj);
+  void TrackAccess(Key key, ObjectState& obj, int source_zone);
+
+  ObjectState& Obj(Key key) { return objects_[key]; }
+  /// Owner of `key` as far as this node knows; Invalid if unowned and no
+  /// default placement is configured.
+  NodeId OwnerOf(const ObjectState& obj) const;
+  std::unique_ptr<ZoneMajorityQuorum> MakeQuorum(int zones_needed) const;
+
+  std::map<Key, ObjectState> objects_;
+  int fz_;
+  int handoff_threshold_;
+  Time handoff_cooldown_;
+  NodeId initial_owner_;
+  std::size_t steals_ = 0;
+};
+
+/// Registers "wpaxos" with the cluster factory.
+void RegisterWPaxosProtocol();
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_WPAXOS_WPAXOS_H_

@@ -1,0 +1,143 @@
+#include "quorum/quorum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paxi {
+
+void Quorum::Ack(NodeId id) {
+  nacks_.erase(id);
+  acks_.insert(id);
+}
+
+void Quorum::Nack(NodeId id) {
+  acks_.erase(id);
+  nacks_.insert(id);
+}
+
+void Quorum::Reset() {
+  acks_.clear();
+  nacks_.clear();
+}
+
+CountQuorum::CountQuorum(std::vector<NodeId> members, std::size_t needed)
+    : members_(std::move(members)), needed_(needed) {
+  assert(needed_ > 0);
+  assert(needed_ <= members_.size());
+}
+
+std::unique_ptr<CountQuorum> CountQuorum::Majority(
+    std::vector<NodeId> members) {
+  const std::size_t needed = members.size() / 2 + 1;
+  return std::make_unique<CountQuorum>(std::move(members), needed);
+}
+
+bool CountQuorum::Satisfied() const {
+  std::size_t in_membership = 0;
+  for (const NodeId& id : acks_) {
+    if (std::find(members_.begin(), members_.end(), id) != members_.end()) {
+      ++in_membership;
+    }
+  }
+  return in_membership >= needed_;
+}
+
+bool CountQuorum::Rejected() const {
+  std::size_t nacked = 0;
+  for (const NodeId& id : nacks_) {
+    if (std::find(members_.begin(), members_.end(), id) != members_.end()) {
+      ++nacked;
+    }
+  }
+  // Impossible once fewer than `needed` members remain un-nacked.
+  return members_.size() - nacked < needed_;
+}
+
+ZoneMajorityQuorum::ZoneMajorityQuorum(
+    std::map<int, std::vector<NodeId>> zone_members, int zones_needed)
+    : zone_members_(std::move(zone_members)), zones_needed_(zones_needed) {
+  assert(zones_needed_ > 0);
+  assert(static_cast<std::size_t>(zones_needed_) <= zone_members_.size());
+}
+
+bool ZoneMajorityQuorum::ZoneSatisfied(int zone) const {
+  const auto& members = zone_members_.at(zone);
+  std::size_t acked = 0;
+  for (const NodeId& id : members) {
+    if (acks_.count(id) > 0) ++acked;
+  }
+  return acked >= members.size() / 2 + 1;
+}
+
+bool ZoneMajorityQuorum::ZoneImpossible(int zone) const {
+  const auto& members = zone_members_.at(zone);
+  std::size_t nacked = 0;
+  for (const NodeId& id : members) {
+    if (nacks_.count(id) > 0) ++nacked;
+  }
+  return members.size() - nacked < members.size() / 2 + 1;
+}
+
+int ZoneMajorityQuorum::SatisfiedZones() const {
+  int satisfied = 0;
+  for (const auto& [zone, members] : zone_members_) {
+    (void)members;
+    if (ZoneSatisfied(zone)) ++satisfied;
+  }
+  return satisfied;
+}
+
+bool ZoneMajorityQuorum::Satisfied() const {
+  return SatisfiedZones() >= zones_needed_;
+}
+
+bool ZoneMajorityQuorum::Rejected() const {
+  int impossible = 0;
+  for (const auto& [zone, members] : zone_members_) {
+    (void)members;
+    if (ZoneImpossible(zone)) ++impossible;
+  }
+  return static_cast<int>(zone_members_.size()) - impossible < zones_needed_;
+}
+
+GroupQuorum::GroupQuorum(std::vector<std::vector<NodeId>> groups)
+    : groups_(std::move(groups)) {
+  assert(!groups_.empty());
+}
+
+bool GroupQuorum::Satisfied() const {
+  for (const auto& group : groups_) {
+    const bool complete = std::all_of(
+        group.begin(), group.end(),
+        [this](const NodeId& id) { return acks_.count(id) > 0; });
+    if (complete && !group.empty()) return true;
+  }
+  return false;
+}
+
+bool GroupQuorum::Rejected() const {
+  for (const auto& group : groups_) {
+    const bool possible = std::none_of(
+        group.begin(), group.end(),
+        [this](const NodeId& id) { return nacks_.count(id) > 0; });
+    if (possible && !group.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> NodesInZone(const std::vector<NodeId>& all, int zone) {
+  std::vector<NodeId> out;
+  for (const NodeId& id : all) {
+    if (id.zone == zone) out.push_back(id);
+  }
+  return out;
+}
+
+std::map<int, std::vector<NodeId>> GroupByZone(
+    const std::vector<NodeId>& all) {
+  std::map<int, std::vector<NodeId>> out;
+  for (const NodeId& id : all) out[id.zone].push_back(id);
+  return out;
+}
+
+}  // namespace paxi

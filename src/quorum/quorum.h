@@ -1,0 +1,113 @@
+#ifndef PAXI_QUORUM_QUORUM_H_
+#define PAXI_QUORUM_QUORUM_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Vote tally with a pluggable satisfaction rule — Paxi's quorum-system
+/// abstraction (§4.1): the only interface protocols need is Ack() and
+/// Satisfied(). Concrete systems: simple majority / counted (fast)
+/// quorums, zone-majority (flexible grid, WPaxos), and single-zone group
+/// quorums (WanKeeper / VPaxos level-1 groups).
+class Quorum {
+ public:
+  virtual ~Quorum() = default;
+
+  /// Records a positive acknowledgment from `id`. Duplicate acks from the
+  /// same node are idempotent.
+  void Ack(NodeId id);
+
+  /// Records an explicit rejection from `id` (e.g. a higher-ballot NACK).
+  void Nack(NodeId id);
+
+  virtual bool Satisfied() const = 0;
+
+  /// True when satisfaction has become impossible (enough nacks). Lets a
+  /// leader abandon a round early instead of waiting forever.
+  virtual bool Rejected() const = 0;
+
+  void Reset();
+
+  std::size_t num_acks() const { return acks_.size(); }
+  std::size_t num_nacks() const { return nacks_.size(); }
+  const std::set<NodeId>& acks() const { return acks_; }
+
+ protected:
+  std::set<NodeId> acks_;
+  std::set<NodeId> nacks_;
+};
+
+/// Satisfied once `needed` distinct members acked. Covers simple majority
+/// (needed = floor(N/2)+1), FPaxos phase quorums (any |q1|, |q2|) and
+/// EPaxos fast quorums (~3N/4) — the membership list bounds rejection.
+class CountQuorum : public Quorum {
+ public:
+  CountQuorum(std::vector<NodeId> members, std::size_t needed);
+
+  /// Majority quorum over `members`.
+  static std::unique_ptr<CountQuorum> Majority(std::vector<NodeId> members);
+
+  bool Satisfied() const override;
+  bool Rejected() const override;
+
+  std::size_t needed() const { return needed_; }
+
+ private:
+  std::vector<NodeId> members_;
+  std::size_t needed_;
+};
+
+/// Flexible-grid quorum (WPaxos): satisfied when, in at least
+/// `zones_needed` distinct zones, a majority of that zone's members have
+/// acked. WPaxos phase-2 uses zones_needed = fz+1 and phase-1 uses
+/// zones_needed = Z - fz, which guarantees q1/q2 intersection.
+class ZoneMajorityQuorum : public Quorum {
+ public:
+  ZoneMajorityQuorum(std::map<int, std::vector<NodeId>> zone_members,
+                     int zones_needed);
+
+  bool Satisfied() const override;
+  bool Rejected() const override;
+
+  int zones_needed() const { return zones_needed_; }
+
+  /// Number of zones whose intra-zone majority is currently satisfied.
+  int SatisfiedZones() const;
+
+ private:
+  bool ZoneSatisfied(int zone) const;
+  bool ZoneImpossible(int zone) const;
+
+  std::map<int, std::vector<NodeId>> zone_members_;
+  int zones_needed_;
+};
+
+/// Grid-row/column style quorum: satisfied when every member of any one of
+/// the listed groups acked (classic grid quorums: phase-1 = a full row,
+/// phase-2 = a full column).
+class GroupQuorum : public Quorum {
+ public:
+  explicit GroupQuorum(std::vector<std::vector<NodeId>> groups);
+
+  bool Satisfied() const override;
+  bool Rejected() const override;
+
+ private:
+  std::vector<std::vector<NodeId>> groups_;
+};
+
+/// Members of `zone` among `all`, helper for zone-scoped quorums.
+std::vector<NodeId> NodesInZone(const std::vector<NodeId>& all, int zone);
+
+/// Groups node ids by zone.
+std::map<int, std::vector<NodeId>> GroupByZone(const std::vector<NodeId>& all);
+
+}  // namespace paxi
+
+#endif  // PAXI_QUORUM_QUORUM_H_

@@ -1,0 +1,30 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace paxi {
+
+void EventQueue::Push(Time at, std::function<void()> fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Time EventQueue::PeekTime() const {
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+Event EventQueue::Pop() {
+  assert(!heap_.empty());
+  // std::priority_queue::top() returns a const ref; the event is moved out
+  // via a const_cast because pop() destroys it anyway.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace paxi

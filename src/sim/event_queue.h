@@ -1,0 +1,52 @@
+#ifndef PAXI_SIM_EVENT_QUEUE_H_
+#define PAXI_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// A timestamped callback in the discrete-event simulation.
+struct Event {
+  Time at = 0;
+  std::uint64_t seq = 0;  ///< Tie-breaker: FIFO among same-time events.
+  std::function<void()> fn;
+};
+
+/// Min-heap of events ordered by (time, insertion sequence). Insertion
+/// sequence guarantees deterministic FIFO ordering for events scheduled
+/// at the same virtual instant, which keeps whole simulations reproducible.
+class EventQueue {
+ public:
+  void Push(Time at, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  Time PeekTime() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Event Pop();
+
+  void Clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_SIM_EVENT_QUEUE_H_

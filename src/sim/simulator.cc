@@ -1,0 +1,51 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace paxi {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::At(Time at, std::function<void()> fn) {
+  queue_.Push(std::max(at, now_), std::move(fn));
+}
+
+void Simulator::After(Time delay, std::function<void()> fn) {
+  At(now_ + std::max<Time>(delay, 0), std::move(fn));
+}
+
+std::size_t Simulator::RunUntil(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.PeekTime() <= deadline) {
+    Event ev = queue_.Pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  now_ = std::max(now_, deadline);
+  return executed;
+}
+
+bool Simulator::RunToCompletion(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (executed++ >= max_events) return false;
+    Event ev = queue_.Pop();
+    now_ = ev.at;
+    ev.fn();
+  }
+  return true;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.Pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Reset() { queue_.Clear(); }
+
+}  // namespace paxi

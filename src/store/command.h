@@ -1,0 +1,59 @@
+#ifndef PAXI_STORE_COMMAND_H_
+#define PAXI_STORE_COMMAND_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// A state-machine command: a read or write on one key of the replicated
+/// key-value store. Commands are what the protocols order and replicate.
+struct Command {
+  enum class Op { kGet, kPut };
+
+  Op op = Op::kGet;
+  Key key = 0;
+  Value value;  ///< Payload for kPut; ignored for kGet.
+
+  /// Issuer identity; (client, request) uniquely identifies a command and
+  /// is how checkers correlate histories across replicas.
+  ClientId client = 0;
+  RequestId request = 0;
+
+  bool IsRead() const { return op == Op::kGet; }
+  bool IsWrite() const { return op == Op::kPut; }
+
+  /// Two commands interfere when they touch the same key and at least one
+  /// writes — the conflict definition used by EPaxos and by the paper's
+  /// conflict workloads (§5.3).
+  bool ConflictsWith(const Command& other) const {
+    return key == other.key && (IsWrite() || other.IsWrite());
+  }
+
+  std::string ToString() const {
+    std::string s = IsRead() ? "GET(" : "PUT(";
+    s += std::to_string(key);
+    if (IsWrite()) {
+      s += ", ";
+      s += value;
+    }
+    s += ")";
+    return s;
+  }
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+/// Globally unique command identity used by the checkers.
+struct CommandId {
+  ClientId client = 0;
+  RequestId request = 0;
+
+  friend bool operator==(const CommandId&, const CommandId&) = default;
+  friend auto operator<=>(const CommandId&, const CommandId&) = default;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_STORE_COMMAND_H_

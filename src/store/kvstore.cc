@@ -1,0 +1,46 @@
+#include "store/kvstore.h"
+
+namespace paxi {
+
+Result<Value> KvStore::Execute(const Command& cmd) {
+  ++num_executed_;
+  const CommandId id{cmd.client, cmd.request};
+  history_[cmd.key].push_back(id);
+  if (cmd.IsWrite()) {
+    write_history_[cmd.key].push_back(id);
+    auto& versions = versions_[cmd.key];
+    const std::int64_t next_version =
+        versions.empty() ? 1 : versions.back().version + 1;
+    versions.push_back(VersionedValue{cmd.value, next_version, id});
+    return cmd.value;
+  }
+  return Get(cmd.key);
+}
+
+Result<Value> KvStore::Get(Key key) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end() || it->second.empty()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return it->second.back().value;
+}
+
+std::vector<KvStore::VersionedValue> KvStore::Versions(Key key) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end()) return {};
+  return it->second;
+}
+
+std::vector<CommandId> KvStore::History(Key key) const {
+  auto it = history_.find(key);
+  if (it == history_.end()) return {};
+  return it->second;
+}
+
+std::vector<CommandId> KvStore::WriteHistory(Key key) const {
+  auto it = write_history_.find(key);
+  if (it == write_history_.end()) return {};
+  return it->second;
+}
+
+}  // namespace paxi

@@ -1,0 +1,58 @@
+#ifndef PAXI_STORE_KVSTORE_H_
+#define PAXI_STORE_KVSTORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/command.h"
+
+namespace paxi {
+
+/// In-memory multi-version key-value datastore, private to each replica
+/// (paper §4.1 "Data store"). It is the deterministic state machine the
+/// protocols drive: `Execute` applies one committed command and returns
+/// the read result. Every version and the per-key execution history are
+/// retained so the consensus checker can compare history prefixes across
+/// replicas and the linearizability checker can audit reads.
+class KvStore {
+ public:
+  struct VersionedValue {
+    Value value;
+    std::int64_t version = 0;  ///< Per-key monotonically increasing.
+    CommandId writer;          ///< Command that installed this version.
+  };
+
+  /// Applies `cmd`. For kGet returns the current value (NotFound before
+  /// any write); for kPut installs a new version and returns the written
+  /// value. Execution also appends to the per-key history.
+  Result<Value> Execute(const Command& cmd);
+
+  /// Latest value of `key`, without recording history.
+  Result<Value> Get(Key key) const;
+
+  /// All versions ever written to `key`, oldest first.
+  std::vector<VersionedValue> Versions(Key key) const;
+
+  /// Execution history of `key`: ids of every command (reads and writes)
+  /// executed against it, in execution order. The consensus checker
+  /// verifies these share a common prefix across replicas for writes.
+  std::vector<CommandId> History(Key key) const;
+
+  /// Ids of write commands executed against `key`, in execution order.
+  std::vector<CommandId> WriteHistory(Key key) const;
+
+  std::size_t num_keys() const { return versions_.size(); }
+  std::size_t num_executed() const { return num_executed_; }
+
+ private:
+  std::unordered_map<Key, std::vector<VersionedValue>> versions_;
+  std::unordered_map<Key, std::vector<CommandId>> history_;
+  std::unordered_map<Key, std::vector<CommandId>> write_history_;
+  std::size_t num_executed_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_STORE_KVSTORE_H_

@@ -1,0 +1,77 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paxi {
+
+UniformKeys::UniformKeys(Key min_key, std::int64_t k)
+    : min_key_(min_key), k_(k) {
+  assert(k_ > 0);
+}
+
+Key UniformKeys::Next(Rng& rng, Time) {
+  return min_key_ + rng.UniformInt(0, k_ - 1);
+}
+
+ZipfianKeys::ZipfianKeys(Key min_key, std::int64_t k, double s, double v)
+    : min_key_(min_key), k_(k), s_(s), v_(v) {
+  assert(k_ > 0);
+}
+
+Key ZipfianKeys::Next(Rng& rng, Time) {
+  return min_key_ + rng.Zipf(k_, s_, v_);
+}
+
+NormalKeys::NormalKeys(Key min_key, std::int64_t k, double mu, double sigma,
+                       bool move, double speed_ms)
+    : min_key_(min_key), k_(k), mu_(mu), sigma_(sigma), move_(move),
+      speed_ms_(speed_ms) {
+  assert(k_ > 0);
+}
+
+Key NormalKeys::Next(Rng& rng, Time now) {
+  double mu = mu_;
+  if (move_) {
+    // The mean drifts one record every speed_ms, wrapping around the pool
+    // (Paxi's "moving average" workload).
+    mu += std::fmod(ToMillis(now) / speed_ms_, static_cast<double>(k_));
+  }
+  const double x = rng.Normal(mu, sigma_);
+  auto key = static_cast<std::int64_t>(std::llround(x));
+  key %= k_;
+  if (key < 0) key += k_;
+  return min_key_ + key;
+}
+
+ExponentialKeys::ExponentialKeys(Key min_key, std::int64_t k, double rate)
+    : min_key_(min_key), k_(k), rate_(rate) {
+  assert(k_ > 0);
+  assert(rate_ > 0.0);
+}
+
+Key ExponentialKeys::Next(Rng& rng, Time) {
+  const auto key = static_cast<std::int64_t>(rng.Exponential(rate_));
+  return min_key_ + std::min(key, k_ - 1);
+}
+
+std::unique_ptr<KeyDistribution> MakeDistribution(
+    const std::string& name, Key min_key, std::int64_t k, double mu,
+    double sigma, bool move, double speed_ms, double zipf_s, double zipf_v) {
+  if (name == "zipfian") {
+    return std::make_unique<ZipfianKeys>(min_key, k, zipf_s, zipf_v);
+  }
+  if (name == "normal") {
+    return std::make_unique<NormalKeys>(min_key, k, mu, sigma, move,
+                                        speed_ms);
+  }
+  if (name == "exponential") {
+    // Rate chosen so ~95% of the mass falls inside the pool.
+    return std::make_unique<ExponentialKeys>(min_key, k,
+                                             3.0 / static_cast<double>(k));
+  }
+  return std::make_unique<UniformKeys>(min_key, k);
+}
+
+}  // namespace paxi

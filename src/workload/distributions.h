@@ -1,0 +1,86 @@
+#ifndef PAXI_WORKLOAD_DISTRIBUTIONS_H_
+#define PAXI_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace paxi {
+
+/// Draws keys from a pool of `k` records — the key-popularity
+/// distributions of Fig. 6 (uniform, zipfian, normal, exponential), with
+/// the Table 3 parameters.
+class KeyDistribution {
+ public:
+  virtual ~KeyDistribution() = default;
+
+  /// A key in [min_key, min_key + k). `now` lets time-varying
+  /// distributions (the "moving" normal) shift their center.
+  virtual Key Next(Rng& rng, Time now) = 0;
+};
+
+/// Uniform over the pool.
+class UniformKeys : public KeyDistribution {
+ public:
+  UniformKeys(Key min_key, std::int64_t k);
+  Key Next(Rng& rng, Time now) override;
+
+ private:
+  Key min_key_;
+  std::int64_t k_;
+};
+
+/// Zipfian with skew `s` and shift `v` (Table 3: Zipfian_s, Zipfian_v).
+class ZipfianKeys : public KeyDistribution {
+ public:
+  ZipfianKeys(Key min_key, std::int64_t k, double s, double v);
+  Key Next(Rng& rng, Time now) override;
+
+ private:
+  Key min_key_;
+  std::int64_t k_;
+  double s_;
+  double v_;
+};
+
+/// Normal around `mu` with deviation `sigma`, clamped to the pool; when
+/// `move` is set, mu advances by one key every `speed_ms` milliseconds
+/// (Table 3: Mu, Sigma, Move, Speed) — the drifting locality workload.
+class NormalKeys : public KeyDistribution {
+ public:
+  NormalKeys(Key min_key, std::int64_t k, double mu, double sigma,
+             bool move = false, double speed_ms = 500.0);
+  Key Next(Rng& rng, Time now) override;
+
+ private:
+  Key min_key_;
+  std::int64_t k_;
+  double mu_;
+  double sigma_;
+  bool move_;
+  double speed_ms_;
+};
+
+/// Exponentially decaying popularity from the lowest key.
+class ExponentialKeys : public KeyDistribution {
+ public:
+  ExponentialKeys(Key min_key, std::int64_t k, double rate);
+  Key Next(Rng& rng, Time now) override;
+
+ private:
+  Key min_key_;
+  std::int64_t k_;
+  double rate_;
+};
+
+/// Builds a distribution by Table 3 name: "uniform", "zipfian", "normal",
+/// "exponential". Unknown names fall back to uniform.
+std::unique_ptr<KeyDistribution> MakeDistribution(
+    const std::string& name, Key min_key, std::int64_t k, double mu,
+    double sigma, bool move, double speed_ms, double zipf_s, double zipf_v);
+
+}  // namespace paxi
+
+#endif  // PAXI_WORKLOAD_DISTRIBUTIONS_H_

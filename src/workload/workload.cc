@@ -1,0 +1,82 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+namespace paxi {
+
+WorkloadSpec UniformWorkload(std::int64_t keys, double write_ratio) {
+  WorkloadSpec spec;
+  spec.keys = keys;
+  spec.write_ratio = write_ratio;
+  spec.distribution = "uniform";
+  return spec;
+}
+
+WorkloadSpec ConflictWorkload(double conflict_ratio, int zones,
+                              std::int64_t keys_per_zone) {
+  WorkloadSpec spec;
+  spec.keys = keys_per_zone;
+  spec.write_ratio = 1.0;  // conflicting ops must interfere, so write
+  spec.distribution = "uniform";
+  spec.conflict_mode = true;
+  spec.conflict_ratio = conflict_ratio;
+  spec.conflict_key = 0;
+  spec.zones = zones;
+  return spec;
+}
+
+WorkloadSpec LocalityWorkload(int zones, std::int64_t keys, double sigma) {
+  WorkloadSpec spec;
+  spec.keys = keys;
+  spec.write_ratio = 0.5;
+  spec.distribution = "normal";
+  spec.sigma = sigma;
+  spec.locality_mode = true;
+  spec.zones = zones;
+  return spec;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, int zone, int stream,
+                                     std::uint64_t seed)
+    : spec_(std::move(spec)), zone_(zone), stream_(stream), rng_(seed) {
+  assert(zone_ >= 1);
+  double mu = spec_.mu;
+  Key min_key = spec_.min_key;
+  if (spec_.locality_mode) {
+    // Zone z's accesses center on its own segment of the common pool
+    // (Fig. 6): mu_z = (z - 1/2) * K / Z, overlap controlled by sigma.
+    mu = (static_cast<double>(zone_) - 0.5) *
+         static_cast<double>(spec_.keys) / spec_.zones;
+  }
+  if (spec_.conflict_mode) {
+    // Private per-zone range; key 0 (conflict_key) is the shared hot key.
+    min_key = static_cast<Key>(zone_) * 1'000'000;
+  }
+  dist_ = MakeDistribution(spec_.distribution, min_key, spec_.keys, mu,
+                           spec_.sigma, spec_.move, spec_.speed_ms,
+                           spec_.zipfian_s, spec_.zipfian_v);
+}
+
+Key WorkloadGenerator::NextKey(Time now) {
+  if (spec_.conflict_mode && rng_.Bernoulli(spec_.conflict_ratio)) {
+    return spec_.conflict_key;
+  }
+  return dist_->Next(rng_, now);
+}
+
+Command WorkloadGenerator::Next(Time now) {
+  Command cmd;
+  cmd.key = NextKey(now);
+  if (rng_.Bernoulli(spec_.write_ratio)) {
+    cmd.op = Command::Op::kPut;
+    // Unique value per write stream: the linearizability checker relies
+    // on value uniqueness to map reads back to writes.
+    cmd.value = "z" + std::to_string(zone_) + "s" + std::to_string(stream_) +
+                "-w" + std::to_string(++write_seq_);
+  } else {
+    cmd.op = Command::Op::kGet;
+  }
+  return cmd;
+}
+
+}  // namespace paxi

@@ -1,0 +1,87 @@
+#ifndef PAXI_WORKLOAD_WORKLOAD_H_
+#define PAXI_WORKLOAD_WORKLOAD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "store/command.h"
+#include "workload/distributions.h"
+
+namespace paxi {
+
+/// Workload definition, mirroring the Paxi benchmark parameters of
+/// Table 3 plus the WAN conflict/locality experiment setups of §5.3.
+struct WorkloadSpec {
+  /// Total number of keys (K).
+  std::int64_t keys = 1000;
+  /// Write ratio (W). 0.5 = the paper's LAN experiments.
+  double write_ratio = 0.5;
+  /// Key distribution: "uniform", "zipfian", "normal", "exponential".
+  std::string distribution = "uniform";
+  Key min_key = 0;
+
+  // Normal-distribution parameters (Table 3).
+  double mu = 0.0;
+  double sigma = 60.0;
+  bool move = false;
+  double speed_ms = 500.0;
+
+  // Zipfian parameters (Table 3).
+  double zipfian_s = 2.0;
+  double zipfian_v = 1.0;
+
+  /// Conflict-workload mode (§5.3, Fig. 11): with probability
+  /// `conflict_ratio` the request targets the designated hot key
+  /// (`conflict_key`); otherwise it draws from a per-zone private key
+  /// range, so only hot-key accesses interfere across zones.
+  bool conflict_mode = false;
+  double conflict_ratio = 0.0;
+  Key conflict_key = 0;
+
+  /// Locality-workload mode (§5.3, Fig. 13): each zone draws keys from a
+  /// Normal centered on its own segment of the shared pool; `sigma`
+  /// controls the inter-zone overlap (the locality l).
+  bool locality_mode = false;
+  int zones = 1;
+};
+
+/// Canned specs for the paper's experiments.
+WorkloadSpec UniformWorkload(std::int64_t keys = 1000,
+                             double write_ratio = 0.5);
+WorkloadSpec ConflictWorkload(double conflict_ratio, int zones,
+                              std::int64_t keys_per_zone = 1000);
+WorkloadSpec LocalityWorkload(int zones, std::int64_t keys = 1000,
+                              double sigma = 60.0);
+
+/// Generates commands for clients, one generator per (zone, client
+/// stream). Thread-free: driven by the benchmark runner on the simulator
+/// timeline.
+class WorkloadGenerator {
+ public:
+  /// `stream` distinguishes concurrent generators (e.g. one per client)
+  /// so written values stay globally unique.
+  WorkloadGenerator(WorkloadSpec spec, int zone, int stream,
+                    std::uint64_t seed);
+
+  /// Next command (key + op) at virtual time `now`. The client/request
+  /// ids are filled in by the issuing Client.
+  Command Next(Time now);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  Key NextKey(Time now);
+
+  WorkloadSpec spec_;
+  int zone_;
+  int stream_;
+  Rng rng_;
+  std::unique_ptr<KeyDistribution> dist_;
+  std::int64_t write_seq_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_WORKLOAD_WORKLOAD_H_

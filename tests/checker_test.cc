@@ -1,0 +1,135 @@
+#include "checker/consensus.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+
+namespace paxi {
+namespace {
+
+OpRecord Write(Key key, const Value& v, Time invoke, Time response) {
+  OpRecord op;
+  op.is_write = true;
+  op.key = key;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  op.found = true;
+  return op;
+}
+
+OpRecord Read(Key key, const Value& v, Time invoke, Time response,
+              bool found = true) {
+  OpRecord op;
+  op.is_write = false;
+  op.key = key;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  op.found = found;
+  return op;
+}
+
+TEST(LinearizabilityTest, EmptyHistoryPasses) {
+  LinearizabilityChecker checker;
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+TEST(LinearizabilityTest, SequentialHistoryPasses) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 10));
+  checker.Add(Read(1, "a", 20, 30));
+  checker.Add(Write(1, "b", 40, 50));
+  checker.Add(Read(1, "b", 60, 70));
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+TEST(LinearizabilityTest, ConcurrentReadMaySeeEitherValue) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 10));
+  checker.Add(Write(1, "b", 15, 40));       // concurrent with the read
+  checker.Add(Read(1, "a", 20, 30));        // old value: fine (b not done)
+  EXPECT_TRUE(checker.Check().empty());
+  LinearizabilityChecker checker2;
+  checker2.Add(Write(1, "a", 0, 10));
+  checker2.Add(Write(1, "b", 15, 40));
+  checker2.Add(Read(1, "b", 20, 30));       // new value early: also fine
+  EXPECT_TRUE(checker2.Check().empty());
+}
+
+TEST(LinearizabilityTest, DetectsStaleRead) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 10));
+  checker.Add(Write(1, "b", 20, 30));  // fully between a and the read
+  checker.Add(Read(1, "a", 40, 50));   // stale!
+  const auto anomalies = checker.Check();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_NE(anomalies[0].reason.find("stale"), std::string::npos);
+}
+
+TEST(LinearizabilityTest, DetectsReadFromTheFuture) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 100, 110));
+  checker.Add(Read(1, "a", 0, 10));  // completed before the write began
+  const auto anomalies = checker.Check();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_NE(anomalies[0].reason.find("future"), std::string::npos);
+}
+
+TEST(LinearizabilityTest, DetectsPhantomValue) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 10));
+  checker.Add(Read(1, "zzz", 20, 30));
+  const auto anomalies = checker.Check();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_NE(anomalies[0].reason.find("never written"), std::string::npos);
+}
+
+TEST(LinearizabilityTest, DetectsLostWrite) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 10));
+  checker.Add(Read(1, "", 20, 30, /*found=*/false));
+  const auto anomalies = checker.Check();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_NE(anomalies[0].reason.find("not-found"), std::string::npos);
+}
+
+TEST(LinearizabilityTest, NotFoundBeforeAnyWritePasses) {
+  LinearizabilityChecker checker;
+  checker.Add(Read(1, "", 0, 5, /*found=*/false));
+  checker.Add(Write(1, "a", 10, 20));
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+TEST(LinearizabilityTest, NotFoundConcurrentWithFirstWritePasses) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 100));
+  checker.Add(Read(1, "", 50, 60, /*found=*/false));
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+TEST(LinearizabilityTest, KeysAreIndependent) {
+  LinearizabilityChecker checker;
+  checker.Add(Write(1, "a", 0, 10));
+  checker.Add(Read(2, "a", 20, 30));  // value "a" was never written to key 2
+  EXPECT_EQ(checker.Check().size(), 1u);
+}
+
+TEST(LinearizabilityTest, AddAllAndCount) {
+  LinearizabilityChecker checker;
+  checker.AddAll({Write(1, "a", 0, 10), Read(1, "a", 20, 30)});
+  EXPECT_EQ(checker.num_ops(), 2u);
+}
+
+// --- Consensus checker ------------------------------------------------------------
+
+TEST(ConsensusCheckerTest, CommonPrefixLogic) {
+  using V = std::vector<CommandId>;
+  EXPECT_TRUE(ConsensusChecker::CommonPrefix(V{}, V{}));
+  EXPECT_TRUE(ConsensusChecker::CommonPrefix(V{{1, 1}}, V{}));
+  EXPECT_TRUE(ConsensusChecker::CommonPrefix(V{{1, 1}}, V{{1, 1}, {1, 2}}));
+  EXPECT_FALSE(ConsensusChecker::CommonPrefix(V{{1, 1}}, V{{2, 2}}));
+  EXPECT_FALSE(
+      ConsensusChecker::CommonPrefix(V{{1, 1}, {1, 2}}, V{{1, 1}, {1, 3}}));
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,258 @@
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "gtest/gtest.h"
+
+namespace paxi {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  const Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::FailedPrecondition().IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCode) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::TimedOut());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// --- Types -------------------------------------------------------------------
+
+TEST(TypesTest, NodeIdOrderingAndFormat) {
+  const NodeId a{1, 2};
+  const NodeId b{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.ToString(), "1.2");
+  EXPECT_FALSE(NodeId::Invalid().valid());
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(TypesTest, BallotOrdering) {
+  const NodeId n1{1, 1};
+  const NodeId n2{1, 2};
+  const Ballot b1{1, n1};
+  const Ballot b2{1, n2};
+  const Ballot b3{2, n1};
+  EXPECT_LT(b1, b2);  // same counter: node id breaks the tie
+  EXPECT_LT(b2, b3);  // higher counter wins
+  EXPECT_EQ(b1.Next(n2), (Ballot{2, n2}));
+  EXPECT_FALSE(Ballot().valid());
+  EXPECT_TRUE(b1.valid());
+}
+
+TEST(TypesTest, TimeConversions) {
+  EXPECT_EQ(FromMillis(1.5), 1500);
+  EXPECT_DOUBLE_EQ(ToMillis(2500), 2.5);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(19);
+  std::int64_t zero_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.Zipf(1000, 2.0, 1.0);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1000);
+    if (v == 0) ++zero_count;
+  }
+  // With s=2 the head item should dominate (> 40% of mass).
+  EXPECT_GT(zero_count, n * 2 / 5);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// --- Stats -------------------------------------------------------------------
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cv_squared(), 0.0);
+}
+
+TEST(SamplerTest, Percentiles) {
+  Sampler s;
+  for (int i = 100; i >= 1; --i) s.Add(i);  // unsorted insert
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SamplerTest, CdfIsMonotone) {
+  Sampler s;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) s.Add(rng.Normal(10, 2));
+  const auto cdf = s.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SamplerTest, Merge) {
+  Sampler a, b;
+  a.Add(1);
+  b.Add(2);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.BucketCount(i), 1u);
+    EXPECT_NEAR(h.Density(i), 0.1, 1e-12);
+    EXPECT_NEAR(h.BucketCenter(i), i + 0.5, 1e-12);
+  }
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(9.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,155 @@
+#include "core/cluster.h"
+#include "core/config.h"
+#include "gtest/gtest.h"
+
+namespace paxi {
+namespace {
+
+TEST(ConfigTest, Defaults) {
+  Config cfg;
+  EXPECT_EQ(cfg.num_nodes(), 9);
+  EXPECT_EQ(cfg.protocol, "paxos");
+  EXPECT_EQ(cfg.proc_in_us, 9);
+  EXPECT_EQ(cfg.proc_out_us, 15);
+}
+
+TEST(ConfigTest, NodesEnumeration) {
+  Config cfg;
+  cfg.zones = 2;
+  cfg.nodes_per_zone = 3;
+  const auto nodes = cfg.Nodes();
+  ASSERT_EQ(nodes.size(), 6u);
+  EXPECT_EQ(nodes.front(), (NodeId{1, 1}));
+  EXPECT_EQ(nodes.back(), (NodeId{2, 3}));
+  EXPECT_EQ(cfg.NodesIn(2), (std::vector<NodeId>{{2, 1}, {2, 2}, {2, 3}}));
+}
+
+TEST(ConfigTest, ParamAccessors) {
+  Config cfg;
+  cfg.params = {{"q2", "3"}, {"penalty", "1.5"}, {"thrifty", "true"},
+                {"leader", "2.1"}};
+  EXPECT_EQ(cfg.GetParamInt("q2", 0), 3);
+  EXPECT_DOUBLE_EQ(cfg.GetParamDouble("penalty", 0), 1.5);
+  EXPECT_TRUE(cfg.GetParamBool("thrifty", false));
+  EXPECT_EQ(cfg.GetParam("leader", ""), "2.1");
+  EXPECT_EQ(cfg.GetParamInt("missing", 42), 42);
+  EXPECT_FALSE(cfg.GetParamBool("missing", false));
+}
+
+TEST(ConfigTest, CannedDeployments) {
+  const Config lan = Config::Lan9("epaxos");
+  EXPECT_EQ(lan.num_nodes(), 9);
+  EXPECT_EQ(lan.protocol, "epaxos");
+  EXPECT_FALSE(lan.topology.is_wan());
+
+  const Config grid = Config::LanGrid3x3("wpaxos");
+  EXPECT_EQ(grid.zones, 3);
+  EXPECT_EQ(grid.nodes_per_zone, 3);
+  EXPECT_FALSE(grid.topology.is_wan());
+
+  const Config wan = Config::Wan5("wpaxos", 3);
+  EXPECT_EQ(wan.zones, 5);
+  EXPECT_EQ(wan.num_nodes(), 15);
+  EXPECT_TRUE(wan.topology.is_wan());
+}
+
+TEST(ConfigTest, ParseValidText) {
+  const auto r = Config::FromString(R"(
+# A 5-region WPaxos deployment
+zones = 5
+nodes_per_zone = 3
+topology = wan5
+protocol = wpaxos
+seed = 77
+proc_in_us = 12
+param.fz = 1
+param.initial_owner = 2.1
+)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Config& cfg = r.value();
+  EXPECT_EQ(cfg.zones, 5);
+  EXPECT_EQ(cfg.protocol, "wpaxos");
+  EXPECT_TRUE(cfg.topology.is_wan());
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.proc_in_us, 12);
+  EXPECT_EQ(cfg.GetParamInt("fz", 0), 1);
+  EXPECT_EQ(cfg.GetParam("initial_owner", ""), "2.1");
+}
+
+TEST(ConfigTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(Config::FromString("zones").status().IsInvalidArgument());
+  EXPECT_TRUE(Config::FromString("bogus_key = 1").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Config::FromString("topology = mars").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Config::FromString("zones = 0").status().IsInvalidArgument());
+  // wan5 requires exactly 5 zones.
+  EXPECT_TRUE(
+      Config::FromString("zones = 3\ntopology = wan5").status()
+          .IsInvalidArgument());
+}
+
+TEST(ConfigTest, ParseIgnoresCommentsAndBlanks) {
+  const auto r = Config::FromString("\n# comment only\n\nzones = 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().zones, 2);
+}
+
+TEST(ConfigTest, FromFileMissing) {
+  EXPECT_TRUE(
+      Config::FromFile("/nonexistent/paxi.conf").status().IsNotFound());
+}
+
+TEST(ClusterHelpersTest, ParseNodeId) {
+  EXPECT_EQ(ParseNodeId("2.3"), (NodeId{2, 3}));
+  EXPECT_FALSE(ParseNodeId("garbage").valid());
+  EXPECT_FALSE(ParseNodeId("0.1").valid());
+  EXPECT_FALSE(ParseNodeId("1").valid());
+}
+
+TEST(ClusterTest, RegisteredProtocols) {
+  const auto names = RegisteredProtocols();
+  for (const char* expected :
+       {"paxos", "fpaxos", "raft", "mencius", "epaxos", "wpaxos",
+        "wankeeper", "vpaxos"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(ClusterTest, TargetSelectionByTraits) {
+  {
+    Cluster cluster(Config::Lan9("paxos"));
+    EXPECT_EQ(cluster.TargetFor(1), (NodeId{1, 1}));
+    EXPECT_EQ(cluster.TargetForClient(1, 5), (NodeId{1, 1}));
+  }
+  {
+    Config cfg = Config::Lan9("paxos");
+    cfg.params["leader"] = "1.4";
+    Cluster cluster(cfg);
+    EXPECT_EQ(cluster.leader(), (NodeId{1, 4}));
+    EXPECT_EQ(cluster.TargetForClient(1, 2), (NodeId{1, 4}));
+  }
+  {
+    Cluster cluster(Config::Lan9("epaxos"));
+    // Leaderless: clients spread over the zone's replicas.
+    EXPECT_EQ(cluster.TargetForClient(1, 0), (NodeId{1, 1}));
+    EXPECT_EQ(cluster.TargetForClient(1, 1), (NodeId{1, 2}));
+    EXPECT_EQ(cluster.TargetForClient(1, 9), (NodeId{1, 1}));
+  }
+  {
+    Cluster cluster(Config::Wan5("wpaxos"));
+    // Multi-leader: the zone leader.
+    EXPECT_EQ(cluster.TargetForClient(3, 7), (NodeId{3, 1}));
+  }
+}
+
+TEST(ClusterTest, NodeLookup) {
+  Cluster cluster(Config::LanGrid3x3("wpaxos"));
+  EXPECT_NE(cluster.node({2, 2}), nullptr);
+  EXPECT_EQ(cluster.node({9, 9}), nullptr);
+  EXPECT_EQ(cluster.nodes().size(), 9u);
+}
+
+}  // namespace
+}  // namespace paxi

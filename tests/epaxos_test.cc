@@ -1,0 +1,154 @@
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "protocols/epaxos/epaxos.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+EPaxosReplica* Replica(Cluster& cluster, NodeId id) {
+  auto* r = dynamic_cast<EPaxosReplica*>(cluster.node(id));
+  EXPECT_NE(r, nullptr);
+  return r;
+}
+
+TEST(EPaxosTest, AnyReplicaCommitsACommand) {
+  Cluster cluster(Config::Lan9("epaxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  for (int n = 1; n <= 9; n += 4) {
+    auto put = PutAndWait(cluster, client, n, "led-by-" + std::to_string(n),
+                          NodeId{1, n});
+    EXPECT_TRUE(put.status.ok()) << "replica 1." << n;
+  }
+}
+
+TEST(EPaxosTest, ReadSeesPriorWrite) {
+  Cluster cluster(Config::Lan9("epaxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, client, 7, "epx", NodeId{1, 2}).status.ok());
+  // Read through a different opportunistic leader: dependency ordering
+  // must still deliver the write first.
+  auto get = GetAndWait(cluster, client, 7, NodeId{1, 6});
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "epx");
+}
+
+TEST(EPaxosTest, NonInterferingCommandsTakeFastPath) {
+  Cluster cluster(Config::Lan9("epaxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  // Distinct keys through distinct leaders: no conflicts anywhere.
+  for (int i = 0; i < 20; ++i) {
+    PutAndWait(cluster, client, 100 + i, "v", NodeId{1, 1 + (i % 9)});
+  }
+  std::size_t fast = 0, slow = 0;
+  for (const NodeId& id : cluster.nodes()) {
+    fast += Replica(cluster, id)->fast_path_commits();
+    slow += Replica(cluster, id)->slow_path_commits();
+  }
+  EXPECT_GE(fast, 20u);
+  EXPECT_EQ(slow, 0u);
+}
+
+TEST(EPaxosTest, ConcurrentConflictsForceSlowPath) {
+  Cluster cluster(Config::Lan9("epaxos"));
+  Bootstrap(cluster);
+  // Two clients hammer the same key via different leaders concurrently.
+  Client* c1 = cluster.NewClient(1);
+  Client* c2 = cluster.NewClient(1);
+  int completed = 0;
+  for (int i = 0; i < 30; ++i) {
+    Command w1;
+    w1.op = Command::Op::kPut;
+    w1.key = 0;
+    w1.value = "a" + std::to_string(i);
+    c1->Issue(w1, NodeId{1, 1}, [&](const Client::Reply&) { ++completed; });
+    Command w2;
+    w2.op = Command::Op::kPut;
+    w2.key = 0;
+    w2.value = "b" + std::to_string(i);
+    c2->Issue(w2, NodeId{1, 5}, [&](const Client::Reply&) { ++completed; });
+    cluster.RunFor(2 * kMillisecond);
+  }
+  cluster.RunFor(kSecond);
+  EXPECT_EQ(completed, 60);
+  std::size_t slow = 0;
+  for (const NodeId& id : cluster.nodes()) {
+    slow += Replica(cluster, id)->slow_path_commits();
+  }
+  EXPECT_GT(slow, 0u);
+}
+
+TEST(EPaxosTest, AllReplicasExecuteConflictingWritesInSameOrder) {
+  Cluster cluster(Config::Lan9("epaxos"));
+  Bootstrap(cluster);
+  Client* c1 = cluster.NewClient(1);
+  Client* c2 = cluster.NewClient(1);
+  for (int i = 0; i < 20; ++i) {
+    Command w1;
+    w1.op = Command::Op::kPut;
+    w1.key = 5;
+    w1.value = "x" + std::to_string(i);
+    c1->Issue(w1, NodeId{1, 2}, [](const Client::Reply&) {});
+    Command w2;
+    w2.op = Command::Op::kPut;
+    w2.key = 5;
+    w2.value = "y" + std::to_string(i);
+    c2->Issue(w2, NodeId{1, 8}, [](const Client::Reply&) {});
+    cluster.RunFor(3 * kMillisecond);
+  }
+  cluster.RunFor(2 * kSecond);
+
+  // Every replica that executed the full history must agree on the order.
+  std::vector<CommandId> reference;
+  for (const NodeId& id : cluster.nodes()) {
+    const auto history = cluster.node(id)->store().WriteHistory(5);
+    if (history.size() > reference.size()) reference = history;
+  }
+  ASSERT_EQ(reference.size(), 40u);
+  for (const NodeId& id : cluster.nodes()) {
+    const auto history = cluster.node(id)->store().WriteHistory(5);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      EXPECT_EQ(history[i], reference[i])
+          << "divergence at " << i << " on " << id.ToString();
+    }
+  }
+}
+
+TEST(EPaxosTest, LinearizableUnderContendedLoad) {
+  Config cfg = Config::Lan9("epaxos");
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/10, /*write_ratio=*/0.5);
+  options.clients_per_zone = 6;
+  options.duration_s = 1.0;
+  options.record_ops = true;
+  const BenchResult result = RunBenchmark(cfg, options);
+  ASSERT_GT(result.completed, 100u);
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+TEST(EPaxosTest, ProcessingPenaltyIsConfigurable) {
+  Config cfg = Config::Lan9("epaxos");
+  cfg.params["penalty"] = "1.0";
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.clients_per_zone = 2;
+  options.duration_s = 0.5;
+  const BenchResult cheap = RunBenchmark(cfg, options);
+  cfg.params["penalty"] = "4.0";
+  const BenchResult heavy = RunBenchmark(cfg, options);
+  ASSERT_GT(cheap.completed, 50u);
+  ASSERT_GT(heavy.completed, 50u);
+  EXPECT_LT(cheap.MeanLatencyMs(), heavy.MeanLatencyMs());
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,100 @@
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "protocols/fpaxos/fpaxos.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+TEST(FPaxosTest, BasicRoundTrip) {
+  Config cfg = Config::Lan9("fpaxos");
+  cfg.params["q2"] = "3";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, client, 1, "flex", cluster.leader())
+                  .status.ok());
+  EXPECT_EQ(GetAndWait(cluster, client, 1, cluster.leader()).value, "flex");
+}
+
+TEST(FPaxosTest, CommitsWithOnlyQ2MinusOneFollowersReachable) {
+  // |q2| = 3 -> the leader needs just 2 follower acks; cut off 6 of 8
+  // followers and FPaxos must still commit (Paxos with majority = 5 could
+  // not).
+  Config cfg = Config::Lan9("fpaxos");
+  cfg.params["q2"] = "3";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  for (int n = 4; n <= 9; ++n) {
+    cluster.transport().Drop({1, 1}, {1, n}, 60 * kSecond);
+    cluster.transport().Drop({1, n}, {1, 1}, 60 * kSecond);
+  }
+  Client* client = cluster.NewClient(1);
+  auto put = PutAndWait(cluster, client, 1, "small-quorum", cluster.leader());
+  EXPECT_TRUE(put.status.ok()) << put.status.ToString();
+}
+
+TEST(FPaxosTest, Phase1QuorumGrowsAsQ2Shrinks) {
+  // |q1| = N - |q2| + 1: with q2=3 on 9 nodes, elections need 7 promises.
+  // Cut 3 followers off and the default leader cannot win phase-1.
+  Config cfg = Config::Lan9("fpaxos");
+  cfg.params["q2"] = "3";
+  Cluster cluster(cfg);
+  for (int n = 7; n <= 9; ++n) {
+    cluster.transport().Drop({1, n}, {1, 1}, 60 * kSecond);
+  }
+  Bootstrap(cluster);
+  auto* leader = dynamic_cast<PaxosReplica*>(cluster.node({1, 1}));
+  EXPECT_FALSE(leader->IsLeader());
+}
+
+TEST(FPaxosTest, LatencyNoWorseThanPaxosInLan) {
+  // §5.2 "Small flexible quorums benefit": a modest latency edge in LAN.
+  BenchOptions options;
+  options.workload = UniformWorkload(100, 0.5);
+  options.clients_per_zone = 2;
+  options.duration_s = 1.0;
+
+  Config paxos_cfg = Config::Lan9("paxos");
+  Config fpaxos_cfg = Config::Lan9("fpaxos");
+  fpaxos_cfg.params["q2"] = "3";
+
+  const BenchResult paxos = RunBenchmark(paxos_cfg, options);
+  const BenchResult fpaxos = RunBenchmark(fpaxos_cfg, options);
+  ASSERT_GT(paxos.completed, 100u);
+  ASSERT_GT(fpaxos.completed, 100u);
+  EXPECT_LE(fpaxos.MeanLatencyMs(), paxos.MeanLatencyMs() * 1.05);
+}
+
+TEST(FPaxosTest, LinearizableUnderLoad) {
+  Config cfg = Config::Lan9("fpaxos");
+  cfg.params["q2"] = "3";
+  BenchOptions options;
+  options.workload = UniformWorkload(20, 0.5);
+  options.clients_per_zone = 6;
+  options.duration_s = 1.0;
+  options.record_ops = true;
+  const BenchResult result = RunBenchmark(cfg, options);
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  EXPECT_TRUE(lin.Check().empty());
+}
+
+class FPaxosQ2Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FPaxosQ2Sweep, AllQ2ValuesCommit) {
+  Config cfg = Config::Lan9("fpaxos");
+  cfg.params["q2"] = std::to_string(GetParam());
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  auto put = PutAndWait(cluster, client, 1, "q2-sweep", cluster.leader());
+  EXPECT_TRUE(put.status.ok()) << "q2=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Q2Values, FPaxosQ2Sweep,
+                         ::testing::Values(1, 2, 3, 5, 7, 9));
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,135 @@
+#include <string>
+
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "model/formulas.h"
+#include "model/protocol_model.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+// Every protocol, one harness: the Paxi promise of a leveled playground.
+// Each protocol runs the same uniform workload in its paper deployment
+// and must (a) make progress, (b) produce zero anomalous reads.
+struct ProtocolCase {
+  std::string name;
+  bool grid;  ///< 3x3 grid (multi-leader) vs 1x9 flat deployment.
+};
+
+class EveryProtocol : public ::testing::TestWithParam<ProtocolCase> {};
+
+TEST_P(EveryProtocol, ServesLinearizableTraffic) {
+  const auto& param = GetParam();
+  Config cfg = param.grid ? Config::LanGrid3x3(param.name)
+                          : Config::Lan9(param.name);
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/30, /*write_ratio=*/0.5);
+  options.clients_per_zone = param.grid ? 2 : 4;
+  options.duration_s = 1.0;
+  options.warmup_s = 0.5;
+  options.record_ops = true;
+
+  const BenchResult result = RunBenchmark(cfg, options);
+  EXPECT_GT(result.completed, 100u) << param.name;
+  EXPECT_EQ(result.errors, 0u) << param.name;
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << param.name << ": " << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, EveryProtocol,
+    ::testing::Values(ProtocolCase{"paxos", false},
+                      ProtocolCase{"fpaxos", false},
+                      ProtocolCase{"raft", false},
+                      ProtocolCase{"mencius", false},
+                      ProtocolCase{"epaxos", false},
+                      ProtocolCase{"wpaxos", true},
+                      ProtocolCase{"wankeeper", true},
+                      ProtocolCase{"vpaxos", true}),
+    [](const ::testing::TestParamInfo<ProtocolCase>& info) {
+      return info.param.name;
+    });
+
+// §1.2: "in multi-leader protocols most requests do not experience any
+// disruption in availability, as the failed leader is not in their
+// critical path" — while Paxos stalls entirely until re-election.
+TEST(AvailabilityTest, WPaxosZonesSurviveRemoteLeaderCrash) {
+  Cluster cluster(Config::LanGrid3x3("wpaxos"));
+  Bootstrap(cluster);
+  Client* c2 = cluster.NewClient(2);
+  ASSERT_TRUE(PutAndWait(cluster, c2, 100, "ok", NodeId{2, 1}).status.ok());
+
+  // Crash zone 1's leader; zone 2's objects are unaffected.
+  cluster.CrashNode({1, 1}, 10 * kSecond);
+  auto put = PutAndWait(cluster, c2, 100, "still-ok", NodeId{2, 1});
+  EXPECT_TRUE(put.status.ok());
+  EXPECT_LT(ToMillis(put.latency), 100.0);  // no disruption
+}
+
+TEST(AvailabilityTest, PaxosStallsUntilReElection) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["election_timeout_ms"] = "400";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(
+      PutAndWait(cluster, client, 1, "pre", cluster.leader()).status.ok());
+
+  cluster.CrashNode(cluster.leader(), 30 * kSecond);
+  auto put = PutAndWait(cluster, client, 1, "post", cluster.leader());
+  // The request eventually succeeds (client retry + new leader), but only
+  // after a visible unavailability window.
+  EXPECT_TRUE(put.status.ok()) << put.status.ToString();
+  EXPECT_GT(ToMillis(put.latency), 300.0);
+  EXPECT_GT(put.attempts, 1);
+}
+
+// Cross-validation (§5.1): the analytic model and the framework agree on
+// the single-leader saturation point within modeling error.
+TEST(CrossValidationTest, PaxosModelMatchesExperiment) {
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.duration_s = 1.0;
+  options.warmup_s = 0.3;
+  // Saturate with many closed-loop clients.
+  options.clients_per_zone = 60;
+  const BenchResult result = RunBenchmark(Config::Lan9("paxos"), options);
+
+  model::ModelEnv env;
+  env.topology = Topology::Lan(1);
+  env.zones = 1;
+  env.nodes_per_zone = 9;
+  model::PaxosModel model(env, NodeId{1, 1});
+
+  EXPECT_GT(result.throughput, model.MaxThroughput() * 0.7);
+  EXPECT_LT(result.throughput, model.MaxThroughput() * 1.15);
+}
+
+// The §6.1 capacity story end-to-end: measured max throughput ordering
+// matches the load formula ordering (WPaxos < Paxos load => WPaxos >
+// Paxos capacity).
+TEST(CrossValidationTest, LoadFormulaPredictsThroughputOrdering) {
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.duration_s = 1.0;
+  options.warmup_s = 0.3;
+  options.clients_per_zone = 40;
+
+  const BenchResult paxos = RunBenchmark(Config::Lan9("paxos"), options);
+  options.clients_per_zone = 14;  // 3 zones x 14 ~ same offered load
+  const BenchResult wpaxos =
+      RunBenchmark(Config::LanGrid3x3("wpaxos"), options);
+
+  ASSERT_LT(model::LoadWPaxos(9, 3), model::LoadPaxos(9));
+  EXPECT_GT(wpaxos.throughput, paxos.throughput);
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,146 @@
+// Jepsen-style nemesis suite (the paper cites Jepsen as the availability/
+// consistency tool its failure-injection primitives replace, §4.2): run
+// live traffic while a nemesis randomly freezes minorities of nodes and
+// degrades links, then audit everything the clients observed. Strongly
+// consistent protocols must stay linearizable no matter what the nemesis
+// does to a minority.
+
+#include <string>
+
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+/// Schedules random minority crashes plus link drops/slows/flakiness over
+/// the run. Deterministic per seed.
+void UnleashNemesis(Cluster& cluster, Time duration, std::uint64_t seed) {
+  auto* rng = new Rng(seed);  // owned by the scheduled closures' lifetime
+  Simulator& sim = cluster.sim();
+  const auto nodes = cluster.nodes();
+  const std::size_t minority = (nodes.size() - 1) / 2;
+
+  for (Time t = 200 * kMillisecond; t < duration; t += 300 * kMillisecond) {
+    sim.At(sim.Now() + t, [&cluster, rng, nodes, minority]() {
+      // Freeze a random minority (never the quorum) for a short window.
+      std::vector<NodeId> shuffled = nodes;
+      rng->Shuffle(&shuffled);
+      const auto crashes =
+          static_cast<std::size_t>(rng->UniformInt(0, minority));
+      for (std::size_t i = 0; i < crashes; ++i) {
+        cluster.CrashNode(shuffled[i], 150 * kMillisecond);
+      }
+      // Degrade a few random links.
+      for (int i = 0; i < 6; ++i) {
+        const NodeId a =
+            nodes[static_cast<std::size_t>(rng->UniformInt(
+                0, static_cast<std::int64_t>(nodes.size()) - 1))];
+        const NodeId b =
+            nodes[static_cast<std::size_t>(rng->UniformInt(
+                0, static_cast<std::int64_t>(nodes.size()) - 1))];
+        if (a == b) continue;
+        switch (rng->UniformInt(0, 2)) {
+          case 0:
+            cluster.transport().Drop(a, b, 100 * kMillisecond);
+            break;
+          case 1:
+            cluster.transport().Flaky(a, b, 0.4, 150 * kMillisecond);
+            break;
+          default:
+            cluster.transport().Slow(a, b, 3 * kMillisecond,
+                                     150 * kMillisecond);
+            break;
+        }
+      }
+    });
+  }
+}
+
+class NemesisTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NemesisTest, StaysLinearizableUnderChaos) {
+  Config cfg = Config::Lan9(GetParam());
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/25, /*write_ratio=*/0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;  // audit everything, chaos included
+  options.duration_s = 4.0;
+  options.record_ops = true;
+
+  Cluster cluster(cfg);
+  UnleashNemesis(cluster, 4 * kSecond, /*seed=*/0xC0FFEE);
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  // Progress despite the nemesis (minorities only).
+  EXPECT_GT(result.completed, 100u) << GetParam();
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << GetParam() << ": " << anomalies.size()
+      << " anomalous reads under chaos, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, NemesisTest,
+                         ::testing::Values("paxos", "raft", "epaxos",
+                                           "mencius"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(NemesisTest, WPaxosGridUnderChaos) {
+  // Multi-leader grid variant: nemesis limited to link faults plus
+  // non-leader freezes (WPaxos zone leadership is static by design, like
+  // the paper's deployment; leader recovery is phase-1-on-demand).
+  Config cfg = Config::LanGrid3x3("wpaxos");
+  cfg.client_timeout = 500 * kMillisecond;
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 3;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+
+  Cluster cluster(cfg);
+  Simulator& sim = cluster.sim();
+  Rng* rng = new Rng(7);
+  for (Time t = 200 * kMillisecond; t < 4 * kSecond;
+       t += 250 * kMillisecond) {
+    sim.At(sim.Now() + t, [&cluster, rng]() {
+      // Freeze one random follower (node index 2 or 3 in a zone).
+      const int zone = static_cast<int>(rng->UniformInt(1, 3));
+      const int node = static_cast<int>(rng->UniformInt(2, 3));
+      cluster.CrashNode(NodeId{zone, node}, 150 * kMillisecond);
+      // And flake one random inter-node link.
+      const NodeId a{static_cast<int>(rng->UniformInt(1, 3)),
+                     static_cast<int>(rng->UniformInt(1, 3))};
+      const NodeId b{static_cast<int>(rng->UniformInt(1, 3)),
+                     static_cast<int>(rng->UniformInt(1, 3))};
+      if (!(a == b)) cluster.transport().Flaky(a, b, 0.3, 200 * kMillisecond);
+    });
+  }
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  EXPECT_GT(result.completed, 100u);
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+}  // namespace
+}  // namespace paxi

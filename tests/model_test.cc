@@ -1,0 +1,329 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "model/flowchart.h"
+#include "model/formulas.h"
+#include "model/korder.h"
+#include "model/protocol_model.h"
+#include "model/queueing.h"
+
+namespace paxi::model {
+namespace {
+
+// --- Queueing (Table 1) --------------------------------------------------------
+
+TEST(QueueingTest, ZeroLoadZeroWait) {
+  QueueParams p{.lambda = 0.0, .mu = 100.0};
+  for (auto kind : {QueueKind::kMM1, QueueKind::kMD1, QueueKind::kMG1,
+                    QueueKind::kGG1}) {
+    EXPECT_EQ(WaitTime(kind, p), 0.0);
+  }
+}
+
+TEST(QueueingTest, UnstableQueueIsInfinite) {
+  QueueParams p{.lambda = 120.0, .mu = 100.0};
+  EXPECT_TRUE(std::isinf(WaitTime(QueueKind::kMD1, p)));
+}
+
+TEST(QueueingTest, MM1MatchesClosedForm) {
+  // M/M/1: Wq = rho / (mu - lambda); at lambda=50, mu=100: 0.01 s.
+  QueueParams p{.lambda = 50.0, .mu = 100.0};
+  EXPECT_NEAR(WaitTime(QueueKind::kMM1, p), 0.01, 1e-12);
+}
+
+TEST(QueueingTest, MD1IsHalfOfMM1) {
+  // Deterministic service halves the queueing delay of exponential.
+  QueueParams p{.lambda = 70.0, .mu = 100.0};
+  EXPECT_NEAR(WaitTime(QueueKind::kMD1, p),
+              WaitTime(QueueKind::kMM1, p) / 2.0, 1e-12);
+}
+
+TEST(QueueingTest, MG1InterpolatesWithVariance) {
+  // M/G/1 with sigma = 0 equals M/D/1; with sigma = 1/mu equals M/M/1.
+  QueueParams p{.lambda = 60.0, .mu = 100.0, .service_sigma = 0.0};
+  EXPECT_NEAR(WaitTime(QueueKind::kMG1, p), WaitTime(QueueKind::kMD1, p),
+              1e-12);
+  p.service_sigma = 1.0 / p.mu;
+  EXPECT_NEAR(WaitTime(QueueKind::kMG1, p), WaitTime(QueueKind::kMM1, p),
+              1e-12);
+}
+
+TEST(QueueingTest, WaitGrowsWithLoad) {
+  double prev = 0.0;
+  for (double lambda : {10.0, 30.0, 50.0, 70.0, 90.0, 99.0}) {
+    QueueParams p{.lambda = lambda, .mu = 100.0, .service_sigma = 0.002,
+                  .ca2 = 1.0, .cs2 = 0.04};
+    for (auto kind : {QueueKind::kMM1, QueueKind::kMD1, QueueKind::kMG1,
+                      QueueKind::kGG1}) {
+      EXPECT_GT(WaitTime(kind, p), 0.0);
+    }
+    const double wq = WaitTime(QueueKind::kMD1, p);
+    EXPECT_GT(wq, prev);
+    prev = wq;
+  }
+}
+
+TEST(QueueingTest, Names) {
+  EXPECT_STREQ(QueueKindName(QueueKind::kMM1), "M/M/1");
+  EXPECT_STREQ(QueueKindName(QueueKind::kGG1), "G/G/1");
+}
+
+// --- k-order statistics ----------------------------------------------------------
+
+TEST(KOrderTest, MinAndMaxBracketMean) {
+  Rng rng(3);
+  const double lo = ExpectedKthOrderStatisticNormal(1, 8, 10.0, 1.0, rng);
+  const double hi = ExpectedKthOrderStatisticNormal(8, 8, 10.0, 1.0, rng);
+  EXPECT_LT(lo, 10.0);
+  EXPECT_GT(hi, 10.0);
+}
+
+TEST(KOrderTest, MonotoneInK) {
+  Rng rng(5);
+  double prev = -1e9;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double v = ExpectedKthOrderStatisticNormal(k, 8, 5.0, 0.5, rng);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KOrderTest, MedianOfSymmetricIsMean) {
+  Rng rng(7);
+  const double v =
+      ExpectedKthOrderStatisticNormal(5, 9, 20.0, 2.0, rng, 50000);
+  EXPECT_NEAR(v, 20.0, 0.05);
+}
+
+TEST(KOrderTest, KthSmallest) {
+  EXPECT_DOUBLE_EQ(KthSmallest({5.0, 1.0, 3.0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(KthSmallest({5.0, 1.0, 3.0}, 2), 3.0);
+  EXPECT_DOUBLE_EQ(KthSmallest({5.0, 1.0, 3.0}, 3), 5.0);
+}
+
+// --- Formulas (§6) ----------------------------------------------------------------
+
+TEST(FormulasTest, PaperValuesAtNineNodes) {
+  // §6.1: L(Paxos) = 4, L(EPaxos) = 4/3 (1+c), L(WPaxos) = 4/3 at N = 9.
+  EXPECT_DOUBLE_EQ(LoadPaxos(9), 4.0);
+  EXPECT_NEAR(LoadEPaxos(9, 0.0), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(LoadEPaxos(9, 1.0), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(LoadWPaxos(9, 3), 4.0 / 3.0, 1e-12);
+}
+
+TEST(FormulasTest, GeneralFormMatchesSpecializations) {
+  // Paxos: L=1, Q=floor(N/2)+1, c=0.
+  EXPECT_DOUBLE_EQ(Load(1, 5, 0.0), LoadPaxos(9));
+  // EPaxos: L=N, Q=floor(N/2)+1.
+  EXPECT_NEAR(Load(9, 5, 0.3), LoadEPaxos(9, 0.3), 1e-12);
+  // WPaxos 3x3: L=3, Q=N/L=3.
+  EXPECT_NEAR(Load(3, 3, 0.0), LoadWPaxos(9, 3), 1e-12);
+}
+
+TEST(FormulasTest, CapacityIsReciprocal) {
+  EXPECT_DOUBLE_EQ(Capacity(1, 5, 0.0), 0.25);
+  EXPECT_GT(Capacity(3, 3, 0.0), Capacity(1, 5, 0.0));  // WPaxos > Paxos
+}
+
+TEST(FormulasTest, MoreLeadersReduceLoadButConflictsRaiseIt) {
+  EXPECT_LT(Load(3, 5, 0.0), Load(1, 5, 0.0));
+  EXPECT_LT(Load(9, 5, 0.0), Load(3, 5, 0.0));
+  EXPECT_GT(Load(9, 5, 0.5), Load(9, 5, 0.0));
+  // The §6.1 interplay: going to N leaders at high conflict can be worse
+  // than fewer leaders at no conflict.
+  EXPECT_GT(LoadEPaxos(9, 1.0), LoadWPaxos(9, 3));
+}
+
+TEST(FormulasTest, LatencyFormula) {
+  // Formula 7 at c=0, l=1: only DQ remains.
+  EXPECT_DOUBLE_EQ(LatencyFormula(0.0, 1.0, 50.0, 5.0), 5.0);
+  // l=0: full DL+DQ.
+  EXPECT_DOUBLE_EQ(LatencyFormula(0.0, 0.0, 50.0, 5.0), 55.0);
+  // Conflicts multiply.
+  EXPECT_DOUBLE_EQ(LatencyFormula(1.0, 0.0, 50.0, 5.0), 110.0);
+  // Locality helps monotonically.
+  EXPECT_GT(LatencyFormula(0.0, 0.2, 50.0, 5.0),
+            LatencyFormula(0.0, 0.8, 50.0, 5.0));
+}
+
+// --- Protocol models ---------------------------------------------------------------
+
+ModelEnv Lan9Env() {
+  ModelEnv env;
+  env.topology = Topology::Lan(1);
+  env.zones = 1;
+  env.nodes_per_zone = 9;
+  return env;
+}
+
+ModelEnv Grid3x3Env() {
+  ModelEnv env;
+  env.topology = Topology::Lan(3);
+  env.zones = 3;
+  env.nodes_per_zone = 3;
+  return env;
+}
+
+ModelEnv Wan5Env() {
+  ModelEnv env;
+  env.topology = Topology::WanFiveRegions();
+  env.zones = 5;
+  env.nodes_per_zone = 3;
+  return env;
+}
+
+TEST(ProtocolModelTest, PaxosServiceTimeFormula) {
+  PaxosModel model(Lan9Env(), NodeId{1, 1});
+  // ts = 2*15 + 9*9 + 2*9*0.8 = 125.4 us.
+  EXPECT_NEAR(model.EffectiveServiceUs(), 125.4, 0.01);
+  EXPECT_NEAR(model.MaxThroughput(), 1e6 / 125.4, 1.0);
+}
+
+TEST(ProtocolModelTest, PaxosLanSaturatesNear8k) {
+  // §5.1 / Fig. 7: single-leader max throughput around 8000 ops/s.
+  PaxosModel model(Lan9Env(), NodeId{1, 1});
+  EXPECT_GT(model.MaxThroughput(), 7000.0);
+  EXPECT_LT(model.MaxThroughput(), 9000.0);
+}
+
+TEST(ProtocolModelTest, LatencyMonotoneInLoad) {
+  PaxosModel model(Lan9Env(), NodeId{1, 1});
+  double prev = 0.0;
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 0.97}) {
+    const double lat = model.LatencyMs(model.MaxThroughput() * frac);
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+  EXPECT_TRUE(std::isinf(model.LatencyMs(model.MaxThroughput() * 1.01)));
+}
+
+TEST(ProtocolModelTest, WPaxosOutscalesPaxosSublinearly) {
+  // §5.2: multi-leader beats single-leader but not by L times.
+  PaxosModel paxos(Lan9Env(), NodeId{1, 1});
+  WPaxosModel wpaxos(Grid3x3Env(), /*fz=*/0, /*locality=*/1.0);
+  const double ratio = wpaxos.MaxThroughput() / paxos.MaxThroughput();
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(ProtocolModelTest, EPaxosConflictDegradesThroughput) {
+  // Fig. 12: ~40% capacity loss from c=0 to c=1.
+  EPaxosModel none(Wan5Env(), 0.0);
+  EPaxosModel full(Wan5Env(), 1.0);
+  const double drop = 1.0 - full.MaxThroughput() / none.MaxThroughput();
+  EXPECT_GT(drop, 0.25);
+  EXPECT_LT(drop, 0.55);
+}
+
+TEST(ProtocolModelTest, EPaxosBeatsPaxosThroughputEvenAtFullConflict) {
+  // §5.2: "EPaxos shows better throughput than Paxos in our model even
+  // with 100% conflict" — before the processing penalty.
+  PaxosModel paxos(Lan9Env(), NodeId{1, 1});
+  EPaxosModel epaxos(Lan9Env(), 1.0, /*penalty=*/1.0);
+  EXPECT_GT(epaxos.MaxThroughput(), paxos.MaxThroughput());
+  // With the penalty, EPaxos degrades greatly.
+  EPaxosModel penalized(Lan9Env(), 1.0, /*penalty=*/2.0);
+  EXPECT_LT(penalized.MaxThroughput(), epaxos.MaxThroughput() * 0.6);
+}
+
+TEST(ProtocolModelTest, FPaxosLatencyEdgeIsSmallInLan) {
+  // §5.2 "a modest average latency improvement" for FPaxos in LAN.
+  PaxosModel paxos(Lan9Env(), NodeId{1, 1});
+  PaxosModel fpaxos(Lan9Env(), NodeId{1, 1}, /*q2=*/3);
+  const double lambda = 2000.0;
+  const double gain = paxos.LatencyMs(lambda) - fpaxos.LatencyMs(lambda);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_LT(gain, 0.2);
+}
+
+TEST(ProtocolModelTest, WanLeaderPlacementDominatesLatency) {
+  // Fig. 10: >100 ms spread between single-leader Paxos (CA leader) and
+  // WPaxos with locality.
+  PaxosModel paxos(Wan5Env(), NodeId{3, 1});  // California leader
+  WPaxosModel wpaxos(Wan5Env(), /*fz=*/0, /*locality=*/0.7);
+  const double paxos_lat = paxos.LatencyMs(paxos.MaxThroughput() * 0.2);
+  const double wpaxos_lat = wpaxos.LatencyMs(wpaxos.MaxThroughput() * 0.2);
+  EXPECT_GT(paxos_lat - wpaxos_lat, 50.0);
+  EXPECT_GT(paxos_lat, 100.0);
+}
+
+TEST(ProtocolModelTest, WPaxosFzRaisesWanLatency) {
+  WPaxosModel fz0(Wan5Env(), 0, 1.0);
+  WPaxosModel fz1(Wan5Env(), 1, 1.0);
+  EXPECT_GT(fz1.NetworkLatencyMs(), fz0.NetworkLatencyMs() + 5.0);
+}
+
+TEST(ProtocolModelTest, CurveShapesAreSane) {
+  WanKeeperModel model(Wan5Env(), /*master_zone=*/2, /*locality=*/0.8);
+  const auto curve = model.Curve(10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].throughput, curve[i - 1].throughput);
+    EXPECT_GE(curve[i].latency_ms, curve[i - 1].latency_ms);
+  }
+}
+
+// --- Flowchart (Fig. 14) -----------------------------------------------------------
+
+TEST(FlowchartTest, AllPathsReachARecommendation) {
+  for (bool consensus : {false, true}) {
+    for (bool wan : {false, true}) {
+      for (bool reads : {false, true}) {
+        for (bool locality : {false, true}) {
+          for (bool dynamic : {false, true}) {
+            for (bool failure : {false, true}) {
+              DeploymentProfile p{consensus, wan, reads, locality, dynamic,
+                                  failure};
+              const auto rec = RecommendProtocol(p);
+              EXPECT_FALSE(rec.protocols.empty());
+              EXPECT_FALSE(rec.rationale.empty());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FlowchartTest, PaperExamples) {
+  DeploymentProfile lan;
+  lan.wan = false;
+  EXPECT_EQ(RecommendProtocol(lan).protocols[0], "Multi-Paxos");
+
+  DeploymentProfile no_consensus;
+  no_consensus.need_consensus = false;
+  EXPECT_EQ(RecommendProtocol(no_consensus).protocols[0], "Atomic Storage");
+
+  DeploymentProfile read_heavy_wan;
+  read_heavy_wan.wan = true;
+  read_heavy_wan.read_heavy = true;
+  const auto rec = RecommendProtocol(read_heavy_wan);
+  EXPECT_NE(std::find(rec.protocols.begin(), rec.protocols.end(), "EPaxos"),
+            rec.protocols.end());
+
+  DeploymentProfile static_locality;
+  static_locality.wan = true;
+  static_locality.workload_locality = true;
+  static_locality.dynamic_locality = false;
+  EXPECT_EQ(RecommendProtocol(static_locality).protocols[0], "Paxos Groups");
+
+  DeploymentProfile hierarchical;
+  hierarchical.wan = true;
+  hierarchical.workload_locality = true;
+  hierarchical.dynamic_locality = true;
+  hierarchical.region_failure_concern = false;
+  const auto rec2 = RecommendProtocol(hierarchical);
+  EXPECT_NE(std::find(rec2.protocols.begin(), rec2.protocols.end(),
+                      "WanKeeper"),
+            rec2.protocols.end());
+
+  DeploymentProfile full;
+  full.wan = true;
+  full.workload_locality = true;
+  full.dynamic_locality = true;
+  full.region_failure_concern = true;
+  EXPECT_EQ(RecommendProtocol(full).protocols[0], "WPaxos");
+}
+
+}  // namespace
+}  // namespace paxi::model

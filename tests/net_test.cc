@@ -1,0 +1,239 @@
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "gtest/gtest.h"
+#include "net/latency.h"
+#include "net/topology.h"
+#include "net/transport.h"
+
+namespace paxi {
+namespace {
+
+// --- Topology ----------------------------------------------------------------
+
+TEST(TopologyTest, LanUsesMeasuredAwsDistribution) {
+  const Topology t = Topology::Lan(3);
+  EXPECT_FALSE(t.is_wan());
+  EXPECT_EQ(t.num_zones(), 3);
+  // All zone pairs in a LAN share the Fig. 3 distribution.
+  EXPECT_DOUBLE_EQ(t.RttMeanMs(1, 2), 0.4271);
+  EXPECT_DOUBLE_EQ(t.RttMeanMs(1, 1), 0.4271);
+  EXPECT_DOUBLE_EQ(t.RttSigmaMs(2, 3), 0.0476);
+}
+
+TEST(TopologyTest, WanFiveRegions) {
+  const Topology t = Topology::WanFiveRegions();
+  EXPECT_TRUE(t.is_wan());
+  EXPECT_EQ(t.num_zones(), 5);
+  EXPECT_EQ(t.ZoneRegion(1), Region::kVirginia);
+  EXPECT_EQ(t.ZoneRegion(5), Region::kJapan);
+  // VA <-> OH is the short edge; IR <-> JP the long one.
+  EXPECT_DOUBLE_EQ(t.RttMeanMs(1, 2), 11.0);
+  EXPECT_DOUBLE_EQ(t.RttMeanMs(4, 5), 220.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(t.RttMeanMs(3, 1), t.RttMeanMs(1, 3));
+  // Intra-region pairs behave like LAN.
+  EXPECT_DOUBLE_EQ(t.RttMeanMs(2, 2), 0.4271);
+}
+
+TEST(TopologyTest, RegionNames) {
+  EXPECT_STREQ(RegionName(Region::kVirginia), "VA");
+  EXPECT_STREQ(RegionName(Region::kOhio), "OH");
+  EXPECT_STREQ(RegionName(Region::kCalifornia), "CA");
+  EXPECT_STREQ(RegionName(Region::kIreland), "IR");
+  EXPECT_STREQ(RegionName(Region::kJapan), "JP");
+}
+
+// --- Latency model -------------------------------------------------------------
+
+TEST(LatencyModelTest, RoundTripMatchesFig3Distribution) {
+  TopologyLatencyModel model(Topology::Lan(1));
+  Rng rng(5);
+  RunningStats rtt_ms;
+  const NodeId a{1, 1}, b{1, 2};
+  for (int i = 0; i < 20000; ++i) {
+    const Time fwd = model.SampleOneWay(a, b, rng);
+    const Time back = model.SampleOneWay(b, a, rng);
+    rtt_ms.Add(ToMillis(fwd + back));
+  }
+  // Fig. 3: mu = 0.4271 ms, sigma = 0.0476 ms.
+  EXPECT_NEAR(rtt_ms.mean(), 0.4271, 0.01);
+  EXPECT_NEAR(rtt_ms.stddev(), 0.0476, 0.01);
+}
+
+TEST(LatencyModelTest, WanPairsDiffer) {
+  TopologyLatencyModel model(Topology::WanFiveRegions());
+  const NodeId va{1, 1}, oh{2, 1}, jp{5, 1};
+  EXPECT_LT(model.MeanOneWay(va, oh), model.MeanOneWay(va, jp));
+  EXPECT_EQ(model.MeanOneWay(va, oh), FromMillis(11.0 / 2));
+}
+
+TEST(LatencyModelTest, LoopbackIsCheap) {
+  TopologyLatencyModel model(Topology::Lan(1));
+  Rng rng(1);
+  const NodeId a{1, 1};
+  EXPECT_LE(model.SampleOneWay(a, a, rng), 1);
+}
+
+TEST(LatencyModelTest, FixedModel) {
+  FixedLatencyModel model(123);
+  Rng rng(1);
+  EXPECT_EQ(model.SampleOneWay({1, 1}, {1, 2}, rng), 123);
+  EXPECT_EQ(model.MeanOneWay({1, 1}, {1, 2}), 123);
+}
+
+// --- Transport -----------------------------------------------------------------
+
+struct Probe : Endpoint {
+  NodeId id_;
+  std::vector<MessagePtr> received;
+  std::vector<Time> arrival_times;
+  Simulator* sim = nullptr;
+
+  NodeId id() const override { return id_; }
+  void Deliver(MessagePtr msg) override {
+    received.push_back(std::move(msg));
+    arrival_times.push_back(sim->Now());
+  }
+};
+
+struct TestMsg : Message {
+  int payload = 0;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : sim_(1),
+        transport_(&sim_, std::make_shared<FixedLatencyModel>(100), true) {
+    a_.id_ = NodeId{1, 1};
+    b_.id_ = NodeId{1, 2};
+    a_.sim = b_.sim = &sim_;
+    transport_.Register(&a_);
+    transport_.Register(&b_);
+  }
+
+  void Send(int payload, Time departure = 0) {
+    TestMsg msg;
+    msg.payload = payload;
+    msg.from = a_.id_;
+    transport_.Send(b_.id_, std::make_shared<const TestMsg>(msg), departure);
+  }
+
+  Simulator sim_;
+  Transport transport_;
+  Probe a_, b_;
+};
+
+TEST_F(TransportTest, DeliversWithLatency) {
+  Send(7);
+  sim_.RunUntil(1000);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.arrival_times[0], 100);
+  const auto* msg = dynamic_cast<const TestMsg*>(b_.received[0].get());
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->payload, 7);
+  EXPECT_EQ(msg->from, a_.id_);
+  EXPECT_EQ(transport_.messages_sent(), 1u);
+}
+
+TEST_F(TransportTest, DepartureDelaysArrival) {
+  Send(1, /*departure=*/50);
+  sim_.RunUntil(1000);
+  EXPECT_EQ(b_.arrival_times[0], 150);
+}
+
+TEST_F(TransportTest, UnknownDestinationCountsDropped) {
+  TestMsg msg;
+  msg.from = a_.id_;
+  transport_.Send(NodeId{9, 9}, std::make_shared<const TestMsg>(msg), 0);
+  sim_.RunUntil(1000);
+  EXPECT_EQ(transport_.messages_dropped(), 1u);
+}
+
+TEST_F(TransportTest, DropFaultDropsEverything) {
+  transport_.Drop(a_.id_, b_.id_, 10 * kSecond);
+  for (int i = 0; i < 5; ++i) Send(i);
+  sim_.RunUntil(kSecond);
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(transport_.messages_dropped(), 5u);
+}
+
+TEST_F(TransportTest, DropFaultExpires) {
+  transport_.Drop(a_.id_, b_.id_, 500);
+  Send(1);  // dropped (now=0 < 500)
+  sim_.RunUntil(1000);
+  Send(2);  // fault expired
+  sim_.RunUntil(5000);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[0].get())->payload, 2);
+}
+
+TEST_F(TransportTest, DropIsDirectional) {
+  transport_.Drop(a_.id_, b_.id_, 10 * kSecond);
+  TestMsg msg;
+  msg.from = b_.id_;
+  transport_.Send(a_.id_, std::make_shared<const TestMsg>(msg), 0);
+  sim_.RunUntil(kSecond);
+  EXPECT_EQ(a_.received.size(), 1u);
+}
+
+TEST_F(TransportTest, FlakyDropsProbabilistically) {
+  transport_.Flaky(a_.id_, b_.id_, 0.5, 10 * kSecond);
+  for (int i = 0; i < 1000; ++i) Send(i);
+  sim_.RunUntil(kSecond);
+  EXPECT_GT(b_.received.size(), 300u);
+  EXPECT_LT(b_.received.size(), 700u);
+}
+
+TEST_F(TransportTest, SlowAddsDelay) {
+  transport_.Slow(a_.id_, b_.id_, 1000, 10 * kSecond);
+  RunningStats extra;
+  for (int i = 0; i < 200; ++i) Send(i);
+  sim_.RunUntil(10 * kSecond);
+  ASSERT_EQ(b_.received.size(), 200u);
+  for (Time t : b_.arrival_times) {
+    EXPECT_GE(t, 100);
+    EXPECT_LE(t, 100 + 1000 + 1);
+  }
+}
+
+TEST_F(TransportTest, OrderedDeliveryIsFifoPerLink) {
+  // With ordered transport, later sends never overtake earlier ones even
+  // if the sampled latency would allow it.
+  for (int i = 0; i < 50; ++i) Send(i, /*departure=*/i);
+  sim_.RunUntil(kSecond);
+  ASSERT_EQ(b_.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[i].get())->payload, i);
+  }
+  for (std::size_t i = 1; i < b_.arrival_times.size(); ++i) {
+    EXPECT_GE(b_.arrival_times[i], b_.arrival_times[i - 1]);
+  }
+}
+
+TEST(TransportUnorderedTest, UnorderedMayReorder) {
+  // With a jittery latency model and unordered mode, reordering is
+  // possible (we only assert everything still arrives).
+  Simulator sim(3);
+  Transport transport(
+      &sim, std::make_shared<TopologyLatencyModel>(Topology::Lan(1)), false);
+  Probe a, b;
+  a.id_ = NodeId{1, 1};
+  b.id_ = NodeId{1, 2};
+  a.sim = b.sim = &sim;
+  transport.Register(&a);
+  transport.Register(&b);
+  for (int i = 0; i < 100; ++i) {
+    TestMsg msg;
+    msg.payload = i;
+    msg.from = a.id_;
+    transport.Send(b.id_, std::make_shared<const TestMsg>(msg), 0);
+  }
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(b.received.size(), 100u);
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,219 @@
+// Unit tests of the §3 node processing model implemented in core/node.cc:
+// each replica is one NIC+CPU queue; messages charge t_i/t_o plus
+// bandwidth time and wait FIFO behind in-progress work. These are the
+// mechanics behind every saturation curve in the benches.
+
+#include <memory>
+#include <vector>
+
+#include "core/node.h"
+#include "gtest/gtest.h"
+#include "net/latency.h"
+
+namespace paxi {
+namespace {
+
+struct Ping : Message {};
+struct Pong : Message {};
+
+/// Replica that answers every Ping with a Pong and counts handled pings.
+class Echo : public Node {
+ public:
+  Echo(NodeId id, Env env) : Node(id, env) {
+    OnMessage<Ping>([this](const Ping& msg) {
+      ++pings;
+      handled_at.push_back(Now());
+      if (reply) {
+        Pong pong;
+        Send(msg.from, std::move(pong));
+      }
+    });
+    OnMessage<Pong>([this](const Pong&) { ++pongs; });
+  }
+
+  using Node::SetProcessingMultiplier;  // exposed for the model tests
+
+  bool reply = false;
+  int pings = 0;
+  int pongs = 0;
+  std::vector<Time> handled_at;
+};
+
+class NodeModelTest : public ::testing::Test {
+ protected:
+  NodeModelTest() {
+    config_.zones = 1;
+    config_.nodes_per_zone = 2;
+    config_.proc_in_us = 10;
+    config_.proc_out_us = 20;
+    config_.bandwidth_bps = 1e9;  // 100B -> 0.8 us NIC time
+    sim_ = std::make_unique<Simulator>(1);
+    transport_ = std::make_unique<Transport>(
+        sim_.get(), std::make_shared<FixedLatencyModel>(100), true);
+    Node::Env env{sim_.get(), transport_.get(), &config_};
+    a_ = std::make_unique<Echo>(NodeId{1, 1}, env);
+    b_ = std::make_unique<Echo>(NodeId{1, 2}, env);
+    transport_->Register(a_.get());
+    transport_->Register(b_.get());
+  }
+
+  void SendPing(Time at) {
+    sim_->At(at, [this] {
+      Ping ping;
+      ping.from = a_->id();
+      transport_->Send(b_->id(), std::make_shared<const Ping>(ping),
+                       sim_->Now());
+    });
+  }
+
+  Config config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<Echo> a_, b_;
+};
+
+TEST_F(NodeModelTest, IncomingMessageChargesTiPlusNic) {
+  SendPing(0);
+  sim_->RunUntil(kSecond);
+  ASSERT_EQ(b_->pings, 1);
+  // Arrival at 100 (fixed latency), processing t_i=10 + NIC 0.8 -> floor 10.
+  EXPECT_EQ(b_->handled_at[0], 100 + 10 + 0);  // NIC truncates to 0 us
+}
+
+TEST_F(NodeModelTest, BackToBackMessagesQueueFifo) {
+  // Both pings arrive at t=100; the second waits for the first's service.
+  SendPing(0);
+  SendPing(0);
+  sim_->RunUntil(kSecond);
+  ASSERT_EQ(b_->pings, 2);
+  EXPECT_EQ(b_->handled_at[1] - b_->handled_at[0], 10);
+}
+
+TEST_F(NodeModelTest, SaturationMatchesServiceTime) {
+  // Offer pings far faster than 1/t_i: the node's handling cadence is
+  // pinned at exactly the service time.
+  for (int i = 0; i < 1000; ++i) SendPing(i);  // 1 per us >> 1 per 10 us
+  sim_->RunUntil(kSecond);
+  ASSERT_EQ(b_->pings, 1000);
+  const Time span = b_->handled_at.back() - b_->handled_at.front();
+  EXPECT_EQ(span, 999 * 10);
+}
+
+TEST_F(NodeModelTest, CrashFreezesProcessingButLosesNothing) {
+  b_->Crash(50 * kMillisecond);
+  SendPing(0);
+  sim_->RunUntil(kSecond);
+  ASSERT_EQ(b_->pings, 1);
+  EXPECT_GE(b_->handled_at[0], 50 * kMillisecond);
+}
+
+TEST_F(NodeModelTest, ProcessingMultiplierScalesCpu) {
+  b_->SetProcessingMultiplier(3.0);
+  SendPing(0);
+  SendPing(0);
+  sim_->RunUntil(kSecond);
+  ASSERT_EQ(b_->pings, 2);
+  EXPECT_EQ(b_->handled_at[1] - b_->handled_at[0], 30);
+}
+
+TEST_F(NodeModelTest, MessageCountersTrack) {
+  b_->reply = true;
+  SendPing(0);
+  SendPing(0);
+  sim_->RunUntil(kSecond);
+  EXPECT_EQ(b_->messages_processed(), 2u);
+  EXPECT_EQ(b_->messages_sent(), 2u);
+  EXPECT_EQ(a_->pongs, 2);
+}
+
+/// Node that broadcasts Pings on demand, for serialization-cost tests.
+class Broadcaster : public Node {
+ public:
+  Broadcaster(NodeId id, Env env) : Node(id, env) {}
+
+  void BlastAll() {
+    Ping msg;
+    BroadcastToAll(std::move(msg));
+  }
+  void SendIndividually() {
+    for (const NodeId& p : peers()) {
+      if (p != id()) {
+        Ping msg;
+        Send(p, std::move(msg));
+      }
+    }
+  }
+};
+
+TEST(BroadcastCostTest, BroadcastSerializesOnce) {
+  // §5.2 footnote 2: a broadcast charges the CPU once; per-destination
+  // sends charge t_o each. Compare departure spreads at a receiver set.
+  Config config;
+  config.zones = 1;
+  config.nodes_per_zone = 9;
+  config.proc_out_us = 50;
+  config.bandwidth_bps = 1e9;
+
+  auto run = [&](bool broadcast) {
+    Simulator sim(1);
+    Transport transport(&sim, std::make_shared<FixedLatencyModel>(10), true);
+    Node::Env env{&sim, &transport, &config};
+    Broadcaster sender(NodeId{1, 1}, env);
+    transport.Register(&sender);
+    std::vector<std::unique_ptr<Echo>> receivers;
+    for (int i = 2; i <= 9; ++i) {
+      receivers.push_back(std::make_unique<Echo>(NodeId{1, i}, env));
+      transport.Register(receivers.back().get());
+    }
+    sim.After(0, [&] {
+      if (broadcast) {
+        sender.BlastAll();
+      } else {
+        sender.SendIndividually();
+      }
+    });
+    sim.RunUntil(kSecond);
+    Time last = 0;
+    for (auto& r : receivers) {
+      EXPECT_EQ(r->messages_processed(), 1u);
+      last = std::max(last, r->handled_at.empty() ? 0 : r->handled_at[0]);
+    }
+    return last;
+  };
+
+  const Time bcast_last = run(true);
+  const Time sends_last = run(false);
+  // Individual sends pay 8 * t_o of serialization; the broadcast pays one.
+  EXPECT_GT(sends_last - bcast_last, 300);
+}
+
+TEST(NicCostTest, BandwidthBoundsLargeMessages) {
+  // A 1 MB message on a 1 Gb/s NIC takes ~8 ms of queue occupancy.
+  struct Jumbo : Message {
+    std::size_t ByteSize() const override { return 1'000'000; }
+  };
+  Config config;
+  config.zones = 1;
+  config.nodes_per_zone = 2;
+  config.proc_in_us = 1;
+  config.bandwidth_bps = 1e9;
+  Simulator sim(1);
+  Transport transport(&sim, std::make_shared<FixedLatencyModel>(1), true);
+  Node::Env env{&sim, &transport, &config};
+  Echo receiver(NodeId{1, 2}, env);
+  transport.Register(&receiver);
+
+  Jumbo big;
+  big.from = NodeId{1, 1};
+  transport.Send(receiver.id(), std::make_shared<const Jumbo>(big), 0);
+  Ping small;
+  small.from = NodeId{1, 1};
+  transport.Send(receiver.id(), std::make_shared<const Ping>(small), 0);
+  sim.RunUntil(kSecond);
+  ASSERT_EQ(receiver.pings, 1);
+  // The small message queued behind ~8 ms of NIC time for the jumbo one.
+  EXPECT_GT(receiver.handled_at[0], 8 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace paxi

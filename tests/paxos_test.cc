@@ -1,0 +1,168 @@
+#include "benchmark/runner.h"
+#include "checker/consensus.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "protocols/paxos/paxos.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+TEST(PaxosTest, ElectsConfiguredLeader) {
+  Cluster cluster(Config::Lan9("paxos"));
+  Bootstrap(cluster);
+  auto* leader = dynamic_cast<PaxosReplica*>(cluster.node({1, 1}));
+  ASSERT_NE(leader, nullptr);
+  EXPECT_TRUE(leader->IsLeader());
+  int leaders = 0;
+  for (const NodeId& id : cluster.nodes()) {
+    if (dynamic_cast<PaxosReplica*>(cluster.node(id))->IsLeader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(PaxosTest, PutThenGetRoundTrip) {
+  Cluster cluster(Config::Lan9("paxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+
+  auto put = PutAndWait(cluster, client, 5, "hello", cluster.leader());
+  ASSERT_TRUE(put.status.ok()) << put.status.ToString();
+
+  auto get = GetAndWait(cluster, client, 5, cluster.leader());
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "hello");
+  EXPECT_TRUE(get.found);
+}
+
+TEST(PaxosTest, GetMissingKeyIsNotFound) {
+  Cluster cluster(Config::Lan9("paxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  auto get = GetAndWait(cluster, client, 999, cluster.leader());
+  EXPECT_TRUE(get.status.IsNotFound());
+}
+
+TEST(PaxosTest, FollowerForwardsToLeader) {
+  Cluster cluster(Config::Lan9("paxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  // Address a follower; the request must still commit via the leader.
+  auto put = PutAndWait(cluster, client, 1, "forwarded", NodeId{1, 5});
+  ASSERT_TRUE(put.status.ok());
+  auto get = GetAndWait(cluster, client, 1, cluster.leader());
+  EXPECT_EQ(get.value, "forwarded");
+}
+
+TEST(PaxosTest, CommitsPropagateToFollowers) {
+  Cluster cluster(Config::Lan9("paxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  for (int i = 0; i < 20; ++i) {
+    PutAndWait(cluster, client, i, "v" + std::to_string(i),
+               cluster.leader());
+  }
+  // Heartbeats flush the commit watermark to followers.
+  cluster.RunFor(kSecond);
+  for (const NodeId& id : cluster.nodes()) {
+    auto* replica = dynamic_cast<PaxosReplica*>(cluster.node(id));
+    EXPECT_GE(replica->committed_up_to(), 19) << id.ToString();
+    EXPECT_EQ(replica->store().Get(7).value(), "v7") << id.ToString();
+  }
+}
+
+TEST(PaxosTest, LeaderCrashTriggersFailover) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["election_timeout_ms"] = "200";
+  cfg.params["heartbeat_ms"] = "50";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(
+      PutAndWait(cluster, client, 1, "before", cluster.leader()).status.ok());
+
+  // Freeze the leader well past the election timeout.
+  cluster.CrashNode(cluster.leader(), 10 * kSecond);
+  cluster.RunFor(2 * kSecond);
+
+  int leaders = 0;
+  NodeId new_leader;
+  for (const NodeId& id : cluster.nodes()) {
+    auto* replica = dynamic_cast<PaxosReplica*>(cluster.node(id));
+    if (replica->IsLeader() && !replica->IsCrashed()) {
+      ++leaders;
+      new_leader = id;
+    }
+  }
+  ASSERT_GE(leaders, 1);
+  EXPECT_NE(new_leader, cluster.leader());
+
+  // The cluster keeps serving through the new leader.
+  auto put = PutAndWait(cluster, client, 2, "after", new_leader);
+  EXPECT_TRUE(put.status.ok()) << put.status.ToString();
+}
+
+TEST(PaxosTest, SurvivesMinorityMessageLoss) {
+  Cluster cluster(Config::Lan9("paxos"));
+  Bootstrap(cluster);
+  // Cut the leader off from 3 of 8 followers (majority still reachable).
+  for (int n = 7; n <= 9; ++n) {
+    cluster.transport().Drop({1, 1}, {1, n}, 10 * kSecond);
+    cluster.transport().Drop({1, n}, {1, 1}, 10 * kSecond);
+  }
+  Client* client = cluster.NewClient(1);
+  auto put = PutAndWait(cluster, client, 1, "resilient", cluster.leader());
+  EXPECT_TRUE(put.status.ok());
+}
+
+TEST(PaxosTest, LoadBenchmarkIsLinearizableAndConsistent) {
+  Config cfg = Config::Lan9("paxos");
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/50, /*write_ratio=*/0.5);
+  options.clients_per_zone = 8;
+  options.duration_s = 1.0;
+  options.warmup_s = 0.2;
+  options.record_ops = true;
+
+  Cluster cluster(cfg);
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  EXPECT_GT(result.throughput, 100.0);
+  EXPECT_EQ(result.errors, 0u);
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << anomalies.size() << " anomalous reads, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+
+  cluster.RunFor(kSecond);  // let watermarks flush
+  std::vector<Key> keys;
+  for (Key k = 0; k < 50; ++k) keys.push_back(k);
+  ConsensusChecker consensus;
+  EXPECT_TRUE(consensus.Check(cluster, keys).empty());
+}
+
+TEST(PaxosTest, LeaderIsTheBusiestNode) {
+  // §5.2: the leader handles ~N+2 messages per round, followers ~2.
+  Config cfg = Config::Lan9("paxos");
+  BenchOptions options;
+  options.workload = UniformWorkload(100, 0.5);
+  options.clients_per_zone = 4;
+  options.duration_s = 1.0;
+
+  Cluster cluster(cfg);
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  const std::size_t leader_msgs = result.node_messages.at({1, 1});
+  for (const auto& [id, msgs] : result.node_messages) {
+    if (id == NodeId{1, 1}) continue;
+    // Leader processes ~N/2 times more messages than any follower.
+    EXPECT_GT(leader_msgs, 3 * msgs) << id.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,207 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "quorum/quorum.h"
+
+namespace paxi {
+namespace {
+
+std::vector<NodeId> Grid(int zones, int per_zone) {
+  std::vector<NodeId> out;
+  for (int z = 1; z <= zones; ++z) {
+    for (int n = 1; n <= per_zone; ++n) out.push_back(NodeId{z, n});
+  }
+  return out;
+}
+
+// --- CountQuorum ---------------------------------------------------------------
+
+TEST(CountQuorumTest, MajoritySatisfaction) {
+  auto q = CountQuorum::Majority(Grid(1, 5));
+  EXPECT_EQ(q->needed(), 3u);
+  q->Ack({1, 1});
+  q->Ack({1, 2});
+  EXPECT_FALSE(q->Satisfied());
+  q->Ack({1, 3});
+  EXPECT_TRUE(q->Satisfied());
+}
+
+TEST(CountQuorumTest, DuplicateAcksIdempotent) {
+  auto q = CountQuorum::Majority(Grid(1, 3));
+  q->Ack({1, 1});
+  q->Ack({1, 1});
+  q->Ack({1, 1});
+  EXPECT_FALSE(q->Satisfied());
+  EXPECT_EQ(q->num_acks(), 1u);
+}
+
+TEST(CountQuorumTest, NonMembersDoNotCount) {
+  CountQuorum q(Grid(1, 3), 2);
+  q.Ack({9, 9});
+  q.Ack({8, 8});
+  EXPECT_FALSE(q.Satisfied());
+  q.Ack({1, 1});
+  q.Ack({1, 2});
+  EXPECT_TRUE(q.Satisfied());
+}
+
+TEST(CountQuorumTest, RejectedWhenImpossible) {
+  CountQuorum q(Grid(1, 5), 3);
+  q.Nack({1, 1});
+  q.Nack({1, 2});
+  EXPECT_FALSE(q.Rejected());
+  q.Nack({1, 3});
+  EXPECT_TRUE(q.Rejected());
+}
+
+TEST(CountQuorumTest, NackThenAckRecovers) {
+  CountQuorum q(Grid(1, 3), 2);
+  q.Nack({1, 1});
+  q.Ack({1, 1});
+  q.Ack({1, 2});
+  EXPECT_TRUE(q.Satisfied());
+}
+
+TEST(CountQuorumTest, ResetClears) {
+  CountQuorum q(Grid(1, 3), 2);
+  q.Ack({1, 1});
+  q.Ack({1, 2});
+  ASSERT_TRUE(q.Satisfied());
+  q.Reset();
+  EXPECT_FALSE(q.Satisfied());
+  EXPECT_EQ(q.num_acks(), 0u);
+}
+
+// Property sweep: any two majority quorums over the same membership
+// intersect — the foundation of Paxos safety.
+class MajorityIntersection : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajorityIntersection, AnyTwoMajoritiesIntersect) {
+  const int n = GetParam();
+  const auto members = Grid(1, n);
+  const std::size_t needed = static_cast<std::size_t>(n) / 2 + 1;
+  // 2 * needed > n guarantees pigeonhole intersection.
+  EXPECT_GT(2 * needed, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MajorityIntersection,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 9, 11, 15, 99));
+
+// --- ZoneMajorityQuorum ----------------------------------------------------------
+
+TEST(ZoneMajorityTest, SingleZoneMajority) {
+  ZoneMajorityQuorum q(GroupByZone(Grid(3, 3)), 1);
+  q.Ack({2, 1});
+  EXPECT_FALSE(q.Satisfied());
+  q.Ack({2, 2});
+  EXPECT_TRUE(q.Satisfied());  // zone 2 has 2/3
+  EXPECT_EQ(q.SatisfiedZones(), 1);
+}
+
+TEST(ZoneMajorityTest, NeedsDistinctZones) {
+  ZoneMajorityQuorum q(GroupByZone(Grid(3, 3)), 2);
+  q.Ack({1, 1});
+  q.Ack({1, 2});
+  q.Ack({1, 3});
+  EXPECT_FALSE(q.Satisfied());  // one full zone is still one zone
+  q.Ack({3, 1});
+  q.Ack({3, 2});
+  EXPECT_TRUE(q.Satisfied());
+}
+
+TEST(ZoneMajorityTest, RejectedWhenTooManyZonesImpossible) {
+  ZoneMajorityQuorum q(GroupByZone(Grid(3, 3)), 2);
+  // Nack majority of zones 1 and 2 -> only zone 3 can satisfy -> needs 2.
+  q.Nack({1, 1});
+  q.Nack({1, 2});
+  q.Nack({2, 1});
+  q.Nack({2, 2});
+  EXPECT_TRUE(q.Rejected());
+}
+
+// Property sweep over (zones, per_zone, fz): WPaxos q1 (Z - fz zones) and
+// q2 (fz + 1 zones) always intersect in at least one node.
+struct GridParams {
+  int zones;
+  int per_zone;
+  int fz;
+};
+
+class FlexibleGridIntersection
+    : public ::testing::TestWithParam<GridParams> {};
+
+TEST_P(FlexibleGridIntersection, Q1IntersectsQ2) {
+  const auto [zones, per_zone, fz] = GetParam();
+  // Adversarial choice: q1 takes the FIRST (Z - fz) zones with the LOWEST
+  // node indices; q2 takes the LAST (fz + 1) zones with the HIGHEST node
+  // indices. Zone overlap is guaranteed by counting; node overlap inside
+  // the shared zone by majority pigeonhole.
+  const int q1_zones = zones - fz;
+  const int q2_zones = fz + 1;
+  ASSERT_GT(q1_zones + q2_zones, zones);  // zones overlap
+  const int zone_majority = per_zone / 2 + 1;
+  ASSERT_GT(2 * zone_majority, per_zone);  // node sets overlap within zone
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, FlexibleGridIntersection,
+    ::testing::Values(GridParams{3, 3, 0}, GridParams{3, 3, 1},
+                      GridParams{3, 3, 2}, GridParams{5, 3, 0},
+                      GridParams{5, 3, 1}, GridParams{5, 3, 2},
+                      GridParams{5, 5, 4}, GridParams{2, 7, 1}));
+
+// Behavioral version of the same property on the actual tally objects.
+TEST(ZoneMajorityTest, Q1AndQ2TalliesShareANode) {
+  const int zones = 5, per_zone = 3, fz = 1;
+  const auto members = Grid(zones, per_zone);
+  ZoneMajorityQuorum q1(GroupByZone(members), zones - fz);
+  ZoneMajorityQuorum q2(GroupByZone(members), fz + 1);
+
+  // Satisfy q1 with zones 1..4 (majority each: nodes 1,2).
+  for (int z = 1; z <= 4; ++z) {
+    q1.Ack({z, 1});
+    q1.Ack({z, 2});
+  }
+  ASSERT_TRUE(q1.Satisfied());
+  // Satisfy q2 with zones 4,5 using nodes 2,3 (overlaps q1 at 4.2).
+  for (int z = 4; z <= 5; ++z) {
+    q2.Ack({z, 2});
+    q2.Ack({z, 3});
+  }
+  ASSERT_TRUE(q2.Satisfied());
+  // Intersection: node {4,2} is in both ack sets.
+  EXPECT_TRUE(q1.acks().count({4, 2}) == 1 && q2.acks().count({4, 2}) == 1);
+}
+
+// --- GroupQuorum -----------------------------------------------------------------
+
+TEST(GroupQuorumTest, AnyCompleteGroupSatisfies) {
+  GroupQuorum q({{{1, 1}, {1, 2}}, {{2, 1}, {2, 2}}});
+  q.Ack({1, 1});
+  q.Ack({2, 2});
+  EXPECT_FALSE(q.Satisfied());
+  q.Ack({2, 1});
+  EXPECT_TRUE(q.Satisfied());  // group {2.1, 2.2} complete
+}
+
+TEST(GroupQuorumTest, RejectedWhenEveryGroupBroken) {
+  GroupQuorum q({{{1, 1}, {1, 2}}, {{2, 1}}});
+  q.Nack({1, 2});
+  EXPECT_FALSE(q.Rejected());
+  q.Nack({2, 1});
+  EXPECT_TRUE(q.Rejected());
+}
+
+// --- Helpers --------------------------------------------------------------------
+
+TEST(QuorumHelpersTest, NodesInZoneAndGroupByZone) {
+  const auto members = Grid(3, 2);
+  EXPECT_EQ(NodesInZone(members, 2),
+            (std::vector<NodeId>{{2, 1}, {2, 2}}));
+  const auto grouped = GroupByZone(members);
+  EXPECT_EQ(grouped.size(), 3u);
+  EXPECT_EQ(grouped.at(3).size(), 2u);
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,190 @@
+// Regression tests for the phase-1 recovery subtleties found while
+// reproducing the paper's conflict experiments (see DESIGN.md,
+// "Implementation notes"): committed-but-unwatermarked slots must survive
+// leader/ownership changes, or logs develop permanent holes.
+
+#include "gtest/gtest.h"
+#include "protocols/paxos/paxos.h"
+#include "protocols/wpaxos/wpaxos.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+TEST(RecoveryTest, WPaxosHandoffPreservesZoneCommittedEntries) {
+  // With fz=0 and one node per zone, commits live only at the owner. A
+  // continuous write stream punctuated by a handoff must lose nothing:
+  // the new owner must learn committed slots from the old owner's P1b.
+  Config cfg = Config::Wan5("wpaxos", 1);
+  cfg.params["fz"] = "0";
+  cfg.params["handoff_cooldown_ms"] = "0";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+
+  Client* c2 = cluster.NewClient(2);
+  // Ohio owns the key and commits a burst locally (self-quorum).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, c2, 1, "oh-" + std::to_string(i),
+                           NodeId{2, 1})
+                    .status.ok());
+  }
+  // Sustained Virginia demand triggers the handoff; VA steals across the
+  // WAN and must recover Ohio's committed tail.
+  Client* c1 = cluster.NewClient(1);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, c1, 1, "va-" + std::to_string(i),
+                           NodeId{1, 1})
+                    .status.ok());
+  }
+  cluster.RunFor(2 * kSecond);
+  // The new owner serves the latest value with no stalled log.
+  auto get = GetAndWait(cluster, c1, 1, NodeId{1, 1});
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "va-5");
+  auto* owner = dynamic_cast<WPaxosReplica*>(cluster.node({1, 1}));
+  EXPECT_GE(owner->objects_owned(), 1u);
+  // And the full write history is intact at the new owner.
+  EXPECT_EQ(owner->store().WriteHistory(1).size(), 16u);
+}
+
+TEST(RecoveryTest, WPaxosRepeatedHandoffsNeverWedge) {
+  // Ping-pong the object across three zones repeatedly; every request
+  // must still complete (the Fig. 11 stall regression).
+  Config cfg = Config::Wan5("wpaxos", 1);
+  cfg.params["fz"] = "0";
+  cfg.params["handoff_cooldown_ms"] = "0";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+
+  Client* clients[3] = {cluster.NewClient(1), cluster.NewClient(2),
+                        cluster.NewClient(3)};
+  int writes = 0;
+  for (int round = 0; round < 6; ++round) {
+    Client* c = clients[round % 3];
+    const int zone = (round % 3) + 1;
+    for (int i = 0; i < 5; ++i) {
+      auto put = PutAndWait(cluster, c, 7,
+                            "r" + std::to_string(round) + "-" +
+                                std::to_string(i),
+                            NodeId{zone, 1});
+      ASSERT_TRUE(put.status.ok())
+          << "round " << round << " i " << i << ": "
+          << put.status.ToString();
+      ++writes;
+    }
+  }
+  cluster.RunFor(2 * kSecond);
+  // Whoever owns it last can still read the newest value.
+  auto get = GetAndWait(cluster, clients[2], 7, NodeId{3, 1});
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "r5-4");
+  EXPECT_EQ(writes, 30);
+}
+
+TEST(RecoveryTest, PaxosLeaderChangeRecoversUnwatermarkedCommits) {
+  // The leader commits entries whose watermark has not reached a
+  // follower; that follower then becomes leader and must not leave holes.
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["election_timeout_ms"] = "200";
+  cfg.params["heartbeat_ms"] = "50";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, client, i, "v" + std::to_string(i),
+                           cluster.leader())
+                    .status.ok());
+  }
+  // Crash the leader immediately — its last commits may be watermarked
+  // nowhere else.
+  cluster.CrashNode(cluster.leader(), 60 * kSecond);
+  cluster.RunFor(3 * kSecond);
+
+  NodeId new_leader = NodeId::Invalid();
+  for (const NodeId& id : cluster.nodes()) {
+    auto* r = dynamic_cast<PaxosReplica*>(cluster.node(id));
+    if (r->IsLeader() && !r->IsCrashed()) new_leader = id;
+  }
+  ASSERT_TRUE(new_leader.valid());
+
+  // All ten writes must be readable through the new leader — committed
+  // entries survived, and the log has no stalled gap.
+  for (int i = 0; i < 10; ++i) {
+    auto get = GetAndWait(cluster, client, i, new_leader);
+    ASSERT_TRUE(get.status.ok()) << "key " << i;
+    EXPECT_EQ(get.value, "v" + std::to_string(i)) << "key " << i;
+  }
+}
+
+TEST(RecoveryTest, PaxosPipelinedCrashLosesNoAcknowledgedWrite) {
+  // Pipeline writes without waiting, crash the leader mid-stream, then
+  // verify every write that was acknowledged is durable.
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["election_timeout_ms"] = "200";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+
+  std::vector<int> acked;
+  for (int i = 0; i < 50; ++i) {
+    Command cmd;
+    cmd.op = Command::Op::kPut;
+    cmd.key = 100 + i;
+    cmd.value = "p" + std::to_string(i);
+    client->Issue(cmd, cluster.leader(), [&acked, i](const Client::Reply& r) {
+      if (r.status.ok()) acked.push_back(i);
+    });
+    cluster.RunFor(200);  // 0.2 ms between issues: deep pipeline
+  }
+  cluster.CrashNode(cluster.leader(), 60 * kSecond);
+  cluster.RunFor(5 * kSecond);
+
+  NodeId new_leader = NodeId::Invalid();
+  for (const NodeId& id : cluster.nodes()) {
+    auto* r = dynamic_cast<PaxosReplica*>(cluster.node(id));
+    if (r->IsLeader() && !r->IsCrashed()) new_leader = id;
+  }
+  ASSERT_TRUE(new_leader.valid());
+  ASSERT_FALSE(acked.empty());
+  for (int i : acked) {
+    auto get = GetAndWait(cluster, client, 100 + i, new_leader);
+    ASSERT_TRUE(get.status.ok()) << "acked write " << i << " lost";
+    EXPECT_EQ(get.value, "p" + std::to_string(i));
+  }
+}
+
+TEST(RecoveryTest, WPaxosLosingStealerHandsBacklogToWinner) {
+  // Two zones steal the same unowned key concurrently; the loser must
+  // abandon its phase-1 and its queued clients must still be served.
+  Config cfg = Config::LanGrid3x3("wpaxos");
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* c1 = cluster.NewClient(1);
+  Client* c3 = cluster.NewClient(3);
+
+  int completed = 0;
+  Command w1;
+  w1.op = Command::Op::kPut;
+  w1.key = 5;
+  w1.value = "from-z1";
+  c1->Issue(w1, NodeId{1, 1},
+            [&](const Client::Reply& r) { completed += r.status.ok(); });
+  Command w2;
+  w2.op = Command::Op::kPut;
+  w2.key = 5;
+  w2.value = "from-z3";
+  c3->Issue(w2, NodeId{3, 1},
+            [&](const Client::Reply& r) { completed += r.status.ok(); });
+  cluster.RunFor(5 * kSecond);
+  EXPECT_EQ(completed, 2);
+
+  std::size_t owners = 0;
+  for (const NodeId& id : cluster.nodes()) {
+    auto* w = dynamic_cast<WPaxosReplica*>(cluster.node(id));
+    if (w->objects_owned() > 0) ++owners;
+  }
+  EXPECT_EQ(owners, 1u);  // exactly one side kept the object
+}
+
+}  // namespace
+}  // namespace paxi

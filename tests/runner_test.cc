@@ -1,0 +1,104 @@
+// Benchmark-runner mechanics: window accounting, per-zone samplers, op
+// recording, saturation sweeps.
+
+#include "benchmark/runner.h"
+#include "gtest/gtest.h"
+
+namespace paxi {
+namespace {
+
+BenchOptions QuickOptions() {
+  BenchOptions options;
+  options.workload = UniformWorkload(50, 0.5);
+  options.clients_per_zone = 2;
+  options.bootstrap_s = 0.3;
+  options.warmup_s = 0.2;
+  options.duration_s = 0.5;
+  return options;
+}
+
+TEST(RunnerTest, ThroughputMatchesCompletedOverWindow) {
+  const BenchResult result =
+      RunBenchmark(Config::Lan9("paxos"), QuickOptions());
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_DOUBLE_EQ(result.throughput,
+                   static_cast<double>(result.completed) / 0.5);
+  EXPECT_EQ(result.errors, 0u);
+}
+
+TEST(RunnerTest, LatencySamplesMatchCompletedCount) {
+  const BenchResult result =
+      RunBenchmark(Config::Lan9("paxos"), QuickOptions());
+  EXPECT_EQ(result.latency_ms.count(), result.completed);
+  EXPECT_GT(result.MeanLatencyMs(), 0.0);
+  EXPECT_GE(result.P99LatencyMs(), result.MedianLatencyMs());
+}
+
+TEST(RunnerTest, PerZoneSamplersCoverClientZones) {
+  BenchOptions options = QuickOptions();
+  options.client_zones = {1, 3};
+  const BenchResult result =
+      RunBenchmark(Config::LanGrid3x3("wpaxos"), options);
+  EXPECT_TRUE(result.zone_latency_ms.count(1));
+  EXPECT_TRUE(result.zone_latency_ms.count(3));
+  EXPECT_FALSE(result.zone_latency_ms.count(2));
+  std::size_t total = 0;
+  for (const auto& [zone, sampler] : result.zone_latency_ms) {
+    (void)zone;
+    total += sampler.count();
+  }
+  EXPECT_EQ(total, result.completed);
+}
+
+TEST(RunnerTest, OpRecordingIncludesWarmup) {
+  BenchOptions options = QuickOptions();
+  options.record_ops = true;
+  const BenchResult result =
+      RunBenchmark(Config::Lan9("paxos"), options);
+  // Ops cover warmup + window, so strictly more than the measured count.
+  EXPECT_GT(result.ops.size(), result.completed);
+  for (const OpRecord& op : result.ops) {
+    EXPECT_LE(op.invoke, op.response);
+  }
+}
+
+TEST(RunnerTest, NodeMessageCountersExposed) {
+  const BenchResult result =
+      RunBenchmark(Config::Lan9("paxos"), QuickOptions());
+  ASSERT_EQ(result.node_messages.size(), 9u);
+  std::size_t total = 0;
+  for (const auto& [id, count] : result.node_messages) {
+    (void)id;
+    total += count;
+  }
+  EXPECT_GT(total, result.completed * 5);  // ~2N messages per round
+}
+
+TEST(RunnerTest, MoreClientsMoreThroughputBelowSaturation) {
+  const auto points =
+      SaturationSweep(Config::Lan9("paxos"), QuickOptions(), {1, 4, 16});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].throughput, points[1].throughput);
+  EXPECT_LT(points[1].throughput, points[2].throughput);
+  // Latency grows with offered load.
+  EXPECT_LE(points[0].mean_latency_ms, points[2].mean_latency_ms);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  const BenchResult a = RunBenchmark(Config::Lan9("paxos"), QuickOptions());
+  const BenchResult b = RunBenchmark(Config::Lan9("paxos"), QuickOptions());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.MeanLatencyMs(), b.MeanLatencyMs());
+}
+
+TEST(RunnerTest, SeedChangesRun) {
+  Config cfg = Config::Lan9("paxos");
+  const BenchResult a = RunBenchmark(cfg, QuickOptions());
+  cfg.seed = 999;
+  const BenchResult b = RunBenchmark(cfg, QuickOptions());
+  // Same workload shape, different sample path.
+  EXPECT_NE(a.MeanLatencyMs(), b.MeanLatencyMs());
+}
+
+}  // namespace
+}  // namespace paxi

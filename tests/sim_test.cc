@@ -1,0 +1,133 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PeekAndClear) {
+  EventQueue q;
+  q.Push(5, [] {});
+  q.Push(3, [] {});
+  EXPECT_EQ(q.PeekTime(), 3);
+  EXPECT_EQ(q.size(), 2u);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = -1;
+  sim.At(500, [&] { seen = sim.Now(); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(seen, 500);
+  EXPECT_EQ(sim.Now(), 1000);  // clock lands on the deadline
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.At(100, [&] { ++ran; });
+  sim.At(200, [&] { ++ran; });
+  sim.At(300, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(200), 2u);  // events at exactly the deadline run
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntil(1000);
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.After(10, [&] {
+    times.push_back(sim.Now());
+    sim.After(10, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunUntil(100);
+  EXPECT_EQ(times, (std::vector<Time>{10, 20}));
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.At(50, [] {});
+  sim.RunUntil(50);
+  Time ran_at = -1;
+  sim.At(10, [&] { ran_at = sim.Now(); });  // in the past
+  sim.RunUntil(60);
+  EXPECT_EQ(ran_at, 50);
+}
+
+TEST(SimulatorTest, RunToCompletionGuardsLivelock) {
+  Simulator sim;
+  std::function<void()> loop = [&] { sim.After(1, loop); };
+  sim.After(1, loop);
+  EXPECT_FALSE(sim.RunToCompletion(1000));
+}
+
+TEST(SimulatorTest, RunToCompletionDrains) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) sim.At(i, [&] { ++ran; });
+  EXPECT_TRUE(sim.RunToCompletion());
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.At(1, [&] { ++ran; });
+  sim.At(2, [&] { ++ran; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 5; ++i) {
+      sim.After(i * 10, [&] { values.push_back(sim.rng().Next()); });
+    }
+    sim.RunUntil(1000);
+    return values;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(SimulatorTest, ResetDropsPending) {
+  Simulator sim;
+  int ran = 0;
+  sim.At(10, [&] { ++ran; });
+  sim.Reset();
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 0);
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,164 @@
+// Bounded-staleness checker unit tests plus the relaxed-consistency Paxos
+// mode (the paper's §7 future-work direction) end to end.
+
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "checker/staleness.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+OpRecord Write(Key key, const Value& v, Time invoke, Time response) {
+  OpRecord op;
+  op.is_write = true;
+  op.key = key;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  op.found = true;
+  return op;
+}
+
+OpRecord Read(Key key, const Value& v, Time invoke, Time response,
+              bool found = true) {
+  OpRecord op;
+  op.is_write = false;
+  op.key = key;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  op.found = found;
+  return op;
+}
+
+TEST(StalenessCheckerTest, FreshReadsHaveZeroStaleness) {
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10), Read(1, "a", 20, 30)};
+  const auto report = CheckBoundedStaleness(ops, 0);
+  ASSERT_EQ(report.read_staleness.size(), 1u);
+  EXPECT_EQ(report.read_staleness[0], 0);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.stale_reads(), 0u);
+}
+
+TEST(StalenessCheckerTest, QuantifiesStaleRead) {
+  // "a" was overwritten by "b" at t=30; the read starts at t=100 and still
+  // sees "a": staleness = 100 - 30 = 70.
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10), Write(1, "b", 20, 30),
+                               Read(1, "a", 100, 110)};
+  const auto report = CheckBoundedStaleness(ops, /*bound=*/80);
+  ASSERT_EQ(report.read_staleness.size(), 1u);
+  EXPECT_EQ(report.read_staleness[0], 70);
+  EXPECT_TRUE(report.violations.empty());  // within the bound
+  EXPECT_EQ(report.stale_reads(), 1u);
+  EXPECT_EQ(report.max_staleness(), 70);
+
+  const auto strict = CheckBoundedStaleness(ops, /*bound=*/50);
+  EXPECT_EQ(strict.violations.size(), 1u);
+}
+
+TEST(StalenessCheckerTest, MultipleOverwritesUseEarliest) {
+  // Both "b" (t=30) and "c" (t=50) overwrote "a"; staleness counts from
+  // the earliest overwrite: 100 - 30 = 70.
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10), Write(1, "b", 20, 30),
+                               Write(1, "c", 40, 50),
+                               Read(1, "a", 100, 110)};
+  const auto report = CheckBoundedStaleness(ops, 1000);
+  ASSERT_EQ(report.read_staleness.size(), 1u);
+  EXPECT_EQ(report.read_staleness[0], 70);
+}
+
+TEST(StalenessCheckerTest, NotFoundStalenessFromOldestWrite) {
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10),
+                               Read(1, "", 60, 70, /*found=*/false)};
+  const auto report = CheckBoundedStaleness(ops, /*bound=*/40);
+  ASSERT_EQ(report.read_staleness.size(), 1u);
+  EXPECT_EQ(report.read_staleness[0], 50);
+  EXPECT_EQ(report.violations.size(), 1u);
+}
+
+TEST(StalenessCheckerTest, PhantomValueAlwaysViolates) {
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10),
+                               Read(1, "ghost", 20, 30)};
+  const auto report = CheckBoundedStaleness(ops, 1'000'000);
+  EXPECT_EQ(report.violations.size(), 1u);
+}
+
+TEST(StalenessCheckerTest, ConcurrentWriteDoesNotCount) {
+  // "b" overlaps the read: not a completed overwrite, so reading "a" is
+  // fresh.
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10), Write(1, "b", 20, 200),
+                               Read(1, "a", 100, 110)};
+  const auto report = CheckBoundedStaleness(ops, 0);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.stale_reads(), 0u);
+}
+
+// --- End to end: Paxos with relaxed local reads ------------------------------
+
+TEST(LocalReadsTest, FollowerServesReadLocally) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["local_reads"] = "true";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(
+      PutAndWait(cluster, client, 1, "v1", cluster.leader()).status.ok());
+  cluster.RunFor(kSecond);  // heartbeat pushes the watermark to followers
+
+  // Ask a follower directly: served without touching the leader.
+  const std::size_t leader_msgs_before =
+      cluster.node(cluster.leader())->messages_processed();
+  auto get = GetAndWait(cluster, client, 1, NodeId{1, 6});
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v1");
+  EXPECT_EQ(cluster.node(cluster.leader())->messages_processed(),
+            leader_msgs_before);
+}
+
+TEST(LocalReadsTest, StalenessBoundedByHeartbeat) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["local_reads"] = "true";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.params["spread_clients"] = "true";
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/20, /*write_ratio=*/0.3);
+  options.clients_per_zone = 6;
+  options.duration_s = 1.5;
+  options.warmup_s = 0.3;
+  options.record_ops = true;
+  const BenchResult result = RunBenchmark(cfg, options);
+  ASSERT_GT(result.completed, 500u);
+
+  // Local reads are NOT linearizable (that is the point) ...
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  EXPECT_FALSE(lin.Check().empty());
+
+  // ... but staleness stays within a couple of heartbeats + delivery.
+  const auto report =
+      CheckBoundedStaleness(result.ops, /*bound=*/200 * kMillisecond);
+  EXPECT_GT(report.stale_reads(), 0u);
+  EXPECT_TRUE(report.violations.empty())
+      << report.violations.size() << " of " << report.read_staleness.size()
+      << " reads exceeded the bound; max staleness "
+      << ToMillis(report.max_staleness()) << " ms";
+}
+
+TEST(LocalReadsTest, LinearizableModeStaysClean) {
+  // Control: without local reads the same workload has no stale reads.
+  Config cfg = Config::Lan9("paxos");
+  BenchOptions options;
+  options.workload = UniformWorkload(20, 0.3);
+  options.clients_per_zone = 6;
+  options.duration_s = 1.0;
+  options.warmup_s = 0.3;
+  options.record_ops = true;
+  const BenchResult result = RunBenchmark(cfg, options);
+  const auto report = CheckBoundedStaleness(result.ops, 0);
+  EXPECT_EQ(report.stale_reads(), 0u);
+}
+
+}  // namespace
+}  // namespace paxi

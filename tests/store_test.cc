@@ -1,0 +1,102 @@
+#include "gtest/gtest.h"
+#include "store/command.h"
+#include "store/kvstore.h"
+
+namespace paxi {
+namespace {
+
+Command Put(Key key, const Value& value, ClientId c = 1, RequestId r = 1) {
+  Command cmd;
+  cmd.op = Command::Op::kPut;
+  cmd.key = key;
+  cmd.value = value;
+  cmd.client = c;
+  cmd.request = r;
+  return cmd;
+}
+
+Command Get(Key key, ClientId c = 1, RequestId r = 1) {
+  Command cmd;
+  cmd.op = Command::Op::kGet;
+  cmd.key = key;
+  cmd.client = c;
+  cmd.request = r;
+  return cmd;
+}
+
+TEST(CommandTest, ConflictSemantics) {
+  // Two ops interfere iff same key and at least one write (§2 EPaxos).
+  EXPECT_TRUE(Put(1, "a").ConflictsWith(Put(1, "b")));
+  EXPECT_TRUE(Put(1, "a").ConflictsWith(Get(1)));
+  EXPECT_TRUE(Get(1).ConflictsWith(Put(1, "a")));
+  EXPECT_FALSE(Get(1).ConflictsWith(Get(1)));
+  EXPECT_FALSE(Put(1, "a").ConflictsWith(Put(2, "b")));
+}
+
+TEST(CommandTest, ToString) {
+  EXPECT_EQ(Put(3, "v").ToString(), "PUT(3, v)");
+  EXPECT_EQ(Get(3).ToString(), "GET(3)");
+}
+
+TEST(KvStoreTest, GetMissingIsNotFound) {
+  KvStore store;
+  EXPECT_TRUE(store.Get(42).status().IsNotFound());
+  auto r = store.Execute(Get(42));
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(KvStoreTest, PutThenGet) {
+  KvStore store;
+  auto w = store.Execute(Put(1, "hello"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), "hello");
+  auto r = store.Execute(Get(1, 1, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "hello");
+  EXPECT_EQ(store.num_executed(), 2u);
+  EXPECT_EQ(store.num_keys(), 1u);
+}
+
+TEST(KvStoreTest, MultiVersioning) {
+  KvStore store;
+  store.Execute(Put(7, "v1", 1, 1));
+  store.Execute(Put(7, "v2", 1, 2));
+  store.Execute(Put(7, "v3", 2, 1));
+  const auto versions = store.Versions(7);
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].value, "v1");
+  EXPECT_EQ(versions[0].version, 1);
+  EXPECT_EQ(versions[2].value, "v3");
+  EXPECT_EQ(versions[2].version, 3);
+  EXPECT_EQ(versions[2].writer, (CommandId{2, 1}));
+  EXPECT_EQ(store.Get(7).value(), "v3");
+}
+
+TEST(KvStoreTest, HistoriesTrackExecutionOrder) {
+  KvStore store;
+  store.Execute(Put(1, "a", 1, 1));
+  store.Execute(Get(1, 2, 1));
+  store.Execute(Put(1, "b", 1, 2));
+  const auto history = store.History(1);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0], (CommandId{1, 1}));
+  EXPECT_EQ(history[1], (CommandId{2, 1}));
+  EXPECT_EQ(history[2], (CommandId{1, 2}));
+  const auto writes = store.WriteHistory(1);
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0], (CommandId{1, 1}));
+  EXPECT_EQ(writes[1], (CommandId{1, 2}));
+}
+
+TEST(KvStoreTest, IndependentKeys) {
+  KvStore store;
+  store.Execute(Put(1, "x"));
+  store.Execute(Put(2, "y"));
+  EXPECT_EQ(store.Get(1).value(), "x");
+  EXPECT_EQ(store.Get(2).value(), "y");
+  EXPECT_TRUE(store.History(3).empty());
+  EXPECT_TRUE(store.Versions(3).empty());
+}
+
+}  // namespace
+}  // namespace paxi

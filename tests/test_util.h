@@ -1,0 +1,55 @@
+#ifndef PAXI_TESTS_TEST_UTIL_H_
+#define PAXI_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "core/client.h"
+#include "core/cluster.h"
+#include "store/command.h"
+
+namespace paxi {
+
+/// Issues one command and runs the simulator until the reply (or a 30s
+/// virtual-time horizon, far beyond any client retry schedule).
+inline Client::Reply IssueAndWait(Cluster& cluster, Client* client,
+                                  Command cmd, NodeId target) {
+  Client::Reply out;
+  bool done = false;
+  client->Issue(std::move(cmd), target, [&](const Client::Reply& reply) {
+    out = reply;
+    done = true;
+  });
+  const Time horizon = cluster.sim().Now() + 30 * kSecond;
+  while (!done && cluster.sim().Now() < horizon) {
+    if (!cluster.sim().Step()) break;
+  }
+  return out;
+}
+
+inline Client::Reply PutAndWait(Cluster& cluster, Client* client, Key key,
+                                const Value& value, NodeId target) {
+  Command cmd;
+  cmd.op = Command::Op::kPut;
+  cmd.key = key;
+  cmd.value = value;
+  return IssueAndWait(cluster, client, std::move(cmd), target);
+}
+
+inline Client::Reply GetAndWait(Cluster& cluster, Client* client, Key key,
+                                NodeId target) {
+  Command cmd;
+  cmd.op = Command::Op::kGet;
+  cmd.key = key;
+  return IssueAndWait(cluster, client, std::move(cmd), target);
+}
+
+/// Starts the cluster and runs `bootstrap` of virtual time so leaders are
+/// elected / ownership settles before tests issue traffic.
+inline void Bootstrap(Cluster& cluster, Time bootstrap = kSecond) {
+  cluster.Start();
+  cluster.RunFor(bootstrap);
+}
+
+}  // namespace paxi
+
+#endif  // PAXI_TESTS_TEST_UTIL_H_

@@ -1,0 +1,106 @@
+#include "benchmark/runner.h"
+#include "checker/consensus.h"
+#include "gtest/gtest.h"
+#include "protocols/vpaxos/vpaxos.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+VPaxosReplica* Replica(Cluster& cluster, NodeId id) {
+  auto* r = dynamic_cast<VPaxosReplica*>(cluster.node(id));
+  EXPECT_NE(r, nullptr);
+  return r;
+}
+
+TEST(VPaxosTest, DefaultOwnerZoneServes) {
+  Config cfg = Config::LanGrid3x3("vpaxos");  // master & default owner: 1
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  auto put = PutAndWait(cluster, client, 3, "vp", NodeId{1, 1});
+  ASSERT_TRUE(put.status.ok());
+  EXPECT_EQ(GetAndWait(cluster, client, 3, NodeId{1, 1}).value, "vp");
+}
+
+TEST(VPaxosTest, RemoteZoneForwardsToOwner) {
+  Cluster cluster(Config::LanGrid3x3("vpaxos"));
+  Bootstrap(cluster);
+  Client* c1 = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, c1, 5, "owned-by-1", NodeId{1, 1})
+                  .status.ok());
+  Client* c2 = cluster.NewClient(2);
+  auto get = GetAndWait(cluster, c2, 5, NodeId{2, 1});
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "owned-by-1");
+}
+
+TEST(VPaxosTest, SustainedRemoteDemandMigratesViaMaster) {
+  Cluster cluster(Config::LanGrid3x3("vpaxos"));
+  Bootstrap(cluster);
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, c3, 6, "m" + std::to_string(i),
+                           NodeId{3, 1})
+                    .status.ok());
+  }
+  cluster.RunFor(kSecond);
+  EXPECT_GE(Replica(cluster, {3, 1})->migrations(), 1u);
+  // After migration, zone 3 commits locally: isolate it and keep going.
+  for (const NodeId& a : cluster.nodes()) {
+    for (const NodeId& b : cluster.nodes()) {
+      if ((a.zone == 3) != (b.zone == 3)) {
+        cluster.transport().Drop(a, b, 30 * kSecond);
+      }
+    }
+  }
+  auto put = PutAndWait(cluster, c3, 6, "local-after-move", NodeId{3, 1});
+  EXPECT_TRUE(put.status.ok()) << put.status.ToString();
+}
+
+TEST(VPaxosTest, InterleavedDemandStaysPut) {
+  Cluster cluster(Config::LanGrid3x3("vpaxos"));
+  Bootstrap(cluster);
+  Client* c2 = cluster.NewClient(2);
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 10; ++i) {
+    PutAndWait(cluster, c2, 9, "b" + std::to_string(i), NodeId{2, 1});
+    PutAndWait(cluster, c3, 9, "c" + std::to_string(i), NodeId{3, 1});
+  }
+  cluster.RunFor(kSecond);
+  EXPECT_EQ(Replica(cluster, {2, 1})->migrations(), 0u);
+  EXPECT_EQ(Replica(cluster, {3, 1})->migrations(), 0u);
+}
+
+TEST(VPaxosTest, WanDefaultOwnerIsOhio) {
+  Config cfg = Config::Wan5("vpaxos");
+  Cluster cluster(cfg);
+  Bootstrap(cluster, 2 * kSecond);
+  // A one-off request from Virginia forwards to Ohio: latency ~ VA-OH RTT.
+  Client* va = cluster.NewClient(1);
+  auto put = PutAndWait(cluster, va, 1, "via-ohio", NodeId{1, 1});
+  ASSERT_TRUE(put.status.ok());
+  EXPECT_GT(ToMillis(put.latency), 8.0);
+  EXPECT_LT(ToMillis(put.latency), 40.0);
+}
+
+TEST(VPaxosTest, GroupsConsistentUnderLoad) {
+  Config cfg = Config::LanGrid3x3("vpaxos");
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.7);
+  options.clients_per_zone = 2;
+  options.duration_s = 1.0;
+  Cluster cluster(cfg);
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  ASSERT_GT(result.completed, 100u);
+  EXPECT_EQ(result.errors, 0u);
+  cluster.RunFor(kSecond);
+  std::vector<Key> keys;
+  for (Key k = 0; k < 25; ++k) keys.push_back(k);
+  ConsensusChecker consensus(/*within_zone_only=*/true);
+  EXPECT_TRUE(consensus.Check(cluster, keys).empty());
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,116 @@
+#include "benchmark/runner.h"
+#include "checker/consensus.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "protocols/wankeeper/wankeeper.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+WanKeeperReplica* Replica(Cluster& cluster, NodeId id) {
+  auto* r = dynamic_cast<WanKeeperReplica*>(cluster.node(id));
+  EXPECT_NE(r, nullptr);
+  return r;
+}
+
+TEST(WanKeeperTest, MasterServesRequestsAtLevelTwo) {
+  Config cfg = Config::LanGrid3x3("wankeeper");  // master zone 1 in LAN
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  auto put = PutAndWait(cluster, client, 1, "master-side", NodeId{1, 1});
+  ASSERT_TRUE(put.status.ok());
+  auto get = GetAndWait(cluster, client, 1, NodeId{1, 1});
+  EXPECT_EQ(get.value, "master-side");
+}
+
+TEST(WanKeeperTest, SustainedRemoteDemandEarnsToken) {
+  Cluster cluster(Config::LanGrid3x3("wankeeper"));
+  Bootstrap(cluster);
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 6; ++i) {
+    auto put = PutAndWait(cluster, c3, 7, "z3-" + std::to_string(i),
+                          NodeId{3, 1});
+    ASSERT_TRUE(put.status.ok()) << i;
+  }
+  cluster.RunFor(kSecond);
+  EXPECT_GE(Replica(cluster, {3, 1})->tokens_held(), 1u);
+  EXPECT_GE(Replica(cluster, {1, 1})->grants(), 1u);
+  // Token holder now serves without the master: cut master links and go.
+  for (const NodeId& a : cluster.nodes()) {
+    for (const NodeId& b : cluster.nodes()) {
+      if ((a.zone == 1) != (b.zone == 1)) {
+        cluster.transport().Drop(a, b, 30 * kSecond);
+      }
+    }
+  }
+  auto put = PutAndWait(cluster, c3, 7, "local-now", NodeId{3, 1});
+  EXPECT_TRUE(put.status.ok());
+}
+
+TEST(WanKeeperTest, ContentionRetractsTokenToMaster) {
+  Cluster cluster(Config::LanGrid3x3("wankeeper"));
+  Bootstrap(cluster);
+  // Zone 3 earns the token...
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 5; ++i) {
+    PutAndWait(cluster, c3, 2, "a" + std::to_string(i), NodeId{3, 1});
+  }
+  cluster.RunFor(kSecond);
+  ASSERT_GE(Replica(cluster, {3, 1})->tokens_held(), 1u);
+  // ...then zone 2 contends: the master must revoke.
+  Client* c2 = cluster.NewClient(2);
+  auto put = PutAndWait(cluster, c2, 2, "contender", NodeId{2, 1});
+  ASSERT_TRUE(put.status.ok());
+  cluster.RunFor(kSecond);
+  EXPECT_GE(Replica(cluster, {1, 1})->revokes(), 1u);
+  EXPECT_EQ(Replica(cluster, {3, 1})->tokens_held(), 0u);
+  // Value continuity across the revoke.
+  auto get = GetAndWait(cluster, c2, 2, NodeId{2, 1});
+  EXPECT_EQ(get.value, "contender");
+}
+
+TEST(WanKeeperTest, GroupMembersStayConsistentWithinZone) {
+  Config cfg = Config::LanGrid3x3("wankeeper");
+  BenchOptions options;
+  options.workload = UniformWorkload(20, 0.8);
+  options.clients_per_zone = 2;
+  options.duration_s = 1.0;
+  Cluster cluster(cfg);
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  ASSERT_GT(result.completed, 100u);
+  cluster.RunFor(kSecond);  // group flush
+  std::vector<Key> keys;
+  for (Key k = 0; k < 20; ++k) keys.push_back(k);
+  ConsensusChecker consensus(/*within_zone_only=*/true);
+  EXPECT_TRUE(consensus.Check(cluster, keys).empty());
+}
+
+TEST(WanKeeperTest, MasterZoneEnjoysLocalLatencyInWan) {
+  // Fig. 11b: Ohio (the master region) sees near-local latency for the
+  // contended key while remote regions pay WAN round trips.
+  Config cfg = Config::Wan5("wankeeper");  // master zone 2 = Ohio
+  Cluster cluster(cfg);
+  Bootstrap(cluster, 2 * kSecond);
+  Client* ohio = cluster.NewClient(2);
+  Client* california = cluster.NewClient(3);
+  // Interleave so neither region earns the token.
+  Sampler ohio_ms, ca_ms;
+  for (int i = 0; i < 10; ++i) {
+    auto r1 = PutAndWait(cluster, ohio, 0, "oh" + std::to_string(i),
+                         NodeId{2, 1});
+    ASSERT_TRUE(r1.status.ok());
+    ohio_ms.Add(ToMillis(r1.latency));
+    auto r2 = PutAndWait(cluster, california, 0, "ca" + std::to_string(i),
+                         NodeId{3, 1});
+    ASSERT_TRUE(r2.status.ok());
+    ca_ms.Add(ToMillis(r2.latency));
+  }
+  EXPECT_LT(ohio_ms.mean(), 5.0);
+  EXPECT_GT(ca_ms.mean(), 40.0);  // CA <-> OH is ~50 ms RTT
+}
+
+}  // namespace
+}  // namespace paxi

@@ -1,0 +1,160 @@
+#include <map>
+
+#include "common/stats.h"
+#include "gtest/gtest.h"
+#include "workload/distributions.h"
+#include "workload/workload.h"
+
+namespace paxi {
+namespace {
+
+TEST(DistributionsTest, UniformCoversPool) {
+  UniformKeys dist(10, 100);
+  Rng rng(1);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[dist.Next(rng, 0)];
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_GE(key, 10);
+    EXPECT_LT(key, 110);
+    EXPECT_NEAR(count, 1000, 250);
+  }
+}
+
+TEST(DistributionsTest, ZipfianIsHeadHeavy) {
+  ZipfianKeys dist(0, 1000, 2.0, 1.0);
+  Rng rng(2);
+  std::map<Key, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Next(rng, 0)];
+  EXPECT_GT(counts[0], counts[10] * 5);
+  EXPECT_GT(counts[0], n / 3);
+}
+
+TEST(DistributionsTest, NormalCentersOnMu) {
+  NormalKeys dist(0, 1000, 500.0, 30.0);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(static_cast<double>(dist.Next(rng, 0)));
+  }
+  EXPECT_NEAR(stats.mean(), 500.0, 2.0);
+  EXPECT_NEAR(stats.stddev(), 30.0, 2.0);
+}
+
+TEST(DistributionsTest, MovingNormalDrifts) {
+  NormalKeys dist(0, 1000, 100.0, 5.0, /*move=*/true, /*speed_ms=*/1.0);
+  Rng rng(4);
+  RunningStats early, late;
+  for (int i = 0; i < 2000; ++i) {
+    early.Add(static_cast<double>(dist.Next(rng, 0)));
+    late.Add(static_cast<double>(dist.Next(rng, 200 * kMillisecond)));
+  }
+  EXPECT_NEAR(early.mean(), 100.0, 3.0);
+  EXPECT_NEAR(late.mean(), 300.0, 3.0);  // drifted 200 keys in 200 ms
+}
+
+TEST(DistributionsTest, ExponentialFavorsLowKeys) {
+  ExponentialKeys dist(0, 1000, 0.01);
+  Rng rng(5);
+  int low = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const Key k = dist.Next(rng, 0);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 1000);
+    if (k < 100) ++low;
+  }
+  EXPECT_GT(low, total / 2);
+}
+
+TEST(DistributionsTest, FactoryByName) {
+  Rng rng(6);
+  for (const char* name : {"uniform", "zipfian", "normal", "exponential",
+                           "unknown-falls-back"}) {
+    auto dist = MakeDistribution(name, 0, 50, 25, 10, false, 500, 2, 1);
+    ASSERT_NE(dist, nullptr) << name;
+    for (int i = 0; i < 100; ++i) {
+      const Key k = dist->Next(rng, 0);
+      EXPECT_GE(k, 0) << name;
+      EXPECT_LT(k, 50) << name;
+    }
+  }
+}
+
+// --- WorkloadGenerator ------------------------------------------------------------
+
+TEST(WorkloadTest, WriteRatioHolds) {
+  WorkloadGenerator gen(UniformWorkload(100, 0.3), 1, 1, 42);
+  int writes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(0).IsWrite()) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.3, 0.02);
+}
+
+TEST(WorkloadTest, WrittenValuesAreUnique) {
+  WorkloadGenerator a(UniformWorkload(10, 1.0), 1, 1, 42);
+  WorkloadGenerator b(UniformWorkload(10, 1.0), 1, 2, 42);
+  std::set<Value> values;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(values.insert(a.Next(0).value).second);
+    ASSERT_TRUE(values.insert(b.Next(0).value).second);
+  }
+}
+
+TEST(WorkloadTest, ConflictModeTargetsHotKey) {
+  auto spec = ConflictWorkload(/*conflict_ratio=*/0.4, /*zones=*/5);
+  WorkloadGenerator gen(spec, 3, 1, 7);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Command cmd = gen.Next(0);
+    EXPECT_TRUE(cmd.IsWrite());  // conflict workloads write
+    if (cmd.key == spec.conflict_key) {
+      ++hot;
+    } else {
+      // Private range for zone 3.
+      EXPECT_GE(cmd.key, 3'000'000);
+      EXPECT_LT(cmd.key, 3'000'000 + spec.keys);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.4, 0.02);
+}
+
+TEST(WorkloadTest, ConflictZeroNeverHitsHotKey) {
+  auto spec = ConflictWorkload(0.0, 3);
+  WorkloadGenerator gen(spec, 2, 1, 8);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(gen.Next(0).key, spec.conflict_key);
+  }
+}
+
+TEST(WorkloadTest, LocalityModeSeparatesZones) {
+  auto spec = LocalityWorkload(/*zones=*/5, /*keys=*/1000, /*sigma=*/40.0);
+  RunningStats means[5];
+  for (int z = 1; z <= 5; ++z) {
+    WorkloadGenerator gen(spec, z, 1, 9);
+    for (int i = 0; i < 5000; ++i) {
+      means[z - 1].Add(static_cast<double>(gen.Next(0).key));
+    }
+  }
+  // Zone centers at (z - 0.5) * K/Z = 100, 300, 500, 700, 900.
+  for (int z = 0; z < 5; ++z) {
+    EXPECT_NEAR(means[z].mean(), 100.0 + 200.0 * z, 15.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadGenerator a(UniformWorkload(100, 0.5), 1, 1, 5);
+  WorkloadGenerator b(UniformWorkload(100, 0.5), 1, 1, 5);
+  for (int i = 0; i < 200; ++i) {
+    const Command ca = a.Next(0);
+    const Command cb = b.Next(0);
+    EXPECT_EQ(ca.key, cb.key);
+    EXPECT_EQ(ca.op, cb.op);
+  }
+}
+
+}  // namespace
+}  // namespace paxi

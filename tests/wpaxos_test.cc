@@ -1,0 +1,196 @@
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "gtest/gtest.h"
+#include "protocols/wpaxos/wpaxos.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+WPaxosReplica* Replica(Cluster& cluster, NodeId id) {
+  auto* r = dynamic_cast<WPaxosReplica*>(cluster.node(id));
+  EXPECT_NE(r, nullptr);
+  return r;
+}
+
+TEST(WPaxosTest, FirstToucherStealsAndCommits) {
+  Cluster cluster(Config::LanGrid3x3("wpaxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(2);
+  auto put = PutAndWait(cluster, client, 1, "stolen", NodeId{2, 1});
+  ASSERT_TRUE(put.status.ok()) << put.status.ToString();
+  EXPECT_GE(Replica(cluster, {2, 1})->objects_owned(), 1u);
+  EXPECT_GE(Replica(cluster, {2, 1})->steals(), 1u);
+}
+
+TEST(WPaxosTest, RemoteRequestsForwardToOwner) {
+  Cluster cluster(Config::LanGrid3x3("wpaxos"));
+  Bootstrap(cluster);
+  Client* c2 = cluster.NewClient(2);
+  ASSERT_TRUE(PutAndWait(cluster, c2, 1, "v1", NodeId{2, 1}).status.ok());
+  // A single request from zone 3 must not steal (threshold 3); it is
+  // forwarded and still succeeds.
+  Client* c3 = cluster.NewClient(3);
+  auto get = GetAndWait(cluster, c3, 1, NodeId{3, 1});
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v1");
+  EXPECT_EQ(Replica(cluster, {3, 1})->objects_owned(), 0u);
+}
+
+TEST(WPaxosTest, ThreeConsecutiveRemoteAccessesMigrateObject) {
+  Config cfg = Config::LanGrid3x3("wpaxos");
+  cfg.params["handoff_cooldown_ms"] = "0";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* c1 = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, c1, 9, "origin", NodeId{1, 1}).status.ok());
+  ASSERT_GE(Replica(cluster, {1, 1})->objects_owned(), 1u);
+
+  // Sustained demand from zone 3: the owner hands the object off after
+  // the third consecutive remote access.
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 6; ++i) {
+    PutAndWait(cluster, c3, 9, "z3-" + std::to_string(i), NodeId{3, 1});
+  }
+  cluster.RunFor(kSecond);
+  EXPECT_GE(Replica(cluster, {3, 1})->objects_owned(), 1u);
+  // New owner serves reads locally with the latest value.
+  auto get = GetAndWait(cluster, c3, 9, NodeId{3, 1});
+  EXPECT_EQ(get.value, "z3-5");
+}
+
+TEST(WPaxosTest, CooldownSuppressesImmediateRecapture) {
+  // Post-migration hysteresis: right after a steal, handoff triggers are
+  // ignored, so a freshly moved object cannot ping-pong.
+  Config cfg = Config::LanGrid3x3("wpaxos");
+  cfg.params["handoff_cooldown_ms"] = "60000";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* c1 = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, c1, 9, "mine", NodeId{1, 1}).status.ok());
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, c3, 9, "z3", NodeId{3, 1}).status.ok());
+  }
+  cluster.RunFor(kSecond);
+  auto* owner = dynamic_cast<WPaxosReplica*>(cluster.node({1, 1}));
+  auto* wanter = dynamic_cast<WPaxosReplica*>(cluster.node({3, 1}));
+  EXPECT_GE(owner->objects_owned(), 1u);
+  EXPECT_EQ(wanter->objects_owned(), 0u);
+}
+
+TEST(WPaxosTest, InterleavedAccessDoesNotThrash) {
+  // Conflict-style interleaving from all zones: the 3-consecutive policy
+  // must keep the object at its owner instead of ping-ponging.
+  Cluster cluster(Config::LanGrid3x3("wpaxos"));
+  Bootstrap(cluster);
+  Client* c1 = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, c1, 4, "hot", NodeId{1, 1}).status.ok());
+  const std::size_t steals_before =
+      Replica(cluster, {1, 1})->steals() +
+      Replica(cluster, {2, 1})->steals() + Replica(cluster, {3, 1})->steals();
+
+  Client* c2 = cluster.NewClient(2);
+  Client* c3 = cluster.NewClient(3);
+  for (int i = 0; i < 10; ++i) {
+    PutAndWait(cluster, c2, 4, "b" + std::to_string(i), NodeId{2, 1});
+    PutAndWait(cluster, c3, 4, "c" + std::to_string(i), NodeId{3, 1});
+    PutAndWait(cluster, c1, 4, "a" + std::to_string(i), NodeId{1, 1});
+  }
+  const std::size_t steals_after =
+      Replica(cluster, {1, 1})->steals() +
+      Replica(cluster, {2, 1})->steals() + Replica(cluster, {3, 1})->steals();
+  EXPECT_EQ(steals_after, steals_before);
+  EXPECT_GE(Replica(cluster, {1, 1})->objects_owned(), 1u);
+}
+
+TEST(WPaxosTest, InitialOwnerParameterPlacesAllObjects) {
+  Config cfg = Config::Wan5("wpaxos");
+  cfg.params["initial_owner"] = "2.1";  // everything starts in Ohio
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);  // Virginia client
+  auto put = PutAndWait(cluster, client, 11, "oh-owned", NodeId{1, 1});
+  ASSERT_TRUE(put.status.ok());
+  EXPECT_GE(Replica(cluster, {2, 1})->objects_owned(), 1u);
+  EXPECT_EQ(Replica(cluster, {1, 1})->objects_owned(), 0u);
+}
+
+TEST(WPaxosTest, Fz0CommitsWithOwnZoneOnly) {
+  // With fz=0, cut every inter-zone link after the steal: commits must
+  // still proceed inside the owner zone.
+  Cluster cluster(Config::LanGrid3x3("wpaxos"));
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, client, 1, "pre", NodeId{1, 1}).status.ok());
+  for (const NodeId& a : cluster.nodes()) {
+    for (const NodeId& b : cluster.nodes()) {
+      if (a.zone != b.zone) cluster.transport().Drop(a, b, 30 * kSecond);
+    }
+  }
+  auto put = PutAndWait(cluster, client, 1, "zone-local", NodeId{1, 1});
+  EXPECT_TRUE(put.status.ok()) << put.status.ToString();
+}
+
+TEST(WPaxosTest, Fz1RequiresASecondZone) {
+  Config cfg = Config::LanGrid3x3("wpaxos");
+  cfg.params["fz"] = "1";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  ASSERT_TRUE(PutAndWait(cluster, client, 1, "pre", NodeId{1, 1}).status.ok());
+  // Isolate zone 1 entirely: with fz=1 its leader cannot commit alone.
+  for (const NodeId& a : cluster.nodes()) {
+    for (const NodeId& b : cluster.nodes()) {
+      if ((a.zone == 1) != (b.zone == 1)) {
+        cluster.transport().Drop(a, b, 30 * kSecond);
+      }
+    }
+  }
+  Command cmd;
+  cmd.op = Command::Op::kPut;
+  cmd.key = 1;
+  cmd.value = "must-stall";
+  bool done = false;
+  client->Issue(cmd, NodeId{1, 1},
+                [&](const Client::Reply& r) { done = r.status.ok(); });
+  cluster.RunFor(kSecond);
+  EXPECT_FALSE(done);
+}
+
+TEST(WPaxosTest, LinearizableUnderMultiZoneLoad) {
+  Config cfg = Config::LanGrid3x3("wpaxos");
+  BenchOptions options;
+  options.workload = UniformWorkload(/*keys=*/40, /*write_ratio=*/0.5);
+  options.clients_per_zone = 3;
+  options.duration_s = 1.0;
+  options.warmup_s = 0.5;
+  options.record_ops = true;
+  const BenchResult result = RunBenchmark(cfg, options);
+  ASSERT_GT(result.completed, 200u);
+  EXPECT_EQ(result.errors, 0u);
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+class WPaxosFzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WPaxosFzSweep, CommitsAtEveryFaultLevel) {
+  Config cfg = Config::Wan5("wpaxos");
+  cfg.params["fz"] = std::to_string(GetParam());
+  Cluster cluster(cfg);
+  Bootstrap(cluster, 2 * kSecond);
+  Client* client = cluster.NewClient(3);
+  auto put = PutAndWait(cluster, client, 5, "fz-sweep", NodeId{3, 1});
+  EXPECT_TRUE(put.status.ok()) << "fz=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FzLevels, WPaxosFzSweep,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace paxi
