@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_relaxed_reads.dir/extension_relaxed_reads.cc.o"
+  "CMakeFiles/extension_relaxed_reads.dir/extension_relaxed_reads.cc.o.d"
+  "extension_relaxed_reads"
+  "extension_relaxed_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_relaxed_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
