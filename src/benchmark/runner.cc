@@ -1,7 +1,8 @@
 #include "benchmark/runner.h"
 
-#include <cassert>
 #include <memory>
+
+#include "common/check.h"
 
 namespace paxi {
 namespace {
@@ -96,7 +97,7 @@ struct ClientLoop : std::enable_shared_from_this<ClientLoop> {
 
 BenchRunner::BenchRunner(Cluster* cluster, BenchOptions options)
     : cluster_(cluster), options_(std::move(options)) {
-  assert(cluster_ != nullptr);
+  PAXI_CHECK(cluster_ != nullptr);
 }
 
 BenchResult BenchRunner::Run() {

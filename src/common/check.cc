@@ -1,0 +1,54 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paxi {
+namespace {
+
+thread_local CheckContext g_check_context;
+
+}  // namespace
+
+ScopedCheckContext::ScopedCheckContext(const CheckContext& ctx)
+    : prev_(g_check_context) {
+  g_check_context = ctx;
+}
+
+ScopedCheckContext::~ScopedCheckContext() { g_check_context = prev_; }
+
+const CheckContext& CurrentCheckContext() { return g_check_context; }
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::string where;
+  const CheckContext& ctx = g_check_context;
+  if (!ctx.protocol.empty() || !ctx.node.empty() ||
+      ctx.virtual_time != nullptr) {
+    where = " [";
+    if (!ctx.protocol.empty()) {
+      where += "protocol=";
+      where += ctx.protocol;
+    }
+    if (!ctx.node.empty()) {
+      if (where.size() > 2) where += " ";
+      where += "node=";
+      where += ctx.node;
+    }
+    if (ctx.virtual_time != nullptr) {
+      if (where.size() > 2) where += " ";
+      where += "vtime=" + std::to_string(*ctx.virtual_time) + "us";
+    }
+    where += "]";
+  }
+  std::fprintf(stderr, "PAXI_CHECK failed: %s%s%s%s%s at %s:%d\n", expr,
+               msg.empty() ? "" : " (", msg.c_str(), msg.empty() ? "" : ")",
+               where.c_str(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace paxi

@@ -1,0 +1,101 @@
+#ifndef PAXI_COMMON_CHECK_H_
+#define PAXI_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace paxi {
+
+/// Ambient context attached to check failures. Protocol handlers run with
+/// the protocol name, the node id, and a pointer to the simulator's
+/// virtual clock installed (see ScopedCheckContext / Node::Dispatch), so a
+/// tripped invariant reports *where in the simulation* it fired, not just
+/// the source location.
+struct CheckContext {
+  std::string_view protocol;       ///< e.g. "wpaxos"; empty = none.
+  std::string_view node;           ///< "zone.node" string; empty = none.
+  const std::int64_t* virtual_time = nullptr;  ///< Simulator clock; may be null.
+};
+
+/// Installs `ctx` as the current thread's check context for its lifetime,
+/// restoring the previous context on destruction (contexts nest).
+class ScopedCheckContext {
+ public:
+  explicit ScopedCheckContext(const CheckContext& ctx);
+  ~ScopedCheckContext();
+
+  ScopedCheckContext(const ScopedCheckContext&) = delete;
+  ScopedCheckContext& operator=(const ScopedCheckContext&) = delete;
+
+ private:
+  CheckContext prev_;
+};
+
+/// The currently installed context (fields empty/null when none).
+const CheckContext& CurrentCheckContext();
+
+namespace internal {
+
+/// Prints "PAXI_CHECK failed: <expr> (<msg>) [context] at file:line" to
+/// stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+/// Formats the operands of a failed binary check, e.g. "(3 vs. 5)".
+template <typename A, typename B>
+std::string FormatBinary(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs. " << b << ")";
+  return os.str();
+}
+
+/// Joins an optional user message into one string.
+inline std::string JoinMsg() { return std::string(); }
+inline std::string JoinMsg(const std::string& m) { return m; }
+inline std::string JoinMsg(const char* m) { return std::string(m); }
+
+}  // namespace internal
+}  // namespace paxi
+
+/// Always-on invariant check (unlike assert(), survives NDEBUG). On
+/// failure logs the expression, an optional message, and the ambient
+/// protocol/node/virtual-time context, then aborts. Usage:
+///   PAXI_CHECK(slot >= 0);
+///   PAXI_CHECK(q1 + q2 > n, "flexible quorums must intersect");
+#define PAXI_CHECK(cond, ...)                                       \
+  ((cond) ? (void)0                                                 \
+          : ::paxi::internal::CheckFailed(                          \
+                __FILE__, __LINE__, #cond,                          \
+                ::paxi::internal::JoinMsg(__VA_ARGS__)))
+
+#define PAXI_CHECK_OP_IMPL(a, b, op)                                   \
+  (((a)op(b)) ? (void)0                                                \
+              : ::paxi::internal::CheckFailed(                         \
+                    __FILE__, __LINE__, #a " " #op " " #b,             \
+                    ::paxi::internal::FormatBinary((a), (b))))
+
+/// Binary comparison checks that print both operands on failure. The
+/// operands must be ostream-printable.
+#define PAXI_CHECK_EQ(a, b) PAXI_CHECK_OP_IMPL(a, b, ==)
+#define PAXI_CHECK_NE(a, b) PAXI_CHECK_OP_IMPL(a, b, !=)
+#define PAXI_CHECK_LT(a, b) PAXI_CHECK_OP_IMPL(a, b, <)
+#define PAXI_CHECK_LE(a, b) PAXI_CHECK_OP_IMPL(a, b, <=)
+#define PAXI_CHECK_GT(a, b) PAXI_CHECK_OP_IMPL(a, b, >)
+#define PAXI_CHECK_GE(a, b) PAXI_CHECK_OP_IMPL(a, b, >=)
+
+/// Debug-only variant for per-event / per-draw hot paths: active in debug
+/// builds (and whenever PAXI_FORCE_DCHECK is defined), compiled to nothing
+/// in optimized builds while still type-checking its argument.
+#if !defined(NDEBUG) || defined(PAXI_FORCE_DCHECK)
+#define PAXI_DCHECK(cond, ...) PAXI_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define PAXI_DCHECK_EQ(a, b) PAXI_CHECK_EQ(a, b)
+#define PAXI_DCHECK_LE(a, b) PAXI_CHECK_LE(a, b)
+#else
+#define PAXI_DCHECK(cond, ...) (false ? (void)(cond) : (void)0)
+#define PAXI_DCHECK_EQ(a, b) (false ? ((void)((a) == (b))) : (void)0)
+#define PAXI_DCHECK_LE(a, b) (false ? ((void)((a) <= (b))) : (void)0)
+#endif
+
+#endif  // PAXI_COMMON_CHECK_H_

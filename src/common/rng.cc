@@ -1,7 +1,8 @@
 #include "common/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace paxi {
 namespace {
@@ -26,6 +27,7 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 std::uint64_t Rng::Next() {
+  ++draws_;
   const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];
@@ -43,7 +45,7 @@ double Rng::NextDouble() {
 }
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PAXI_DCHECK(lo <= hi);
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(Next());  // full range
   return lo + static_cast<std::int64_t>(Next() % span);
@@ -72,16 +74,16 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 double Rng::Exponential(double rate) {
-  assert(rate > 0.0);
+  PAXI_DCHECK(rate > 0.0);
   double u = NextDouble();
   while (u <= 1e-300) u = NextDouble();
   return -std::log(u) / rate;
 }
 
 std::int64_t Rng::Zipf(std::int64_t n, double s, double v) {
-  assert(n > 0);
-  assert(s > 1.0);
-  assert(v >= 1.0);
+  PAXI_DCHECK(n > 0);
+  PAXI_DCHECK(s > 1.0);
+  PAXI_DCHECK(v >= 1.0);
   // Rejection-inversion sampling (Hormann & Derflinger 1996), the same
   // algorithm Go's math/rand Zipf generator uses — matching Paxi.
   const double q = s;

@@ -19,6 +19,12 @@ class Rng {
   /// Uniform 64-bit value.
   std::uint64_t Next();
 
+  /// Number of raw 64-bit draws made so far. Every sampler funnels through
+  /// Next(), so this counter is a deterministic function of the call
+  /// sequence — the determinism auditor fingerprints it per event to catch
+  /// stray randomness (see sim/auditor.h).
+  std::uint64_t draw_count() const { return draws_; }
+
   /// Uniform double in [0, 1).
   double NextDouble();
 
@@ -52,6 +58,7 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+  std::uint64_t draws_ = 0;
   // Cached second Box-Muller variate.
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -1,8 +1,9 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -93,8 +94,8 @@ std::vector<std::pair<double, double>> Sampler::Cdf(std::size_t points) const {
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0) {
-  assert(hi > lo);
-  assert(buckets > 0);
+  PAXI_CHECK(hi > lo);
+  PAXI_CHECK(buckets > 0);
 }
 
 void Histogram::Add(double x) {

@@ -1,10 +1,11 @@
 #ifndef PAXI_COMMON_STATUS_H_
 #define PAXI_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -85,22 +86,22 @@ class Result {
   /// sites terse: `return value;` / `return Status::NotFound();`.
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result from Status requires a non-OK status");
+    PAXI_CHECK(!status_.ok(), "Result from Status requires a non-OK status");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    PAXI_CHECK(ok(), "value() on error Result: " + status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    PAXI_CHECK(ok(), "value() on error Result: " + status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    PAXI_CHECK(ok(), "value() on error Result: " + status_.ToString());
     return *std::move(value_);
   }
 

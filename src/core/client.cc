@@ -1,7 +1,8 @@
 #include "core/client.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -12,7 +13,7 @@ Client::Client(ClientId cid, int zone, Simulator* sim, Transport* transport,
       sim_(sim),
       transport_(transport),
       config_(config) {
-  assert(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
+  PAXI_CHECK(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
 }
 
 void Client::Issue(Command cmd, NodeId target, Callback done) {
@@ -25,7 +26,7 @@ void Client::Issue(Command cmd, NodeId target, Callback done) {
   p.done = std::move(done);
   p.issued_at = sim_->Now();
   auto [it, inserted] = pending_.emplace(rid, std::move(p));
-  assert(inserted);
+  PAXI_CHECK(inserted);
   (void)inserted;
   ++issued_;
   SendRequest(it->second);

@@ -1,8 +1,8 @@
 #include "core/cluster.h"
 
-#include <cassert>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "net/latency.h"
 #include "protocols/epaxos/epaxos.h"
 #include "protocols/fpaxos/fpaxos.h"
@@ -72,7 +72,7 @@ NodeId ParseNodeId(const std::string& text) {
 Cluster::Cluster(Config config) : config_(std::move(config)) {
   RegisterBuiltinProtocols();
   auto it = Registry().find(config_.protocol);
-  assert(it != Registry().end() && "unknown protocol");
+  PAXI_CHECK(it != Registry().end(), "unknown protocol: " + config_.protocol);
   traits_ = it->second.traits;
 
   leader_ = ParseNodeId(config_.GetParam("leader", "1.1"));
@@ -90,6 +90,23 @@ Cluster::Cluster(Config config) : config_(std::move(config)) {
     auto node = it->second.factory(id, env, config_);
     transport_->Register(node.get());
     nodes_.emplace(id, std::move(node));
+  }
+
+  // Invariant auditing: compiled in with -DPAXI_AUDIT_INVARIANTS (the
+  // `audit` CMake preset), or forced at runtime with PAXI_AUDIT=1. Every
+  // simulator event then re-checks ballot monotonicity and per-slot
+  // agreement across all replicas, so the whole test/bench suite doubles
+  // as a protocol safety check.
+#if defined(PAXI_AUDIT_INVARIANTS)
+  const bool audit = true;
+#else
+  const char* audit_env = std::getenv("PAXI_AUDIT");
+  const bool audit = audit_env != nullptr && audit_env[0] == '1';
+#endif
+  if (audit) {
+    auditor_ = std::make_unique<InvariantAuditor>(/*fail_fast=*/true);
+    sim_->AddObserver(auditor_.get());
+    for (const NodeId& id : node_ids_) auditor_->Watch(nodes_.at(id).get());
   }
 }
 
@@ -136,7 +153,7 @@ void Cluster::RunFor(Time duration) { sim_->RunUntil(sim_->Now() + duration); }
 
 void Cluster::CrashNode(NodeId id, Time duration) {
   auto it = nodes_.find(id);
-  assert(it != nodes_.end());
+  PAXI_CHECK(it != nodes_.end());
   it->second->Crash(duration);
 }
 

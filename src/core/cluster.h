@@ -94,12 +94,17 @@ class Cluster {
   /// Node itself.
   std::size_t TotalMessagesProcessed() const;
 
+  /// The invariant auditor, when auditing is enabled (PAXI_AUDIT_INVARIANTS
+  /// build or PAXI_AUDIT=1 in the environment); nullptr otherwise.
+  InvariantAuditor* auditor() { return auditor_.get(); }
+
  private:
   Config config_;
   ProtocolTraits traits_;
   NodeId leader_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   std::vector<NodeId> node_ids_;
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Client>> clients_;

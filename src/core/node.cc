@@ -1,16 +1,18 @@
 #include "core/node.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace paxi {
 
 Node::Node(NodeId id, Env env)
     : id_(id),
+      id_str_(id.ToString()),
       sim_(env.sim),
       transport_(env.transport),
       config_(env.config) {
-  assert(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
+  PAXI_CHECK(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
   peers_ = config_->Nodes();
 }
 
@@ -52,6 +54,11 @@ void Node::Dispatch(MessagePtr msg) {
   ++messages_processed_;
   auto it = handlers_.find(std::type_index(typeid(*msg)));
   if (it == handlers_.end()) return;  // unhandled type: silently ignored
+  // Handlers run with protocol/node/virtual-time context installed, so a
+  // PAXI_CHECK tripping anywhere below reports where in the simulation it
+  // fired.
+  ScopedCheckContext ctx(
+      CheckContext{config_->protocol, id_str_, sim_->now_ptr()});
   it->second(*msg);
 }
 
@@ -104,6 +111,8 @@ void Node::SetTimer(Time delay, std::function<void()> fn) {
       sim_->After(remaining, fn);
       return;
     }
+    ScopedCheckContext ctx(
+        CheckContext{config_->protocol, id_str_, sim_->now_ptr()});
     fn();
   });
 }

@@ -12,6 +12,7 @@
 #include "core/config.h"
 #include "core/messages.h"
 #include "net/transport.h"
+#include "sim/auditor.h"
 #include "sim/simulator.h"
 #include "store/kvstore.h"
 
@@ -29,7 +30,7 @@ namespace paxi {
 /// charges t_o once (one serialization) plus NIC time per destination.
 /// Messages queue FIFO behind `busy_until_`, which is exactly what makes a
 /// single leader saturate at 1/t_s.
-class Node : public Endpoint {
+class Node : public Endpoint, public Auditable {
  public:
   struct Env {
     Simulator* sim = nullptr;
@@ -44,6 +45,10 @@ class Node : public Endpoint {
   Node& operator=(const Node&) = delete;
 
   NodeId id() const override { return id_; }
+
+  /// Invariant-auditor hook (sim/auditor.h): protocols override this to
+  /// report ballots and chosen slots. Default: nothing to audit.
+  void Audit(AuditScope& scope) const override { (void)scope; }
 
   /// Arrival of a message: models the processing queue, then dispatches to
   /// the handler registered for the message's dynamic type.
@@ -160,6 +165,7 @@ class Node : public Endpoint {
   void Dispatch(MessagePtr msg);
 
   NodeId id_;
+  std::string id_str_;  ///< Stable "zone.node" string for check context.
   Simulator* sim_;
   Transport* transport_;
   const Config* config_;

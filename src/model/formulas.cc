@@ -1,12 +1,12 @@
 #include "model/formulas.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace paxi::model {
 
 double Load(std::size_t leaders, std::size_t quorum, double conflict) {
-  assert(leaders >= 1);
-  assert(quorum >= 1);
+  PAXI_CHECK(leaders >= 1);
+  PAXI_CHECK(quorum >= 1);
   const double ld = static_cast<double>(leaders);
   const double q = static_cast<double>(quorum);
   return (1.0 + conflict) * (q + ld - 2.0) / ld;

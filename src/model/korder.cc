@@ -1,15 +1,16 @@
 #include "model/korder.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace paxi::model {
 
 double ExpectedKthOrderStatisticNormal(std::size_t k, std::size_t n,
                                        double mean, double sigma, Rng& rng,
                                        std::size_t iterations) {
-  assert(k >= 1 && k <= n);
-  assert(iterations > 0);
+  PAXI_CHECK(k >= 1 && k <= n);
+  PAXI_CHECK(iterations > 0);
   std::vector<double> samples(n);
   double sum = 0.0;
   for (std::size_t iter = 0; iter < iterations; ++iter) {
@@ -23,7 +24,7 @@ double ExpectedKthOrderStatisticNormal(std::size_t k, std::size_t n,
 }
 
 double KthSmallest(std::vector<double> values, std::size_t k) {
-  assert(k >= 1 && k <= values.size());
+  PAXI_CHECK(k >= 1 && k <= values.size());
   std::nth_element(values.begin(),
                    values.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    values.end());

@@ -1,10 +1,10 @@
 #include "model/protocol_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "model/korder.h"
 
 namespace paxi::model {
@@ -44,7 +44,7 @@ double ProtocolModel::QuorumWaitMs(NodeId leader,
                                    const std::vector<NodeId>& followers,
                                    std::size_t needed) const {
   if (needed == 0 || followers.empty()) return 0.0;
-  assert(needed <= followers.size());
+  PAXI_CHECK(needed <= followers.size());
   if (!env_.topology.is_wan()) {
     // LAN: follower RTTs are i.i.d. Normal; the quorum completes on the
     // needed-th order statistic (§3.3, Monte Carlo).
@@ -90,7 +90,8 @@ std::vector<ModelPoint> ProtocolModel::Curve(std::size_t points,
   std::vector<ModelPoint> out;
   const double max = MaxThroughput() * fraction_of_max;
   for (std::size_t i = 1; i <= points; ++i) {
-    const double lambda = max * static_cast<double>(i) / points;
+    const double lambda =
+        max * static_cast<double>(i) / static_cast<double>(points);
     out.push_back(ModelPoint{lambda, LatencyMs(lambda)});
   }
   return out;

@@ -1,6 +1,6 @@
 #include "net/topology.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace paxi {
 namespace {
@@ -36,7 +36,7 @@ const char* RegionName(Region r) {
 }
 
 Topology Topology::Lan(int zones, double rtt_mean_ms, double rtt_sigma_ms) {
-  assert(zones > 0);
+  PAXI_CHECK(zones > 0);
   Topology t;
   t.wan_ = false;
   t.zone_regions_.assign(static_cast<std::size_t>(zones), Region::kVirginia);
@@ -46,7 +46,7 @@ Topology Topology::Lan(int zones, double rtt_mean_ms, double rtt_sigma_ms) {
 }
 
 Topology Topology::Wan(const std::vector<Region>& regions) {
-  assert(!regions.empty());
+  PAXI_CHECK(!regions.empty());
   Topology t;
   t.wan_ = true;
   t.zone_regions_ = regions;
@@ -59,7 +59,7 @@ Topology Topology::WanFiveRegions() {
 }
 
 Region Topology::ZoneRegion(int zone) const {
-  assert(zone >= 1 && zone <= num_zones());
+  PAXI_CHECK(zone >= 1 && zone <= num_zones());
   return zone_regions_[static_cast<std::size_t>(zone - 1)];
 }
 

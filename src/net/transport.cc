@@ -1,31 +1,32 @@
 #include "net/transport.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace paxi {
 
 Transport::Transport(Simulator* sim,
                      std::shared_ptr<const LatencyModel> latency, bool ordered)
     : sim_(sim), latency_(std::move(latency)), ordered_(ordered) {
-  assert(sim_ != nullptr);
-  assert(latency_ != nullptr);
+  PAXI_CHECK(sim_ != nullptr);
+  PAXI_CHECK(latency_ != nullptr);
 }
 
 void Transport::Register(Endpoint* endpoint) {
-  assert(endpoint != nullptr);
-  assert(endpoint->id().valid());
+  PAXI_CHECK(endpoint != nullptr);
+  PAXI_CHECK(endpoint->id().valid());
   const bool inserted =
       endpoints_.emplace(endpoint->id(), endpoint).second;
-  assert(inserted && "duplicate endpoint id");
+  PAXI_CHECK(inserted, "duplicate endpoint id");
   (void)inserted;
 }
 
 void Transport::Unregister(NodeId id) { endpoints_.erase(id); }
 
 void Transport::Send(NodeId to, MessagePtr msg, Time departure) {
-  assert(msg != nullptr);
-  assert(msg->from.valid() && "message must be stamped with a sender");
+  PAXI_CHECK(msg != nullptr);
+  PAXI_CHECK(msg->from.valid(), "message must be stamped with a sender");
   ++messages_sent_;
 
   const Link link{msg->from, to};

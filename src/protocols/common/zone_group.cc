@@ -1,7 +1,8 @@
 #include "protocols/common/zone_group.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -25,6 +26,15 @@ void ZoneGroupNode::Start() {
   if (IsGroupLeader()) ArmFlush();
 }
 
+void ZoneGroupNode::Audit(AuditScope& scope) const {
+  const std::string domain = "group:" + std::to_string(id().zone);
+  for (auto it = log_.upper_bound(scope.ChosenFrontier(domain));
+       it != log_.end() && it->first <= commit_up_to_; ++it) {
+    if (!it->second.committed) continue;
+    scope.Chosen(domain, it->first, DigestCommand(it->second.cmd));
+  }
+}
+
 void ZoneGroupNode::ArmFlush() {
   SetTimer(flush_interval_, [this]() {
     GroupP2a flush;
@@ -37,7 +47,7 @@ void ZoneGroupNode::ArmFlush() {
 
 void ZoneGroupNode::GroupSubmit(Command cmd,
                                 std::function<void(Result<Value>)> done) {
-  assert(IsGroupLeader());
+  PAXI_CHECK(IsGroupLeader());
   const Slot slot = next_slot_++;
   GroupEntry entry;
   entry.cmd = cmd;

@@ -39,6 +39,10 @@ class ZoneGroupNode : public Node {
 
   void Start() override;
 
+  /// Invariant hook: per-slot agreement on this zone group's committed
+  /// log (domain "group:<zone>"); group members cross-check each other.
+  void Audit(AuditScope& scope) const override;
+
   bool IsGroupLeader() const { return id().node == 1; }
   static NodeId GroupLeaderOf(int zone) { return NodeId{zone, 1}; }
 

@@ -1,7 +1,6 @@
 #include "protocols/epaxos/epaxos.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace paxi {
@@ -204,6 +203,7 @@ void EPaxosReplica::CommitInstance(const InstanceId& iid, Instance& inst,
   inst.deps = deps;
   if (inst.phase == Phase::kExecuted) return;
   inst.phase = Phase::kCommitted;
+  if (audit_tracking()) audit_pending_.push_back(iid);
   if (broadcast) {
     CommitMsg msg;
     msg.iid = iid;
@@ -344,6 +344,28 @@ void EPaxosReplica::ExecuteInstance(const InstanceId& iid, Instance& inst) {
     ReplyToClient(inst.origin, /*ok=*/true,
                   result.ok() ? result.value() : Value(), found);
   }
+}
+
+void EPaxosReplica::Audit(AuditScope& scope) const {
+  for (const InstanceId& iid : audit_pending_) {
+    const auto it = instances_.find(iid);
+    if (it == instances_.end()) continue;
+    const Instance& inst = it->second;
+    Digest d;
+    d.Mix(DigestCommand(inst.cmd))
+        .Mix(static_cast<std::uint64_t>(inst.seq));
+    // Deps are digested order-independently (sorted) — replicas may have
+    // merged them in different orders without that being a disagreement.
+    std::vector<InstanceId> deps = inst.deps;
+    std::sort(deps.begin(), deps.end());
+    for (const InstanceId& dep : deps) {
+      d.Mix(static_cast<std::uint64_t>(dep.replica.zone))
+          .Mix(static_cast<std::uint64_t>(dep.replica.node))
+          .Mix(static_cast<std::uint64_t>(dep.slot));
+    }
+    scope.Chosen("inst:" + iid.replica.ToString(), iid.slot, d.value());
+  }
+  audit_pending_.clear();
 }
 
 void RegisterEPaxosProtocol() {

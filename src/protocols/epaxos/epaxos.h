@@ -88,6 +88,11 @@ class EPaxosReplica : public Node {
  public:
   EPaxosReplica(NodeId id, Env env);
 
+  /// Invariant hook: every replica committing an instance must agree on
+  /// its (command, seq, deps) triple (sim/auditor.h). Commits are queued
+  /// on the mutation path and drained here, so auditing stays O(commits).
+  void Audit(AuditScope& scope) const override;
+
   /// Commands committed via the fast path / slow (Accept) path, for the
   /// conflict-rate analyses.
   std::size_t fast_path_commits() const { return fast_commits_; }
@@ -154,6 +159,10 @@ class EPaxosReplica : public Node {
   std::size_t fast_commits_ = 0;
   std::size_t slow_commits_ = 0;
   std::size_t executed_count_ = 0;
+
+  /// Instances committed since the last audit pass (only filled while an
+  /// InvariantAuditor watches this node; drained by Audit, hence mutable).
+  mutable std::vector<epaxos::InstanceId> audit_pending_;
 };
 
 /// Registers "epaxos" with the cluster factory.

@@ -15,6 +15,9 @@ namespace paxi {
 /// full-replication assumption), so the throughput profile matches Paxos;
 /// the win is waiting for fewer/faster acks — a small latency gain in LAN
 /// and a large one in WAN.
+/// The invariant auditor's PaxosReplica::Audit hook is inherited as-is:
+/// its quorum-intersection check runs against the overridden q1/q2 sizes
+/// below, verifying |q1| + |q2| > N for whatever "q2" was configured.
 class FPaxosReplica : public PaxosReplica {
  public:
   FPaxosReplica(NodeId id, Env env);

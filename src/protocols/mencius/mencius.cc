@@ -1,7 +1,6 @@
 #include "protocols/mencius/mencius.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace paxi {
 
@@ -27,6 +26,20 @@ MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
 }
 
 void MenciusReplica::Start() { ArmSkipTimer(); }
+
+void MenciusReplica::Audit(AuditScope& scope) const {
+  for (auto it = log_.upper_bound(scope.ChosenFrontier("log"));
+       it != log_.end() && it->first <= commit_up_to_; ++it) {
+    const Entry& e = it->second;
+    if (!e.committed) continue;
+    // Vote-only placeholders (ack overtook its Accept) have no command to
+    // fingerprint yet; they are reported once the command arrives unless a
+    // later slot advanced the frontier past them first.
+    if (!e.has_cmd && !e.noop) continue;
+    scope.Chosen("log", it->first,
+                 e.noop ? DigestNoop() : DigestCommand(e.cmd));
+  }
+}
 
 Slot MenciusReplica::NextOwnedSlot(Slot at) const {
   const Slot base = std::max<Slot>(at, 0);

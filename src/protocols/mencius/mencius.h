@@ -79,6 +79,10 @@ class MenciusReplica : public Node {
 
   void Start() override;
 
+  /// Invariant hook: per-slot agreement on committed entries, including
+  /// skip placeholders (sim/auditor.h).
+  void Audit(AuditScope& scope) const override;
+
   Slot executed_up_to() const { return execute_up_to_; }
   std::size_t skips_sent() const { return skips_sent_; }
 

@@ -41,6 +41,20 @@ void PaxosReplica::Start() {
   ArmElectionTimer();
 }
 
+void PaxosReplica::Audit(AuditScope& scope) const {
+  scope.BallotIs("log", ballot_);
+  scope.Require(InvariantAuditor::CountQuorumsIntersect(
+                    peers().size(), Phase1QuorumSize(), Phase2QuorumSize()),
+                "phase-1 and phase-2 quorums must intersect");
+  // Committed entries never leave log_, so reporting resumes where the
+  // last audit pass stopped.
+  for (auto it = log_.upper_bound(scope.ChosenFrontier("log"));
+       it != log_.end() && it->first <= commit_up_to_; ++it) {
+    if (!it->second.committed) continue;
+    scope.Chosen("log", it->first, DigestCommand(it->second.cmd));
+  }
+}
+
 bool PaxosReplica::LeaderIsFresh() const {
   return Now() - last_leader_contact_ < election_timeout_;
 }

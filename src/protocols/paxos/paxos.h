@@ -72,6 +72,10 @@ class PaxosReplica : public Node {
 
   void Start() override;
 
+  /// Invariant hook: ballot monotonicity, per-slot agreement on committed
+  /// entries, and phase-1/phase-2 quorum intersection (sim/auditor.h).
+  void Audit(AuditScope& scope) const override;
+
   bool IsLeader() const { return active_; }
   Ballot ballot() const { return ballot_; }
   Slot committed_up_to() const { return commit_up_to_; }

@@ -36,6 +36,21 @@ void RaftReplica::Start() {
   ArmElectionTimer();
 }
 
+void RaftReplica::Audit(AuditScope& scope) const {
+  scope.BallotIs("term", Ballot{term_, id()});
+  scope.Require(commit_index_ < static_cast<Slot>(log_.size()),
+                "commit index beyond end of log");
+  for (Slot s = scope.ChosenFrontier("log") + 1; s <= commit_index_; ++s) {
+    const raft::LogEntry& e = log_[static_cast<std::size_t>(s)];
+    // Mixing the term in checks the full Log Matching property: committed
+    // entries at the same index must agree on term, not just payload.
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(e.term))
+        .Mix(e.noop ? DigestNoop() : DigestCommand(e.cmd));
+    scope.Chosen("log", s, d.value());
+  }
+}
+
 void RaftReplica::ArmElectionTimer() {
   const std::uint64_t epoch = election_epoch_;
   const Time jitter = rng().UniformInt(0, election_timeout_);

@@ -63,6 +63,10 @@ class RaftReplica : public Node {
 
   void Start() override;
 
+  /// Invariant hook: term monotonicity and per-index agreement on
+  /// committed entries (sim/auditor.h).
+  void Audit(AuditScope& scope) const override;
+
   bool IsLeader() const { return role_ == Role::kLeader; }
   std::int64_t term() const { return term_; }
   Slot commit_index() const { return commit_index_; }

@@ -1,6 +1,5 @@
 #include "protocols/vpaxos/vpaxos.h"
 
-#include <cassert>
 
 namespace paxi {
 
@@ -42,9 +41,26 @@ std::string VPaxosReplica::DebugKey(Key key) const {
 }
 
 VPaxosReplica::OwnerInfo& VPaxosReplica::Info(Key key) {
+  if (audit_tracking()) audit_dirty_.insert(key);
   auto [it, inserted] = owners_.try_emplace(key);
   if (inserted) it->second.zone = default_owner_zone_;
   return it->second;
+}
+
+void VPaxosReplica::Audit(AuditScope& scope) const {
+  ZoneGroupNode::Audit(scope);
+  for (const Key key : audit_dirty_) {
+    const auto it = owners_.find(key);
+    if (it == owners_.end()) continue;
+    const OwnerInfo& info = it->second;
+    scope.Require(info.zone >= 1 && info.zone <= config().zones,
+                  "object owner zone out of range");
+    // (version, zone) must advance monotonically: a version rollback, or
+    // two different zones under one version, is a split-brain ownership.
+    scope.BallotIs("owner:" + std::to_string(key),
+                   Ballot{info.version, NodeId{info.zone, 1}});
+  }
+  audit_dirty_.clear();
 }
 
 int VPaxosReplica::OwnerZone(Key key) const {

@@ -2,6 +2,7 @@
 #define PAXI_PROTOCOLS_VPAXOS_VPAXOS_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,11 @@ class VPaxosReplica : public ZoneGroupNode {
  public:
   VPaxosReplica(NodeId id, Env env);
 
+  /// Invariant hook: group-log agreement (inherited) plus ownership-map
+  /// sanity — the (version, owner-zone) pair for each object must advance
+  /// monotonically and two zones may never share a config version.
+  void Audit(AuditScope& scope) const override;
+
   bool IsMasterZone() const { return id().zone == master_zone_; }
   std::size_t migrations() const { return migrations_; }
 
@@ -98,6 +104,10 @@ class VPaxosReplica : public ZoneGroupNode {
   std::map<Key, OwnerInfo> owners_;
   std::int64_t config_version_ = 0;  ///< Master-side version counter.
   std::size_t migrations_ = 0;
+
+  /// Objects whose ownership info changed since the last audit pass (only
+  /// filled while an InvariantAuditor watches this node).
+  mutable std::set<Key> audit_dirty_;
 };
 
 /// Registers "vpaxos" with the cluster factory.

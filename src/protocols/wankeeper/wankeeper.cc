@@ -1,6 +1,6 @@
 #include "protocols/wankeeper/wankeeper.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace paxi {
 
@@ -26,6 +26,14 @@ WanKeeperReplica::WanKeeperReplica(NodeId id, Env env)
       [this](const TokenRevoke& m) { HandleTokenRevoke(m); });
   OnMessage<TokenReturn>(
       [this](const TokenReturn& m) { HandleTokenReturn(m); });
+}
+
+void WanKeeperReplica::Audit(AuditScope& scope) const {
+  ZoneGroupNode::Audit(scope);
+  scope.Require(IsGroupLeader() || tokens_.empty(),
+                "only zone leaders may hold tokens");
+  scope.Require(table_.empty() || (IsMasterZone() && IsGroupLeader()),
+                "only the master leader may broker tokens");
 }
 
 void WanKeeperReplica::HandleRequest(const ClientRequest& req) {
@@ -57,7 +65,7 @@ void WanKeeperReplica::CommitLocally(const ClientRequest& req) {
 
 void WanKeeperReplica::MasterDecide(const ClientRequest& req,
                                     bool track_policy) {
-  assert(IsGroupLeader() && IsMasterZone());
+  PAXI_CHECK(IsGroupLeader() && IsMasterZone());
   const Key key = req.cmd.key;
   TokenState& token = table_[key];
   // Demand is attributed to the client's origin region.
@@ -146,10 +154,10 @@ void WanKeeperReplica::MasterGrant(Key key, TokenState& token, int zone,
                 Send(GroupLeaderOf(zone), std::move(grant));
                 Forward(GroupLeaderOf(zone), trigger);
                 // Token officially at the zone; re-decide parked requests.
-                TokenState& token = table_[key];
-                token.state = TokenState::State::kAtZone;
-                std::vector<ClientRequest> queued = std::move(token.queued);
-                token.queued.clear();
+                TokenState& granted = table_[key];
+                granted.state = TokenState::State::kAtZone;
+                std::vector<ClientRequest> queued = std::move(granted.queued);
+                granted.queued.clear();
                 for (const ClientRequest& req : queued) {
                   MasterDecide(req, /*track_policy=*/false);
                 }

@@ -59,6 +59,11 @@ class WanKeeperReplica : public ZoneGroupNode {
  public:
   WanKeeperReplica(NodeId id, Env env);
 
+  /// Invariant hook: group-log agreement (inherited) plus token-placement
+  /// sanity — only group leaders may hold tokens, and the master's token
+  /// table must be internally consistent.
+  void Audit(AuditScope& scope) const override;
+
   bool IsMasterZone() const { return id().zone == master_zone_; }
   std::size_t tokens_held() const { return tokens_.size(); }
   std::size_t grants() const { return grants_; }

@@ -1,7 +1,8 @@
 #include "protocols/wpaxos/wpaxos.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -27,6 +28,25 @@ WPaxosReplica::WPaxosReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<P2a>([this](const P2a& m) { HandleP2a(m); });
   OnMessage<P2b>([this](const P2b& m) { HandleP2b(m); });
   OnMessage<Handoff>([this](const Handoff& m) { HandleHandoff(m); });
+}
+
+void WPaxosReplica::Audit(AuditScope& scope) const {
+  scope.Require(InvariantAuditor::GridQuorumsIntersect(
+                    config().zones, config().zones - fz_, fz_ + 1),
+                "WPaxos phase-1/phase-2 grid quorums must intersect");
+  for (const Key key : audit_dirty_) {
+    const auto it = objects_.find(key);
+    if (it == objects_.end()) continue;
+    const ObjectState& obj = it->second;
+    const std::string domain = "obj:" + std::to_string(key);
+    scope.BallotIs(domain, obj.ballot);
+    for (auto e = obj.log.upper_bound(scope.ChosenFrontier(domain));
+         e != obj.log.end() && e->first <= obj.commit_up_to; ++e) {
+      if (!e->second.committed) continue;
+      scope.Chosen(domain, e->first, DigestCommand(e->second.cmd));
+    }
+  }
+  audit_dirty_.clear();
 }
 
 std::size_t WPaxosReplica::objects_owned() const {
@@ -267,7 +287,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
 
 void WPaxosReplica::Propose(Key key, const ClientRequest& req) {
   ObjectState& obj = Obj(key);
-  assert(obj.active);
+  PAXI_CHECK(obj.active);
   const Slot slot = obj.next_slot++;
   Entry entry;
   entry.ballot = obj.ballot;

@@ -2,8 +2,9 @@
 #define PAXI_PROTOCOLS_WPAXOS_WPAXOS_H_
 
 #include <map>
-#include <string>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "core/cluster.h"
@@ -96,6 +97,11 @@ class WPaxosReplica : public Node {
  public:
   WPaxosReplica(NodeId id, Env env);
 
+  /// Invariant hook: per-object ballot monotonicity, per-slot agreement,
+  /// and grid-quorum intersection (sim/auditor.h). Only objects touched
+  /// since the last pass are re-examined.
+  void Audit(AuditScope& scope) const override;
+
   /// Number of objects this node currently owns.
   std::size_t objects_owned() const;
 
@@ -145,7 +151,10 @@ class WPaxosReplica : public Node {
   void ExecuteCommitted(Key key, ObjectState& obj);
   void TrackAccess(Key key, ObjectState& obj, int source_zone);
 
-  ObjectState& Obj(Key key) { return objects_[key]; }
+  ObjectState& Obj(Key key) {
+    if (audit_tracking()) audit_dirty_.insert(key);
+    return objects_[key];
+  }
   /// Owner of `key` as far as this node knows; Invalid if unowned and no
   /// default placement is configured.
   NodeId OwnerOf(const ObjectState& obj) const;
@@ -157,6 +166,10 @@ class WPaxosReplica : public Node {
   Time handoff_cooldown_;
   NodeId initial_owner_;
   std::size_t steals_ = 0;
+
+  /// Objects touched since the last audit pass (only filled while an
+  /// InvariantAuditor watches this node; drained by Audit, hence mutable).
+  mutable std::set<Key> audit_dirty_;
 };
 
 /// Registers "wpaxos" with the cluster factory.

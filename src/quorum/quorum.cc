@@ -1,7 +1,8 @@
 #include "quorum/quorum.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -22,8 +23,8 @@ void Quorum::Reset() {
 
 CountQuorum::CountQuorum(std::vector<NodeId> members, std::size_t needed)
     : members_(std::move(members)), needed_(needed) {
-  assert(needed_ > 0);
-  assert(needed_ <= members_.size());
+  PAXI_CHECK(needed_ > 0);
+  PAXI_CHECK(needed_ <= members_.size());
 }
 
 std::unique_ptr<CountQuorum> CountQuorum::Majority(
@@ -56,8 +57,8 @@ bool CountQuorum::Rejected() const {
 ZoneMajorityQuorum::ZoneMajorityQuorum(
     std::map<int, std::vector<NodeId>> zone_members, int zones_needed)
     : zone_members_(std::move(zone_members)), zones_needed_(zones_needed) {
-  assert(zones_needed_ > 0);
-  assert(static_cast<std::size_t>(zones_needed_) <= zone_members_.size());
+  PAXI_CHECK(zones_needed_ > 0);
+  PAXI_CHECK(static_cast<std::size_t>(zones_needed_) <= zone_members_.size());
 }
 
 bool ZoneMajorityQuorum::ZoneSatisfied(int zone) const {
@@ -102,7 +103,7 @@ bool ZoneMajorityQuorum::Rejected() const {
 
 GroupQuorum::GroupQuorum(std::vector<std::vector<NodeId>> groups)
     : groups_(std::move(groups)) {
-  assert(!groups_.empty());
+  PAXI_CHECK(!groups_.empty());
 }
 
 bool GroupQuorum::Satisfied() const {

@@ -1,0 +1,188 @@
+#include "sim/auditor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace paxi {
+
+// --- Determinism auditing --------------------------------------------------
+
+TraceRecorder::TraceRecorder(std::size_t max_recorded)
+    : max_recorded_(max_recorded), hash_(Digest().value()) {}
+
+void TraceRecorder::OnEventExecuted(const EventFingerprint& fp) {
+  if (trace_.size() < max_recorded_) trace_.push_back(fp);
+  ++count_;
+  Digest d;
+  d.Mix(hash_).Mix(fp.seq).Mix(static_cast<std::uint64_t>(fp.at))
+      .Mix(fp.rng_draws);
+  hash_ = d.value();
+}
+
+namespace {
+
+std::string DescribeFingerprint(const EventFingerprint& fp) {
+  std::ostringstream os;
+  os << "{seq=" << fp.seq << " vtime=" << fp.at
+     << "us rng_draws=" << fp.rng_draws << "}";
+  return os.str();
+}
+
+}  // namespace
+
+ReplayReport CompareTraces(const TraceRecorder& a, const TraceRecorder& b) {
+  ReplayReport report;
+  report.events_a = a.count();
+  report.events_b = b.count();
+  const std::size_t prefix = std::min(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (a.trace()[i] == b.trace()[i]) continue;
+    report.deterministic = false;
+    report.first_divergence = i;
+    report.detail = "event " + std::to_string(i) + " diverged: run A " +
+                    DescribeFingerprint(a.trace()[i]) + " vs run B " +
+                    DescribeFingerprint(b.trace()[i]);
+    return report;
+  }
+  if (a.count() != b.count()) {
+    report.deterministic = false;
+    report.first_divergence = prefix;
+    report.detail = "event counts diverged: run A executed " +
+                    std::to_string(a.count()) + " events, run B " +
+                    std::to_string(b.count());
+    return report;
+  }
+  if (a.hash() != b.hash()) {
+    // Identical recorded prefix and counts but different rolling hashes:
+    // the divergence is past the recording cap.
+    report.deterministic = false;
+    report.first_divergence = prefix;
+    report.detail = "trace hashes diverged beyond the recorded prefix";
+  }
+  return report;
+}
+
+ReplayReport AuditReplay(
+    const std::function<void(TraceRecorder&)>& scenario) {
+  TraceRecorder first;
+  scenario(first);
+  TraceRecorder second;
+  scenario(second);
+  return CompareTraces(first, second);
+}
+
+// --- Digests ---------------------------------------------------------------
+
+Digest& Digest::Mix(std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (x >> (8 * i)) & 0xffu;
+    h_ *= 1099511628211ULL;  // FNV prime
+  }
+  return *this;
+}
+
+Digest& Digest::Mix(std::string_view s) {
+  for (const char c : s) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= 1099511628211ULL;
+  }
+  Mix(static_cast<std::uint64_t>(s.size()));
+  return *this;
+}
+
+std::uint64_t DigestCommand(const Command& cmd) {
+  Digest d;
+  d.Mix(cmd.op == Command::Op::kPut ? 2u : 1u)
+      .Mix(static_cast<std::uint64_t>(cmd.key))
+      .Mix(cmd.value)
+      .Mix(static_cast<std::uint64_t>(cmd.client))
+      .Mix(static_cast<std::uint64_t>(cmd.request));
+  return d.value();
+}
+
+std::uint64_t DigestNoop() { return Digest().Mix("noop").value(); }
+
+// --- Invariant auditing ----------------------------------------------------
+
+void AuditScope::BallotIs(const std::string& domain, const Ballot& ballot) {
+  auto [it, inserted] =
+      auditor_->max_ballot_.try_emplace({node_, domain}, ballot);
+  if (inserted) return;
+  if (ballot < it->second) {
+    auditor_->ReportViolation(
+        node_, "ballot regression in domain '" + domain + "': " +
+                   it->second.ToString() + " -> " + ballot.ToString());
+    return;
+  }
+  it->second = ballot;
+}
+
+void AuditScope::Chosen(const std::string& domain, Slot slot,
+                        std::uint64_t digest) {
+  auto& frontier = auditor_->frontier_[{node_, domain}];
+  frontier = std::max(frontier, slot);
+  auto [it, inserted] = auditor_->chosen_.try_emplace(
+      {domain, slot}, InvariantAuditor::ChosenRecord{digest, node_});
+  if (inserted) return;
+  if (it->second.digest != digest) {
+    auditor_->ReportViolation(
+        node_, "agreement violation in domain '" + domain + "' slot " +
+                   std::to_string(slot) + ": node " +
+                   it->second.first_reporter.ToString() +
+                   " chose digest " + std::to_string(it->second.digest) +
+                   ", node " + node_.ToString() + " chose " +
+                   std::to_string(digest));
+  }
+}
+
+Slot AuditScope::ChosenFrontier(const std::string& domain) const {
+  const auto it = auditor_->frontier_.find({node_, domain});
+  return it == auditor_->frontier_.end() ? -1 : it->second;
+}
+
+void AuditScope::Require(bool ok, const std::string& what) {
+  if (!ok) auditor_->ReportViolation(node_, what);
+}
+
+InvariantAuditor::InvariantAuditor(bool fail_fast) : fail_fast_(fail_fast) {}
+
+void InvariantAuditor::Watch(const Auditable* node) {
+  if (node == nullptr) return;
+  node->audit_tracking_ = true;
+  watched_.push_back(node);
+}
+
+void InvariantAuditor::OnEventExecuted(const EventFingerprint& /*fp*/) {
+  AuditNow();
+}
+
+void InvariantAuditor::AuditNow() {
+  ++events_audited_;
+  for (const Auditable* node : watched_) {
+    AuditScope scope(this, node->id());
+    node->Audit(scope);
+  }
+}
+
+void InvariantAuditor::ReportViolation(NodeId node, const std::string& what) {
+  const std::string full = "node " + node.ToString() + ": " + what;
+  violations_.push_back(full);
+  // Even in fail-fast mode the violation is recorded first, so a death
+  // test (or a crash log scraper) sees the message in both channels.
+  PAXI_CHECK(!fail_fast_, "protocol invariant violated: " + full);
+}
+
+bool InvariantAuditor::CountQuorumsIntersect(std::size_t n, std::size_t q1,
+                                             std::size_t q2) {
+  return q1 >= 1 && q2 >= 1 && q1 <= n && q2 <= n && q1 + q2 > n;
+}
+
+bool InvariantAuditor::GridQuorumsIntersect(int zones, int q1_zones,
+                                            int q2_zones) {
+  return q1_zones >= 1 && q2_zones >= 1 && q1_zones <= zones &&
+         q2_zones <= zones && q1_zones + q2_zones > zones;
+}
+
+}  // namespace paxi

@@ -1,0 +1,211 @@
+#ifndef PAXI_SIM_AUDITOR_H_
+#define PAXI_SIM_AUDITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "store/command.h"
+
+namespace paxi {
+
+// ---------------------------------------------------------------------------
+// Part 1: determinism auditing — fingerprint traces and same-seed replay.
+//
+// Every experiment's validity rests on the simulator being a pure function
+// of its seed (DESIGN.md): the same config must produce the same event
+// stream. The recorder captures a per-event fingerprint (event id, virtual
+// time, cumulative RNG draws); AuditReplay runs a scenario twice and diffs
+// the traces, catching unordered-container iteration leaking into
+// scheduling, stray rand()/time() calls, or any state carried across runs.
+// ---------------------------------------------------------------------------
+
+/// Records the fingerprint stream of one simulation run. Keeps the first
+/// `max_recorded` fingerprints verbatim for diffing plus a rolling hash
+/// and count over the *entire* run, so divergence beyond the cap is still
+/// detected (just without a per-event diff).
+class TraceRecorder : public SimObserver {
+ public:
+  explicit TraceRecorder(std::size_t max_recorded = 1u << 20);
+
+  void OnEventExecuted(const EventFingerprint& fp) override;
+
+  const std::vector<EventFingerprint>& trace() const { return trace_; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::size_t max_recorded_;
+  std::vector<EventFingerprint> trace_;
+  std::uint64_t count_ = 0;
+  std::uint64_t hash_;
+};
+
+/// Outcome of a replay comparison.
+struct ReplayReport {
+  bool deterministic = true;
+  /// Index of the first diverging event (when !deterministic and the
+  /// divergence fell within the recorded prefix).
+  std::uint64_t first_divergence = 0;
+  /// Human-readable description of the divergence; empty when clean.
+  std::string detail;
+
+  std::uint64_t events_a = 0;
+  std::uint64_t events_b = 0;
+};
+
+/// Diffs two recorded traces; reports the first diverging fingerprint.
+ReplayReport CompareTraces(const TraceRecorder& a, const TraceRecorder& b);
+
+/// Runs `scenario` twice, each time with a fresh TraceRecorder the
+/// scenario must attach to its simulator (sim.AddObserver(&rec)), and
+/// diffs the two traces. The scenario is responsible for seeding
+/// identically on both calls; everything else (container iteration,
+/// RNG usage, static state) is what this audit is checking.
+ReplayReport AuditReplay(const std::function<void(TraceRecorder&)>& scenario);
+
+// ---------------------------------------------------------------------------
+// Part 2: protocol-invariant auditing.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a accumulator for fingerprinting chosen commands.
+class Digest {
+ public:
+  Digest& Mix(std::uint64_t x);
+  Digest& Mix(std::string_view s);
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+/// Digest of a command's full identity and effect (op, key, value, issuer).
+/// Two log slots holding commands with different digests are different
+/// decisions — the agreement invariant compares these across replicas.
+std::uint64_t DigestCommand(const Command& cmd);
+
+/// Digest for a no-op / skipped slot (leader-change barriers, Mencius
+/// skips). Distinct from every command digest with overwhelming probability.
+std::uint64_t DigestNoop();
+
+class InvariantAuditor;
+
+/// Per-node reporting surface handed to Auditable::Audit. Domains
+/// partition a protocol's decision space: MultiPaxos/Raft/Mencius use one
+/// "log" domain; WPaxos uses one domain per object; EPaxos one per
+/// command-leader instance space; the hierarchical protocols one per zone
+/// group. Agreement is checked within a domain, ballot monotonicity per
+/// (node, domain).
+class AuditScope {
+ public:
+  /// Asserts the node's current highest ballot for `domain` — the auditor
+  /// trips if it ever observes a regression (ballots must be monotone).
+  void BallotIs(const std::string& domain, const Ballot& ballot);
+
+  /// Reports that this node considers `slot` of `domain` decided with the
+  /// given command digest. The auditor trips if any node ever reported a
+  /// *different* digest for the same (domain, slot): at most one value may
+  /// be chosen per slot.
+  void Chosen(const std::string& domain, Slot slot, std::uint64_t digest);
+
+  /// Highest slot this node has reported Chosen() for in `domain` (-1
+  /// initially), so protocols can report incrementally instead of
+  /// rescanning their whole log each event.
+  Slot ChosenFrontier(const std::string& domain) const;
+
+  /// Generic protocol invariant; trips when `ok` is false.
+  void Require(bool ok, const std::string& what);
+
+ private:
+  friend class InvariantAuditor;
+  AuditScope(InvariantAuditor* auditor, NodeId node)
+      : auditor_(auditor), node_(node) {}
+
+  InvariantAuditor* auditor_;
+  NodeId node_;
+};
+
+/// Implemented by anything the invariant auditor can watch (Node derives
+/// from this; protocols override Audit to expose their decision state).
+class Auditable {
+ public:
+  virtual ~Auditable() = default;
+
+  virtual NodeId id() const = 0;
+
+  /// Reports current protocol state into `scope`. Called after every
+  /// simulator event while auditing is enabled — implementations must be
+  /// incremental (use ChosenFrontier or a dirty queue) and cheap.
+  virtual void Audit(AuditScope& scope) const = 0;
+
+  /// True once an InvariantAuditor watches this node. Protocols whose
+  /// incremental auditing needs bookkeeping on the mutation path (dirty
+  /// queues) gate that bookkeeping on this, so unaudited runs pay nothing.
+  bool audit_tracking() const { return audit_tracking_; }
+
+ private:
+  friend class InvariantAuditor;
+  mutable bool audit_tracking_ = false;
+};
+
+/// Runtime verifier of protocol safety invariants, attached to a
+/// Simulator as an observer: after every event it polls each watched
+/// node's Audit() and cross-checks the reports. With `fail_fast` (the
+/// default) a violation aborts through PAXI_CHECK with full context;
+/// otherwise violations accumulate in violations() for tests to inspect.
+class InvariantAuditor : public SimObserver {
+ public:
+  explicit InvariantAuditor(bool fail_fast = true);
+
+  /// Adds a node to the audit set (not owned; must outlive the auditor or
+  /// the simulation, whichever stops first).
+  void Watch(const Auditable* node);
+
+  void OnEventExecuted(const EventFingerprint& fp) override;
+
+  /// Runs one audit pass immediately (also called per event).
+  void AuditNow();
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t events_audited() const { return events_audited_; }
+
+  /// Quorum-intersection sanity (paper §2): any phase-1 quorum must
+  /// intersect any phase-2 quorum. For counted quorums over n nodes this
+  /// is q1 + q2 > n.
+  static bool CountQuorumsIntersect(std::size_t n, std::size_t q1,
+                                    std::size_t q2);
+  /// Grid variant (WPaxos): q1 takes zone-majorities in `q1_zones` zones,
+  /// q2 in `q2_zones`; they intersect iff q1_zones + q2_zones > zones
+  /// (two zone-majorities in a shared zone always intersect).
+  static bool GridQuorumsIntersect(int zones, int q1_zones, int q2_zones);
+
+ private:
+  friend class AuditScope;
+  void ReportViolation(NodeId node, const std::string& what);
+
+  bool fail_fast_;
+  std::vector<const Auditable*> watched_;
+
+  using NodeDomain = std::pair<NodeId, std::string>;
+  std::map<NodeDomain, Ballot> max_ballot_;
+  std::map<NodeDomain, Slot> frontier_;
+
+  struct ChosenRecord {
+    std::uint64_t digest = 0;
+    NodeId first_reporter;
+  };
+  std::map<std::pair<std::string, Slot>, ChosenRecord> chosen_;
+
+  std::vector<std::string> violations_;
+  std::uint64_t events_audited_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_SIM_AUDITOR_H_

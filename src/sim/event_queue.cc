@@ -1,7 +1,8 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace paxi {
 
@@ -10,12 +11,12 @@ void EventQueue::Push(Time at, std::function<void()> fn) {
 }
 
 Time EventQueue::PeekTime() const {
-  assert(!heap_.empty());
+  PAXI_DCHECK(!heap_.empty());
   return heap_.top().at;
 }
 
 Event EventQueue::Pop() {
-  assert(!heap_.empty());
+  PAXI_DCHECK(!heap_.empty());
   // std::priority_queue::top() returns a const ref; the event is moved out
   // via a const_cast because pop() destroys it anyway.
   Event ev = std::move(const_cast<Event&>(heap_.top()));

@@ -15,12 +15,19 @@ void Simulator::After(Time delay, std::function<void()> fn) {
   At(now_ + std::max<Time>(delay, 0), std::move(fn));
 }
 
+void Simulator::Execute(Event ev) {
+  now_ = ev.at;
+  ev.fn();
+  if (!observers_.empty()) {
+    const EventFingerprint fp{ev.seq, ev.at, rng_.draw_count()};
+    for (SimObserver* obs : observers_) obs->OnEventExecuted(fp);
+  }
+}
+
 std::size_t Simulator::RunUntil(Time deadline) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.PeekTime() <= deadline) {
-    Event ev = queue_.Pop();
-    now_ = ev.at;
-    ev.fn();
+    Execute(queue_.Pop());
     ++executed;
   }
   now_ = std::max(now_, deadline);
@@ -31,21 +38,28 @@ bool Simulator::RunToCompletion(std::size_t max_events) {
   std::size_t executed = 0;
   while (!queue_.empty()) {
     if (executed++ >= max_events) return false;
-    Event ev = queue_.Pop();
-    now_ = ev.at;
-    ev.fn();
+    Execute(queue_.Pop());
   }
   return true;
 }
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.Pop();
-  now_ = ev.at;
-  ev.fn();
+  Execute(queue_.Pop());
   return true;
 }
 
 void Simulator::Reset() { queue_.Clear(); }
+
+void Simulator::AddObserver(SimObserver* observer) {
+  if (observer == nullptr) return;
+  observers_.push_back(observer);
+}
+
+void Simulator::RemoveObserver(SimObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
 
 }  // namespace paxi

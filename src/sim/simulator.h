@@ -2,12 +2,38 @@
 #define PAXI_SIM_SIMULATOR_H_
 
 #include <functional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
 namespace paxi {
+
+/// One executed simulator event, as seen by observers: the event's
+/// insertion sequence number (a deterministic id), the virtual time it ran
+/// at, and the cumulative RNG draw count after it finished. Two runs of
+/// the same seeded scenario must produce identical fingerprint streams —
+/// any divergence means hidden nondeterminism (see sim/auditor.h).
+struct EventFingerprint {
+  std::uint64_t seq = 0;
+  Time at = 0;
+  std::uint64_t rng_draws = 0;
+
+  friend bool operator==(const EventFingerprint&,
+                         const EventFingerprint&) = default;
+};
+
+/// Observer of simulator execution. The determinism trace recorder and
+/// the protocol-invariant auditor both hook in through this.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Called after each event's callback has run (and after the clock
+  /// advanced to the event's time).
+  virtual void OnEventExecuted(const EventFingerprint& fp) = 0;
+};
 
 /// Deterministic discrete-event simulator: a virtual clock plus an event
 /// queue. This is the substitute for the paper's AWS testbed — replica
@@ -23,6 +49,10 @@ class Simulator {
 
   /// Current virtual time.
   Time Now() const { return now_; }
+
+  /// Stable address of the virtual clock, for check-failure context
+  /// reporting (common/check.h) without a dependency on this header.
+  const Time* now_ptr() const { return &now_; }
 
   /// Shared RNG for all stochastic decisions in this simulation.
   Rng& rng() { return rng_; }
@@ -49,12 +79,21 @@ class Simulator {
   /// Drops all pending events (used by tests and teardown).
   void Reset();
 
+  /// Registers an observer notified after every executed event. Observers
+  /// are not owned and must outlive the simulator (or be removed first).
+  void AddObserver(SimObserver* observer);
+  void RemoveObserver(SimObserver* observer);
+
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  /// Runs one popped event and notifies observers.
+  void Execute(Event ev);
+
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
+  std::vector<SimObserver*> observers_;
 };
 
 }  // namespace paxi

@@ -1,14 +1,15 @@
 #include "workload/distributions.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace paxi {
 
 UniformKeys::UniformKeys(Key min_key, std::int64_t k)
     : min_key_(min_key), k_(k) {
-  assert(k_ > 0);
+  PAXI_CHECK(k_ > 0);
 }
 
 Key UniformKeys::Next(Rng& rng, Time) {
@@ -17,7 +18,7 @@ Key UniformKeys::Next(Rng& rng, Time) {
 
 ZipfianKeys::ZipfianKeys(Key min_key, std::int64_t k, double s, double v)
     : min_key_(min_key), k_(k), s_(s), v_(v) {
-  assert(k_ > 0);
+  PAXI_CHECK(k_ > 0);
 }
 
 Key ZipfianKeys::Next(Rng& rng, Time) {
@@ -28,7 +29,7 @@ NormalKeys::NormalKeys(Key min_key, std::int64_t k, double mu, double sigma,
                        bool move, double speed_ms)
     : min_key_(min_key), k_(k), mu_(mu), sigma_(sigma), move_(move),
       speed_ms_(speed_ms) {
-  assert(k_ > 0);
+  PAXI_CHECK(k_ > 0);
 }
 
 Key NormalKeys::Next(Rng& rng, Time now) {
@@ -47,8 +48,8 @@ Key NormalKeys::Next(Rng& rng, Time now) {
 
 ExponentialKeys::ExponentialKeys(Key min_key, std::int64_t k, double rate)
     : min_key_(min_key), k_(k), rate_(rate) {
-  assert(k_ > 0);
-  assert(rate_ > 0.0);
+  PAXI_CHECK(k_ > 0);
+  PAXI_CHECK(rate_ > 0.0);
 }
 
 Key ExponentialKeys::Next(Rng& rng, Time) {

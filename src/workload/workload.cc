@@ -1,6 +1,6 @@
 #include "workload/workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace paxi {
 
@@ -39,7 +39,7 @@ WorkloadSpec LocalityWorkload(int zones, std::int64_t keys, double sigma) {
 WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, int zone, int stream,
                                      std::uint64_t seed)
     : spec_(std::move(spec)), zone_(zone), stream_(stream), rng_(seed) {
-  assert(zone_ >= 1);
+  PAXI_CHECK(zone_ >= 1);
   double mu = spec_.mu;
   Key min_key = spec_.min_key;
   if (spec_.locality_mode) {

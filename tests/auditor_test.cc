@@ -1,0 +1,266 @@
+#include "sim/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/config.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+// --- Determinism auditing --------------------------------------------------
+
+// A well-behaved scenario: everything derives from the simulator's seeded
+// RNG, so two runs must produce identical fingerprint traces.
+void DeterministicScenario(TraceRecorder& rec) {
+  Simulator sim(/*seed=*/42);
+  sim.AddObserver(&rec);
+  for (int i = 0; i < 50; ++i) {
+    sim.After(sim.rng().UniformInt(1, 1000), [&sim]() {
+      if (sim.rng().Bernoulli(0.3)) {
+        sim.After(5, []() {});
+      }
+    });
+  }
+  sim.RunToCompletion();
+}
+
+TEST(DeterminismAuditTest, SameSeedReplayProducesIdenticalTraces) {
+  const ReplayReport report = AuditReplay(DeterministicScenario);
+  EXPECT_TRUE(report.deterministic) << report.detail;
+  EXPECT_GT(report.events_a, 0u);
+  EXPECT_EQ(report.events_a, report.events_b);
+}
+
+TEST(DeterminismAuditTest, FullClusterReplayIsDeterministic) {
+  const ReplayReport report = AuditReplay([](TraceRecorder& rec) {
+    Config config = Config::Lan9("paxos");
+    Cluster cluster(config);
+    cluster.sim().AddObserver(&rec);
+    cluster.Start();
+    Client* client = cluster.NewClient(1);
+    for (RequestId r = 1; r <= 20; ++r) {
+      client->Put(static_cast<Key>(r), "v" + std::to_string(r), cluster.TargetFor(1),
+                  [](const Client::Reply&) {});
+    }
+    cluster.RunFor(2 * kSecond);
+  });
+  EXPECT_TRUE(report.deterministic) << report.detail;
+  EXPECT_GT(report.events_a, 0u);
+}
+
+// An injected unordered-map iteration-order dependency. Real-world
+// versions of this bug hinge on address- or seed-randomized hashing
+// (pointer-keyed maps, abseil-style per-process hash salts) making
+// iteration order differ run to run. The salt here comes from a
+// file-static run counter so the divergence is reproducible on every
+// allocator/build; the bug under test — scheduling order taken from
+// unordered-container iteration — is the same.
+int g_run_counter = 0;
+
+struct SaltedHash {
+  std::size_t salt;
+  std::size_t operator()(int key) const {
+    std::size_t h = salt ^ static_cast<std::size_t>(key);
+    h *= 0x9E3779B97F4A7C15ULL;  // Fibonacci hashing mix
+    return h ^ (h >> 29);
+  }
+};
+
+void UnorderedMapScenario(TraceRecorder& rec) {
+  Simulator sim(/*seed=*/7);
+  sim.AddObserver(&rec);
+
+  std::unordered_map<int, Time, SaltedHash> delays(
+      /*bucket_count=*/8, SaltedHash{static_cast<std::size_t>(g_run_counter)});
+  ++g_run_counter;
+  for (int i = 0; i < 32; ++i) {
+    delays[i] = 10 * (i + 1);
+  }
+  // BUG under test: iteration order of a hash-salted unordered_map
+  // decides the RNG call sequence.
+  for (const auto& [key, delay] : delays) {
+    sim.After(delay + sim.rng().UniformInt(0, 5), [&sim]() {
+      (void)sim.rng().Next();
+    });
+  }
+  sim.RunToCompletion();
+}
+
+TEST(DeterminismAuditTest, DetectsUnorderedMapIterationDependency) {
+  const ReplayReport report = AuditReplay(UnorderedMapScenario);
+  // The fingerprints (event times and RNG draw counts) depend on the
+  // map's iteration order, which differs between the two runs.
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_FALSE(report.detail.empty());
+}
+
+// Cross-run static state (the moral equivalent of a stray global RNG or a
+// wall-clock read): the second run schedules one extra event.
+int g_sneaky_state = 0;
+
+TEST(DeterminismAuditTest, DetectsStateLeakingAcrossRuns) {
+  const ReplayReport report = AuditReplay([](TraceRecorder& rec) {
+    Simulator sim(/*seed=*/3);
+    sim.AddObserver(&rec);
+    sim.After(10, []() {});
+    if (g_sneaky_state++ > 0) sim.After(20, []() {});
+    sim.RunToCompletion();
+  });
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_NE(report.events_a, report.events_b);
+}
+
+TEST(DeterminismAuditTest, CompareTracesPinpointsFirstDivergence) {
+  TraceRecorder a;
+  TraceRecorder b;
+  a.OnEventExecuted(EventFingerprint{0, 10, 1});
+  b.OnEventExecuted(EventFingerprint{0, 10, 1});
+  a.OnEventExecuted(EventFingerprint{1, 20, 2});
+  b.OnEventExecuted(EventFingerprint{1, 25, 2});  // diverges here
+  const ReplayReport report = CompareTraces(a, b);
+  ASSERT_FALSE(report.deterministic);
+  EXPECT_EQ(report.first_divergence, 1u);
+  EXPECT_NE(report.detail.find("vtime=20"), std::string::npos);
+  EXPECT_NE(report.detail.find("vtime=25"), std::string::npos);
+}
+
+TEST(DeterminismAuditTest, RngDrawCountIsFingerprinted) {
+  Rng rng(1);
+  EXPECT_EQ(rng.draw_count(), 0u);
+  (void)rng.Next();
+  (void)rng.NextDouble();
+  (void)rng.UniformInt(0, 9);
+  EXPECT_EQ(rng.draw_count(), 3u);
+}
+
+// --- Invariant auditing ----------------------------------------------------
+
+// A minimal auditable node for injecting invariant violations.
+class FakeReplica : public Auditable {
+ public:
+  explicit FakeReplica(NodeId id) : id_(id) {}
+
+  NodeId id() const override { return id_; }
+
+  void Audit(AuditScope& scope) const override {
+    if (ballot_.valid()) scope.BallotIs("log", ballot_);
+    for (const auto& [slot, digest] : chosen_) {
+      scope.Chosen("log", slot, digest);
+    }
+  }
+
+  void SetBallot(Ballot b) { ballot_ = b; }
+  void Choose(Slot slot, std::uint64_t digest) { chosen_[slot] = digest; }
+
+ private:
+  NodeId id_;
+  Ballot ballot_;
+  std::map<Slot, std::uint64_t> chosen_;
+};
+
+TEST(InvariantAuditTest, BallotRegressionTripsTheHook) {
+  InvariantAuditor auditor(/*fail_fast=*/false);
+  FakeReplica node(NodeId{1, 1});
+  auditor.Watch(&node);
+
+  node.SetBallot(Ballot{5, NodeId{1, 1}});
+  auditor.AuditNow();
+  EXPECT_TRUE(auditor.violations().empty());
+
+  node.SetBallot(Ballot{7, NodeId{1, 2}});  // monotone: fine
+  auditor.AuditNow();
+  EXPECT_TRUE(auditor.violations().empty());
+
+  node.SetBallot(Ballot{3, NodeId{1, 1}});  // regression: must trip
+  auditor.AuditNow();
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_NE(auditor.violations()[0].find("ballot regression"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditTest, DivergentChosenValueTripsTheHook) {
+  InvariantAuditor auditor(/*fail_fast=*/false);
+  FakeReplica a(NodeId{1, 1});
+  FakeReplica b(NodeId{1, 2});
+  auditor.Watch(&a);
+  auditor.Watch(&b);
+
+  Command cmd1;
+  cmd1.op = Command::Op::kPut;
+  cmd1.key = 9;
+  cmd1.value = "x";
+  Command cmd2 = cmd1;
+  cmd2.value = "y";
+
+  a.Choose(0, DigestCommand(cmd1));
+  b.Choose(0, DigestCommand(cmd1));
+  auditor.AuditNow();
+  EXPECT_TRUE(auditor.violations().empty());
+
+  // Node b now claims a *different* value was chosen in slot 1.
+  a.Choose(1, DigestCommand(cmd1));
+  b.Choose(1, DigestCommand(cmd2));
+  auditor.AuditNow();
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_NE(auditor.violations()[0].find("agreement violation"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditTest, QuorumIntersectionHelpers) {
+  // Majority quorums over 9 nodes intersect; disjoint split does not.
+  EXPECT_TRUE(InvariantAuditor::CountQuorumsIntersect(9, 5, 5));
+  EXPECT_TRUE(InvariantAuditor::CountQuorumsIntersect(9, 7, 3));  // FPaxos
+  EXPECT_FALSE(InvariantAuditor::CountQuorumsIntersect(9, 4, 5));
+  EXPECT_FALSE(InvariantAuditor::CountQuorumsIntersect(9, 0, 9));
+  // WPaxos grid: (Z - fz) + (fz + 1) = Z + 1 > Z always intersects.
+  EXPECT_TRUE(InvariantAuditor::GridQuorumsIntersect(5, 4, 2));
+  EXPECT_FALSE(InvariantAuditor::GridQuorumsIntersect(5, 2, 2));
+}
+
+TEST(InvariantAuditTest, FailFastAbortsOnViolation) {
+  ASSERT_DEATH(
+      {
+        InvariantAuditor auditor(/*fail_fast=*/true);
+        FakeReplica node(NodeId{1, 1});
+        auditor.Watch(&node);
+        node.SetBallot(Ballot{5, NodeId{1, 1}});
+        auditor.AuditNow();
+        node.SetBallot(Ballot{1, NodeId{1, 1}});
+        auditor.AuditNow();
+      },
+      "ballot regression");
+}
+
+// End-to-end: a real cluster run under the auditor reports no violations
+// (and the audit actually ran).
+TEST(InvariantAuditTest, CleanPaxosRunHasNoViolations) {
+  Config config = Config::Lan9("paxos");
+  Cluster cluster(config);
+  InvariantAuditor auditor(/*fail_fast=*/false);
+  cluster.sim().AddObserver(&auditor);
+  for (const NodeId& id : cluster.nodes()) {
+    auditor.Watch(cluster.node(id));
+  }
+  cluster.Start();
+  Client* client = cluster.NewClient(1);
+  for (RequestId r = 1; r <= 30; ++r) {
+    client->Put(static_cast<Key>(r % 5), "v" + std::to_string(r), cluster.TargetFor(1),
+                [](const Client::Reply&) {});
+  }
+  cluster.RunFor(2 * kSecond);
+  EXPECT_TRUE(auditor.violations().empty())
+      << auditor.violations().front();
+  EXPECT_GT(auditor.events_audited(), 0u);
+}
+
+}  // namespace
+}  // namespace paxi

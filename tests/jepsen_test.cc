@@ -5,6 +5,7 @@
 // consistent protocols must stay linearizable no matter what the nemesis
 // does to a minority.
 
+#include <memory>
 #include <string>
 
 #include "benchmark/runner.h"
@@ -18,7 +19,7 @@ namespace {
 /// Schedules random minority crashes plus link drops/slows/flakiness over
 /// the run. Deterministic per seed.
 void UnleashNemesis(Cluster& cluster, Time duration, std::uint64_t seed) {
-  auto* rng = new Rng(seed);  // owned by the scheduled closures' lifetime
+  auto rng = std::make_shared<Rng>(seed);  // kept alive by the closures
   Simulator& sim = cluster.sim();
   const auto nodes = cluster.nodes();
   const std::size_t minority = (nodes.size() - 1) / 2;
@@ -115,7 +116,7 @@ TEST(NemesisTest, WPaxosGridUnderChaos) {
 
   Cluster cluster(cfg);
   Simulator& sim = cluster.sim();
-  Rng* rng = new Rng(7);
+  auto rng = std::make_shared<Rng>(7);
   for (Time t = 200 * kMillisecond; t < 4 * kSecond;
        t += 250 * kMillisecond) {
     sim.At(sim.Now() + t, [&cluster, rng]() {

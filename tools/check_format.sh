@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Verifies that all C++ sources match the repo .clang-format style.
+#
+# Usage:
+#   tools/check_format.sh          # check only (CI mode)
+#   tools/check_format.sh --fix    # rewrite files in place
+#
+# Exits 0 with a notice when clang-format is not installed, so toolchains
+# without clang can still run the full check suite.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+FORMAT_BIN="${CLANG_FORMAT:-}"
+if [[ -n "$FORMAT_BIN" ]] && ! command -v "$FORMAT_BIN" > /dev/null 2>&1; then
+  echo "check_format.sh: CLANG_FORMAT='$FORMAT_BIN' is not runnable." >&2
+  exit 1
+fi
+if [[ -z "$FORMAT_BIN" ]]; then
+  for candidate in clang-format clang-format-{21,20,19,18,17,16,15}; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      FORMAT_BIN="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$FORMAT_BIN" ]]; then
+  echo "check_format.sh: clang-format not found; skipping (install" \
+       "clang-format or set CLANG_FORMAT to enable)." >&2
+  exit 0
+fi
+
+mapfile -t files < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" \
+  "$ROOT/examples" -name '*.cc' -o -name '*.h' | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$FORMAT_BIN" -i "${files[@]}"
+  echo "check_format.sh: formatted ${#files[@]} files."
+  exit 0
+fi
+
+if ! "$FORMAT_BIN" --dry-run --Werror "${files[@]}"; then
+  echo "check_format.sh: style violations found; run" \
+       "'tools/check_format.sh --fix'." >&2
+  exit 1
+fi
+echo "check_format.sh: clean (${#files[@]} files)."

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: repo-root .clang-tidy) over every source file in
+# src/, against the compilation database of the `tidy` CMake preset.
+#
+# Usage:
+#   tools/run_tidy.sh            # all of src/
+#   tools/run_tidy.sh FILE...    # just the named files
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call unconditionally from CI matrices and pre-commit hooks that
+# run on toolchains without clang.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${TIDY_BUILD_DIR:-$ROOT/build-tidy}"
+
+TIDY_BIN="${CLANG_TIDY:-}"
+if [[ -n "$TIDY_BIN" ]] && ! command -v "$TIDY_BIN" > /dev/null 2>&1; then
+  echo "run_tidy.sh: CLANG_TIDY='$TIDY_BIN' is not runnable." >&2
+  exit 1
+fi
+if [[ -z "$TIDY_BIN" ]]; then
+  for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15}; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      TIDY_BIN="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$TIDY_BIN" ]]; then
+  echo "run_tidy.sh: clang-tidy not found; skipping (install clang-tidy" \
+       "or set CLANG_TIDY to enable)." >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy.sh: configuring '$BUILD_DIR' for the compilation database"
+  cmake --preset tidy > /dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find "$ROOT/src" -name '*.cc' | sort)
+fi
+
+echo "run_tidy.sh: $TIDY_BIN over ${#files[@]} files"
+status=0
+for f in "${files[@]}"; do
+  "$TIDY_BIN" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "run_tidy.sh: clang-tidy reported findings (see above)." >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean."
