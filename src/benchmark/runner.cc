@@ -62,6 +62,11 @@ struct ClientLoop : std::enable_shared_from_this<ClientLoop> {
     BenchResult* result = &state->result;
     const BenchOptions* options = &state->options;
     const Time response = sim.Now();
+    if (options->availability != nullptr) {
+      options->availability->RecordOp(
+          response, reply.latency,
+          reply.status.ok() || reply.status.IsNotFound());
+    }
     const bool in_window = invoke >= measure_start && response <= deadline;
     if (in_window) {
       if (reply.status.ok() || reply.status.IsNotFound()) {
@@ -146,6 +151,10 @@ BenchResult BenchRunner::Run() {
 
   // Run through the measured window plus a grace period for in-flight
   // requests (they do not count, but their callbacks must not dangle).
+  sim.RunUntil(deadline);
+  // The availability timeline closes at the deadline: straggler replies
+  // landing during the grace period belong to no bucket.
+  if (options_.availability != nullptr) options_.availability->Finalize(deadline);
   sim.RunUntil(deadline + config.client_timeout + kSecond);
 
   BenchResult result = state->result;

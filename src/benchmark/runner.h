@@ -8,6 +8,7 @@
 #include "checker/linearizability.h"
 #include "common/stats.h"
 #include "core/cluster.h"
+#include "fault/telemetry.h"
 #include "workload/workload.h"
 
 namespace paxi {
@@ -32,6 +33,11 @@ struct BenchOptions {
   double duration_s = 5.0;
   /// Collect per-op records for the linearizability checker.
   bool record_ops = false;
+  /// Optional availability telemetry sink (fault/telemetry.h): every reply
+  /// — including warmup/bootstrap-era and failed ones — is recorded, and
+  /// the tracker is finalized at the measurement deadline. Not owned; must
+  /// outlive the run.
+  AvailabilityTracker* availability = nullptr;
 };
 
 /// Outcome of one benchmark run.

@@ -1,5 +1,6 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -14,6 +15,10 @@ Client::Client(ClientId cid, int zone, Simulator* sim, Transport* transport,
       transport_(transport),
       config_(config) {
   PAXI_CHECK(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
+  backoff_base_ =
+      config_->GetParamInt("client_backoff_ms", 25) * kMillisecond;
+  backoff_max_ =
+      config_->GetParamInt("client_backoff_max_ms", 1000) * kMillisecond;
 }
 
 void Client::Issue(Command cmd, NodeId target, Callback done) {
@@ -77,8 +82,36 @@ void Client::ArmTimeout(RequestId rid, std::uint64_t epoch) {
     ++p.attempts;
     ++p.epoch;
     p.target = NextTarget(p.target);
-    SendRequest(p);
-    ArmTimeout(rid, p.epoch);
+    ScheduleRetry(rid);
+  });
+}
+
+Time Client::RetryDelay(int attempts_made) {
+  if (backoff_base_ <= 0) return 0;
+  // Exponential growth capped at backoff_max_, with jitter in [d/2, d) so
+  // a fleet of clients that timed out together does not retry in lockstep.
+  const int shift = std::min(attempts_made - 1, 20);
+  Time d = backoff_base_ << shift;
+  if (d > backoff_max_ || d <= 0) d = backoff_max_;
+  const Time half = std::max<Time>(d / 2, 1);
+  return half + sim_->rng().UniformInt(0, half - 1);
+}
+
+void Client::ScheduleRetry(RequestId rid) {
+  auto it = pending_.find(rid);
+  PAXI_CHECK(it != pending_.end());
+  const std::uint64_t epoch = it->second.epoch;
+  const Time delay = RetryDelay(it->second.attempts - 1);
+  if (delay <= 0) {
+    SendRequest(it->second);
+    ArmTimeout(rid, epoch);
+    return;
+  }
+  sim_->After(delay, [this, rid, epoch]() {
+    auto p = pending_.find(rid);
+    if (p == pending_.end() || p->second.epoch != epoch) return;
+    SendRequest(p->second);
+    ArmTimeout(rid, epoch);
   });
 }
 
@@ -99,16 +132,21 @@ void Client::Deliver(MessagePtr msg) {
   if (it == pending_.end()) return;  // duplicate or post-timeout reply
   Pending& p = it->second;
   if (!reply->ok && p.attempts < kMaxAttempts) {
-    // Rejected (e.g. by a non-leader): retry immediately, following the
-    // leader hint when one was provided.
+    // Rejected (e.g. by a non-leader): retry, following the leader hint
+    // when one was provided. A hinted retry goes out immediately — the
+    // rejecting node told us exactly where the leader is — while a blind
+    // one backs off like a timeout retry.
     ++p.attempts;
     ++p.epoch;
-    p.target = reply->leader_hint.valid() &&
-                       reply->leader_hint.node < Client::kClientNodeBase
-                   ? reply->leader_hint
-                   : NextTarget(p.target);
-    SendRequest(p);
-    ArmTimeout(reply->request, p.epoch);
+    const bool hinted = reply->leader_hint.valid() &&
+                        reply->leader_hint.node < Client::kClientNodeBase;
+    p.target = hinted ? reply->leader_hint : NextTarget(p.target);
+    if (hinted) {
+      SendRequest(p);
+      ArmTimeout(reply->request, p.epoch);
+    } else {
+      ScheduleRetry(reply->request);
+    }
     return;
   }
   Reply out;

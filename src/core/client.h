@@ -19,6 +19,12 @@ namespace paxi {
 /// minus HTTP: requests are ClientRequest messages over the same transport,
 /// so the client-to-leader distance D_L is modeled by the topology.
 ///
+/// Retries back off exponentially with jitter (params "client_backoff_ms"
+/// base, 0 disables, and "client_backoff_max_ms" cap), so a crashed leader
+/// does not turn every closed-loop client into a retry storm. Retries that
+/// follow an explicit leader hint skip the backoff — the hint says exactly
+/// where to go.
+///
 /// Clients model no processing cost — the paper's queueing analysis puts
 /// the bottleneck at replicas, and benchmark clients must not be one.
 class Client : public Endpoint {
@@ -72,12 +78,20 @@ class Client : public Endpoint {
   void SendRequest(const Pending& p);
   void ArmTimeout(RequestId rid, std::uint64_t epoch);
   NodeId NextTarget(NodeId current) const;
+  /// Jittered, capped exponential backoff before the retry numbered
+  /// `attempts_made` (1 = first retry). 0 when backoff is disabled.
+  Time RetryDelay(int attempts_made);
+  /// Re-sends `rid` (already re-targeted, attempts/epoch bumped) after the
+  /// backoff delay; the timeout re-arms when the request actually departs.
+  void ScheduleRetry(RequestId rid);
 
   NodeId id_;
   ClientId cid_;
   Simulator* sim_;
   Transport* transport_;
   const Config* config_;
+  Time backoff_base_ = 0;
+  Time backoff_max_ = 0;
   RequestId next_request_ = 1;
   std::map<RequestId, Pending> pending_;
   std::size_t timeouts_ = 0;

@@ -74,6 +74,7 @@ Cluster::Cluster(Config config) : config_(std::move(config)) {
   auto it = Registry().find(config_.protocol);
   PAXI_CHECK(it != Registry().end(), "unknown protocol: " + config_.protocol);
   traits_ = it->second.traits;
+  factory_ = it->second.factory;
 
   leader_ = ParseNodeId(config_.GetParam("leader", "1.1"));
   if (!leader_.valid()) leader_ = NodeId{1, 1};
@@ -155,6 +156,53 @@ void Cluster::CrashNode(NodeId id, Time duration) {
   auto it = nodes_.find(id);
   PAXI_CHECK(it != nodes_.end());
   it->second->Crash(duration);
+}
+
+void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
+  auto it = nodes_.find(id);
+  PAXI_CHECK(it != nodes_.end());
+  PAXI_CHECK(downtime > 0, "restart downtime must be positive");
+  // While down the node is absent from the transport: messages in flight
+  // and newly sent both become dead letters, matching a dead process
+  // rather than a frozen one.
+  transport_->Unregister(id);
+
+  if (mode == RestartMode::kDurable) {
+    // Freeze the node so its armed timers hold until the outage ends.
+    it->second->Crash(downtime);
+    sim_->After(downtime, [this, id]() {
+      auto alive = nodes_.find(id);
+      if (alive == nodes_.end()) return;  // superseded by amnesia restart
+      if (!transport_->IsRegistered(id)) {
+        transport_->Register(alive->second.get());
+      }
+      alive->second->Rejoin();
+    });
+    return;
+  }
+
+  // Amnesia: destroy the replica now (its queued deliveries/timers become
+  // no-ops via the liveness token) and build a fresh one at wake-up. The
+  // auditor forgets the old incarnation's ballots — the newborn starts
+  // from zero legitimately — but keeps the cluster's agreement history.
+  if (auditor_ != nullptr) auditor_->ForgetNode(id);
+  nodes_.erase(it);
+  sim_->After(downtime, [this, id]() {
+    if (nodes_.find(id) != nodes_.end()) return;  // already reborn
+    Node::Env env{sim_.get(), transport_.get(), &config_};
+    auto node = factory_(id, env, config_);
+    Node* raw = node.get();
+    nodes_.emplace(id, std::move(node));
+    if (!transport_->IsRegistered(id)) transport_->Register(raw);
+    if (auditor_ != nullptr) auditor_->Watch(raw);
+    raw->Start();
+  });
+}
+
+void Cluster::SetClockSkew(NodeId id, double factor) {
+  auto it = nodes_.find(id);
+  PAXI_CHECK(it != nodes_.end());
+  it->second->SetClockSkew(factor);
 }
 
 std::size_t Cluster::TotalMessagesProcessed() const {

@@ -90,6 +90,28 @@ class Cluster {
   /// Freezes a node for `duration` (availability experiments).
   void CrashNode(NodeId id, Time duration);
 
+  /// How a node comes back from a crash-restart.
+  enum class RestartMode {
+    /// State survived on disk: the node rejoins with its log, ballots and
+    /// store intact (the common fail-recover model).
+    kDurable,
+    /// Total state loss: the node is destroyed and a fresh replica is
+    /// created in its place — it must relearn everything through the
+    /// protocol's catch-up path.
+    kAmnesia,
+  };
+
+  /// Takes `id` down for `downtime` — it is unregistered from the
+  /// transport, so in-flight and new messages to it are dropped (unlike
+  /// CrashNode's freeze, which queues them) — then brings it back per
+  /// `mode` and calls Node::Rejoin (durable) or Start (amnesia).
+  void RestartNode(NodeId id, Time downtime,
+                   RestartMode mode = RestartMode::kDurable);
+
+  /// Scales all subsequently armed timers of `id` by `factor`
+  /// (Node::SetClockSkew).
+  void SetClockSkew(NodeId id, double factor);
+
   /// Sum of messages processed across replicas; per-node counters are on
   /// Node itself.
   std::size_t TotalMessagesProcessed() const;
@@ -101,6 +123,7 @@ class Cluster {
  private:
   Config config_;
   ProtocolTraits traits_;
+  NodeFactory factory_;  ///< Kept for amnesia restarts (node re-creation).
   NodeId leader_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<Transport> transport_;

@@ -16,6 +16,8 @@ Node::Node(NodeId id, Env env)
   peers_ = config_->Nodes();
 }
 
+Node::~Node() { *alive_ = false; }
+
 std::vector<NodeId> Node::PeersInZone(int zone) const {
   std::vector<NodeId> out;
   for (const NodeId& p : peers_) {
@@ -45,9 +47,11 @@ void Node::Deliver(MessagePtr msg) {
                         proc_multiplier_) +
       NicTime(msg->ByteSize());
   busy_until_ = start + cost;
-  sim_->At(busy_until_, [this, msg = std::move(msg)]() mutable {
-    Dispatch(std::move(msg));
-  });
+  sim_->At(busy_until_,
+           [this, alive = alive_, msg = std::move(msg)]() mutable {
+             if (!*alive) return;
+             Dispatch(std::move(msg));
+           });
 }
 
 void Node::Dispatch(MessagePtr msg) {
@@ -86,8 +90,36 @@ void Node::BroadcastShared(const std::vector<NodeId>& targets,
   }
 }
 
+bool Node::AdmitRequest(const ClientRequest& req) {
+  if (!req.cmd.IsWrite()) return true;
+  Session& s = sessions_[req.cmd.client];
+  if (req.cmd.request > s.newest) {
+    s.newest = req.cmd.request;
+    s.replied = false;
+    return true;
+  }
+  if (req.cmd.request == s.newest && s.replied) {
+    // Lost-reply retry: the write already executed; answer from the
+    // session record instead of proposing it a second time.
+    ReplyToClient(req, true, s.value, s.found);
+  }
+  // Stale request, or a duplicate of a proposal still in flight: drop.
+  return false;
+}
+
 void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
                          bool found, NodeId leader_hint) {
+  if (ok && req.cmd.IsWrite()) {
+    // Record the terminal answer so AdmitRequest can replay it when a
+    // duplicate of this request surfaces later.
+    Session& s = sessions_[req.cmd.client];
+    if (req.cmd.request >= s.newest) {
+      s.newest = req.cmd.request;
+      s.replied = true;
+      s.value = value;
+      s.found = found;
+    }
+  }
   ClientReply reply;
   reply.request = req.cmd.request;
   reply.client = req.cmd.client;
@@ -103,12 +135,25 @@ void Node::Crash(Time duration) {
   busy_until_ = std::max(busy_until_, crashed_until_);
 }
 
+void Node::SetClockSkew(double factor) {
+  PAXI_CHECK(factor > 0.0, "clock skew factor must be positive");
+  clock_skew_ = factor;
+}
+
 void Node::SetTimer(Time delay, std::function<void()> fn) {
-  sim_->After(delay, [this, fn = std::move(fn)]() {
+  Time scaled = delay;
+  if (clock_skew_ != 1.0) {
+    scaled = static_cast<Time>(static_cast<double>(delay) * clock_skew_);
+  }
+  ArmTimer(scaled, std::move(fn));
+}
+
+void Node::ArmTimer(Time delay, std::function<void()> fn) {
+  sim_->After(delay, [this, alive = alive_, fn = std::move(fn)]() mutable {
+    if (!*alive) return;
     if (IsCrashed()) {
       // Postpone timer callbacks past the freeze, preserving order.
-      const Time remaining = crashed_until_ - sim_->Now();
-      sim_->After(remaining, fn);
+      ArmTimer(crashed_until_ - sim_->Now(), std::move(fn));
       return;
     }
     ScopedCheckContext ctx(

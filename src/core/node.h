@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <typeindex>
 #include <unordered_map>
@@ -39,7 +40,7 @@ class Node : public Endpoint, public Auditable {
   };
 
   Node(NodeId id, Env env);
-  ~Node() override = default;
+  ~Node() override;
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -58,11 +59,24 @@ class Node : public Endpoint, public Auditable {
   /// Protocols start leadership / heartbeat timers here.
   virtual void Start() {}
 
+  /// Hook invoked by Cluster::RestartNode when this node wakes from a
+  /// durable crash-restart: state survived but the world may have moved on
+  /// (new leader, advanced log). Protocols override to step down from any
+  /// leadership role and rejoin as a follower; catch-up then happens
+  /// through their normal recovery paths. Default: nothing.
+  virtual void Rejoin() {}
+
   /// Freezes the node for `duration` (paper §4.2 Crash(t)): no message is
   /// processed and no timer fires until the freeze ends; arrivals queue up
   /// behind it.
   void Crash(Time duration);
   bool IsCrashed() const { return sim_->Now() < crashed_until_; }
+
+  /// Clock-skew fault (§4.2 family): scales every subsequently armed timer
+  /// delay by `factor` (> 1 = slow clock: timeouts fire late; < 1 = fast
+  /// clock: timeouts fire early). Already-armed timers are unaffected.
+  void SetClockSkew(double factor);
+  double clock_skew() const { return clock_skew_; }
 
   /// All replica ids in the cluster (zone-major order).
   const std::vector<NodeId>& peers() const { return peers_; }
@@ -134,6 +148,17 @@ class Node : public Endpoint, public Auditable {
   void ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
                      bool found, NodeId leader_hint = NodeId::Invalid());
 
+  /// At-most-once admission filter for client *writes* (reads are
+  /// idempotent and always admitted). Message duplication and client
+  /// retransmission can surface the same request twice at a proposer;
+  /// re-proposing a duplicate after a later write to the same key is a
+  /// lost-update anomaly. Call at every proposal point. Returns true when
+  /// the request should be proposed; on a duplicate of an already-answered
+  /// request it re-sends the stored reply and returns false; on a stale or
+  /// still-in-flight duplicate it returns false (the client's retry path
+  /// covers the lost-reply case).
+  bool AdmitRequest(const ClientRequest& req);
+
   /// Schedules `fn` after `delay`; if the node is frozen when it fires, the
   /// callback is postponed to the unfreeze instant.
   void SetTimer(Time delay, std::function<void()> fn);
@@ -160,9 +185,21 @@ class Node : public Endpoint, public Auditable {
   KvStore store_;
 
  private:
+  /// Per-client write-session record for AdmitRequest: closed-loop clients
+  /// have at most one write outstanding, so tracking the newest request id
+  /// (plus its reply, once sent) suffices for exactly-once semantics.
+  struct Session {
+    RequestId newest = 0;
+    bool replied = false;
+    Value value;
+    bool found = false;
+  };
+
   void SendShared(NodeId to, MessagePtr msg);
   void BroadcastShared(const std::vector<NodeId>& targets, MessagePtr msg);
   void Dispatch(MessagePtr msg);
+  /// Arms `fn` after an already-skew-scaled `delay`, guarded by `alive_`.
+  void ArmTimer(Time delay, std::function<void()> fn);
 
   NodeId id_;
   std::string id_str_;  ///< Stable "zone.node" string for check context.
@@ -175,8 +212,15 @@ class Node : public Endpoint, public Auditable {
   Time busy_until_ = 0;
   Time crashed_until_ = 0;
   double proc_multiplier_ = 1.0;
+  double clock_skew_ = 1.0;
   std::size_t messages_processed_ = 0;
   std::size_t messages_sent_ = 0;
+  std::map<ClientId, Session> sessions_;
+  /// Liveness token shared with every scheduled event that captures
+  /// `this`. An amnesia restart destroys the Node while its deliveries and
+  /// timers are still queued in the simulator; the destructor flips the
+  /// token and those events become no-ops instead of use-after-frees.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace paxi

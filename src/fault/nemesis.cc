@@ -1,0 +1,122 @@
+#include "fault/nemesis.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace paxi {
+
+Nemesis::Nemesis(Cluster* cluster, FaultSchedule schedule,
+                 AvailabilityTracker* telemetry)
+    : cluster_(cluster),
+      schedule_(std::move(schedule)),
+      telemetry_(telemetry) {
+  PAXI_CHECK(cluster_ != nullptr);
+  schedule_.Sort();
+}
+
+void Nemesis::Arm() {
+  PAXI_CHECK(!armed_, "a Nemesis can only be armed once");
+  armed_ = true;
+  Simulator& sim = cluster_->sim();
+  for (const FaultEvent& event : schedule_.events) {
+    // Events in the past of the current virtual time are applied at the
+    // next possible instant (Simulator::At clamps internally via After).
+    const FaultAction& action = event.action;
+    sim.At(event.at, [this, &action]() {
+      if (telemetry_ != nullptr) {
+        telemetry_->RecordFault(cluster_->sim().Now(), action.Describe());
+      }
+      ++executed_;
+      Apply(action);
+    });
+  }
+}
+
+template <typename Fn>
+void Nemesis::ForEachLink(const FaultAction& action, Fn&& fn) {
+  if (action.a.valid() && action.b.valid()) {
+    fn(action.a, action.b);
+    return;
+  }
+  for (const NodeId& i : cluster_->nodes()) {
+    for (const NodeId& j : cluster_->nodes()) {
+      if (i != j) fn(i, j);
+    }
+  }
+}
+
+void Nemesis::Apply(const FaultAction& action) {
+  Transport& transport = cluster_->transport();
+  switch (action.kind) {
+    case FaultAction::Kind::kNone:
+      break;
+    case FaultAction::Kind::kPartition:
+      transport.Partition(action.groups, action.duration);
+      break;
+    case FaultAction::Kind::kIsolate: {
+      std::vector<NodeId> rest;
+      for (const NodeId& n : cluster_->nodes()) {
+        if (n != action.node) rest.push_back(n);
+      }
+      transport.Partition({{action.node}, rest}, action.duration);
+      break;
+    }
+    case FaultAction::Kind::kRing: {
+      // Each node keeps only its two ring neighbors (in node-list order):
+      // the topology stays connected but no majority sees itself directly.
+      const std::vector<NodeId>& nodes = cluster_->nodes();
+      const std::size_t n = nodes.size();
+      if (n < 4) break;  // with <4 nodes a ring cuts nothing
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const std::size_t dist = i < j ? j - i : i - j;
+          if (dist == 1 || dist == n - 1) continue;  // neighbors stay up
+          transport.Drop(nodes[i], nodes[j], action.duration);
+        }
+      }
+      break;
+    }
+    case FaultAction::Kind::kHeal:
+      transport.Heal();
+      break;
+    case FaultAction::Kind::kCrash:
+      cluster_->CrashNode(action.node, action.duration);
+      break;
+    case FaultAction::Kind::kRestart:
+      cluster_->RestartNode(action.node, action.duration,
+                            action.restart_mode);
+      break;
+    case FaultAction::Kind::kDrop:
+      ForEachLink(action, [&](NodeId i, NodeId j) {
+        transport.Drop(i, j, action.duration);
+      });
+      break;
+    case FaultAction::Kind::kSlow:
+      ForEachLink(action, [&](NodeId i, NodeId j) {
+        transport.Slow(i, j, action.extra, action.duration);
+      });
+      break;
+    case FaultAction::Kind::kFlaky:
+      ForEachLink(action, [&](NodeId i, NodeId j) {
+        transport.Flaky(i, j, action.p, action.duration);
+      });
+      break;
+    case FaultAction::Kind::kDuplicate:
+      ForEachLink(action, [&](NodeId i, NodeId j) {
+        transport.Duplicate(i, j, action.p, action.duration);
+      });
+      break;
+    case FaultAction::Kind::kReorder:
+      ForEachLink(action, [&](NodeId i, NodeId j) {
+        transport.Reorder(i, j, action.p, action.extra, action.duration);
+      });
+      break;
+    case FaultAction::Kind::kClockSkew:
+      cluster_->SetClockSkew(action.node, action.skew);
+      break;
+  }
+}
+
+}  // namespace paxi

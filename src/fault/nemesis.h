@@ -1,0 +1,53 @@
+#ifndef PAXI_FAULT_NEMESIS_H_
+#define PAXI_FAULT_NEMESIS_H_
+
+#include <cstddef>
+
+#include "core/cluster.h"
+#include "fault/schedule.h"
+#include "fault/telemetry.h"
+
+namespace paxi {
+
+/// Executes a declarative FaultSchedule against a cluster: Arm() pins each
+/// event onto the simulator's timeline, and as virtual time reaches it the
+/// action is translated into the corresponding Cluster / Transport
+/// primitive. Because the schedule is plain data and the simulator is
+/// deterministic, a nemesis run replays byte-identically from the same
+/// seed — the Jepsen-style property that makes fault bugs debuggable.
+///
+/// When a telemetry sink is given, every applied action is recorded as a
+/// FaultMark (Heal included), so the availability timeline can attribute
+/// outage windows and recovery times to specific faults.
+///
+/// The Nemesis must outlive the simulation it armed.
+class Nemesis {
+ public:
+  Nemesis(Cluster* cluster, FaultSchedule schedule,
+          AvailabilityTracker* telemetry = nullptr);
+
+  /// Schedules every event. Call once, before (or while) running the sim.
+  void Arm();
+
+  /// Events applied so far.
+  std::size_t executed() const { return executed_; }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void Apply(const FaultAction& action);
+  /// Expands a link-scoped action to every ordered replica pair when its
+  /// endpoints are Invalid.
+  template <typename Fn>
+  void ForEachLink(const FaultAction& action, Fn&& fn);
+
+  Cluster* cluster_;
+  FaultSchedule schedule_;
+  AvailabilityTracker* telemetry_;
+  bool armed_ = false;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_FAULT_NEMESIS_H_

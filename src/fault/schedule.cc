@@ -1,0 +1,277 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace paxi {
+
+namespace {
+
+std::string Ms(Time t) { return std::to_string(t / kMillisecond) + "ms"; }
+
+std::string Prob(double p) {
+  // Two decimals is enough for schedule identity; avoids locale surprises.
+  const auto scaled = static_cast<int>(p * 100 + 0.5);
+  return "p=0." + std::string(scaled < 10 ? "0" : "") + std::to_string(scaled);
+}
+
+std::string LinkName(const NodeId& a, const NodeId& b) {
+  if (!a.valid() && !b.valid()) return "*";
+  return a.ToString() + ">" + b.ToString();
+}
+
+}  // namespace
+
+FaultAction FaultAction::Partition(std::vector<std::vector<NodeId>> groups,
+                                   Time duration) {
+  FaultAction action;
+  action.kind = Kind::kPartition;
+  action.groups = std::move(groups);
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Isolate(NodeId node, Time duration) {
+  FaultAction action;
+  action.kind = Kind::kIsolate;
+  action.node = node;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Ring(Time duration) {
+  FaultAction action;
+  action.kind = Kind::kRing;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Heal() {
+  FaultAction action;
+  action.kind = Kind::kHeal;
+  return action;
+}
+
+FaultAction FaultAction::Crash(NodeId node, Time duration) {
+  FaultAction action;
+  action.kind = Kind::kCrash;
+  action.node = node;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Restart(NodeId node, Time downtime,
+                                 Cluster::RestartMode mode) {
+  FaultAction action;
+  action.kind = Kind::kRestart;
+  action.node = node;
+  action.duration = downtime;
+  action.restart_mode = mode;
+  return action;
+}
+
+FaultAction FaultAction::Drop(NodeId a, NodeId b, Time duration) {
+  FaultAction action;
+  action.kind = Kind::kDrop;
+  action.a = a;
+  action.b = b;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Slow(NodeId a, NodeId b, Time max_extra,
+                              Time duration) {
+  FaultAction action;
+  action.kind = Kind::kSlow;
+  action.a = a;
+  action.b = b;
+  action.extra = max_extra;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Flaky(NodeId a, NodeId b, double p, Time duration) {
+  FaultAction action;
+  action.kind = Kind::kFlaky;
+  action.a = a;
+  action.b = b;
+  action.p = p;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Duplicate(NodeId a, NodeId b, double p,
+                                   Time duration) {
+  FaultAction action;
+  action.kind = Kind::kDuplicate;
+  action.a = a;
+  action.b = b;
+  action.p = p;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::Reorder(NodeId a, NodeId b, double p, Time max_extra,
+                                 Time duration) {
+  FaultAction action;
+  action.kind = Kind::kReorder;
+  action.a = a;
+  action.b = b;
+  action.p = p;
+  action.extra = max_extra;
+  action.duration = duration;
+  return action;
+}
+
+FaultAction FaultAction::ClockSkew(NodeId node, double factor) {
+  FaultAction action;
+  action.kind = Kind::kClockSkew;
+  action.node = node;
+  action.skew = factor;
+  return action;
+}
+
+std::string FaultAction::Describe() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kPartition: {
+      std::string s = "partition {";
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g > 0) s += "|";
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+          if (i > 0) s += " ";
+          s += groups[g][i].ToString();
+        }
+      }
+      return s + "} " + Ms(duration);
+    }
+    case Kind::kIsolate:
+      return "isolate " + node.ToString() + " " + Ms(duration);
+    case Kind::kRing:
+      return "ring " + Ms(duration);
+    case Kind::kHeal:
+      return "heal";
+    case Kind::kCrash:
+      return "crash " + node.ToString() + " " + Ms(duration);
+    case Kind::kRestart:
+      return "restart " + node.ToString() + " " + Ms(duration) +
+             (restart_mode == Cluster::RestartMode::kDurable ? " durable"
+                                                             : " amnesia");
+    case Kind::kDrop:
+      return "drop " + LinkName(a, b) + " " + Ms(duration);
+    case Kind::kSlow:
+      return "slow " + LinkName(a, b) + " +" + Ms(extra) + " " + Ms(duration);
+    case Kind::kFlaky:
+      return "flaky " + LinkName(a, b) + " " + Prob(p) + " " + Ms(duration);
+    case Kind::kDuplicate:
+      return "duplicate " + LinkName(a, b) + " " + Prob(p) + " " +
+             Ms(duration);
+    case Kind::kReorder:
+      return "reorder " + LinkName(a, b) + " " + Prob(p) + " +" + Ms(extra) +
+             " " + Ms(duration);
+    case Kind::kClockSkew:
+      return "clock-skew " + node.ToString() + " x" +
+             std::to_string(skew);
+  }
+  return "none";
+}
+
+void FaultSchedule::Sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+}
+
+std::string FaultSchedule::Describe() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += "@" + Ms(e.at) + " " + e.action.Describe() + "\n";
+  }
+  return out;
+}
+
+FaultSchedule MakeBuiltinSchedule(BuiltinNemesis which,
+                                  const std::vector<NodeId>& nodes,
+                                  NodeId leader, const NemesisOptions& opts) {
+  FaultSchedule schedule;
+  Rng rng(opts.seed);
+  std::size_t next_victim = 0;  // rolling pointer for crash-restart
+  for (Time at = opts.start; at < opts.horizon; at += opts.period) {
+    switch (which) {
+      case BuiltinNemesis::kRandomPartitioner: {
+        if (nodes.size() < 2) break;
+        std::vector<NodeId> shuffled = nodes;
+        rng.Shuffle(&shuffled);
+        // A random minority on one side (1 .. floor(n/2) nodes), so the
+        // majority side keeps a quorum and the cluster stays decidable.
+        const auto cut = static_cast<std::size_t>(
+            rng.UniformInt(1, static_cast<std::int64_t>(nodes.size() / 2)));
+        std::vector<NodeId> side_a(shuffled.begin(),
+                                   shuffled.begin() + static_cast<long>(cut));
+        std::vector<NodeId> side_b(shuffled.begin() + static_cast<long>(cut),
+                                   shuffled.end());
+        schedule.events.push_back(FaultEvent{
+            at, FaultAction::Partition({std::move(side_a), std::move(side_b)},
+                                       opts.fault_duration)});
+        schedule.events.push_back(
+            FaultEvent{at + opts.fault_duration, FaultAction::Heal()});
+        break;
+      }
+      case BuiltinNemesis::kIsolateLeader: {
+        schedule.events.push_back(
+            FaultEvent{at, FaultAction::Isolate(leader, opts.fault_duration)});
+        schedule.events.push_back(
+            FaultEvent{at + opts.fault_duration, FaultAction::Heal()});
+        break;
+      }
+      case BuiltinNemesis::kRollingCrashRestart: {
+        if (nodes.empty()) break;
+        const NodeId victim = nodes[next_victim % nodes.size()];
+        ++next_victim;
+        schedule.events.push_back(FaultEvent{
+            at, FaultAction::Restart(victim, opts.fault_duration,
+                                     opts.restart_mode)});
+        break;
+      }
+      case BuiltinNemesis::kFlakyEverything: {
+        if (nodes.size() < 2) break;
+        // One global flaky spell plus duplication on a random link pair;
+        // optionally reordering on another.
+        schedule.events.push_back(FaultEvent{
+            at, FaultAction::Flaky(NodeId::Invalid(), NodeId::Invalid(),
+                                   opts.flaky_p, opts.fault_duration)});
+        const auto pick = [&]() {
+          return nodes[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(nodes.size()) - 1))];
+        };
+        NodeId da = pick();
+        NodeId db = pick();
+        if (da != db) {
+          schedule.events.push_back(FaultEvent{
+              at, FaultAction::Duplicate(da, db, opts.duplicate_p,
+                                         opts.fault_duration)});
+        }
+        if (opts.include_reorder) {
+          NodeId ra = pick();
+          NodeId rb = pick();
+          if (ra != rb) {
+            schedule.events.push_back(FaultEvent{
+                at, FaultAction::Reorder(ra, rb, opts.reorder_p,
+                                         5 * kMillisecond,
+                                         opts.fault_duration)});
+          }
+        }
+        schedule.events.push_back(
+            FaultEvent{at + opts.fault_duration, FaultAction::Heal()});
+        break;
+      }
+    }
+  }
+  schedule.Sort();
+  return schedule;
+}
+
+}  // namespace paxi

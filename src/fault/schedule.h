@@ -1,0 +1,128 @@
+#ifndef PAXI_FAULT_SCHEDULE_H_
+#define PAXI_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/cluster.h"
+
+namespace paxi {
+
+/// One declarative fault to inject — the paper's §4.2 failure-injection
+/// primitives (partition / crash / drop / slow / flaky) plus the
+/// extensions this framework adds (restart, duplicate, reorder, clock
+/// skew). Build actions with the static constructors; a default-constructed
+/// action is invalid.
+///
+/// An action is pure data: applying it to a cluster is the Nemesis
+/// driver's job (fault/nemesis.h), which keeps schedules serializable,
+/// comparable (Describe) and replayable from the same seed.
+struct FaultAction {
+  enum class Kind {
+    kNone,
+    kPartition,   ///< Symmetric split into groups (Transport::Partition).
+    kIsolate,     ///< One node vs everyone else (symmetric).
+    kRing,        ///< Each node reaches only its ring neighbors.
+    kHeal,        ///< Clear all link faults (Transport::Heal).
+    kCrash,       ///< Freeze a node (Cluster::CrashNode).
+    kRestart,     ///< Take a node down and bring it back (RestartNode).
+    kDrop,        ///< Hard drop on a link (or every link).
+    kSlow,        ///< Extra delay on a link (or every link).
+    kFlaky,       ///< Probabilistic loss on a link (or every link).
+    kDuplicate,   ///< Probabilistic duplication on a link (or every link).
+    kReorder,     ///< Bounded reordering on a link (or every link).
+    kClockSkew,   ///< Scale one node's timers (Cluster::SetClockSkew).
+  };
+
+  Kind kind = Kind::kNone;
+  /// kPartition: the groups to split into.
+  std::vector<std::vector<NodeId>> groups;
+  /// Node-scoped actions (isolate/crash/restart/clock-skew).
+  NodeId node = NodeId::Invalid();
+  /// Link-scoped actions: the (a -> b) link; both Invalid = every ordered
+  /// pair of replicas.
+  NodeId a = NodeId::Invalid();
+  NodeId b = NodeId::Invalid();
+  Time duration = 0;   ///< Fault lifetime (or restart downtime).
+  double p = 0.0;      ///< Flaky / duplicate / reorder probability.
+  Time extra = 0;      ///< Slow / reorder max extra delay.
+  Cluster::RestartMode restart_mode = Cluster::RestartMode::kDurable;
+  double skew = 1.0;   ///< Clock-skew factor.
+
+  static FaultAction Partition(std::vector<std::vector<NodeId>> groups,
+                               Time duration);
+  static FaultAction Isolate(NodeId node, Time duration);
+  static FaultAction Ring(Time duration);
+  static FaultAction Heal();
+  static FaultAction Crash(NodeId node, Time duration);
+  static FaultAction Restart(NodeId node, Time downtime,
+                             Cluster::RestartMode mode);
+  static FaultAction Drop(NodeId a, NodeId b, Time duration);
+  static FaultAction Slow(NodeId a, NodeId b, Time max_extra, Time duration);
+  static FaultAction Flaky(NodeId a, NodeId b, double p, Time duration);
+  static FaultAction Duplicate(NodeId a, NodeId b, double p, Time duration);
+  static FaultAction Reorder(NodeId a, NodeId b, double p, Time max_extra,
+                             Time duration);
+  static FaultAction ClockSkew(NodeId node, double factor);
+
+  /// Deterministic one-line description ("partition {1.1 1.2|2.1} 500ms"),
+  /// used for telemetry labels and byte-identical replay comparison.
+  std::string Describe() const;
+};
+
+/// A fault action pinned to a virtual-time instant.
+struct FaultEvent {
+  Time at = 0;
+  FaultAction action;
+};
+
+/// A replayable fault schedule: events sorted by time. A schedule is a
+/// plain value — two schedules built from the same seed and options are
+/// identical, which is what makes nemesis runs reproducible.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  /// Stable-sorts events by time (ties keep insertion order).
+  void Sort();
+
+  /// One line per event ("@1500ms isolate 1.1 1000ms\n...") — comparing
+  /// two schedules' Describe() output verifies byte-identical replay.
+  std::string Describe() const;
+};
+
+/// The built-in nemeses, patterned after the classic Jepsen generators.
+enum class BuiltinNemesis {
+  kRandomPartitioner,    ///< Periodic random two-way splits, then heal.
+  kIsolateLeader,        ///< Periodically cut the leader off, then heal.
+  kRollingCrashRestart,  ///< Crash-restart each node in turn.
+  kFlakyEverything,      ///< Loss + duplication (+ reorder) on random links.
+};
+
+/// Knobs for MakeBuiltinSchedule. Defaults give one fault every 2 s of
+/// virtual time, each healing/recovering after 1 s.
+struct NemesisOptions {
+  Time start = 1 * kSecond;         ///< First fault instant.
+  Time period = 2 * kSecond;        ///< Time between fault onsets.
+  Time fault_duration = 1 * kSecond;///< Fault lifetime / restart downtime.
+  Time horizon = 10 * kSecond;      ///< No fault onsets at/after this time.
+  std::uint64_t seed = 1;           ///< Drives all random choices.
+  Cluster::RestartMode restart_mode = Cluster::RestartMode::kDurable;
+  /// Whether kFlakyEverything also injects reordering. Keep false for
+  /// protocols that rely on FIFO links (Mencius).
+  bool include_reorder = false;
+  double flaky_p = 0.05;            ///< Loss probability for flaky links.
+  double duplicate_p = 0.2;         ///< Duplication probability.
+  double reorder_p = 0.2;           ///< Reorder probability.
+};
+
+/// Builds a deterministic schedule for one of the built-in nemeses over
+/// `nodes` (with `leader` the configured leader, for kIsolateLeader).
+/// Pure function: same inputs, same schedule.
+FaultSchedule MakeBuiltinSchedule(BuiltinNemesis which,
+                                  const std::vector<NodeId>& nodes,
+                                  NodeId leader, const NemesisOptions& opts);
+
+}  // namespace paxi
+
+#endif  // PAXI_FAULT_SCHEDULE_H_

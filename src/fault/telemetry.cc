@@ -1,0 +1,166 @@
+#include "fault/telemetry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace paxi {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  // Fixed precision keeps the output deterministic across libcs.
+  const auto scaled = static_cast<std::int64_t>(v * 1000 + (v >= 0 ? 0.5 : -0.5));
+  return std::to_string(scaled / 1000) + "." +
+         [](std::int64_t frac) {
+           std::string f = std::to_string(frac < 0 ? -frac : frac);
+           return std::string(3 - f.size(), '0') + f;
+         }(scaled % 1000);
+}
+
+}  // namespace
+
+AvailabilityTracker::AvailabilityTracker(Time interval) : interval_(interval) {
+  PAXI_CHECK(interval > 0, "availability interval must be positive");
+}
+
+void AvailabilityTracker::RecordOp(Time at, Time latency, bool ok) {
+  if (finalized_) return;  // straggler replies after the run: ignore
+  if (begin_ < 0 || at < begin_) begin_ = at;
+  Bucket& bucket = buckets_[BucketIndex(at)];
+  if (ok) {
+    ++bucket.completed;
+    bucket.latency_sum_ms += ToMillis(latency);
+  } else {
+    ++bucket.errors;
+  }
+}
+
+void AvailabilityTracker::RecordFault(Time at, const std::string& description) {
+  if (finalized_) return;
+  if (begin_ < 0 || at < begin_) begin_ = at;
+  FaultMark mark;
+  mark.at = at;
+  mark.description = description;
+  faults_.push_back(std::move(mark));
+}
+
+void AvailabilityTracker::Finalize(Time end) {
+  if (finalized_) return;
+  finalized_ = true;
+  end_ = end;
+  if (begin_ < 0) begin_ = 0;
+  const std::int64_t first = BucketIndex(begin_);
+  const std::int64_t last = BucketIndex(end > begin_ ? end - 1 : begin_);
+
+  // Materialize a dense timeline (empty buckets included) — gaps are the
+  // signal here.
+  for (std::int64_t i = first; i <= last; ++i) {
+    Interval interval;
+    interval.start = i * interval_;
+    auto it = buckets_.find(i);
+    if (it != buckets_.end()) {
+      interval.completed = it->second.completed;
+      interval.errors = it->second.errors;
+      if (it->second.completed > 0) {
+        interval.mean_latency_ms =
+            it->second.latency_sum_ms /
+            static_cast<double>(it->second.completed);
+      }
+    }
+    timeline_.push_back(interval);
+  }
+
+  // Unavailability windows: maximal runs of zero-completion intervals.
+  for (std::size_t i = 0; i < timeline_.size();) {
+    if (timeline_[i].completed > 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < timeline_.size() && timeline_[j].completed == 0) ++j;
+    windows_.push_back(Window{timeline_[i].start,
+                              timeline_[i].start +
+                                  static_cast<Time>(j - i) * interval_});
+    i = j;
+  }
+
+  // Time-to-recovery: first interval strictly after the fault's own bucket
+  // that completed any operation.
+  for (FaultMark& mark : faults_) {
+    const std::int64_t fault_bucket = BucketIndex(mark.at);
+    for (const Interval& interval : timeline_) {
+      if (BucketIndex(interval.start) <= fault_bucket) continue;
+      if (interval.completed > 0) {
+        mark.recovered_at = interval.start;
+        break;
+      }
+    }
+  }
+}
+
+Time AvailabilityTracker::MaxTimeToRecovery() const {
+  Time max_ttr = 0;
+  for (const FaultMark& mark : faults_) {
+    if (mark.recovered_at < 0) return -1;
+    max_ttr = std::max(max_ttr, mark.recovered_at - mark.at);
+  }
+  return max_ttr;
+}
+
+std::string AvailabilityTracker::ToJson() const {
+  std::string json = "{";
+  json += "\"interval_us\":" + std::to_string(interval_);
+  json += ",\"begin_us\":" + std::to_string(begin_ < 0 ? 0 : begin_);
+  json += ",\"end_us\":" + std::to_string(end_ < 0 ? 0 : end_);
+  json += ",\"timeline\":[";
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    const Interval& interval = timeline_[i];
+    if (i > 0) json += ",";
+    json += "{\"t_us\":" + std::to_string(interval.start);
+    json += ",\"completed\":" + std::to_string(interval.completed);
+    json += ",\"errors\":" + std::to_string(interval.errors);
+    json += ",\"mean_latency_ms\":" + JsonDouble(interval.mean_latency_ms);
+    json += "}";
+  }
+  json += "],\"faults\":[";
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const FaultMark& mark = faults_[i];
+    if (i > 0) json += ",";
+    json += "{\"at_us\":" + std::to_string(mark.at);
+    json += ",\"description\":\"" + JsonEscape(mark.description) + "\"";
+    json += ",\"recovered_at_us\":" + std::to_string(mark.recovered_at);
+    json += ",\"ttr_us\":" +
+            std::to_string(mark.recovered_at < 0 ? -1
+                                                 : mark.recovered_at - mark.at);
+    json += "}";
+  }
+  json += "],\"unavailability_windows\":[";
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "{\"start_us\":" + std::to_string(windows_[i].start);
+    json += ",\"end_us\":" + std::to_string(windows_[i].end) + "}";
+  }
+  json += "],\"max_ttr_us\":" + std::to_string(MaxTimeToRecovery());
+  json += "}";
+  return json;
+}
+
+}  // namespace paxi

@@ -1,0 +1,96 @@
+#ifndef PAXI_FAULT_TELEMETRY_H_
+#define PAXI_FAULT_TELEMETRY_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Availability telemetry for fault-injection runs: buckets completed
+/// operations into fixed virtual-time intervals, records injected faults,
+/// and — after Finalize — derives unavailability windows (intervals with
+/// zero completions) and per-fault time-to-recovery. The §4.2 availability
+/// experiments of the paper report exactly this throughput-over-time view.
+///
+/// Resolution is the bucket interval: an outage shorter than one interval
+/// may be invisible, and time-to-recovery is quantized to interval
+/// boundaries.
+class AvailabilityTracker {
+ public:
+  struct Interval {
+    Time start = 0;              ///< Bucket start (inclusive).
+    std::size_t completed = 0;   ///< Ops finishing OK in this bucket.
+    std::size_t errors = 0;      ///< Failed replies in this bucket.
+    double mean_latency_ms = 0;  ///< Mean latency of completed ops.
+  };
+
+  struct FaultMark {
+    Time at = 0;
+    std::string description;
+    /// Start of the first interval after the fault with completed > 0;
+    /// -1 if traffic never resumed before the end of the run.
+    Time recovered_at = -1;
+  };
+
+  struct Window {
+    Time start = 0;  ///< Inclusive.
+    Time end = 0;    ///< Exclusive.
+  };
+
+  explicit AvailabilityTracker(Time interval = 100 * kMillisecond);
+
+  /// Records a completed client operation (ok) or a failed reply (!ok)
+  /// finishing at `at` with round-trip `latency`.
+  void RecordOp(Time at, Time latency, bool ok);
+
+  /// Records an injected fault; `description` labels it in the JSON
+  /// (typically FaultAction::Describe()).
+  void RecordFault(Time at, const std::string& description);
+
+  /// Closes the timeline at `end`: materializes contiguous interval stats
+  /// (empty buckets included), computes unavailability windows and each
+  /// fault's time-to-recovery. Call once, after the run.
+  void Finalize(Time end);
+
+  Time interval() const { return interval_; }
+  const std::vector<Interval>& timeline() const { return timeline_; }
+  const std::vector<FaultMark>& faults() const { return faults_; }
+  const std::vector<Window>& unavailability_windows() const {
+    return windows_;
+  }
+
+  /// Largest time-to-recovery over all faults; 0 if no fault caused any
+  /// measurable outage, -1 if some fault never recovered before the end.
+  Time MaxTimeToRecovery() const;
+
+  /// The full availability report as a JSON object (hand-rolled; no
+  /// external dependencies): interval length, timeline, faults with TTR,
+  /// and unavailability windows.
+  std::string ToJson() const;
+
+ private:
+  struct Bucket {
+    std::size_t completed = 0;
+    std::size_t errors = 0;
+    double latency_sum_ms = 0;
+  };
+
+  std::int64_t BucketIndex(Time at) const { return at / interval_; }
+
+  Time interval_;
+  bool finalized_ = false;
+  Time begin_ = -1;  ///< First observed instant (op or fault).
+  Time end_ = -1;
+  std::map<std::int64_t, Bucket> buckets_;
+  std::vector<Interval> timeline_;
+  std::vector<FaultMark> faults_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_FAULT_TELEMETRY_H_

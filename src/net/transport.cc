@@ -29,43 +29,82 @@ void Transport::Send(NodeId to, MessagePtr msg, Time departure) {
   PAXI_CHECK(msg->from.valid(), "message must be stamped with a sender");
   ++messages_sent_;
 
+  const Time now = sim_->Now();
   const Link link{msg->from, to};
   Time extra = 0;
+  bool bypass_fifo = false;
+  bool duplicate = false;
   if (auto it = faults_.find(link); it != faults_.end()) {
     LinkFault& f = it->second;
-    const Time now = sim_->Now();
-    if (now < f.drop_until) {
-      ++messages_dropped_;
-      return;
-    }
-    if (now < f.flaky_until && sim_->rng().Bernoulli(f.flaky_p)) {
-      ++messages_dropped_;
-      return;
-    }
-    if (now < f.slow_until && f.slow_extra > 0) {
-      extra = sim_->rng().UniformInt(0, f.slow_extra);
+    if (f.Expired(now)) {
+      faults_.erase(it);  // lazy GC: expired faults must not accumulate
+    } else {
+      if (now < f.drop_until) {
+        ++messages_dropped_;
+        ++counters_.dropped;
+        return;
+      }
+      if (now < f.flaky_until && sim_->rng().Bernoulli(f.flaky_p)) {
+        ++messages_dropped_;
+        ++counters_.flaky_dropped;
+        return;
+      }
+      if (now < f.slow_until && f.slow_extra > 0) {
+        extra = sim_->rng().UniformInt(0, f.slow_extra);
+        ++counters_.slowed;
+      }
+      if (now < f.reorder_until && sim_->rng().Bernoulli(f.reorder_p)) {
+        bypass_fifo = true;
+        if (f.reorder_extra > 0) {
+          extra += sim_->rng().UniformInt(0, f.reorder_extra);
+        }
+        ++counters_.reordered;
+      }
+      duplicate =
+          now < f.duplicate_until && sim_->rng().Bernoulli(f.duplicate_p);
     }
   }
 
-  auto dest = endpoints_.find(to);
-  if (dest == endpoints_.end()) {
+  if (endpoints_.find(to) == endpoints_.end()) {
     ++messages_dropped_;
+    ++counters_.dead_letters;
     return;
   }
 
   const Time net = latency_->SampleOneWay(msg->from, to, sim_->rng());
-  Time arrival = std::max(departure, sim_->Now()) + net + extra;
-  if (ordered_) {
+  Time arrival = std::max(departure, now) + net + extra;
+  if (ordered_ && !bypass_fifo) {
     // TCP-like per-link FIFO: an out-of-order sample is pushed behind the
-    // previous delivery on the same link.
+    // previous delivery on the same link. A Reorder-fault message skips
+    // both the clamp and the watermark update, so it can overtake
+    // neighbors without delaying them.
     Time& watermark = last_arrival_[link];
     arrival = std::max(arrival, watermark);
     watermark = arrival;
   }
 
-  Endpoint* endpoint = dest->second;
-  sim_->At(arrival, [endpoint, msg = std::move(msg)]() mutable {
-    endpoint->Deliver(std::move(msg));
+  if (duplicate) {
+    // The copy shares the immutable message object (handlers never mutate
+    // delivered messages) and takes an independently sampled extra hop, so
+    // it surfaces after the original and out of FIFO order.
+    ++counters_.duplicated;
+    const Time redelivery =
+        latency_->SampleOneWay(msg->from, to, sim_->rng());
+    ScheduleDelivery(to, msg, arrival + redelivery);
+  }
+  ScheduleDelivery(to, std::move(msg), arrival);
+}
+
+void Transport::ScheduleDelivery(NodeId to, MessagePtr msg, Time arrival) {
+  sim_->At(arrival, [this, to, msg = std::move(msg)]() mutable {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      // Destination went away (crash-restart window) while in flight.
+      ++messages_dropped_;
+      ++counters_.dead_letters;
+      return;
+    }
+    it->second->Deliver(std::move(msg));
   });
 }
 
@@ -83,6 +122,55 @@ void Transport::Flaky(NodeId i, NodeId j, double p, Time duration) {
   LinkFault& f = faults_[{i, j}];
   f.flaky_until = sim_->Now() + duration;
   f.flaky_p = p;
+}
+
+void Transport::Duplicate(NodeId i, NodeId j, double p, Time duration) {
+  LinkFault& f = faults_[{i, j}];
+  f.duplicate_until = sim_->Now() + duration;
+  f.duplicate_p = p;
+}
+
+void Transport::Reorder(NodeId i, NodeId j, double p, Time max_extra,
+                        Time duration) {
+  LinkFault& f = faults_[{i, j}];
+  f.reorder_until = sim_->Now() + duration;
+  f.reorder_p = p;
+  f.reorder_extra = max_extra;
+}
+
+void Transport::Partition(const std::vector<std::vector<NodeId>>& groups,
+                          Time duration) {
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t gj = 0; gj < groups.size(); ++gj) {
+      if (gi == gj) continue;
+      for (const NodeId a : groups[gi]) {
+        for (const NodeId b : groups[gj]) {
+          Drop(a, b, duration);
+        }
+      }
+    }
+  }
+}
+
+void Transport::PartitionDirected(const std::vector<NodeId>& from,
+                                  const std::vector<NodeId>& to,
+                                  Time duration) {
+  for (const NodeId a : from) {
+    for (const NodeId b : to) {
+      if (a == b) continue;
+      Drop(a, b, duration);
+    }
+  }
+}
+
+void Transport::Heal() { faults_.clear(); }
+
+std::size_t Transport::active_fault_count() {
+  const Time now = sim_->Now();
+  for (auto it = faults_.begin(); it != faults_.end();) {
+    it = it->second.Expired(now) ? faults_.erase(it) : std::next(it);
+  }
+  return faults_.size();
 }
 
 }  // namespace paxi

@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/types.h"
 #include "net/latency.h"
@@ -31,10 +32,26 @@ class Endpoint {
 /// module (§4.1). Delivery latency comes from a LatencyModel; per-link
 /// ordering emulates TCP (default) or can be disabled for UDP-like
 /// semantics. Implements the paper's failure-injection primitives
-/// Drop / Slow / Flaky (§4.2); Crash is a node-side freeze, see
-/// Node::Crash.
+/// Drop / Slow / Flaky (§4.2) plus cluster-level Partition, message
+/// Duplicate and bounded Reorder; Crash is a node-side freeze, see
+/// Node::Crash and Cluster::RestartNode.
+///
+/// Delivery is late-bound: the destination endpoint is looked up at the
+/// arrival instant, not at send time, so a message in flight to a node
+/// that is unregistered (down) or replaced (amnesia restart) is dropped
+/// or delivered to the current incarnation — never to a stale pointer.
 class Transport {
  public:
+  /// Per-fault counters, for tests and fault-injection telemetry.
+  struct FaultCounters {
+    std::size_t dropped = 0;        ///< Hard Drop / Partition casualties.
+    std::size_t flaky_dropped = 0;  ///< Probabilistic (Flaky) drops.
+    std::size_t slowed = 0;         ///< Messages that got Slow extra delay.
+    std::size_t duplicated = 0;     ///< Extra copies injected by Duplicate.
+    std::size_t reordered = 0;      ///< Messages that bypassed FIFO order.
+    std::size_t dead_letters = 0;   ///< Destination unknown at send/arrival.
+  };
+
   Transport(Simulator* sim, std::shared_ptr<const LatencyModel> latency,
             bool ordered = true);
 
@@ -44,6 +61,9 @@ class Transport {
   /// Registers an endpoint; its id must be unique. Not owned.
   void Register(Endpoint* endpoint);
   void Unregister(NodeId id);
+  bool IsRegistered(NodeId id) const {
+    return endpoints_.find(id) != endpoints_.end();
+  }
 
   /// Sends `msg` (whose `from` field must already be stamped) to `to`.
   /// `departure` is the virtual time the message clears the sender's NIC;
@@ -62,11 +82,46 @@ class Transport {
   /// `duration`.
   void Flaky(NodeId i, NodeId j, double p, Time duration);
 
+  /// Delivers an extra copy of each message from `i` to `j` with
+  /// probability `p` for the next `duration`. The copy takes an
+  /// independently sampled network hop after the original's arrival and
+  /// bypasses the FIFO watermark (a retransmitted TCP segment surfacing
+  /// after reconnect, or a genuinely duplicated UDP datagram).
+  void Duplicate(NodeId i, NodeId j, double p, Time duration);
+
+  /// With probability `p`, a message from `i` to `j` bypasses per-link
+  /// FIFO ordering and picks up an extra uniform delay in [0, max_extra],
+  /// so it can overtake or fall behind its neighbors — bounded reordering.
+  void Reorder(NodeId i, NodeId j, double p, Time max_extra, Time duration);
+
+  /// Symmetric cluster partition: nodes in different `groups` cannot
+  /// exchange messages (both directions cut) for `duration`. Nodes not
+  /// listed in any group are unaffected. Built on per-link Drop, so the
+  /// partition expires on its own and composes with other faults.
+  void Partition(const std::vector<std::vector<NodeId>>& groups,
+                 Time duration);
+
+  /// Asymmetric partition: every link from a node in `from` to a node in
+  /// `to` is cut for `duration`; the reverse direction stays up.
+  void PartitionDirected(const std::vector<NodeId>& from,
+                         const std::vector<NodeId>& to, Time duration);
+
+  /// Clears every active link fault (partitions included) immediately.
+  /// FIFO watermarks and counters are untouched.
+  void Heal();
+
+  /// Number of links with at least one unexpired fault. Prunes expired
+  /// entries first (they are also garbage-collected lazily on Send).
+  std::size_t active_fault_count();
+
   const LatencyModel& latency() const { return *latency_; }
   Simulator* sim() const { return sim_; }
 
   std::size_t messages_sent() const { return messages_sent_; }
   std::size_t messages_dropped() const { return messages_dropped_; }
+  std::size_t messages_duplicated() const { return counters_.duplicated; }
+  std::size_t messages_reordered() const { return counters_.reordered; }
+  const FaultCounters& fault_counters() const { return counters_; }
 
  private:
   struct LinkFault {
@@ -75,9 +130,23 @@ class Transport {
     Time slow_extra = 0;
     Time flaky_until = 0;
     double flaky_p = 0.0;
+    Time duplicate_until = 0;
+    double duplicate_p = 0.0;
+    Time reorder_until = 0;
+    double reorder_p = 0.0;
+    Time reorder_extra = 0;
+
+    bool Expired(Time now) const {
+      return now >= drop_until && now >= slow_until && now >= flaky_until &&
+             now >= duplicate_until && now >= reorder_until;
+    }
   };
 
   using Link = std::pair<NodeId, NodeId>;
+
+  /// Schedules a late-bound delivery: the endpoint lookup happens when the
+  /// event fires, so restarts/unregistrations in flight are safe.
+  void ScheduleDelivery(NodeId to, MessagePtr msg, Time arrival);
 
   Simulator* sim_;
   std::shared_ptr<const LatencyModel> latency_;
@@ -87,6 +156,7 @@ class Transport {
   std::map<Link, Time> last_arrival_;  // per-link FIFO watermark (TCP mode)
   std::size_t messages_sent_ = 0;
   std::size_t messages_dropped_ = 0;
+  FaultCounters counters_;
 };
 
 }  // namespace paxi

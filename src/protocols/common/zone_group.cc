@@ -6,6 +6,9 @@
 
 namespace paxi {
 
+using zone_group::GroupEntryWire;
+using zone_group::GroupFill;
+using zone_group::GroupFillReply;
 using zone_group::GroupP2a;
 using zone_group::GroupP2b;
 
@@ -20,6 +23,9 @@ ZoneGroupNode::ZoneGroupNode(NodeId id, Env env) : Node(id, env) {
 
   OnMessage<GroupP2a>([this](const GroupP2a& m) { HandleGroupP2a(m); });
   OnMessage<GroupP2b>([this](const GroupP2b& m) { HandleGroupP2b(m); });
+  OnMessage<GroupFill>([this](const GroupFill& m) { HandleGroupFill(m); });
+  OnMessage<GroupFillReply>(
+      [this](const GroupFillReply& m) { HandleGroupFillReply(m); });
 }
 
 void ZoneGroupNode::Start() {
@@ -37,6 +43,7 @@ void ZoneGroupNode::Audit(AuditScope& scope) const {
 
 void ZoneGroupNode::ArmFlush() {
   SetTimer(flush_interval_, [this]() {
+    RetransmitStalled();
     GroupP2a flush;
     flush.slot = -1;
     flush.commit_up_to = commit_up_to_;
@@ -45,13 +52,33 @@ void ZoneGroupNode::ArmFlush() {
   });
 }
 
+void ZoneGroupNode::RetransmitStalled() {
+  constexpr std::size_t kRetransmitBatch = 64;
+  std::size_t sent = 0;
+  for (auto it = log_.upper_bound(commit_up_to_);
+       it != log_.end() && sent < kRetransmitBatch; ++it) {
+    GroupEntry& entry = it->second;
+    if (entry.committed) continue;
+    if (Now() - entry.last_sent < flush_interval_) continue;
+    entry.last_sent = Now();
+    ++sent;
+    GroupP2a msg;
+    msg.slot = it->first;
+    msg.cmd = entry.cmd;
+    msg.commit_up_to = commit_up_to_;
+    Broadcast(group_peers_, std::move(msg));
+  }
+}
+
 void ZoneGroupNode::GroupSubmit(Command cmd,
                                 std::function<void(Result<Value>)> done) {
   PAXI_CHECK(IsGroupLeader());
   const Slot slot = next_slot_++;
   GroupEntry entry;
   entry.cmd = cmd;
+  entry.voters = {id()};
   entry.done = std::move(done);
+  entry.last_sent = Now();
   const bool solo = group_majority_ <= 1;
   log_[slot] = std::move(entry);
 
@@ -70,36 +97,78 @@ void ZoneGroupNode::GroupSubmit(Command cmd,
 void ZoneGroupNode::HandleGroupP2a(const GroupP2a& msg) {
   if (msg.from.zone != id().zone || IsGroupLeader()) return;
   if (msg.slot >= 0) {
-    GroupEntry entry;
-    entry.cmd = msg.cmd;
-    log_[msg.slot] = std::move(entry);
+    auto it = log_.find(msg.slot);
+    if (it == log_.end()) {
+      GroupEntry entry;
+      entry.cmd = msg.cmd;
+      log_[msg.slot] = std::move(entry);
+    }
+    // Re-ack retransmissions too — the leader's voter set dedups.
     GroupP2b reply;
     reply.slot = msg.slot;
     Send(msg.from, std::move(reply));
   }
-  if (msg.commit_up_to > commit_up_to_) {
-    bool all_known = true;
-    for (Slot s = commit_up_to_ + 1; s <= msg.commit_up_to; ++s) {
-      auto it = log_.find(s);
-      if (it == log_.end()) {
-        all_known = false;
-        break;
-      }
-      it->second.committed = true;
-    }
-    if (all_known) {
-      commit_up_to_ = msg.commit_up_to;
-      ExecuteCommitted();
+  ApplyWatermark(msg.commit_up_to, msg.from);
+}
+
+void ZoneGroupNode::ApplyWatermark(Slot up_to, NodeId leader) {
+  if (up_to <= commit_up_to_) return;
+  for (Slot s = commit_up_to_ + 1; s <= up_to; ++s) {
+    auto it = log_.find(s);
+    if (it == log_.end()) break;
+    it->second.committed = true;
+  }
+  AdvanceCommit();
+  // A gap means a GroupP2a was lost (fault or restart): pull it.
+  if (commit_up_to_ < up_to) MaybeRequestFill(leader);
+}
+
+void ZoneGroupNode::MaybeRequestFill(NodeId leader) {
+  if (last_fill_request_ >= 0 &&
+      Now() - last_fill_request_ < flush_interval_) {
+    return;
+  }
+  last_fill_request_ = Now();
+  ++fills_requested_;
+  GroupFill req;
+  req.from_slot = commit_up_to_ + 1;
+  Send(leader, std::move(req));
+}
+
+void ZoneGroupNode::HandleGroupFill(const GroupFill& msg) {
+  if (!IsGroupLeader() || msg.from.zone != id().zone) return;
+  constexpr std::size_t kFillBatch = 256;
+  GroupFillReply reply;
+  reply.commit_up_to = commit_up_to_;
+  for (auto it = log_.lower_bound(msg.from_slot);
+       it != log_.end() && it->first <= commit_up_to_ &&
+       reply.entries.size() < kFillBatch;
+       ++it) {
+    reply.entries.push_back(GroupEntryWire{it->first, it->second.cmd});
+  }
+  if (reply.entries.empty()) return;
+  Send(msg.from, std::move(reply));
+}
+
+void ZoneGroupNode::HandleGroupFillReply(const GroupFillReply& msg) {
+  if (msg.from.zone != id().zone || IsGroupLeader()) return;
+  for (const GroupEntryWire& wire : msg.entries) {
+    GroupEntry& entry = log_[wire.slot];
+    if (!entry.committed) {
+      entry.cmd = wire.cmd;
+      entry.committed = true;
     }
   }
+  AdvanceCommit();
+  if (commit_up_to_ < msg.commit_up_to) MaybeRequestFill(msg.from);
 }
 
 void ZoneGroupNode::HandleGroupP2b(const GroupP2b& msg) {
   if (!IsGroupLeader()) return;
   auto it = log_.find(msg.slot);
   if (it == log_.end() || it->second.committed) return;
-  ++it->second.acks;
-  if (it->second.acks >= group_majority_) {
+  if (!it->second.voters.insert(msg.from).second) return;
+  if (it->second.voters.size() >= group_majority_) {
     it->second.committed = true;
     AdvanceCommit();
   }

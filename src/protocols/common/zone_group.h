@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "common/status.h"
 #include "core/node.h"
@@ -31,6 +33,25 @@ struct GroupP2b : Message {
   Slot slot = 0;
 };
 
+struct GroupEntryWire {
+  Slot slot = 0;
+  Command cmd;
+};
+
+/// Follower catch-up probe: "my watermark walk hit a slot I never
+/// received" (a GroupP2a lost to a link fault or a restart). Sent to the
+/// group leader, paced at one per flush interval.
+struct GroupFill : Message {
+  Slot from_slot = 0;
+};
+
+struct GroupFillReply : Message {
+  std::vector<GroupEntryWire> entries;  ///< Committed slots, in order.
+  Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override { return 100 + entries.size() * 50; }
+};
+
 }  // namespace zone_group
 
 class ZoneGroupNode : public Node {
@@ -47,6 +68,7 @@ class ZoneGroupNode : public Node {
   static NodeId GroupLeaderOf(int zone) { return NodeId{zone, 1}; }
 
   Slot group_committed() const { return commit_up_to_; }
+  std::size_t group_fills_requested() const { return fills_requested_; }
 
  protected:
   /// Leader-only: replicate `cmd` on this zone's group; `done` fires at
@@ -57,15 +79,26 @@ class ZoneGroupNode : public Node {
  private:
   void HandleGroupP2a(const zone_group::GroupP2a& msg);
   void HandleGroupP2b(const zone_group::GroupP2b& msg);
+  void HandleGroupFill(const zone_group::GroupFill& msg);
+  void HandleGroupFillReply(const zone_group::GroupFillReply& msg);
+  /// Follower-side watermark walk: marks known slots committed, advances,
+  /// and probes the leader with a GroupFill if a slot is missing.
+  void ApplyWatermark(Slot up_to, NodeId leader);
+  void MaybeRequestFill(NodeId leader);
   void AdvanceCommit();
   void ExecuteCommitted();
   void ArmFlush();
+  /// Leader-side: re-broadcasts GroupP2as for quiet uncommitted slots.
+  void RetransmitStalled();
 
   struct GroupEntry {
     Command cmd;
     bool committed = false;
-    std::size_t acks = 1;  // leader self-vote
+    /// Distinct voters including the leader's self-vote (a set so a
+    /// duplicated GroupP2b cannot fake a zone majority).
+    std::set<NodeId> voters;
     std::function<void(Result<Value>)> done;
+    Time last_sent = 0;
   };
 
   std::map<Slot, GroupEntry> log_;
@@ -75,6 +108,8 @@ class ZoneGroupNode : public Node {
   std::size_t group_majority_;
   std::vector<NodeId> group_peers_;  ///< Zone members excluding self.
   Time flush_interval_;
+  Time last_fill_request_ = -1;
+  std::size_t fills_requested_ = 0;
 };
 
 }  // namespace paxi

@@ -11,6 +11,7 @@ using epaxos::CommitMsg;
 using epaxos::InstanceId;
 using epaxos::PreAccept;
 using epaxos::PreAcceptOk;
+using epaxos::Recover;
 
 namespace {
 
@@ -54,6 +55,92 @@ EPaxosReplica::EPaxosReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<Accept>([this](const Accept& m) { HandleAccept(m); });
   OnMessage<AcceptOk>([this](const AcceptOk& m) { HandleAcceptOk(m); });
   OnMessage<CommitMsg>([this](const CommitMsg& m) { HandleCommit(m); });
+  OnMessage<Recover>([this](const Recover& m) { HandleRecover(m); });
+}
+
+void EPaxosReplica::Start() {
+  recover_interval_ =
+      config().GetParamInt("epaxos_recover_ms", 100) * kMillisecond;
+  ArmRecoveryTimer();
+}
+
+void EPaxosReplica::ArmRecoveryTimer() {
+  SetTimer(recover_interval_, [this]() {
+    // Probe a bounded number of blocking dependencies per tick; under a
+    // real outage the set is small (the frontier of the dependency graph).
+    constexpr std::size_t kMaxProbes = 16;
+    std::size_t probes = 0;
+    for (const auto& [dep, blocked] : waiters_) {
+      if (probes >= kMaxProbes) break;
+      ++probes;
+      auto it = instances_.find(dep);
+      if (it != instances_.end() &&
+          (it->second.phase == Phase::kCommitted ||
+           it->second.phase == Phase::kExecuted)) {
+        continue;  // already settled; waiters drain via TryExecute
+      }
+      if (dep.replica == id()) {
+        // Our own instance is stuck: re-drive its current round.
+        if (it == instances_.end()) continue;
+        Instance& inst = it->second;
+        if (inst.phase == Phase::kPreAccepted && inst.has_origin) {
+          PreAccept msg;
+          msg.iid = dep;
+          msg.cmd = inst.cmd;
+          msg.seq = inst.seq;
+          msg.deps = inst.deps;
+          BroadcastToAll(std::move(msg));
+        } else if (inst.phase == Phase::kAccepted && inst.has_origin) {
+          Accept acc;
+          acc.iid = dep;
+          acc.cmd = inst.cmd;
+          acc.seq = inst.seq;
+          acc.deps = inst.deps;
+          BroadcastToAll(std::move(acc));
+        }
+      } else {
+        ++recovers_sent_;
+        Recover probe;
+        probe.iid = dep;
+        Send(dep.replica, std::move(probe));
+      }
+    }
+    ArmRecoveryTimer();
+  });
+}
+
+void EPaxosReplica::HandleRecover(const Recover& msg) {
+  auto it = instances_.find(msg.iid);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (inst.phase == Phase::kCommitted || inst.phase == Phase::kExecuted) {
+    // Re-send the (possibly lost) commit to the blocked replica.
+    CommitMsg commit;
+    commit.iid = msg.iid;
+    commit.cmd = inst.cmd;
+    commit.seq = inst.seq;
+    commit.deps = inst.deps;
+    Send(msg.from, std::move(commit));
+    return;
+  }
+  if (msg.iid.replica != id()) return;
+  // Our own in-flight instance: re-broadcast the current round so lost
+  // replies can be regenerated (voter sets make the re-votes idempotent).
+  if (inst.phase == Phase::kPreAccepted && inst.has_origin) {
+    PreAccept pa;
+    pa.iid = msg.iid;
+    pa.cmd = inst.cmd;
+    pa.seq = inst.seq;
+    pa.deps = inst.deps;
+    BroadcastToAll(std::move(pa));
+  } else if (inst.phase == Phase::kAccepted && inst.has_origin) {
+    Accept acc;
+    acc.iid = msg.iid;
+    acc.cmd = inst.cmd;
+    acc.seq = inst.seq;
+    acc.deps = inst.deps;
+    BroadcastToAll(std::move(acc));
+  }
 }
 
 std::vector<InstanceId> EPaxosReplica::LocalDeps(const Command& cmd) const {
@@ -88,13 +175,14 @@ void EPaxosReplica::RecordInterference(const Command& cmd,
 }
 
 void EPaxosReplica::HandleRequest(const ClientRequest& req) {
+  if (!AdmitRequest(req)) return;
   const InstanceId iid{id(), next_slot_++};
   Instance inst;
   inst.cmd = req.cmd;
   inst.deps = LocalDeps(req.cmd);
   inst.seq = SeqFor(inst.deps);
   inst.phase = Phase::kPreAccepted;
-  inst.preaccept_acks = 1;  // self
+  inst.preaccept_voters = {id()};
   inst.merged_seq = inst.seq;
   inst.merged_deps = inst.deps;
   inst.has_origin = true;
@@ -144,12 +232,12 @@ void EPaxosReplica::HandlePreAcceptOk(const PreAcceptOk& msg) {
   Instance& inst = it->second;
   if (inst.phase != Phase::kPreAccepted || msg.iid.replica != id()) return;
 
-  ++inst.preaccept_acks;
+  if (!inst.preaccept_voters.insert(msg.from).second) return;
   if (msg.changed) inst.attrs_changed = true;
   inst.merged_seq = std::max(inst.merged_seq, msg.seq);
   MergeDeps(&inst.merged_deps, msg.deps);
 
-  if (inst.preaccept_acks < FastQuorumSize()) return;
+  if (inst.preaccept_voters.size() < FastQuorumSize()) return;
 
   if (!inst.attrs_changed) {
     // Fast path: the fast quorum agreed with the original attributes.
@@ -161,7 +249,7 @@ void EPaxosReplica::HandlePreAcceptOk(const PreAcceptOk& msg) {
   inst.phase = Phase::kAccepted;
   inst.seq = inst.merged_seq;
   inst.deps = inst.merged_deps;
-  inst.accept_acks = 1;  // self
+  inst.accept_voters = {id()};
   Accept acc;
   acc.iid = msg.iid;
   acc.cmd = inst.cmd;
@@ -189,8 +277,8 @@ void EPaxosReplica::HandleAcceptOk(const AcceptOk& msg) {
   if (it == instances_.end()) return;
   Instance& inst = it->second;
   if (inst.phase != Phase::kAccepted || msg.iid.replica != id()) return;
-  ++inst.accept_acks;
-  if (inst.accept_acks < SlowQuorumSize()) return;
+  if (!inst.accept_voters.insert(msg.from).second) return;
+  if (inst.accept_voters.size() < SlowQuorumSize()) return;
   ++slow_commits_;
   CommitInstance(msg.iid, inst, inst.seq, inst.deps, /*broadcast=*/true);
 }

@@ -82,11 +82,25 @@ struct CommitMsg : Message {
   std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
 };
 
+/// Recovery probe: "my execution is blocked on `iid`, which I have not
+/// seen commit". Sent to the instance's command leader; the leader
+/// re-sends the Commit (if decided) or re-drives the in-flight round.
+/// A simplification of full EPaxos explicit-prepare recovery — sufficient
+/// while command leaders fail transiently (crash-restart with durable
+/// state) rather than forever.
+struct Recover : Message {
+  InstanceId iid;
+};
+
 }  // namespace epaxos
 
 class EPaxosReplica : public Node {
  public:
   EPaxosReplica(NodeId id, Env env);
+
+  /// Arms the recovery timer that probes command leaders of instances our
+  /// execution has been blocked on ("epaxos_recover_ms", default 100).
+  void Start() override;
 
   /// Invariant hook: every replica committing an instance must agree on
   /// its (command, seq, deps) triple (sim/auditor.h). Commits are queued
@@ -98,6 +112,7 @@ class EPaxosReplica : public Node {
   std::size_t fast_path_commits() const { return fast_commits_; }
   std::size_t slow_path_commits() const { return slow_commits_; }
   std::size_t executed() const { return executed_count_; }
+  std::size_t recovers_sent() const { return recovers_sent_; }
 
  private:
   enum class Phase { kNone, kPreAccepted, kAccepted, kCommitted, kExecuted };
@@ -107,9 +122,10 @@ class EPaxosReplica : public Node {
     std::int64_t seq = 0;
     std::vector<epaxos::InstanceId> deps;
     Phase phase = Phase::kNone;
-    // Leader-side round state.
-    std::size_t preaccept_acks = 0;
-    std::size_t accept_acks = 0;
+    // Leader-side round state. Voter sets, not counters: a duplicated or
+    // re-broadcast reply must not fake a (fast) quorum.
+    std::set<NodeId> preaccept_voters;
+    std::set<NodeId> accept_voters;
     bool attrs_changed = false;
     std::int64_t merged_seq = 0;
     std::vector<epaxos::InstanceId> merged_deps;
@@ -124,6 +140,10 @@ class EPaxosReplica : public Node {
   void HandleAccept(const epaxos::Accept& msg);
   void HandleAcceptOk(const epaxos::AcceptOk& msg);
   void HandleCommit(const epaxos::CommitMsg& msg);
+  void HandleRecover(const epaxos::Recover& msg);
+  /// Probes the command leaders of (a few) instances blocking execution;
+  /// re-drives our own stalled rounds directly.
+  void ArmRecoveryTimer();
 
   /// Dependencies of `cmd` given this replica's local interference record.
   std::vector<epaxos::InstanceId> LocalDeps(const Command& cmd) const;
@@ -159,6 +179,8 @@ class EPaxosReplica : public Node {
   std::size_t fast_commits_ = 0;
   std::size_t slow_commits_ = 0;
   std::size_t executed_count_ = 0;
+  std::size_t recovers_sent_ = 0;
+  Time recover_interval_ = 0;
 
   /// Instances committed since the last audit pass (only filled while an
   /// InvariantAuditor watches this node; drained by Audit, hence mutable).

@@ -18,6 +18,9 @@ namespace paxi {
 /// The invariant auditor's PaxosReplica::Audit hook is inherited as-is:
 /// its quorum-intersection check runs against the overridden q1/q2 sizes
 /// below, verifying |q1| + |q2| > N for whatever "q2" was configured.
+/// Fault handling (Rejoin after crash-restart, heartbeat retransmission,
+/// follower Catchup pull) is likewise inherited from PaxosReplica and
+/// operates on the flexible quorum sizes unchanged.
 class FPaxosReplica : public PaxosReplica {
  public:
   FPaxosReplica(NodeId id, Env env);

@@ -7,6 +7,7 @@ namespace paxi {
 using mencius::Accept;
 using mencius::AcceptAck;
 using mencius::CommitFlush;
+using mencius::Fill;
 using mencius::Skip;
 
 MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
@@ -23,6 +24,7 @@ MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<AcceptAck>([this](const AcceptAck& m) { HandleAck(m); });
   OnMessage<Skip>([this](const Skip& m) { HandleSkip(m); });
   OnMessage<CommitFlush>([this](const CommitFlush& m) { HandleFlush(m); });
+  OnMessage<Fill>([this](const Fill& m) { HandleFill(m); });
 }
 
 void MenciusReplica::Start() { ArmSkipTimer(); }
@@ -74,8 +76,73 @@ void MenciusReplica::ArmSkipTimer() {
       flushed_up_to_ = commit_up_to_;
       BroadcastToAll(std::move(flush));
     }
+    // Stall recovery: if execution has not moved for a full interval while
+    // the log clearly extends beyond it, the blocking slot's messages were
+    // lost (link fault or outage) — go get them.
+    if (execute_up_to_ == stalled_exec_ &&
+        execute_up_to_ < max_slot_seen_) {
+      ProbeStalledSlot(execute_up_to_ + 1);
+    }
+    stalled_exec_ = execute_up_to_;
     ArmSkipTimer();
   });
+}
+
+void MenciusReplica::ProbeStalledSlot(Slot slot) {
+  if (OwnsSlot(slot)) {
+    auto it = log_.find(slot);
+    if (it != log_.end() && it->second.has_cmd && !it->second.committed) {
+      // Our own proposal lost its Accept or acks: retransmit. Receivers
+      // re-ack and the voter sets deduplicate.
+      Accept msg;
+      msg.slot = slot;
+      msg.cmd = it->second.cmd;
+      msg.skip_before = slot;
+      msg.commit_up_to = commit_up_to_;
+      BroadcastToAll(std::move(msg));
+    }
+    return;
+  }
+  ++fills_sent_;
+  Fill fill;
+  fill.slot = slot;
+  Send(OwnerOf(slot), std::move(fill));
+}
+
+void MenciusReplica::HandleFill(const Fill& msg) {
+  if (!OwnsSlot(msg.slot)) return;
+  auto it = log_.find(msg.slot);
+  if (it != log_.end() && it->second.has_cmd) {
+    // Re-broadcast the Accept: the requester (and anyone else that missed
+    // it) gets the command, and fresh acks re-establish the majority.
+    Accept re;
+    re.slot = msg.slot;
+    re.cmd = it->second.cmd;
+    re.skip_before = msg.slot;
+    re.commit_up_to = commit_up_to_;
+    BroadcastToAll(std::move(re));
+    return;
+  }
+  if (it != log_.end() && !it->second.noop) return;  // vote-only: no help
+  // Unused (or already skipped) slot: relinquish it explicitly.
+  MarkSkipped(index_, msg.slot, msg.slot + 1);
+  if (next_own_slot_ <= msg.slot) next_own_slot_ = NextOwnedSlot(msg.slot + 1);
+  ++skips_sent_;
+  Skip skip;
+  skip.skip_from = msg.slot;
+  skip.up_to = msg.slot + 1;
+  skip.commit_up_to = commit_up_to_;
+  BroadcastToAll(std::move(skip));
+  AdvanceExecution();
+}
+
+void MenciusReplica::CountVote(Slot slot, NodeId voter) {
+  auto it = log_.find(slot);
+  if (it == log_.end() || it->second.committed) return;
+  it->second.voters.insert(voter);
+  if (it->second.voters.size() >= majority_) {
+    it->second.committed = true;
+  }
 }
 
 void MenciusReplica::ApplyWatermark(Slot up_to) {
@@ -93,6 +160,7 @@ void MenciusReplica::ApplyWatermark(Slot up_to) {
 }
 
 void MenciusReplica::HandleRequest(const ClientRequest& req) {
+  if (!AdmitRequest(req)) return;
   // Propose in our next owned slot, jumping (and implicitly skipping)
   // forward if the log has advanced past it.
   const Slot slot =
@@ -105,6 +173,7 @@ void MenciusReplica::HandleRequest(const ClientRequest& req) {
   Entry entry;
   entry.cmd = req.cmd;
   entry.has_cmd = true;
+  entry.voters = {id()};  // proposer self-ack
   log_[slot] = std::move(entry);
   pending_[slot] = req;
 
@@ -152,6 +221,7 @@ void MenciusReplica::HandleAccept(const Accept& msg) {
     Entry entry;
     entry.cmd = msg.cmd;
     entry.has_cmd = true;
+    entry.voters = {OwnerOf(msg.slot)};  // the owner's implicit self-ack
     log_[msg.slot] = std::move(entry);
   } else if (!it->second.has_cmd && !it->second.noop) {
     // Fill a vote-only placeholder left by an early ack.
@@ -175,13 +245,7 @@ void MenciusReplica::HandleAccept(const Accept& msg) {
   }
   BroadcastToAll(std::move(ack));
   // Count our own vote locally (our broadcast does not loop back).
-  auto voted = log_.find(msg.slot);
-  if (voted != log_.end() && !voted->second.committed) {
-    ++voted->second.acks;
-    if (voted->second.acks >= majority_) {
-      voted->second.committed = true;
-    }
-  }
+  CountVote(msg.slot, id());
 
   // Piggybacked commit watermark.
   ApplyWatermark(msg.commit_up_to);
@@ -206,15 +270,10 @@ void MenciusReplica::HandleAck(const AcceptAck& msg) {
   if (it == log_.end()) {
     // Ack outran the Accept on this link topology; remember the vote.
     Entry placeholder;
-    placeholder.acks = 1;  // implicit proposer self-ack
-    it = log_.emplace(msg.slot, std::move(placeholder)).first;
+    placeholder.voters = {OwnerOf(msg.slot)};  // implicit proposer self-ack
+    log_.emplace(msg.slot, std::move(placeholder));
   }
-  if (!it->second.committed) {
-    ++it->second.acks;
-    if (it->second.acks >= majority_) {
-      it->second.committed = true;
-    }
-  }
+  CountVote(msg.slot, msg.from);
   AdvanceExecution();
 }
 

@@ -2,6 +2,7 @@
 #define PAXI_PROTOCOLS_MENCIUS_MENCIUS_H_
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "core/cluster.h"
@@ -26,10 +27,15 @@ namespace paxi {
 /// due slots on a timer.
 ///
 /// Simplifications vs the full protocol (documented scope): no revocation
-/// (a crashed server's slots block execution until it unfreezes), and
+/// (a crashed server's slots block execution until it answers again), and
 /// skips take effect at receipt rather than by consensus — both only
 /// matter under failures, which the paper's Mencius discussion does not
-/// evaluate either.
+/// evaluate either. Lost messages are recovered by a pull path: a replica
+/// whose execution sits on one slot for a full skip interval probes the
+/// slot's owner with a Fill, and the owner re-broadcasts the Accept,
+/// skips the slot, or re-announces the Skip. Correctness of the skip
+/// machinery depends on FIFO links (ordered transport); the reorder fault
+/// must not be pointed at Mencius.
 namespace mencius {
 
 struct Accept : Message {
@@ -71,6 +77,15 @@ struct CommitFlush : Message {
   Slot commit_up_to = -1;
 };
 
+/// Recovery probe sent to a slot's owner when execution has been stuck on
+/// that slot for a full skip interval (its Accept, acks, or Skip got lost
+/// to a link fault or an outage). The owner answers by re-broadcasting
+/// the slot's Accept, a Skip for it, or — if the slot is still unused —
+/// relinquishing it now.
+struct Fill : Message {
+  Slot slot = 0;
+};
+
 }  // namespace mencius
 
 class MenciusReplica : public Node {
@@ -85,6 +100,7 @@ class MenciusReplica : public Node {
 
   Slot executed_up_to() const { return execute_up_to_; }
   std::size_t skips_sent() const { return skips_sent_; }
+  std::size_t fills_sent() const { return fills_sent_; }
 
  private:
   struct Entry {
@@ -94,7 +110,9 @@ class MenciusReplica : public Node {
     bool has_cmd = false;
     bool noop = false;
     bool committed = false;
-    std::size_t acks = 1;  // proposer self-ack
+    /// Distinct voters (incl. the slot owner's implicit self-ack); a set
+    /// so duplicated/re-broadcast acks cannot fake a majority.
+    std::set<NodeId> voters;
   };
 
   void HandleRequest(const ClientRequest& req);
@@ -102,16 +120,25 @@ class MenciusReplica : public Node {
   void HandleAck(const mencius::AcceptAck& msg);
   void HandleSkip(const mencius::Skip& msg);
   void HandleFlush(const mencius::CommitFlush& msg);
+  void HandleFill(const mencius::Fill& msg);
   void ApplyWatermark(Slot up_to);
 
   void MarkSkipped(int owner_index, Slot from, Slot before);
   void AdvanceExecution();
   void ArmSkipTimer();
+  /// Execution has sat on `slot` for a full skip interval: retransmit our
+  /// own lost Accept, or probe the owner with a Fill.
+  void ProbeStalledSlot(Slot slot);
+  /// Records a vote for `slot` and commits on majority.
+  void CountVote(Slot slot, NodeId voter);
 
   /// This replica's index in the rotation (0-based).
   int index_ = 0;
   int n_ = 1;
   bool OwnsSlot(Slot slot) const { return slot % n_ == index_; }
+  NodeId OwnerOf(Slot slot) const {
+    return peers()[static_cast<std::size_t>(slot % n_)];
+  }
   /// Smallest slot this node owns that is >= `at`.
   Slot NextOwnedSlot(Slot at) const;
 
@@ -124,7 +151,11 @@ class MenciusReplica : public Node {
   std::size_t majority_;
   Time skip_interval_;
   std::size_t skips_sent_ = 0;
+  std::size_t fills_sent_ = 0;
   Slot flushed_up_to_ = -1;
+  /// execute_up_to_ as of the previous skip-timer tick; if unchanged for a
+  /// whole interval while higher slots exist, the blocking slot is probed.
+  Slot stalled_exec_ = -2;
 };
 
 /// Registers "mencius" with the cluster factory.

@@ -4,11 +4,21 @@
 
 namespace paxi {
 
+using paxos::CatchupReply;
+using paxos::CatchupRequest;
 using paxos::LogEntryWire;
 using paxos::P1a;
 using paxos::P1b;
 using paxos::P2a;
 using paxos::P2b;
+
+namespace {
+/// Caps per-heartbeat retransmissions and per-reply catch-up batches so a
+/// deeply lagging follower streams the log in chunks instead of one giant
+/// message.
+constexpr std::size_t kRetransmitBatch = 64;
+constexpr std::size_t kCatchupBatch = 256;
+}  // namespace
 
 PaxosReplica::PaxosReplica(NodeId id, Env env) : Node(id, env) {
   heartbeat_interval_ =
@@ -22,6 +32,10 @@ PaxosReplica::PaxosReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<P1b>([this](const P1b& m) { HandleP1b(m); });
   OnMessage<P2a>([this](const P2a& m) { HandleP2a(m); });
   OnMessage<P2b>([this](const P2b& m) { HandleP2b(m); });
+  OnMessage<CatchupRequest>(
+      [this](const CatchupRequest& m) { HandleCatchupRequest(m); });
+  OnMessage<CatchupReply>(
+      [this](const CatchupReply& m) { HandleCatchupReply(m); });
 }
 
 std::size_t PaxosReplica::Phase1QuorumSize() const {
@@ -39,6 +53,16 @@ void PaxosReplica::Start() {
     StartPhase1();
   }
   ArmElectionTimer();
+}
+
+void PaxosReplica::Rejoin() {
+  active_ = false;
+  electing_ = false;
+  p1_voters_.clear();
+  recovered_.clear();
+  // Grace period before campaigning: give any incumbent elected while we
+  // were down a chance to reach us first.
+  last_leader_contact_ = Now();
 }
 
 void PaxosReplica::Audit(AuditScope& scope) const {
@@ -73,6 +97,7 @@ void PaxosReplica::ArmElectionTimer() {
 void PaxosReplica::ArmHeartbeat() {
   SetTimer(heartbeat_interval_, [this]() {
     if (!active_) return;
+    RetransmitStalled();
     P2a hb;
     hb.ballot = ballot_;
     hb.slot = -1;
@@ -82,11 +107,77 @@ void PaxosReplica::ArmHeartbeat() {
   });
 }
 
+void PaxosReplica::RetransmitStalled() {
+  std::size_t sent = 0;
+  for (auto it = log_.upper_bound(commit_up_to_);
+       it != log_.end() && sent < kRetransmitBatch; ++it) {
+    Entry& entry = it->second;
+    if (entry.committed) continue;
+    if (Now() - entry.last_sent < heartbeat_interval_) continue;
+    entry.last_sent = Now();
+    ++sent;
+    P2a msg;
+    msg.ballot = ballot_;
+    msg.slot = it->first;
+    msg.cmd = entry.cmd;
+    msg.commit_up_to = commit_up_to_;
+    BroadcastToAll(std::move(msg));
+  }
+}
+
+void PaxosReplica::MaybeRequestCatchup(NodeId leader) {
+  if (last_catchup_request_ >= 0 &&
+      Now() - last_catchup_request_ < heartbeat_interval_) {
+    return;
+  }
+  last_catchup_request_ = Now();
+  CatchupRequest msg;
+  msg.from_slot = commit_up_to_ + 1;
+  Send(leader, std::move(msg));
+}
+
+void PaxosReplica::HandleCatchupRequest(const CatchupRequest& msg) {
+  // Any replica can serve committed entries; the requester sends this to
+  // whoever claimed the watermark it is missing.
+  CatchupReply reply;
+  reply.commit_up_to = commit_up_to_;
+  for (auto it = log_.lower_bound(msg.from_slot);
+       it != log_.end() && reply.entries.size() < kCatchupBatch; ++it) {
+    if (!it->second.committed) break;  // only the committed prefix is safe
+    reply.entries.push_back(LogEntryWire{it->first, it->second.ballot,
+                                         it->second.cmd, true});
+  }
+  if (reply.entries.empty()) return;
+  Send(msg.from, std::move(reply));
+}
+
+void PaxosReplica::HandleCatchupReply(const CatchupReply& msg) {
+  for (const LogEntryWire& wire : msg.entries) {
+    auto it = log_.find(wire.slot);
+    if (it == log_.end()) {
+      Entry entry;
+      entry.ballot = wire.ballot;
+      entry.cmd = wire.cmd;
+      entry.committed = true;
+      log_[wire.slot] = std::move(entry);
+      next_slot_ = std::max(next_slot_, wire.slot + 1);
+    } else if (!it->second.committed) {
+      // Replace, not just mark: our uncommitted entry may be a stale
+      // acceptance from a superseded leader; the reply carries the value
+      // that was actually chosen.
+      it->second.ballot = wire.ballot;
+      it->second.cmd = wire.cmd;
+      it->second.committed = true;
+    }
+  }
+  AdvanceCommit();
+}
+
 void PaxosReplica::StartPhase1() {
   electing_ = true;
   active_ = false;
   ballot_ = ballot_.Next(id());
-  p1_acks_ = 1;  // self-vote
+  p1_voters_ = {id()};  // self-vote
   recovered_.clear();
   // The self-vote contributes this node's own entries above its
   // watermark (slots the old leader committed but whose watermark never
@@ -132,11 +223,13 @@ void PaxosReplica::HandleRequest(const ClientRequest& req) {
 }
 
 void PaxosReplica::Propose(const ClientRequest& req) {
+  if (!AdmitRequest(req)) return;
   const Slot slot = next_slot_++;
   Entry entry;
   entry.ballot = ballot_;
   entry.cmd = req.cmd;
-  entry.acks = 1;
+  entry.voters = {id()};
+  entry.last_sent = Now();
   log_[slot] = std::move(entry);
   pending_replies_[slot] = req;
 
@@ -187,10 +280,10 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     return;
   }
   if (!msg.ok) return;
-  ++p1_acks_;
+  if (!p1_voters_.insert(msg.from).second) return;  // duplicated promise
   recovered_.insert(recovered_.end(), msg.entries.begin(),
                     msg.entries.end());
-  if (p1_acks_ < Phase1QuorumSize()) return;
+  if (p1_voters_.size() < Phase1QuorumSize()) return;
 
   // Elected. Adopt reported-committed entries outright; re-propose the
   // highest-ballot uncommitted command per remaining slot.
@@ -211,7 +304,8 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     Entry entry;
     entry.ballot = ballot_;
     entry.cmd = wire.cmd;
-    entry.acks = 1;
+    entry.voters = {id()};
+    entry.last_sent = Now();
     next_slot_ = std::max(next_slot_, slot + 1);
     if (wire.committed) {
       entry.committed = true;
@@ -252,10 +346,16 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
     }
     last_leader_contact_ = Now();
     if (msg.slot >= 0) {
-      Entry entry;
-      entry.ballot = msg.ballot;
-      entry.cmd = msg.cmd;
-      log_[msg.slot] = std::move(entry);
+      auto it = log_.find(msg.slot);
+      if (it == log_.end() || !it->second.committed) {
+        // Never overwrite a committed slot: a retransmitted P2a arriving
+        // after the commit watermark passed it must not reset the flag
+        // (execution would wedge on the "uncommitted" slot forever).
+        Entry entry;
+        entry.ballot = msg.ballot;
+        entry.cmd = msg.cmd;
+        log_[msg.slot] = std::move(entry);
+      }
       next_slot_ = std::max(next_slot_, msg.slot + 1);
       P2b reply;
       reply.ballot = msg.ballot;
@@ -265,13 +365,32 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
     }
     // Piggybacked commit watermark (phase-3).
     if (msg.commit_up_to > commit_up_to_) {
+      bool gap = false;
       for (Slot s = commit_up_to_ + 1; s <= msg.commit_up_to; ++s) {
         auto it = log_.find(s);
-        if (it == log_.end()) return;  // gap: wait for retransmission
+        // The watermark only proves the slot is decided, not that OUR
+        // entry holds the decided value: an entry accepted from a
+        // previous leader may have been superseded while we were
+        // partitioned. Only entries accepted under the sender's own
+        // ballot are safe to commit here; anything older is treated as a
+        // hole and pulled via catch-up, which serves the chosen values.
+        if (it == log_.end() || (!it->second.committed &&
+                                 it->second.ballot != msg.ballot)) {
+          gap = true;
+          break;
+        }
         it->second.committed = true;
       }
-      commit_up_to_ = msg.commit_up_to;
-      ExecuteCommitted();
+      if (gap) {
+        // A committed slot never reached us (dropped during a partition,
+        // or we were down): advance over the contiguous prefix we do
+        // have, then pull the hole instead of waiting forever.
+        AdvanceCommit();
+        MaybeRequestCatchup(msg.from);
+      } else {
+        commit_up_to_ = msg.commit_up_to;
+        ExecuteCommitted();
+      }
     }
     return;
   }
@@ -296,8 +415,8 @@ void PaxosReplica::HandleP2b(const P2b& msg) {
   if (!active_ || msg.ballot != ballot_) return;
   auto it = log_.find(msg.slot);
   if (it == log_.end() || it->second.committed) return;
-  ++it->second.acks;
-  if (it->second.acks >= Phase2QuorumSize()) {
+  it->second.voters.insert(msg.from);
+  if (it->second.voters.size() >= Phase2QuorumSize()) {
     it->second.committed = true;
     AdvanceCommit();
   }

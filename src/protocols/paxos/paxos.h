@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "core/cluster.h"
@@ -64,6 +65,23 @@ struct P2b : Message {
   bool ok = false;
 };
 
+/// Follower -> leader: my commit watermark has a hole (a committed slot I
+/// never received, e.g. dropped during a partition or while I was down).
+/// Send me committed entries from `from` up.
+struct CatchupRequest : Message {
+  Slot from_slot = 0;
+};
+
+/// Leader -> follower: committed entries answering a CatchupRequest.
+struct CatchupReply : Message {
+  std::vector<LogEntryWire> entries;
+  Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override {
+    return 100 + entries.size() * 50;
+  }
+};
+
 }  // namespace paxos
 
 class PaxosReplica : public Node {
@@ -71,6 +89,12 @@ class PaxosReplica : public Node {
   PaxosReplica(NodeId id, Env env);
 
   void Start() override;
+
+  /// Durable crash-restart: step down from any leadership role and rejoin
+  /// as a follower. If no rival leader emerged while we were down, the
+  /// election timer re-elects us with a fresh ballot; if one did, its
+  /// heartbeats (plus the catch-up path) bring us back up to date.
+  void Rejoin() override;
 
   /// Invariant hook: ballot monotonicity, per-slot agreement on committed
   /// entries, and phase-1/phase-2 quorum intersection (sim/auditor.h).
@@ -96,7 +120,11 @@ class PaxosReplica : public Node {
     Ballot ballot;
     Command cmd;
     bool committed = false;
-    std::size_t acks = 1;  ///< Counts the leader's self-vote.
+    /// Distinct phase-2 voters (incl. the leader). A set, not a counter:
+    /// duplicated/retransmitted P2bs must not fake a quorum.
+    std::set<NodeId> voters;
+    /// Last broadcast instant, pacing leader-side retransmission.
+    Time last_sent = 0;
   };
 
   void HandleRequest(const ClientRequest& req);
@@ -104,6 +132,8 @@ class PaxosReplica : public Node {
   void HandleP1b(const paxos::P1b& msg);
   void HandleP2a(const paxos::P2a& msg);
   void HandleP2b(const paxos::P2b& msg);
+  void HandleCatchupRequest(const paxos::CatchupRequest& msg);
+  void HandleCatchupReply(const paxos::CatchupReply& msg);
 
   void StartPhase1();
   void Propose(const ClientRequest& req);
@@ -111,13 +141,20 @@ class PaxosReplica : public Node {
   void ExecuteCommitted();
   void ArmElectionTimer();
   void ArmHeartbeat();
+  /// Leader: re-broadcast P2as for uncommitted slots that have gone one
+  /// heartbeat without progress — lost phase-2 messages otherwise wedge
+  /// the commit watermark forever.
+  void RetransmitStalled();
+  /// Follower: ask `leader` for committed entries when the watermark has a
+  /// hole; paced to one request per heartbeat interval.
+  void MaybeRequestCatchup(NodeId leader);
   bool LeaderIsFresh() const;
 
   // --- State ---------------------------------------------------------------
   Ballot ballot_;                 ///< Highest ballot seen.
   bool active_ = false;           ///< True iff this node completed phase-1.
   bool electing_ = false;         ///< Phase-1 in flight.
-  std::size_t p1_acks_ = 0;
+  std::set<NodeId> p1_voters_;    ///< Distinct promisers (dedup, incl. self).
   std::vector<paxos::LogEntryWire> recovered_;
 
   std::map<Slot, Entry> log_;
@@ -129,6 +166,7 @@ class PaxosReplica : public Node {
   std::vector<ClientRequest> backlog_;  ///< Requests queued during election.
 
   Time last_leader_contact_ = 0;
+  Time last_catchup_request_ = -1;
   Time heartbeat_interval_;
   Time election_timeout_;
   /// Relaxed consistency (paper §7 future work): followers answer reads

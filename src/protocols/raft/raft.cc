@@ -36,6 +36,15 @@ void RaftReplica::Start() {
   ArmElectionTimer();
 }
 
+void RaftReplica::Rejoin() {
+  // Step down with state intact; a live incumbent's AppendEntries will
+  // repair our log (next_index_ backoff), otherwise the still-armed
+  // election timer fires and we campaign with a higher term.
+  BecomeFollower(term_);
+  leader_ = NodeId::Invalid();
+  last_leader_contact_ = Now();
+}
+
 void RaftReplica::Audit(AuditScope& scope) const {
   scope.BallotIs("term", Ballot{term_, id()});
   scope.Require(commit_index_ < static_cast<Slot>(log_.size()),
@@ -85,7 +94,7 @@ void RaftReplica::BecomeCandidate() {
   role_ = Role::kCandidate;
   ++term_;
   voted_for_ = id();
-  votes_ = 1;
+  votes_ = {id()};
   ++election_epoch_;
   ArmElectionTimer();
   RequestVote rv;
@@ -123,6 +132,7 @@ void RaftReplica::HandleRequest(const ClientRequest& req) {
     }
     return;
   }
+  if (!AdmitRequest(req)) return;
   LogEntry entry;
   entry.term = term_;
   entry.cmd = req.cmd;
@@ -284,8 +294,8 @@ void RaftReplica::HandleVoteReply(const VoteReply& msg) {
     return;
   }
   if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) return;
-  ++votes_;
-  if (static_cast<std::size_t>(votes_) >= peers().size() / 2 + 1) {
+  votes_.insert(msg.from);
+  if (votes_.size() >= peers().size() / 2 + 1) {
     BecomeLeader();
   }
 }

@@ -2,6 +2,7 @@
 #define PAXI_PROTOCOLS_RAFT_RAFT_H_
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "core/cluster.h"
@@ -63,6 +64,11 @@ class RaftReplica : public Node {
 
   void Start() override;
 
+  /// Durable crash-restart: step down to follower with state intact; the
+  /// incumbent's AppendEntries (and its next_index_ backoff) replays what
+  /// we missed, or our election timer fires and we campaign.
+  void Rejoin() override;
+
   /// Invariant hook: term monotonicity and per-index agreement on
   /// committed entries (sim/auditor.h).
   void Audit(AuditScope& scope) const override;
@@ -104,7 +110,9 @@ class RaftReplica : public Node {
   Slot last_applied_ = -1;
   std::map<NodeId, Slot> next_index_;
   std::map<NodeId, Slot> match_index_;
-  int votes_ = 0;
+  /// Distinct granters this term (a set: duplicated VoteReplies must not
+  /// fake a majority).
+  std::set<NodeId> votes_;
 
   std::map<Slot, ClientRequest> pending_replies_;
 

@@ -116,6 +116,7 @@ void VPaxosReplica::Serve(const ClientRequest& req, bool track_policy) {
 }
 
 void VPaxosReplica::CommitLocally(const ClientRequest& req) {
+  if (!AdmitRequest(req)) return;
   GroupSubmit(req.cmd, [this, req](Result<Value> result) {
     ReplyToClient(req, /*ok=*/true,
                   result.ok() ? result.value() : Value(), result.ok());

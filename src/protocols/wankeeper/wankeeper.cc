@@ -57,6 +57,7 @@ void WanKeeperReplica::HandleRequest(const ClientRequest& req) {
 }
 
 void WanKeeperReplica::CommitLocally(const ClientRequest& req) {
+  if (!AdmitRequest(req)) return;
   GroupSubmit(req.cmd, [this, req](Result<Value> result) {
     ReplyToClient(req, /*ok=*/true,
                   result.ok() ? result.value() : Value(), result.ok());

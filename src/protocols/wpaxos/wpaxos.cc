@@ -30,6 +30,37 @@ WPaxosReplica::WPaxosReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<Handoff>([this](const Handoff& m) { HandleHandoff(m); });
 }
 
+void WPaxosReplica::Start() {
+  repair_interval_ =
+      config().GetParamInt("repair_interval_ms", 100) * kMillisecond;
+  SetTimer(repair_interval_, [this]() { RepairStalled(); });
+}
+
+void WPaxosReplica::RepairStalled() {
+  constexpr std::size_t kRepairBatch = 64;
+  std::size_t sent = 0;
+  for (auto& [key, obj] : objects_) {
+    if (!obj.active) continue;
+    for (auto it = obj.log.upper_bound(obj.commit_up_to);
+         it != obj.log.end() && sent < kRepairBatch; ++it) {
+      Entry& entry = it->second;
+      // Follower-side entries (q2 == nullptr) are not ours to drive.
+      if (entry.committed || entry.q2 == nullptr) continue;
+      if (Now() - entry.last_sent < repair_interval_) continue;
+      entry.last_sent = Now();
+      ++sent;
+      P2a msg;
+      msg.key = key;
+      msg.ballot = obj.ballot;
+      msg.slot = it->first;
+      msg.cmd = entry.cmd;
+      msg.commit_up_to = obj.commit_up_to;
+      BroadcastToAll(std::move(msg));
+    }
+  }
+  SetTimer(repair_interval_, [this]() { RepairStalled(); });
+}
+
 void WPaxosReplica::Audit(AuditScope& scope) const {
   scope.Require(InvariantAuditor::GridQuorumsIntersect(
                     config().zones, config().zones - fz_, fz_ + 1),
@@ -264,6 +295,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
     }
     entry.q2 = MakeQuorum(fz_ + 1);
     entry.q2->Ack(id());
+    entry.last_sent = Now();
     const bool already = entry.q2->Satisfied();
     obj.log[slot] = std::move(entry);
     P2a p2a;
@@ -288,12 +320,14 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
 void WPaxosReplica::Propose(Key key, const ClientRequest& req) {
   ObjectState& obj = Obj(key);
   PAXI_CHECK(obj.active);
+  if (!AdmitRequest(req)) return;
   const Slot slot = obj.next_slot++;
   Entry entry;
   entry.ballot = obj.ballot;
   entry.cmd = req.cmd;
   entry.q2 = MakeQuorum(fz_ + 1);
   entry.q2->Ack(id());
+  entry.last_sent = Now();
   const bool already_satisfied = entry.q2->Satisfied();
   obj.log[slot] = std::move(entry);
   obj.pending[slot] = req;
@@ -323,10 +357,15 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
       obj.active = false;
       obj.stealing = false;
     }
-    Entry entry;
-    entry.ballot = msg.ballot;
-    entry.cmd = msg.cmd;
-    obj.log[msg.slot] = std::move(entry);
+    auto existing = obj.log.find(msg.slot);
+    if (existing == obj.log.end() || !existing->second.committed) {
+      // Never overwrite a committed slot: a duplicated or retransmitted
+      // P2a must not reset the flag after the commit watermark passed it.
+      Entry entry;
+      entry.ballot = msg.ballot;
+      entry.cmd = msg.cmd;
+      obj.log[msg.slot] = std::move(entry);
+    }
     obj.next_slot = std::max(obj.next_slot, msg.slot + 1);
     reply.ok = true;
     reply.ballot = msg.ballot;
@@ -335,7 +374,13 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
       bool all_known = true;
       for (Slot s = obj.commit_up_to + 1; s <= msg.commit_up_to; ++s) {
         auto it = obj.log.find(s);
-        if (it == obj.log.end()) {
+        // The watermark proves the slot is decided, not that OUR entry
+        // holds the decided value: an acceptance from a superseded owner
+        // may have been replaced while we were partitioned. Only commit
+        // entries accepted under the sender's ballot; older ones wait for
+        // the next steal's recovery broadcast to refresh them.
+        if (it == obj.log.end() || (!it->second.committed &&
+                                    it->second.ballot != msg.ballot)) {
           all_known = false;
           break;
         }

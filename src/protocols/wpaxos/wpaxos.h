@@ -97,6 +97,11 @@ class WPaxosReplica : public Node {
  public:
   WPaxosReplica(NodeId id, Env env);
 
+  /// Arms the repair timer that re-broadcasts stalled phase-2 rounds of
+  /// owned objects ("repair_interval_ms", default 100) — the retry path
+  /// that makes commits survive dropped P2a/P2b messages.
+  void Start() override;
+
   /// Invariant hook: per-object ballot monotonicity, per-slot agreement,
   /// and grid-quorum intersection (sim/auditor.h). Only objects touched
   /// since the last pass are re-examined.
@@ -116,6 +121,9 @@ class WPaxosReplica : public Node {
     Command cmd;
     bool committed = false;
     std::unique_ptr<ZoneMajorityQuorum> q2;
+    /// Last (re)broadcast instant; the repair timer only retransmits
+    /// entries that have been quiet for a full interval.
+    Time last_sent = 0;
   };
 
   struct ObjectState {
@@ -147,6 +155,8 @@ class WPaxosReplica : public Node {
 
   void Steal(Key key);
   void Propose(Key key, const ClientRequest& req);
+  /// Re-broadcasts P2as for owned-object slots whose quorum has stalled.
+  void RepairStalled();
   void AdvanceCommit(Key key, ObjectState& obj);
   void ExecuteCommitted(Key key, ObjectState& obj);
   void TrackAccess(Key key, ObjectState& obj, int source_zone);
@@ -165,6 +175,7 @@ class WPaxosReplica : public Node {
   int handoff_threshold_;
   Time handoff_cooldown_;
   NodeId initial_owner_;
+  Time repair_interval_ = 0;
   std::size_t steals_ = 0;
 
   /// Objects touched since the last audit pass (only filled while an

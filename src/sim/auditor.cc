@@ -154,6 +154,20 @@ void InvariantAuditor::Watch(const Auditable* node) {
   watched_.push_back(node);
 }
 
+void InvariantAuditor::ForgetNode(NodeId id) {
+  watched_.erase(std::remove_if(watched_.begin(), watched_.end(),
+                                [id](const Auditable* node) {
+                                  return node->id() == id;
+                                }),
+                 watched_.end());
+  for (auto it = max_ballot_.begin(); it != max_ballot_.end();) {
+    it = it->first.first == id ? max_ballot_.erase(it) : std::next(it);
+  }
+  for (auto it = frontier_.begin(); it != frontier_.end();) {
+    it = it->first.first == id ? frontier_.erase(it) : std::next(it);
+  }
+}
+
 void InvariantAuditor::OnEventExecuted(const EventFingerprint& /*fp*/) {
   AuditNow();
 }

@@ -167,6 +167,14 @@ class InvariantAuditor : public SimObserver {
   /// the simulation, whichever stops first).
   void Watch(const Auditable* node);
 
+  /// Drops a node from the audit set and erases its per-node state
+  /// (max ballot, chosen frontier). Used by amnesia crash-restarts: the
+  /// reborn node legitimately starts from ballot zero and re-reports its
+  /// log from scratch. Cluster-wide agreement history (chosen_) is
+  /// retained, so a reborn node that disagrees with past decisions still
+  /// trips the auditor.
+  void ForgetNode(NodeId id);
+
   void OnEventExecuted(const EventFingerprint& fp) override;
 
   /// Runs one audit pass immediately (also called per event).

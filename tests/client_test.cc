@@ -1,6 +1,10 @@
 // Client library behavior: request/reply matching, retries with
 // round-robin and leader hints, timeout reporting.
 
+#include <functional>
+#include <memory>
+#include <string>
+
 #include "core/client.h"
 #include "gtest/gtest.h"
 #include "protocols/paxos/paxos.h"
@@ -110,6 +114,45 @@ TEST(ClientTest, ConcurrentRequestsMatchReplies) {
   for (Key k = 1; k <= 10; ++k) {
     EXPECT_EQ(got[k], "w" + std::to_string(k)) << k;
   }
+}
+
+// Closed-loop client cut off from every replica: each attempt times out
+// and the next request starts as soon as the previous one gives up.
+// Returns how many attempts timed out inside a fixed virtual window — the
+// size of the retry storm.
+std::size_t RetryStormTimeouts(int backoff_ms) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.client_timeout = 50 * kMillisecond;
+  cfg.params["client_backoff_ms"] = std::to_string(backoff_ms);
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+  for (const NodeId& n : cluster.nodes()) {
+    cluster.transport().Drop(client->id(), n, 10 * kSecond);
+  }
+  auto issue = std::make_shared<std::function<void()>>();
+  *issue = [&cluster, client, issue]() {
+    Command cmd;
+    cmd.op = Command::Op::kPut;
+    cmd.key = 1;
+    cmd.value = "storm";
+    client->Issue(std::move(cmd), cluster.leader(),
+                  [issue](const Client::Reply&) { (*issue)(); });
+  };
+  (*issue)();
+  cluster.RunFor(3 * kSecond);
+  return client->timeouts();
+}
+
+TEST(ClientTest, BackoffThrottlesRetryStorm) {
+  // With backoff disabled a dead cluster eats one attempt per timeout
+  // interval; exponential backoff with jitter must thin that storm
+  // substantially over the same window.
+  const std::size_t without = RetryStormTimeouts(0);
+  const std::size_t with = RetryStormTimeouts(25);
+  EXPECT_GT(without, 40u);  // ~one attempt per 50ms over 3s
+  EXPECT_LT(with, without * 2 / 3)
+      << "backoff did not reduce retry volume: " << with << " vs " << without;
 }
 
 TEST(ClientTest, NonLeaderRejectionFollowsHint) {

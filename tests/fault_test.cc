@@ -1,0 +1,462 @@
+// Nemesis fault-injection subsystem tests (src/fault): schedule
+// determinism, byte-identical replay of seeded nemesis runs, crash-restart
+// recovery with bounded time-to-recovery across every protocol, safety
+// (linearizability + invariant audits) under the built-in nemeses, and the
+// availability-timeline telemetry — the §4.2 availability methodology of
+// the paper as an executable test suite.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "fault/nemesis.h"
+#include "fault/schedule.h"
+#include "fault/telemetry.h"
+#include "gtest/gtest.h"
+#include "sim/auditor.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+/// Enables the runtime invariant auditor (PAXI_AUDIT=1) for the lifetime
+/// of one test: every Cluster built inside the scope self-checks ballot
+/// monotonicity and per-slot agreement after every event (fail-fast).
+class ScopedAudit {
+ public:
+  ScopedAudit() { setenv("PAXI_AUDIT", "1", 1); }
+  ~ScopedAudit() { unsetenv("PAXI_AUDIT"); }
+};
+
+// ---------------------------------------------------------------------------
+// Availability telemetry unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(AvailabilityTrackerTest, BucketsWindowsAndRecovery) {
+  AvailabilityTracker tracker(100 * kMillisecond);
+  tracker.RecordOp(50 * kMillisecond, 5 * kMillisecond, true);   // bucket 0
+  tracker.RecordOp(120 * kMillisecond, 15 * kMillisecond, true); // bucket 1
+  tracker.RecordFault(250 * kMillisecond, "drop 1.1>1.2 100ms");
+  tracker.RecordOp(310 * kMillisecond, 5 * kMillisecond, false); // error only
+  tracker.RecordOp(450 * kMillisecond, 5 * kMillisecond, true);  // bucket 4
+  tracker.Finalize(500 * kMillisecond);
+
+  ASSERT_EQ(tracker.timeline().size(), 5u);
+  EXPECT_EQ(tracker.timeline()[0].completed, 1u);
+  EXPECT_DOUBLE_EQ(tracker.timeline()[1].mean_latency_ms, 15.0);
+  EXPECT_EQ(tracker.timeline()[3].errors, 1u);
+
+  // Buckets 2 and 3 completed nothing: one unavailability window.
+  ASSERT_EQ(tracker.unavailability_windows().size(), 1u);
+  EXPECT_EQ(tracker.unavailability_windows()[0].start, 200 * kMillisecond);
+  EXPECT_EQ(tracker.unavailability_windows()[0].end, 400 * kMillisecond);
+
+  // Recovery: first completing interval after the fault starts at 400ms.
+  ASSERT_EQ(tracker.faults().size(), 1u);
+  EXPECT_EQ(tracker.faults()[0].recovered_at, 400 * kMillisecond);
+  EXPECT_EQ(tracker.MaxTimeToRecovery(), 150 * kMillisecond);
+
+  const std::string json = tracker.ToJson();
+  EXPECT_NE(json.find("\"timeline\":["), std::string::npos);
+  EXPECT_NE(json.find("\"unavailability_windows\":[{\"start_us\":200000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"max_ttr_us\":150000"), std::string::npos);
+  EXPECT_NE(json.find("drop 1.1>1.2 100ms"), std::string::npos);
+}
+
+TEST(AvailabilityTrackerTest, UnrecoveredFaultReportsMinusOne) {
+  AvailabilityTracker tracker(100 * kMillisecond);
+  tracker.RecordOp(50 * kMillisecond, kMillisecond, true);
+  tracker.RecordFault(150 * kMillisecond, "crash 1.1 1000ms");
+  tracker.Finalize(400 * kMillisecond);
+  EXPECT_EQ(tracker.faults()[0].recovered_at, -1);
+  EXPECT_EQ(tracker.MaxTimeToRecovery(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Schedules: pure functions of (nemesis, nodes, seed).
+// ---------------------------------------------------------------------------
+
+TEST(FaultScheduleTest, BuiltinSchedulesAreDeterministic) {
+  const std::vector<NodeId> nodes = Config::Lan9("paxos").Nodes();
+  const NodeId leader{1, 1};
+  NemesisOptions opts;
+  opts.seed = 42;
+  opts.include_reorder = true;
+  for (const BuiltinNemesis which :
+       {BuiltinNemesis::kRandomPartitioner, BuiltinNemesis::kIsolateLeader,
+        BuiltinNemesis::kRollingCrashRestart,
+        BuiltinNemesis::kFlakyEverything}) {
+    const FaultSchedule a = MakeBuiltinSchedule(which, nodes, leader, opts);
+    const FaultSchedule b = MakeBuiltinSchedule(which, nodes, leader, opts);
+    EXPECT_FALSE(a.events.empty());
+    EXPECT_EQ(a.Describe(), b.Describe());
+  }
+  // Different seeds give different partitions (the schedule is seeded, not
+  // hardwired).
+  NemesisOptions other = opts;
+  other.seed = 43;
+  EXPECT_NE(MakeBuiltinSchedule(BuiltinNemesis::kRandomPartitioner, nodes,
+                                leader, opts)
+                .Describe(),
+            MakeBuiltinSchedule(BuiltinNemesis::kRandomPartitioner, nodes,
+                                leader, other)
+                .Describe());
+}
+
+TEST(FaultScheduleTest, DescribeIsStable) {
+  const FaultAction isolate =
+      FaultAction::Isolate(NodeId{1, 2}, 500 * kMillisecond);
+  EXPECT_EQ(isolate.Describe(), "isolate 1.2 500ms");
+  const FaultAction restart = FaultAction::Restart(
+      NodeId{2, 1}, 300 * kMillisecond, Cluster::RestartMode::kAmnesia);
+  EXPECT_EQ(restart.Describe(), "restart 2.1 300ms amnesia");
+  const FaultAction flaky =
+      FaultAction::Flaky(NodeId::Invalid(), NodeId::Invalid(), 0.05, kSecond);
+  EXPECT_EQ(flaky.Describe(), "flaky * p=0.05 1000ms");
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identical replay: a seeded nemesis run is a pure function of the
+// seed — the PR-1 determinism auditor fingerprints every event (seq, time,
+// rng draws) across two runs of the same scenario.
+// ---------------------------------------------------------------------------
+
+TEST(FaultReplayTest, SeededNemesisRunReplaysByteIdentically) {
+  const auto scenario = [](TraceRecorder& rec) {
+    Config cfg = Config::Lan9("paxos");
+    cfg.nodes_per_zone = 5;
+    cfg.client_timeout = 500 * kMillisecond;
+    Cluster cluster(cfg);
+    cluster.sim().AddObserver(&rec);
+
+    NemesisOptions opts;
+    opts.start = 500 * kMillisecond;
+    opts.period = 700 * kMillisecond;
+    opts.fault_duration = 300 * kMillisecond;
+    opts.horizon = 2500 * kMillisecond;
+    opts.seed = 7;
+    AvailabilityTracker tracker;
+    Nemesis nemesis(&cluster,
+                    MakeBuiltinSchedule(BuiltinNemesis::kRandomPartitioner,
+                                        cfg.Nodes(), cluster.leader(), opts),
+                    &tracker);
+    nemesis.Arm();
+
+    BenchOptions options;
+    options.workload = UniformWorkload(10, 0.5);
+    options.clients_per_zone = 3;
+    options.bootstrap_s = 0.3;
+    options.warmup_s = 0.0;
+    options.duration_s = 2.0;
+    BenchRunner runner(&cluster, options);
+    runner.Run();
+  };
+  const ReplayReport report = AuditReplay(scenario);
+  EXPECT_TRUE(report.deterministic) << report.detail;
+  EXPECT_GT(report.events_a, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-restart recovery: every protocol must serve traffic again after
+// the fault clears, with bounded time-to-recovery. Acceptance (a).
+// ---------------------------------------------------------------------------
+
+struct RecoveryCase {
+  std::string protocol;
+  /// The node to restart: the leader for single-leader protocols (the
+  /// worst case), a follower for the grid/hierarchical protocols whose
+  /// zone leadership is fixed by design (matching the paper's scoping).
+  NodeId victim;
+  bool grid = false;  ///< LanGrid3x3 instead of a 5-node LAN.
+};
+
+class RecoveryTest : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(RecoveryTest, ServesTrafficAfterDurableRestart) {
+  const RecoveryCase& param = GetParam();
+  Config cfg = param.grid ? Config::LanGrid3x3(param.protocol)
+                          : Config::Lan9(param.protocol);
+  if (!param.grid) cfg.nodes_per_zone = 5;
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker(100 * kMillisecond);
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{
+      1500 * kMillisecond,
+      FaultAction::Restart(param.victim, 400 * kMillisecond,
+                           Cluster::RestartMode::kDurable)});
+  Nemesis nemesis(&cluster, schedule, &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(result.completed, 100u) << param.protocol;
+
+  // Traffic resumed: the last half-second of the timeline completed ops.
+  const auto& timeline = tracker.timeline();
+  ASSERT_GE(timeline.size(), 5u);
+  std::size_t tail = 0;
+  for (std::size_t i = timeline.size() - 5; i < timeline.size(); ++i) {
+    tail += timeline[i].completed;
+  }
+  EXPECT_GT(tail, 0u) << param.protocol << ": no traffic after recovery";
+
+  // Bounded time-to-recovery: downtime (400ms) + client timeout (500ms)
+  // + election/repair timers, with headroom. -1 would mean "never".
+  const Time ttr = tracker.MaxTimeToRecovery();
+  EXPECT_GE(ttr, 0) << param.protocol << ": never recovered";
+  EXPECT_LE(ttr, 2500 * kMillisecond) << param.protocol;
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << param.protocol << ": " << anomalies.size()
+      << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, RecoveryTest,
+    ::testing::Values(RecoveryCase{"paxos", NodeId{1, 1}, false},
+                      RecoveryCase{"fpaxos", NodeId{1, 1}, false},
+                      RecoveryCase{"raft", NodeId{1, 1}, false},
+                      RecoveryCase{"mencius", NodeId{1, 2}, false},
+                      RecoveryCase{"epaxos", NodeId{1, 2}, false},
+                      RecoveryCase{"wpaxos", NodeId{1, 2}, true},
+                      RecoveryCase{"wankeeper", NodeId{1, 2}, true},
+                      RecoveryCase{"vpaxos", NodeId{1, 2}, true}),
+    [](const ::testing::TestParamInfo<RecoveryCase>& info) {
+      return info.param.protocol;
+    });
+
+// Amnesia: the reborn node restarts from zero state and must relearn the
+// log through the protocol's catch-up path — under a stable leader whose
+// retransmission machinery feeds it.
+TEST(RecoveryTest, PaxosFollowerAmnesiaRestartCatchesUp) {
+  ScopedAudit audit;  // a reborn node that contradicts history must trip
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker;
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{
+      1500 * kMillisecond,
+      FaultAction::Restart(NodeId{1, 3}, 300 * kMillisecond,
+                           Cluster::RestartMode::kAmnesia)});
+  Nemesis nemesis(&cluster, schedule, &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 3.0;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(result.completed, 200u);
+  EXPECT_EQ(nemesis.executed(), 1u);
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  EXPECT_TRUE(lin.Check().empty());
+}
+
+// Clock skew: a follower whose timers run 3x slow must not break safety
+// or stall a stable-leader cluster.
+TEST(RecoveryTest, PaxosToleratesSkewedFollowerClock) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  Cluster cluster(cfg);
+  FaultSchedule schedule;
+  schedule.events.push_back(
+      FaultEvent{0, FaultAction::ClockSkew(NodeId{1, 4}, 3.0)});
+  Nemesis nemesis(&cluster, schedule, nullptr);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 2.0;
+  options.record_ops = true;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  EXPECT_GT(result.completed, 200u);
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  EXPECT_TRUE(lin.Check().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Built-in nemeses: safety holds (linearizability + fail-fast invariant
+// audits) while each nemesis does its worst. Acceptance (b).
+// ---------------------------------------------------------------------------
+
+struct NemesisCase {
+  std::string protocol;
+  BuiltinNemesis nemesis;
+  bool include_reorder = false;
+  const char* name = "";
+};
+
+class BuiltinNemesisTest : public ::testing::TestWithParam<NemesisCase> {};
+
+TEST_P(BuiltinNemesisTest, StaysSafeAndRecovers) {
+  const NemesisCase& param = GetParam();
+  ScopedAudit audit;
+  Config cfg = Config::Lan9(param.protocol);
+  cfg.nodes_per_zone = 5;
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker;
+  NemesisOptions opts;
+  opts.start = kSecond;
+  opts.period = 1500 * kMillisecond;
+  opts.fault_duration = 600 * kMillisecond;
+  opts.horizon = 4 * kSecond;
+  opts.seed = 0xC0FFEE;
+  opts.include_reorder = param.include_reorder;
+  Nemesis nemesis(&cluster,
+                  MakeBuiltinSchedule(param.nemesis, cfg.Nodes(),
+                                      cluster.leader(), opts),
+                  &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.5;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(nemesis.executed(), 0u);
+  EXPECT_GT(result.completed, 100u) << param.protocol;
+  // Every injected fault recovered before the end of the run.
+  EXPECT_GE(tracker.MaxTimeToRecovery(), 0) << param.protocol;
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << param.protocol << ": " << anomalies.size()
+      << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nemeses, BuiltinNemesisTest,
+    ::testing::Values(
+        NemesisCase{"paxos", BuiltinNemesis::kRandomPartitioner, false,
+                    "paxos_partitions"},
+        NemesisCase{"paxos", BuiltinNemesis::kIsolateLeader, false,
+                    "paxos_isolate_leader"},
+        NemesisCase{"paxos", BuiltinNemesis::kRollingCrashRestart, false,
+                    "paxos_rolling_restart"},
+        NemesisCase{"paxos", BuiltinNemesis::kFlakyEverything, true,
+                    "paxos_flaky"},
+        NemesisCase{"raft", BuiltinNemesis::kRandomPartitioner, false,
+                    "raft_partitions"},
+        NemesisCase{"raft", BuiltinNemesis::kIsolateLeader, false,
+                    "raft_isolate_leader"},
+        NemesisCase{"raft", BuiltinNemesis::kRollingCrashRestart, false,
+                    "raft_rolling_restart"},
+        NemesisCase{"epaxos", BuiltinNemesis::kFlakyEverything, true,
+                    "epaxos_flaky"},
+        // Mencius depends on FIFO links: flaky/duplicate are fine, the
+        // reorder fault must stay off (see mencius.h).
+        NemesisCase{"mencius", BuiltinNemesis::kFlakyEverything, false,
+                    "mencius_flaky"}),
+    [](const ::testing::TestParamInfo<NemesisCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Availability timeline end-to-end: the JSON records the injected outage.
+// Acceptance (c).
+// ---------------------------------------------------------------------------
+
+TEST(AvailabilityTest, TimelineRecordsInjectedUnavailabilityWindow) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  // Long client timeout: while the leader is isolated, closed-loop clients
+  // block instead of failing over, leaving a clean zero-throughput window.
+  cfg.client_timeout = 2 * kSecond;
+  cfg.params["election_timeout_ms"] = "10000";  // no follower takeover
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker(100 * kMillisecond);
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{
+      2 * kSecond, FaultAction::Isolate(cluster.leader(), kSecond)});
+  schedule.events.push_back(FaultEvent{3 * kSecond, FaultAction::Heal()});
+  Nemesis nemesis(&cluster, schedule, &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 5.0;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  runner.Run();
+
+  // The isolation must show up as a zero-completion window overlapping
+  // [2s, 3s].
+  bool overlap = false;
+  for (const AvailabilityTracker::Window& w :
+       tracker.unavailability_windows()) {
+    if (w.start < 3 * kSecond && w.end > 2 * kSecond) overlap = true;
+  }
+  EXPECT_TRUE(overlap) << "no unavailability window over the isolation; "
+                       << tracker.ToJson();
+
+  // Both nemesis events were recorded; the isolation recovered.
+  ASSERT_EQ(tracker.faults().size(), 2u);
+  EXPECT_NE(tracker.faults()[0].description.find("isolate"),
+            std::string::npos);
+  EXPECT_GT(tracker.faults()[0].recovered_at, 2 * kSecond);
+
+  const std::string json = tracker.ToJson();
+  EXPECT_NE(json.find("\"unavailability_windows\":[{"), std::string::npos);
+  EXPECT_NE(json.find("isolate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paxi

@@ -16,8 +16,10 @@
 namespace paxi {
 namespace {
 
-/// Schedules random minority crashes plus link drops/slows/flakiness over
-/// the run. Deterministic per seed.
+/// Schedules random minority crashes and crash-restarts, minority-side
+/// partitions (symmetric and directed), plus link drops/slows/flakiness
+/// over the run. Everything stays within a minority budget so a quorum
+/// survives each window. Deterministic per seed.
 void UnleashNemesis(Cluster& cluster, Time duration, std::uint64_t seed) {
   auto rng = std::make_shared<Rng>(seed);  // kept alive by the closures
   Simulator& sim = cluster.sim();
@@ -29,10 +31,35 @@ void UnleashNemesis(Cluster& cluster, Time duration, std::uint64_t seed) {
       // Freeze a random minority (never the quorum) for a short window.
       std::vector<NodeId> shuffled = nodes;
       rng->Shuffle(&shuffled);
-      const auto crashes =
-          static_cast<std::size_t>(rng->UniformInt(0, minority));
+      auto crashes = static_cast<std::size_t>(rng->UniformInt(0, minority));
       for (std::size_t i = 0; i < crashes; ++i) {
         cluster.CrashNode(shuffled[i], 150 * kMillisecond);
+      }
+      // Sometimes put one more minority member through the full
+      // crash-restart (durable log) path instead of a plain freeze.
+      if (crashes < minority && rng->Bernoulli(0.5)) {
+        cluster.RestartNode(shuffled[crashes], 150 * kMillisecond,
+                            Cluster::RestartMode::kDurable);
+        ++crashes;
+      }
+      // Occasionally cut a minority clean off the rest — symmetric or
+      // one-way (asymmetric partitions catch bugs that clean splits
+      // hide). The cut side is drawn from the tail of the shuffle so it
+      // is disjoint from the crashed prefix and the combined downed and
+      // cut nodes still leave a live connected quorum.
+      if (crashes < minority && rng->Bernoulli(0.4)) {
+        const auto cut = static_cast<std::size_t>(rng->UniformInt(
+            1, static_cast<std::int64_t>(minority - crashes)));
+        const std::vector<NodeId> side(shuffled.end() - static_cast<long>(cut),
+                                       shuffled.end());
+        const std::vector<NodeId> rest(shuffled.begin(),
+                                       shuffled.end() - static_cast<long>(cut));
+        if (rng->Bernoulli(0.5)) {
+          cluster.transport().Partition({side, rest}, 120 * kMillisecond);
+        } else {
+          cluster.transport().PartitionDirected(side, rest,
+                                                120 * kMillisecond);
+        }
       }
       // Degrade a few random links.
       for (int i = 0; i < 6; ++i) {
@@ -94,8 +121,69 @@ TEST_P(NemesisTest, StaysLinearizableUnderChaos) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Protocols, NemesisTest,
-                         ::testing::Values("paxos", "raft", "epaxos",
-                                           "mencius"),
+                         ::testing::Values("paxos", "fpaxos", "raft",
+                                           "epaxos", "mencius"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+class HierarchicalNemesisTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(HierarchicalNemesisTest, StaysLinearizableUnderFollowerChaos) {
+  // WanKeeper/VPaxos pin zone leadership to z.1 by design ("does not
+  // tolerate region failure", §5) — the nemesis therefore only restarts
+  // followers and degrades links, mirroring the paper's deployment
+  // assumptions for hierarchical protocols.
+  Config cfg = Config::LanGrid3x3(GetParam());
+  cfg.client_timeout = 500 * kMillisecond;
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 3;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+
+  Cluster cluster(cfg);
+  Simulator& sim = cluster.sim();
+  auto rng = std::make_shared<Rng>(11);
+  for (Time t = 200 * kMillisecond; t < 4 * kSecond;
+       t += 250 * kMillisecond) {
+    sim.At(sim.Now() + t, [&cluster, rng]() {
+      // Crash-restart one random follower through the durable path.
+      const int zone = static_cast<int>(rng->UniformInt(1, 3));
+      const int node = static_cast<int>(rng->UniformInt(2, 3));
+      cluster.RestartNode(NodeId{zone, node}, 150 * kMillisecond,
+                          Cluster::RestartMode::kDurable);
+      // And degrade one random link (any pair; a briefly deaf leader
+      // link stalls its zone but must heal without losing history).
+      const NodeId a{static_cast<int>(rng->UniformInt(1, 3)),
+                     static_cast<int>(rng->UniformInt(1, 3))};
+      const NodeId b{static_cast<int>(rng->UniformInt(1, 3)),
+                     static_cast<int>(rng->UniformInt(1, 3))};
+      if (!(a == b)) {
+        if (rng->Bernoulli(0.5)) {
+          cluster.transport().Flaky(a, b, 0.3, 200 * kMillisecond);
+        } else {
+          cluster.transport().Drop(a, b, 100 * kMillisecond);
+        }
+      }
+    });
+  }
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  EXPECT_GT(result.completed, 100u) << GetParam();
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << GetParam() << ": " << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hierarchical, HierarchicalNemesisTest,
+                         ::testing::Values("wankeeper", "vpaxos"),
                          [](const ::testing::TestParamInfo<std::string>& i) {
                            return i.param;
                          });

@@ -1,3 +1,4 @@
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -211,6 +212,167 @@ TEST_F(TransportTest, OrderedDeliveryIsFifoPerLink) {
   for (std::size_t i = 1; i < b_.arrival_times.size(); ++i) {
     EXPECT_GE(b_.arrival_times[i], b_.arrival_times[i - 1]);
   }
+}
+
+TEST_F(TransportTest, FaultExpiryBoundaryIsExclusive) {
+  // A fault with duration D set at t0 covers [t0, t0+D): at exactly
+  // t0+D the link is clean again.
+  transport_.Drop(a_.id_, b_.id_, 500);
+  sim_.RunUntil(499);
+  Send(1);  // now=499 < 500: dropped
+  sim_.RunUntil(500);
+  Send(2);  // now=500: expired
+  sim_.RunUntil(5000);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[0].get())->payload, 2);
+  EXPECT_EQ(transport_.fault_counters().dropped, 1u);
+}
+
+TEST_F(TransportTest, SlowExpiryBoundaryAddsNoDelay) {
+  transport_.Slow(a_.id_, b_.id_, 1000, 500);
+  sim_.RunUntil(500);
+  Send(1);
+  sim_.RunUntil(5000);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.arrival_times[0], 600);  // fixed 100, no extra
+  EXPECT_EQ(transport_.fault_counters().slowed, 0u);
+}
+
+TEST_F(TransportTest, FlakyExpiryBoundaryDelivers) {
+  transport_.Flaky(a_.id_, b_.id_, 1.0, 500);
+  sim_.RunUntil(499);
+  Send(1);  // p=1 inside the window: dropped
+  sim_.RunUntil(500);
+  Send(2);
+  sim_.RunUntil(5000);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[0].get())->payload, 2);
+  EXPECT_EQ(transport_.fault_counters().flaky_dropped, 1u);
+}
+
+TEST_F(TransportTest, OverlappingFaultsOnOneLinkCompose) {
+  // Drop and Slow on the same link: Drop wins while it lasts, Slow keeps
+  // acting after the Drop expires.
+  transport_.Drop(a_.id_, b_.id_, 500);
+  transport_.Slow(a_.id_, b_.id_, 1000, 10 * kSecond);
+  Send(1);  // dropped
+  sim_.RunUntil(600);
+  Send(2);  // slowed
+  sim_.RunUntil(10 * kSecond);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[0].get())->payload, 2);
+  EXPECT_GE(b_.arrival_times[0], 700);          // 600 + net 100
+  EXPECT_LE(b_.arrival_times[0], 700 + 1000);   // + extra in [0, 1000]
+  EXPECT_EQ(transport_.fault_counters().dropped, 1u);
+  EXPECT_EQ(transport_.fault_counters().slowed, 1u);
+}
+
+TEST_F(TransportTest, ActiveFaultCountPrunesExpiredEntries) {
+  transport_.Drop(a_.id_, b_.id_, 500);
+  transport_.Slow(b_.id_, a_.id_, 200, 10 * kSecond);
+  EXPECT_EQ(transport_.active_fault_count(), 2u);
+  sim_.RunUntil(1000);
+  // The a->b entry fully expired and is garbage-collected; b->a remains.
+  EXPECT_EQ(transport_.active_fault_count(), 1u);
+  transport_.Heal();
+  EXPECT_EQ(transport_.active_fault_count(), 0u);
+}
+
+TEST_F(TransportTest, SlowPreservesFifoInOrderedMode) {
+  // Slow jitters per-message delay but must not reorder a TCP-like link:
+  // the FIFO watermark pushes out-of-order samples behind their
+  // predecessors.
+  transport_.Slow(a_.id_, b_.id_, 5000, 10 * kSecond);
+  for (int i = 0; i < 100; ++i) Send(i);
+  sim_.RunUntil(20 * kSecond);
+  ASSERT_EQ(b_.received.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[static_cast<std::size_t>(
+                  i)].get())->payload, i);
+  }
+  for (std::size_t i = 1; i < b_.arrival_times.size(); ++i) {
+    EXPECT_GE(b_.arrival_times[i], b_.arrival_times[i - 1]);
+  }
+}
+
+TEST_F(TransportTest, DuplicateDeliversExtraCopies) {
+  transport_.Duplicate(a_.id_, b_.id_, 1.0, 10 * kSecond);
+  for (int i = 0; i < 10; ++i) Send(i);
+  sim_.RunUntil(10 * kSecond);
+  EXPECT_EQ(b_.received.size(), 20u);
+  EXPECT_EQ(transport_.messages_duplicated(), 10u);
+  // Every payload arrives exactly twice (the copy shares the original's
+  // immutable message object).
+  std::map<int, int> copies;
+  for (const MessagePtr& m : b_.received) {
+    ++copies[dynamic_cast<const TestMsg*>(m.get())->payload];
+  }
+  for (const auto& [payload, n] : copies) EXPECT_EQ(n, 2) << payload;
+}
+
+TEST_F(TransportTest, ReorderBypassesFifoInOrderedMode) {
+  transport_.Reorder(a_.id_, b_.id_, 1.0, 2000, 10 * kSecond);
+  for (int i = 0; i < 50; ++i) Send(i);
+  sim_.RunUntil(10 * kSecond);
+  ASSERT_EQ(b_.received.size(), 50u);
+  EXPECT_EQ(transport_.messages_reordered(), 50u);
+  bool inverted = false;
+  for (std::size_t i = 1; i < b_.received.size(); ++i) {
+    if (dynamic_cast<const TestMsg*>(b_.received[i].get())->payload <
+        dynamic_cast<const TestMsg*>(b_.received[i - 1].get())->payload) {
+      inverted = true;
+    }
+  }
+  EXPECT_TRUE(inverted) << "bounded reordering never produced an inversion";
+}
+
+TEST_F(TransportTest, PartitionCutsBothDirectionsAndHeals) {
+  Probe c;
+  c.id_ = NodeId{1, 3};
+  c.sim = &sim_;
+  transport_.Register(&c);
+  transport_.Partition({{a_.id_}, {b_.id_, c.id_}}, 10 * kSecond);
+
+  Send(1);  // a->b: cut
+  TestMsg from_b;
+  from_b.from = b_.id_;
+  transport_.Send(a_.id_, std::make_shared<const TestMsg>(from_b), 0);  // cut
+  TestMsg same_group;
+  same_group.from = b_.id_;
+  transport_.Send(c.id_, std::make_shared<const TestMsg>(same_group), 0);
+  sim_.RunUntil(kSecond);
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);  // same-side traffic unaffected
+
+  transport_.Heal();
+  Send(2);
+  sim_.RunUntil(2 * kSecond);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(dynamic_cast<const TestMsg*>(b_.received[0].get())->payload, 2);
+}
+
+TEST_F(TransportTest, DirectedPartitionCutsOneDirectionOnly) {
+  transport_.PartitionDirected({a_.id_}, {b_.id_}, 10 * kSecond);
+  Send(1);  // a->b: cut
+  TestMsg reverse;
+  reverse.from = b_.id_;
+  transport_.Send(a_.id_, std::make_shared<const TestMsg>(reverse), 0);
+  sim_.RunUntil(kSecond);
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(a_.received.size(), 1u);
+}
+
+TEST_F(TransportTest, UnregisterMidFlightCountsDeadLetter) {
+  // Delivery is late-bound: the endpoint lookup happens at the arrival
+  // instant, so a message in flight to a node that goes down lands in the
+  // dead-letter count instead of a stale pointer.
+  Send(1);  // arrival at t=100
+  transport_.Unregister(b_.id_);
+  sim_.RunUntil(kSecond);
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(transport_.fault_counters().dead_letters, 1u);
+  EXPECT_EQ(transport_.messages_dropped(), 1u);
 }
 
 TEST(TransportUnorderedTest, UnorderedMayReorder) {
