@@ -149,6 +149,36 @@ BenchResult BenchRunner::Run() {
     sim.After(++offset, [loop]() { loop->IssueNext(); });
   }
 
+  // With a tracker attached, sample every node's log footprint once per
+  // tracker interval — the bounded-memory evidence (log length vs applied
+  // index) next to the availability timeline.
+  if (options_.availability != nullptr) {
+    AvailabilityTracker* tracker = options_.availability;
+    Cluster* cluster = cluster_;
+    const Time gauge_interval = tracker->interval();
+    for (Time at = sim.Now() + gauge_interval; at <= deadline;
+         at += gauge_interval) {
+      sim.After(at - sim.Now(), [cluster, tracker]() {
+        const Time now = cluster->sim().Now();
+        for (const NodeId& id : cluster->nodes()) {
+          const Node* node = cluster->node(id);
+          if (node == nullptr) continue;  // down (amnesia-restart window)
+          const Node::LogStats stats = node->GetLogStats();
+          AvailabilityTracker::LogGauge gauge;
+          gauge.at = now;
+          gauge.node = id.ToString();
+          gauge.log_entries = stats.log_entries;
+          gauge.applied = stats.applied;
+          gauge.snapshot_index = stats.snapshot_index;
+          gauge.entries_compacted = stats.entries_compacted;
+          gauge.snapshots_taken = stats.snapshots_taken;
+          gauge.snapshots_installed = stats.snapshots_installed;
+          tracker->RecordLogGauge(gauge);
+        }
+      });
+    }
+  }
+
   // Run through the measured window plus a grace period for in-flight
   // requests (they do not count, but their callbacks must not dangle).
   sim.RunUntil(deadline);

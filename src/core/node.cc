@@ -140,6 +140,14 @@ void Node::SetClockSkew(double factor) {
   clock_skew_ = factor;
 }
 
+CompactionPolicy Node::SnapshotPolicy() const {
+  CompactionPolicy policy;
+  policy.interval = config_->GetParamInt("snapshot_interval", 0);
+  policy.max_bytes = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, config_->GetParamInt("snapshot_max_bytes", 0)));
+  return policy;
+}
+
 void Node::SetTimer(Time delay, std::function<void()> fn) {
   Time scaled = delay;
   if (clock_skew_ != 1.0) {

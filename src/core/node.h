@@ -16,6 +16,7 @@
 #include "sim/auditor.h"
 #include "sim/simulator.h"
 #include "store/kvstore.h"
+#include "store/log_storage.h"
 
 namespace paxi {
 
@@ -86,6 +87,20 @@ class Node : public Endpoint, public Auditable {
 
   /// Read-only access to this replica's state machine, for checkers.
   const KvStore& store() const { return store_; }
+
+  /// Per-node replicated-log gauges for the availability timeline and the
+  /// compaction tests: how big the log is, how far the state machine has
+  /// applied, and where the compaction watermark sits. Protocols that own
+  /// a log override this; the default reports an empty (log-less) node.
+  struct LogStats {
+    std::size_t log_entries = 0;       ///< Live entries across all logs.
+    Slot applied = -1;                 ///< Executed watermark (max domain).
+    Slot snapshot_index = -1;          ///< Latest compaction watermark.
+    std::size_t entries_compacted = 0; ///< Lifetime entries dropped.
+    std::size_t snapshots_taken = 0;   ///< Snapshots produced locally.
+    std::size_t snapshots_installed = 0;  ///< Peer snapshots installed.
+  };
+  virtual LogStats GetLogStats() const { return {}; }
 
   /// Messages this node has fully processed (handler ran). The busiest-node
   /// load analysis of §6.1 reads these counters.
@@ -162,6 +177,10 @@ class Node : public Endpoint, public Auditable {
   /// Schedules `fn` after `delay`; if the node is frozen when it fires, the
   /// callback is postponed to the unfreeze instant.
   void SetTimer(Time delay, std::function<void()> fn);
+
+  /// Log-compaction policy from the deployment config (`snapshot_interval`
+  /// applied entries / `snapshot_max_bytes`; both absent = disabled).
+  CompactionPolicy SnapshotPolicy() const;
 
   Simulator& sim() { return *sim_; }
   Time Now() const { return sim_->Now(); }

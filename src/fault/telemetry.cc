@@ -62,6 +62,20 @@ void AvailabilityTracker::RecordFault(Time at, const std::string& description) {
   faults_.push_back(std::move(mark));
 }
 
+void AvailabilityTracker::RecordLogGauge(const LogGauge& gauge) {
+  if (finalized_) return;
+  gauges_.push_back(gauge);
+}
+
+std::size_t AvailabilityTracker::MaxLogEntries(const std::string& node) const {
+  std::size_t max_entries = 0;
+  for (const LogGauge& g : gauges_) {
+    if (!node.empty() && g.node != node) continue;
+    max_entries = std::max(max_entries, g.log_entries);
+  }
+  return max_entries;
+}
+
 void AvailabilityTracker::Finalize(Time end) {
   if (finalized_) return;
   finalized_ = true;
@@ -157,6 +171,20 @@ std::string AvailabilityTracker::ToJson() const {
     if (i > 0) json += ",";
     json += "{\"start_us\":" + std::to_string(windows_[i].start);
     json += ",\"end_us\":" + std::to_string(windows_[i].end) + "}";
+  }
+  json += "],\"log_gauges\":[";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    const LogGauge& g = gauges_[i];
+    if (i > 0) json += ",";
+    json += "{\"t_us\":" + std::to_string(g.at);
+    json += ",\"node\":\"" + JsonEscape(g.node) + "\"";
+    json += ",\"log_entries\":" + std::to_string(g.log_entries);
+    json += ",\"applied\":" + std::to_string(g.applied);
+    json += ",\"snapshot_index\":" + std::to_string(g.snapshot_index);
+    json += ",\"entries_compacted\":" + std::to_string(g.entries_compacted);
+    json += ",\"snapshots_taken\":" + std::to_string(g.snapshots_taken);
+    json += ",\"snapshots_installed\":" + std::to_string(g.snapshots_installed);
+    json += "}";
   }
   json += "],\"max_ttr_us\":" + std::to_string(MaxTimeToRecovery());
   json += "}";

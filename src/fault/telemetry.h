@@ -41,6 +41,21 @@ class AvailabilityTracker {
     Time end = 0;    ///< Exclusive.
   };
 
+  /// Point-in-time sample of one node's replicated-log footprint
+  /// (core/node.h LogStats), proving bounded memory under compaction:
+  /// with snapshotting enabled, log_entries must stay ~flat instead of
+  /// growing with history length.
+  struct LogGauge {
+    Time at = 0;
+    std::string node;                  ///< "zone.node".
+    std::size_t log_entries = 0;
+    std::int64_t applied = -1;
+    std::int64_t snapshot_index = -1;
+    std::size_t entries_compacted = 0;
+    std::size_t snapshots_taken = 0;
+    std::size_t snapshots_installed = 0;
+  };
+
   explicit AvailabilityTracker(Time interval = 100 * kMillisecond);
 
   /// Records a completed client operation (ok) or a failed reply (!ok)
@@ -50,6 +65,10 @@ class AvailabilityTracker {
   /// Records an injected fault; `description` labels it in the JSON
   /// (typically FaultAction::Describe()).
   void RecordFault(Time at, const std::string& description);
+
+  /// Records one node's log-footprint sample (the bench runner samples
+  /// every node once per tracker interval when a tracker is attached).
+  void RecordLogGauge(const LogGauge& gauge);
 
   /// Closes the timeline at `end`: materializes contiguous interval stats
   /// (empty buckets included), computes unavailability windows and each
@@ -62,6 +81,10 @@ class AvailabilityTracker {
   const std::vector<Window>& unavailability_windows() const {
     return windows_;
   }
+  const std::vector<LogGauge>& log_gauges() const { return gauges_; }
+
+  /// Largest log_entries sample recorded for `node` ("" = any node).
+  std::size_t MaxLogEntries(const std::string& node = "") const;
 
   /// Largest time-to-recovery over all faults; 0 if no fault caused any
   /// measurable outage, -1 if some fault never recovered before the end.
@@ -89,6 +112,7 @@ class AvailabilityTracker {
   std::vector<Interval> timeline_;
   std::vector<FaultMark> faults_;
   std::vector<Window> windows_;
+  std::vector<LogGauge> gauges_;
 };
 
 }  // namespace paxi

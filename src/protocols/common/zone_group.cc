@@ -9,6 +9,7 @@ namespace paxi {
 using zone_group::GroupEntryWire;
 using zone_group::GroupFill;
 using zone_group::GroupFillReply;
+using zone_group::GroupInstallSnapshot;
 using zone_group::GroupP2a;
 using zone_group::GroupP2b;
 
@@ -20,12 +21,15 @@ ZoneGroupNode::ZoneGroupNode(NodeId id, Env env) : Node(id, env) {
     if (p.zone == id.zone && p != id) group_peers_.push_back(p);
   }
   flush_interval_ = config().GetParamInt("group_flush_ms", 100) * kMillisecond;
+  log_.set_policy(SnapshotPolicy());
 
   OnMessage<GroupP2a>([this](const GroupP2a& m) { HandleGroupP2a(m); });
   OnMessage<GroupP2b>([this](const GroupP2b& m) { HandleGroupP2b(m); });
   OnMessage<GroupFill>([this](const GroupFill& m) { HandleGroupFill(m); });
   OnMessage<GroupFillReply>(
       [this](const GroupFillReply& m) { HandleGroupFillReply(m); });
+  OnMessage<GroupInstallSnapshot>(
+      [this](const GroupInstallSnapshot& m) { HandleGroupInstallSnapshot(m); });
 }
 
 void ZoneGroupNode::Start() {
@@ -34,6 +38,11 @@ void ZoneGroupNode::Start() {
 
 void ZoneGroupNode::Audit(AuditScope& scope) const {
   const std::string domain = "group:" + std::to_string(id().zone);
+  // All group members snapshot at identical watermarks (the policy fires
+  // on applied count), so digests at equal watermarks must collide.
+  if (snapshot_.valid()) {
+    scope.SnapshotAt(domain, snapshot_.applied, snapshot_.digest);
+  }
   for (auto it = log_.upper_bound(scope.ChosenFrontier(domain));
        it != log_.end() && it->first <= commit_up_to_; ++it) {
     if (!it->second.committed) continue;
@@ -97,11 +106,16 @@ void ZoneGroupNode::GroupSubmit(Command cmd,
 void ZoneGroupNode::HandleGroupP2a(const GroupP2a& msg) {
   if (msg.from.zone != id().zone || IsGroupLeader()) return;
   if (msg.slot >= 0) {
-    auto it = log_.find(msg.slot);
-    if (it == log_.end()) {
-      GroupEntry entry;
-      entry.cmd = msg.cmd;
-      log_[msg.slot] = std::move(entry);
+    // Slots at or below our snapshot watermark are already executed and
+    // compacted; ack them (the leader's voter set dedups) but do not
+    // resurrect the entry.
+    if (msg.slot > log_.snapshot_index()) {
+      auto it = log_.find(msg.slot);
+      if (it == log_.end()) {
+        GroupEntry entry;
+        entry.cmd = msg.cmd;
+        log_[msg.slot] = std::move(entry);
+      }
     }
     // Re-ack retransmissions too — the leader's voter set dedups.
     GroupP2b reply;
@@ -138,6 +152,21 @@ void ZoneGroupNode::MaybeRequestFill(NodeId leader) {
 void ZoneGroupNode::HandleGroupFill(const GroupFill& msg) {
   if (!IsGroupLeader() || msg.from.zone != id().zone) return;
   constexpr std::size_t kFillBatch = 256;
+  if (msg.from_slot <= log_.snapshot_index() && snapshot_.valid()) {
+    // The requested range starts below our compaction point: the entries
+    // no longer exist, ship {snapshot, committed tail} instead.
+    GroupInstallSnapshot inst;
+    inst.state = snapshot_;
+    inst.commit_up_to = commit_up_to_;
+    for (auto it = log_.upper_bound(snapshot_.applied);
+         it != log_.end() && it->first <= commit_up_to_ &&
+         inst.tail.size() < kFillBatch;
+         ++it) {
+      inst.tail.push_back(GroupEntryWire{it->first, it->second.cmd});
+    }
+    Send(msg.from, std::move(inst));
+    return;
+  }
   GroupFillReply reply;
   reply.commit_up_to = commit_up_to_;
   for (auto it = log_.lower_bound(msg.from_slot);
@@ -153,6 +182,32 @@ void ZoneGroupNode::HandleGroupFill(const GroupFill& msg) {
 void ZoneGroupNode::HandleGroupFillReply(const GroupFillReply& msg) {
   if (msg.from.zone != id().zone || IsGroupLeader()) return;
   for (const GroupEntryWire& wire : msg.entries) {
+    if (wire.slot <= log_.snapshot_index()) continue;  // already compacted
+    GroupEntry& entry = log_[wire.slot];
+    if (!entry.committed) {
+      entry.cmd = wire.cmd;
+      entry.committed = true;
+    }
+  }
+  AdvanceCommit();
+  if (commit_up_to_ < msg.commit_up_to) MaybeRequestFill(msg.from);
+}
+
+void ZoneGroupNode::HandleGroupInstallSnapshot(const GroupInstallSnapshot& msg) {
+  if (msg.from.zone != id().zone || IsGroupLeader()) return;
+  const StoreSnapshot& state = msg.state;
+  // Duplicated, reordered, or stale installs fall through to the tail:
+  // jumping the state machine backwards is never allowed.
+  if (state.valid() && state.applied > execute_up_to_) {
+    RestoreStore(state, &store_);
+    log_.CompactTo(state.applied);
+    snapshot_ = state;
+    ++snapshots_installed_;
+    commit_up_to_ = std::max(commit_up_to_, state.applied);
+    execute_up_to_ = state.applied;
+  }
+  for (const GroupEntryWire& wire : msg.tail) {
+    if (wire.slot <= log_.snapshot_index()) continue;
     GroupEntry& entry = log_[wire.slot];
     if (!entry.committed) {
       entry.cmd = wire.cmd;
@@ -195,7 +250,29 @@ void ZoneGroupNode::ExecuteCommitted() {
       it->second.done = nullptr;
       done(std::move(result));
     }
+    // Per-slot so every group member snapshots at the same watermark (the
+    // auditor cross-checks digests at equal watermarks). May compact the
+    // entry `it` points at — nothing touches it afterwards.
+    MaybeSnapshot();
   }
+}
+
+void ZoneGroupNode::MaybeSnapshot() {
+  if (!log_.ShouldSnapshot(execute_up_to_)) return;
+  snapshot_ = SnapshotStore(store_, execute_up_to_);
+  ++snapshots_taken_;
+  log_.CompactTo(execute_up_to_);
+}
+
+Node::LogStats ZoneGroupNode::GetLogStats() const {
+  LogStats stats;
+  stats.log_entries = log_.size();
+  stats.applied = execute_up_to_;
+  stats.snapshot_index = log_.snapshot_index();
+  stats.entries_compacted = log_.total_compacted();
+  stats.snapshots_taken = snapshots_taken_;
+  stats.snapshots_installed = snapshots_installed_;
+  return stats;
 }
 
 }  // namespace paxi

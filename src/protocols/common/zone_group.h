@@ -8,6 +8,8 @@
 
 #include "common/status.h"
 #include "core/node.h"
+#include "store/log_storage.h"
+#include "store/snapshot.h"
 
 namespace paxi {
 
@@ -52,6 +54,20 @@ struct GroupFillReply : Message {
   std::size_t ByteSize() const override { return 100 + entries.size() * 50; }
 };
 
+/// Leader's answer to a GroupFill whose range fell below the group's
+/// compaction point: the zone store at `state.applied` plus the committed
+/// tail above it, replacing an entry-by-entry replay of slots that no
+/// longer exist.
+struct GroupInstallSnapshot : Message {
+  StoreSnapshot state;
+  std::vector<GroupEntryWire> tail;
+  Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override {
+    return 100 + state.ByteSizeEstimate() + tail.size() * 50;
+  }
+};
+
 }  // namespace zone_group
 
 class ZoneGroupNode : public Node {
@@ -68,7 +84,12 @@ class ZoneGroupNode : public Node {
   static NodeId GroupLeaderOf(int zone) { return NodeId{zone, 1}; }
 
   Slot group_committed() const { return commit_up_to_; }
+  Slot group_executed() const { return execute_up_to_; }
+  Slot group_snapshot_index() const { return log_.snapshot_index(); }
   std::size_t group_fills_requested() const { return fills_requested_; }
+  std::size_t snapshots_installed() const { return snapshots_installed_; }
+
+  LogStats GetLogStats() const override;
 
  protected:
   /// Leader-only: replicate `cmd` on this zone's group; `done` fires at
@@ -81,6 +102,10 @@ class ZoneGroupNode : public Node {
   void HandleGroupP2b(const zone_group::GroupP2b& msg);
   void HandleGroupFill(const zone_group::GroupFill& msg);
   void HandleGroupFillReply(const zone_group::GroupFillReply& msg);
+  void HandleGroupInstallSnapshot(const zone_group::GroupInstallSnapshot& msg);
+  /// Snapshot + compact the group log at the execute frontier when the
+  /// policy fires.
+  void MaybeSnapshot();
   /// Follower-side watermark walk: marks known slots committed, advances,
   /// and probes the leader with a GroupFill if a slot is missing.
   void ApplyWatermark(Slot up_to, NodeId leader);
@@ -101,7 +126,12 @@ class ZoneGroupNode : public Node {
     Time last_sent = 0;
   };
 
-  std::map<Slot, GroupEntry> log_;
+  LogStorage<GroupEntry> log_;
+  /// Latest group-store snapshot (taken or installed), serving fills that
+  /// hit the compacted prefix.
+  StoreSnapshot snapshot_;
+  std::size_t snapshots_taken_ = 0;
+  std::size_t snapshots_installed_ = 0;
   Slot next_slot_ = 0;
   Slot commit_up_to_ = -1;
   Slot execute_up_to_ = -1;

@@ -8,6 +8,8 @@ namespace paxi {
 using epaxos::Accept;
 using epaxos::AcceptOk;
 using epaxos::CommitMsg;
+using epaxos::FrontierWire;
+using epaxos::GcStatus;
 using epaxos::InstanceId;
 using epaxos::PreAccept;
 using epaxos::PreAcceptOk;
@@ -56,6 +58,8 @@ EPaxosReplica::EPaxosReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<AcceptOk>([this](const AcceptOk& m) { HandleAcceptOk(m); });
   OnMessage<CommitMsg>([this](const CommitMsg& m) { HandleCommit(m); });
   OnMessage<Recover>([this](const Recover& m) { HandleRecover(m); });
+  OnMessage<GcStatus>([this](const GcStatus& m) { HandleGcStatus(m); });
+  gc_enabled_ = SnapshotPolicy().enabled();
 }
 
 void EPaxosReplica::Start() {
@@ -105,8 +109,82 @@ void EPaxosReplica::ArmRecoveryTimer() {
         Send(dep.replica, std::move(probe));
       }
     }
+    if (gc_enabled_ && !exec_frontier_.empty()) {
+      GcStatus status;
+      for (const auto& [origin, frontier] : exec_frontier_) {
+        status.frontiers.push_back(FrontierWire{origin, frontier});
+      }
+      BroadcastToAll(std::move(status));
+      // Our broadcast does not loop back: record our own report and
+      // collect with the latest local view.
+      peer_frontiers_[id()] = exec_frontier_;
+      CollectGarbage();
+    }
     ArmRecoveryTimer();
   });
+}
+
+void EPaxosReplica::HandleGcStatus(const GcStatus& msg) {
+  std::map<NodeId, Slot>& reported = peer_frontiers_[msg.from];
+  for (const FrontierWire& wire : msg.frontiers) {
+    Slot& f = reported.try_emplace(wire.replica, -1).first->second;
+    f = std::max(f, wire.executed);
+  }
+  CollectGarbage();
+}
+
+void EPaxosReplica::AdvanceExecFrontier(NodeId origin) {
+  Slot& frontier = exec_frontier_.try_emplace(origin, -1).first->second;
+  while (true) {
+    auto it = instances_.find(InstanceId{origin, frontier + 1});
+    if (it == instances_.end() || it->second.phase != Phase::kExecuted) break;
+    ++frontier;
+  }
+}
+
+Slot EPaxosReplica::GcFloor(NodeId origin) const {
+  auto it = gc_floor_.find(origin);
+  return it == gc_floor_.end() ? -1 : it->second;
+}
+
+void EPaxosReplica::CollectGarbage() {
+  // An instance is collectible only below the minimum executed frontier
+  // across ALL replicas (missing reports count as -1): below that point
+  // no replica can ever need it for dependency ordering or recovery.
+  for (const auto& [origin, local_frontier] : exec_frontier_) {
+    Slot floor = local_frontier;
+    for (const NodeId& peer : peers()) {
+      if (peer == id()) continue;
+      Slot reported = -1;
+      auto rit = peer_frontiers_.find(peer);
+      if (rit != peer_frontiers_.end()) {
+        auto oit = rit->second.find(origin);
+        if (oit != rit->second.end()) reported = oit->second;
+      }
+      floor = std::min(floor, reported);
+    }
+    Slot& applied = gc_floor_.try_emplace(origin, -1).first->second;
+    for (Slot s = applied + 1; s <= floor; ++s) {
+      auto it = instances_.find(InstanceId{origin, s});
+      if (it != instances_.end()) {
+        instances_.erase(it);
+        ++instances_gced_;
+      }
+    }
+    applied = std::max(applied, floor);
+  }
+}
+
+Node::LogStats EPaxosReplica::GetLogStats() const {
+  LogStats stats;
+  stats.log_entries = instances_.size();
+  stats.applied = [&] {
+    auto it = exec_frontier_.find(id());
+    return it == exec_frontier_.end() ? Slot{-1} : it->second;
+  }();
+  stats.snapshot_index = GcFloor(id());
+  stats.entries_compacted = instances_gced_;
+  return stats;
 }
 
 void EPaxosReplica::HandleRecover(const Recover& msg) {
@@ -359,6 +437,10 @@ void EPaxosReplica::TryExecute(const InstanceId& root) {
     while (frame.next_dep < inst.deps.size()) {
       const InstanceId dep = inst.deps[frame.next_dep++];
       auto dep_it = instances_.find(dep);
+      if (dep_it == instances_.end() && dep.slot <= GcFloor(dep.replica)) {
+        // Garbage-collected: executed by every replica, nothing to order.
+        continue;
+      }
       const bool dep_executed =
           dep_it != instances_.end() &&
           dep_it->second.phase == Phase::kExecuted;
@@ -422,7 +504,6 @@ void EPaxosReplica::TryExecute(const InstanceId& root) {
 }
 
 void EPaxosReplica::ExecuteInstance(const InstanceId& iid, Instance& inst) {
-  (void)iid;
   Result<Value> result = store_.Execute(inst.cmd);
   inst.phase = Phase::kExecuted;
   ++executed_count_;
@@ -432,6 +513,7 @@ void EPaxosReplica::ExecuteInstance(const InstanceId& iid, Instance& inst) {
     ReplyToClient(inst.origin, /*ok=*/true,
                   result.ok() ? result.value() : Value(), found);
   }
+  if (gc_enabled_) AdvanceExecFrontier(iid.replica);
 }
 
 void EPaxosReplica::Audit(AuditScope& scope) const {

@@ -92,6 +92,26 @@ struct Recover : Message {
   InstanceId iid;
 };
 
+struct FrontierWire {
+  NodeId replica;     ///< Command leader whose instance space this covers.
+  Slot executed = -1; ///< Sender executed every slot of `replica` <= this.
+};
+
+/// Periodic GC gossip, sent only when compaction is enabled
+/// ("snapshot_interval" / "snapshot_max_bytes"): the sender's contiguous
+/// executed frontier per command leader. An instance is collectible once
+/// every replica has executed it — below the cluster-wide minimum frontier
+/// it can never be needed for dependencies or recovery again, which is
+/// EPaxos's analogue of log compaction (the instance space has no single
+/// log to truncate).
+struct GcStatus : Message {
+  std::vector<FrontierWire> frontiers;
+
+  std::size_t ByteSize() const override {
+    return 50 + frontiers.size() * 16;
+  }
+};
+
 }  // namespace epaxos
 
 class EPaxosReplica : public Node {
@@ -113,6 +133,10 @@ class EPaxosReplica : public Node {
   std::size_t slow_path_commits() const { return slow_commits_; }
   std::size_t executed() const { return executed_count_; }
   std::size_t recovers_sent() const { return recovers_sent_; }
+  std::size_t instances_alive() const { return instances_.size(); }
+  std::size_t instances_gced() const { return instances_gced_; }
+
+  LogStats GetLogStats() const override;
 
  private:
   enum class Phase { kNone, kPreAccepted, kAccepted, kCommitted, kExecuted };
@@ -141,9 +165,22 @@ class EPaxosReplica : public Node {
   void HandleAcceptOk(const epaxos::AcceptOk& msg);
   void HandleCommit(const epaxos::CommitMsg& msg);
   void HandleRecover(const epaxos::Recover& msg);
+  void HandleGcStatus(const epaxos::GcStatus& msg);
   /// Probes the command leaders of (a few) instances blocking execution;
-  /// re-drives our own stalled rounds directly.
+  /// re-drives our own stalled rounds directly. Also gossips GC frontiers
+  /// when compaction is enabled.
   void ArmRecoveryTimer();
+
+  // --- Instance-space GC ---------------------------------------------------
+  /// Advances the local contiguous executed frontier of `origin`'s
+  /// instance space.
+  void AdvanceExecFrontier(NodeId origin);
+  /// Erases instances at or below the cluster-wide minimum executed
+  /// frontier of each command leader.
+  void CollectGarbage();
+  /// Highest slot of `origin` known collected (instances at or below it
+  /// were executed by every replica).
+  Slot GcFloor(NodeId origin) const;
 
   /// Dependencies of `cmd` given this replica's local interference record.
   std::vector<epaxos::InstanceId> LocalDeps(const Command& cmd) const;
@@ -181,6 +218,14 @@ class EPaxosReplica : public Node {
   std::size_t executed_count_ = 0;
   std::size_t recovers_sent_ = 0;
   Time recover_interval_ = 0;
+
+  /// GC state: local executed frontier per command leader, every peer's
+  /// reported frontiers, and the collection floor already applied.
+  bool gc_enabled_ = false;
+  std::map<NodeId, Slot> exec_frontier_;
+  std::map<NodeId, std::map<NodeId, Slot>> peer_frontiers_;
+  std::map<NodeId, Slot> gc_floor_;
+  std::size_t instances_gced_ = 0;
 
   /// Instances committed since the last audit pass (only filled while an
   /// InvariantAuditor watches this node; drained by Audit, hence mutable).

@@ -8,6 +8,7 @@ using mencius::Accept;
 using mencius::AcceptAck;
 using mencius::CommitFlush;
 using mencius::Fill;
+using mencius::InstallSnapshot;
 using mencius::Skip;
 
 MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
@@ -18,6 +19,7 @@ MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
   next_own_slot_ = index_;
   majority_ = peers().size() / 2 + 1;
   skip_interval_ = config().GetParamInt("skip_interval_ms", 5) * kMillisecond;
+  log_.set_policy(SnapshotPolicy());
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<Accept>([this](const Accept& m) { HandleAccept(m); });
@@ -25,11 +27,18 @@ MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
   OnMessage<Skip>([this](const Skip& m) { HandleSkip(m); });
   OnMessage<CommitFlush>([this](const CommitFlush& m) { HandleFlush(m); });
   OnMessage<Fill>([this](const Fill& m) { HandleFill(m); });
+  OnMessage<InstallSnapshot>(
+      [this](const InstallSnapshot& m) { HandleInstallSnapshot(m); });
 }
 
 void MenciusReplica::Start() { ArmSkipTimer(); }
 
 void MenciusReplica::Audit(AuditScope& scope) const {
+  // Compacted prefix: all replicas snapshot at identical watermarks (the
+  // policy fires on applied count), so digests must collide.
+  if (snapshot_.valid()) {
+    scope.SnapshotAt("log", snapshot_.applied, snapshot_.digest);
+  }
   for (auto it = log_.upper_bound(scope.ChosenFrontier("log"));
        it != log_.end() && it->first <= commit_up_to_; ++it) {
     const Entry& e = it->second;
@@ -111,6 +120,14 @@ void MenciusReplica::ProbeStalledSlot(Slot slot) {
 
 void MenciusReplica::HandleFill(const Fill& msg) {
   if (!OwnsSlot(msg.slot)) return;
+  if (msg.slot <= log_.snapshot_index() && snapshot_.valid()) {
+    // The probed slot was folded into a snapshot: entry-by-entry recovery
+    // is impossible, ship the state instead.
+    InstallSnapshot inst;
+    inst.state = snapshot_;
+    Send(msg.from, std::move(inst));
+    return;
+  }
   auto it = log_.find(msg.slot);
   if (it != log_.end() && it->second.has_cmd) {
     // Re-broadcast the Accept: the requester (and anyone else that missed
@@ -191,8 +208,10 @@ void MenciusReplica::HandleRequest(const ClientRequest& req) {
 
 void MenciusReplica::MarkSkipped(int owner_index, Slot from, Slot before) {
   // Mark every slot owned by `owner_index` in [from, before) that has no
-  // entry as a committed no-op.
-  Slot slot = from;
+  // entry as a committed no-op. Slots at or below the snapshot watermark
+  // are already settled and compacted; recreating them would resurrect
+  // the prefix the compactor discarded.
+  Slot slot = std::max(from, log_.snapshot_index() + 1);
   const Slot rem = slot % n_;
   if (rem != owner_index) {
     slot += owner_index - rem + (owner_index < rem ? n_ : 0);
@@ -215,6 +234,18 @@ void MenciusReplica::HandleAccept(const Accept& msg) {
   // skipped; its earlier slots were settled by earlier (FIFO-ordered)
   // messages on this link.
   MarkSkipped(sender_index, msg.skip_before, msg.slot);
+
+  if (msg.slot <= log_.snapshot_index()) {
+    // Re-broadcast of a slot we already executed and compacted (the owner
+    // probed by a Fill, or a retransmission). Ack so slower replicas can
+    // still tally a majority, but do not resurrect the entry.
+    AcceptAck ack;
+    ack.slot = msg.slot;
+    BroadcastToAll(std::move(ack));
+    ApplyWatermark(msg.commit_up_to);
+    AdvanceExecution();
+    return;
+  }
 
   auto it = log_.find(msg.slot);
   if (it == log_.end()) {
@@ -266,12 +297,13 @@ void MenciusReplica::HandleAck(const AcceptAck& msg) {
     }
     MarkSkipped(sender_index, msg.skip_from, msg.skip_up_to);
   }
+  if (msg.slot <= log_.snapshot_index()) return;  // settled and compacted
   auto it = log_.find(msg.slot);
   if (it == log_.end()) {
     // Ack outran the Accept on this link topology; remember the vote.
     Entry placeholder;
     placeholder.voters = {OwnerOf(msg.slot)};  // implicit proposer self-ack
-    log_.emplace(msg.slot, std::move(placeholder));
+    log_[msg.slot] = std::move(placeholder);
   }
   CountVote(msg.slot, msg.from);
   AdvanceExecution();
@@ -301,16 +333,69 @@ void MenciusReplica::AdvanceExecution() {
     if (it == log_.end() || !it->second.committed) break;
     if (!it->second.noop && !it->second.has_cmd) break;  // command in flight
     ++execute_up_to_;
-    if (it->second.noop) continue;
-    Result<Value> result = store_.Execute(it->second.cmd);
-    auto pending = pending_.find(slot);
-    if (pending != pending_.end()) {
-      const ClientRequest req = pending->second;
-      pending_.erase(pending);
-      ReplyToClient(req, /*ok=*/true,
-                    result.ok() ? result.value() : Value(), result.ok());
+    if (!it->second.noop) {
+      Result<Value> result = store_.Execute(it->second.cmd);
+      auto pending = pending_.find(slot);
+      if (pending != pending_.end()) {
+        const ClientRequest req = pending->second;
+        pending_.erase(pending);
+        ReplyToClient(req, /*ok=*/true,
+                      result.ok() ? result.value() : Value(), result.ok());
+      }
     }
+    // Per-slot so every replica snapshots at the same watermark (the
+    // auditor cross-checks digests at equal watermarks). May compact the
+    // entry `it` points at — nothing touches it afterwards.
+    MaybeSnapshot();
   }
+}
+
+void MenciusReplica::MaybeSnapshot() {
+  if (!log_.ShouldSnapshot(execute_up_to_)) return;
+  snapshot_ = SnapshotStore(store_, execute_up_to_);
+  ++snapshots_taken_;
+  log_.CompactTo(execute_up_to_);
+}
+
+void MenciusReplica::HandleInstallSnapshot(const InstallSnapshot& msg) {
+  const StoreSnapshot& state = msg.state;
+  // Duplicated, reordered, or stale installs must be no-ops.
+  if (!state.valid() || state.applied <= execute_up_to_) return;
+  RestoreStore(state, &store_);
+  log_.CompactTo(state.applied);
+  snapshot_ = state;
+  ++snapshots_installed_;
+  commit_up_to_ = std::max(commit_up_to_, state.applied);
+  execute_up_to_ = state.applied;
+  max_slot_seen_ = std::max(max_slot_seen_, state.applied);
+  if (next_own_slot_ <= state.applied) {
+    next_own_slot_ = NextOwnedSlot(state.applied + 1);
+  }
+  // Our own proposals at or below the watermark were decided as proposed
+  // (only the owner can skip its slot, and we never did) and are folded
+  // into the installed state. Answer writes now — the reply value of a
+  // Put is its own payload; reads lost their result, and the client's
+  // retry re-executes them safely.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first <= state.applied;) {
+    if (it->second.cmd.IsWrite()) {
+      ReplyToClient(it->second, /*ok=*/true, it->second.cmd.value,
+                    /*found=*/true);
+    }
+    it = pending_.erase(it);
+  }
+  AdvanceExecution();
+}
+
+Node::LogStats MenciusReplica::GetLogStats() const {
+  LogStats stats;
+  stats.log_entries = log_.size();
+  stats.applied = execute_up_to_;
+  stats.snapshot_index = log_.snapshot_index();
+  stats.entries_compacted = log_.total_compacted();
+  stats.snapshots_taken = snapshots_taken_;
+  stats.snapshots_installed = snapshots_installed_;
+  return stats;
 }
 
 void RegisterMenciusProtocol() {

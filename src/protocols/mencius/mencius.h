@@ -8,6 +8,8 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "store/log_storage.h"
+#include "store/snapshot.h"
 
 namespace paxi {
 
@@ -81,9 +83,21 @@ struct CommitFlush : Message {
 /// that slot for a full skip interval (its Accept, acks, or Skip got lost
 /// to a link fault or an outage). The owner answers by re-broadcasting
 /// the slot's Accept, a Skip for it, or — if the slot is still unused —
-/// relinquishing it now.
+/// relinquishing it now. A probe for a slot the owner already compacted
+/// is answered with an InstallSnapshot instead.
 struct Fill : Message {
   Slot slot = 0;
+};
+
+/// Owner -> stalled replica: the probed slot was folded into a snapshot;
+/// the full store state at `state.applied` replaces entry-by-entry
+/// recovery of the compacted prefix.
+struct InstallSnapshot : Message {
+  StoreSnapshot state;
+
+  std::size_t ByteSize() const override {
+    return 100 + state.ByteSizeEstimate();
+  }
 };
 
 }  // namespace mencius
@@ -101,6 +115,10 @@ class MenciusReplica : public Node {
   Slot executed_up_to() const { return execute_up_to_; }
   std::size_t skips_sent() const { return skips_sent_; }
   std::size_t fills_sent() const { return fills_sent_; }
+  Slot snapshot_index() const { return log_.snapshot_index(); }
+  std::size_t snapshots_installed() const { return snapshots_installed_; }
+
+  LogStats GetLogStats() const override;
 
  private:
   struct Entry {
@@ -121,7 +139,10 @@ class MenciusReplica : public Node {
   void HandleSkip(const mencius::Skip& msg);
   void HandleFlush(const mencius::CommitFlush& msg);
   void HandleFill(const mencius::Fill& msg);
+  void HandleInstallSnapshot(const mencius::InstallSnapshot& msg);
   void ApplyWatermark(Slot up_to);
+  /// Snapshot + compact at the execute frontier when the policy fires.
+  void MaybeSnapshot();
 
   void MarkSkipped(int owner_index, Slot from, Slot before);
   void AdvanceExecution();
@@ -142,7 +163,12 @@ class MenciusReplica : public Node {
   /// Smallest slot this node owns that is >= `at`.
   Slot NextOwnedSlot(Slot at) const;
 
-  std::map<Slot, Entry> log_;
+  LogStorage<Entry> log_;
+  /// Latest snapshot (taken or installed), serving Fill probes that hit
+  /// the compacted prefix.
+  StoreSnapshot snapshot_;
+  std::size_t snapshots_taken_ = 0;
+  std::size_t snapshots_installed_ = 0;
   Slot next_own_slot_;         ///< Next slot this node will propose in.
   Slot max_slot_seen_ = -1;    ///< Highest slot observed anywhere.
   Slot commit_up_to_ = -1;

@@ -6,6 +6,7 @@ namespace paxi {
 
 using paxos::CatchupReply;
 using paxos::CatchupRequest;
+using paxos::InstallSnapshot;
 using paxos::LogEntryWire;
 using paxos::P1a;
 using paxos::P1b;
@@ -26,6 +27,9 @@ PaxosReplica::PaxosReplica(NodeId id, Env env) : Node(id, env) {
   election_timeout_ =
       config().GetParamInt("election_timeout_ms", 500) * kMillisecond;
   local_reads_ = config().GetParamBool("local_reads", false);
+  max_backlog_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, config().GetParamInt("max_backlog", 1024)));
+  log_.set_policy(SnapshotPolicy());
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<P1a>([this](const P1a& m) { HandleP1a(m); });
@@ -36,6 +40,8 @@ PaxosReplica::PaxosReplica(NodeId id, Env env) : Node(id, env) {
       [this](const CatchupRequest& m) { HandleCatchupRequest(m); });
   OnMessage<CatchupReply>(
       [this](const CatchupReply& m) { HandleCatchupReply(m); });
+  OnMessage<InstallSnapshot>(
+      [this](const InstallSnapshot& m) { HandleInstallSnapshot(m); });
 }
 
 std::size_t PaxosReplica::Phase1QuorumSize() const {
@@ -70,8 +76,14 @@ void PaxosReplica::Audit(AuditScope& scope) const {
   scope.Require(InvariantAuditor::CountQuorumsIntersect(
                     peers().size(), Phase1QuorumSize(), Phase2QuorumSize()),
                 "phase-1 and phase-2 quorums must intersect");
-  // Committed entries never leave log_, so reporting resumes where the
-  // last audit pass stopped.
+  // Compacted slots are summarized by the snapshot digest: nodes that
+  // snapshot (or install) at the same watermark must agree on the state,
+  // and the frontier jumps past the compacted prefix.
+  if (snapshot_.valid()) {
+    scope.SnapshotAt("log", snapshot_.applied, snapshot_.digest);
+  }
+  // Committed entries only leave log_ through compaction, so reporting
+  // resumes where the last audit pass stopped.
   for (auto it = log_.upper_bound(scope.ChosenFrontier("log"));
        it != log_.end() && it->first <= commit_up_to_; ++it) {
     if (!it->second.committed) continue;
@@ -139,6 +151,21 @@ void PaxosReplica::MaybeRequestCatchup(NodeId leader) {
 void PaxosReplica::HandleCatchupRequest(const CatchupRequest& msg) {
   // Any replica can serve committed entries; the requester sends this to
   // whoever claimed the watermark it is missing.
+  if (msg.from_slot <= log_.snapshot_index() && snapshot_.valid()) {
+    // The requested prefix was compacted away: ship {snapshot, tail}
+    // instead of replaying entries we no longer have.
+    InstallSnapshot inst;
+    inst.state = snapshot_;
+    inst.commit_up_to = commit_up_to_;
+    for (auto it = log_.upper_bound(snapshot_.applied);
+         it != log_.end() && inst.tail.size() < kCatchupBatch; ++it) {
+      if (!it->second.committed) break;
+      inst.tail.push_back(LogEntryWire{it->first, it->second.ballot,
+                                       it->second.cmd, true});
+    }
+    Send(msg.from, std::move(inst));
+    return;
+  }
   CatchupReply reply;
   reply.commit_up_to = commit_up_to_;
   for (auto it = log_.lower_bound(msg.from_slot);
@@ -151,8 +178,10 @@ void PaxosReplica::HandleCatchupRequest(const CatchupRequest& msg) {
   Send(msg.from, std::move(reply));
 }
 
-void PaxosReplica::HandleCatchupReply(const CatchupReply& msg) {
-  for (const LogEntryWire& wire : msg.entries) {
+void PaxosReplica::AdoptCommittedEntries(
+    const std::vector<LogEntryWire>& entries) {
+  for (const LogEntryWire& wire : entries) {
+    if (wire.slot <= log_.snapshot_index()) continue;  // already folded in
     auto it = log_.find(wire.slot);
     if (it == log_.end()) {
       Entry entry;
@@ -170,7 +199,43 @@ void PaxosReplica::HandleCatchupReply(const CatchupReply& msg) {
       it->second.committed = true;
     }
   }
+}
+
+void PaxosReplica::HandleCatchupReply(const CatchupReply& msg) {
+  AdoptCommittedEntries(msg.entries);
   AdvanceCommit();
+}
+
+void PaxosReplica::InstallSnapshotState(const StoreSnapshot& state) {
+  // Duplicated or reordered installs (and snapshots that lag what we have
+  // already executed) are no-ops: installation only ever moves forward.
+  if (!state.valid() || state.applied <= execute_up_to_) return;
+  RestoreStore(state, &store_);
+  // Our own tail at or below the watermark — committed or not — is
+  // superseded by the snapshot.
+  log_.CompactTo(state.applied);
+  snapshot_ = state;
+  ++snapshots_installed_;
+  commit_up_to_ = std::max(commit_up_to_, state.applied);
+  execute_up_to_ = state.applied;
+  next_slot_ = std::max(next_slot_, state.applied + 1);
+  // Proposals we parked under compacted slots can no longer be answered
+  // from execution; the client retry path covers them.
+  pending_replies_.erase(pending_replies_.begin(),
+                         pending_replies_.upper_bound(state.applied));
+}
+
+void PaxosReplica::HandleInstallSnapshot(const InstallSnapshot& msg) {
+  InstallSnapshotState(msg.state);
+  AdoptCommittedEntries(msg.tail);
+  AdvanceCommit();
+}
+
+void PaxosReplica::MaybeSnapshot() {
+  if (!log_.ShouldSnapshot(execute_up_to_)) return;
+  snapshot_ = SnapshotStore(store_, execute_up_to_);
+  ++snapshots_taken_;
+  log_.CompactTo(execute_up_to_);
 }
 
 void PaxosReplica::StartPhase1() {
@@ -209,7 +274,7 @@ void PaxosReplica::HandleRequest(const ClientRequest& req) {
     return;
   }
   if (electing_) {
-    backlog_.push_back(req);
+    ParkRequest(req);
     return;
   }
   const NodeId leader = ballot_.id;
@@ -218,8 +283,19 @@ void PaxosReplica::HandleRequest(const ClientRequest& req) {
     return;
   }
   // No live leader known: campaign and serve the request once elected.
-  backlog_.push_back(req);
+  ParkRequest(req);
   StartPhase1();
+}
+
+void PaxosReplica::ParkRequest(const ClientRequest& req) {
+  if (backlog_.size() >= max_backlog_) {
+    // A long election must not buffer the whole client population: shed
+    // the overflow with a retryable reject. No leader hint exists yet, so
+    // the client backs off exponentially and retries elsewhere.
+    ReplyToClient(req, /*ok=*/false, Value(), /*found=*/false);
+    return;
+  }
+  backlog_.push_back(req);
 }
 
 void PaxosReplica::Propose(const ClientRequest& req) {
@@ -255,7 +331,12 @@ void PaxosReplica::HandleP1a(const P1a& msg) {
     last_leader_contact_ = Now();
     reply.ok = true;
     // Everything above the requester's watermark, committed entries
-    // included, so the new leader cannot inherit a hole.
+    // included, so the new leader cannot inherit a hole. Slots we have
+    // compacted below the requester's reach travel as our snapshot.
+    if (msg.commit_up_to < log_.snapshot_index() && snapshot_.valid()) {
+      reply.has_snapshot = true;
+      reply.snapshot = snapshot_;
+    }
     for (const auto& [slot, entry] : log_) {
       if (slot > msg.commit_up_to) {
         reply.entries.push_back(
@@ -281,6 +362,11 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
   }
   if (!msg.ok) return;
   if (!p1_voters_.insert(msg.from).second) return;  // duplicated promise
+  if (msg.has_snapshot) {
+    // A responder compacted past our watermark: its snapshot covers the
+    // prefix no quorum member can report entry-by-entry anymore.
+    InstallSnapshotState(msg.snapshot);
+  }
   recovered_.insert(recovered_.end(), msg.entries.begin(),
                     msg.entries.end());
   if (p1_voters_.size() < Phase1QuorumSize()) return;
@@ -299,6 +385,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     }
   }
   for (auto& [slot, wire] : best) {
+    if (slot <= log_.snapshot_index()) continue;  // folded into a snapshot
     auto it = log_.find(slot);
     if (it != log_.end() && it->second.committed) continue;
     Entry entry;
@@ -438,6 +525,9 @@ void PaxosReplica::ExecuteCommitted() {
     if (it == log_.end() || !it->second.committed) break;
     Result<Value> result = store_.Execute(it->second.cmd);
     ++execute_up_to_;
+    // Per-slot policy check so every replica snapshots at the same
+    // watermarks and the auditor can cross-check the digests.
+    MaybeSnapshot();
     auto pending = pending_replies_.find(slot);
     if (pending != pending_replies_.end() && active_) {
       const ClientRequest req = pending->second;
@@ -454,6 +544,17 @@ void PaxosReplica::ExecuteCommitted() {
       }
     }
   }
+}
+
+Node::LogStats PaxosReplica::GetLogStats() const {
+  LogStats stats;
+  stats.log_entries = log_.size();
+  stats.applied = execute_up_to_;
+  stats.snapshot_index = log_.snapshot_index();
+  stats.entries_compacted = log_.total_compacted();
+  stats.snapshots_taken = snapshots_taken_;
+  stats.snapshots_installed = snapshots_installed_;
+  return stats;
 }
 
 void RegisterPaxosProtocol() {

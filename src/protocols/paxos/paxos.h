@@ -9,6 +9,8 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "store/log_storage.h"
+#include "store/snapshot.h"
 
 namespace paxi {
 
@@ -44,9 +46,15 @@ struct P1b : Message {
   Ballot ballot;      ///< Responder's current ballot (the promise or the rival).
   bool ok = false;    ///< True if the sender promised.
   std::vector<LogEntryWire> entries;  ///< Entries above the watermark.
+  /// When the requester's watermark lies below the responder's compaction
+  /// point the missing prefix no longer exists as entries; the responder
+  /// ships its snapshot so the new leader cannot inherit a hole.
+  bool has_snapshot = false;
+  StoreSnapshot snapshot;
 
   std::size_t ByteSize() const override {
-    return 100 + entries.size() * 50;
+    return 100 + entries.size() * 50 +
+           (has_snapshot ? snapshot.ByteSizeEstimate() : 0);
   }
 };
 
@@ -82,6 +90,21 @@ struct CatchupReply : Message {
   }
 };
 
+/// Answer to a CatchupRequest whose range was compacted away: the full
+/// store snapshot at `state.applied` plus the committed tail above it —
+/// `{snapshot, tail}` instead of an entry-by-entry replay. NIC time is
+/// proportional to the state shipped (ByteSize), so snapshot transfer is
+/// not free in the performance model.
+struct InstallSnapshot : Message {
+  StoreSnapshot state;
+  std::vector<LogEntryWire> tail;
+  Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override {
+    return 100 + state.ByteSizeEstimate() + tail.size() * 50;
+  }
+};
+
 }  // namespace paxos
 
 class PaxosReplica : public Node {
@@ -103,7 +126,13 @@ class PaxosReplica : public Node {
   bool IsLeader() const { return active_; }
   Ballot ballot() const { return ballot_; }
   Slot committed_up_to() const { return commit_up_to_; }
+  Slot executed_up_to() const { return execute_up_to_; }
   std::size_t log_size() const { return log_.size(); }
+  Slot snapshot_index() const { return log_.snapshot_index(); }
+  std::size_t snapshots_installed() const { return snapshots_installed_; }
+  std::size_t backlog_size() const { return backlog_.size(); }
+
+  LogStats GetLogStats() const override;
 
  protected:
   /// Quorum sizes including the leader's self-vote. Majority/majority for
@@ -134,6 +163,19 @@ class PaxosReplica : public Node {
   void HandleP2b(const paxos::P2b& msg);
   void HandleCatchupRequest(const paxos::CatchupRequest& msg);
   void HandleCatchupReply(const paxos::CatchupReply& msg);
+  void HandleInstallSnapshot(const paxos::InstallSnapshot& msg);
+
+  /// Adopts committed entries from a catch-up/install tail (shared by
+  /// CatchupReply and the InstallSnapshot tail).
+  void AdoptCommittedEntries(const std::vector<paxos::LogEntryWire>& entries);
+  /// Jumps this replica's state machine to `state.applied` if the snapshot
+  /// is ahead of it; duplicated or reordered installs are no-ops.
+  void InstallSnapshotState(const StoreSnapshot& state);
+  /// Takes a local snapshot + compacts the log when the policy fires.
+  void MaybeSnapshot();
+  /// Queues a request for after the election, shedding with a retryable
+  /// reject once the backlog cap is reached.
+  void ParkRequest(const ClientRequest& req);
 
   void StartPhase1();
   void Propose(const ClientRequest& req);
@@ -157,13 +199,21 @@ class PaxosReplica : public Node {
   std::set<NodeId> p1_voters_;    ///< Distinct promisers (dedup, incl. self).
   std::vector<paxos::LogEntryWire> recovered_;
 
-  std::map<Slot, Entry> log_;
+  LogStorage<Entry> log_;
   Slot next_slot_ = 0;
   Slot commit_up_to_ = -1;        ///< Highest slot s.t. all <= it committed.
   Slot execute_up_to_ = -1;       ///< Highest executed slot.
 
+  /// Latest store snapshot (locally taken or installed from a peer): the
+  /// state every compacted slot has been folded into, served to lagging
+  /// followers in place of the missing prefix.
+  StoreSnapshot snapshot_;
+  std::size_t snapshots_taken_ = 0;
+  std::size_t snapshots_installed_ = 0;
+
   std::map<Slot, ClientRequest> pending_replies_;
   std::vector<ClientRequest> backlog_;  ///< Requests queued during election.
+  std::size_t max_backlog_ = 1024;      ///< Cap before shedding (param).
 
   Time last_leader_contact_ = 0;
   Time last_catchup_request_ = -1;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace paxi {
 
 using raft::AppendEntries;
 using raft::AppendReply;
+using raft::InstallSnapshot;
 using raft::LogEntry;
 using raft::RequestVote;
 using raft::VoteReply;
@@ -17,12 +20,22 @@ RaftReplica::RaftReplica(NodeId id, Env env) : Node(id, env) {
       config().GetParamInt("election_timeout_ms", 300) * kMillisecond;
   http_extra_ = config().GetParamInt("http_extra_us", 300);
   SetProcessingMultiplier(config().GetParamDouble("etcd_penalty", 1.15));
+  log_.set_policy(SnapshotPolicy());
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<AppendEntries>([this](const AppendEntries& m) { HandleAppend(m); });
   OnMessage<AppendReply>([this](const AppendReply& m) { HandleAppendReply(m); });
   OnMessage<RequestVote>([this](const RequestVote& m) { HandleVote(m); });
   OnMessage<VoteReply>([this](const VoteReply& m) { HandleVoteReply(m); });
+  OnMessage<InstallSnapshot>(
+      [this](const InstallSnapshot& m) { HandleInstallSnapshot(m); });
+}
+
+std::int64_t RaftReplica::TermAt(Slot index) const {
+  if (index < 0) return 0;
+  if (index == log_.snapshot_index()) return snapshot_term_;
+  auto it = log_.find(index);
+  return it == log_.end() ? 0 : it->second.term;
 }
 
 void RaftReplica::Start() {
@@ -47,10 +60,19 @@ void RaftReplica::Rejoin() {
 
 void RaftReplica::Audit(AuditScope& scope) const {
   scope.BallotIs("term", Ballot{term_, id()});
-  scope.Require(commit_index_ < static_cast<Slot>(log_.size()),
+  scope.Require(commit_index_ <= LastIndex(),
                 "commit index beyond end of log");
+  if (snapshot_.valid()) {
+    // Snapshot digests (with the last included term mixed in, like the
+    // per-entry digests below) must agree between producer and installer.
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(snapshot_term_)).Mix(snapshot_.digest);
+    scope.SnapshotAt("log", snapshot_.applied, d.value());
+  }
   for (Slot s = scope.ChosenFrontier("log") + 1; s <= commit_index_; ++s) {
-    const raft::LogEntry& e = log_[static_cast<std::size_t>(s)];
+    auto it = log_.find(s);
+    if (it == log_.end()) continue;  // compacted below the snapshot
+    const raft::LogEntry& e = it->second;
     // Mixing the term in checks the full Log Matching property: committed
     // entries at the same index must agree on term, not just payload.
     Digest d;
@@ -116,7 +138,7 @@ void RaftReplica::BecomeLeader() {
   LogEntry noop;
   noop.term = term_;
   noop.noop = true;
-  log_.push_back(std::move(noop));
+  Append(std::move(noop));
   BroadcastNewEntry();
   ArmHeartbeat();
 }
@@ -137,7 +159,7 @@ void RaftReplica::HandleRequest(const ClientRequest& req) {
   entry.term = term_;
   entry.cmd = req.cmd;
   entry.noop = false;
-  log_.push_back(std::move(entry));
+  Append(std::move(entry));
   pending_replies_[LastIndex()] = req;
   BroadcastNewEntry();
 }
@@ -149,26 +171,68 @@ void RaftReplica::BroadcastNewEntry() {
   AppendEntries ae;
   ae.term = term_;
   ae.prev_index = LastIndex() - 1;
-  ae.prev_term = log_.size() >= 2 ? log_[log_.size() - 2].term : 0;
-  ae.entries = {log_.back()};
+  ae.prev_term = TermAt(LastIndex() - 1);
+  ae.entries = {log_.find(LastIndex())->second};
   ae.commit_index = commit_index_;
   BroadcastToAll(std::move(ae));
 }
 
 void RaftReplica::ReplicateTo(NodeId peer) {
   const Slot next = next_index_.count(peer) ? next_index_[peer] : 0;
+  if (next <= log_.snapshot_index() && snapshot_.valid()) {
+    // The entries this follower needs were compacted away: ship the
+    // snapshot; its AppendReply (match_index = last included index) then
+    // resumes normal entry replication above it.
+    InstallSnapshot inst;
+    inst.term = term_;
+    inst.state = snapshot_;
+    inst.last_included_term = snapshot_term_;
+    Send(peer, std::move(inst));
+    return;
+  }
   AppendEntries ae;
   ae.term = term_;
   ae.prev_index = next - 1;
-  ae.prev_term =
-      (next - 1 >= 0 && next - 1 <= LastIndex())
-          ? log_[static_cast<std::size_t>(next - 1)].term
-          : 0;
-  for (Slot i = next; i <= LastIndex(); ++i) {
-    ae.entries.push_back(log_[static_cast<std::size_t>(i)]);
+  ae.prev_term = TermAt(next - 1);
+  for (auto it = log_.lower_bound(next); it != log_.end(); ++it) {
+    ae.entries.push_back(it->second);
   }
   ae.commit_index = commit_index_;
   Send(peer, std::move(ae));
+}
+
+void RaftReplica::HandleInstallSnapshot(const InstallSnapshot& msg) {
+  AppendReply reply;
+  if (msg.term < term_) {
+    reply.term = term_;
+    reply.success = false;
+    Send(msg.from, std::move(reply));
+    return;
+  }
+  BecomeFollower(msg.term);
+  leader_ = msg.from;
+  last_leader_contact_ = Now();
+  // Duplicated or reordered installs behind our applied state are no-ops;
+  // the ack below still tells the leader where we actually are.
+  if (msg.state.valid() && msg.state.applied > last_applied_) {
+    RestoreStore(msg.state, &store_);
+    // Drop the entire log: the committed prefix is subsumed by the
+    // snapshot and any suffix beyond it is uncommitted here — the leader
+    // re-replicates it from match_index up.
+    log_.EraseFrom(log_.snapshot_index() + 1);
+    log_.CompactTo(msg.state.applied);
+    snapshot_ = msg.state;
+    snapshot_term_ = msg.last_included_term;
+    ++snapshots_installed_;
+    commit_index_ = std::max(commit_index_, msg.state.applied);
+    last_applied_ = msg.state.applied;
+    pending_replies_.erase(pending_replies_.begin(),
+                           pending_replies_.upper_bound(msg.state.applied));
+  }
+  reply.term = term_;
+  reply.success = true;
+  reply.match_index = std::max(last_applied_, log_.snapshot_index());
+  Send(msg.from, std::move(reply));
 }
 
 void RaftReplica::HandleAppend(const AppendEntries& msg) {
@@ -185,10 +249,19 @@ void RaftReplica::HandleAppend(const AppendEntries& msg) {
 
   AppendReply reply;
   reply.term = term_;
-  // Log-matching check.
-  if (msg.prev_index >= 0 &&
-      (msg.prev_index > LastIndex() ||
-       log_[static_cast<std::size_t>(msg.prev_index)].term != msg.prev_term)) {
+  if (msg.prev_index < log_.snapshot_index()) {
+    // The leader is replaying a prefix we already compacted: everything
+    // at or below our snapshot is applied. Report where we really are so
+    // it resumes from above the snapshot.
+    reply.success = true;
+    reply.match_index = log_.snapshot_index();
+    Send(msg.from, std::move(reply));
+    return;
+  }
+  // Log-matching check (TermAt answers from the snapshot boundary for the
+  // last included index).
+  if (msg.prev_index >= 0 && (msg.prev_index > LastIndex() ||
+                              TermAt(msg.prev_index) != msg.prev_term)) {
     reply.success = false;
     reply.match_index = std::min(msg.prev_index - 1, LastIndex());
     Send(msg.from, std::move(reply));
@@ -198,13 +271,14 @@ void RaftReplica::HandleAppend(const AppendEntries& msg) {
   Slot index = msg.prev_index;
   for (const LogEntry& e : msg.entries) {
     ++index;
-    if (index <= LastIndex()) {
-      if (log_[static_cast<std::size_t>(index)].term != e.term) {
-        log_.resize(static_cast<std::size_t>(index));
-        log_.push_back(e);
+    auto it = log_.find(index);
+    if (it != log_.end()) {
+      if (it->second.term != e.term) {
+        log_.EraseFrom(index);
+        log_[index] = e;
       }
     } else {
-      log_.push_back(e);
+      log_[index] = e;
     }
   }
   if (msg.commit_index > commit_index_) {
@@ -235,7 +309,7 @@ void RaftReplica::HandleAppendReply(const AppendReply& msg) {
 
 void RaftReplica::AdvanceCommit() {
   for (Slot n = LastIndex(); n > commit_index_; --n) {
-    if (log_[static_cast<std::size_t>(n)].term != term_) continue;
+    if (TermAt(n) != term_) continue;
     std::size_t count = 1;  // self
     for (const auto& [peer, match] : match_index_) {
       if (peer != id() && match >= n) ++count;
@@ -251,25 +325,50 @@ void RaftReplica::AdvanceCommit() {
 void RaftReplica::Apply() {
   while (last_applied_ < commit_index_) {
     ++last_applied_;
-    const LogEntry& e = log_[static_cast<std::size_t>(last_applied_)];
-    if (e.noop) continue;
-    Result<Value> result = store_.Execute(e.cmd);
-    auto it = pending_replies_.find(last_applied_);
-    if (it != pending_replies_.end() && role_ == Role::kLeader) {
-      const ClientRequest req = it->second;
-      pending_replies_.erase(it);
-      const bool found = result.ok();
-      const Value value = result.ok() ? result.value() : Value();
-      if (http_extra_ > 0) {
-        // etcd's REST front end: extra client-path latency, no CPU charge.
-        SetTimer(http_extra_, [this, req, value, found]() {
+    auto log_it = log_.find(last_applied_);
+    PAXI_CHECK(log_it != log_.end(), "committed entry missing from log");
+    // Copy before executing: MaybeSnapshot below may compact the entry.
+    const LogEntry e = log_it->second;
+    if (!e.noop) {
+      Result<Value> result = store_.Execute(e.cmd);
+      auto it = pending_replies_.find(last_applied_);
+      if (it != pending_replies_.end() && role_ == Role::kLeader) {
+        const ClientRequest req = it->second;
+        pending_replies_.erase(it);
+        const bool found = result.ok();
+        const Value value = result.ok() ? result.value() : Value();
+        if (http_extra_ > 0) {
+          // etcd's REST front end: extra client-path latency, no CPU charge.
+          SetTimer(http_extra_, [this, req, value, found]() {
+            ReplyToClient(req, /*ok=*/true, value, found);
+          });
+        } else {
           ReplyToClient(req, /*ok=*/true, value, found);
-        });
-      } else {
-        ReplyToClient(req, /*ok=*/true, value, found);
+        }
       }
     }
+    // Per-index policy check so replicas snapshot at common watermarks.
+    MaybeSnapshot();
   }
+}
+
+void RaftReplica::MaybeSnapshot() {
+  if (!log_.ShouldSnapshot(last_applied_)) return;
+  snapshot_ = SnapshotStore(store_, last_applied_);
+  snapshot_term_ = TermAt(last_applied_);
+  ++snapshots_taken_;
+  log_.CompactTo(last_applied_);
+}
+
+Node::LogStats RaftReplica::GetLogStats() const {
+  LogStats stats;
+  stats.log_entries = log_.size();
+  stats.applied = last_applied_;
+  stats.snapshot_index = log_.snapshot_index();
+  stats.entries_compacted = log_.total_compacted();
+  stats.snapshots_taken = snapshots_taken_;
+  stats.snapshots_installed = snapshots_installed_;
+  return stats;
 }
 
 void RaftReplica::HandleVote(const RequestVote& msg) {

@@ -180,8 +180,12 @@ void VPaxosReplica::HandleConfigUpdate(const ConfigUpdate& msg) {
                 [this, key, new_zone](Result<Value> value) {
                   StateTransfer st;
                   st.key = key;
-                  st.has_value = value.ok();
-                  if (value.ok()) st.value = std::move(value).value();
+                  st.has_state = value.ok();
+                  if (value.ok()) {
+                    // Executed behind the barrier, so the store holds
+                    // every local write to the key.
+                    st.state = SnapshotStoreKey(store_, key, group_executed());
+                  }
                   Send(GroupLeaderOf(new_zone), std::move(st));
                 });
   }
@@ -197,11 +201,14 @@ void VPaxosReplica::HandleConfigUpdate(const ConfigUpdate& msg) {
 
 void VPaxosReplica::HandleStateTransfer(const StateTransfer& msg) {
   if (!IsGroupLeader()) return;
-  if (msg.has_value) {
+  if (msg.has_state && !msg.state.state.versions.empty()) {
+    // Seed through the group log (not a direct store write) so every
+    // member's store stays a pure function of the group log — the
+    // snapshot-digest cross-check depends on that.
     Command seed;
     seed.op = Command::Op::kPut;
     seed.key = msg.key;
-    seed.value = msg.value;
+    seed.value = msg.state.state.versions.back().value;
     seed.client = 0;
     seed.request = 0;
     GroupSubmit(std::move(seed), nullptr);

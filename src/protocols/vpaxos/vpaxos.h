@@ -10,6 +10,7 @@
 #include "core/messages.h"
 #include "core/node.h"
 #include "protocols/common/zone_group.h"
+#include "store/snapshot.h"
 
 namespace paxi {
 
@@ -40,11 +41,19 @@ struct ConfigUpdate : Message {
   std::int64_t version = 0;
 };
 
-/// Old owner -> new owner: latest value of the moved object.
+/// Old owner -> new owner: snapshot of the moved object at the source
+/// group's applied watermark (store/snapshot.h). Shipping the KeySnapshot
+/// rather than a bare value gives the transfer a wire cost proportional
+/// to the object's state, matching the log-compaction snapshot messages.
+/// `has_state` is false when the object was never written at the source.
 struct StateTransfer : Message {
   Key key = 0;
-  bool has_value = false;
-  Value value;
+  bool has_state = false;
+  KeySnapshot state;
+
+  std::size_t ByteSize() const override {
+    return 50 + (has_state ? state.ByteSizeEstimate() : 0);
+  }
 };
 
 }  // namespace vpaxos

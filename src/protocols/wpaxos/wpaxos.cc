@@ -71,6 +71,11 @@ void WPaxosReplica::Audit(AuditScope& scope) const {
     const ObjectState& obj = it->second;
     const std::string domain = "obj:" + std::to_string(key);
     scope.BallotIs(domain, obj.ballot);
+    // Every replica executes the same per-object log prefix, so object
+    // snapshots at equal watermarks must carry equal digests.
+    if (obj.snapshot.valid()) {
+      scope.SnapshotAt(domain, obj.snapshot.applied, obj.snapshot.digest);
+    }
     for (auto e = obj.log.upper_bound(scope.ChosenFrontier(domain));
          e != obj.log.end() && e->first <= obj.commit_up_to; ++e) {
       if (!e->second.committed) continue;
@@ -204,6 +209,12 @@ void WPaxosReplica::HandleP1a(const P1a& msg) {
     obj.active = false;
     obj.stealing = false;
     reply.ok = true;
+    // If the requester's watermark fell below our compaction point the
+    // missing slots exist only as folded state: ship the snapshot.
+    if (msg.commit_up_to < obj.log.snapshot_index() && obj.snapshot.valid()) {
+      reply.has_snapshot = true;
+      reply.snapshot = obj.snapshot;
+    }
     // Report everything above the requester's watermark, committed
     // entries included: with fz=0 quorums this responder may be the only
     // node that knows a slot committed.
@@ -248,6 +259,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
   }
   if (!msg.ok) return;
   obj.q1->Ack(msg.from);
+  if (msg.has_snapshot) InstallObjectSnapshot(msg.key, obj, msg.snapshot);
   obj.recovered.insert(obj.recovered.end(), msg.entries.begin(),
                        msg.entries.end());
   if (!obj.q1->Satisfied()) return;
@@ -273,6 +285,10 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
   }
   obj.recovered.clear();
   for (auto& [slot, wire] : best) {
+    // Slots at or below the compaction point are already folded into the
+    // (just-installed or local) snapshot; re-proposing would resurrect
+    // executed state.
+    if (slot <= obj.log.snapshot_index()) continue;
     auto it = obj.log.find(slot);
     if (it != obj.log.end() && it->second.committed) continue;
     Entry entry;
@@ -357,14 +373,17 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
       obj.active = false;
       obj.stealing = false;
     }
-    auto existing = obj.log.find(msg.slot);
-    if (existing == obj.log.end() || !existing->second.committed) {
-      // Never overwrite a committed slot: a duplicated or retransmitted
-      // P2a must not reset the flag after the commit watermark passed it.
-      Entry entry;
-      entry.ballot = msg.ballot;
-      entry.cmd = msg.cmd;
-      obj.log[msg.slot] = std::move(entry);
+    if (msg.slot > obj.log.snapshot_index()) {
+      auto existing = obj.log.find(msg.slot);
+      if (existing == obj.log.end() || !existing->second.committed) {
+        // Never overwrite a committed slot: a duplicated or retransmitted
+        // P2a must not reset the flag after the commit watermark passed
+        // it. Slots at or below the snapshot watermark stay compacted.
+        Entry entry;
+        entry.ballot = msg.ballot;
+        entry.cmd = msg.cmd;
+        obj.log[msg.slot] = std::move(entry);
+      }
     }
     obj.next_slot = std::max(obj.next_slot, msg.slot + 1);
     reply.ok = true;
@@ -430,7 +449,6 @@ void WPaxosReplica::AdvanceCommit(Key key, ObjectState& obj) {
 }
 
 void WPaxosReplica::ExecuteCommitted(Key key, ObjectState& obj) {
-  (void)key;
   while (obj.execute_up_to < obj.commit_up_to) {
     const Slot slot = obj.execute_up_to + 1;
     auto it = obj.log.find(slot);
@@ -444,7 +462,49 @@ void WPaxosReplica::ExecuteCommitted(Key key, ObjectState& obj) {
       ReplyToClient(req, /*ok=*/true,
                     result.ok() ? result.value() : Value(), result.ok());
     }
+    // Per-slot so every replica snapshots this object at the same
+    // watermark (the auditor cross-checks digests at equal watermarks).
+    // May compact the entry `it` points at — nothing touches it after.
+    MaybeSnapshotObject(key, obj);
   }
+}
+
+void WPaxosReplica::MaybeSnapshotObject(Key key, ObjectState& obj) {
+  if (!obj.log.ShouldSnapshot(obj.execute_up_to)) return;
+  obj.snapshot = SnapshotStoreKey(store_, key, obj.execute_up_to);
+  ++snapshots_taken_;
+  obj.log.CompactTo(obj.execute_up_to);
+}
+
+void WPaxosReplica::InstallObjectSnapshot(Key key, ObjectState& obj,
+                                          const KeySnapshot& snap) {
+  (void)key;
+  // Duplicated, reordered, or stale installs must be no-ops.
+  if (!snap.valid() || snap.applied <= obj.execute_up_to) return;
+  RestoreStoreKey(snap, &store_);
+  obj.log.CompactTo(snap.applied);
+  obj.snapshot = snap;
+  ++snapshots_installed_;
+  obj.commit_up_to = std::max(obj.commit_up_to, snap.applied);
+  obj.execute_up_to = snap.applied;
+  obj.next_slot = std::max(obj.next_slot, snap.applied + 1);
+  obj.pending.erase(obj.pending.begin(),
+                    obj.pending.upper_bound(snap.applied));
+}
+
+Node::LogStats WPaxosReplica::GetLogStats() const {
+  LogStats stats;
+  for (const auto& [key, obj] : objects_) {
+    (void)key;
+    stats.log_entries += obj.log.size();
+    stats.applied = std::max(stats.applied, obj.execute_up_to);
+    stats.snapshot_index =
+        std::max(stats.snapshot_index, obj.log.snapshot_index());
+    stats.entries_compacted += obj.log.total_compacted();
+  }
+  stats.snapshots_taken = snapshots_taken_;
+  stats.snapshots_installed = snapshots_installed_;
+  return stats;
 }
 
 void RegisterWPaxosProtocol() {

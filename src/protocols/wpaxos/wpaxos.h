@@ -11,6 +11,8 @@
 #include "core/messages.h"
 #include "core/node.h"
 #include "quorum/quorum.h"
+#include "store/log_storage.h"
+#include "store/snapshot.h"
 
 namespace paxi {
 
@@ -63,9 +65,16 @@ struct P1b : Message {
   bool ok = false;
   /// Entries above the requester's watermark, committed or not.
   std::vector<ObjEntryWire> entries;
+  /// When the requester's watermark lies below the responder's per-object
+  /// compaction point, the missing prefix no longer exists as entries;
+  /// the responder ships its object snapshot so the new owner cannot
+  /// inherit a hole.
+  bool has_snapshot = false;
+  KeySnapshot snapshot;
 
   std::size_t ByteSize() const override {
-    return 100 + entries.size() * 50;
+    return 100 + entries.size() * 50 +
+           (has_snapshot ? snapshot.ByteSizeEstimate() : 0);
   }
 };
 
@@ -114,6 +123,9 @@ class WPaxosReplica : public Node {
   std::string DebugObject(Key key) const;
   /// Phase-1 rounds started (object steals), for migration analyses.
   std::size_t steals() const { return steals_; }
+  std::size_t snapshots_installed() const { return snapshots_installed_; }
+
+  LogStats GetLogStats() const override;
 
  private:
   struct Entry {
@@ -132,7 +144,10 @@ class WPaxosReplica : public Node {
     bool stealing = false;  ///< Phase-1 in flight.
     std::unique_ptr<ZoneMajorityQuorum> q1;
     std::vector<wpaxos::ObjEntryWire> recovered;
-    std::map<Slot, Entry> log;
+    LogStorage<Entry> log;
+    /// Latest snapshot of this object (taken or installed), served to a
+    /// stealer whose watermark fell below the compaction point.
+    KeySnapshot snapshot;
     Slot next_slot = 0;
     Slot commit_up_to = -1;
     Slot execute_up_to = -1;
@@ -155,6 +170,12 @@ class WPaxosReplica : public Node {
 
   void Steal(Key key);
   void Propose(Key key, const ClientRequest& req);
+  /// Jumps the object to the snapshot's watermark if it is ahead of the
+  /// local execute frontier; duplicated or reordered installs are no-ops.
+  void InstallObjectSnapshot(Key key, ObjectState& obj,
+                             const KeySnapshot& snap);
+  /// Per-object snapshot + compaction at the object's execute frontier.
+  void MaybeSnapshotObject(Key key, ObjectState& obj);
   /// Re-broadcasts P2as for owned-object slots whose quorum has stalled.
   void RepairStalled();
   void AdvanceCommit(Key key, ObjectState& obj);
@@ -163,7 +184,9 @@ class WPaxosReplica : public Node {
 
   ObjectState& Obj(Key key) {
     if (audit_tracking()) audit_dirty_.insert(key);
-    return objects_[key];
+    auto [it, inserted] = objects_.try_emplace(key);
+    if (inserted) it->second.log.set_policy(SnapshotPolicy());
+    return it->second;
   }
   /// Owner of `key` as far as this node knows; Invalid if unowned and no
   /// default placement is configured.
@@ -177,6 +200,8 @@ class WPaxosReplica : public Node {
   NodeId initial_owner_;
   Time repair_interval_ = 0;
   std::size_t steals_ = 0;
+  std::size_t snapshots_taken_ = 0;
+  std::size_t snapshots_installed_ = 0;
 
   /// Objects touched since the last audit pass (only filled while an
   /// InvariantAuditor watches this node; drained by Audit, hence mutable).

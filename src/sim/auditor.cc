@@ -137,6 +137,23 @@ void AuditScope::Chosen(const std::string& domain, Slot slot,
   }
 }
 
+void AuditScope::SnapshotAt(const std::string& domain, Slot slot,
+                            std::uint64_t digest) {
+  auto& frontier = auditor_->frontier_[{node_, domain}];
+  frontier = std::max(frontier, slot);
+  auto [it, inserted] = auditor_->snapshots_.try_emplace(
+      {domain, slot}, InvariantAuditor::ChosenRecord{digest, node_});
+  if (inserted) return;
+  if (it->second.digest != digest) {
+    auditor_->ReportViolation(
+        node_, "snapshot digest divergence in domain '" + domain +
+                   "' at watermark " + std::to_string(slot) + ": node " +
+                   it->second.first_reporter.ToString() + " snapshotted " +
+                   std::to_string(it->second.digest) + ", node " +
+                   node_.ToString() + " has " + std::to_string(digest));
+  }
+}
+
 Slot AuditScope::ChosenFrontier(const std::string& domain) const {
   const auto it = auditor_->frontier_.find({node_, domain});
   return it == auditor_->frontier_.end() ? -1 : it->second;

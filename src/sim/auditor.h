@@ -119,6 +119,16 @@ class AuditScope {
   /// rescanning their whole log each event.
   Slot ChosenFrontier(const std::string& domain) const;
 
+  /// Reports that this node's state for `domain` is summarized by a
+  /// snapshot at `slot`: every decision <= slot has been applied and
+  /// folded into state with the given digest. The auditor trips if any
+  /// node ever reports a *different* digest for the same (domain, slot) —
+  /// producer and installer of a snapshot, or two independent snapshotters
+  /// at the same watermark, must agree on the state byte-for-byte. Also
+  /// advances this node's chosen frontier past `slot`, so compacted slots
+  /// are not expected to be re-reported entry-by-entry.
+  void SnapshotAt(const std::string& domain, Slot slot, std::uint64_t digest);
+
   /// Generic protocol invariant; trips when `ok` is false.
   void Require(bool ok, const std::string& what);
 
@@ -209,6 +219,9 @@ class InvariantAuditor : public SimObserver {
     NodeId first_reporter;
   };
   std::map<std::pair<std::string, Slot>, ChosenRecord> chosen_;
+  /// Snapshot digests by (domain, watermark slot), cross-checked the same
+  /// way as chosen_: first report wins, later reports must match.
+  std::map<std::pair<std::string, Slot>, ChosenRecord> snapshots_;
 
   std::vector<std::string> violations_;
   std::uint64_t events_audited_ = 0;

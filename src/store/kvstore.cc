@@ -1,5 +1,7 @@
 #include "store/kvstore.h"
 
+#include <utility>
+
 namespace paxi {
 
 Result<Value> KvStore::Execute(const Command& cmd) {
@@ -41,6 +43,43 @@ std::vector<CommandId> KvStore::WriteHistory(Key key) const {
   auto it = write_history_.find(key);
   if (it == write_history_.end()) return {};
   return it->second;
+}
+
+std::vector<Key> KvStore::Keys() const {
+  std::vector<Key> keys;
+  keys.reserve(history_.size());
+  for (const auto& [key, hist] : history_) keys.push_back(key);
+  return keys;
+}
+
+void KvStore::RestoreKeyState(Key key, std::vector<VersionedValue> versions,
+                              std::vector<CommandId> history,
+                              std::vector<CommandId> write_history) {
+  const std::size_t old_executed = history_.count(key) ? history_[key].size() : 0;
+  num_executed_ += history.size();
+  num_executed_ -= old_executed;
+  if (versions.empty()) {
+    versions_.erase(key);
+  } else {
+    versions_[key] = std::move(versions);
+  }
+  if (history.empty()) {
+    history_.erase(key);
+  } else {
+    history_[key] = std::move(history);
+  }
+  if (write_history.empty()) {
+    write_history_.erase(key);
+  } else {
+    write_history_[key] = std::move(write_history);
+  }
+}
+
+void KvStore::Reset() {
+  versions_.clear();
+  history_.clear();
+  write_history_.clear();
+  num_executed_ = 0;
 }
 
 }  // namespace paxi

@@ -43,6 +43,20 @@ class KvStore {
   /// Ids of write commands executed against `key`, in execution order.
   std::vector<CommandId> WriteHistory(Key key) const;
 
+  /// Every key the store has executed a command against (reads included),
+  /// in unspecified order. Snapshot capture sorts these for determinism.
+  std::vector<Key> Keys() const;
+
+  /// Replaces `key`'s state wholesale — the snapshot-install primitive.
+  /// `num_executed` is adjusted by the change in history length so the
+  /// "one execution, one history entry" invariant survives a restore.
+  void RestoreKeyState(Key key, std::vector<VersionedValue> versions,
+                       std::vector<CommandId> history,
+                       std::vector<CommandId> write_history);
+
+  /// Drops all state (whole-store snapshot install starts from empty).
+  void Reset();
+
   std::size_t num_keys() const { return versions_.size(); }
   std::size_t num_executed() const { return num_executed_; }
 

@@ -1,0 +1,126 @@
+#ifndef PAXI_STORE_LOG_STORAGE_H_
+#define PAXI_STORE_LOG_STORAGE_H_
+
+#include <cstddef>
+#include <map>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Compaction policy for a replica's in-memory log: a snapshot is taken —
+/// and the log truncated below it — every `interval` applied entries, or
+/// whenever the log's modeled footprint exceeds `max_bytes`. Both zero
+/// (the default) disables compaction, preserving the seed behaviour where
+/// logs grow without bound. Configured per deployment via the
+/// `snapshot_interval` / `snapshot_max_bytes` protocol params.
+struct CompactionPolicy {
+  Slot interval = 0;
+  std::size_t max_bytes = 0;
+  /// Footprint model for the byte trigger: entries are metadata plus a
+  /// small command, so a flat per-entry cost is a fair approximation.
+  std::size_t bytes_per_entry = 64;
+
+  bool enabled() const { return interval > 0 || max_bytes > 0; }
+};
+
+/// Owns one replica's copy of a replicated log: a slot-indexed ordered map
+/// plus the snapshot watermark below which entries have been folded into a
+/// store snapshot and dropped. The map surface mirrors std::map so the
+/// protocols' existing iteration and hole-detection logic carries over;
+/// what LogStorage adds is the compaction watermark, the policy trigger,
+/// and the bookkeeping the telemetry gauges report.
+///
+/// Invariant: every slot <= snapshot_index() has been executed by this
+/// replica and is represented by the snapshot taken at that watermark —
+/// callers must only CompactTo() their applied frontier.
+template <typename Entry>
+class LogStorage {
+ public:
+  using Map = std::map<Slot, Entry>;
+  using iterator = typename Map::iterator;
+  using const_iterator = typename Map::const_iterator;
+
+  void set_policy(const CompactionPolicy& policy) { policy_ = policy; }
+  const CompactionPolicy& policy() const { return policy_; }
+
+  // --- std::map-compatible access ------------------------------------------
+  Entry& operator[](Slot slot) { return entries_[slot]; }
+  iterator find(Slot slot) { return entries_.find(slot); }
+  const_iterator find(Slot slot) const { return entries_.find(slot); }
+  iterator begin() { return entries_.begin(); }
+  const_iterator begin() const { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator end() const { return entries_.end(); }
+  iterator lower_bound(Slot slot) { return entries_.lower_bound(slot); }
+  const_iterator lower_bound(Slot slot) const {
+    return entries_.lower_bound(slot);
+  }
+  iterator upper_bound(Slot slot) { return entries_.upper_bound(slot); }
+  const_iterator upper_bound(Slot slot) const {
+    return entries_.upper_bound(slot);
+  }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t erase(Slot slot) { return entries_.erase(slot); }
+  iterator erase(iterator it) { return entries_.erase(it); }
+  bool contains(Slot slot) const { return entries_.count(slot) != 0; }
+
+  /// Highest slot present; falls back to the snapshot watermark when the
+  /// tail is empty (-1 for a virgin log).
+  Slot last_index() const {
+    return entries_.empty() ? snapshot_index_ : entries_.rbegin()->first;
+  }
+
+  /// All slots <= this have been compacted into a snapshot.
+  Slot snapshot_index() const { return snapshot_index_; }
+
+  /// True when the policy calls for a new snapshot at applied watermark
+  /// `applied` (strictly past the previous snapshot).
+  bool ShouldSnapshot(Slot applied) const {
+    if (applied <= snapshot_index_) return false;
+    if (policy_.interval > 0 && applied - snapshot_index_ >= policy_.interval) {
+      return true;
+    }
+    if (policy_.max_bytes > 0 &&
+        size() * policy_.bytes_per_entry >= policy_.max_bytes) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Drops every entry with slot <= `index` and advances the snapshot
+  /// watermark (also used when installing a peer's snapshot, where the
+  /// local tail below the installed watermark is superseded). Returns the
+  /// number of entries compacted.
+  std::size_t CompactTo(Slot index) {
+    if (index <= snapshot_index_) return 0;
+    std::size_t erased = 0;
+    auto it = entries_.begin();
+    while (it != entries_.end() && it->first <= index) {
+      it = entries_.erase(it);
+      ++erased;
+    }
+    snapshot_index_ = index;
+    total_compacted_ += erased;
+    return erased;
+  }
+
+  /// Truncates the suffix with slot >= `from` (Raft conflict resolution).
+  void EraseFrom(Slot from) {
+    entries_.erase(entries_.lower_bound(from), entries_.end());
+  }
+
+  /// Total entries dropped by CompactTo over this log's lifetime.
+  std::size_t total_compacted() const { return total_compacted_; }
+
+ private:
+  Map entries_;
+  CompactionPolicy policy_;
+  Slot snapshot_index_ = -1;
+  std::size_t total_compacted_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_STORE_LOG_STORAGE_H_

@@ -1,0 +1,129 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace paxi {
+namespace {
+
+/// Local FNV-1a accumulator. The store layer sits below sim/, so it keeps
+/// its own copy instead of depending on the auditor's Digest helper; the
+/// auditor only ever compares the resulting 64-bit values.
+class Fnv {
+ public:
+  Fnv& Mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (x >> (8 * i)) & 0xffu;
+      h_ *= 1099511628211ULL;
+    }
+    return *this;
+  }
+  Fnv& Mix(std::string_view s) {
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= 1099511628211ULL;
+    }
+    return *this;
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+void MixKeyState(Fnv& fnv, const KeyStateSnapshot& state) {
+  fnv.Mix(static_cast<std::uint64_t>(state.key));
+  fnv.Mix(state.versions.size());
+  for (const auto& v : state.versions) {
+    fnv.Mix(v.value);
+    fnv.Mix(static_cast<std::uint64_t>(v.version));
+    fnv.Mix(static_cast<std::uint64_t>(v.writer.client));
+    fnv.Mix(static_cast<std::uint64_t>(v.writer.request));
+  }
+  fnv.Mix(state.history.size());
+  for (const CommandId& id : state.history) {
+    fnv.Mix(static_cast<std::uint64_t>(id.client));
+    fnv.Mix(static_cast<std::uint64_t>(id.request));
+  }
+  fnv.Mix(state.write_history.size());
+  for (const CommandId& id : state.write_history) {
+    fnv.Mix(static_cast<std::uint64_t>(id.client));
+    fnv.Mix(static_cast<std::uint64_t>(id.request));
+  }
+}
+
+KeyStateSnapshot CaptureKey(const KvStore& store, Key key) {
+  KeyStateSnapshot state;
+  state.key = key;
+  state.versions = store.Versions(key);
+  state.history = store.History(key);
+  state.write_history = store.WriteHistory(key);
+  return state;
+}
+
+}  // namespace
+
+std::size_t KeyStateSnapshot::ByteSizeEstimate() const {
+  std::size_t bytes = 8;  // key
+  for (const auto& v : versions) bytes += 24 + v.value.size();
+  bytes += 12 * (history.size() + write_history.size());
+  return bytes;
+}
+
+std::size_t StoreSnapshot::ByteSizeEstimate() const {
+  std::size_t bytes = 32;  // applied + num_executed + digest + framing
+  for (const auto& k : keys) bytes += k.ByteSizeEstimate();
+  return bytes;
+}
+
+std::size_t KeySnapshot::ByteSizeEstimate() const {
+  return 24 + state.ByteSizeEstimate();
+}
+
+std::uint64_t DigestKeyState(const KeyStateSnapshot& state) {
+  Fnv fnv;
+  MixKeyState(fnv, state);
+  return fnv.value();
+}
+
+StoreSnapshot SnapshotStore(const KvStore& store, Slot applied) {
+  StoreSnapshot snap;
+  snap.applied = applied;
+  snap.num_executed = store.num_executed();
+  std::vector<Key> keys = store.Keys();
+  std::sort(keys.begin(), keys.end());
+  snap.keys.reserve(keys.size());
+  for (Key key : keys) snap.keys.push_back(CaptureKey(store, key));
+  Fnv fnv;
+  fnv.Mix(static_cast<std::uint64_t>(snap.applied));
+  fnv.Mix(snap.keys.size());
+  for (const auto& state : snap.keys) MixKeyState(fnv, state);
+  snap.digest = fnv.value();
+  return snap;
+}
+
+void RestoreStore(const StoreSnapshot& snap, KvStore* store) {
+  store->Reset();
+  for (const auto& state : snap.keys) {
+    store->RestoreKeyState(state.key, state.versions, state.history,
+                           state.write_history);
+  }
+}
+
+KeySnapshot SnapshotStoreKey(const KvStore& store, Key key, Slot applied) {
+  KeySnapshot snap;
+  snap.applied = applied;
+  snap.state = CaptureKey(store, key);
+  Fnv fnv;
+  fnv.Mix(static_cast<std::uint64_t>(snap.applied));
+  MixKeyState(fnv, snap.state);
+  snap.digest = fnv.value();
+  return snap;
+}
+
+void RestoreStoreKey(const KeySnapshot& snap, KvStore* store) {
+  store->RestoreKeyState(snap.state.key, snap.state.versions,
+                         snap.state.history, snap.state.write_history);
+}
+
+}  // namespace paxi

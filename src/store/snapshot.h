@@ -1,0 +1,76 @@
+#ifndef PAXI_STORE_SNAPSHOT_H_
+#define PAXI_STORE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "store/command.h"
+#include "store/kvstore.h"
+
+namespace paxi {
+
+/// Serialized state of one key of a KvStore: every version plus the
+/// execution histories the checkers compare across replicas. A snapshot
+/// must carry the histories, not just the latest value, because a replica
+/// restored from it still has to answer the consensus and linearizability
+/// checkers as if it had executed the whole prefix itself.
+struct KeyStateSnapshot {
+  Key key = 0;
+  std::vector<KvStore::VersionedValue> versions;
+  std::vector<CommandId> history;
+  std::vector<CommandId> write_history;
+
+  /// Wire-size model for Message::ByteSize: snapshot transfer must pay
+  /// NIC time proportional to the state it ships.
+  std::size_t ByteSizeEstimate() const;
+};
+
+/// Whole-store snapshot at an applied watermark: the state machine after
+/// executing every log slot <= `applied`. Produced by a replica when its
+/// compaction policy fires, shipped to restarted or far-lagging peers
+/// instead of the compacted log prefix, and cross-checked between
+/// producer and installer through `digest` (see AuditScope::SnapshotAt).
+struct StoreSnapshot {
+  Slot applied = -1;
+  std::size_t num_executed = 0;
+  std::vector<KeyStateSnapshot> keys;  ///< Sorted by key (deterministic).
+  std::uint64_t digest = 0;
+
+  bool valid() const { return applied >= 0; }
+  std::size_t ByteSizeEstimate() const;
+};
+
+/// Single-key snapshot at that key's applied watermark, for protocols
+/// whose unit of replication is one object rather than the whole store
+/// (WPaxos per-object logs, VPaxos/WanKeeper ownership transfer).
+struct KeySnapshot {
+  Slot applied = -1;
+  KeyStateSnapshot state;
+  std::uint64_t digest = 0;
+
+  bool valid() const { return applied >= 0; }
+  std::size_t ByteSizeEstimate() const;
+};
+
+/// Captures `store` at watermark `applied` (all keys, deterministic key
+/// order, digest filled in).
+StoreSnapshot SnapshotStore(const KvStore& store, Slot applied);
+
+/// Replaces `store`'s entire contents with the snapshot's.
+void RestoreStore(const StoreSnapshot& snap, KvStore* store);
+
+/// Captures only `key` at that object's watermark `applied`.
+KeySnapshot SnapshotStoreKey(const KvStore& store, Key key, Slot applied);
+
+/// Replaces `key`'s state in `store`; other keys are untouched.
+void RestoreStoreKey(const KeySnapshot& snap, KvStore* store);
+
+/// Deterministic digest of one key's restored state, usable to re-derive
+/// a KeySnapshot digest or compare a live store against an installed one.
+std::uint64_t DigestKeyState(const KeyStateSnapshot& state);
+
+}  // namespace paxi
+
+#endif  // PAXI_STORE_SNAPSHOT_H_

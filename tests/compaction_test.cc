@@ -1,0 +1,672 @@
+// Snapshotting / log-compaction subsystem tests: store snapshot
+// round-trips, LogStorage policy + truncation, auditor digest
+// cross-checks across snapshot boundaries, the paxos backlog cap, and the
+// end-to-end bounded-memory guarantees — log length stays ~flat in
+// history length, restart TTR does not grow with the command count, and
+// snapshot-based state transfer stays linearizable under nemeses
+// (compaction during partitions, interrupted/duplicated installs).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "fault/nemesis.h"
+#include "fault/schedule.h"
+#include "fault/telemetry.h"
+#include "gtest/gtest.h"
+#include "protocols/epaxos/epaxos.h"
+#include "protocols/paxos/paxos.h"
+#include "protocols/wpaxos/wpaxos.h"
+#include "sim/auditor.h"
+#include "store/log_storage.h"
+#include "store/snapshot.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+/// Enables the runtime invariant auditor (PAXI_AUDIT=1) for the lifetime
+/// of one test; every snapshot taken or installed inside the scope gets
+/// its digest cross-checked at the (domain, watermark) granularity.
+class ScopedAudit {
+ public:
+  ScopedAudit() { setenv("PAXI_AUDIT", "1", 1); }
+  ~ScopedAudit() { unsetenv("PAXI_AUDIT"); }
+};
+
+Command Put(Key key, const Value& value) {
+  Command cmd;
+  cmd.op = Command::Op::kPut;
+  cmd.key = key;
+  cmd.value = value;
+  cmd.client = 1;
+  return cmd;
+}
+
+Command Get(Key key) {
+  Command cmd;
+  cmd.op = Command::Op::kGet;
+  cmd.key = key;
+  cmd.client = 1;
+  return cmd;
+}
+
+// ---------------------------------------------------------------------------
+// Store snapshots: capture / restore round-trips and digest determinism.
+// ---------------------------------------------------------------------------
+
+TEST(StoreSnapshotTest, WholeStoreRoundtripPreservesStateAndHistories) {
+  KvStore store;
+  std::uint64_t req = 1;
+  for (int i = 0; i < 20; ++i) {
+    Command cmd = Put(i % 4, "v" + std::to_string(i));
+    cmd.request = req++;
+    ASSERT_TRUE(store.Execute(cmd).ok());
+  }
+  Command read = Get(2);
+  read.request = req++;
+  ASSERT_TRUE(store.Execute(read).ok());
+
+  const StoreSnapshot snap = SnapshotStore(store, /*applied=*/20);
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.applied, 20);
+  EXPECT_EQ(snap.num_executed, store.num_executed());
+  EXPECT_EQ(snap.keys.size(), 4u);
+  EXPECT_NE(snap.digest, 0u);
+  EXPECT_GT(snap.ByteSizeEstimate(), 0u);
+
+  KvStore restored;
+  RestoreStore(snap, &restored);
+  EXPECT_EQ(restored.num_executed(), store.num_executed());
+  for (Key key = 0; key < 4; ++key) {
+    EXPECT_EQ(restored.Versions(key).size(), store.Versions(key).size());
+    EXPECT_EQ(restored.History(key).size(), store.History(key).size());
+    EXPECT_EQ(restored.WriteHistory(key).size(),
+              store.WriteHistory(key).size());
+    ASSERT_TRUE(restored.Get(key).ok());
+    EXPECT_EQ(restored.Get(key).value(), store.Get(key).value());
+  }
+  // The installer re-snapshotting at the same watermark reproduces the
+  // digest byte-for-byte — the property the auditor's SnapshotAt checks.
+  const StoreSnapshot again = SnapshotStore(restored, 20);
+  EXPECT_EQ(again.digest, snap.digest);
+}
+
+TEST(StoreSnapshotTest, SingleKeyRoundtripLeavesOtherKeysAlone) {
+  KvStore store;
+  std::uint64_t req = 1;
+  for (int i = 0; i < 6; ++i) {
+    Command cmd = Put(7, "a" + std::to_string(i));
+    cmd.request = req++;
+    ASSERT_TRUE(store.Execute(cmd).ok());
+  }
+  Command other = Put(9, "other");
+  other.request = req++;
+  ASSERT_TRUE(store.Execute(other).ok());
+
+  const KeySnapshot snap = SnapshotStoreKey(store, 7, /*applied=*/5);
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.state.key, 7);
+  EXPECT_EQ(snap.state.versions.size(), 6u);
+  EXPECT_NE(snap.digest, 0u);
+  // DigestKeyState fingerprints the state alone; the KeySnapshot digest
+  // also binds the applied watermark, so equal states at different
+  // watermarks still get distinct snapshot digests.
+  EXPECT_NE(SnapshotStoreKey(store, 7, 6).digest, snap.digest);
+
+  KvStore target;
+  Command pre = Put(9, "keep-me");
+  pre.request = 100;
+  ASSERT_TRUE(target.Execute(pre).ok());
+  RestoreStoreKey(snap, &target);
+  ASSERT_TRUE(target.Get(7).ok());
+  EXPECT_EQ(target.Get(7).value(), "a5");
+  EXPECT_EQ(target.Versions(7).size(), 6u);
+  ASSERT_TRUE(target.Get(9).ok());
+  EXPECT_EQ(target.Get(9).value(), "keep-me");
+  // Re-deriving the snapshot from the restored state reproduces the
+  // digest — the installer-side check SnapshotAt cross-verifies.
+  EXPECT_EQ(SnapshotStoreKey(target, 7, 5).digest, snap.digest);
+  EXPECT_EQ(DigestKeyState(snap.state),
+            DigestKeyState(SnapshotStoreKey(target, 7, 5).state));
+}
+
+// ---------------------------------------------------------------------------
+// LogStorage: policy trigger, truncation, watermark bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(LogStorageTest, CompactToDropsPrefixAndAdvancesWatermark) {
+  LogStorage<int> log;
+  for (Slot s = 0; s < 10; ++s) log[s] = static_cast<int>(s);
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.last_index(), 9);
+  EXPECT_EQ(log.snapshot_index(), -1);
+
+  EXPECT_EQ(log.CompactTo(4), 5u);
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.snapshot_index(), 4);
+  EXPECT_FALSE(log.contains(4));
+  EXPECT_TRUE(log.contains(5));
+  EXPECT_EQ(log.total_compacted(), 5u);
+
+  // Regressing the watermark is a no-op (duplicated installs).
+  EXPECT_EQ(log.CompactTo(2), 0u);
+  EXPECT_EQ(log.snapshot_index(), 4);
+
+  // Compacting everything: last_index falls back to the watermark.
+  EXPECT_EQ(log.CompactTo(9), 5u);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.last_index(), 9);
+}
+
+TEST(LogStorageTest, PolicyTriggersOnIntervalAndBytes) {
+  LogStorage<int> log;
+  EXPECT_FALSE(log.policy().enabled());
+  EXPECT_FALSE(log.ShouldSnapshot(1000));  // disabled by default
+
+  CompactionPolicy interval_policy;
+  interval_policy.interval = 10;
+  log.set_policy(interval_policy);
+  EXPECT_FALSE(log.ShouldSnapshot(8));
+  EXPECT_TRUE(log.ShouldSnapshot(9));  // 9 - (-1) >= 10
+  log.CompactTo(9);
+  EXPECT_FALSE(log.ShouldSnapshot(9));  // not strictly past the watermark
+  EXPECT_FALSE(log.ShouldSnapshot(15));
+  EXPECT_TRUE(log.ShouldSnapshot(19));
+
+  CompactionPolicy byte_policy;
+  byte_policy.max_bytes = 4 * byte_policy.bytes_per_entry;
+  LogStorage<int> bytes_log;
+  bytes_log.set_policy(byte_policy);
+  for (Slot s = 0; s < 3; ++s) bytes_log[s] = 0;
+  EXPECT_FALSE(bytes_log.ShouldSnapshot(2));
+  bytes_log[3] = 0;
+  EXPECT_TRUE(bytes_log.ShouldSnapshot(3));
+}
+
+// ---------------------------------------------------------------------------
+// Auditor: snapshot digests are cross-checked at (domain, watermark).
+// ---------------------------------------------------------------------------
+
+class FakeAuditable : public Auditable {
+ public:
+  explicit FakeAuditable(NodeId id) : id_(id) {}
+  NodeId id() const override { return id_; }
+  void Audit(AuditScope& scope) const override {
+    if (report) report(scope);
+  }
+  std::function<void(AuditScope&)> report;
+
+ private:
+  NodeId id_;
+};
+
+TEST(AuditorSnapshotTest, MatchingDigestsPassDivergentDigestsTrip) {
+  InvariantAuditor auditor(/*fail_fast=*/false);
+  FakeAuditable producer(NodeId{1, 1});
+  FakeAuditable installer(NodeId{1, 2});
+  auditor.Watch(&producer);
+  auditor.Watch(&installer);
+
+  producer.report = [](AuditScope& s) { s.SnapshotAt("log", 99, 0xABCDu); };
+  installer.report = [](AuditScope& s) { s.SnapshotAt("log", 99, 0xABCDu); };
+  auditor.AuditNow();
+  EXPECT_TRUE(auditor.violations().empty());
+
+  // Same watermark, different state: exactly the bug snapshots can hide
+  // (an install that diverged from the producer's applied prefix).
+  installer.report = [](AuditScope& s) { s.SnapshotAt("log", 99, 0xEEEEu); };
+  auditor.AuditNow();
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_NE(auditor.violations()[0].find("snapshot"), std::string::npos);
+}
+
+TEST(AuditorSnapshotTest, SnapshotAdvancesChosenFrontierPastCompactedSlots) {
+  InvariantAuditor auditor(/*fail_fast=*/false);
+  FakeAuditable node(NodeId{1, 1});
+  auditor.Watch(&node);
+  // A node that installed a snapshot at 49 then reports Chosen from 50 on
+  // must not trip "gap in chosen reports" style accounting: SnapshotAt
+  // advances the frontier past the compacted prefix.
+  node.report = [](AuditScope& s) {
+    s.SnapshotAt("log", 49, 0x1234u);
+    EXPECT_EQ(s.ChosenFrontier("log"), 49);
+    s.Chosen("log", 50, 0x5678u);
+  };
+  auditor.AuditNow();
+  EXPECT_TRUE(auditor.violations().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Paxos backlog cap: a long election must shed, not buffer, the client
+// population; shed requests are retryable and complete elsewhere.
+// ---------------------------------------------------------------------------
+
+TEST(BacklogCapTest, ElectionBacklogIsCappedAndShedRequestsRetry) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["max_backlog"] = "4";
+  cfg.client_timeout = 300 * kMillisecond;
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+
+  // Cut {1,3} off from every replica: its phase-1 can never complete, so
+  // every request it receives parks (up to the cap) or is shed.
+  const NodeId victim{1, 3};
+  std::vector<NodeId> rest;
+  for (const NodeId& id : cluster.nodes()) {
+    if (id != victim) rest.push_back(id);
+  }
+  cluster.transport().Partition({{victim}, rest}, 30 * kSecond);
+  cluster.RunFor(kSecond);  // leader lease on the victim expires
+
+  // One request per client: the session layer admits each client's writes
+  // in request-id order, so concurrent pressure needs distinct clients.
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    Command cmd = Put(i, "b" + std::to_string(i));
+    cluster.NewClient(1)->Issue(cmd, victim,
+                                [&completed](const Client::Reply& r) {
+                                  completed += r.status.ok();
+                                });
+    cluster.RunFor(kMillisecond);
+  }
+  cluster.RunFor(10 * kSecond);
+
+  auto* parked = dynamic_cast<PaxosReplica*>(cluster.node(victim));
+  ASSERT_NE(parked, nullptr);
+  EXPECT_LE(parked->backlog_size(), 4u);  // the cap held
+  // Shed and timed-out requests retried against reachable replicas; no
+  // client is stuck behind the dead node's unbounded queue.
+  EXPECT_EQ(completed, 40);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: durable-restart TTR after 10k committed commands is a small
+// constant of the TTR after 1k, and with compaction enabled the log at
+// every node stays within snapshot interval + in-flight tail.
+// ---------------------------------------------------------------------------
+
+struct TtrResult {
+  Time ttr = 0;
+  std::size_t max_log_entries = 0;       ///< Across all nodes, post-run.
+  std::size_t leader_snapshots = 0;
+};
+
+TtrResult MeasureDurableRestartTtr(int commands) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["snapshot_interval"] = "100";
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+
+  const NodeId leader = cluster.leader();
+  for (int i = 0; i < commands; ++i) {
+    const auto put =
+        PutAndWait(cluster, client, i % 25, "v" + std::to_string(i), leader);
+    EXPECT_TRUE(put.status.ok()) << "command " << i;
+  }
+
+  TtrResult out;
+  for (const NodeId& id : cluster.nodes()) {
+    const Node::LogStats stats = cluster.node(id)->GetLogStats();
+    out.max_log_entries = std::max(out.max_log_entries, stats.log_entries);
+  }
+  out.leader_snapshots =
+      cluster.node(leader)->GetLogStats().snapshots_taken;
+
+  // Restart the leader — the worst case — and measure how long until a
+  // client write completes again through a surviving replica.
+  cluster.RestartNode(leader, 300 * kMillisecond,
+                      Cluster::RestartMode::kDurable);
+  const Time fault_at = cluster.sim().Now();
+  const auto probe = PutAndWait(cluster, client, 0, "post-restart",
+                                NodeId{1, 2});
+  EXPECT_TRUE(probe.status.ok());
+  out.ttr = cluster.sim().Now() - fault_at;
+  return out;
+}
+
+TEST(BoundedRecoveryTest, TtrAndLogLengthFlatInHistoryLength) {
+  const TtrResult small = MeasureDurableRestartTtr(1000);
+  const TtrResult large = MeasureDurableRestartTtr(10000);
+
+  // Compaction fired throughout and kept every log within one snapshot
+  // interval (100) plus the in-flight tail / watermark-propagation lag.
+  EXPECT_GE(small.leader_snapshots, 9u);
+  EXPECT_GE(large.leader_snapshots, 99u);
+  EXPECT_LE(small.max_log_entries, 160u);
+  EXPECT_LE(large.max_log_entries, 160u);
+
+  // Ten times the history must not mean ten times the recovery: TTR is
+  // bounded by timers + snapshot transfer, not by history replay.
+  EXPECT_GT(small.ttr, 0);
+  EXPECT_GT(large.ttr, 0);
+  EXPECT_LE(large.ttr, 3 * small.ttr + 500 * kMillisecond)
+      << "TTR grew with history length: " << small.ttr << "us -> "
+      << large.ttr << "us";
+}
+
+// ---------------------------------------------------------------------------
+// Install-snapshot state transfer: an amnesia-restarted follower relearns
+// the compacted prefix via {snapshot, tail}, with producer/installer
+// digests cross-checked by the auditor.
+// ---------------------------------------------------------------------------
+
+TEST(InstallSnapshotTest, PaxosAmnesiaFollowerInstallsSnapshotAndCatchesUp) {
+  ScopedAudit audit;
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["snapshot_interval"] = "100";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+  Client* client = cluster.NewClient(1);
+
+  for (int i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, client, i % 25, "v" + std::to_string(i),
+                           cluster.leader())
+                    .status.ok());
+  }
+  // By now slot 0 is long compacted everywhere: a reborn follower cannot
+  // be served entry-by-entry.
+  auto* lead = dynamic_cast<PaxosReplica*>(cluster.node(cluster.leader()));
+  ASSERT_NE(lead, nullptr);
+  ASSERT_GT(lead->snapshot_index(), 0);
+
+  const NodeId reborn_id{1, 3};
+  cluster.RestartNode(reborn_id, 200 * kMillisecond,
+                      Cluster::RestartMode::kAmnesia);
+  cluster.RunFor(3 * kSecond);
+
+  auto* reborn = dynamic_cast<PaxosReplica*>(cluster.node(reborn_id));
+  ASSERT_NE(reborn, nullptr);
+  EXPECT_GE(reborn->snapshots_installed(), 1u);
+  EXPECT_EQ(reborn->executed_up_to(), lead->committed_up_to());
+  // The restored store matches the leader's, history included.
+  EXPECT_EQ(reborn->store().WriteHistory(3).size(),
+            lead->store().WriteHistory(3).size());
+  // Its log is the post-snapshot tail, not the replayed history.
+  EXPECT_LE(reborn->GetLogStats().log_entries, 160u);
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+}
+
+TEST(InstallSnapshotTest, WPaxosStealAfterCompactionShipsObjectSnapshot) {
+  ScopedAudit audit;
+  Config cfg = Config::Wan5("wpaxos", 1);
+  cfg.params["fz"] = "0";
+  cfg.params["handoff_cooldown_ms"] = "0";
+  cfg.params["snapshot_interval"] = "20";
+  Cluster cluster(cfg);
+  Bootstrap(cluster);
+
+  // Ohio commits well past the per-object compaction interval.
+  Client* c2 = cluster.NewClient(2);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, c2, 1, "oh-" + std::to_string(i),
+                           NodeId{2, 1})
+                    .status.ok());
+  }
+  auto* old_owner = dynamic_cast<WPaxosReplica*>(cluster.node({2, 1}));
+  ASSERT_NE(old_owner, nullptr);
+  ASSERT_GT(old_owner->GetLogStats().snapshots_taken, 0u);
+
+  // Blank the Virginia node: acceptors execute the replicated commands
+  // too, so only an amnesia restart leaves a stealer that genuinely needs
+  // the compacted prefix.
+  cluster.RestartNode(NodeId{1, 1}, 200 * kMillisecond,
+                      Cluster::RestartMode::kAmnesia);
+  cluster.RunFor(kSecond);
+
+  // Virginia steals: the compacted prefix must arrive as an object
+  // snapshot in the P1b, or the new owner inherits a hole.
+  Client* c1 = cluster.NewClient(1);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(PutAndWait(cluster, c1, 1, "va-" + std::to_string(i),
+                           NodeId{1, 1})
+                    .status.ok());
+  }
+  cluster.RunFor(2 * kSecond);
+
+  auto* new_owner = dynamic_cast<WPaxosReplica*>(cluster.node({1, 1}));
+  ASSERT_NE(new_owner, nullptr);
+  EXPECT_GE(new_owner->snapshots_installed(), 1u);
+  auto get = GetAndWait(cluster, c1, 1, NodeId{1, 1});
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "va-5");
+  // Full history transferred despite the truncated log.
+  EXPECT_EQ(new_owner->store().WriteHistory(1).size(), 66u);
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+}
+
+TEST(InstallSnapshotTest, EPaxosGcCollectsExecutedInstances) {
+  Config cfg = Config::Lan9("epaxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["snapshot_interval"] = "50";
+  Cluster cluster(cfg);
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.3;
+  options.warmup_s = 0.0;
+  options.duration_s = 3.0;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+  ASSERT_GT(result.completed, 500u);
+
+  // Every replica collected instances below the cluster-wide executed
+  // frontier; the live instance map is a fraction of the history.
+  for (const NodeId& id : cluster.nodes()) {
+    auto* replica = dynamic_cast<EPaxosReplica*>(cluster.node(id));
+    ASSERT_NE(replica, nullptr);
+    EXPECT_GT(replica->instances_gced(), 0u) << id.ToString();
+    EXPECT_LT(replica->instances_alive(),
+              replica->instances_gced())
+        << id.ToString() << ": GC lagging far behind execution";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction under nemeses: snapshots taken during partitions, installs
+// duplicated / reordered / interrupted by crashes — history must stay
+// linearizable and the digests consistent. Small snapshot interval so
+// every catch-up crosses a compaction boundary.
+// ---------------------------------------------------------------------------
+
+struct CompactionNemesisCase {
+  std::string protocol;
+  BuiltinNemesis nemesis;
+  bool include_reorder = false;
+  const char* name = "";
+};
+
+class CompactionNemesisTest
+    : public ::testing::TestWithParam<CompactionNemesisCase> {};
+
+TEST_P(CompactionNemesisTest, StaysSafeWithSmallSnapshotInterval) {
+  const CompactionNemesisCase& param = GetParam();
+  ScopedAudit audit;
+  Config cfg = Config::Lan9(param.protocol);
+  cfg.nodes_per_zone = 5;
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.params["snapshot_interval"] = "40";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker;
+  NemesisOptions opts;
+  opts.start = kSecond;
+  opts.period = 1500 * kMillisecond;
+  opts.fault_duration = 600 * kMillisecond;
+  opts.horizon = 4 * kSecond;
+  opts.seed = 0xC0FFEE;
+  opts.include_reorder = param.include_reorder;
+  Nemesis nemesis(&cluster,
+                  MakeBuiltinSchedule(param.nemesis, cfg.Nodes(),
+                                      cluster.leader(), opts),
+                  &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.5;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(nemesis.executed(), 0u);
+  EXPECT_GT(result.completed, 100u) << param.protocol;
+  EXPECT_GE(tracker.MaxTimeToRecovery(), 0) << param.protocol;
+
+  // Compaction actually ran while the nemesis was interfering.
+  std::size_t compaction_evidence = 0;
+  for (const NodeId& id : cluster.nodes()) {
+    const Node* node = cluster.node(id);
+    if (node == nullptr) continue;
+    const Node::LogStats stats = node->GetLogStats();
+    compaction_evidence += stats.snapshots_taken + stats.entries_compacted;
+  }
+  EXPECT_GT(compaction_evidence, 0u) << param.protocol;
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << param.protocol << ": " << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nemeses, CompactionNemesisTest,
+    ::testing::Values(
+        CompactionNemesisCase{"paxos", BuiltinNemesis::kRollingCrashRestart,
+                              false, "paxos_rolling_restart"},
+        CompactionNemesisCase{"paxos", BuiltinNemesis::kFlakyEverything,
+                              true, "paxos_flaky"},
+        CompactionNemesisCase{"paxos", BuiltinNemesis::kRandomPartitioner,
+                              false, "paxos_partitions"},
+        CompactionNemesisCase{"raft", BuiltinNemesis::kRollingCrashRestart,
+                              false, "raft_rolling_restart"},
+        CompactionNemesisCase{"epaxos", BuiltinNemesis::kFlakyEverything,
+                              true, "epaxos_flaky"},
+        // Mencius needs FIFO links: flaky/duplicate only (see mencius.h).
+        CompactionNemesisCase{"mencius", BuiltinNemesis::kFlakyEverything,
+                              false, "mencius_flaky"}),
+    [](const ::testing::TestParamInfo<CompactionNemesisCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Every protocol serves traffic through a durable restart with compaction
+// enabled, and the availability JSON carries the per-node log gauges.
+// ---------------------------------------------------------------------------
+
+struct CompactionRecoveryCase {
+  std::string protocol;
+  NodeId victim;
+  bool grid = false;
+};
+
+class CompactionRecoveryTest
+    : public ::testing::TestWithParam<CompactionRecoveryCase> {};
+
+TEST_P(CompactionRecoveryTest, DurableRestartWithCompactionStaysSafe) {
+  const CompactionRecoveryCase& param = GetParam();
+  ScopedAudit audit;
+  Config cfg = param.grid ? Config::LanGrid3x3(param.protocol)
+                          : Config::Lan9(param.protocol);
+  if (!param.grid) cfg.nodes_per_zone = 5;
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.params["snapshot_interval"] = "60";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker(100 * kMillisecond);
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{
+      1500 * kMillisecond,
+      FaultAction::Restart(param.victim, 400 * kMillisecond,
+                           Cluster::RestartMode::kDurable)});
+  Nemesis nemesis(&cluster, schedule, &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(result.completed, 100u) << param.protocol;
+  const Time ttr = tracker.MaxTimeToRecovery();
+  EXPECT_GE(ttr, 0) << param.protocol << ": never recovered";
+  EXPECT_LE(ttr, 2500 * kMillisecond) << param.protocol;
+
+  // The runner sampled per-node log gauges into the availability JSON.
+  ASSERT_FALSE(tracker.log_gauges().empty()) << param.protocol;
+  EXPECT_NE(tracker.ToJson().find("\"log_gauges\":[{"), std::string::npos);
+
+  // Compaction engaged at some replica (snapshots for the log-structured
+  // protocols, instance GC for epaxos).
+  std::size_t compaction_evidence = 0;
+  for (const NodeId& id : cluster.nodes()) {
+    const Node* node = cluster.node(id);
+    if (node == nullptr) continue;
+    const Node::LogStats stats = node->GetLogStats();
+    compaction_evidence += stats.snapshots_taken + stats.entries_compacted;
+  }
+  EXPECT_GT(compaction_evidence, 0u) << param.protocol;
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << param.protocol << ": " << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CompactionRecoveryTest,
+    ::testing::Values(
+        CompactionRecoveryCase{"paxos", NodeId{1, 1}, false},
+        CompactionRecoveryCase{"fpaxos", NodeId{1, 1}, false},
+        CompactionRecoveryCase{"raft", NodeId{1, 1}, false},
+        CompactionRecoveryCase{"mencius", NodeId{1, 2}, false},
+        CompactionRecoveryCase{"epaxos", NodeId{1, 2}, false},
+        CompactionRecoveryCase{"wpaxos", NodeId{1, 2}, true},
+        CompactionRecoveryCase{"wankeeper", NodeId{1, 2}, true},
+        CompactionRecoveryCase{"vpaxos", NodeId{1, 2}, true}),
+    [](const ::testing::TestParamInfo<CompactionRecoveryCase>& info) {
+      return info.param.protocol;
+    });
+
+}  // namespace
+}  // namespace paxi
