@@ -5,19 +5,99 @@
 //   3. Object-migration policy: handoff threshold 1 (eager) vs 3 (paper)
 //      vs never, under a locality workload.
 //   4. Ordered (TCP-like) vs unordered (UDP-like) transport for Paxos.
+//
+// The ten simulation points run as one flat batch on the sweep engine
+// (--jobs N / PAXI_JOBS); results are gathered in submission order so the
+// report below is byte-identical for any job count.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "benchmark/runner.h"
+#include "benchmark/sweep.h"
 #include "model/protocol_model.h"
 
 namespace paxi {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("Ablation studies", "DESIGN.md ablation list");
   int failures = 0;
+
+  struct Point {
+    Config cfg;
+    BenchOptions options;
+  };
+  std::vector<Point> points;
+
+  // Points 0-1: EPaxos penalty off/on.
+  {
+    BenchOptions options;
+    options.workload = UniformWorkload(1000, 0.5);
+    options.duration_s = 1.5;
+    options.warmup_s = 0.4;
+    options.clients_per_zone = 30;
+    Config cheap = Config::Lan9("epaxos");
+    cheap.params["penalty"] = "1.0";
+    Config heavy = Config::Lan9("epaxos");
+    heavy.params["penalty"] = "2.0";
+    points.push_back({cheap, options});
+    points.push_back({heavy, options});
+  }
+
+  // Points 2-4: WPaxos fz = 0/1/2.
+  for (int fz = 0; fz <= 2; ++fz) {
+    Config cfg = Config::Wan5("wpaxos", 1);
+    cfg.params["fz"] = std::to_string(fz);
+    BenchOptions options;
+    // Tiny pool + long warmup: the one-time cross-WAN steals finish
+    // before measurement, isolating the steady-state fz cost.
+    options.workload = UniformWorkload(10, 1.0);
+    options.clients_per_zone = 1;
+    options.client_zones = {1};
+    options.duration_s = 6.0;
+    options.warmup_s = 5.0;
+    points.push_back({cfg, options});
+  }
+
+  // Points 5-7: migration thresholds eager/paper/never.
+  const char* thresholds[] = {"1", "3", "1000000000"};
+  for (const char* threshold : thresholds) {
+    Config cfg = Config::Wan5("wpaxos", 1);
+    cfg.params["fz"] = "0";
+    cfg.params["initial_owner"] = "2.1";
+    cfg.params["handoff_threshold"] = threshold;
+    BenchOptions options;
+    options.workload = LocalityWorkload(5, 200, 10.0);
+    options.clients_per_zone = 8;
+    options.duration_s = 8.0;
+    options.warmup_s = 12.0;
+    points.push_back({cfg, options});
+  }
+
+  // Points 8-9: ordered vs unordered transport.
+  {
+    BenchOptions options;
+    options.workload = UniformWorkload(1000, 0.5);
+    options.clients_per_zone = 8;
+    options.duration_s = 1.5;
+    options.warmup_s = 0.4;
+    Config tcp = Config::Lan9("paxos");
+    tcp.ordered_transport = true;
+    Config udp = Config::Lan9("paxos");
+    udp.ordered_transport = false;
+    points.push_back({tcp, options});
+    points.push_back({udp, options});
+  }
+
+  SweepEngine engine(SweepJobs(argc, argv));
+  const std::vector<BenchResult> results =
+      engine.Map<BenchResult>(points.size(), [&points](std::size_t i) {
+        Point point = points[i];
+        point.cfg.seed = DerivePointSeed(point.cfg.seed, i);
+        return RunBenchmark(point.cfg, point.options);
+      });
 
   // --- 1. EPaxos processing penalty ----------------------------------------
   {
@@ -35,17 +115,8 @@ int Run() {
         "the processing penalty (dependency bookkeeping) costs EPaxos "
         "~half its modeled capacity");
 
-    BenchOptions options;
-    options.workload = UniformWorkload(1000, 0.5);
-    options.duration_s = 1.5;
-    options.warmup_s = 0.4;
-    options.clients_per_zone = 30;
-    Config cheap = Config::Lan9("epaxos");
-    cheap.params["penalty"] = "1.0";
-    Config heavy = Config::Lan9("epaxos");
-    heavy.params["penalty"] = "2.0";
-    const BenchResult r1 = RunBenchmark(cheap, options);
-    const BenchResult r2 = RunBenchmark(heavy, options);
+    const BenchResult& r1 = results[0];
+    const BenchResult& r2 = results[1];
     std::printf("EPaxos max throughput (framework): penalty off %.0f, "
                 "penalty 2x %.0f\n",
                 r1.throughput, r2.throughput);
@@ -59,18 +130,7 @@ int Run() {
     std::printf("\nWPaxos WAN latency by fz (Virginia clients):\n");
     double lat[3] = {0, 0, 0};
     for (int fz = 0; fz <= 2; ++fz) {
-      Config cfg = Config::Wan5("wpaxos", 1);
-      cfg.params["fz"] = std::to_string(fz);
-      BenchOptions options;
-      // Tiny pool + long warmup: the one-time cross-WAN steals finish
-      // before measurement, isolating the steady-state fz cost.
-      options.workload = UniformWorkload(10, 1.0);
-      options.clients_per_zone = 1;
-      options.client_zones = {1};
-      options.duration_s = 6.0;
-      options.warmup_s = 5.0;
-      const BenchResult r = RunBenchmark(cfg, options);
-      lat[fz] = r.MeanLatencyMs();
+      lat[fz] = results[static_cast<std::size_t>(2 + fz)].MeanLatencyMs();
       std::printf("  fz=%d: %.2f ms\n", fz, lat[fz]);
     }
     failures += !bench::Check(
@@ -87,18 +147,8 @@ int Run() {
     double means[3];
     const char* labels[] = {"eager (1 access)", "paper (3 accesses)",
                             "never (threshold 1e9)"};
-    const char* thresholds[] = {"1", "3", "1000000000"};
     for (int i = 0; i < 3; ++i) {
-      Config cfg = Config::Wan5("wpaxos", 1);
-      cfg.params["fz"] = "0";
-      cfg.params["initial_owner"] = "2.1";
-      cfg.params["handoff_threshold"] = thresholds[i];
-      BenchOptions options;
-      options.workload = LocalityWorkload(5, 200, 10.0);
-      options.clients_per_zone = 8;
-      options.duration_s = 8.0;
-      options.warmup_s = 12.0;
-      const BenchResult r = RunBenchmark(cfg, options);
+      const BenchResult& r = results[static_cast<std::size_t>(5 + i)];
       // Unweighted average of per-region means: closed-loop clients in
       // fast regions complete far more ops, which would otherwise swamp
       // the remote regions this ablation is about.
@@ -123,17 +173,8 @@ int Run() {
 
   // --- 4. Transport ordering --------------------------------------------------
   {
-    BenchOptions options;
-    options.workload = UniformWorkload(1000, 0.5);
-    options.clients_per_zone = 8;
-    options.duration_s = 1.5;
-    options.warmup_s = 0.4;
-    Config tcp = Config::Lan9("paxos");
-    tcp.ordered_transport = true;
-    Config udp = Config::Lan9("paxos");
-    udp.ordered_transport = false;
-    const BenchResult r_tcp = RunBenchmark(tcp, options);
-    const BenchResult r_udp = RunBenchmark(udp, options);
+    const BenchResult& r_tcp = results[8];
+    const BenchResult& r_udp = results[9];
     std::printf("\nPaxos over ordered vs unordered transport: %.2f ms vs "
                 "%.2f ms mean (%.0f vs %.0f ops/s)\n",
                 r_tcp.MeanLatencyMs(), r_udp.MeanLatencyMs(),
@@ -150,4 +191,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

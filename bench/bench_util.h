@@ -2,7 +2,10 @@
 #define PAXI_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace paxi::bench {
 
@@ -29,6 +32,69 @@ inline int Summary(int failures) {
   }
   std::printf("\n%d shape check(s) FAILED.\n", failures);
   return 1;
+}
+
+/// Minimal flat-JSON result writer for machine-readable bench output
+/// (e.g. BENCH_PERF.json consumed by the CI perf gate). Keys keep
+/// insertion order so successive runs diff cleanly.
+class JsonResult {
+ public:
+  void Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    entries_.emplace_back(key, buf);
+  }
+
+  void Set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    entries_.emplace_back(key, std::move(quoted));
+  }
+
+  /// Writes `{"k": v, ...}` to `path`. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Reads one numeric field out of a flat JSON file written by JsonResult
+/// (or any JSON where `"key": <number>` appears on one line). Returns
+/// `fallback` when the file or key is missing — callers treat that as
+/// "no baseline, nothing to gate on".
+inline double JsonNumberField(const std::string& path, const std::string& key,
+                              double fallback) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return fallback;
+  const std::string needle = "\"" + key + "\"";
+  char line[512];
+  double value = fallback;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const std::string s(line);
+    const std::size_t at = s.find(needle);
+    if (at == std::string::npos) continue;
+    const std::size_t colon = s.find(':', at + needle.size());
+    if (colon == std::string::npos) continue;
+    value = std::strtod(s.c_str() + colon + 1, nullptr);
+    break;
+  }
+  std::fclose(f);
+  return value;
 }
 
 }  // namespace paxi::bench

@@ -10,12 +10,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "benchmark/sweep.h"
 #include "model/protocol_model.h"
 
 namespace paxi {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("Modeled LAN latency vs throughput", "Fig. 8a/8b (§5.2)");
 
   model::ModelEnv flat;
@@ -42,10 +43,19 @@ int Run() {
                            {"EPaxos", &epaxos},
                            {"WPaxos", &wpaxos}};
 
+  // The queueing-model curves are pure functions of each (const) model, so
+  // they evaluate concurrently on the sweep engine; printing stays in
+  // submission order, byte-identical for any --jobs / PAXI_JOBS value.
+  SweepEngine engine(SweepJobs(argc, argv));
+  const auto curves = engine.Map<std::vector<model::ModelPoint>>(
+      std::size(entries),
+      [&entries](std::size_t i) { return entries[i].model->Curve(12, 0.97); });
+
   std::printf("\n-- Fig. 8a: curves up to saturation --\n");
   std::printf("csv: series,throughput_rounds_s,latency_ms\n");
-  for (const auto& e : entries) {
-    for (const auto& pt : e.model->Curve(12, 0.97)) {
+  for (std::size_t i = 0; i < std::size(entries); ++i) {
+    const auto& e = entries[i];
+    for (const auto& pt : curves[i]) {
       std::printf("csv: %s,%.0f,%.3f\n", e.name, pt.throughput,
                   pt.latency_ms);
     }
@@ -88,4 +98,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

@@ -6,6 +6,11 @@
 // multi-leader WPaxos does better (but not linearly); hierarchical
 // WanKeeper does best (fewer messages per leader); EPaxos does worst
 // (conflict handling + processing penalty).
+//
+// Every (series, concurrency level) pair is an independent simulation
+// universe, so all 27 run as one flat batch on the sweep engine
+// (--jobs N / PAXI_JOBS); the report is printed from the gathered results
+// in submission order — byte-identical for any job count.
 
 #include <cstdio>
 #include <string>
@@ -13,6 +18,7 @@
 
 #include "bench_util.h"
 #include "benchmark/runner.h"
+#include "benchmark/sweep.h"
 
 namespace paxi {
 namespace {
@@ -25,7 +31,7 @@ struct Series {
   double low_load_latency = 0;
 };
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("Experimental LAN comparison (framework)", "Fig. 9 (§5.2)");
 
   BenchOptions options;
@@ -47,19 +53,52 @@ int Run() {
   series.push_back(
       {"WanKeeper", Config::LanGrid3x3("wankeeper"), {1, 3, 6, 11, 20, 34}});
 
+  // Flatten series x level so the engine load-balances across all 27
+  // universes at once (saturated 60-client points dwarf 2-client ones).
+  struct Job {
+    std::size_t series_index;
+    int level;
+  };
+  std::vector<Job> sweep;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    for (int level : series[si].levels) {
+      sweep.push_back({si, level});
+    }
+  }
+
+  SweepEngine engine(SweepJobs(argc, argv));
+  const std::vector<SweepPoint> points = engine.Map<SweepPoint>(
+      sweep.size(), [&series, &sweep, &options](std::size_t i) {
+        const Job& job = sweep[i];
+        Config cfg = series[job.series_index].config;
+        cfg.seed = DerivePointSeed(cfg.seed, i);
+        BenchOptions opts = options;
+        opts.clients_per_zone = job.level;
+        const BenchResult r = RunBenchmark(cfg, opts);
+        SweepPoint p;
+        p.clients_per_zone = job.level;
+        p.throughput = r.throughput;
+        p.mean_latency_ms = r.MeanLatencyMs();
+        p.median_latency_ms = r.MedianLatencyMs();
+        p.p99_latency_ms = r.P99LatencyMs();
+        return p;
+      });
+
   std::printf("\ncsv: series,clients_total,throughput_ops_s,latency_ms\n");
+  std::size_t next = 0;
   for (auto& s : series) {
-    const auto points = SaturationSweep(s.config, options, s.levels);
-    for (const auto& p : points) {
+    const std::size_t first = next;
+    for (std::size_t li = 0; li < s.levels.size(); ++li, ++next) {
+      const SweepPoint& p = points[next];
       std::printf("csv: %s,%d,%.0f,%.3f\n", s.name.c_str(),
                   p.clients_per_zone * s.config.zones, p.throughput,
                   p.mean_latency_ms);
     }
     s.max_throughput = 0;
-    for (const auto& p : points) {
-      s.max_throughput = std::max(s.max_throughput, p.throughput);
+    for (std::size_t i = first; i < next; ++i) {
+      s.max_throughput = std::max(s.max_throughput, points[i].throughput);
     }
-    s.low_load_latency = points.front().mean_latency_ms;
+    s.low_load_latency = points[first].mean_latency_ms;
     std::printf("max %-10s = %8.0f ops/s  (low-load latency %.3f ms)\n",
                 s.name.c_str(), s.max_throughput, s.low_load_latency);
   }
@@ -94,4 +133,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

@@ -11,12 +11,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "benchmark/sweep.h"
 #include "model/protocol_model.h"
 
 namespace paxi {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("Modeled WAN latency vs aggregate throughput", "Fig. 10 (§5.3)");
 
   model::ModelEnv wan;
@@ -45,9 +46,18 @@ int Run() {
       {"WPaxos (l=0.7)", &wpaxos},
   };
 
+  // Curves are pure functions of each (const) model — evaluate them
+  // concurrently on the sweep engine, print in submission order
+  // (byte-identical output for any --jobs / PAXI_JOBS value).
+  SweepEngine engine(SweepJobs(argc, argv));
+  const auto curves = engine.Map<std::vector<model::ModelPoint>>(
+      std::size(entries),
+      [&entries](std::size_t i) { return entries[i].model->Curve(10, 0.95); });
+
   std::printf("\ncsv: series,throughput_rounds_s,latency_ms\n");
-  for (const auto& e : entries) {
-    for (const auto& pt : e.model->Curve(10, 0.95)) {
+  for (std::size_t i = 0; i < std::size(entries); ++i) {
+    const auto& e = entries[i];
+    for (const auto& pt : curves[i]) {
       std::printf("csv: %s,%.0f,%.3f\n", e.name, pt.throughput,
                   pt.latency_ms);
     }
@@ -85,4 +95,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

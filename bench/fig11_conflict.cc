@@ -25,6 +25,7 @@
 
 #include "bench_util.h"
 #include "benchmark/runner.h"
+#include "benchmark/sweep.h"
 
 namespace paxi {
 namespace {
@@ -71,38 +72,61 @@ std::vector<Variant> Variants() {
   return out;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("WAN conflict experiment, latency per region",
                 "Fig. 11a-c (§5.3)");
 
   const std::vector<double> ratios = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   const char* region_names[] = {"VA", "OH", "CA", "IR", "JP"};
+  const std::vector<Variant> variants = Variants();
+
+  // All 36 (variant, conflict ratio) universes are independent: run them
+  // as one flat batch on the sweep engine (--jobs N / PAXI_JOBS) and
+  // print from the gathered results in submission order, so the report is
+  // byte-identical for any job count.
+  struct Job {
+    std::size_t variant_index;
+    double ratio;
+  };
+  std::vector<Job> sweep;
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    for (double ratio : ratios) sweep.push_back({vi, ratio});
+  }
+
+  SweepEngine engine(SweepJobs(argc, argv));
+  const std::vector<BenchResult> bench_results = engine.Map<BenchResult>(
+      sweep.size(), [&variants, &sweep](std::size_t i) {
+        const Job& job = sweep[i];
+        BenchOptions options;
+        // Small private pools and a long warmup so every key's placement
+        // settles before measurement (the paper reports the steady state;
+        // WPaxos steals in particular are full cross-WAN phase-1 rounds).
+        options.workload = ConflictWorkload(job.ratio, /*zones=*/5,
+                                            /*keys_per_zone=*/20);
+        options.clients_per_zone = 2;
+        options.bootstrap_s = 1.0;
+        options.warmup_s = 10.0;  // ownership/token settling
+        options.duration_s = 6.0;
+        Config cfg = variants[job.variant_index].config;
+        cfg.seed = DerivePointSeed(cfg.seed, i);
+        return RunBenchmark(cfg, options);
+      });
 
   // results[variant][ratio][zone] = mean latency ms
   std::map<std::string, std::map<double, std::map<int, double>>> results;
 
   std::printf("\ncsv: series,conflict_pct,region,mean_latency_ms\n");
-  for (const auto& variant : Variants()) {
-    for (double ratio : ratios) {
-      BenchOptions options;
-      // Small private pools and a long warmup so every key's placement
-      // settles before measurement (the paper reports the steady state;
-      // WPaxos steals in particular are full cross-WAN phase-1 rounds).
-      options.workload = ConflictWorkload(ratio, /*zones=*/5,
-                                          /*keys_per_zone=*/20);
-      options.clients_per_zone = 2;
-      options.bootstrap_s = 1.0;
-      options.warmup_s = 10.0;  // ownership/token settling
-      options.duration_s = 6.0;
-      const BenchResult r = RunBenchmark(variant.config, options);
-      for (int z = 1; z <= 3; ++z) {  // paper plots VA, OH, CA
-        const auto it = r.zone_latency_ms.find(z);
-        const double ms = it == r.zone_latency_ms.end() ? -1.0
-                                                        : it->second.mean();
-        results[variant.name][ratio][z] = ms;
-        std::printf("csv: %s,%.0f,%s,%.2f\n", variant.name.c_str(),
-                    ratio * 100, region_names[z - 1], ms);
-      }
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Variant& variant = variants[sweep[i].variant_index];
+    const double ratio = sweep[i].ratio;
+    const BenchResult& r = bench_results[i];
+    for (int z = 1; z <= 3; ++z) {  // paper plots VA, OH, CA
+      const auto it = r.zone_latency_ms.find(z);
+      const double ms = it == r.zone_latency_ms.end() ? -1.0
+                                                      : it->second.mean();
+      results[variant.name][ratio][z] = ms;
+      std::printf("csv: %s,%.0f,%s,%.2f\n", variant.name.c_str(),
+                  ratio * 100, region_names[z - 1], ms);
     }
   }
 
@@ -150,4 +174,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

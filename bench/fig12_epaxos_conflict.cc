@@ -7,14 +7,16 @@
 // Paxos in the model (no leader bottleneck).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "benchmark/sweep.h"
 #include "model/protocol_model.h"
 
 namespace paxi {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("Modeled EPaxos max throughput vs conflict ratio",
                 "Fig. 12 (§5.3)");
 
@@ -26,13 +28,26 @@ int Run() {
   model::PaxosModel paxos(wan, NodeId{3, 1});
   const double paxos_max = paxos.MaxThroughput();
 
+  // Each conflict-ratio point is an independent model evaluation — run
+  // them concurrently on the sweep engine, print in submission order
+  // (byte-identical output for any --jobs / PAXI_JOBS value).
+  std::vector<int> pcts;
+  for (int pct = 0; pct <= 100; pct += 10) pcts.push_back(pct);
+  SweepEngine engine(SweepJobs(argc, argv));
+  const std::vector<double> maxes =
+      engine.Map<double>(pcts.size(), [&wan, &pcts](std::size_t i) {
+        // Raw protocol capacity (penalty 1.0): Fig. 12 isolates the
+        // conflict effect; the processing penalty is studied separately
+        // (§5.2).
+        model::EPaxosModel epaxos(wan, pcts[i] / 100.0, /*penalty=*/1.0);
+        return epaxos.MaxThroughput();
+      });
+
   std::printf("\ncsv: series,conflict_pct,max_throughput_rounds_s\n");
   double at_zero = 0.0, at_full = 0.0;
-  for (int pct = 0; pct <= 100; pct += 10) {
-    // Raw protocol capacity (penalty 1.0): Fig. 12 isolates the conflict
-    // effect; the processing penalty is studied separately (§5.2).
-    model::EPaxosModel epaxos(wan, pct / 100.0, /*penalty=*/1.0);
-    const double max = epaxos.MaxThroughput();
+  for (std::size_t i = 0; i < pcts.size(); ++i) {
+    const int pct = pcts[i];
+    const double max = maxes[i];
     if (pct == 0) at_zero = max;
     if (pct == 100) at_full = max;
     std::printf("csv: EPaxos,%d,%.0f\n", pct, max);
@@ -58,4 +73,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

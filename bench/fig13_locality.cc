@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "benchmark/runner.h"
+#include "benchmark/sweep.h"
 
 namespace paxi {
 namespace {
@@ -64,29 +65,43 @@ std::vector<Variant> Variants() {
   return out;
 }
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("WAN locality workload: per-region latency and CDF",
                 "Fig. 13a/13b (§5.3)");
 
   const char* region_names[] = {"VA", "OH", "CA", "IR", "JP"};
   std::map<std::string, std::map<int, double>> region_means;
   std::map<std::string, Sampler> global;
+  const std::vector<Variant> variants = Variants();
+
+  // Each variant is an independent 26-virtual-second universe; run all six
+  // concurrently on the sweep engine (--jobs N / PAXI_JOBS) and print from
+  // the gathered results in submission order (byte-identical output for
+  // any job count).
+  SweepEngine engine(SweepJobs(argc, argv));
+  const std::vector<BenchResult> bench_results = engine.Map<BenchResult>(
+      variants.size(), [&variants](std::size_t i) {
+        BenchOptions options;
+        // Scaled-down pool (200 keys, sigma 10) with enough closed-loop
+        // load and settle time that each region's band accumulates the
+        // repeat accesses migration needs; the residual inter-band overlap
+        // keeps the WAN tail the paper's CDFs show.
+        options.workload = LocalityWorkload(/*zones=*/5, /*keys=*/200,
+                                            /*sigma=*/10.0);
+        options.clients_per_zone = 16;
+        options.bootstrap_s = 1.0;
+        options.warmup_s = 15.0;  // objects migrate out of Ohio
+        options.duration_s = 10.0;
+        Config cfg = variants[i].config;
+        cfg.seed = DerivePointSeed(cfg.seed, i);
+        return RunBenchmark(cfg, options);
+      });
 
   std::printf("\n-- Fig. 13a: average latency per region (ms) --\n");
   std::printf("csv: series,region,mean_latency_ms\n");
-  for (const auto& variant : Variants()) {
-    BenchOptions options;
-    // Scaled-down pool (200 keys, sigma 10) with enough closed-loop load
-    // and settle time that each region's band accumulates the repeat
-    // accesses migration needs; the residual inter-band overlap keeps the
-    // WAN tail the paper's CDFs show.
-    options.workload = LocalityWorkload(/*zones=*/5, /*keys=*/200,
-                                        /*sigma=*/10.0);
-    options.clients_per_zone = 16;
-    options.bootstrap_s = 1.0;
-    options.warmup_s = 15.0;  // objects migrate out of Ohio
-    options.duration_s = 10.0;
-    const BenchResult r = RunBenchmark(variant.config, options);
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& variant = variants[vi];
+    const BenchResult& r = bench_results[vi];
     for (int z = 1; z <= 5; ++z) {
       auto it = r.zone_latency_ms.find(z);
       const double ms =
@@ -144,4 +159,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

@@ -1,0 +1,238 @@
+// Performance smoke harness — the CI perf-regression gate.
+//
+// Measures, on the current build:
+//   1. Raw event-kernel throughput (events/sec) with realistic callback
+//      capture sizes — the number every simulation's wall-clock divides by.
+//   2. Wall-clock for two fixed end-to-end scenarios: a saturated LAN
+//      Paxos run (fig. 9-style point) and a WAN EPaxos conflict run
+//      (fig. 11-style point).
+//   3. Sweep-engine scaling: the same 8-point batch run with --jobs 1 and
+//      with one job per core, plus a determinism cross-check that both
+//      produce identical results.
+//
+// Results go to BENCH_PERF.json (override with --out FILE). With
+// --baseline FILE (e.g. the checked-in bench/perf_baseline.json, measured
+// on the pre-optimization tree), the run FAILS if events/sec regressed by
+// more than 2x — a deliberately loose gate that survives machine-to-
+// machine variation but catches "accidentally quadratic" changes.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "benchmark/runner.h"
+#include "benchmark/sweep.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Event-kernel throughput with realistic capture sizes: each event carries
+// a shared_ptr (16B) + this-like pointer (8B) + payload (16B), the shape of
+// Node::Deliver / Transport::ScheduleDelivery callbacks.
+double EventsPerSec() {
+  constexpr int kChains = 64;
+  constexpr std::int64_t kEventsPerChain = 40'000;
+  Simulator sim(7);
+  auto token = std::make_shared<bool>(true);
+  std::int64_t executed = 0;
+  struct Chain {
+    Simulator* sim;
+    std::shared_ptr<bool> token;
+    std::int64_t* executed;
+    std::int64_t remaining;
+    void Step(Time at) {
+      sim->At(at, [c = *this]() mutable {
+        if (!*c.token) return;
+        ++*c.executed;
+        if (--c.remaining > 0) c.Step(c.sim->Now() + 3);
+      });
+    }
+  };
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kChains; ++i) {
+    Chain c{&sim, token, &executed, kEventsPerChain};
+    c.Step(static_cast<Time>(i));
+  }
+  sim.RunToCompletion();
+  const double secs = Seconds(t0, Clock::now());
+  return static_cast<double>(executed) / secs;
+}
+
+// End-to-end simulated Paxos: wall-clock to run a fixed virtual scenario.
+double PaxosBenchWallMs() {
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.clients_per_zone = 40;
+  options.bootstrap_s = 0.2;
+  options.warmup_s = 0.2;
+  options.duration_s = 1.0;
+  const auto t0 = Clock::now();
+  const BenchResult r = RunBenchmark(Config::Lan9("paxos"), options);
+  const double ms = Seconds(t0, Clock::now()) * 1e3;
+  std::printf("  paxos completed=%zu\n", r.completed);
+  return ms;
+}
+
+double EpaxosBenchWallMs() {
+  BenchOptions options;
+  options.workload = ConflictWorkload(0.4, 5, 20);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 1.0;
+  options.duration_s = 2.0;
+  Config cfg = Config::Wan5("epaxos", 1);
+  const auto t0 = Clock::now();
+  const BenchResult r = RunBenchmark(cfg, options);
+  const double ms = Seconds(t0, Clock::now()) * 1e3;
+  std::printf("  epaxos completed=%zu\n", r.completed);
+  return ms;
+}
+
+// One small sweep point for the scaling measurement: ~0.9 virtual seconds
+// of LAN Paxos. Returns throughput so the determinism cross-check has a
+// value to compare.
+double SweepPointThroughput(std::uint64_t seed) {
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.clients_per_zone = 8;
+  options.bootstrap_s = 0.2;
+  options.warmup_s = 0.2;
+  options.duration_s = 0.5;
+  Config cfg = Config::Lan9("paxos");
+  cfg.seed = seed;
+  return RunBenchmark(cfg, options).throughput;
+}
+
+struct SweepScaling {
+  double serial_wall_ms = 0;
+  double parallel_wall_ms = 0;
+  int jobs = 1;
+  bool deterministic = false;
+};
+
+SweepScaling MeasureSweepScaling() {
+  constexpr std::size_t kPoints = 8;
+  constexpr std::uint64_t kBaseSeed = 42;
+  const auto run = [](SweepEngine& engine) {
+    return engine.Map<double>(kPoints, [](std::size_t i) {
+      return SweepPointThroughput(DerivePointSeed(kBaseSeed, i));
+    });
+  };
+
+  SweepScaling s;
+  const unsigned hw = std::thread::hardware_concurrency();
+  s.jobs = hw == 0 ? 1 : static_cast<int>(hw);
+
+  SweepEngine serial(1);
+  const auto t0 = Clock::now();
+  const std::vector<double> serial_results = run(serial);
+  s.serial_wall_ms = Seconds(t0, Clock::now()) * 1e3;
+
+  SweepEngine parallel(s.jobs);
+  const auto t1 = Clock::now();
+  const std::vector<double> parallel_results = run(parallel);
+  s.parallel_wall_ms = Seconds(t1, Clock::now()) * 1e3;
+
+  s.deterministic = serial_results == parallel_results;
+  return s;
+}
+
+int Run(int argc, char** argv) {
+  std::string out_path = "BENCH_PERF.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  bench::Banner("Performance smoke (CI perf-regression gate)",
+                "events/sec kernel + fixed end-to-end scenarios");
+
+  // Best-of-3 everywhere to damp scheduler noise on shared runners.
+  double events_per_sec = 0;
+  for (int i = 0; i < 3; ++i) {
+    events_per_sec = std::max(events_per_sec, EventsPerSec());
+  }
+  double paxos_ms = 1e18;
+  for (int i = 0; i < 3; ++i) {
+    paxos_ms = std::min(paxos_ms, PaxosBenchWallMs());
+  }
+  double epaxos_ms = 1e18;
+  for (int i = 0; i < 3; ++i) {
+    epaxos_ms = std::min(epaxos_ms, EpaxosBenchWallMs());
+  }
+  const SweepScaling scaling = MeasureSweepScaling();
+
+  const double speedup = scaling.parallel_wall_ms > 0
+                             ? scaling.serial_wall_ms / scaling.parallel_wall_ms
+                             : 0.0;
+  std::printf("\nevents_per_sec      %12.0f\n", events_per_sec);
+  std::printf("paxos_lan_wall_ms   %12.1f\n", paxos_ms);
+  std::printf("epaxos_wan_wall_ms  %12.1f\n", epaxos_ms);
+  std::printf("sweep jobs=%d: serial %.1f ms, parallel %.1f ms "
+              "(speedup %.2fx, %s)\n",
+              scaling.jobs, scaling.serial_wall_ms, scaling.parallel_wall_ms,
+              speedup, scaling.deterministic ? "deterministic" : "DIVERGED");
+
+  bench::JsonResult json;
+  json.Set("events_per_sec", events_per_sec);
+  json.Set("paxos_lan_wall_ms", paxos_ms);
+  json.Set("epaxos_wan_wall_ms", epaxos_ms);
+  json.Set("sweep_jobs", static_cast<double>(scaling.jobs));
+  json.Set("cores",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  json.Set("sweep_serial_wall_ms", scaling.serial_wall_ms);
+  json.Set("sweep_parallel_wall_ms", scaling.parallel_wall_ms);
+  json.Set("sweep_speedup", speedup);
+  json.Set("sweep_deterministic",
+           std::string(scaling.deterministic ? "true" : "false"));
+
+  int failures = 0;
+  failures += !bench::Check(scaling.deterministic,
+                            "sweep results identical for jobs=1 and jobs=N");
+
+  if (!baseline_path.empty()) {
+    const double base_events =
+        bench::JsonNumberField(baseline_path, "events_per_sec", 0.0);
+    if (base_events > 0) {
+      const double ratio = events_per_sec / base_events;
+      json.Set("baseline_events_per_sec", base_events);
+      json.Set("events_per_sec_vs_baseline", ratio);
+      std::printf("events/sec vs baseline (%s): %.2fx\n",
+                  baseline_path.c_str(), ratio);
+      failures += !bench::Check(
+          ratio > 0.5,
+          "events/sec within 2x of the recorded baseline (perf gate)");
+    } else {
+      std::printf("note: no events_per_sec in %s; skipping the gate\n",
+                  baseline_path.c_str());
+    }
+  }
+
+  if (!json.WriteFile(out_path)) {
+    std::printf("FAILED to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return bench::Summary(failures);
+}
+
+}  // namespace
+}  // namespace paxi
+
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

@@ -9,18 +9,24 @@
 //       grows with leaders, sublinearly.
 //   (c) Throughput vs dataset size K: flat (the datastore is O(1) per
 //       op), so dataset growth is not a consensus bottleneck.
+//
+// All eleven simulation points are independent universes, so they run as
+// one flat batch on the sweep engine (--jobs N / PAXI_JOBS); output is
+// buffered per point and printed in submission order, byte-identical for
+// any job count.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "benchmark/runner.h"
+#include "benchmark/sweep.h"
 #include "model/protocol_model.h"
 
 namespace paxi {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
   bench::Banner("Scalability: nodes, leaders, dataset", "§4.2 Scalability");
   int failures = 0;
 
@@ -29,14 +35,66 @@ int Run() {
   saturate.duration_s = 1.5;
   saturate.warmup_s = 0.4;
 
+  // Flatten every section's points into one batch so the engine can load-
+  // balance across all of them at once (the 15-node Paxos point costs far
+  // more than the K=100 point).
+  struct Point {
+    Config cfg;
+    BenchOptions options;
+  };
+  std::vector<Point> points;
+
+  // --- (a) Paxos vs N -------------------------------------------------------
+  const std::vector<int> cluster_sizes = {3, 5, 9, 15};
+  for (int n : cluster_sizes) {
+    Config cfg = Config::Lan9("paxos");
+    cfg.nodes_per_zone = n;
+    BenchOptions options = saturate;
+    options.clients_per_zone = 60;
+    points.push_back({cfg, options});
+  }
+
+  // --- (b) WPaxos leaders at fixed N = 9: 1x9 vs 3x3 vs 9x1 ----------------
+  struct Layout {
+    int zones;
+    int per_zone;
+  };
+  const std::vector<Layout> layouts = {{1, 9}, {3, 3}, {9, 1}};
+  for (const Layout& layout : layouts) {
+    Config cfg;
+    cfg.zones = layout.zones;
+    cfg.nodes_per_zone = layout.per_zone;
+    cfg.topology = Topology::Lan(layout.zones);
+    cfg.protocol = "wpaxos";
+    BenchOptions options = saturate;
+    options.clients_per_zone = 120 / layout.zones + 4;
+    points.push_back({cfg, options});
+  }
+
+  // --- (c) dataset size K ----------------------------------------------------
+  const std::vector<std::int64_t> key_counts = {100, 1000, 10000, 100000};
+  for (std::int64_t k : key_counts) {
+    Config cfg = Config::Lan9("paxos");
+    BenchOptions options = saturate;
+    options.workload = UniformWorkload(k, 0.5);
+    options.clients_per_zone = 40;
+    points.push_back({cfg, options});
+  }
+
+  SweepEngine engine(SweepJobs(argc, argv));
+  const std::vector<BenchResult> results =
+      engine.Map<BenchResult>(points.size(), [&points](std::size_t i) {
+        Point point = points[i];
+        point.cfg.seed = DerivePointSeed(point.cfg.seed, i);
+        return RunBenchmark(point.cfg, point.options);
+      });
+  std::size_t next = 0;
+
   // --- (a) Paxos vs N -------------------------------------------------------
   std::printf("\ncsv: series,nodes,measured_ops_s,modeled_ops_s\n");
   std::vector<double> paxos_tput;
-  for (int n : {3, 5, 9, 15}) {
-    Config cfg = Config::Lan9("paxos");
-    cfg.nodes_per_zone = n;
-    saturate.clients_per_zone = 60;
-    const BenchResult r = RunBenchmark(cfg, saturate);
+  for (int n : cluster_sizes) {
+    const BenchResult& r = results[next++];
 
     model::ModelEnv env;
     env.topology = Topology::Lan(1);
@@ -59,22 +117,12 @@ int Run() {
                             "capacity decreases (within noise) at every "
                             "cluster-size step");
 
-  // --- (b) WPaxos leaders at fixed N = 9: 1x9 vs 3x3 vs 9x1 ----------------
+  // --- (b) WPaxos leaders ----------------------------------------------------
   // The §6.1 grid story: same node count, more leader regions -> more
   // aggregate capacity (Load = (N/L + L - 2)/L shrinks with L here).
   std::vector<double> wpaxos_tput;
-  struct Layout {
-    int zones;
-    int per_zone;
-  };
-  for (const Layout& layout : {Layout{1, 9}, Layout{3, 3}, Layout{9, 1}}) {
-    Config cfg;
-    cfg.zones = layout.zones;
-    cfg.nodes_per_zone = layout.per_zone;
-    cfg.topology = Topology::Lan(layout.zones);
-    cfg.protocol = "wpaxos";
-    saturate.clients_per_zone = 120 / layout.zones + 4;
-    const BenchResult r = RunBenchmark(cfg, saturate);
+  for (const Layout& layout : layouts) {
+    const BenchResult& r = results[next++];
     std::printf("csv: WPaxos-%dx%d,%d,%.0f,-\n", layout.zones,
                 layout.per_zone, 9, r.throughput);
     wpaxos_tput.push_back(r.throughput);
@@ -91,12 +139,8 @@ int Run() {
   // --- (c) dataset size K ----------------------------------------------------
   std::printf("\ncsv: series,keys,measured_ops_s\n");
   std::vector<double> k_tput;
-  for (std::int64_t k : {100, 1000, 10000, 100000}) {
-    Config cfg = Config::Lan9("paxos");
-    BenchOptions options = saturate;
-    options.workload = UniformWorkload(k, 0.5);
-    options.clients_per_zone = 40;
-    const BenchResult r = RunBenchmark(cfg, options);
+  for (std::int64_t k : key_counts) {
+    const BenchResult& r = results[next++];
     std::printf("csv: Paxos,%lld,%.0f\n", static_cast<long long>(k),
                 r.throughput);
     k_tput.push_back(r.throughput);
@@ -111,4 +155,4 @@ int Run() {
 }  // namespace
 }  // namespace paxi
 
-int main() { return paxi::Run(); }
+int main(int argc, char** argv) { return paxi::Run(argc, argv); }

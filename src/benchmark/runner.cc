@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "benchmark/sweep.h"
 #include "common/check.h"
 
 namespace paxi {
@@ -219,6 +220,27 @@ std::vector<SweepPoint> SaturationSweep(const Config& config,
     points.push_back(p);
   }
   return points;
+}
+
+std::vector<SweepPoint> SaturationSweep(const Config& config,
+                                        const BenchOptions& base,
+                                        const std::vector<int>& levels,
+                                        SweepEngine* engine) {
+  if (engine == nullptr) return SaturationSweep(config, base, levels);
+  return engine->Map<SweepPoint>(levels.size(), [&](std::size_t i) {
+    Config cfg = config;
+    cfg.seed = DerivePointSeed(config.seed, i);
+    BenchOptions options = base;
+    options.clients_per_zone = levels[i];
+    const BenchResult result = RunBenchmark(cfg, options);
+    SweepPoint p;
+    p.clients_per_zone = levels[i];
+    p.throughput = result.throughput;
+    p.mean_latency_ms = result.MeanLatencyMs();
+    p.median_latency_ms = result.MedianLatencyMs();
+    p.p99_latency_ms = result.P99LatencyMs();
+    return p;
+  });
 }
 
 }  // namespace paxi

@@ -92,6 +92,20 @@ std::vector<SweepPoint> SaturationSweep(const Config& config,
                                         const BenchOptions& base,
                                         const std::vector<int>& levels);
 
+class SweepEngine;
+
+/// Parallel saturation sweep: levels run concurrently on `engine`, each in
+/// its own simulation universe seeded by DerivePointSeed(config.seed,
+/// level index), so results depend only on (config, base, levels) — never
+/// on worker count or scheduling. Results come back in `levels` order.
+/// Falls back to the serial sweep above when engine is null (note the
+/// serial overload keeps config.seed verbatim for every level, so the two
+/// overloads produce different — equally deterministic — numbers).
+std::vector<SweepPoint> SaturationSweep(const Config& config,
+                                        const BenchOptions& base,
+                                        const std::vector<int>& levels,
+                                        SweepEngine* engine);
+
 }  // namespace paxi
 
 #endif  // PAXI_BENCHMARK_RUNNER_H_

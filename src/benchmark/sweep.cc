@@ -1,0 +1,136 @@
+#include "benchmark/sweep.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace paxi {
+
+namespace {
+
+int ClampJobs(long value) {
+  if (value == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    value = hw == 0 ? 1 : static_cast<long>(hw);
+  }
+  if (value < 1) return 1;
+  if (value > 256) return 256;
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+int SweepJobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      return ClampJobs(std::strtol(argv[i + 1], nullptr, 10));
+    }
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      return ClampJobs(std::strtol(arg + 7, nullptr, 10));
+    }
+  }
+  if (const char* env = std::getenv("PAXI_JOBS");
+      env != nullptr && *env != '\0') {
+    return ClampJobs(std::strtol(env, nullptr, 10));
+  }
+  return 1;
+}
+
+std::uint64_t DerivePointSeed(std::uint64_t base_seed, std::uint64_t index) {
+  // splitmix64 step: stream position = base + index increments of the
+  // golden-ratio constant, finalized to decorrelate nearby indices.
+  std::uint64_t z = base_seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+SweepEngine::SweepEngine(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+  workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 1; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SweepEngine::~SweepEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SweepEngine::ForEach(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ == 1) {
+    // Serial path: no atomics, no handoff — identical iteration order to
+    // the pre-parallel benches.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAXI_CHECK(batch_fn_ == nullptr, "SweepEngine::ForEach is not reentrant");
+    batch_fn_ = &fn;
+    batch_n_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    workers_in_batch_ = static_cast<int>(workers_.size());
+    ++batch_id_;
+  }
+  batch_ready_.notify_all();
+
+  // The caller is a full participant — with jobs == 2 this thread and one
+  // worker split the batch.
+  DrainBatch();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return workers_in_batch_ == 0; });
+  batch_fn_ = nullptr;
+  batch_n_ = 0;
+  const std::exception_ptr err = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+void SweepEngine::DrainBatch() {
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch_n_) return;
+    try {
+      (*batch_fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void SweepEngine::WorkerLoop() {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_.wait(lock, [this, seen_batch] {
+        return shutdown_ || batch_id_ != seen_batch;
+      });
+      if (shutdown_) return;
+      seen_batch = batch_id_;
+    }
+    DrainBatch();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_in_batch_;
+    }
+    batch_done_.notify_one();
+  }
+}
+
+}  // namespace paxi

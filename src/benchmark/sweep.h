@@ -1,0 +1,102 @@
+#ifndef PAXI_BENCHMARK_SWEEP_H_
+#define PAXI_BENCHMARK_SWEEP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paxi {
+
+/// Resolves the sweep parallelism for a benchmark binary: `--jobs N` (or
+/// `--jobs=N`) on the command line wins, else the PAXI_JOBS environment
+/// variable, else 1 (serial). `--jobs 0` means "one per hardware thread".
+/// The result is clamped to [1, 256]. argv is scanned, not consumed.
+int SweepJobs(int argc, char** argv);
+
+/// Deterministic per-point seed: a splitmix64 mix of the experiment's base
+/// seed and the point's submission index. Every sweep point builds its own
+/// simulation universe from this seed, so results are a pure function of
+/// (base seed, index) — independent of worker count, scheduling order, or
+/// which thread ran the point.
+std::uint64_t DerivePointSeed(std::uint64_t base_seed, std::uint64_t index);
+
+/// A thread pool for embarrassingly-parallel simulation sweeps.
+///
+/// Each sweep point (one protocol/config/seed combination) constructs its
+/// own Simulator + Cluster universe on whichever worker claims it, runs it
+/// to completion, and returns a result. Universes share nothing — the
+/// library keeps all mutable state inside Simulator/Cluster (checked:
+/// check-context is thread_local, RNGs are per-Simulator, the protocol
+/// registry is magic-static) — so points are safe to run concurrently.
+///
+/// Determinism: Map() stores each point's result at its submission index,
+/// so the returned vector — and any output printed from it afterwards — is
+/// byte-identical for --jobs 1 and --jobs N. Point seeds must come from
+/// DerivePointSeed, never from shared RNG draws made inside point bodies.
+///
+/// The pool is persistent: workers are spawned once and reused across
+/// ForEach/Map batches (a sweep binary runs many small batches; respawning
+/// threads per batch would dominate short sweeps). With jobs == 1 no
+/// threads are spawned and ForEach runs inline on the caller.
+class SweepEngine {
+ public:
+  /// `jobs` as from SweepJobs(): total concurrency, including the calling
+  /// thread. jobs-1 workers are spawned; the caller participates in every
+  /// batch, so jobs == 1 is purely serial.
+  explicit SweepEngine(int jobs);
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, distributed over the pool
+  /// by atomic work-stealing (dynamic load balancing: simulation points
+  /// have wildly different costs — a saturated 40-client Paxos universe vs
+  /// a 1-client warmup point). Blocks until every point finished. If any
+  /// point throws, the first exception is rethrown here after the batch
+  /// drains (remaining points still run). Not reentrant: fn must not call
+  /// back into this engine.
+  void ForEach(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// ForEach that gathers results in submission order.
+  template <typename T, typename Fn>
+  std::vector<T> Map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    ForEach(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void WorkerLoop();
+
+  /// Claims and runs points until the current batch is drained. Returns
+  /// with the first exception (if any) recorded in error_.
+  void DrainBatch();
+
+  const int jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;  ///< Signals workers: new batch.
+  std::condition_variable batch_done_;   ///< Signals caller: workers idle.
+
+  // Current batch (guarded by mu_ except where noted).
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::atomic<std::size_t> next_index_{0};  ///< Work-stealing cursor.
+  std::uint64_t batch_id_ = 0;      ///< Bumped per ForEach; wakes workers.
+  int workers_in_batch_ = 0;        ///< Workers not yet done with batch.
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_BENCHMARK_SWEEP_H_

@@ -1,0 +1,183 @@
+#ifndef PAXI_NET_LINK_MAP_H_
+#define PAXI_NET_LINK_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace paxi {
+
+/// A directed link packed into 64 bits: 16 bits each for from.zone,
+/// from.node, to.zone, to.node. Zones and node indices are small (clients
+/// sit at node >= 1000, still far below 2^16); the pack is checked in
+/// debug builds. Valid NodeIds have zone >= 1 and node >= 1, so a packed
+/// key is never 0 — LinkMap uses 0 as its empty-slot sentinel.
+using LinkKey = std::uint64_t;
+
+inline LinkKey PackLink(NodeId from, NodeId to) {
+  PAXI_DCHECK(from.valid() && to.valid());
+  PAXI_DCHECK(from.zone < 0x10000 && from.node < 0x10000 &&
+              to.zone < 0x10000 && to.node < 0x10000);
+  return (static_cast<LinkKey>(static_cast<std::uint16_t>(from.zone)) << 48) |
+         (static_cast<LinkKey>(static_cast<std::uint16_t>(from.node)) << 32) |
+         (static_cast<LinkKey>(static_cast<std::uint16_t>(to.zone)) << 16) |
+         static_cast<LinkKey>(static_cast<std::uint16_t>(to.node));
+}
+
+inline NodeId LinkFrom(LinkKey key) {
+  return NodeId{static_cast<std::int32_t>((key >> 48) & 0xffff),
+                static_cast<std::int32_t>((key >> 32) & 0xffff)};
+}
+
+inline NodeId LinkTo(LinkKey key) {
+  return NodeId{static_cast<std::int32_t>((key >> 16) & 0xffff),
+                static_cast<std::int32_t>(key & 0xffff)};
+}
+
+/// Open-addressing hash map from LinkKey to V, replacing the
+/// std::map<pair<NodeId,NodeId>, V> the transport used on its per-message
+/// path. Each message send did two red-black-tree walks (fault lookup +
+/// FIFO watermark); this is one hash and a short linear probe over a flat
+/// array — and the map is small (links of a <100-node cluster), so the
+/// probe sequence stays in cache.
+///
+/// Deliberately minimal: keys are nonzero uint64 (0 = empty sentinel),
+/// erase uses backward-shift deletion (no tombstones), iteration order is
+/// a deterministic function of the insert/erase sequence — nothing about
+/// it depends on pointers or allocation addresses, which keeps simulations
+/// byte-replayable.
+template <typename V>
+class LinkMap {
+ public:
+  LinkMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+    mask_ = 0;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  V* Find(LinkKey key) {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = Hash(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == 0) return nullptr;
+    }
+  }
+  const V* Find(LinkKey key) const {
+    return const_cast<LinkMap*>(this)->Find(key);
+  }
+
+  /// Value for `key`, default-constructed and inserted if absent.
+  V& operator[](LinkKey key) {
+    PAXI_DCHECK(key != 0);
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) Grow();
+    for (std::size_t i = Hash(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == 0) {
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        return s.value;
+      }
+    }
+  }
+
+  /// Removes `key` if present; returns whether it was. Backward-shift
+  /// deletion: subsequent probe-chain entries are moved back so lookups
+  /// never cross a hole.
+  bool Erase(LinkKey key) {
+    if (size_ == 0) return false;
+    std::size_t i = Hash(key) & mask_;
+    for (;; i = (i + 1) & mask_) {
+      if (slots_[i].key == key) break;
+      if (slots_[i].key == 0) return false;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = (hole + 1) & mask_; slots_[j].key != 0;
+         j = (j + 1) & mask_) {
+      const std::size_t home = Hash(slots_[j].key) & mask_;
+      // Move j back into the hole unless j lives in the (cyclic) probe
+      // interval (hole, j] — i.e. unless its home position is after the
+      // hole, in which case shifting it would break its own chain.
+      const bool home_in_gap =
+          hole <= j ? (hole < home && home <= j)
+                    : (home > hole || home <= j);
+      if (!home_in_gap) {
+        slots_[hole] = std::move(slots_[j]);
+        slots_[j].key = 0;
+        slots_[j].value = V{};
+        hole = j;
+      }
+    }
+    slots_[hole].key = 0;
+    slots_[hole].value = V{};
+    --size_;
+    return true;
+  }
+
+  /// Calls fn(key, value&) for every entry. Do not mutate the map inside.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
+  /// Erases every entry for which pred(key, value) holds; returns how many.
+  template <typename Pred>
+  std::size_t EraseIf(Pred&& pred) {
+    std::vector<LinkKey> doomed;
+    for (Slot& s : slots_) {
+      if (s.key != 0 && pred(s.key, s.value)) doomed.push_back(s.key);
+    }
+    for (LinkKey key : doomed) Erase(key);
+    return doomed.size();
+  }
+
+ private:
+  struct Slot {
+    LinkKey key = 0;
+    V value{};
+  };
+
+  /// splitmix64 finalizer: packed keys differ only in low/structured bits,
+  /// this spreads them over the table.
+  static std::size_t Hash(LinkKey key) {
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  void Grow() {
+    const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key != 0) (*this)[s.key] = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_NET_LINK_MAP_H_

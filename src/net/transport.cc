@@ -22,7 +22,16 @@ void Transport::Register(Endpoint* endpoint) {
   (void)inserted;
 }
 
-void Transport::Unregister(NodeId id) { endpoints_.erase(id); }
+void Transport::Unregister(NodeId id) {
+  endpoints_.erase(id);
+  // The node's connections die with it: drop FIFO watermarks for links
+  // touching it, so endpoint churn (nemesis crash-restart cycles, client
+  // turnover) cannot grow per-link state without bound. A restarted
+  // incarnation speaks over new connections and starts fresh watermarks.
+  last_arrival_.EraseIf([id](LinkKey key, Time) {
+    return LinkFrom(key) == id || LinkTo(key) == id;
+  });
+}
 
 void Transport::Send(NodeId to, MessagePtr msg, Time departure) {
   PAXI_CHECK(msg != nullptr);
@@ -30,38 +39,41 @@ void Transport::Send(NodeId to, MessagePtr msg, Time departure) {
   ++messages_sent_;
 
   const Time now = sim_->Now();
-  const Link link{msg->from, to};
+  const LinkKey link = PackLink(msg->from, to);
   Time extra = 0;
   bool bypass_fifo = false;
   bool duplicate = false;
-  if (auto it = faults_.find(link); it != faults_.end()) {
-    LinkFault& f = it->second;
-    if (f.Expired(now)) {
-      faults_.erase(it);  // lazy GC: expired faults must not accumulate
-    } else {
-      if (now < f.drop_until) {
-        ++messages_dropped_;
-        ++counters_.dropped;
-        return;
-      }
-      if (now < f.flaky_until && sim_->rng().Bernoulli(f.flaky_p)) {
-        ++messages_dropped_;
-        ++counters_.flaky_dropped;
-        return;
-      }
-      if (now < f.slow_until && f.slow_extra > 0) {
-        extra = sim_->rng().UniformInt(0, f.slow_extra);
-        ++counters_.slowed;
-      }
-      if (now < f.reorder_until && sim_->rng().Bernoulli(f.reorder_p)) {
-        bypass_fifo = true;
-        if (f.reorder_extra > 0) {
-          extra += sim_->rng().UniformInt(0, f.reorder_extra);
+  // Fault handling costs one empty() branch when no faults are active —
+  // the overwhelmingly common case for performance sweeps.
+  if (!faults_.empty()) {
+    if (LinkFault* f = faults_.Find(link); f != nullptr) {
+      if (f->Expired(now)) {
+        faults_.Erase(link);  // lazy GC: expired faults must not accumulate
+      } else {
+        if (now < f->drop_until) {
+          ++messages_dropped_;
+          ++counters_.dropped;
+          return;
         }
-        ++counters_.reordered;
+        if (now < f->flaky_until && sim_->rng().Bernoulli(f->flaky_p)) {
+          ++messages_dropped_;
+          ++counters_.flaky_dropped;
+          return;
+        }
+        if (now < f->slow_until && f->slow_extra > 0) {
+          extra = sim_->rng().UniformInt(0, f->slow_extra);
+          ++counters_.slowed;
+        }
+        if (now < f->reorder_until && sim_->rng().Bernoulli(f->reorder_p)) {
+          bypass_fifo = true;
+          if (f->reorder_extra > 0) {
+            extra += sim_->rng().UniformInt(0, f->reorder_extra);
+          }
+          ++counters_.reordered;
+        }
+        duplicate =
+            now < f->duplicate_until && sim_->rng().Bernoulli(f->duplicate_p);
       }
-      duplicate =
-          now < f.duplicate_until && sim_->rng().Bernoulli(f.duplicate_p);
     }
   }
 
@@ -109,30 +121,30 @@ void Transport::ScheduleDelivery(NodeId to, MessagePtr msg, Time arrival) {
 }
 
 void Transport::Drop(NodeId i, NodeId j, Time duration) {
-  faults_[{i, j}].drop_until = sim_->Now() + duration;
+  faults_[PackLink(i, j)].drop_until = sim_->Now() + duration;
 }
 
 void Transport::Slow(NodeId i, NodeId j, Time max_extra, Time duration) {
-  LinkFault& f = faults_[{i, j}];
+  LinkFault& f = faults_[PackLink(i, j)];
   f.slow_until = sim_->Now() + duration;
   f.slow_extra = max_extra;
 }
 
 void Transport::Flaky(NodeId i, NodeId j, double p, Time duration) {
-  LinkFault& f = faults_[{i, j}];
+  LinkFault& f = faults_[PackLink(i, j)];
   f.flaky_until = sim_->Now() + duration;
   f.flaky_p = p;
 }
 
 void Transport::Duplicate(NodeId i, NodeId j, double p, Time duration) {
-  LinkFault& f = faults_[{i, j}];
+  LinkFault& f = faults_[PackLink(i, j)];
   f.duplicate_until = sim_->Now() + duration;
   f.duplicate_p = p;
 }
 
 void Transport::Reorder(NodeId i, NodeId j, double p, Time max_extra,
                         Time duration) {
-  LinkFault& f = faults_[{i, j}];
+  LinkFault& f = faults_[PackLink(i, j)];
   f.reorder_until = sim_->Now() + duration;
   f.reorder_p = p;
   f.reorder_extra = max_extra;
@@ -163,13 +175,12 @@ void Transport::PartitionDirected(const std::vector<NodeId>& from,
   }
 }
 
-void Transport::Heal() { faults_.clear(); }
+void Transport::Heal() { faults_.Clear(); }
 
 std::size_t Transport::active_fault_count() {
   const Time now = sim_->Now();
-  for (auto it = faults_.begin(); it != faults_.end();) {
-    it = it->second.Expired(now) ? faults_.erase(it) : std::next(it);
-  }
+  faults_.EraseIf(
+      [now](LinkKey, const LinkFault& f) { return f.Expired(now); });
   return faults_.size();
 }
 

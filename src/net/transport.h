@@ -2,7 +2,6 @@
 #define PAXI_NET_TRANSPORT_H_
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -10,6 +9,7 @@
 
 #include "common/types.h"
 #include "net/latency.h"
+#include "net/link_map.h"
 #include "net/message.h"
 #include "sim/simulator.h"
 
@@ -60,6 +60,10 @@ class Transport {
 
   /// Registers an endpoint; its id must be unique. Not owned.
   void Register(Endpoint* endpoint);
+  /// Unregisters `id` and garbage-collects per-link transport state (FIFO
+  /// watermarks) touching it: the links' connections are gone, and long
+  /// fault-injection runs with churning endpoints must not accumulate
+  /// watermark entries for nodes that no longer exist.
   void Unregister(NodeId id);
   bool IsRegistered(NodeId id) const {
     return endpoints_.find(id) != endpoints_.end();
@@ -142,8 +146,6 @@ class Transport {
     }
   };
 
-  using Link = std::pair<NodeId, NodeId>;
-
   /// Schedules a late-bound delivery: the endpoint lookup happens when the
   /// event fires, so restarts/unregistrations in flight are safe.
   void ScheduleDelivery(NodeId to, MessagePtr msg, Time arrival);
@@ -152,8 +154,12 @@ class Transport {
   std::shared_ptr<const LatencyModel> latency_;
   bool ordered_;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
-  std::map<Link, LinkFault> faults_;
-  std::map<Link, Time> last_arrival_;  // per-link FIFO watermark (TCP mode)
+  /// Per-link state lives in flat hash maps keyed on the packed 64-bit
+  /// (from,to) link (net/link_map.h); the previous std::map cost two tree
+  /// walks on every message. The fault map is empty in the common
+  /// (fault-free) case, so Send's fault handling reduces to one branch.
+  LinkMap<LinkFault> faults_;
+  LinkMap<Time> last_arrival_;  // per-link FIFO watermark (TCP mode)
   std::size_t messages_sent_ = 0;
   std::size_t messages_dropped_ = 0;
   FaultCounters counters_;

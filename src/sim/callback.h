@@ -1,0 +1,122 @@
+#ifndef PAXI_SIM_CALLBACK_H_
+#define PAXI_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace paxi {
+
+/// Move-only `void()` callable with small-buffer optimization, the event
+/// payload of the simulation kernel (sim/event_queue.h).
+///
+/// The simulator executes tens of millions of events per wall second, and
+/// every one of them used to carry a `std::function<void()>`: libstdc++'s
+/// inline buffer is 16 bytes, while the kernel's hot callbacks — a message
+/// delivery capturing {this, shared_ptr alive-token, MessagePtr} (40 B), a
+/// transport hop capturing {this, NodeId, MessagePtr} (32 B), a timer
+/// capturing {this, shared_ptr, std::function} (56 B) — all spill to the
+/// heap, so the event loop paid a malloc/free pair per event. EventFn's
+/// 56-byte inline buffer holds all of these; only outsized captures (rare:
+/// bench drivers, tests) take the heap fallback.
+///
+/// Unlike `std::function`, EventFn is move-only, so callables capturing
+/// move-only state (unique_ptr) work, and no copy-constructibility is
+/// demanded of captures.
+class EventFn {
+ public:
+  /// Sized so the struct is exactly 64 bytes (one cache line): 56 bytes of
+  /// inline capture + the operations pointer.
+  static constexpr std::size_t kInlineCapacity = 56;
+
+  EventFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): like std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) {
+        // Relocating a heap callable is a pointer copy.
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+  void MoveFrom(EventFn&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(EventFn) == 64, "EventFn should fill one cache line");
+
+}  // namespace paxi
+
+#endif  // PAXI_SIM_CALLBACK_H_

@@ -6,26 +6,29 @@
 
 namespace paxi {
 
-void EventQueue::Push(Time at, std::function<void()> fn) {
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
-}
+// Hot paths (Push, RemoveTop, RunTop, PeekTime) are inline in the header so
+// they fold into the simulator's run loop; only cold/rare paths live here.
 
-Time EventQueue::PeekTime() const {
-  PAXI_DCHECK(!heap_.empty());
-  return heap_.top().at;
+void EventQueue::GrowSlab() {
+  chunks_.push_back(std::make_unique<EventFn[]>(kChunkSize));
 }
 
 Event EventQueue::Pop() {
   PAXI_DCHECK(!heap_.empty());
-  // std::priority_queue::top() returns a const ref; the event is moved out
-  // via a const_cast because pop() destroys it anyway.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  return ev;
+  const Item top = heap_.front();
+  RemoveTop();
+  free_slots_.push_back(top.slot);
+  // Moving out of the slab leaves an empty EventFn behind; the slot is
+  // already free-listed for the next Push.
+  return Event{top.at, top.seq, std::move(Slot(top.slot))};
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) heap_.pop();
+  PAXI_DCHECK(!running_, "Clear() from inside a running event");
+  heap_.clear();
+  chunks_.clear();
+  slab_size_ = 0;
+  free_slots_.clear();
 }
 
 }  // namespace paxi

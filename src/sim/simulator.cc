@@ -7,19 +7,11 @@ namespace paxi {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
-void Simulator::At(Time at, std::function<void()> fn) {
-  queue_.Push(std::max(at, now_), std::move(fn));
-}
-
-void Simulator::After(Time delay, std::function<void()> fn) {
-  At(now_ + std::max<Time>(delay, 0), std::move(fn));
-}
-
-void Simulator::Execute(Event ev) {
-  now_ = ev.at;
-  ev.fn();
+void Simulator::ExecuteTop() {
+  now_ = queue_.PeekTime();
+  const std::uint64_t seq = queue_.RunTop();
   if (!observers_.empty()) {
-    const EventFingerprint fp{ev.seq, ev.at, rng_.draw_count()};
+    const EventFingerprint fp{seq, now_, rng_.draw_count()};
     for (SimObserver* obs : observers_) obs->OnEventExecuted(fp);
   }
 }
@@ -27,7 +19,7 @@ void Simulator::Execute(Event ev) {
 std::size_t Simulator::RunUntil(Time deadline) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.PeekTime() <= deadline) {
-    Execute(queue_.Pop());
+    ExecuteTop();
     ++executed;
   }
   now_ = std::max(now_, deadline);
@@ -38,14 +30,14 @@ bool Simulator::RunToCompletion(std::size_t max_events) {
   std::size_t executed = 0;
   while (!queue_.empty()) {
     if (executed++ >= max_events) return false;
-    Execute(queue_.Pop());
+    ExecuteTop();
   }
   return true;
 }
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  Execute(queue_.Pop());
+  ExecuteTop();
   return true;
 }
 

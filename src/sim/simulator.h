@@ -1,11 +1,12 @@
 #ifndef PAXI_SIM_SIMULATOR_H_
 #define PAXI_SIM_SIMULATOR_H_
 
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/callback.h"
 #include "sim/event_queue.h"
 
 namespace paxi {
@@ -58,10 +59,19 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to Now()).
-  void At(Time at, std::function<void()> fn);
+  /// Any `void()` callable works; EventFn (sim/callback.h) is materialized
+  /// directly from it (captures up to 56 bytes stay allocation-free) and
+  /// relocated straight into the event queue's slab.
+  template <typename F>
+  void At(Time at, F&& fn) {
+    queue_.Push(at > now_ ? at : now_, EventFn(std::forward<F>(fn)));
+  }
 
   /// Schedules `fn` to run `delay` after Now().
-  void After(Time delay, std::function<void()> fn);
+  template <typename F>
+  void After(Time delay, F&& fn) {
+    At(now_ + (delay > 0 ? delay : 0), std::forward<F>(fn));
+  }
 
   /// Runs events until the queue drains or virtual time would pass
   /// `deadline`. Events at exactly `deadline` still run. Returns the
@@ -87,8 +97,10 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
-  /// Runs one popped event and notifies observers.
-  void Execute(Event ev);
+  /// Advances the clock to the earliest event, runs it in place in the
+  /// queue's slab (EventQueue::RunTop — no callback relocation), and
+  /// notifies observers. Requires a pending event.
+  void ExecuteTop();
 
   Time now_ = 0;
   EventQueue queue_;

@@ -1,0 +1,202 @@
+// Sweep-engine correctness: jobs-invariant determinism (the property the
+// parallel benches rely on for byte-identical output), work distribution,
+// exception propagation, engine reuse, and a contention stress that gives
+// TSan real interleavings to examine.
+
+#include "benchmark/sweep.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "benchmark/runner.h"
+#include "gtest/gtest.h"
+
+namespace paxi {
+namespace {
+
+TEST(SweepJobsTest, DefaultsToSerial) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  unsetenv("PAXI_JOBS");
+  EXPECT_EQ(SweepJobs(1, argv), 1);
+}
+
+TEST(SweepJobsTest, ParsesFlagForms) {
+  char prog[] = "bench";
+  char flag[] = "--jobs";
+  char value[] = "6";
+  char combined[] = "--jobs=9";
+  {
+    char* argv[] = {prog, flag, value};
+    EXPECT_EQ(SweepJobs(3, argv), 6);
+  }
+  {
+    char* argv[] = {prog, combined};
+    EXPECT_EQ(SweepJobs(2, argv), 9);
+  }
+}
+
+TEST(SweepJobsTest, FlagBeatsEnvironmentAndClamps) {
+  char prog[] = "bench";
+  char combined[] = "--jobs=3";
+  char* argv[] = {prog, combined};
+  setenv("PAXI_JOBS", "12", 1);
+  EXPECT_EQ(SweepJobs(2, argv), 3);
+
+  char* bare[] = {prog};
+  EXPECT_EQ(SweepJobs(1, bare), 12);
+  setenv("PAXI_JOBS", "100000", 1);
+  EXPECT_EQ(SweepJobs(1, bare), 256);
+  setenv("PAXI_JOBS", "-3", 1);
+  EXPECT_EQ(SweepJobs(1, bare), 1);
+  unsetenv("PAXI_JOBS");
+}
+
+TEST(SweepSeedTest, DeriveIsDeterministicAndSpreads) {
+  EXPECT_EQ(DerivePointSeed(1, 0), DerivePointSeed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(DerivePointSeed(1, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across nearby indices
+  EXPECT_NE(DerivePointSeed(1, 0), DerivePointSeed(2, 0));
+}
+
+TEST(SweepEngineTest, RunsEveryIndexExactlyOnce) {
+  SweepEngine engine(4);
+  constexpr std::size_t kN = 100;
+  std::vector<std::atomic<int>> counts(kN);
+  engine.ForEach(kN, [&counts](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(SweepEngineTest, EmptyBatchIsANoOp) {
+  SweepEngine engine(4);
+  engine.ForEach(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(SweepEngineTest, MapPreservesSubmissionOrder) {
+  SweepEngine engine(8);
+  const std::vector<std::size_t> out =
+      engine.Map<std::size_t>(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(SweepEngineTest, EngineIsReusableAcrossBatches) {
+  SweepEngine engine(3);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<int> out = engine.Map<int>(
+        static_cast<std::size_t>(round % 7), [round](std::size_t i) {
+          return round * 100 + static_cast<int>(i);
+        });
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(round % 7));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], round * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(SweepEngineTest, FirstExceptionPropagatesAfterBatchDrains) {
+  SweepEngine engine(4);
+  std::atomic<int> ran{0};
+  try {
+    engine.ForEach(32, [&ran](std::size_t i) {
+      ++ran;
+      if (i == 5) throw std::runtime_error("point 5 failed");
+    });
+    FAIL() << "expected the point's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "point 5 failed");
+  }
+  // Remaining points still ran; the batch drained before rethrow.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// The acceptance property behind every converted bench: a real simulation
+// sweep gathers byte-identical results whether run serially or on 8
+// workers, because each point's universe is seeded by submission index
+// only. Results are compared bit-for-bit (operator== on double).
+TEST(SweepEngineTest, SimulationSweepIsJobsInvariant) {
+  const auto sweep_point = [](std::size_t i) {
+    BenchOptions options;
+    options.workload = UniformWorkload(50, 0.5);
+    options.clients_per_zone = 1 + static_cast<int>(i % 3);
+    options.bootstrap_s = 0.3;
+    options.warmup_s = 0.1;
+    options.duration_s = 0.2;
+    Config cfg = Config::Lan9(i % 2 == 0 ? "paxos" : "epaxos");
+    cfg.seed = DerivePointSeed(99, i);
+    const BenchResult r = RunBenchmark(cfg, options);
+    return std::to_string(r.completed) + "," +
+           std::to_string(r.throughput) + "," +
+           std::to_string(r.MeanLatencyMs()) + "," +
+           std::to_string(r.P99LatencyMs());
+  };
+
+  constexpr std::size_t kPoints = 8;
+  SweepEngine serial(1);
+  const std::vector<std::string> expected =
+      serial.Map<std::string>(kPoints, sweep_point);
+  for (const std::string& line : expected) {
+    EXPECT_NE(line, "") << "sweep point produced no result";
+  }
+
+  SweepEngine parallel(8);
+  const std::vector<std::string> actual =
+      parallel.Map<std::string>(kPoints, sweep_point);
+  EXPECT_EQ(expected, actual);
+
+  // And again on the same engine: reuse does not perturb determinism.
+  EXPECT_EQ(expected, parallel.Map<std::string>(kPoints, sweep_point));
+}
+
+// Parallel SaturationSweep returns the same points regardless of jobs.
+TEST(SweepEngineTest, SaturationSweepEngineOverloadIsJobsInvariant) {
+  BenchOptions options;
+  options.workload = UniformWorkload(50, 0.5);
+  options.bootstrap_s = 0.3;
+  options.warmup_s = 0.1;
+  options.duration_s = 0.2;
+  const std::vector<int> levels = {1, 2, 4};
+
+  SweepEngine serial(1);
+  SweepEngine parallel(4);
+  const auto a = SaturationSweep(Config::Lan9("paxos"), options, levels,
+                                 &serial);
+  const auto b = SaturationSweep(Config::Lan9("paxos"), options, levels,
+                                 &parallel);
+  ASSERT_EQ(a.size(), levels.size());
+  ASSERT_EQ(b.size(), levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    EXPECT_EQ(a[i].clients_per_zone, levels[i]);
+    EXPECT_EQ(a[i].throughput, b[i].throughput);
+    EXPECT_EQ(a[i].mean_latency_ms, b[i].mean_latency_ms);
+    EXPECT_EQ(a[i].p99_latency_ms, b[i].p99_latency_ms);
+  }
+}
+
+// Many tiny batches with contended shared counters: nothing here is
+// interesting single-threaded, but under TSan this exercises the batch
+// handoff (publish, steal, drain, join) thousands of times.
+TEST(SweepEngineTest, HandoffStress) {
+  SweepEngine engine(8);
+  std::atomic<std::uint64_t> total{0};
+  std::uint64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = static_cast<std::size_t>(1 + round % 13);
+    for (std::size_t i = 0; i < n; ++i) expected += i;
+    engine.ForEach(n, [&total](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace paxi
