@@ -85,6 +85,20 @@ double PaxosBenchWallMs() {
   return ms;
 }
 
+// Saturated LAN Paxos throughput (virtual ops/s) at a given batch_max —
+// simulated time, so the value is deterministic and can be gated hard.
+double PaxosSaturatedThroughput(int batch_max) {
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.clients_per_zone = 60;
+  options.bootstrap_s = 0.2;
+  options.warmup_s = 0.3;
+  options.duration_s = 1.0;
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["batch_max"] = std::to_string(batch_max);
+  return RunBenchmark(cfg, options).throughput;
+}
+
 double EpaxosBenchWallMs() {
   BenchOptions options;
   options.workload = ConflictWorkload(0.4, 5, 20);
@@ -178,12 +192,22 @@ int Run(int argc, char** argv) {
   }
   const SweepScaling scaling = MeasureSweepScaling();
 
+  // Commit-pipeline batching gate: virtual-time throughput, so a single
+  // run is exact and machine-independent.
+  const double paxos_unbatched_tps = PaxosSaturatedThroughput(1);
+  const double paxos_batched_tps = PaxosSaturatedThroughput(8);
+  const double paxos_batched_speedup =
+      paxos_unbatched_tps > 0 ? paxos_batched_tps / paxos_unbatched_tps : 0.0;
+
   const double speedup = scaling.parallel_wall_ms > 0
                              ? scaling.serial_wall_ms / scaling.parallel_wall_ms
                              : 0.0;
   std::printf("\nevents_per_sec      %12.0f\n", events_per_sec);
   std::printf("paxos_lan_wall_ms   %12.1f\n", paxos_ms);
   std::printf("epaxos_wan_wall_ms  %12.1f\n", epaxos_ms);
+  std::printf("paxos_batched_speedup %10.2fx  (batch_max 8: %.0f ops/s, "
+              "1: %.0f ops/s)\n",
+              paxos_batched_speedup, paxos_batched_tps, paxos_unbatched_tps);
   std::printf("sweep jobs=%d: serial %.1f ms, parallel %.1f ms "
               "(speedup %.2fx, %s)\n",
               scaling.jobs, scaling.serial_wall_ms, scaling.parallel_wall_ms,
@@ -193,6 +217,9 @@ int Run(int argc, char** argv) {
   json.Set("events_per_sec", events_per_sec);
   json.Set("paxos_lan_wall_ms", paxos_ms);
   json.Set("epaxos_wan_wall_ms", epaxos_ms);
+  json.Set("paxos_unbatched_ops_s", paxos_unbatched_tps);
+  json.Set("paxos_batched_ops_s", paxos_batched_tps);
+  json.Set("paxos_batched_speedup", paxos_batched_speedup);
   json.Set("sweep_jobs", static_cast<double>(scaling.jobs));
   json.Set("cores",
            static_cast<double>(std::thread::hardware_concurrency()));
@@ -205,6 +232,10 @@ int Run(int argc, char** argv) {
   int failures = 0;
   failures += !bench::Check(scaling.deterministic,
                             "sweep results identical for jobs=1 and jobs=N");
+  failures += !bench::Check(
+      paxos_batched_speedup >= 2.0,
+      "batch_max=8 at least doubles saturated LAN Paxos throughput "
+      "(commit-pipeline batching gate)");
 
   if (!baseline_path.empty()) {
     const double base_events =

@@ -1,13 +1,51 @@
 #ifndef PAXI_CORE_MESSAGES_H_
 #define PAXI_CORE_MESSAGES_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/message.h"
 #include "store/command.h"
 
 namespace paxi {
+
+/// Serialized footprint of one command inside a consensus message: the
+/// command body plus per-entry framing. Half of the canonical 100-byte
+/// message (net/message.h), so a message carrying exactly one command —
+/// today's unbatched P2a/Accept/AppendEntries entry — still weighs the
+/// 100 bytes the paper's NIC model (§3.2) charges for it.
+constexpr std::size_t kCommandWireBytes = 50;
+
+/// A batch of commands travelling as one log-slot payload — the generic
+/// wire unit of the shared commit pipeline (protocols/common/
+/// commit_pipeline.h). Protocol messages embed one of these where they
+/// used to embed a single Command; ByteSize() implementations add
+/// WireBytes() so the NIC/bandwidth model charges for every command
+/// carried, which is exactly how batching trades latency for throughput
+/// in the paper's model (§3.3).
+struct CommandBatch {
+  std::vector<Command> cmds;
+
+  bool empty() const { return cmds.empty(); }
+  std::size_t size() const { return cmds.size(); }
+
+  /// Bytes this batch contributes to the enclosing message. An empty
+  /// batch (heartbeat, no-op slot) still pays one command's framing, so
+  /// unbatched messages keep their historical 100-byte weight.
+  std::size_t WireBytes() const {
+    return kCommandWireBytes * std::max<std::size_t>(1, cmds.size());
+  }
+
+  /// Convenience for the ubiquitous one-command case.
+  static CommandBatch Of(Command cmd) {
+    CommandBatch batch;
+    batch.cmds.push_back(std::move(cmd));
+    return batch;
+  }
+};
 
 /// Client -> replica: execute one command. Any replica may receive this;
 /// protocols forward it internally (e.g. to the leader or the object's

@@ -148,26 +148,59 @@ CompactionPolicy Node::SnapshotPolicy() const {
   return policy;
 }
 
-void Node::SetTimer(Time delay, std::function<void()> fn) {
-  Time scaled = delay;
-  if (clock_skew_ != 1.0) {
-    scaled = static_cast<Time>(static_cast<double>(delay) * clock_skew_);
+void Node::ArmTimer(Time delay, EventFn fn) {
+  std::uint32_t slot;
+  if (!free_timer_slots_.empty()) {
+    slot = free_timer_slots_.back();
+    free_timer_slots_.pop_back();
+    timer_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.push_back(std::move(fn));
   }
-  ArmTimer(scaled, std::move(fn));
+  ScheduleTimerSlot(delay, slot);
 }
 
-void Node::ArmTimer(Time delay, std::function<void()> fn) {
-  sim_->After(delay, [this, alive = alive_, fn = std::move(fn)]() mutable {
+void Node::ScheduleTimerSlot(Time delay, std::uint32_t slot) {
+  sim_->After(delay, [this, alive = alive_, slot]() {
     if (!*alive) return;
     if (IsCrashed()) {
-      // Postpone timer callbacks past the freeze, preserving order.
-      ArmTimer(crashed_until_ - sim_->Now(), std::move(fn));
+      // Postpone timer callbacks past the freeze, preserving order; the
+      // callable stays parked in its slot.
+      ScheduleTimerSlot(crashed_until_ - sim_->Now(), slot);
       return;
     }
+    // Free the slot before invoking: the callback routinely re-arms
+    // itself and may legitimately land back in the same slot.
+    EventFn parked = std::move(timer_slots_[slot]);
+    free_timer_slots_.push_back(slot);
     ScopedCheckContext ctx(
         CheckContext{config_->protocol, id_str_, sim_->now_ptr()});
-    fn();
+    parked();
   });
+}
+
+void Node::ExecuteBatchAndReply(const CommandBatch& batch,
+                                const std::vector<ClientRequest>* origins,
+                                Time extra_delay) {
+  if (origins != nullptr) {
+    PAXI_CHECK(origins->size() == batch.size(),
+               "reply fan-out must align with the batch");
+  }
+  for (std::size_t i = 0; i < batch.cmds.size(); ++i) {
+    Result<Value> result = store_.Execute(batch.cmds[i]);
+    if (origins == nullptr) continue;
+    const ClientRequest& req = (*origins)[i];
+    const bool found = result.ok();
+    const Value value = result.ok() ? result.value() : Value();
+    if (extra_delay > 0) {
+      SetTimer(extra_delay, [this, req, value, found]() {
+        ReplyToClient(req, /*ok=*/true, value, found);
+      });
+    } else {
+      ReplyToClient(req, /*ok=*/true, value, found);
+    }
+  }
 }
 
 }  // namespace paxi

@@ -14,11 +14,14 @@
 #include "core/messages.h"
 #include "net/transport.h"
 #include "sim/auditor.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "store/kvstore.h"
 #include "store/log_storage.h"
 
 namespace paxi {
+
+class CommitPipeline;
 
 /// Base class for protocol replicas — the counterpart of Paxi's Replica/
 /// Node modules (paper Fig. 5). A protocol implementation subclasses Node,
@@ -174,9 +177,31 @@ class Node : public Endpoint, public Auditable {
   /// covers the lost-reply case).
   bool AdmitRequest(const ClientRequest& req);
 
+  /// Executes every command of `batch` in order against the local state
+  /// machine. When `origins` is non-null (index-aligned with
+  /// `batch.cmds`, as handed out by CommitPipeline) each command's
+  /// outcome is also sent back to its issuing client — the pipeline's
+  /// per-batch reply fan-out. `extra_delay` defers each reply by a fixed
+  /// amount (Raft's HTTP-overhead emulation rides through here).
+  void ExecuteBatchAndReply(const CommandBatch& batch,
+                            const std::vector<ClientRequest>* origins,
+                            Time extra_delay = 0);
+
   /// Schedules `fn` after `delay`; if the node is frozen when it fires, the
-  /// callback is postponed to the unfreeze instant.
-  void SetTimer(Time delay, std::function<void()> fn);
+  /// callback is postponed to the unfreeze instant. Any `void()` callable
+  /// works: it is materialized as a move-only EventFn (sim/callback.h) and
+  /// parked in a per-node slot slab, so the simulator event only captures
+  /// {this, liveness token, slot index} — allocation-free in steady state
+  /// regardless of the callable's capture size.
+  template <typename F>
+    requires std::is_invocable_r_v<void, std::decay_t<F>&>
+  void SetTimer(Time delay, F&& fn) {
+    Time scaled = delay;
+    if (clock_skew_ != 1.0) {
+      scaled = static_cast<Time>(static_cast<double>(delay) * clock_skew_);
+    }
+    ArmTimer(scaled, EventFn(std::forward<F>(fn)));
+  }
 
   /// Log-compaction policy from the deployment config (`snapshot_interval`
   /// applied entries / `snapshot_max_bytes`; both absent = disabled).
@@ -204,6 +229,10 @@ class Node : public Endpoint, public Auditable {
   KvStore store_;
 
  private:
+  /// The shared commit pipeline runs admission, timers, and the reply
+  /// fan-out on behalf of its owning protocol replica.
+  friend class CommitPipeline;
+
   /// Per-client write-session record for AdmitRequest: closed-loop clients
   /// have at most one write outstanding, so tracking the newest request id
   /// (plus its reply, once sent) suffices for exactly-once semantics.
@@ -217,8 +246,13 @@ class Node : public Endpoint, public Auditable {
   void SendShared(NodeId to, MessagePtr msg);
   void BroadcastShared(const std::vector<NodeId>& targets, MessagePtr msg);
   void Dispatch(MessagePtr msg);
-  /// Arms `fn` after an already-skew-scaled `delay`, guarded by `alive_`.
-  void ArmTimer(Time delay, std::function<void()> fn);
+  /// Arms `fn` after an already-skew-scaled `delay`, guarded by `alive_`:
+  /// parks the callable in the timer slab and schedules a small slot-
+  /// reference event.
+  void ArmTimer(Time delay, EventFn fn);
+  /// Schedules the firing event for a parked timer slot (also used to
+  /// re-postpone a slot past a crash freeze).
+  void ScheduleTimerSlot(Time delay, std::uint32_t slot);
 
   NodeId id_;
   std::string id_str_;  ///< Stable "zone.node" string for check context.
@@ -235,6 +269,12 @@ class Node : public Endpoint, public Auditable {
   std::size_t messages_processed_ = 0;
   std::size_t messages_sent_ = 0;
   std::map<ClientId, Session> sessions_;
+  /// Timer slab: armed timer callables parked by slot index until their
+  /// event fires. Freed slots are recycled, so arming a timer stops
+  /// allocating once the slab reaches the peak concurrent-timer count —
+  /// the last per-event allocation left on the PR-4 hot path.
+  std::vector<EventFn> timer_slots_;
+  std::vector<std::uint32_t> free_timer_slots_;
   /// Liveness token shared with every scheduled event that captures
   /// `this`. An amnesia restart destroys the Node while its deliveries and
   /// timers are still queued in the simulator; the destructor flips the

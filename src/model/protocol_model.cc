@@ -114,9 +114,19 @@ double PaxosModel::EffectiveServiceUs() const {
   // t_s = 2 t_o + N t_i + 2N s_m/b  (§3.3): per round the leader takes one
   // client request and N-1 phase-2b replies in, and one broadcast plus one
   // client reply out; phase-3 is piggybacked.
+  //
+  // Batch-amortized generalization (per command, B commands per slot):
+  // the slot still costs one broadcast serialization and N-1 fixed-size
+  // P2bs, shared by B commands, while client I/O stays per-command and
+  // the P2a's wire size grows with the batch (a command is half a default
+  // message, so a B-command P2a is (0.5 + 0.5B) message-times on the
+  // NIC). At B = 1 every factor reduces exactly to the paper's formula.
   const double n = env_.NumNodes();
-  return 2.0 * env_.node.t_out_us + n * env_.node.t_in_us +
-         2.0 * n * env_.node.NicUs();
+  const double b = env_.batch;
+  return (1.0 + b) / b * env_.node.t_out_us +
+         (b + n - 1.0) / b * env_.node.t_in_us +
+         (2.0 * b + (n - 1.0) + (n - 1.0) * (0.5 + 0.5 * b)) / b *
+             env_.node.NicUs();
 }
 
 double PaxosModel::NetworkLatencyMs() const {
@@ -142,28 +152,42 @@ std::string EPaxosModel::Name() const {
 
 double EPaxosModel::OwnRoundServiceUs() const {
   const double n = env_.NumNodes();
+  const double b = env_.batch;
   const double ti = env_.node.t_in_us * penalty_;
   const double to = env_.node.t_out_us * penalty_;
   const double nic = env_.node.NicUs();
-  // Fast path at the command leader: client in + (N-1) PreAcceptOks in;
-  // PreAccept broadcast + Commit broadcast + client reply out.
-  const double fast =
-      n * ti + 3.0 * to + (n + 2.0 * (n - 1.0) + 1.0) * nic;
-  // A conflict adds an Accept round: broadcast out, N-1 replies in.
+  // Fast path at the command leader: B clients in + (N-1) PreAcceptOks
+  // in; PreAccept broadcast + Commit broadcast + B client replies out.
+  // The two batch-carrying broadcasts grow with B on the NIC; replies
+  // and PreAcceptOks are fixed-size. (B counts same-key commands sharing
+  // one instance — the per-interference-group pipeline.)
+  const double fast = (b + n - 1.0) / b * ti + (2.0 + b) / b * to +
+                      (2.0 * b + (n - 1.0) +
+                       2.0 * (n - 1.0) * (0.5 + 0.5 * b)) /
+                          b * nic;
+  // A conflict adds an Accept round: batch broadcast out, N-1 fixed-size
+  // replies in.
   const double extra =
-      (n - 1.0) * ti + to + ((n - 1.0) + (n - 1.0)) * nic;
+      (n - 1.0) / b * ti + 1.0 / b * to +
+      ((n - 1.0) * (0.5 + 0.5 * b) + (n - 1.0)) / b * nic;
   return fast + conflict_ * extra;
 }
 
 double EPaxosModel::EffectiveServiceUs() const {
   const double n = env_.NumNodes();
+  const double b = env_.batch;
   const double ti = env_.node.t_in_us * penalty_;
   const double to = env_.node.t_out_us * penalty_;
   const double nic = env_.node.NicUs();
-  // Follower duty per (someone else's) round: PreAccept + Commit in,
-  // PreAcceptOk out; a conflict adds Accept in + AcceptOk out.
-  const double follower = 2.0 * ti + to + 3.0 * nic +
-                          conflict_ * (ti + to + 2.0 * nic);
+  // Follower duty per command of (someone else's) slot: PreAccept +
+  // Commit in, PreAcceptOk out, shared by the slot's B commands; the two
+  // incoming batch messages grow with B on the NIC. A conflict adds
+  // Accept in + AcceptOk out.
+  const double follower =
+      2.0 / b * ti + 1.0 / b * to +
+      (2.0 * (0.5 + 0.5 * b) + 1.0) / b * nic +
+      conflict_ * (1.0 / b * ti + 1.0 / b * to +
+                   ((0.5 + 0.5 * b) + 1.0) / b * nic);
   // L = N opportunistic leaders share the load evenly.
   return OwnRoundServiceUs() / n + (1.0 - 1.0 / n) * follower;
 }
@@ -224,21 +248,29 @@ std::string WPaxosModel::Name() const {
 
 double WPaxosModel::LeadRoundUs() const {
   const double n = env_.NumNodes();
+  const double b = env_.batch;
   const double ti = env_.node.t_in_us;
   const double to = env_.node.t_out_us;
   const double nic = env_.node.NicUs();
-  // Request in + (N-1) P2b in; P2a broadcast + explicit P3 commit
-  // broadcast + client reply out (matching the Paxi WPaxos
-  // implementation, which sends a separate phase-3 message).
-  return n * ti + 3.0 * to + (n + 2.0 * (n - 1.0) + 1.0) * nic;
+  // Per command, B commands per slot: B requests + (N-1) P2b in; P2a
+  // broadcast + explicit P3 commit broadcast + B client replies out
+  // (matching the Paxi WPaxos implementation, which sends a separate
+  // phase-3 message). The P2a grows with the batch on the NIC; the P3
+  // and P2bs are fixed-size.
+  return (b + n - 1.0) / b * ti + (2.0 + b) / b * to +
+         (2.0 * b + (n - 1.0) * (0.5 + 0.5 * b) + 2.0 * (n - 1.0)) / b *
+             nic;
 }
 
 double WPaxosModel::FollowerDutyUs() const {
+  const double b = env_.batch;
   const double ti = env_.node.t_in_us;
   const double to = env_.node.t_out_us;
   const double nic = env_.node.NicUs();
-  // P2a + P3 in, P2b out.
-  return 2.0 * ti + to + 3.0 * nic;
+  // Per command: P2a + P3 in, P2b out, shared by the slot's B commands;
+  // only the incoming P2a grows with B.
+  return 2.0 / b * ti + 1.0 / b * to +
+         ((0.5 + 0.5 * b) + 2.0) / b * nic;
 }
 
 double WPaxosModel::EffectiveServiceUs() const {
@@ -306,12 +338,16 @@ std::string WanKeeperModel::Name() const { return "WanKeeper"; }
 
 double WanKeeperModel::GroupRoundUs() const {
   const double g = env_.nodes_per_zone;
+  const double b = env_.batch;
   const double ti = env_.node.t_in_us;
   const double to = env_.node.t_out_us;
   const double nic = env_.node.NicUs();
-  // Commit within the zone group only: request + (g-1) acks in, broadcast
-  // + reply out, commit piggybacked.
-  return g * ti + 2.0 * to + 2.0 * g * nic;
+  // Commit within the zone group only, per command with B commands per
+  // group slot: B requests + (g-1) acks in, one batch broadcast + B
+  // replies out, commit piggybacked. Only the GroupP2a broadcast grows
+  // with the batch on the NIC.
+  return (b + g - 1.0) / b * ti + (1.0 + b) / b * to +
+         (2.0 * b + (g - 1.0) + (g - 1.0) * (0.5 + 0.5 * b)) / b * nic;
 }
 
 double WanKeeperModel::GroupWaitMs(NodeId leader) const {

@@ -31,6 +31,12 @@ struct ModelEnv {
   Topology topology = Topology::Lan(1);
   int zones = 1;
   int nodes_per_zone = 9;
+  /// Mean commands per consensus slot (the simulator's `batch_max` at
+  /// saturation). Batching amortizes the leader's per-slot costs — the
+  /// slot broadcast serialization and the fixed acks — over B commands,
+  /// while per-command costs (client I/O, per-command wire bytes in the
+  /// slot broadcast) remain. 1.0 = batching off, the paper's §3 model.
+  double batch = 1.0;
   QueueKind queue = QueueKind::kMD1;
   /// Service-time CV used by the M/G/1 and G/G/1 variants (Fig. 4): our
   /// modeled service times are nearly deterministic, so this is small.

@@ -1,0 +1,121 @@
+#include "protocols/common/commit_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "core/config.h"
+#include "core/node.h"
+
+namespace paxi {
+
+CommitPipeline::Params CommitPipeline::Params::FromConfig(
+    const Config& config) {
+  Params p;
+  p.batch_max = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, config.GetParamInt("batch_max", 1)));
+  p.batch_wait = static_cast<Time>(std::max<std::int64_t>(
+                     0, config.GetParamInt("batch_wait_us", 0))) *
+                 kMicrosecond;
+  // Unbounded pipelining is the historical (and batching-off) behaviour;
+  // once batching is on, the window is the mechanism that lets requests
+  // accumulate into batches, so it defaults on.
+  const std::int64_t default_window = p.batch_max > 1 ? 2 : 0;
+  p.window = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, config.GetParamInt("pipeline_window", default_window)));
+  return p;
+}
+
+CommitPipeline::CommitPipeline(Node* node, Params params, ProposeFn propose)
+    : node_(node), params_(params), propose_(std::move(propose)) {
+  PAXI_CHECK(node_ != nullptr && propose_ != nullptr);
+  PAXI_CHECK(params_.batch_max >= 1, "batch_max must be at least 1");
+}
+
+void CommitPipeline::Enqueue(const ClientRequest& req) {
+  // Admission runs at intake — the same point the pre-pipeline protocols
+  // ran it — so duplicate writes are replayed/dropped before they can
+  // occupy queue or slot space, and at-most-once holds across batch
+  // boundaries.
+  if (!node_->AdmitRequest(req)) return;
+  if (queue_.empty()) oldest_queued_at_ = node_->Now();
+  queue_.push_back(req);
+  Flush();
+}
+
+void CommitPipeline::SlotClosed() {
+  if (in_flight_ > 0) --in_flight_;
+  Flush();
+}
+
+void CommitPipeline::Abort() {
+  ++epoch_;  // invalidate any armed wait timer
+  wait_timer_armed_ = false;
+  in_flight_ = 0;
+  std::deque<ClientRequest> shed;
+  shed.swap(queue_);
+  for (const ClientRequest& req : shed) {
+    // Retryable reject, exactly like an election-backlog shed: the
+    // client backs off and retries (elsewhere, once a hint exists).
+    node_->ReplyToClient(req, /*ok=*/false, Value(), /*found=*/false);
+  }
+}
+
+void CommitPipeline::DrainAll() {
+  while (!queue_.empty()) {
+    ProposeFront(std::min(params_.batch_max, queue_.size()));
+  }
+}
+
+void CommitPipeline::Flush() {
+  while (!queue_.empty() &&
+         (params_.window == 0 || in_flight_ < params_.window)) {
+    const std::size_t n = std::min(params_.batch_max, queue_.size());
+    if (n < params_.batch_max && params_.batch_wait > 0) {
+      // Partial batch and a wait budget: hold it for stragglers unless
+      // the oldest queued request has already waited its due.
+      const Time age = node_->Now() - oldest_queued_at_;
+      if (age < params_.batch_wait) {
+        ArmWaitTimer();
+        return;
+      }
+    }
+    ProposeFront(n);
+  }
+}
+
+void CommitPipeline::ProposeFront(std::size_t n) {
+  CommandBatch batch;
+  batch.cmds.reserve(n);
+  std::vector<ClientRequest> origins;
+  origins.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    origins.push_back(std::move(queue_.front()));
+    batch.cmds.push_back(origins.back().cmd);
+    queue_.pop_front();
+  }
+  if (!queue_.empty()) oldest_queued_at_ = node_->Now();
+  ++in_flight_;
+  propose_(std::move(batch), std::move(origins));
+}
+
+void CommitPipeline::ArmWaitTimer() {
+  if (wait_timer_armed_) return;
+  wait_timer_armed_ = true;
+  const Time remaining = std::max<Time>(
+      1, params_.batch_wait - (node_->Now() - oldest_queued_at_));
+  node_->SetTimer(remaining, [this, epoch = epoch_]() {
+    if (epoch != epoch_) return;  // aborted while armed
+    wait_timer_armed_ = false;
+    if (queue_.empty()) return;
+    // The wait expired: propose the partial batch by treating the age
+    // check as satisfied — which it now is.
+    Flush();
+    // If the window is full the flush could not run; re-arm so the
+    // batch is not forgotten should the window stay full past another
+    // wait period (SlotClosed normally drains it first).
+    if (!queue_.empty() && !wait_timer_armed_) ArmWaitTimer();
+  });
+}
+
+}  // namespace paxi

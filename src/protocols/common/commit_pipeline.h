@@ -1,0 +1,124 @@
+#ifndef PAXI_PROTOCOLS_COMMON_COMMIT_PIPELINE_H_
+#define PAXI_PROTOCOLS_COMMON_COMMIT_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/messages.h"
+
+namespace paxi {
+
+class Config;
+class Node;
+
+/// The shared request-intake half of every protocol's request path:
+/// admission (at-most-once filtering), request queueing, batch assembly,
+/// and an in-flight slot window for pipelining. Each of the 8 protocols
+/// used to hand-roll this machinery one-request-per-slot; the pipeline
+/// factors it out so a log slot carries a CommandBatch and the
+/// propose/quorum/commit logic underneath stays protocol-specific.
+///
+/// Flow: the protocol's ClientRequest handler calls Enqueue() at the
+/// exact point it used to call AdmitRequest()+propose. The pipeline
+/// admits, queues, and — whenever the in-flight window has room — drains
+/// the queue into batches of at most `batch_max` commands, handing each
+/// batch (plus the originating requests, index-aligned with
+/// `batch.cmds`, for the reply fan-out) to the protocol's propose
+/// callback. The protocol reports a slot completing (committed or
+/// abandoned) via SlotClosed(), which frees a window slot and flushes
+/// again.
+///
+/// Batching is off by default (`batch_max` = 1): every enqueue then
+/// admits and proposes synchronously — no queue residue, no timers, no
+/// extra simulator events — which is what keeps the default-parameter
+/// simulation byte-identical to the pre-pipeline request paths.
+///
+/// With `batch_max` > 1 batches form naturally at saturation: the window
+/// caps in-flight slots, arriving requests accumulate behind it, and
+/// each SlotClosed() drains a whole batch into the next slot. This
+/// deliberately needs no timer in the common case — closed-loop clients
+/// at saturation refill the queue faster than slots close — so the
+/// simulation stays deterministic without batch-wait events. An optional
+/// `batch_wait_us` adds the classic time-based flush for open-loop /
+/// low-load shapes: a partial batch waits at most that long before being
+/// proposed anyway.
+///
+/// Config parameters (Params::FromConfig):
+///   batch_max       maximum commands per slot (default 1 = off)
+///   batch_wait_us   max virtual us a partial batch may wait (default 0)
+///   pipeline_window max slots in flight (default: unbounded when
+///                   batching is off — the historical behaviour — and 2
+///                   when batching is on, so the window is what forms
+///                   batches)
+class CommitPipeline {
+ public:
+  struct Params {
+    std::size_t batch_max = 1;
+    Time batch_wait = 0;
+    /// 0 = unbounded.
+    std::size_t window = 0;
+
+    static Params FromConfig(const Config& config);
+  };
+
+  /// Receives an assembled batch plus its originating requests,
+  /// index-aligned with `batch.cmds` — the protocol assigns the slot,
+  /// stores the origins for the reply fan-out, and replicates.
+  using ProposeFn =
+      std::function<void(CommandBatch batch,
+                         std::vector<ClientRequest> origins)>;
+
+  /// `node` is borrowed (the pipeline lives inside it); `propose` is
+  /// invoked synchronously from Enqueue/SlotClosed/timer context.
+  CommitPipeline(Node* node, Params params, ProposeFn propose);
+
+  /// Request intake: runs the at-most-once admission filter
+  /// (Node::AdmitRequest — duplicates are answered or dropped there),
+  /// queues the request, and flushes whatever the window allows.
+  void Enqueue(const ClientRequest& req);
+
+  /// The protocol closed one in-flight slot (commit+execute reached it,
+  /// or it was abandoned on leader change): frees a window slot and
+  /// flushes queued requests into the next batch.
+  void SlotClosed();
+
+  /// Leader step-down / object handoff: rejects every queued request
+  /// with a retryable failure (the client's retry path redirects it) and
+  /// resets the in-flight window. Idempotent.
+  void Abort();
+
+  /// Ordering barrier for token/ownership movement: proposes everything
+  /// queued immediately, ignoring the window and wait budget, so every
+  /// already-admitted request is replicated before whatever the caller
+  /// submits next. No-op when the queue is empty (always, at the default
+  /// batch_max = 1).
+  void DrainAll();
+
+  std::size_t queued() const { return queue_.size(); }
+  std::size_t in_flight() const { return in_flight_; }
+  const Params& params() const { return params_; }
+
+ private:
+  void Flush();
+  /// Moves the front `n` queued requests into a batch and proposes it.
+  void ProposeFront(std::size_t n);
+  void ArmWaitTimer();
+
+  Node* node_;
+  Params params_;
+  ProposeFn propose_;
+  std::deque<ClientRequest> queue_;
+  std::size_t in_flight_ = 0;
+  /// Virtual time the oldest queued request arrived, for batch_wait.
+  Time oldest_queued_at_ = 0;
+  bool wait_timer_armed_ = false;
+  /// Monotone epoch; bumped by Abort() so stale wait timers expire.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_COMMON_COMMIT_PIPELINE_H_

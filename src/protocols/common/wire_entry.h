@@ -1,0 +1,46 @@
+#ifndef PAXI_PROTOCOLS_COMMON_WIRE_ENTRY_H_
+#define PAXI_PROTOCOLS_COMMON_WIRE_ENTRY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "core/messages.h"
+
+namespace paxi {
+
+/// One log slot as it travels between replicas — the wire form shared by
+/// every slot-indexed protocol's catch-up, snapshot-install-tail,
+/// phase-1 recovery, and batch replication paths. Replaces the
+/// per-protocol copies (paxos::LogEntryWire, wpaxos::ObjEntryWire,
+/// zone_group's GroupEntryWire) that had drifted into near-identical
+/// triplicate.
+///
+/// Object-addressed protocols (WPaxos) key their messages by object at
+/// the message level, so the entry itself stays object-agnostic;
+/// term-based Raft keeps its own LogEntry because a term is not a ballot.
+struct SlotEntryWire {
+  Slot slot = 0;
+  Ballot ballot;
+  CommandBatch batch;
+  /// True if the reporter knows this slot committed (a recovering leader
+  /// can adopt it without a fresh phase-2).
+  bool committed = false;
+
+  /// Bytes this entry contributes to the enclosing message's ByteSize():
+  /// just the batch payload — slot/ballot framing rides in the enclosing
+  /// message's fixed 100-byte header, preserving the historical
+  /// "100 + entries * 50" accounting for one-command entries.
+  std::size_t WireBytes() const { return batch.WireBytes(); }
+};
+
+/// Sum of WireBytes over an entry list, for ByteSize() implementations.
+inline std::size_t WireBytesOf(const std::vector<SlotEntryWire>& entries) {
+  std::size_t total = 0;
+  for (const SlotEntryWire& e : entries) total += e.WireBytes();
+  return total;
+}
+
+}  // namespace paxi
+
+#endif  // PAXI_PROTOCOLS_COMMON_WIRE_ENTRY_H_

@@ -6,7 +6,6 @@
 
 namespace paxi {
 
-using zone_group::GroupEntryWire;
 using zone_group::GroupFill;
 using zone_group::GroupFillReply;
 using zone_group::GroupInstallSnapshot;
@@ -46,7 +45,7 @@ void ZoneGroupNode::Audit(AuditScope& scope) const {
   for (auto it = log_.upper_bound(scope.ChosenFrontier(domain));
        it != log_.end() && it->first <= commit_up_to_; ++it) {
     if (!it->second.committed) continue;
-    scope.Chosen(domain, it->first, DigestCommand(it->second.cmd));
+    scope.Chosen(domain, it->first, DigestCommands(it->second.batch.cmds));
   }
 }
 
@@ -73,27 +72,36 @@ void ZoneGroupNode::RetransmitStalled() {
     ++sent;
     GroupP2a msg;
     msg.slot = it->first;
-    msg.cmd = entry.cmd;
+    msg.batch = entry.batch;
     msg.commit_up_to = commit_up_to_;
     Broadcast(group_peers_, std::move(msg));
   }
 }
 
-void ZoneGroupNode::GroupSubmit(Command cmd,
-                                std::function<void(Result<Value>)> done) {
+void ZoneGroupNode::GroupSubmit(Command cmd, DoneFn done) {
+  CommandBatch batch;
+  batch.cmds.push_back(std::move(cmd));
+  std::vector<DoneFn> dones;
+  dones.push_back(std::move(done));
+  GroupSubmitBatch(std::move(batch), std::move(dones));
+}
+
+void ZoneGroupNode::GroupSubmitBatch(CommandBatch batch,
+                                     std::vector<DoneFn> dones) {
   PAXI_CHECK(IsGroupLeader());
+  PAXI_CHECK(dones.size() <= batch.cmds.size());
   const Slot slot = next_slot_++;
   GroupEntry entry;
-  entry.cmd = cmd;
+  entry.batch = batch;
   entry.voters = {id()};
-  entry.done = std::move(done);
+  entry.dones = std::move(dones);
   entry.last_sent = Now();
   const bool solo = group_majority_ <= 1;
   log_[slot] = std::move(entry);
 
   GroupP2a msg;
   msg.slot = slot;
-  msg.cmd = std::move(cmd);
+  msg.batch = std::move(batch);
   msg.commit_up_to = commit_up_to_;
   Broadcast(group_peers_, std::move(msg));
 
@@ -113,7 +121,7 @@ void ZoneGroupNode::HandleGroupP2a(const GroupP2a& msg) {
       auto it = log_.find(msg.slot);
       if (it == log_.end()) {
         GroupEntry entry;
-        entry.cmd = msg.cmd;
+        entry.batch = msg.batch;
         log_[msg.slot] = std::move(entry);
       }
     }
@@ -162,7 +170,8 @@ void ZoneGroupNode::HandleGroupFill(const GroupFill& msg) {
          it != log_.end() && it->first <= commit_up_to_ &&
          inst.tail.size() < kFillBatch;
          ++it) {
-      inst.tail.push_back(GroupEntryWire{it->first, it->second.cmd});
+      inst.tail.push_back(
+          SlotEntryWire{it->first, Ballot{}, it->second.batch, true});
     }
     Send(msg.from, std::move(inst));
     return;
@@ -173,7 +182,8 @@ void ZoneGroupNode::HandleGroupFill(const GroupFill& msg) {
        it != log_.end() && it->first <= commit_up_to_ &&
        reply.entries.size() < kFillBatch;
        ++it) {
-    reply.entries.push_back(GroupEntryWire{it->first, it->second.cmd});
+    reply.entries.push_back(
+        SlotEntryWire{it->first, Ballot{}, it->second.batch, true});
   }
   if (reply.entries.empty()) return;
   Send(msg.from, std::move(reply));
@@ -181,11 +191,11 @@ void ZoneGroupNode::HandleGroupFill(const GroupFill& msg) {
 
 void ZoneGroupNode::HandleGroupFillReply(const GroupFillReply& msg) {
   if (msg.from.zone != id().zone || IsGroupLeader()) return;
-  for (const GroupEntryWire& wire : msg.entries) {
+  for (const SlotEntryWire& wire : msg.entries) {
     if (wire.slot <= log_.snapshot_index()) continue;  // already compacted
     GroupEntry& entry = log_[wire.slot];
     if (!entry.committed) {
-      entry.cmd = wire.cmd;
+      entry.batch = wire.batch;
       entry.committed = true;
     }
   }
@@ -206,11 +216,11 @@ void ZoneGroupNode::HandleGroupInstallSnapshot(const GroupInstallSnapshot& msg) 
     commit_up_to_ = std::max(commit_up_to_, state.applied);
     execute_up_to_ = state.applied;
   }
-  for (const GroupEntryWire& wire : msg.tail) {
+  for (const SlotEntryWire& wire : msg.tail) {
     if (wire.slot <= log_.snapshot_index()) continue;
     GroupEntry& entry = log_[wire.slot];
     if (!entry.committed) {
-      entry.cmd = wire.cmd;
+      entry.batch = wire.batch;
       entry.committed = true;
     }
   }
@@ -243,16 +253,19 @@ void ZoneGroupNode::ExecuteCommitted() {
     const Slot slot = execute_up_to_ + 1;
     auto it = log_.find(slot);
     if (it == log_.end() || !it->second.committed) break;
-    Result<Value> result = store_.Execute(it->second.cmd);
     ++execute_up_to_;
-    if (it->second.done) {
-      auto done = std::move(it->second.done);
-      it->second.done = nullptr;
-      done(std::move(result));
+    // Copy the payload out before firing callbacks: a done may re-enter
+    // (GroupSubmit on a solo group commits synchronously, and the nested
+    // MaybeSnapshot can compact the entry `it` points at).
+    const CommandBatch batch = it->second.batch;
+    std::vector<DoneFn> dones = std::move(it->second.dones);
+    it->second.dones.clear();
+    for (std::size_t i = 0; i < batch.cmds.size(); ++i) {
+      Result<Value> result = store_.Execute(batch.cmds[i]);
+      if (i < dones.size() && dones[i]) dones[i](std::move(result));
     }
     // Per-slot so every group member snapshots at the same watermark (the
-    // auditor cross-checks digests at equal watermarks). May compact the
-    // entry `it` points at — nothing touches it afterwards.
+    // auditor cross-checks digests at equal watermarks).
     MaybeSnapshot();
   }
 }

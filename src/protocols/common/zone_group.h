@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/node.h"
+#include "protocols/common/wire_entry.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
 
@@ -27,18 +28,22 @@ namespace zone_group {
 
 struct GroupP2a : Message {
   Slot slot = -1;  ///< -1 = pure watermark flush.
-  Command cmd;
+  /// The slot's payload: every command the leader packed into it. Empty
+  /// for pure watermark flushes.
+  CommandBatch batch;
   Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
 };
 
 struct GroupP2b : Message {
   Slot slot = 0;
 };
 
-struct GroupEntryWire {
-  Slot slot = 0;
-  Command cmd;
-};
+// Group-log slots travel as the shared SlotEntryWire
+// (protocols/common/wire_entry.h); the group log has no ballots (fixed
+// leadership) and only ships committed slots, so those fields ride along
+// at their defaults.
 
 /// Follower catch-up probe: "my watermark walk hit a slot I never
 /// received" (a GroupP2a lost to a link fault or a restart). Sent to the
@@ -48,10 +53,10 @@ struct GroupFill : Message {
 };
 
 struct GroupFillReply : Message {
-  std::vector<GroupEntryWire> entries;  ///< Committed slots, in order.
+  std::vector<SlotEntryWire> entries;  ///< Committed slots, in order.
   Slot commit_up_to = -1;
 
-  std::size_t ByteSize() const override { return 100 + entries.size() * 50; }
+  std::size_t ByteSize() const override { return 100 + WireBytesOf(entries); }
 };
 
 /// Leader's answer to a GroupFill whose range fell below the group's
@@ -60,11 +65,11 @@ struct GroupFillReply : Message {
 /// longer exist.
 struct GroupInstallSnapshot : Message {
   StoreSnapshot state;
-  std::vector<GroupEntryWire> tail;
+  std::vector<SlotEntryWire> tail;
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override {
-    return 100 + state.ByteSizeEstimate() + tail.size() * 50;
+    return 100 + state.ByteSizeEstimate() + WireBytesOf(tail);
   }
 };
 
@@ -92,10 +97,18 @@ class ZoneGroupNode : public Node {
   LogStats GetLogStats() const override;
 
  protected:
+  using DoneFn = std::function<void(Result<Value>)>;
+
   /// Leader-only: replicate `cmd` on this zone's group; `done` fires at
   /// the leader with the execution result once a zone majority acked and
-  /// every prior group slot has executed.
-  void GroupSubmit(Command cmd, std::function<void(Result<Value>)> done);
+  /// every prior group slot has executed. Shorthand for a 1-command
+  /// GroupSubmitBatch.
+  void GroupSubmit(Command cmd, DoneFn done);
+  /// Leader-only: replicate `batch` as ONE group-log slot. `dones` is
+  /// index-aligned with `batch.cmds` (null or short vectors are fine:
+  /// missing callbacks are simply not fired); each fires with its own
+  /// command's execution result, in batch order.
+  void GroupSubmitBatch(CommandBatch batch, std::vector<DoneFn> dones);
 
  private:
   void HandleGroupP2a(const zone_group::GroupP2a& msg);
@@ -117,12 +130,13 @@ class ZoneGroupNode : public Node {
   void RetransmitStalled();
 
   struct GroupEntry {
-    Command cmd;
+    CommandBatch batch;
     bool committed = false;
     /// Distinct voters including the leader's self-vote (a set so a
     /// duplicated GroupP2b cannot fake a zone majority).
     std::set<NodeId> voters;
-    std::function<void(Result<Value>)> done;
+    /// Leader-side reply fan-out, index-aligned with `batch.cmds`.
+    std::vector<DoneFn> dones;
     Time last_sent = 0;
   };
 

@@ -49,6 +49,7 @@ EPaxosReplica::EPaxosReplica(NodeId id, Env env) : Node(id, env) {
   // reproduces the experimental Fig. 9 ordering, where real-world EPaxos
   // implementations trail single-leader Paxos in LAN.
   SetProcessingMultiplier(config().GetParamDouble("penalty", 3.0));
+  pipeline_params_ = CommitPipeline::Params::FromConfig(config());
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<PreAccept>([this](const PreAccept& m) { HandlePreAccept(m); });
@@ -90,14 +91,14 @@ void EPaxosReplica::ArmRecoveryTimer() {
         if (inst.phase == Phase::kPreAccepted && inst.has_origin) {
           PreAccept msg;
           msg.iid = dep;
-          msg.cmd = inst.cmd;
+          msg.batch = inst.batch;
           msg.seq = inst.seq;
           msg.deps = inst.deps;
           BroadcastToAll(std::move(msg));
         } else if (inst.phase == Phase::kAccepted && inst.has_origin) {
           Accept acc;
           acc.iid = dep;
-          acc.cmd = inst.cmd;
+          acc.batch = inst.batch;
           acc.seq = inst.seq;
           acc.deps = inst.deps;
           BroadcastToAll(std::move(acc));
@@ -195,7 +196,7 @@ void EPaxosReplica::HandleRecover(const Recover& msg) {
     // Re-send the (possibly lost) commit to the blocked replica.
     CommitMsg commit;
     commit.iid = msg.iid;
-    commit.cmd = inst.cmd;
+    commit.batch = inst.batch;
     commit.seq = inst.seq;
     commit.deps = inst.deps;
     Send(msg.from, std::move(commit));
@@ -207,14 +208,14 @@ void EPaxosReplica::HandleRecover(const Recover& msg) {
   if (inst.phase == Phase::kPreAccepted && inst.has_origin) {
     PreAccept pa;
     pa.iid = msg.iid;
-    pa.cmd = inst.cmd;
+    pa.batch = inst.batch;
     pa.seq = inst.seq;
     pa.deps = inst.deps;
     BroadcastToAll(std::move(pa));
   } else if (inst.phase == Phase::kAccepted && inst.has_origin) {
     Accept acc;
     acc.iid = msg.iid;
-    acc.cmd = inst.cmd;
+    acc.batch = inst.batch;
     acc.seq = inst.seq;
     acc.deps = inst.deps;
     BroadcastToAll(std::move(acc));
@@ -252,24 +253,50 @@ void EPaxosReplica::RecordInterference(const Command& cmd,
   }
 }
 
+CommitPipeline& EPaxosReplica::PipelineFor(const Key& key) {
+  auto it = pipelines_.find(key);
+  if (it == pipelines_.end()) {
+    it = pipelines_
+             .try_emplace(key, this, pipeline_params_,
+                          [this](CommandBatch batch,
+                                 std::vector<ClientRequest> origins) {
+                            ProposeBatch(std::move(batch), std::move(origins));
+                          })
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<InstanceId> EPaxosReplica::BatchDeps(
+    const CommandBatch& batch) const {
+  std::vector<InstanceId> deps;
+  for (const Command& cmd : batch.cmds) MergeDeps(&deps, LocalDeps(cmd));
+  return deps;
+}
+
 void EPaxosReplica::HandleRequest(const ClientRequest& req) {
-  if (!AdmitRequest(req)) return;
+  PipelineFor(req.cmd.key).Enqueue(req);
+}
+
+void EPaxosReplica::ProposeBatch(CommandBatch batch,
+                                 std::vector<ClientRequest> origins) {
   const InstanceId iid{id(), next_slot_++};
   Instance inst;
-  inst.cmd = req.cmd;
-  inst.deps = LocalDeps(req.cmd);
+  inst.batch = batch;
+  inst.deps = BatchDeps(inst.batch);
   inst.seq = SeqFor(inst.deps);
   inst.phase = Phase::kPreAccepted;
   inst.preaccept_voters = {id()};
   inst.merged_seq = inst.seq;
   inst.merged_deps = inst.deps;
   inst.has_origin = true;
-  inst.origin = req;
-  RecordInterference(req.cmd, iid);
+  inst.origins = std::move(origins);
+  inst.replied.assign(inst.batch.size(), false);
+  for (const Command& cmd : inst.batch.cmds) RecordInterference(cmd, iid);
 
   PreAccept msg;
   msg.iid = iid;
-  msg.cmd = inst.cmd;
+  msg.batch = std::move(batch);
   msg.seq = inst.seq;
   msg.deps = inst.deps;
   instances_[iid] = std::move(inst);
@@ -279,7 +306,7 @@ void EPaxosReplica::HandleRequest(const ClientRequest& req) {
 void EPaxosReplica::HandlePreAccept(const PreAccept& msg) {
   // Merge the leader's attributes with this replica's local view.
   std::vector<InstanceId> deps = msg.deps;
-  const std::vector<InstanceId> local = LocalDeps(msg.cmd);
+  const std::vector<InstanceId> local = BatchDeps(msg.batch);
   std::vector<InstanceId> merged = deps;
   MergeDeps(&merged, local);
   // The instance itself must never appear in its own deps.
@@ -288,13 +315,13 @@ void EPaxosReplica::HandlePreAccept(const PreAccept& msg) {
   std::int64_t seq = std::max(msg.seq, SeqFor(merged));
 
   Instance& inst = instances_[msg.iid];
-  inst.cmd = msg.cmd;
+  inst.batch = msg.batch;
   inst.seq = seq;
   inst.deps = merged;
   if (inst.phase == Phase::kNone || inst.phase == Phase::kPreAccepted) {
     inst.phase = Phase::kPreAccepted;
   }
-  RecordInterference(msg.cmd, msg.iid);
+  for (const Command& cmd : msg.batch.cmds) RecordInterference(cmd, msg.iid);
 
   PreAcceptOk reply;
   reply.iid = msg.iid;
@@ -330,7 +357,7 @@ void EPaxosReplica::HandlePreAcceptOk(const PreAcceptOk& msg) {
   inst.accept_voters = {id()};
   Accept acc;
   acc.iid = msg.iid;
-  acc.cmd = inst.cmd;
+  acc.batch = inst.batch;
   acc.seq = inst.seq;
   acc.deps = inst.deps;
   BroadcastToAll(std::move(acc));
@@ -338,13 +365,13 @@ void EPaxosReplica::HandlePreAcceptOk(const PreAcceptOk& msg) {
 
 void EPaxosReplica::HandleAccept(const Accept& msg) {
   Instance& inst = instances_[msg.iid];
-  inst.cmd = msg.cmd;
+  inst.batch = msg.batch;
   inst.seq = msg.seq;
   inst.deps = msg.deps;
   if (inst.phase != Phase::kCommitted && inst.phase != Phase::kExecuted) {
     inst.phase = Phase::kAccepted;
   }
-  RecordInterference(msg.cmd, msg.iid);
+  for (const Command& cmd : msg.batch.cmds) RecordInterference(cmd, msg.iid);
   AcceptOk reply;
   reply.iid = msg.iid;
   Send(msg.from, std::move(reply));
@@ -373,7 +400,7 @@ void EPaxosReplica::CommitInstance(const InstanceId& iid, Instance& inst,
   if (broadcast) {
     CommitMsg msg;
     msg.iid = iid;
-    msg.cmd = inst.cmd;
+    msg.batch = inst.batch;
     msg.seq = seq;
     msg.deps = deps;
     BroadcastToAll(std::move(msg));
@@ -391,15 +418,19 @@ void EPaxosReplica::CommitInstance(const InstanceId& iid, Instance& inst,
 
 void EPaxosReplica::MaybeReplyAtCommit(Instance& inst) {
   // Writes acknowledge at commit; reads must wait for execution.
-  if (!inst.has_origin || inst.replied || inst.cmd.IsRead()) return;
-  inst.replied = true;
-  ReplyToClient(inst.origin, /*ok=*/true, inst.cmd.value, /*found=*/true);
+  if (!inst.has_origin) return;
+  for (std::size_t i = 0; i < inst.origins.size(); ++i) {
+    if (inst.replied[i] || inst.batch.cmds[i].IsRead()) continue;
+    inst.replied[i] = true;
+    ReplyToClient(inst.origins[i], /*ok=*/true, inst.batch.cmds[i].value,
+                  /*found=*/true);
+  }
 }
 
 void EPaxosReplica::HandleCommit(const CommitMsg& msg) {
   Instance& inst = instances_[msg.iid];
-  inst.cmd = msg.cmd;
-  RecordInterference(msg.cmd, msg.iid);
+  inst.batch = msg.batch;
+  for (const Command& cmd : msg.batch.cmds) RecordInterference(cmd, msg.iid);
   CommitInstance(msg.iid, inst, msg.seq, msg.deps, /*broadcast=*/false);
 }
 
@@ -504,16 +535,24 @@ void EPaxosReplica::TryExecute(const InstanceId& root) {
 }
 
 void EPaxosReplica::ExecuteInstance(const InstanceId& iid, Instance& inst) {
-  Result<Value> result = store_.Execute(inst.cmd);
-  inst.phase = Phase::kExecuted;
-  ++executed_count_;
-  if (inst.has_origin && !inst.replied) {
-    inst.replied = true;
+  // Partial reply fan-out — writes were already acknowledged at commit —
+  // so this cannot go through Node::ExecuteBatchAndReply.
+  for (std::size_t i = 0; i < inst.batch.cmds.size(); ++i) {
+    Result<Value> result = store_.Execute(inst.batch.cmds[i]);
+    if (!inst.has_origin || inst.replied[i]) continue;
+    inst.replied[i] = true;
     const bool found = result.ok();
-    ReplyToClient(inst.origin, /*ok=*/true,
+    ReplyToClient(inst.origins[i], /*ok=*/true,
                   result.ok() ? result.value() : Value(), found);
   }
+  inst.phase = Phase::kExecuted;
+  executed_count_ += inst.batch.cmds.size();
   if (gc_enabled_) AdvanceExecFrontier(iid.replica);
+  // The command leader's instance is done end-to-end: free a window slot
+  // in the interference group's pipeline (may propose the next batch).
+  if (inst.has_origin && !inst.batch.empty()) {
+    PipelineFor(inst.batch.cmds.front().key).SlotClosed();
+  }
 }
 
 void EPaxosReplica::Audit(AuditScope& scope) const {
@@ -522,7 +561,7 @@ void EPaxosReplica::Audit(AuditScope& scope) const {
     if (it == instances_.end()) continue;
     const Instance& inst = it->second;
     Digest d;
-    d.Mix(DigestCommand(inst.cmd))
+    d.Mix(DigestCommands(inst.batch.cmds))
         .Mix(static_cast<std::uint64_t>(inst.seq));
     // Deps are digested order-independently (sorted) — replicas may have
     // merged them in different orders without that being a disagreement.

@@ -8,6 +8,7 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
 
 namespace paxi {
 
@@ -44,11 +45,15 @@ struct InstanceId {
 
 struct PreAccept : Message {
   InstanceId iid;
-  Command cmd;
+  /// The instance's payload: same-key (interfering) commands batched by
+  /// the command leader's per-key pipeline.
+  CommandBatch batch;
   std::int64_t seq = 0;
   std::vector<InstanceId> deps;
 
-  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+  std::size_t ByteSize() const override {
+    return 70 + batch.WireBytes() + deps.size() * 12;
+  }
 };
 
 struct PreAcceptOk : Message {
@@ -62,11 +67,13 @@ struct PreAcceptOk : Message {
 
 struct Accept : Message {
   InstanceId iid;
-  Command cmd;
+  CommandBatch batch;
   std::int64_t seq = 0;
   std::vector<InstanceId> deps;
 
-  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+  std::size_t ByteSize() const override {
+    return 70 + batch.WireBytes() + deps.size() * 12;
+  }
 };
 
 struct AcceptOk : Message {
@@ -75,11 +82,13 @@ struct AcceptOk : Message {
 
 struct CommitMsg : Message {
   InstanceId iid;
-  Command cmd;
+  CommandBatch batch;
   std::int64_t seq = 0;
   std::vector<InstanceId> deps;
 
-  std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+  std::size_t ByteSize() const override {
+    return 70 + batch.WireBytes() + deps.size() * 12;
+  }
 };
 
 /// Recovery probe: "my execution is blocked on `iid`, which I have not
@@ -142,7 +151,7 @@ class EPaxosReplica : public Node {
   enum class Phase { kNone, kPreAccepted, kAccepted, kCommitted, kExecuted };
 
   struct Instance {
-    Command cmd;
+    CommandBatch batch;
     std::int64_t seq = 0;
     std::vector<epaxos::InstanceId> deps;
     Phase phase = Phase::kNone;
@@ -153,12 +162,20 @@ class EPaxosReplica : public Node {
     bool attrs_changed = false;
     std::int64_t merged_seq = 0;
     std::vector<epaxos::InstanceId> merged_deps;
+    /// True iff this replica is the command leader holding the clients'
+    /// original requests.
     bool has_origin = false;
-    ClientRequest origin;
-    bool replied = false;
+    /// Originating requests, index-aligned with `batch.cmds`.
+    std::vector<ClientRequest> origins;
+    /// Per-command reply flags (writes ack at commit, reads at execute).
+    std::vector<bool> replied;
   };
 
   void HandleRequest(const ClientRequest& req);
+  /// Per-key CommitPipeline's propose callback: opens a new instance for
+  /// the batch (all commands share one key, i.e. one interference group),
+  /// computes deps/seq, and broadcasts the PreAccept.
+  void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
   void HandlePreAccept(const epaxos::PreAccept& msg);
   void HandlePreAcceptOk(const epaxos::PreAcceptOk& msg);
   void HandleAccept(const epaxos::Accept& msg);
@@ -184,6 +201,8 @@ class EPaxosReplica : public Node {
 
   /// Dependencies of `cmd` given this replica's local interference record.
   std::vector<epaxos::InstanceId> LocalDeps(const Command& cmd) const;
+  /// Union of LocalDeps over the batch's commands (deduplicated).
+  std::vector<epaxos::InstanceId> BatchDeps(const CommandBatch& batch) const;
   std::int64_t SeqFor(const std::vector<epaxos::InstanceId>& deps) const;
   /// Records `iid` as the latest interfering instance for its key.
   void RecordInterference(const Command& cmd, const epaxos::InstanceId& iid);
@@ -200,6 +219,14 @@ class EPaxosReplica : public Node {
 
   std::size_t FastQuorumSize() const { return fast_quorum_; }
   std::size_t SlowQuorumSize() const { return peers().size() / 2 + 1; }
+
+  /// One shared-intake pipeline per interference group (key): commands
+  /// that interfere anyway share an instance, so batching them costs no
+  /// extra conflicts, while commands from different groups keep their
+  /// independent fast paths. Created on demand by PipelineFor.
+  CommitPipeline& PipelineFor(const Key& key);
+  CommitPipeline::Params pipeline_params_;
+  std::map<Key, CommitPipeline> pipelines_;
 
   std::map<epaxos::InstanceId, Instance> instances_;
   Slot next_slot_ = 0;

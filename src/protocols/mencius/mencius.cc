@@ -11,7 +11,12 @@ using mencius::Fill;
 using mencius::InstallSnapshot;
 using mencius::Skip;
 
-MenciusReplica::MenciusReplica(NodeId id, Env env) : Node(id, env) {
+MenciusReplica::MenciusReplica(NodeId id, Env env)
+    : Node(id, env),
+      pipeline_(this, CommitPipeline::Params::FromConfig(config()),
+                [this](CommandBatch batch, std::vector<ClientRequest> origins) {
+                  ProposeBatch(std::move(batch), std::move(origins));
+                }) {
   n_ = static_cast<int>(peers().size());
   for (int i = 0; i < n_; ++i) {
     if (peers()[static_cast<std::size_t>(i)] == id) index_ = i;
@@ -48,7 +53,7 @@ void MenciusReplica::Audit(AuditScope& scope) const {
     // later slot advanced the frontier past them first.
     if (!e.has_cmd && !e.noop) continue;
     scope.Chosen("log", it->first,
-                 e.noop ? DigestNoop() : DigestCommand(e.cmd));
+                 e.noop ? DigestNoop() : DigestCommands(e.batch.cmds));
   }
 }
 
@@ -105,7 +110,7 @@ void MenciusReplica::ProbeStalledSlot(Slot slot) {
       // re-ack and the voter sets deduplicate.
       Accept msg;
       msg.slot = slot;
-      msg.cmd = it->second.cmd;
+      msg.batch = it->second.batch;
       msg.skip_before = slot;
       msg.commit_up_to = commit_up_to_;
       BroadcastToAll(std::move(msg));
@@ -134,7 +139,7 @@ void MenciusReplica::HandleFill(const Fill& msg) {
     // it) gets the command, and fresh acks re-establish the majority.
     Accept re;
     re.slot = msg.slot;
-    re.cmd = it->second.cmd;
+    re.batch = it->second.batch;
     re.skip_before = msg.slot;
     re.commit_up_to = commit_up_to_;
     BroadcastToAll(std::move(re));
@@ -177,7 +182,11 @@ void MenciusReplica::ApplyWatermark(Slot up_to) {
 }
 
 void MenciusReplica::HandleRequest(const ClientRequest& req) {
-  if (!AdmitRequest(req)) return;
+  pipeline_.Enqueue(req);
+}
+
+void MenciusReplica::ProposeBatch(CommandBatch batch,
+                                  std::vector<ClientRequest> origins) {
   // Propose in our next owned slot, jumping (and implicitly skipping)
   // forward if the log has advanced past it.
   const Slot slot =
@@ -188,15 +197,15 @@ void MenciusReplica::HandleRequest(const ClientRequest& req) {
   max_slot_seen_ = std::max(max_slot_seen_, slot);
 
   Entry entry;
-  entry.cmd = req.cmd;
+  entry.batch = batch;
   entry.has_cmd = true;
   entry.voters = {id()};  // proposer self-ack
   log_[slot] = std::move(entry);
-  pending_[slot] = req;
+  pending_[slot] = std::move(origins);
 
   Accept msg;
   msg.slot = slot;
-  msg.cmd = req.cmd;
+  msg.batch = std::move(batch);
   msg.skip_before = skip_from;
   msg.commit_up_to = commit_up_to_;
   BroadcastToAll(std::move(msg));
@@ -250,13 +259,13 @@ void MenciusReplica::HandleAccept(const Accept& msg) {
   auto it = log_.find(msg.slot);
   if (it == log_.end()) {
     Entry entry;
-    entry.cmd = msg.cmd;
+    entry.batch = msg.batch;
     entry.has_cmd = true;
     entry.voters = {OwnerOf(msg.slot)};  // the owner's implicit self-ack
     log_[msg.slot] = std::move(entry);
   } else if (!it->second.has_cmd && !it->second.noop) {
     // Fill a vote-only placeholder left by an early ack.
-    it->second.cmd = msg.cmd;
+    it->second.batch = msg.batch;
     it->second.has_cmd = true;
   }
   // Acks are broadcast (learner pattern): every replica tallies every
@@ -334,18 +343,20 @@ void MenciusReplica::AdvanceExecution() {
     if (!it->second.noop && !it->second.has_cmd) break;  // command in flight
     ++execute_up_to_;
     if (!it->second.noop) {
-      Result<Value> result = store_.Execute(it->second.cmd);
       auto pending = pending_.find(slot);
       if (pending != pending_.end()) {
-        const ClientRequest req = pending->second;
+        const std::vector<ClientRequest> origins = std::move(pending->second);
         pending_.erase(pending);
-        ReplyToClient(req, /*ok=*/true,
-                      result.ok() ? result.value() : Value(), result.ok());
+        ExecuteBatchAndReply(it->second.batch, &origins);
+        // Per-slot so every replica snapshots at the same watermark (the
+        // auditor cross-checks digests at equal watermarks). May compact
+        // the entry `it` points at — nothing touches it afterwards.
+        MaybeSnapshot();
+        pipeline_.SlotClosed();
+        continue;
       }
+      ExecuteBatchAndReply(it->second.batch, /*origins=*/nullptr);
     }
-    // Per-slot so every replica snapshots at the same watermark (the
-    // auditor cross-checks digests at equal watermarks). May compact the
-    // entry `it` points at — nothing touches it afterwards.
     MaybeSnapshot();
   }
 }
@@ -376,14 +387,20 @@ void MenciusReplica::HandleInstallSnapshot(const InstallSnapshot& msg) {
   // into the installed state. Answer writes now — the reply value of a
   // Put is its own payload; reads lost their result, and the client's
   // retry re-executes them safely.
+  std::size_t slots_folded = 0;
   for (auto it = pending_.begin();
        it != pending_.end() && it->first <= state.applied;) {
-    if (it->second.cmd.IsWrite()) {
-      ReplyToClient(it->second, /*ok=*/true, it->second.cmd.value,
-                    /*found=*/true);
+    for (const ClientRequest& req : it->second) {
+      if (req.cmd.IsWrite()) {
+        ReplyToClient(req, /*ok=*/true, req.cmd.value, /*found=*/true);
+      }
     }
     it = pending_.erase(it);
+    ++slots_folded;
   }
+  // Each folded slot was an in-flight pipeline proposal; close them so the
+  // window frees up for new batches.
+  for (std::size_t i = 0; i < slots_folded; ++i) pipeline_.SlotClosed();
   AdvanceExecution();
 }
 

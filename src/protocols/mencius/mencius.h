@@ -8,6 +8,7 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
 
@@ -42,7 +43,8 @@ namespace mencius {
 
 struct Accept : Message {
   Slot slot = 0;
-  Command cmd;
+  /// The slot's payload: every command the owner packed into it.
+  CommandBatch batch;
   /// The sender implicitly skips every slot it owns in
   /// [skip_before, slot); its slots below skip_before were settled by
   /// earlier messages (FIFO links).
@@ -50,6 +52,8 @@ struct Accept : Message {
   /// Piggybacked commit watermark (all slots <= this are committed at the
   /// sender).
   Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
 };
 
 struct AcceptAck : Message {
@@ -122,7 +126,7 @@ class MenciusReplica : public Node {
 
  private:
   struct Entry {
-    Command cmd;
+    CommandBatch batch;
     /// False for vote-only placeholders (an ack overtook its Accept on a
     /// different link); execution must wait for the command to arrive.
     bool has_cmd = false;
@@ -134,6 +138,10 @@ class MenciusReplica : public Node {
   };
 
   void HandleRequest(const ClientRequest& req);
+  /// CommitPipeline's propose callback: assigns the batch to this node's
+  /// next owned slot (implicitly skipping earlier due slots), parks
+  /// `origins` for the reply fan-out, and broadcasts the Accept.
+  void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
   void HandleAccept(const mencius::Accept& msg);
   void HandleAck(const mencius::AcceptAck& msg);
   void HandleSkip(const mencius::Skip& msg);
@@ -173,7 +181,13 @@ class MenciusReplica : public Node {
   Slot max_slot_seen_ = -1;    ///< Highest slot observed anywhere.
   Slot commit_up_to_ = -1;
   Slot execute_up_to_ = -1;
-  std::map<Slot, ClientRequest> pending_;
+  /// Originating requests per locally proposed slot, index-aligned with
+  /// the slot's batch — the reply fan-out state.
+  std::map<Slot, std::vector<ClientRequest>> pending_;
+  /// Shared request intake (protocols/common/commit_pipeline.h). Every
+  /// replica runs its own: Mencius has no single leader, so each node
+  /// batches its own clients' commands into its own slots.
+  CommitPipeline pipeline_;
   std::size_t majority_;
   Time skip_interval_;
   std::size_t skips_sent_ = 0;

@@ -7,7 +7,6 @@ namespace paxi {
 using paxos::CatchupReply;
 using paxos::CatchupRequest;
 using paxos::InstallSnapshot;
-using paxos::LogEntryWire;
 using paxos::P1a;
 using paxos::P1b;
 using paxos::P2a;
@@ -21,7 +20,12 @@ constexpr std::size_t kRetransmitBatch = 64;
 constexpr std::size_t kCatchupBatch = 256;
 }  // namespace
 
-PaxosReplica::PaxosReplica(NodeId id, Env env) : Node(id, env) {
+PaxosReplica::PaxosReplica(NodeId id, Env env)
+    : Node(id, env),
+      pipeline_(this, CommitPipeline::Params::FromConfig(config()),
+                [this](CommandBatch batch, std::vector<ClientRequest> origins) {
+                  ProposeBatch(std::move(batch), std::move(origins));
+                }) {
   heartbeat_interval_ =
       config().GetParamInt("heartbeat_ms", 100) * kMillisecond;
   election_timeout_ =
@@ -62,8 +66,7 @@ void PaxosReplica::Start() {
 }
 
 void PaxosReplica::Rejoin() {
-  active_ = false;
-  electing_ = false;
+  Demote();
   p1_voters_.clear();
   recovered_.clear();
   // Grace period before campaigning: give any incumbent elected while we
@@ -87,8 +90,14 @@ void PaxosReplica::Audit(AuditScope& scope) const {
   for (auto it = log_.upper_bound(scope.ChosenFrontier("log"));
        it != log_.end() && it->first <= commit_up_to_; ++it) {
     if (!it->second.committed) continue;
-    scope.Chosen("log", it->first, DigestCommand(it->second.cmd));
+    scope.Chosen("log", it->first, DigestCommands(it->second.batch.cmds));
   }
+}
+
+void PaxosReplica::Demote() {
+  if (active_) pipeline_.Abort();
+  active_ = false;
+  electing_ = false;
 }
 
 bool PaxosReplica::LeaderIsFresh() const {
@@ -131,7 +140,7 @@ void PaxosReplica::RetransmitStalled() {
     P2a msg;
     msg.ballot = ballot_;
     msg.slot = it->first;
-    msg.cmd = entry.cmd;
+    msg.batch = entry.batch;
     msg.commit_up_to = commit_up_to_;
     BroadcastToAll(std::move(msg));
   }
@@ -160,8 +169,8 @@ void PaxosReplica::HandleCatchupRequest(const CatchupRequest& msg) {
     for (auto it = log_.upper_bound(snapshot_.applied);
          it != log_.end() && inst.tail.size() < kCatchupBatch; ++it) {
       if (!it->second.committed) break;
-      inst.tail.push_back(LogEntryWire{it->first, it->second.ballot,
-                                       it->second.cmd, true});
+      inst.tail.push_back(SlotEntryWire{it->first, it->second.ballot,
+                                        it->second.batch, true});
     }
     Send(msg.from, std::move(inst));
     return;
@@ -171,22 +180,22 @@ void PaxosReplica::HandleCatchupRequest(const CatchupRequest& msg) {
   for (auto it = log_.lower_bound(msg.from_slot);
        it != log_.end() && reply.entries.size() < kCatchupBatch; ++it) {
     if (!it->second.committed) break;  // only the committed prefix is safe
-    reply.entries.push_back(LogEntryWire{it->first, it->second.ballot,
-                                         it->second.cmd, true});
+    reply.entries.push_back(SlotEntryWire{it->first, it->second.ballot,
+                                          it->second.batch, true});
   }
   if (reply.entries.empty()) return;
   Send(msg.from, std::move(reply));
 }
 
 void PaxosReplica::AdoptCommittedEntries(
-    const std::vector<LogEntryWire>& entries) {
-  for (const LogEntryWire& wire : entries) {
+    const std::vector<SlotEntryWire>& entries) {
+  for (const SlotEntryWire& wire : entries) {
     if (wire.slot <= log_.snapshot_index()) continue;  // already folded in
     auto it = log_.find(wire.slot);
     if (it == log_.end()) {
       Entry entry;
       entry.ballot = wire.ballot;
-      entry.cmd = wire.cmd;
+      entry.batch = wire.batch;
       entry.committed = true;
       log_[wire.slot] = std::move(entry);
       next_slot_ = std::max(next_slot_, wire.slot + 1);
@@ -195,7 +204,7 @@ void PaxosReplica::AdoptCommittedEntries(
       // acceptance from a superseded leader; the reply carries the value
       // that was actually chosen.
       it->second.ballot = wire.ballot;
-      it->second.cmd = wire.cmd;
+      it->second.batch = wire.batch;
       it->second.committed = true;
     }
   }
@@ -250,7 +259,7 @@ void PaxosReplica::StartPhase1() {
   for (const auto& [slot, entry] : log_) {
     if (slot > commit_up_to_) {
       recovered_.push_back(
-          LogEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+          SlotEntryWire{slot, entry.ballot, entry.batch, entry.committed});
     }
   }
   P1a msg;
@@ -261,7 +270,7 @@ void PaxosReplica::StartPhase1() {
 
 void PaxosReplica::HandleRequest(const ClientRequest& req) {
   if (active_) {
-    Propose(req);
+    pipeline_.Enqueue(req);
     return;
   }
   if (local_reads_ && req.cmd.IsRead()) {
@@ -298,21 +307,21 @@ void PaxosReplica::ParkRequest(const ClientRequest& req) {
   backlog_.push_back(req);
 }
 
-void PaxosReplica::Propose(const ClientRequest& req) {
-  if (!AdmitRequest(req)) return;
+void PaxosReplica::ProposeBatch(CommandBatch batch,
+                                std::vector<ClientRequest> origins) {
   const Slot slot = next_slot_++;
   Entry entry;
   entry.ballot = ballot_;
-  entry.cmd = req.cmd;
+  entry.batch = batch;
   entry.voters = {id()};
   entry.last_sent = Now();
   log_[slot] = std::move(entry);
-  pending_replies_[slot] = req;
+  pending_replies_[slot] = std::move(origins);
 
   P2a msg;
   msg.ballot = ballot_;
   msg.slot = slot;
-  msg.cmd = req.cmd;
+  msg.batch = std::move(batch);
   msg.commit_up_to = commit_up_to_;
   BroadcastToAll(std::move(msg));
 
@@ -326,8 +335,7 @@ void PaxosReplica::HandleP1a(const P1a& msg) {
   P1b reply;
   if (msg.ballot > ballot_) {
     ballot_ = msg.ballot;
-    active_ = false;
-    electing_ = false;
+    Demote();
     last_leader_contact_ = Now();
     reply.ok = true;
     // Everything above the requester's watermark, committed entries
@@ -340,7 +348,7 @@ void PaxosReplica::HandleP1a(const P1a& msg) {
     for (const auto& [slot, entry] : log_) {
       if (slot > msg.commit_up_to) {
         reply.entries.push_back(
-            LogEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+            SlotEntryWire{slot, entry.ballot, entry.batch, entry.committed});
       }
     }
   } else {
@@ -355,8 +363,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     if (msg.ballot > ballot_) {
       // Preempted by a higher ballot.
       ballot_ = msg.ballot;
-      electing_ = false;
-      active_ = false;
+      Demote();
     }
     return;
   }
@@ -375,7 +382,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
   // highest-ballot uncommitted command per remaining slot.
   electing_ = false;
   active_ = true;
-  std::map<Slot, LogEntryWire> best;
+  std::map<Slot, SlotEntryWire> best;
   for (const auto& e : recovered_) {
     auto it = best.find(e.slot);
     if (it == best.end() || (e.committed && !it->second.committed) ||
@@ -390,7 +397,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     if (it != log_.end() && it->second.committed) continue;
     Entry entry;
     entry.ballot = ballot_;
-    entry.cmd = wire.cmd;
+    entry.batch = wire.batch;
     entry.voters = {id()};
     entry.last_sent = Now();
     next_slot_ = std::max(next_slot_, slot + 1);
@@ -402,7 +409,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
       P2a refresh;
       refresh.ballot = ballot_;
       refresh.slot = slot;
-      refresh.cmd = log_[slot].cmd;
+      refresh.batch = log_[slot].batch;
       refresh.commit_up_to = commit_up_to_;
       BroadcastToAll(std::move(refresh));
       continue;
@@ -411,7 +418,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     P2a p2a;
     p2a.ballot = ballot_;
     p2a.slot = slot;
-    p2a.cmd = wire.cmd;
+    p2a.batch = wire.batch;
     p2a.commit_up_to = commit_up_to_;
     BroadcastToAll(std::move(p2a));
   }
@@ -420,7 +427,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
 
   std::vector<ClientRequest> queued;
   queued.swap(backlog_);
-  for (const ClientRequest& req : queued) Propose(req);
+  for (const ClientRequest& req : queued) pipeline_.Enqueue(req);
   ArmHeartbeat();
 }
 
@@ -428,8 +435,7 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
   if (msg.ballot >= ballot_) {
     if (msg.ballot > ballot_ || active_ || electing_) {
       ballot_ = msg.ballot;
-      active_ = false;
-      electing_ = false;
+      Demote();
     }
     last_leader_contact_ = Now();
     if (msg.slot >= 0) {
@@ -440,7 +446,7 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
         // (execution would wedge on the "uncommitted" slot forever).
         Entry entry;
         entry.ballot = msg.ballot;
-        entry.cmd = msg.cmd;
+        entry.batch = msg.batch;
         log_[msg.slot] = std::move(entry);
       }
       next_slot_ = std::max(next_slot_, msg.slot + 1);
@@ -494,8 +500,7 @@ void PaxosReplica::HandleP2b(const P2b& msg) {
   if (!msg.ok) {
     if (msg.ballot > ballot_) {
       ballot_ = msg.ballot;
-      active_ = false;
-      electing_ = false;
+      Demote();
     }
     return;
   }
@@ -523,25 +528,22 @@ void PaxosReplica::ExecuteCommitted() {
     const Slot slot = execute_up_to_ + 1;
     auto it = log_.find(slot);
     if (it == log_.end() || !it->second.committed) break;
-    Result<Value> result = store_.Execute(it->second.cmd);
     ++execute_up_to_;
-    // Per-slot policy check so every replica snapshots at the same
-    // watermarks and the auditor can cross-check the digests.
-    MaybeSnapshot();
     auto pending = pending_replies_.find(slot);
     if (pending != pending_replies_.end() && active_) {
-      const ClientRequest req = pending->second;
+      const std::vector<ClientRequest> origins = std::move(pending->second);
       pending_replies_.erase(pending);
-      const bool found = result.ok();
-      const Value value = result.ok() ? result.value() : Value();
-      const Time extra = ReplyExtraDelay();
-      if (extra > 0) {
-        SetTimer(extra, [this, req, value, found]() {
-          ReplyToClient(req, /*ok=*/true, value, found);
-        });
-      } else {
-        ReplyToClient(req, /*ok=*/true, value, found);
-      }
+      ExecuteBatchAndReply(it->second.batch, &origins, ReplyExtraDelay());
+      // Per-slot policy check so every replica snapshots at the same
+      // watermarks and the auditor can cross-check the digests.
+      MaybeSnapshot();
+      // The slot this pipeline proposed has gone the whole way: free its
+      // window slot, which may flush the next queued batch. Last, so the
+      // flush's own proposal observes the advanced execute watermark.
+      pipeline_.SlotClosed();
+    } else {
+      ExecuteBatchAndReply(it->second.batch, /*origins=*/nullptr);
+      MaybeSnapshot();
     }
   }
 }

@@ -9,6 +9,8 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
+#include "protocols/common/wire_entry.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
 
@@ -33,19 +35,10 @@ struct P1a : Message {
   Slot commit_up_to = -1;
 };
 
-struct LogEntryWire {
-  Slot slot = 0;
-  Ballot ballot;
-  Command cmd;
-  /// True if the reporter knows this slot committed (the new leader can
-  /// adopt it without a fresh phase-2).
-  bool committed = false;
-};
-
 struct P1b : Message {
   Ballot ballot;      ///< Responder's current ballot (the promise or the rival).
   bool ok = false;    ///< True if the sender promised.
-  std::vector<LogEntryWire> entries;  ///< Entries above the watermark.
+  std::vector<SlotEntryWire> entries;  ///< Entries above the watermark.
   /// When the requester's watermark lies below the responder's compaction
   /// point the missing prefix no longer exists as entries; the responder
   /// ships its snapshot so the new leader cannot inherit a hole.
@@ -53,7 +46,7 @@ struct P1b : Message {
   StoreSnapshot snapshot;
 
   std::size_t ByteSize() const override {
-    return 100 + entries.size() * 50 +
+    return 100 + WireBytesOf(entries) +
            (has_snapshot ? snapshot.ByteSizeEstimate() : 0);
   }
 };
@@ -62,9 +55,12 @@ struct P2a : Message {
   Ballot ballot;
   /// Slot < 0 marks a heartbeat / commit-flush carrying no command.
   Slot slot = -1;
-  Command cmd;
+  /// The slot's payload: every command the leader packed into it.
+  CommandBatch batch;
   /// Piggybacked phase-3: all slots <= this are committed at the leader.
   Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
 };
 
 struct P2b : Message {
@@ -82,11 +78,11 @@ struct CatchupRequest : Message {
 
 /// Leader -> follower: committed entries answering a CatchupRequest.
 struct CatchupReply : Message {
-  std::vector<LogEntryWire> entries;
+  std::vector<SlotEntryWire> entries;
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override {
-    return 100 + entries.size() * 50;
+    return 100 + WireBytesOf(entries);
   }
 };
 
@@ -97,11 +93,11 @@ struct CatchupReply : Message {
 /// not free in the performance model.
 struct InstallSnapshot : Message {
   StoreSnapshot state;
-  std::vector<LogEntryWire> tail;
+  std::vector<SlotEntryWire> tail;
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override {
-    return 100 + state.ByteSizeEstimate() + tail.size() * 50;
+    return 100 + state.ByteSizeEstimate() + WireBytesOf(tail);
   }
 };
 
@@ -147,7 +143,7 @@ class PaxosReplica : public Node {
  private:
   struct Entry {
     Ballot ballot;
-    Command cmd;
+    CommandBatch batch;
     bool committed = false;
     /// Distinct phase-2 voters (incl. the leader). A set, not a counter:
     /// duplicated/retransmitted P2bs must not fake a quorum.
@@ -167,7 +163,7 @@ class PaxosReplica : public Node {
 
   /// Adopts committed entries from a catch-up/install tail (shared by
   /// CatchupReply and the InstallSnapshot tail).
-  void AdoptCommittedEntries(const std::vector<paxos::LogEntryWire>& entries);
+  void AdoptCommittedEntries(const std::vector<SlotEntryWire>& entries);
   /// Jumps this replica's state machine to `state.applied` if the snapshot
   /// is ahead of it; duplicated or reordered installs are no-ops.
   void InstallSnapshotState(const StoreSnapshot& state);
@@ -178,7 +174,13 @@ class PaxosReplica : public Node {
   void ParkRequest(const ClientRequest& req);
 
   void StartPhase1();
-  void Propose(const ClientRequest& req);
+  /// CommitPipeline's propose callback: assigns the next slot to `batch`,
+  /// parks `origins` for the reply fan-out, and broadcasts phase-2a.
+  void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
+  /// Drops any leadership/candidacy role. Sheds the pipeline's queued
+  /// requests with a retryable reject when stepping down from active
+  /// leadership.
+  void Demote();
   void AdvanceCommit();
   void ExecuteCommitted();
   void ArmElectionTimer();
@@ -197,7 +199,7 @@ class PaxosReplica : public Node {
   bool active_ = false;           ///< True iff this node completed phase-1.
   bool electing_ = false;         ///< Phase-1 in flight.
   std::set<NodeId> p1_voters_;    ///< Distinct promisers (dedup, incl. self).
-  std::vector<paxos::LogEntryWire> recovered_;
+  std::vector<SlotEntryWire> recovered_;
 
   LogStorage<Entry> log_;
   Slot next_slot_ = 0;
@@ -211,9 +213,15 @@ class PaxosReplica : public Node {
   std::size_t snapshots_taken_ = 0;
   std::size_t snapshots_installed_ = 0;
 
-  std::map<Slot, ClientRequest> pending_replies_;
+  /// Originating requests per pipeline-proposed slot, index-aligned with
+  /// the slot's batch — the reply fan-out state.
+  std::map<Slot, std::vector<ClientRequest>> pending_replies_;
   std::vector<ClientRequest> backlog_;  ///< Requests queued during election.
   std::size_t max_backlog_ = 1024;      ///< Cap before shedding (param).
+
+  /// Shared request intake: admission, batch assembly, pipelining window
+  /// (protocols/common/commit_pipeline.h). Proposes through ProposeBatch.
+  CommitPipeline pipeline_;
 
   Time last_leader_contact_ = 0;
   Time last_catchup_request_ = -1;

@@ -13,7 +13,12 @@ using raft::LogEntry;
 using raft::RequestVote;
 using raft::VoteReply;
 
-RaftReplica::RaftReplica(NodeId id, Env env) : Node(id, env) {
+RaftReplica::RaftReplica(NodeId id, Env env)
+    : Node(id, env),
+      pipeline_(this, CommitPipeline::Params::FromConfig(config()),
+                [this](CommandBatch batch, std::vector<ClientRequest> origins) {
+                  ProposeBatch(std::move(batch), std::move(origins));
+                }) {
   heartbeat_interval_ =
       config().GetParamInt("heartbeat_ms", 50) * kMillisecond;
   election_timeout_ =
@@ -77,7 +82,7 @@ void RaftReplica::Audit(AuditScope& scope) const {
     // entries at the same index must agree on term, not just payload.
     Digest d;
     d.Mix(static_cast<std::uint64_t>(e.term))
-        .Mix(e.noop ? DigestNoop() : DigestCommand(e.cmd));
+        .Mix(e.noop ? DigestNoop() : DigestCommands(e.batch.cmds));
     scope.Chosen("log", s, d.value());
   }
 }
@@ -105,6 +110,11 @@ void RaftReplica::ArmHeartbeat() {
 }
 
 void RaftReplica::BecomeFollower(std::int64_t term) {
+  if (role_ == Role::kLeader) {
+    // Stepping down: shed the pipeline's queued requests with a retryable
+    // reject and reset its in-flight window.
+    pipeline_.Abort();
+  }
   if (term > term_) {
     term_ = term;
     voted_for_ = NodeId::Invalid();
@@ -154,13 +164,17 @@ void RaftReplica::HandleRequest(const ClientRequest& req) {
     }
     return;
   }
-  if (!AdmitRequest(req)) return;
+  pipeline_.Enqueue(req);
+}
+
+void RaftReplica::ProposeBatch(CommandBatch batch,
+                               std::vector<ClientRequest> origins) {
   LogEntry entry;
   entry.term = term_;
-  entry.cmd = req.cmd;
+  entry.batch = std::move(batch);
   entry.noop = false;
   Append(std::move(entry));
-  pending_replies_[LastIndex()] = req;
+  pending_replies_[LastIndex()] = std::move(origins);
   BroadcastNewEntry();
 }
 
@@ -330,24 +344,20 @@ void RaftReplica::Apply() {
     // Copy before executing: MaybeSnapshot below may compact the entry.
     const LogEntry e = log_it->second;
     if (!e.noop) {
-      Result<Value> result = store_.Execute(e.cmd);
       auto it = pending_replies_.find(last_applied_);
       if (it != pending_replies_.end() && role_ == Role::kLeader) {
-        const ClientRequest req = it->second;
+        const std::vector<ClientRequest> origins = std::move(it->second);
         pending_replies_.erase(it);
-        const bool found = result.ok();
-        const Value value = result.ok() ? result.value() : Value();
-        if (http_extra_ > 0) {
-          // etcd's REST front end: extra client-path latency, no CPU charge.
-          SetTimer(http_extra_, [this, req, value, found]() {
-            ReplyToClient(req, /*ok=*/true, value, found);
-          });
-        } else {
-          ReplyToClient(req, /*ok=*/true, value, found);
-        }
+        // http_extra_ emulates etcd's REST front end: extra client-path
+        // latency on each reply, no CPU charge.
+        ExecuteBatchAndReply(e.batch, &origins, http_extra_);
+        // Per-index policy check so replicas snapshot at common watermarks.
+        MaybeSnapshot();
+        pipeline_.SlotClosed();
+        continue;
       }
+      ExecuteBatchAndReply(e.batch, /*origins=*/nullptr);
     }
-    // Per-index policy check so replicas snapshot at common watermarks.
     MaybeSnapshot();
   }
 }

@@ -8,6 +8,7 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
 
@@ -27,10 +28,16 @@ namespace paxi {
 /// saturation as Paxos with visibly higher latency below saturation.
 namespace raft {
 
+/// Raft keeps its own log-entry wire form (rather than the shared
+/// SlotEntryWire) because entries are stamped with a term, not a ballot,
+/// and the Log Matching property checks terms; the payload is still the
+/// pipeline's CommandBatch.
 struct LogEntry {
   std::int64_t term = 0;
-  Command cmd;
+  CommandBatch batch;
   bool noop = true;  ///< Leader-change barrier entries carry no command.
+
+  std::size_t WireBytes() const { return batch.WireBytes(); }
 };
 
 struct AppendEntries : Message {
@@ -40,7 +47,11 @@ struct AppendEntries : Message {
   std::vector<LogEntry> entries;
   Slot commit_index = -1;
 
-  std::size_t ByteSize() const override { return 100 + entries.size() * 50; }
+  std::size_t ByteSize() const override {
+    std::size_t total = 100;
+    for (const LogEntry& e : entries) total += e.WireBytes();
+    return total;
+  }
 };
 
 struct AppendReply : Message {
@@ -105,6 +116,9 @@ class RaftReplica : public Node {
   enum class Role { kFollower, kCandidate, kLeader };
 
   void HandleRequest(const ClientRequest& req);
+  /// CommitPipeline's propose callback: appends `batch` as the next log
+  /// entry, parks `origins` for the reply fan-out, and replicates.
+  void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
   void HandleAppend(const raft::AppendEntries& msg);
   void HandleAppendReply(const raft::AppendReply& msg);
   void HandleVote(const raft::RequestVote& msg);
@@ -147,7 +161,12 @@ class RaftReplica : public Node {
   /// fake a majority).
   std::set<NodeId> votes_;
 
-  std::map<Slot, ClientRequest> pending_replies_;
+  /// Originating requests per pipeline-proposed index, aligned with the
+  /// entry's batch — the reply fan-out state.
+  std::map<Slot, std::vector<ClientRequest>> pending_replies_;
+
+  /// Shared request intake (protocols/common/commit_pipeline.h).
+  CommitPipeline pipeline_;
 
   Time last_leader_contact_ = 0;
   Time heartbeat_interval_;

@@ -7,7 +7,12 @@ using vpaxos::ConfigChangeReq;
 using vpaxos::ConfigUpdate;
 using vpaxos::StateTransfer;
 
-VPaxosReplica::VPaxosReplica(NodeId id, Env env) : ZoneGroupNode(id, env) {
+VPaxosReplica::VPaxosReplica(NodeId id, Env env)
+    : ZoneGroupNode(id, env),
+      pipeline_(this, CommitPipeline::Params::FromConfig(config()),
+                [this](CommandBatch batch, std::vector<ClientRequest> origins) {
+                  ProposeBatch(std::move(batch), std::move(origins));
+                }) {
   master_zone_ = static_cast<int>(config().GetParamInt(
       "master_zone", config().topology.is_wan() ? 2 : 1));
   default_owner_zone_ = static_cast<int>(
@@ -116,11 +121,25 @@ void VPaxosReplica::Serve(const ClientRequest& req, bool track_policy) {
 }
 
 void VPaxosReplica::CommitLocally(const ClientRequest& req) {
-  if (!AdmitRequest(req)) return;
-  GroupSubmit(req.cmd, [this, req](Result<Value> result) {
-    ReplyToClient(req, /*ok=*/true,
-                  result.ok() ? result.value() : Value(), result.ok());
-  });
+  pipeline_.Enqueue(req);
+}
+
+void VPaxosReplica::ProposeBatch(CommandBatch batch,
+                                 std::vector<ClientRequest> origins) {
+  std::vector<DoneFn> dones;
+  dones.reserve(origins.size());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const ClientRequest req = origins[i];
+    const bool last = i + 1 == origins.size();
+    dones.push_back([this, req, last](Result<Value> result) {
+      ReplyToClient(req, /*ok=*/true,
+                    result.ok() ? result.value() : Value(), result.ok());
+      // The whole slot executed once its final command has; free a
+      // window slot so the next batch can form.
+      if (last) pipeline_.SlotClosed();
+    });
+  }
+  GroupSubmitBatch(std::move(batch), std::move(dones));
 }
 
 void VPaxosReplica::HandleConfigChange(const ConfigChangeReq& msg) {
@@ -168,7 +187,9 @@ void VPaxosReplica::HandleConfigUpdate(const ConfigUpdate& msg) {
   ++migrations_;
   if (was_owner && !becomes_owner) {
     // Ship the latest value to the new owner group, behind a group
-    // barrier so every in-flight local write to the key is included.
+    // barrier so every in-flight local write to the key is included —
+    // the intake pipeline's queue too.
+    pipeline_.DrainAll();
     const Key key = msg.key;
     const int new_zone = msg.owner_zone;
     Command barrier;

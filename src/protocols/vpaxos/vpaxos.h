@@ -9,6 +9,7 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
 #include "protocols/common/zone_group.h"
 #include "store/snapshot.h"
 
@@ -101,11 +102,17 @@ class VPaxosReplica : public ZoneGroupNode {
   void HandleStateTransfer(const vpaxos::StateTransfer& msg);
 
   void CommitLocally(const ClientRequest& req);
+  /// The pipeline's propose callback: forwards the batch into the group
+  /// log as one slot with a per-command reply fan-out.
+  void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
   int OwnerZone(Key key) const;
   OwnerInfo& Info(Key key);
 
   NodeId MasterLeader() const { return GroupLeaderOf(master_zone_); }
 
+  /// Shared client-command intake; control-plane markers, barriers, and
+  /// transfer seeds bypass it via direct GroupSubmit.
+  CommitPipeline pipeline_;
   int master_zone_;
   int default_owner_zone_;
   int migrate_threshold_;

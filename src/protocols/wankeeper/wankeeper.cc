@@ -10,7 +10,11 @@ using wankeeper::TokenReturn;
 using wankeeper::TokenRevoke;
 
 WanKeeperReplica::WanKeeperReplica(NodeId id, Env env)
-    : ZoneGroupNode(id, env) {
+    : ZoneGroupNode(id, env),
+      pipeline_(this, CommitPipeline::Params::FromConfig(config()),
+                [this](CommandBatch batch, std::vector<ClientRequest> origins) {
+                  ProposeBatch(std::move(batch), std::move(origins));
+                }) {
   master_zone_ = static_cast<int>(config().GetParamInt(
       "master_zone", config().topology.is_wan() ? 2 : 1));
   token_threshold_ =
@@ -57,11 +61,25 @@ void WanKeeperReplica::HandleRequest(const ClientRequest& req) {
 }
 
 void WanKeeperReplica::CommitLocally(const ClientRequest& req) {
-  if (!AdmitRequest(req)) return;
-  GroupSubmit(req.cmd, [this, req](Result<Value> result) {
-    ReplyToClient(req, /*ok=*/true,
-                  result.ok() ? result.value() : Value(), result.ok());
-  });
+  pipeline_.Enqueue(req);
+}
+
+void WanKeeperReplica::ProposeBatch(CommandBatch batch,
+                                    std::vector<ClientRequest> origins) {
+  std::vector<DoneFn> dones;
+  dones.reserve(origins.size());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const ClientRequest req = origins[i];
+    const bool last = i + 1 == origins.size();
+    dones.push_back([this, req, last](Result<Value> result) {
+      ReplyToClient(req, /*ok=*/true,
+                    result.ok() ? result.value() : Value(), result.ok());
+      // The whole slot executed once its final command has; free a
+      // window slot so the next batch can form.
+      if (last) pipeline_.SlotClosed();
+    });
+  }
+  GroupSubmitBatch(std::move(batch), std::move(dones));
 }
 
 void WanKeeperReplica::MasterDecide(const ClientRequest& req,
@@ -140,7 +158,9 @@ void WanKeeperReplica::MasterGrant(Key key, TokenState& token, int zone,
   ++grants_;
   // Barrier read through the master group: every in-flight level-2 write
   // to this key executes before the grant's value snapshot is taken, so
-  // the token never travels with a stale value.
+  // the token never travels with a stale value. Admitted-but-unproposed
+  // requests waiting in the intake pipeline must be ordered first.
+  pipeline_.DrainAll();
   Command barrier;
   barrier.op = Command::Op::kGet;
   barrier.key = key;
@@ -194,7 +214,9 @@ void WanKeeperReplica::HandleTokenRevoke(const TokenRevoke& msg) {
   if (!IsGroupLeader()) return;
   tokens_.erase(msg.key);  // new requests now go to the master
   // Barrier read through this zone's group: in-flight local writes to the
-  // key execute before the token returns with the value snapshot.
+  // key execute before the token returns with the value snapshot —
+  // including any still waiting in the intake pipeline.
+  pipeline_.DrainAll();
   const Key key = msg.key;
   Command barrier;
   barrier.op = Command::Op::kGet;

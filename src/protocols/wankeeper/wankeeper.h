@@ -8,6 +8,7 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
 #include "protocols/common/zone_group.h"
 
 namespace paxi {
@@ -94,8 +95,12 @@ class WanKeeperReplica : public ZoneGroupNode {
   void HandleTokenRevoke(const wankeeper::TokenRevoke& msg);
   void HandleTokenReturn(const wankeeper::TokenReturn& msg);
 
-  /// Commits `req`'s command on this zone's group and replies.
+  /// Commits `req`'s command on this zone's group and replies (via the
+  /// shared intake pipeline, so commands batch into group-log slots).
   void CommitLocally(const ClientRequest& req);
+  /// The pipeline's propose callback: forwards the batch into the group
+  /// log as one slot with a per-command reply fan-out.
+  void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
   /// Master: serve `req` at level 2 or move the token, per policy.
   /// `track_policy` is false when re-deciding parked requests after a
   /// token movement (the burst is an artifact, not a locality signal).
@@ -108,6 +113,9 @@ class WanKeeperReplica : public ZoneGroupNode {
 
   NodeId MasterLeader() const { return GroupLeaderOf(master_zone_); }
 
+  /// Shared client-command intake (level-1 and level-2 commits alike);
+  /// token barriers and transfer seeds bypass it via direct GroupSubmit.
+  CommitPipeline pipeline_;
   int master_zone_;
   int token_threshold_;
   Time token_cooldown_;

@@ -7,7 +7,6 @@
 namespace paxi {
 
 using wpaxos::Handoff;
-using wpaxos::ObjEntryWire;
 using wpaxos::P1a;
 using wpaxos::P1b;
 using wpaxos::P2a;
@@ -21,6 +20,7 @@ WPaxosReplica::WPaxosReplica(NodeId id, Env env) : Node(id, env) {
   handoff_cooldown_ =
       config().GetParamInt("handoff_cooldown_ms", 1000) * kMillisecond;
   initial_owner_ = ParseNodeId(config().GetParam("initial_owner", ""));
+  pipeline_params_ = CommitPipeline::Params::FromConfig(config());
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<P1a>([this](const P1a& m) { HandleP1a(m); });
@@ -53,7 +53,7 @@ void WPaxosReplica::RepairStalled() {
       msg.key = key;
       msg.ballot = obj.ballot;
       msg.slot = it->first;
-      msg.cmd = entry.cmd;
+      msg.batch = entry.batch;
       msg.commit_up_to = obj.commit_up_to;
       BroadcastToAll(std::move(msg));
     }
@@ -79,7 +79,7 @@ void WPaxosReplica::Audit(AuditScope& scope) const {
     for (auto e = obj.log.upper_bound(scope.ChosenFrontier(domain));
          e != obj.log.end() && e->first <= obj.commit_up_to; ++e) {
       if (!e->second.committed) continue;
-      scope.Chosen(domain, e->first, DigestCommand(e->second.cmd));
+      scope.Chosen(domain, e->first, DigestCommands(e->second.batch.cmds));
     }
   }
   audit_dirty_.clear();
@@ -131,7 +131,7 @@ void WPaxosReplica::HandleRequest(const ClientRequest& req) {
     TrackAccess(req.cmd.key, obj,
                 req.client_addr.valid() ? req.client_addr.zone
                                         : req.from.zone);
-    Propose(req.cmd.key, req);
+    obj.pipeline->Enqueue(req);
     return;
   }
   if (obj.stealing) {
@@ -177,10 +177,16 @@ void WPaxosReplica::HandleHandoff(const Handoff& msg) {
   Steal(msg.key);
 }
 
+void WPaxosReplica::DeactivateObject(ObjectState& obj) {
+  if (obj.active && obj.pipeline != nullptr) obj.pipeline->Abort();
+  obj.active = false;
+  obj.stealing = false;
+}
+
 void WPaxosReplica::Steal(Key key) {
   ObjectState& obj = Obj(key);
+  DeactivateObject(obj);
   obj.stealing = true;
-  obj.active = false;
   obj.ballot = obj.ballot.Next(id());
   obj.q1 = MakeQuorum(config().zones - fz_);
   obj.q1->Ack(id());
@@ -189,7 +195,7 @@ void WPaxosReplica::Steal(Key key) {
   for (const auto& [slot, entry] : obj.log) {
     if (slot > obj.commit_up_to) {
       obj.recovered.push_back(
-          ObjEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+          SlotEntryWire{slot, entry.ballot, entry.batch, entry.committed});
     }
   }
   ++steals_;
@@ -206,8 +212,7 @@ void WPaxosReplica::HandleP1a(const P1a& msg) {
   reply.key = msg.key;
   if (msg.ballot > obj.ballot) {
     obj.ballot = msg.ballot;
-    obj.active = false;
-    obj.stealing = false;
+    DeactivateObject(obj);
     reply.ok = true;
     // If the requester's watermark fell below our compaction point the
     // missing slots exist only as folded state: ship the snapshot.
@@ -221,7 +226,7 @@ void WPaxosReplica::HandleP1a(const P1a& msg) {
     for (const auto& [slot, entry] : obj.log) {
       if (slot > msg.commit_up_to) {
         reply.entries.push_back(
-            ObjEntryWire{slot, entry.ballot, entry.cmd, entry.committed});
+            SlotEntryWire{slot, entry.ballot, entry.batch, entry.committed});
       }
     }
     // Requests queued or in flight under the old regime chase the new
@@ -230,9 +235,9 @@ void WPaxosReplica::HandleP1a(const P1a& msg) {
     // the handoff policy).
     std::vector<ClientRequest> chase;
     chase.swap(obj.backlog);
-    for (auto& [slot, pending] : obj.pending) {
+    for (auto& [slot, origins] : obj.pending) {
       (void)slot;
-      chase.push_back(pending);
+      for (ClientRequest& r : origins) chase.push_back(std::move(r));
     }
     obj.pending.clear();
     for (const ClientRequest& r : chase) Forward(msg.ballot.id, r);
@@ -248,8 +253,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
   if (!obj.stealing || msg.ballot != obj.ballot) {
     if (msg.ballot > obj.ballot) {
       obj.ballot = msg.ballot;
-      obj.stealing = false;
-      obj.active = false;
+      DeactivateObject(obj);
       // Lost the race: pass the backlog to the winner.
       std::vector<ClientRequest> backlog;
       backlog.swap(obj.backlog);
@@ -274,7 +278,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
 
   // Per slot: a committed report is authoritative; otherwise re-propose
   // the highest-ballot accepted value.
-  std::map<Slot, ObjEntryWire> best;
+  std::map<Slot, SlotEntryWire> best;
   for (const auto& e : obj.recovered) {
     auto it = best.find(e.slot);
     if (it == best.end() || (e.committed && !it->second.committed) ||
@@ -293,7 +297,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
     if (it != obj.log.end() && it->second.committed) continue;
     Entry entry;
     entry.ballot = obj.ballot;
-    entry.cmd = wire.cmd;
+    entry.batch = wire.batch;
     obj.next_slot = std::max(obj.next_slot, slot + 1);
     if (wire.committed) {
       entry.committed = true;
@@ -304,7 +308,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
       refresh.key = msg.key;
       refresh.ballot = obj.ballot;
       refresh.slot = slot;
-      refresh.cmd = obj.log[slot].cmd;
+      refresh.batch = obj.log[slot].batch;
       refresh.commit_up_to = obj.commit_up_to;
       BroadcastToAll(std::move(refresh));
       continue;
@@ -318,7 +322,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
     p2a.key = msg.key;
     p2a.ballot = obj.ballot;
     p2a.slot = slot;
-    p2a.cmd = wire.cmd;
+    p2a.batch = wire.batch;
     p2a.commit_up_to = obj.commit_up_to;
     BroadcastToAll(std::move(p2a));
     if (already) obj.log[slot].committed = true;
@@ -330,29 +334,29 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
   // steal, not a locality signal, and tracking it causes handoff thrash.
   std::vector<ClientRequest> backlog;
   backlog.swap(obj.backlog);
-  for (const ClientRequest& r : backlog) Propose(msg.key, r);
+  for (const ClientRequest& r : backlog) obj.pipeline->Enqueue(r);
 }
 
-void WPaxosReplica::Propose(Key key, const ClientRequest& req) {
+void WPaxosReplica::ProposeBatch(Key key, CommandBatch batch,
+                                 std::vector<ClientRequest> origins) {
   ObjectState& obj = Obj(key);
   PAXI_CHECK(obj.active);
-  if (!AdmitRequest(req)) return;
   const Slot slot = obj.next_slot++;
   Entry entry;
   entry.ballot = obj.ballot;
-  entry.cmd = req.cmd;
+  entry.batch = batch;
   entry.q2 = MakeQuorum(fz_ + 1);
   entry.q2->Ack(id());
   entry.last_sent = Now();
   const bool already_satisfied = entry.q2->Satisfied();
   obj.log[slot] = std::move(entry);
-  obj.pending[slot] = req;
+  obj.pending[slot] = std::move(origins);
 
   P2a msg;
   msg.key = key;
   msg.ballot = obj.ballot;
   msg.slot = slot;
-  msg.cmd = req.cmd;
+  msg.batch = std::move(batch);
   msg.commit_up_to = obj.commit_up_to;
   BroadcastToAll(std::move(msg));
 
@@ -370,8 +374,7 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
   if (msg.ballot >= obj.ballot) {
     if (msg.ballot > obj.ballot) {
       obj.ballot = msg.ballot;
-      obj.active = false;
-      obj.stealing = false;
+      DeactivateObject(obj);
     }
     if (msg.slot > obj.log.snapshot_index()) {
       auto existing = obj.log.find(msg.slot);
@@ -381,7 +384,7 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
         // it. Slots at or below the snapshot watermark stay compacted.
         Entry entry;
         entry.ballot = msg.ballot;
-        entry.cmd = msg.cmd;
+        entry.batch = msg.batch;
         obj.log[msg.slot] = std::move(entry);
       }
     }
@@ -422,6 +425,9 @@ void WPaxosReplica::HandleP2b(const P2b& msg) {
   if (!msg.ok) {
     if (msg.ballot > obj.ballot) {
       obj.ballot = msg.ballot;
+      // Deliberately narrower than DeactivateObject: a concurrent steal
+      // (obj.stealing) must survive a stale round's rejection.
+      if (obj.active && obj.pipeline != nullptr) obj.pipeline->Abort();
       obj.active = false;
     }
     return;
@@ -453,18 +459,24 @@ void WPaxosReplica::ExecuteCommitted(Key key, ObjectState& obj) {
     const Slot slot = obj.execute_up_to + 1;
     auto it = obj.log.find(slot);
     if (it == obj.log.end() || !it->second.committed) break;
-    Result<Value> result = store_.Execute(it->second.cmd);
+    // Advance the frontier before executing: SlotClosed() may re-enter
+    // this loop through the pipeline's flush (propose -> zone-local
+    // quorum already satisfied -> AdvanceCommit), and the re-entrant pass
+    // must not see the slot as still unexecuted.
     ++obj.execute_up_to;
     auto pending = obj.pending.find(slot);
     if (pending != obj.pending.end() && obj.active) {
-      const ClientRequest req = pending->second;
+      const std::vector<ClientRequest> origins = std::move(pending->second);
       obj.pending.erase(pending);
-      ReplyToClient(req, /*ok=*/true,
-                    result.ok() ? result.value() : Value(), result.ok());
+      ExecuteBatchAndReply(it->second.batch, &origins);
+      // Per-slot so every replica snapshots this object at the same
+      // watermark (the auditor cross-checks digests at equal watermarks).
+      // May compact the entry `it` points at — nothing touches it after.
+      MaybeSnapshotObject(key, obj);
+      obj.pipeline->SlotClosed();
+      continue;
     }
-    // Per-slot so every replica snapshots this object at the same
-    // watermark (the auditor cross-checks digests at equal watermarks).
-    // May compact the entry `it` points at — nothing touches it after.
+    ExecuteBatchAndReply(it->second.batch, /*origins=*/nullptr);
     MaybeSnapshotObject(key, obj);
   }
 }

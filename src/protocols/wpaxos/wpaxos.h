@@ -10,6 +10,8 @@
 #include "core/cluster.h"
 #include "core/messages.h"
 #include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
+#include "protocols/common/wire_entry.h"
 #include "quorum/quorum.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
@@ -40,16 +42,11 @@ namespace paxi {
 /// §5.3.
 namespace wpaxos {
 
-struct ObjEntryWire {
-  Slot slot = 0;
-  Ballot ballot;
-  Command cmd;
-  /// True if the reporter knows this slot is committed. Required for
-  /// safety with flexible quorums: under fz=0 a command can be committed
-  /// by the owner's zone alone, so only the old owner can tell the new
-  /// one about it (q1 intersects q2 exactly there).
-  bool committed = false;
-};
+// Per-object log entries travel as the shared SlotEntryWire
+// (protocols/common/wire_entry.h). The `committed` flag matters here:
+// under fz=0 a command can be committed by the owner's zone alone, so
+// only the old owner can tell the new one about it (q1 intersects q2
+// exactly there).
 
 struct P1a : Message {
   Key key = 0;
@@ -64,7 +61,7 @@ struct P1b : Message {
   Ballot ballot;  ///< Current ballot of the responder for this object.
   bool ok = false;
   /// Entries above the requester's watermark, committed or not.
-  std::vector<ObjEntryWire> entries;
+  std::vector<SlotEntryWire> entries;
   /// When the requester's watermark lies below the responder's per-object
   /// compaction point, the missing prefix no longer exists as entries;
   /// the responder ships its object snapshot so the new owner cannot
@@ -73,7 +70,7 @@ struct P1b : Message {
   KeySnapshot snapshot;
 
   std::size_t ByteSize() const override {
-    return 100 + entries.size() * 50 +
+    return 100 + WireBytesOf(entries) +
            (has_snapshot ? snapshot.ByteSizeEstimate() : 0);
   }
 };
@@ -82,8 +79,11 @@ struct P2a : Message {
   Key key = 0;
   Ballot ballot;
   Slot slot = 0;
-  Command cmd;
+  /// The slot's payload: every command the owner packed into it.
+  CommandBatch batch;
   Slot commit_up_to = -1;
+
+  std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
 };
 
 struct P2b : Message {
@@ -130,7 +130,7 @@ class WPaxosReplica : public Node {
  private:
   struct Entry {
     Ballot ballot;
-    Command cmd;
+    CommandBatch batch;
     bool committed = false;
     std::unique_ptr<ZoneMajorityQuorum> q2;
     /// Last (re)broadcast instant; the repair timer only retransmits
@@ -143,7 +143,7 @@ class WPaxosReplica : public Node {
     bool active = false;    ///< This node owns the object.
     bool stealing = false;  ///< Phase-1 in flight.
     std::unique_ptr<ZoneMajorityQuorum> q1;
-    std::vector<wpaxos::ObjEntryWire> recovered;
+    std::vector<SlotEntryWire> recovered;
     LogStorage<Entry> log;
     /// Latest snapshot of this object (taken or installed), served to a
     /// stealer whose watermark fell below the compaction point.
@@ -151,8 +151,15 @@ class WPaxosReplica : public Node {
     Slot next_slot = 0;
     Slot commit_up_to = -1;
     Slot execute_up_to = -1;
-    std::map<Slot, ClientRequest> pending;
+    /// Originating requests per proposed slot, index-aligned with the
+    /// slot's batch — the reply fan-out state.
+    std::map<Slot, std::vector<ClientRequest>> pending;
     std::vector<ClientRequest> backlog;
+    /// Shared request intake for this object (one pipeline per object:
+    /// WPaxos runs an independent commit sequence per key, so batching
+    /// and windowing are per-object too). unique_ptr so ObjectState stays
+    /// default-constructible; created in Obj().
+    std::unique_ptr<CommitPipeline> pipeline;
     // Owner-side handoff policy state.
     int run_zone = 0;
     int run_length = 0;
@@ -169,7 +176,14 @@ class WPaxosReplica : public Node {
   void HandleHandoff(const wpaxos::Handoff& msg);
 
   void Steal(Key key);
-  void Propose(Key key, const ClientRequest& req);
+  /// The per-object CommitPipeline's propose callback: assigns the next
+  /// slot of `key`'s log to `batch`, parks `origins` for the reply
+  /// fan-out, and broadcasts phase-2a over the fz+1-zone grid quorum.
+  void ProposeBatch(Key key, CommandBatch batch,
+                    std::vector<ClientRequest> origins);
+  /// Drops ownership/steal state for `obj`; sheds its pipeline's queued
+  /// requests with a retryable reject when it was actively owned.
+  void DeactivateObject(ObjectState& obj);
   /// Jumps the object to the snapshot's watermark if it is ahead of the
   /// local execute frontier; duplicated or reordered installs are no-ops.
   void InstallObjectSnapshot(Key key, ObjectState& obj,
@@ -185,7 +199,14 @@ class WPaxosReplica : public Node {
   ObjectState& Obj(Key key) {
     if (audit_tracking()) audit_dirty_.insert(key);
     auto [it, inserted] = objects_.try_emplace(key);
-    if (inserted) it->second.log.set_policy(SnapshotPolicy());
+    if (inserted) {
+      it->second.log.set_policy(SnapshotPolicy());
+      it->second.pipeline = std::make_unique<CommitPipeline>(
+          this, pipeline_params_,
+          [this, key](CommandBatch batch, std::vector<ClientRequest> origins) {
+            ProposeBatch(key, std::move(batch), std::move(origins));
+          });
+    }
     return it->second;
   }
   /// Owner of `key` as far as this node knows; Invalid if unowned and no
@@ -194,6 +215,7 @@ class WPaxosReplica : public Node {
   std::unique_ptr<ZoneMajorityQuorum> MakeQuorum(int zones_needed) const;
 
   std::map<Key, ObjectState> objects_;
+  CommitPipeline::Params pipeline_params_;
   int fz_;
   int handoff_threshold_;
   Time handoff_cooldown_;

@@ -104,6 +104,15 @@ std::uint64_t DigestCommand(const Command& cmd) {
 
 std::uint64_t DigestNoop() { return Digest().Mix("noop").value(); }
 
+std::uint64_t DigestCommands(const std::vector<Command>& cmds) {
+  if (cmds.empty()) return DigestNoop();
+  if (cmds.size() == 1) return DigestCommand(cmds.front());
+  Digest d;
+  d.Mix(static_cast<std::uint64_t>(cmds.size()));
+  for (const Command& cmd : cmds) d.Mix(DigestCommand(cmd));
+  return d.value();
+}
+
 // --- Invariant auditing ----------------------------------------------------
 
 void AuditScope::BallotIs(const std::string& domain, const Ballot& ballot) {

@@ -90,6 +90,12 @@ class Digest {
 /// decisions — the agreement invariant compares these across replicas.
 std::uint64_t DigestCommand(const Command& cmd);
 
+/// Digest of a whole slot payload under the commit pipeline: a slot now
+/// carries a command *batch*, and replicas must agree on the entire
+/// sequence. A one-command batch digests exactly like the command alone
+/// (continuity with unbatched logs); an empty batch digests as a no-op.
+std::uint64_t DigestCommands(const std::vector<Command>& cmds);
+
 /// Digest for a no-op / skipped slot (leader-change barriers, Mencius
 /// skips). Distinct from every command digest with overwhelming probability.
 std::uint64_t DigestNoop();

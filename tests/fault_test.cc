@@ -171,6 +171,10 @@ struct RecoveryCase {
   /// zone leadership is fixed by design (matching the paper's scoping).
   NodeId victim;
   bool grid = false;  ///< LanGrid3x3 instead of a 5-node LAN.
+  /// Commit-pipeline batch_max. The batched variants crash the victim
+  /// with multi-command slots in flight and queued intake — recovery must
+  /// neither lose acknowledged commands nor double-apply replayed ones.
+  int batch_max = 1;
 };
 
 class RecoveryTest : public ::testing::TestWithParam<RecoveryCase> {};
@@ -182,6 +186,7 @@ TEST_P(RecoveryTest, ServesTrafficAfterDurableRestart) {
   if (!param.grid) cfg.nodes_per_zone = 5;
   cfg.params["election_timeout_ms"] = "250";
   cfg.params["heartbeat_ms"] = "50";
+  cfg.params["batch_max"] = std::to_string(param.batch_max);
   cfg.client_timeout = 500 * kMillisecond;
 
   Cluster cluster(cfg);
@@ -240,9 +245,13 @@ INSTANTIATE_TEST_SUITE_P(
                       RecoveryCase{"epaxos", NodeId{1, 2}, false},
                       RecoveryCase{"wpaxos", NodeId{1, 2}, true},
                       RecoveryCase{"wankeeper", NodeId{1, 2}, true},
-                      RecoveryCase{"vpaxos", NodeId{1, 2}, true}),
+                      RecoveryCase{"vpaxos", NodeId{1, 2}, true},
+                      RecoveryCase{"paxos", NodeId{1, 1}, false, 8},
+                      RecoveryCase{"raft", NodeId{1, 1}, false, 8},
+                      RecoveryCase{"wankeeper", NodeId{1, 2}, true, 4}),
     [](const ::testing::TestParamInfo<RecoveryCase>& info) {
-      return info.param.protocol;
+      return info.param.batch_max > 1 ? info.param.protocol + "_batched"
+                                      : info.param.protocol;
     });
 
 // Amnesia: the reborn node restarts from zero state and must relearn the
@@ -322,6 +331,10 @@ struct NemesisCase {
   BuiltinNemesis nemesis;
   bool include_reorder = false;
   const char* name = "";
+  /// Commit-pipeline batch_max. Batched variants run the nemesis against
+  /// multi-command slots: duplicated/reordered batch messages and replayed
+  /// client requests must stay at-most-once across batch boundaries.
+  int batch_max = 1;
 };
 
 class BuiltinNemesisTest : public ::testing::TestWithParam<NemesisCase> {};
@@ -333,6 +346,7 @@ TEST_P(BuiltinNemesisTest, StaysSafeAndRecovers) {
   cfg.nodes_per_zone = 5;
   cfg.params["election_timeout_ms"] = "250";
   cfg.params["heartbeat_ms"] = "50";
+  cfg.params["batch_max"] = std::to_string(param.batch_max);
   cfg.client_timeout = 500 * kMillisecond;
 
   Cluster cluster(cfg);
@@ -400,7 +414,13 @@ INSTANTIATE_TEST_SUITE_P(
         // Mencius depends on FIFO links: flaky/duplicate are fine, the
         // reorder fault must stay off (see mencius.h).
         NemesisCase{"mencius", BuiltinNemesis::kFlakyEverything, false,
-                    "mencius_flaky"}),
+                    "mencius_flaky"},
+        NemesisCase{"paxos", BuiltinNemesis::kFlakyEverything, true,
+                    "paxos_flaky_batched", 8},
+        NemesisCase{"paxos", BuiltinNemesis::kRollingCrashRestart, false,
+                    "paxos_rolling_restart_batched", 8},
+        NemesisCase{"raft", BuiltinNemesis::kRandomPartitioner, false,
+                    "raft_partitions_batched", 4}),
     [](const ::testing::TestParamInfo<NemesisCase>& info) {
       return info.param.name;
     });

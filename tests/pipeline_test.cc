@@ -1,0 +1,292 @@
+// Commit-pipeline tests (protocols/common/commit_pipeline.h): batch
+// assembly and slot amortization, the in-flight window, the batch_wait
+// timer, per-batch reply fan-out, and — the part that earns its keep —
+// safety under faults with batching on: crash-restart mid-batch,
+// duplicated/reordered batch messages, and at-most-once admission across
+// batch boundaries, all with linearizability plus fail-fast invariant
+// audits.
+
+#include <cstdlib>
+#include <string>
+
+#include "benchmark/runner.h"
+#include "checker/linearizability.h"
+#include "core/cluster.h"
+#include "fault/nemesis.h"
+#include "fault/schedule.h"
+#include "gtest/gtest.h"
+#include "sim/auditor.h"
+#include "test_util.h"
+
+namespace paxi {
+namespace {
+
+class ScopedAudit {
+ public:
+  ScopedAudit() { setenv("PAXI_AUDIT", "1", 1); }
+  ~ScopedAudit() { unsetenv("PAXI_AUDIT"); }
+};
+
+/// Runs a standard closed-loop benchmark on `cfg` and returns the result
+/// with per-op records for the linearizability checker.
+BenchResult RunStandard(Cluster& cluster, double duration_s,
+                        int clients_per_zone = 8) {
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = clients_per_zone;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = duration_s;
+  options.record_ops = true;
+  BenchRunner runner(&cluster, options);
+  return runner.Run();
+}
+
+void ExpectLinearizable(const BenchResult& result, const std::string& what) {
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << what << ": " << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+// ---------------------------------------------------------------------------
+// Batching mechanics.
+// ---------------------------------------------------------------------------
+
+// Batching amortizes log slots: at saturation a batched leader commits
+// the same ops in far fewer slots. The per-slot audit digests (fail-fast
+// auditor) must agree across replicas either way.
+TEST(CommitPipelineTest, BatchingPacksMultipleCommandsPerSlot) {
+  ScopedAudit audit;
+  double ops_per_slot[2] = {0, 0};
+  const int batches[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    Config cfg = Config::Lan9("paxos");
+    cfg.nodes_per_zone = 5;
+    cfg.params["batch_max"] = std::to_string(batches[i]);
+    Cluster cluster(cfg);
+    const BenchResult result = RunStandard(cluster, 2.0, /*clients=*/40);
+    const Node::LogStats stats = cluster.node(NodeId{1, 1})->GetLogStats();
+    ASSERT_GT(stats.applied, 0) << "batch_max=" << batches[i];
+    ops_per_slot[i] = static_cast<double>(result.completed) /
+                      static_cast<double>(stats.applied);
+    ExpectLinearizable(result,
+                       "paxos batch_max=" + std::to_string(batches[i]));
+    ASSERT_NE(cluster.auditor(), nullptr);
+    EXPECT_TRUE(cluster.auditor()->violations().empty());
+  }
+  // The batched run must pack well over 2x the commands per slot (the
+  // exact fill depends on the closed-loop race between arrivals and slot
+  // closes, but at 40 clients it is deep).
+  EXPECT_GT(ops_per_slot[1], ops_per_slot[0] * 2.0);
+}
+
+// A 1-slot window serializes slots entirely; the pipeline must still
+// drain its queue through repeated SlotClosed flushes.
+TEST(CommitPipelineTest, SingleSlotWindowStillDrains) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["batch_max"] = "4";
+  cfg.params["pipeline_window"] = "1";
+  Cluster cluster(cfg);
+  const BenchResult result = RunStandard(cluster, 2.0);
+  EXPECT_GT(result.completed, 200u);
+  EXPECT_EQ(result.errors, 0u);
+  ExpectLinearizable(result, "paxos window=1");
+}
+
+// batch_wait_us holds partial batches for stragglers: at trickle load the
+// timer — not the window — is what flushes, and every op must still
+// complete (no forgotten batches).
+TEST(CommitPipelineTest, BatchWaitTimerFlushesPartialBatches) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["batch_max"] = "8";
+  cfg.params["batch_wait_us"] = "300";
+  Cluster cluster(cfg);
+  const BenchResult result = RunStandard(cluster, 2.0, /*clients=*/2);
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_EQ(result.errors, 0u);
+  // Every op waits out (some of) the 300us hold, so mean latency must
+  // carry it; it is a hold, not a stall.
+  EXPECT_GT(result.MeanLatencyMs(), 0.3);
+  EXPECT_LT(result.MeanLatencyMs(), 5.0);
+  ExpectLinearizable(result, "paxos batch_wait");
+}
+
+// Reply fan-out: with batching on, every client of a multi-command slot
+// gets its own reply (closed-loop clients would starve otherwise).
+TEST(CommitPipelineTest, EveryBatchedCommandGetsItsReply) {
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["batch_max"] = "8";
+  Cluster cluster(cfg);
+  const BenchResult result = RunStandard(cluster, 2.0, /*clients=*/40);
+  EXPECT_GT(result.completed, 1000u);
+  // Every issued op gets a reply before the client timeout: a dropped
+  // done callback anywhere in the fan-out shows up as a timeout error.
+  EXPECT_EQ(result.errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batching under faults: the acceptance checklist.
+// ---------------------------------------------------------------------------
+
+// Crash-restart mid-batch: the leader dies with batched slots in flight
+// and queued intake; recovery must neither lose acknowledged commands
+// nor double-apply replayed ones.
+TEST(PipelineFaultTest, LeaderCrashRestartMidBatchStaysLinearizable) {
+  ScopedAudit audit;
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["batch_max"] = "8";
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{
+      1500 * kMillisecond,
+      FaultAction::Restart(NodeId{1, 1}, 400 * kMillisecond,
+                           Cluster::RestartMode::kDurable)});
+  Nemesis nemesis(&cluster, schedule, nullptr);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 8;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(result.completed, 500u);
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+  ExpectLinearizable(result, "paxos batched leader restart");
+}
+
+// Duplicated and reordered batch messages, plus duplicated client
+// requests: at-most-once admission must hold across batch boundaries (a
+// replayed request may race its original into a different batch), and
+// re-delivered CommandBatch messages must not re-execute.
+TEST(PipelineFaultTest, DuplicatedReorderedBatchesStayAtMostOnce) {
+  ScopedAudit audit;
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 5;
+  cfg.params["batch_max"] = "8";
+  cfg.params["election_timeout_ms"] = "250";
+  cfg.params["heartbeat_ms"] = "50";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  NemesisOptions opts;
+  opts.start = kSecond;
+  opts.period = 1500 * kMillisecond;
+  opts.fault_duration = 600 * kMillisecond;
+  opts.horizon = 4 * kSecond;
+  opts.seed = 0xC0FFEE;
+  opts.include_reorder = true;
+  Nemesis nemesis(&cluster,
+                  MakeBuiltinSchedule(BuiltinNemesis::kFlakyEverything,
+                                      cfg.Nodes(), cluster.leader(), opts),
+                  nullptr);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 8;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.5;
+  options.record_ops = true;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(nemesis.executed(), 0u);
+  EXPECT_GT(result.completed, 200u);
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+  ExpectLinearizable(result, "paxos batched flaky links");
+}
+
+// Group-log batching under a mid-run restart: a WanKeeper zone follower
+// dies while batched GroupP2as are in flight; the fill/snapshot catch-up
+// path now carries batches and must reconverge on identical digests.
+TEST(PipelineFaultTest, GroupLogBatchingSurvivesFollowerRestart) {
+  ScopedAudit audit;
+  Config cfg = Config::LanGrid3x3("wankeeper");
+  cfg.params["batch_max"] = "4";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{
+      1500 * kMillisecond,
+      FaultAction::Restart(NodeId{1, 2}, 400 * kMillisecond,
+                           Cluster::RestartMode::kDurable)});
+  Nemesis nemesis(&cluster, schedule, nullptr);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 6;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(result.completed, 500u);
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+  ExpectLinearizable(result, "wankeeper batched follower restart");
+}
+
+// ---------------------------------------------------------------------------
+// Every protocol runs with batching on.
+// ---------------------------------------------------------------------------
+
+struct BatchedCase {
+  std::string protocol;
+  bool grid = false;
+};
+
+class BatchedProtocolTest : public ::testing::TestWithParam<BatchedCase> {};
+
+TEST_P(BatchedProtocolTest, BatchedRunIsLinearizableWithCleanAudits) {
+  const BatchedCase& param = GetParam();
+  ScopedAudit audit;
+  Config cfg = param.grid ? Config::LanGrid3x3(param.protocol)
+                          : Config::Lan9(param.protocol);
+  if (!param.grid) cfg.nodes_per_zone = 5;
+  cfg.params["batch_max"] = "4";
+
+  Cluster cluster(cfg);
+  const BenchResult result = RunStandard(cluster, 2.0);
+  EXPECT_GT(result.completed, 200u) << param.protocol;
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty()) << param.protocol;
+  ExpectLinearizable(result, param.protocol + " batched");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, BatchedProtocolTest,
+    ::testing::Values(BatchedCase{"paxos", false}, BatchedCase{"fpaxos", false},
+                      BatchedCase{"raft", false},
+                      BatchedCase{"mencius", false},
+                      BatchedCase{"epaxos", false}, BatchedCase{"wpaxos", true},
+                      BatchedCase{"wankeeper", true},
+                      BatchedCase{"vpaxos", true}),
+    [](const ::testing::TestParamInfo<BatchedCase>& info) {
+      return info.param.protocol;
+    });
+
+}  // namespace
+}  // namespace paxi
