@@ -1,0 +1,48 @@
+#ifndef PAXI_COMMON_DIGEST_H_
+#define PAXI_COMMON_DIGEST_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace paxi {
+
+/// FNV-1a accumulator, the repo's one fingerprinting primitive: the
+/// invariant auditor digests chosen commands with it, snapshots digest
+/// restored key state, and the model checker (src/mc) digests whole node
+/// states and in-flight messages for visited-state deduplication. It
+/// lives in common/ so that headers below sim/ (net/message.h, the
+/// protocol message structs) can compute content digests without pulling
+/// in the auditor.
+///
+/// Determinism contract: Mix only value types and deterministically
+/// ordered sequences — never pointers, never unordered-container
+/// iteration order (tools/determinism_lint.py polices the sources).
+class Digest {
+ public:
+  Digest& Mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (x >> (8 * i)) & 0xffu;
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Digest& Mix(std::string_view s) {
+    for (const char c : s) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= kPrime;
+    }
+    Mix(static_cast<std::uint64_t>(s.size()));
+    return *this;
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_DIGEST_H_

@@ -1,5 +1,6 @@
 #include "core/cluster.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/check.h"
@@ -53,10 +54,13 @@ std::vector<std::string> RegisteredProtocols() {
   RegisterBuiltinProtocols();
   std::vector<std::string> names;
   names.reserve(Registry().size());
+  // Registry iteration order is a hash artifact; sort so every consumer
+  // (CLIs, sweep matrices, docs) sees a stable listing.
   for (const auto& [name, entry] : Registry()) {
     (void)entry;
     names.push_back(name);
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -197,6 +201,24 @@ void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
     if (auditor_ != nullptr) auditor_->Watch(raw);
     raw->Start();
   });
+}
+
+InvariantAuditor* Cluster::EnableAuditing(bool fail_fast) {
+  if (auditor_ == nullptr) {
+    auditor_ = std::make_unique<InvariantAuditor>(fail_fast);
+    sim_->AddObserver(auditor_.get());
+    for (const NodeId& id : node_ids_) {
+      if (auto it = nodes_.find(id); it != nodes_.end()) {
+        auditor_->Watch(it->second.get());
+      }
+    }
+  } else {
+    // Already auditing (PAXI_AUDIT_INVARIANTS build or PAXI_AUDIT=1):
+    // keep the watch set, just adopt the requested failure mode so a
+    // model-checking run records violations instead of aborting.
+    auditor_->set_fail_fast(fail_fast);
+  }
+  return auditor_.get();
 }
 
 void Cluster::SetClockSkew(NodeId id, double factor) {

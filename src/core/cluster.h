@@ -120,6 +120,14 @@ class Cluster {
   /// build or PAXI_AUDIT=1 in the environment); nullptr otherwise.
   InvariantAuditor* auditor() { return auditor_.get(); }
 
+  /// Turns invariant auditing on for this cluster regardless of build
+  /// flags or environment, in the requested failure mode, and returns the
+  /// auditor. Idempotent; when auditing was already active only the
+  /// failure mode is adopted. The model checker (src/mc) runs every
+  /// explored universe with `fail_fast=false` so violations are recorded
+  /// with their schedule instead of aborting the explorer.
+  InvariantAuditor* EnableAuditing(bool fail_fast);
+
  private:
   Config config_;
   ProtocolTraits traits_;

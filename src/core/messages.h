@@ -45,6 +45,22 @@ struct CommandBatch {
     batch.cmds.push_back(std::move(cmd));
     return batch;
   }
+
+  /// Payload digest for Message::ContentDigest overrides. Mirrors the
+  /// auditor's DigestCommands shape (order-sensitive over the batch) but
+  /// is defined here so message headers need not depend on sim/auditor.h.
+  std::uint64_t ContentDigest() const {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(cmds.size()));
+    for (const Command& cmd : cmds) {
+      d.Mix(cmd.op == Command::Op::kPut ? 2u : 1u)
+          .Mix(static_cast<std::uint64_t>(cmd.key))
+          .Mix(cmd.value)
+          .Mix(static_cast<std::uint64_t>(cmd.client))
+          .Mix(static_cast<std::uint64_t>(cmd.request));
+    }
+    return d.value();
+  }
 };
 
 /// Client -> replica: execute one command. Any replica may receive this;
@@ -59,6 +75,17 @@ struct ClientRequest : Message {
   Time issued_at = 0;
 
   std::size_t ByteSize() const override { return 100; }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(cmd.op == Command::Op::kPut ? 2u : 1u)
+        .Mix(static_cast<std::uint64_t>(cmd.key))
+        .Mix(cmd.value)
+        .Mix(static_cast<std::uint64_t>(cmd.client))
+        .Mix(static_cast<std::uint64_t>(cmd.request))
+        .Mix(std::hash<NodeId>()(client_addr));
+    return d.value();
+  }
 };
 
 /// Replica -> client: outcome of a command.
@@ -74,6 +101,17 @@ struct ClientReply : Message {
   NodeId leader_hint = NodeId::Invalid();
 
   std::size_t ByteSize() const override { return 100; }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(request))
+        .Mix(static_cast<std::uint64_t>(client))
+        .Mix(ok ? 1u : 0u)
+        .Mix(value)
+        .Mix(found ? 1u : 0u)
+        .Mix(std::hash<NodeId>()(leader_hint));
+    return d.value();
+  }
 };
 
 }  // namespace paxi

@@ -130,6 +130,20 @@ void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
   Send(req.client_addr, std::move(reply));
 }
 
+std::uint64_t Node::StateDigest() const {
+  Digest d;
+  d.Mix(store_.StateDigest());
+  d.Mix(static_cast<std::uint64_t>(sessions_.size()));
+  for (const auto& [client, session] : sessions_) {  // std::map: ordered
+    d.Mix(static_cast<std::uint64_t>(client))
+        .Mix(static_cast<std::uint64_t>(session.newest))
+        .Mix(session.replied ? 1u : 0u)
+        .Mix(session.value)
+        .Mix(session.found ? 1u : 0u);
+  }
+  return d.value();
+}
+
 void Node::Crash(Time duration) {
   crashed_until_ = std::max(crashed_until_, sim_->Now() + duration);
   busy_until_ = std::max(busy_until_, crashed_until_);

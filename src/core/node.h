@@ -55,6 +55,19 @@ class Node : public Endpoint, public Auditable {
   /// report ballots and chosen slots. Default: nothing to audit.
   void Audit(AuditScope& scope) const override { (void)scope; }
 
+  /// Deterministic fingerprint of this replica's protocol-visible state,
+  /// the per-node ingredient of the model checker's visited-state
+  /// deduplication (src/mc). The base covers what every Node owns — the
+  /// state machine and the client write sessions; protocols override to
+  /// additionally mix ballots, logs, watermarks and role state (always
+  /// folding in Node::StateDigest()). Two states with equal digests are
+  /// treated as the same exploration node, so anything that changes how a
+  /// replica can behave from here on MUST feed the digest; transient
+  /// plumbing (counters, busy_until_) must not, or equivalent states stop
+  /// deduplicating. Digests must be pure (no iteration over unordered
+  /// containers).
+  virtual std::uint64_t StateDigest() const;
+
   /// Arrival of a message: models the processing queue, then dispatches to
   /// the handler registered for the message's dynamic type.
   void Deliver(MessagePtr msg) final;

@@ -1,0 +1,331 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/digest.h"
+#include "mc/linearizability.h"
+#include "mc/universe.h"
+
+namespace paxi {
+
+namespace {
+
+/// How many sleep-set signatures the visited table keeps per state digest.
+/// Arriving at a full entry with an incompatible signature re-explores the
+/// state — sound, just redundant — so a small cap bounds memory without
+/// risking missed states.
+constexpr std::size_t kMaxSigsPerDigest = 8;
+
+/// One schedule choice. Deliver/drop choices carry both their replayable
+/// identity (park_id, deterministic per prefix) and their path-independent
+/// identity (content_key + destination, for sleep sets across branches).
+struct Choice {
+  enum class Kind { kDeliver, kDrop, kTimer, kCrash };
+
+  Kind kind = Kind::kTimer;
+  std::uint64_t park_id = 0;
+  std::size_t crash_index = 0;
+  std::uint64_t content_key = 0;
+  NodeId to;
+};
+
+/// A sleeping choice: skip it until a dependent choice wakes it.
+struct SleepEntry {
+  Choice::Kind kind = Choice::Kind::kDeliver;
+  std::uint64_t content_key = 0;
+  NodeId to;
+};
+
+struct PathStep {
+  Choice choice;
+  std::string label;
+};
+
+struct Frame {
+  std::vector<Choice> choices;  ///< Enabled minus inherited sleepers.
+  std::size_t next = 0;
+  std::vector<SleepEntry> sleep;  ///< Inherited + explored siblings.
+};
+
+/// Commutativity: two deliveries/drops touch disjoint state iff they land
+/// on different nodes (each mutates only its destination replica plus its
+/// own parked entry). Timer advances and crashes touch global state — the
+/// clock, every armed timer, the membership — so they are dependent with
+/// everything.
+bool Independent(const SleepEntry& sleeper, const Choice& chosen) {
+  if (sleeper.kind != Choice::Kind::kDeliver &&
+      sleeper.kind != Choice::Kind::kDrop) {
+    return false;
+  }
+  if (chosen.kind != Choice::Kind::kDeliver &&
+      chosen.kind != Choice::Kind::kDrop) {
+    return false;
+  }
+  return !(sleeper.to == chosen.to);
+}
+
+bool InSleep(const std::vector<SleepEntry>& sleep, const Choice& c) {
+  if (c.kind != Choice::Kind::kDeliver && c.kind != Choice::Kind::kDrop) {
+    return false;
+  }
+  for (const SleepEntry& e : sleep) {
+    if (e.kind == c.kind && e.content_key == c.content_key) return true;
+  }
+  return false;
+}
+
+std::uint64_t SleepKey(const SleepEntry& e) {
+  Digest d;
+  d.Mix(e.kind == Choice::Kind::kDrop ? 1u : 0u);
+  d.Mix(e.content_key);
+  return d.value();
+}
+
+/// Sorted, deduplicated signature of a sleep set, for the visited table.
+std::vector<std::uint64_t> SleepSignature(
+    const std::vector<SleepEntry>& sleep) {
+  std::vector<std::uint64_t> sig;
+  sig.reserve(sleep.size());
+  for (const SleepEntry& e : sleep) sig.push_back(SleepKey(e));
+  std::sort(sig.begin(), sig.end());
+  sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+  return sig;
+}
+
+/// Both sorted + deduplicated.
+bool IsSubset(const std::vector<std::uint64_t>& inner,
+              const std::vector<std::uint64_t>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(), inner.end());
+}
+
+/// Every choice enabled at the universe's current state. Parked messages
+/// with identical content keys are collapsed to one representative:
+/// delivering (or dropping) either leads to digest-identical states.
+std::vector<Choice> EnumerateEnabled(const McUniverse& universe,
+                                     const McScenario& scenario) {
+  std::vector<Choice> enabled;
+  std::unordered_set<std::uint64_t> seen_keys;
+  for (const McUniverse::Parked& p : universe.parked()) {
+    const std::uint64_t key = McUniverse::ContentKey(p);
+    if (!seen_keys.insert(key).second) continue;
+    Choice c;
+    c.kind = Choice::Kind::kDeliver;
+    c.park_id = p.id;
+    c.content_key = key;
+    c.to = p.to;
+    enabled.push_back(c);
+  }
+  if (universe.drops_left() > 0) {
+    const std::size_t num_delivers = enabled.size();
+    for (std::size_t i = 0; i < num_delivers; ++i) {
+      Choice c = enabled[i];
+      c.kind = Choice::Kind::kDrop;
+      enabled.push_back(c);
+    }
+  }
+  if (universe.timer_steps_left() > 0 && universe.HasPendingEvents() &&
+      (scenario.explore_timeouts || universe.parked().empty())) {
+    Choice c;
+    c.kind = Choice::Kind::kTimer;
+    enabled.push_back(c);
+  }
+  for (std::size_t i = 0; i < universe.num_crashes(); ++i) {
+    if (!universe.CrashEnabled(i)) continue;
+    Choice c;
+    c.kind = Choice::Kind::kCrash;
+    c.crash_index = i;
+    enabled.push_back(c);
+  }
+  return enabled;
+}
+
+std::string NodeIdStr(const NodeId& id) {
+  return std::to_string(id.zone) + "." + std::to_string(id.node);
+}
+
+/// Human-readable label; must be computed *before* applying the choice
+/// (the parked entry is gone afterwards).
+std::string LabelFor(const McUniverse& universe, const McScenario& scenario,
+                     const Choice& c) {
+  switch (c.kind) {
+    case Choice::Kind::kDeliver:
+      return "deliver " + universe.DescribeParked(c.park_id);
+    case Choice::Kind::kDrop:
+      return "drop " + universe.DescribeParked(c.park_id);
+    case Choice::Kind::kTimer:
+      return "timer";
+    case Choice::Kind::kCrash:
+      return "crash " + NodeIdStr(scenario.crashes[c.crash_index].node);
+  }
+  return "?";
+}
+
+void Apply(McUniverse& universe, const Choice& c) {
+  switch (c.kind) {
+    case Choice::Kind::kDeliver:
+      universe.DeliverParked(c.park_id);
+      return;
+    case Choice::Kind::kDrop:
+      universe.DropParked(c.park_id);
+      return;
+    case Choice::Kind::kTimer:
+      universe.AdvanceTimer();
+      return;
+    case Choice::Kind::kCrash:
+      universe.InjectCrash(c.crash_index);
+      return;
+  }
+}
+
+}  // namespace
+
+McResult Explore(const McScenario& scenario, const McBudget& budget) {
+  McResult result;
+
+  // digest -> sleep signatures it was expanded under. A state is pruned
+  // only when some stored signature is a SUBSET of the current one: the
+  // earlier expansion explored all-but-stored, a superset of all-but-now.
+  std::unordered_map<std::uint64_t, std::vector<std::vector<std::uint64_t>>>
+      visited;
+
+  std::vector<Frame> stack;
+  std::vector<PathStep> path;
+
+  auto universe = std::make_unique<McUniverse>(scenario);
+  bool universe_current = true;
+  std::size_t retired_events = 0;  ///< From universes already destroyed.
+
+  const auto record_violation = [&](const std::vector<std::string>& v) {
+    result.violation_found = true;
+    result.violations = v;
+    result.schedule.clear();
+    for (const PathStep& step : path) result.schedule.push_back(step.label);
+  };
+
+  const auto over_budget = [&] {
+    return result.stats.executions >= budget.max_executions ||
+           visited.size() >= budget.max_states ||
+           retired_events + universe->events_executed() >= budget.max_events;
+  };
+
+  // Evaluates the universe's current state (just arrived via `path`) under
+  // the given inherited sleep set. Pushes a frame and returns true to
+  // descend; returns false for a leaf (violation, terminal, pruned, or
+  // depth-capped).
+  const auto visit_state = [&](std::vector<SleepEntry> inherited) -> bool {
+    if (!universe->violations().empty()) {
+      record_violation(universe->violations());
+      return false;
+    }
+    if (path.size() >= budget.max_depth) {
+      ++result.stats.truncated_depth;
+      return false;
+    }
+
+    const std::uint64_t digest = universe->StateDigest();
+    std::vector<std::uint64_t> sig = SleepSignature(inherited);
+    auto it = visited.find(digest);
+    if (it != visited.end()) {
+      for (const std::vector<std::uint64_t>& stored : it->second) {
+        if (IsSubset(stored, sig)) {
+          ++result.stats.dedup_hits;
+          return false;
+        }
+      }
+      if (it->second.size() < kMaxSigsPerDigest) it->second.push_back(sig);
+    } else {
+      visited.emplace(digest,
+                      std::vector<std::vector<std::uint64_t>>{std::move(sig)});
+    }
+
+    std::vector<Choice> enabled = EnumerateEnabled(*universe, scenario);
+    if (enabled.empty()) {
+      // Terminal: the schedule is complete; check the client-visible
+      // history.
+      ++result.stats.executions;
+      if (scenario.check_linearizability) {
+        std::string error;
+        if (!CheckLinearizability(universe->op_records(), &error)) {
+          record_violation({error});
+        }
+      }
+      return false;
+    }
+
+    Frame frame;
+    frame.sleep = std::move(inherited);
+    for (Choice& c : enabled) {
+      if (InSleep(frame.sleep, c)) {
+        ++result.stats.sleep_skips;
+      } else {
+        frame.choices.push_back(c);
+      }
+    }
+    if (frame.choices.empty()) return false;  // whole fringe asleep
+    stack.push_back(std::move(frame));
+    return true;
+  };
+
+  visit_state({});
+
+  while (!stack.empty() && !result.violation_found) {
+    if (over_budget()) {
+      result.budget_exhausted = true;
+      break;
+    }
+    Frame& frame = stack.back();
+    if (frame.next >= frame.choices.size()) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      universe_current = false;
+      continue;
+    }
+    const Choice chosen = frame.choices[frame.next++];
+
+    // Child inherits the sleepers that commute with this choice; the
+    // choice itself then sleeps for the remaining siblings' subtrees.
+    std::vector<SleepEntry> child_sleep;
+    for (const SleepEntry& e : frame.sleep) {
+      if (Independent(e, chosen)) child_sleep.push_back(e);
+    }
+    if (chosen.kind == Choice::Kind::kDeliver ||
+        chosen.kind == Choice::Kind::kDrop) {
+      frame.sleep.push_back(
+          SleepEntry{chosen.kind, chosen.content_key, chosen.to});
+    }
+
+    if (!universe_current) {
+      retired_events += universe->events_executed();
+      universe = std::make_unique<McUniverse>(scenario);
+      for (const PathStep& step : path) {
+        Apply(*universe, step.choice);
+        ++result.stats.replay_transitions;
+      }
+      universe_current = true;
+    }
+
+    std::string label = LabelFor(*universe, scenario, chosen);
+    Apply(*universe, chosen);
+    ++result.stats.transitions;
+    path.push_back(PathStep{chosen, std::move(label)});
+
+    if (!visit_state(std::move(child_sleep))) {
+      if (result.violation_found) break;
+      path.pop_back();
+      universe_current = false;
+    }
+  }
+
+  result.stats.distinct_states = visited.size();
+  result.stats.events_executed = retired_events + universe->events_executed();
+  return result;
+}
+
+}  // namespace paxi

@@ -1,0 +1,26 @@
+#ifndef PAXI_MC_EXPLORER_H_
+#define PAXI_MC_EXPLORER_H_
+
+#include "mc/scenario.h"
+
+namespace paxi {
+
+/// Systematically explores the message-delivery interleavings (plus
+/// bounded drops, timer advances and configured crashes) of `scenario`,
+/// checking protocol invariants after every choice and linearizability at
+/// every terminal state. Stops at the first violation, returning its
+/// schedule as a replayable counterexample, or runs until the tree or a
+/// budget is exhausted.
+///
+/// Reduction, both sound for safety properties:
+///   - State dedup: a state digest already visited with a compatible (⊆)
+///     sleep set is not re-expanded.
+///   - Sleep sets: after a choice is explored at a state, later siblings'
+///     subtrees skip it until a dependent choice wakes it. Two choices are
+///     independent iff both are deliver/drop to *different* nodes; timer
+///     and crash choices are conservatively dependent with everything.
+McResult Explore(const McScenario& scenario, const McBudget& budget = {});
+
+}  // namespace paxi
+
+#endif  // PAXI_MC_EXPLORER_H_

@@ -1,0 +1,146 @@
+#include "mc/linearizability.h"
+
+#include <cstdint>
+#include <map>
+
+#include "common/check.h"
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace paxi {
+
+namespace {
+
+/// One operation of a per-key history, reduced to what the checker needs.
+struct LinOp {
+  bool is_put = false;
+  Value put_value;       ///< Payload when is_put.
+  bool must = false;     ///< Completed with a definite outcome: must appear.
+  bool observed_found = false;  ///< Get outcome (valid when must && !is_put).
+  Value observed_value;         ///< Get outcome (valid when observed_found).
+  int issued_step = 0;
+  int completed_step = -1;  ///< -1: no response; effect is optional.
+};
+
+/// A must-op precedes another op when it responded strictly before the
+/// other was issued. Ops without a definite response precede nothing.
+bool Precedes(const LinOp& a, const LinOp& b) {
+  return a.must && a.completed_step >= 0 && a.completed_step < b.issued_step;
+}
+
+/// DFS over linearization orders of one key's history. State is (set of
+/// linearized ops, index of the last linearized put), which fully
+/// determines the register; failed states are memoized.
+class KeySearch {
+ public:
+  explicit KeySearch(const std::vector<LinOp>& ops) : ops_(ops) {}
+
+  bool Solve() { return Extend(/*mask=*/0, /*last_put=*/-1); }
+
+ private:
+  bool Extend(std::uint32_t mask, int last_put) {
+    bool all_must_done = true;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].must && (mask & (1u << i)) == 0) {
+        all_must_done = false;
+        break;
+      }
+    }
+    if (all_must_done) return true;  // leftover optional ops simply never ran
+
+    const std::uint64_t memo_key =
+        static_cast<std::uint64_t>(mask) * (ops_.size() + 1) +
+        static_cast<std::uint64_t>(last_put + 1);
+    if (failed_.count(memo_key) != 0) return false;
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask & (1u << i)) != 0) continue;
+      if (!Minimal(mask, i)) continue;
+      const LinOp& op = ops_[i];
+      if (op.must && !op.is_put) {
+        // A definite Get pins the register: it must have observed exactly
+        // the latest linearized Put (or absence before any).
+        const bool found = last_put >= 0;
+        if (op.observed_found != found) continue;
+        if (found && op.observed_value != ops_[last_put].put_value) continue;
+      }
+      const int next_last_put = op.is_put ? static_cast<int>(i) : last_put;
+      if (Extend(mask | (1u << i), next_last_put)) return true;
+    }
+    failed_.insert(memo_key);
+    return false;
+  }
+
+  /// No unlinearized op precedes `i` — the real-time order admits `i` next.
+  bool Minimal(std::uint32_t mask, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || (mask & (1u << j)) != 0) continue;
+      if (Precedes(ops_[j], ops_[i])) return false;
+    }
+    return true;
+  }
+
+  const std::vector<LinOp>& ops_;
+  std::unordered_set<std::uint64_t> failed_;
+};
+
+std::string DescribeOp(const LinOp& op) {
+  std::string s = op.is_put ? "put(" + op.put_value + ")" : "get";
+  s += " issued@" + std::to_string(op.issued_step);
+  if (op.completed_step < 0) {
+    s += " no-response";
+  } else if (!op.must) {
+    s += " timed-out@" + std::to_string(op.completed_step);
+  } else {
+    s += " done@" + std::to_string(op.completed_step);
+    if (!op.is_put) {
+      s += op.observed_found ? " -> " + op.observed_value : " -> not-found";
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+bool CheckLinearizability(const std::vector<McUniverse::OpRecord>& records,
+                          std::string* error) {
+  // Keys are independent registers: check each history separately.
+  std::map<Key, std::vector<LinOp>> by_key;
+  for (const McUniverse::OpRecord& record : records) {
+    if (record.issued_step < 0) continue;  // never entered the history
+    LinOp op;
+    op.is_put = record.op.kind == McOp::Kind::kPut;
+    op.put_value = record.op.value;
+    op.issued_step = record.issued_step;
+    op.completed_step = record.completed_step;
+    const bool definite =
+        record.completed_step >= 0 &&
+        (record.reply.status.ok() || record.reply.status.IsNotFound());
+    op.must = definite;
+    if (definite && !op.is_put) {
+      op.observed_found = record.reply.found;
+      op.observed_value = record.reply.value;
+    }
+    // A Get without a definite outcome observed nothing and obliges
+    // nothing — drop it rather than widen the search.
+    if (!op.is_put && !definite) continue;
+    by_key[record.op.key].push_back(op);
+  }
+
+  for (auto& [key, ops] : by_key) {
+    PAXI_CHECK(ops.size() < 32, "linearizability: history too long");
+    KeySearch search(ops);
+    if (search.Solve()) continue;
+    if (error != nullptr) {
+      std::string msg =
+          "no linearization for key " + std::to_string(key) + ":";
+      for (const LinOp& op : ops) msg += " [" + DescribeOp(op) + "]";
+      *error = msg;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace paxi

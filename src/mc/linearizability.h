@@ -1,0 +1,35 @@
+#ifndef PAXI_MC_LINEARIZABILITY_H_
+#define PAXI_MC_LINEARIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "mc/universe.h"
+
+namespace paxi {
+
+/// Checks that the client operations of a terminal universe are
+/// linearizable per key under register semantics (a Get observes the
+/// latest linearized Put, or "not found" before any). Wing & Gong brute
+/// force — fine at model-checking scale (2-4 ops per scenario), never for
+/// production histories.
+///
+/// Real time inside an explored universe is meaningless (the clock only
+/// moves on explicit timer choices), so the happens-before order comes
+/// from logical choice counters: op A precedes op B iff A completed
+/// strictly before the choice that issued B (same-step ops are
+/// concurrent). Obligations by outcome:
+///   - completed OK:       must linearize, with exactly the observed result;
+///   - completed TimedOut: the client gave up but the command may still be
+///     in flight — a Put may take effect or not (checker's choice), a Get
+///     constrains nothing;
+///   - never completed:    same as TimedOut.
+///
+/// Returns true when a valid linearization exists; otherwise fills
+/// `*error` with the key and per-op history that admits none.
+bool CheckLinearizability(const std::vector<McUniverse::OpRecord>& records,
+                          std::string* error);
+
+}  // namespace paxi
+
+#endif  // PAXI_MC_LINEARIZABILITY_H_

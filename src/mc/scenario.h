@@ -1,0 +1,129 @@
+#ifndef PAXI_MC_SCENARIO_H_
+#define PAXI_MC_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/cluster.h"
+
+namespace paxi {
+
+/// One client operation the model checker injects into an explored
+/// universe. Operations are issued through a real Client (core/client.h),
+/// so retries, leader hints and timeouts are part of the explored
+/// behavior.
+struct McOp {
+  enum class Kind { kPut, kGet };
+
+  Kind kind = Kind::kPut;
+  Key key = 1;
+  Value value;  ///< Payload for puts; ignored for gets.
+
+  /// Client identity: one Client is created per distinct (zone, index)
+  /// pair, so two ops with the same pair are a sequential session and two
+  /// ops with different pairs are concurrent issuers.
+  int client_zone = 1;
+  int client_index = 0;
+
+  /// The op is issued once the schedule has executed this many choices
+  /// (0 = before the first choice). Delayed issuance is what lets a
+  /// scenario place a write *after* a leader change deterministically.
+  int after_step = 0;
+};
+
+/// A crash-restart the explorer may inject as a scheduling choice. Each
+/// entry is injectable at most once per trace, and only while the
+/// schedule's choice count lies inside [min_step, max_step] — the window
+/// bounds the tree instead of multiplying every state by "crash now?".
+struct McCrash {
+  NodeId node;
+  int min_step = 0;
+  int max_step = 6;
+  Cluster::RestartMode mode = Cluster::RestartMode::kAmnesia;
+  /// Virtual downtime before the node is rebuilt; it comes back when a
+  /// timer-advance choice walks the clock past the rebuild instant.
+  Time downtime = 200 * kMillisecond;
+};
+
+/// A small, fully-specified universe for systematic exploration: protocol,
+/// cluster shape, the client ops to drive through it, and the fault
+/// choices the explorer may exercise. Scenarios must stay small (3-5
+/// nodes, 2-4 ops) — the state space is exponential in all of this.
+struct McScenario {
+  std::string protocol = "paxos";
+  int zones = 1;
+  int nodes_per_zone = 3;
+  std::map<std::string, std::string> params;
+  std::uint64_t seed = 1;
+
+  std::vector<McOp> ops;
+  std::vector<McCrash> crashes;
+
+  /// Deterministic clock skews (Node::SetClockSkew), applied before
+  /// Start(). Skewing one follower's timers apart from another's is how a
+  /// scenario makes "which follower campaigns first" deterministic instead
+  /// of a coin flip the explorer cannot branch on.
+  std::map<NodeId, double> clock_skew;
+
+  /// Per-trace message-loss budget: how many parked deliveries a single
+  /// schedule may drop. 0 disables loss; 2 is enough for the classic
+  /// divergence bugs (lose one broadcast leg, then one commit leg).
+  int max_drops = 2;
+
+  /// Per-trace timer-advance budget. Heartbeat timers re-arm forever, so
+  /// without this bound no schedule would ever terminate. Each advance
+  /// runs one virtual-time instant's worth of timer events.
+  int max_timer_steps = 12;
+
+  /// When false (default), advancing the clock is only offered once no
+  /// parked delivery is left — timeouts fire only when the network has
+  /// quiesced, which keeps the tree focused on delivery interleavings.
+  /// When true, timer-advance competes with every delivery choice
+  /// (explores timeout races; much larger tree).
+  bool explore_timeouts = false;
+
+  /// Check linearizability of the completed client ops at every terminal
+  /// state (see mc/linearizability.h).
+  bool check_linearizability = true;
+};
+
+/// Exploration budgets. Whichever trips first ends the run with
+/// `budget_exhausted` set; everything explored until then still counts.
+struct McBudget {
+  std::size_t max_executions = 200'000;  ///< Terminal states visited.
+  std::size_t max_states = 2'000'000;    ///< Distinct state digests.
+  std::size_t max_depth = 80;            ///< Choices per schedule.
+  /// Simulator events across the whole exploration (replays included) —
+  /// the wall-clock proxy.
+  std::size_t max_events = 50'000'000;
+};
+
+struct McStats {
+  std::size_t executions = 0;       ///< Terminal states reached.
+  std::size_t transitions = 0;      ///< Choices applied (replays excluded).
+  std::size_t replay_transitions = 0;  ///< Choices re-applied during replay.
+  std::size_t distinct_states = 0;  ///< Unique state digests seen.
+  std::size_t dedup_hits = 0;       ///< Branches cut by the visited set.
+  std::size_t sleep_skips = 0;      ///< Branches cut by sleep sets.
+  std::size_t truncated_depth = 0;  ///< Schedules cut by max_depth.
+  std::size_t events_executed = 0;  ///< Simulator events, replays included.
+};
+
+/// Outcome of an exploration. When a violation is found the run stops at
+/// the first one, and `schedule` holds the human-readable choice sequence
+/// that reproduces it from a fresh universe — the counterexample.
+struct McResult {
+  bool violation_found = false;
+  std::vector<std::string> violations;
+  std::vector<std::string> schedule;
+  bool budget_exhausted = false;
+  McStats stats;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_MC_SCENARIO_H_

@@ -1,0 +1,255 @@
+#include "mc/universe.h"
+
+#include <algorithm>
+#include <typeinfo>
+
+#include "common/check.h"
+#include "common/digest.h"
+#include "net/topology.h"
+
+namespace paxi {
+
+namespace {
+
+/// Last component of an Itanium-mangled nested name: "N4paxi5paxos3P2aE"
+/// -> "P2a". Falls back to the raw name on anything unexpected — labels
+/// are diagnostics, never semantics.
+std::string ShortTypeName(const char* mangled) {
+  const std::string raw(mangled);
+  std::size_t i = 0;
+  if (i < raw.size() && raw[i] == 'N') ++i;
+  std::string last;
+  while (i < raw.size() && raw[i] >= '0' && raw[i] <= '9') {
+    std::size_t len = 0;
+    while (i < raw.size() && raw[i] >= '0' && raw[i] <= '9') {
+      len = len * 10 + static_cast<std::size_t>(raw[i] - '0');
+      ++i;
+    }
+    if (i + len > raw.size()) return raw;
+    last = raw.substr(i, len);
+    i += len;
+  }
+  return last.empty() ? raw : last;
+}
+
+std::string NodeIdStr(const NodeId& id) {
+  return std::to_string(id.zone) + "." + std::to_string(id.node);
+}
+
+/// A cluster whose performance model is zeroed out: no CPU cost, no
+/// bandwidth cost, loopback-only latency. Arrival instants become
+/// irrelevant — the SchedulerHook decides arrival *order*.
+Config ZeroCostConfig(const McScenario& scenario) {
+  Config config;
+  config.zones = scenario.zones;
+  config.nodes_per_zone = scenario.nodes_per_zone;
+  config.topology = Topology::Lan(scenario.zones, 0.0, 0.0);
+  config.proc_in_us = 0;
+  config.proc_out_us = 0;
+  config.bandwidth_bps = 1e15;
+  config.protocol = scenario.protocol;
+  config.params = scenario.params;
+  config.seed = scenario.seed;
+  return config;
+}
+
+}  // namespace
+
+McUniverse::McUniverse(const McScenario& scenario) : scenario_(scenario) {
+  cluster_ = std::make_unique<Cluster>(ZeroCostConfig(scenario_));
+  sim_ = &cluster_->sim();
+  // Accumulate violations instead of aborting: a violation is the answer
+  // of an exploration, reported with its schedule.
+  cluster_->EnableAuditing(/*fail_fast=*/false);
+  sim_->AddObserver(this);
+
+  drops_left_ = scenario_.max_drops;
+  timer_steps_left_ = scenario_.max_timer_steps;
+  crash_used_.assign(scenario_.crashes.size(), false);
+
+  for (const auto& [node, factor] : scenario_.clock_skew) {
+    cluster_->SetClockSkew(node, factor);
+  }
+  for (const McOp& op : scenario_.ops) {
+    const auto key = std::make_pair(op.client_zone, op.client_index);
+    if (clients_.find(key) == clients_.end()) {
+      clients_[key] = cluster_->NewClient(op.client_zone);
+    }
+    OpRecord record;
+    record.op = op;
+    op_records_.push_back(std::move(record));
+  }
+
+  // Install the hook before Start() so nothing escapes onto the clock.
+  sim_->set_scheduler_hook(this);
+  cluster_->Start();
+  IssueDueOps();
+  sim_->RunUntil(sim_->Now());  // events counted via OnEventExecuted
+}
+
+McUniverse::~McUniverse() {
+  if (sim_ != nullptr) {
+    sim_->set_scheduler_hook(nullptr);
+    sim_->RemoveObserver(this);
+  }
+}
+
+bool McUniverse::InterceptDelivery(NodeId to, MessagePtr msg, Time arrival) {
+  (void)arrival;  // Order is explored, arrival instants are meaningless.
+  Parked p;
+  p.id = next_park_id_++;
+  p.to = to;
+  p.msg = std::move(msg);
+  parked_.push_back(std::move(p));
+  return true;
+}
+
+void McUniverse::OnEventExecuted(const EventFingerprint& fp) {
+  (void)fp;
+  ++events_executed_;
+}
+
+const McUniverse::Parked* McUniverse::FindParked(std::uint64_t park_id) const {
+  for (const Parked& p : parked_) {
+    if (p.id == park_id) return &p;
+  }
+  return nullptr;
+}
+
+bool McUniverse::DeliverParked(std::uint64_t park_id) {
+  const Parked* p = FindParked(park_id);
+  PAXI_CHECK(p != nullptr, "DeliverParked: unknown park id");
+  const NodeId to = p->to;
+  MessagePtr msg = p->msg;
+  parked_.erase(parked_.begin() + (p - parked_.data()));
+  const bool delivered = cluster_->transport().DeliverNow(to, std::move(msg));
+  FinishStep();
+  return delivered;
+}
+
+void McUniverse::DropParked(std::uint64_t park_id) {
+  const Parked* p = FindParked(park_id);
+  PAXI_CHECK(p != nullptr, "DropParked: unknown park id");
+  PAXI_CHECK(drops_left_ > 0, "DropParked: drop budget exhausted");
+  parked_.erase(parked_.begin() + (p - parked_.data()));
+  --drops_left_;
+  FinishStep();
+}
+
+void McUniverse::AdvanceTimer() {
+  PAXI_CHECK(sim_->pending_events() > 0, "AdvanceTimer: no pending events");
+  PAXI_CHECK(timer_steps_left_ > 0, "AdvanceTimer: timer budget exhausted");
+  --timer_steps_left_;
+  sim_->RunUntil(sim_->NextEventTime());
+  FinishStep();
+}
+
+void McUniverse::InjectCrash(std::size_t crash_index) {
+  PAXI_CHECK(CrashEnabled(crash_index), "InjectCrash: crash not enabled");
+  const McCrash& crash = scenario_.crashes[crash_index];
+  crash_used_[crash_index] = true;
+  cluster_->RestartNode(crash.node, crash.downtime, crash.mode);
+  FinishStep();
+}
+
+bool McUniverse::CrashEnabled(std::size_t crash_index) const {
+  if (crash_index >= scenario_.crashes.size()) return false;
+  if (crash_used_[crash_index]) return false;
+  const McCrash& crash = scenario_.crashes[crash_index];
+  if (steps_applied_ < crash.min_step || steps_applied_ > crash.max_step) {
+    return false;
+  }
+  return cluster_->transport().IsRegistered(crash.node);
+}
+
+void McUniverse::FinishStep() {
+  ++steps_applied_;
+  IssueDueOps();
+  sim_->RunUntil(sim_->Now());
+}
+
+void McUniverse::IssueDueOps() {
+  for (std::size_t i = 0; i < op_records_.size(); ++i) {
+    OpRecord& record = op_records_[i];
+    if (record.issued_step >= 0 || record.op.after_step > steps_applied_) {
+      continue;
+    }
+    record.issued_step = steps_applied_;
+    Client* client =
+        clients_.at(std::make_pair(record.op.client_zone, record.op.client_index));
+    Command cmd;
+    cmd.op = record.op.kind == McOp::Kind::kPut ? Command::Op::kPut
+                                                : Command::Op::kGet;
+    cmd.key = record.op.key;
+    cmd.value = record.op.value;
+    const NodeId target =
+        cluster_->TargetForClient(record.op.client_zone, client->client_id());
+    client->Issue(std::move(cmd), target, [this, i](const Client::Reply& r) {
+      op_records_[i].completed_step = steps_applied_;
+      op_records_[i].reply = r;
+    });
+  }
+}
+
+std::uint64_t McUniverse::ContentKey(const Parked& p) {
+  Digest d;
+  d.Mix(static_cast<std::uint64_t>(typeid(*p.msg).hash_code()));
+  d.Mix(std::hash<NodeId>()(p.msg->from));
+  d.Mix(std::hash<NodeId>()(p.to));
+  d.Mix(p.msg->ContentDigest());
+  return d.value();
+}
+
+std::uint64_t McUniverse::StateDigest() const {
+  Digest d;
+  // Replica states, in the deterministic node-id vector order. A down
+  // node contributes its registration bit only.
+  for (const NodeId& id : cluster_->nodes()) {
+    const bool up = cluster_->transport().IsRegistered(id);
+    d.Mix(up ? 1u : 0u);
+    const Node* node = const_cast<Cluster&>(*cluster_).node(id);
+    d.Mix(node != nullptr ? node->StateDigest() : 0u);
+  }
+  // Parked multiset by content key, order-insensitive: two states whose
+  // pending messages are the same *set* are the same state even if they
+  // were parked in a different order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(parked_.size());
+  for (const Parked& p : parked_) keys.push_back(ContentKey(p));
+  std::sort(keys.begin(), keys.end());
+  d.Mix(static_cast<std::uint64_t>(keys.size()));
+  for (std::uint64_t k : keys) d.Mix(k);
+  // The clock proxies what is NOT introspectable: the armed-timer queue.
+  d.Mix(static_cast<std::uint64_t>(sim_->Now()));
+  // Remaining budgets bound what is explorable from here.
+  d.Mix(static_cast<std::uint64_t>(drops_left_))
+      .Mix(static_cast<std::uint64_t>(timer_steps_left_));
+  for (bool used : crash_used_) d.Mix(used ? 1u : 0u);
+  // Client-visible progress.
+  for (const OpRecord& r : op_records_) {
+    if (r.issued_step < 0) {
+      d.Mix(0u);
+    } else if (r.completed_step < 0) {
+      d.Mix(1u);
+    } else {
+      d.Mix(2u);
+      d.Mix(r.reply.status.ok() ? 1u : 0u)
+          .Mix(r.reply.value)
+          .Mix(r.reply.found ? 1u : 0u);
+    }
+  }
+  return d.value();
+}
+
+const std::vector<std::string>& McUniverse::violations() const {
+  return cluster_->auditor()->violations();
+}
+
+std::string McUniverse::DescribeParked(std::uint64_t park_id) const {
+  const Parked* p = FindParked(park_id);
+  if (p == nullptr) return "<gone>";
+  return ShortTypeName(typeid(*p->msg).name()) + " " + NodeIdStr(p->msg->from) +
+         "->" + NodeIdStr(p->to);
+}
+
+}  // namespace paxi

@@ -1,0 +1,154 @@
+#ifndef PAXI_MC_UNIVERSE_H_
+#define PAXI_MC_UNIVERSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/client.h"
+#include "core/cluster.h"
+#include "mc/scenario.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+
+/// One explored universe: a real Cluster (real protocol code, real
+/// transport, real clients) whose message deliveries are parked by a
+/// SchedulerHook instead of running on the virtual clock. The explorer
+/// (mc/explorer.h) owns the schedule: it picks which parked delivery
+/// fires next, when timers are allowed to advance, and when a configured
+/// crash is injected. Universes are cheap to build and are rebuilt from
+/// scratch on every backtrack — exploration is stateless replay of the
+/// choice prefix, so protocol state is never checkpointed.
+///
+/// The performance model is zeroed out (no CPU cost, no meaningful
+/// latency): arrival *times* are irrelevant because arrival *order* is
+/// the thing being explored. A consequence worth knowing: the transport's
+/// FIFO link ordering does not constrain the explorer — schedules include
+/// reorderings TCP would forbid, which over-approximates for FIFO-
+/// dependent protocols (Mencius) and is exact for the rest.
+class McUniverse : public SchedulerHook, public SimObserver {
+ public:
+  /// A delivery captured at its send instant, awaiting a schedule choice.
+  /// `id` is assigned in interception order, which is deterministic given
+  /// the choice prefix — it is the replayable identity of this delivery.
+  struct Parked {
+    std::uint64_t id = 0;
+    NodeId to;
+    MessagePtr msg;
+  };
+
+  explicit McUniverse(const McScenario& scenario);
+  ~McUniverse() override;
+
+  McUniverse(const McUniverse&) = delete;
+  McUniverse& operator=(const McUniverse&) = delete;
+
+  // --- SchedulerHook / SimObserver -----------------------------------------
+  bool InterceptDelivery(NodeId to, MessagePtr msg, Time arrival) override;
+  void OnEventExecuted(const EventFingerprint& fp) override;
+
+  // --- Choice application --------------------------------------------------
+  // Each of these applies one schedule choice, advances the step counter,
+  // issues ops whose after_step came due, and drains every event at the
+  // current virtual instant (handlers run, their sends get parked).
+
+  /// Fires parked delivery `park_id` via Transport::DeliverNow. Returns
+  /// false when the destination was down (dead letter) — still a valid,
+  /// explored outcome. Requires the id to be parked.
+  bool DeliverParked(std::uint64_t park_id);
+
+  /// Discards parked delivery `park_id` (message loss). Requires the id
+  /// to be parked and drops_left() > 0.
+  void DropParked(std::uint64_t park_id);
+
+  /// Advances the clock to the next pending event time and runs every
+  /// event at that instant (timers fire, crashed nodes come back).
+  /// Requires HasPendingEvents() and timer_steps_left() > 0.
+  void AdvanceTimer();
+
+  /// Injects scenario.crashes[crash_index] (Cluster::RestartNode).
+  /// Requires CrashEnabled(crash_index).
+  void InjectCrash(std::size_t crash_index);
+
+  // --- Choice enumeration inputs -------------------------------------------
+  const std::vector<Parked>& parked() const { return parked_; }
+  int drops_left() const { return drops_left_; }
+  int timer_steps_left() const { return timer_steps_left_; }
+  bool HasPendingEvents() const { return sim_->pending_events() > 0; }
+  /// Within its step window, not yet used, and the target is currently up.
+  bool CrashEnabled(std::size_t crash_index) const;
+  std::size_t num_crashes() const { return scenario_.crashes.size(); }
+  int steps_applied() const { return steps_applied_; }
+
+  // --- State fingerprint ---------------------------------------------------
+  /// Digest of everything that shapes future behavior: every replica's
+  /// StateDigest (0 for a down node), the parked-delivery multiset (by
+  /// content key, order-insensitive), the virtual clock, the remaining
+  /// choice budgets, and each op's issue/completion status. Client-side
+  /// retry state and armed-timer details are not introspectable and ride
+  /// only through the clock term — the documented fingerprint compromise.
+  std::uint64_t StateDigest() const;
+
+  /// Path-independent identity of a parked delivery: type, sender,
+  /// destination and payload digest (NOT the park id, which is
+  /// path-dependent). Used for sleep-set signatures and the parked term
+  /// of StateDigest.
+  static std::uint64_t ContentKey(const Parked& p);
+
+  // --- Outcome inspection --------------------------------------------------
+  /// Invariant-auditor violations accumulated so far (fail_fast=false).
+  const std::vector<std::string>& violations() const;
+
+  struct OpRecord {
+    McOp op;
+    int issued_step = -1;     ///< Choice count when issued; -1 = not yet.
+    int completed_step = -1;  ///< Choice count at the reply; -1 = pending.
+    Client::Reply reply;
+  };
+  const std::vector<OpRecord>& op_records() const { return op_records_; }
+
+  /// Simulator events executed in this universe (drains + replays),
+  /// for the global event budget.
+  std::size_t events_executed() const { return events_executed_; }
+
+  /// Human-readable label of a parked delivery, for counterexample
+  /// schedules: "P2a 1.1->1.3".
+  std::string DescribeParked(std::uint64_t park_id) const;
+
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  void IssueDueOps();
+  /// Advances the step counter, issues due ops, drains the current
+  /// instant. Tail of every choice application.
+  void FinishStep();
+  const Parked* FindParked(std::uint64_t park_id) const;
+
+  McScenario scenario_;
+  std::unique_ptr<Cluster> cluster_;
+  Simulator* sim_ = nullptr;
+
+  std::vector<Parked> parked_;
+  std::uint64_t next_park_id_ = 0;
+
+  int steps_applied_ = 0;
+  int drops_left_ = 0;
+  int timer_steps_left_ = 0;
+  std::vector<bool> crash_used_;
+
+  std::map<std::pair<int, int>, Client*> clients_;
+  std::vector<OpRecord> op_records_;
+  std::size_t next_op_ = 0;  ///< Ops are issued in vector order.
+
+  std::size_t events_executed_ = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_MC_UNIVERSE_H_

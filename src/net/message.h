@@ -2,8 +2,10 @@
 #define PAXI_NET_MESSAGE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
+#include "common/digest.h"
 #include "common/types.h"
 
 namespace paxi {
@@ -26,6 +28,15 @@ struct Message {
   /// time (the s_m parameter of the paper's service-time model, §3.3).
   /// Default matches the paper's small-command workload.
   virtual std::size_t ByteSize() const { return 100; }
+
+  /// Digest of the message's *payload* (not its dynamic type or sender —
+  /// the model checker mixes those in itself). Two in-flight messages of
+  /// the same type on the same link whose ContentDigests differ are
+  /// different pending choices; the explorer's visited-state dedup is only
+  /// as sound as this discrimination. The default covers field-less
+  /// messages (pings, acks whose meaning is entirely their type+sender);
+  /// any message carrying slots, ballots, or commands should override.
+  virtual std::uint64_t ContentDigest() const { return 0; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -107,7 +107,24 @@ void Transport::Send(NodeId to, MessagePtr msg, Time departure) {
   ScheduleDelivery(to, std::move(msg), arrival);
 }
 
+bool Transport::DeliverNow(NodeId to, MessagePtr msg) {
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    ++messages_dropped_;
+    ++counters_.dead_letters;
+    return false;
+  }
+  it->second->Deliver(std::move(msg));
+  return true;
+}
+
 void Transport::ScheduleDelivery(NodeId to, MessagePtr msg, Time arrival) {
+  // Systematic-exploration choice point: a hook that claims the delivery
+  // parks it, and the message leaves the event timeline entirely until the
+  // explorer fires it via DeliverNow (or drops it as a modeled loss).
+  if (SchedulerHook* hook = sim_->scheduler_hook(); hook != nullptr) {
+    if (hook->InterceptDelivery(to, msg, arrival)) return;
+  }
   sim_->At(arrival, [this, to, msg = std::move(msg)]() mutable {
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {

@@ -75,6 +75,14 @@ class Transport {
   /// drops (a crashed-forever or not-yet-started node).
   void Send(NodeId to, MessagePtr msg, Time departure);
 
+  /// Delivers `msg` to `to` immediately (at the current virtual time),
+  /// with the usual late-bound endpoint lookup — an unregistered
+  /// destination is a dead letter. This is the firing half of the
+  /// SchedulerHook choice-point API (sim/simulator.h): the explorer parks
+  /// intercepted deliveries and releases them through here in whatever
+  /// order it is exploring. Returns false on a dead letter.
+  bool DeliverNow(NodeId to, MessagePtr msg);
+
   /// Drops every message from `i` to `j` for the next `duration`.
   void Drop(NodeId i, NodeId j, Time duration);
 

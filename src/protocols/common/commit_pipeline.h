@@ -101,6 +101,18 @@ class CommitPipeline {
   std::size_t in_flight() const { return in_flight_; }
   const Params& params() const { return params_; }
 
+  /// Deterministic fingerprint of the pipeline's request-path state
+  /// (queued requests + window occupancy), folded into the owning
+  /// protocol's Node::StateDigest for the model checker.
+  std::uint64_t StateDigest() const {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(queue_.size()));
+    for (const ClientRequest& req : queue_) d.Mix(req.ContentDigest());
+    d.Mix(static_cast<std::uint64_t>(in_flight_));
+    d.Mix(wait_timer_armed_ ? 1u : 0u);
+    return d.value();
+  }
+
  private:
   void Flush();
   /// Moves the front `n` queued requests into a batch and proposes it.

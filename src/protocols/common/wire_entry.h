@@ -2,10 +2,14 @@
 #define PAXI_PROTOCOLS_COMMON_WIRE_ENTRY_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "common/digest.h"
 #include "common/types.h"
 #include "core/messages.h"
+#include "quorum/quorum.h"
 
 namespace paxi {
 
@@ -39,6 +43,48 @@ inline std::size_t WireBytesOf(const std::vector<SlotEntryWire>& entries) {
   std::size_t total = 0;
   for (const SlotEntryWire& e : entries) total += e.WireBytes();
   return total;
+}
+
+// --- Digest helpers --------------------------------------------------------
+// Shared vocabulary for Message::ContentDigest overrides and the
+// protocols' Node::StateDigest implementations (model checker, src/mc).
+// std::hash<NodeId> is the hand-rolled field hash from common/types.h —
+// deterministic across processes, unlike hashes of pointers or typeids.
+
+inline void MixNodeId(Digest& d, const NodeId& id) {
+  d.Mix(std::hash<NodeId>()(id));
+}
+
+inline void MixBallot(Digest& d, const Ballot& b) {
+  d.Mix(static_cast<std::uint64_t>(b.n));
+  MixNodeId(d, b.id);
+}
+
+inline void MixWireEntry(Digest& d, const SlotEntryWire& e) {
+  d.Mix(static_cast<std::uint64_t>(e.slot));
+  MixBallot(d, e.ballot);
+  d.Mix(e.batch.ContentDigest()).Mix(e.committed ? 1u : 0u);
+}
+
+inline void MixWireEntries(Digest& d, const std::vector<SlotEntryWire>& v) {
+  d.Mix(static_cast<std::uint64_t>(v.size()));
+  for (const SlotEntryWire& e : v) MixWireEntry(d, e);
+}
+
+/// Vote-tally fingerprint for in-flight quorums (null = no round open).
+/// Acks are mixed by identity (ordered set); nacks by count only — Quorum
+/// does not expose the nack set. Digest-based dedup is a fingerprint
+/// compromise anyway: a collision merges states, it never fabricates a
+/// violation.
+inline void MixQuorum(Digest& d, const Quorum* q) {
+  if (q == nullptr) {
+    d.Mix(0u);
+    return;
+  }
+  d.Mix(1u);
+  d.Mix(static_cast<std::uint64_t>(q->acks().size()));
+  for (const NodeId& id : q->acks()) MixNodeId(d, id);
+  d.Mix(static_cast<std::uint64_t>(q->num_nacks()));
 }
 
 }  // namespace paxi

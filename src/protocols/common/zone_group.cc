@@ -277,6 +277,26 @@ void ZoneGroupNode::MaybeSnapshot() {
   log_.CompactTo(execute_up_to_);
 }
 
+std::uint64_t ZoneGroupNode::StateDigest() const {
+  Digest d;
+  d.Mix(Node::StateDigest());
+  d.Mix(static_cast<std::uint64_t>(log_.size()));
+  for (const auto& [slot, entry] : log_) {
+    d.Mix(static_cast<std::uint64_t>(slot));
+    d.Mix(entry.batch.ContentDigest()).Mix(entry.committed ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(entry.voters.size()));
+    for (const NodeId& v : entry.voters) MixNodeId(d, v);
+    // dones are opaque callbacks; their count is the fan-out still owed.
+    d.Mix(static_cast<std::uint64_t>(entry.dones.size()));
+  }
+  d.Mix(static_cast<std::uint64_t>(log_.snapshot_index()));
+  d.Mix(static_cast<std::uint64_t>(snapshot_.applied)).Mix(snapshot_.digest);
+  d.Mix(static_cast<std::uint64_t>(next_slot_))
+      .Mix(static_cast<std::uint64_t>(commit_up_to_))
+      .Mix(static_cast<std::uint64_t>(execute_up_to_));
+  return d.value();
+}
+
 Node::LogStats ZoneGroupNode::GetLogStats() const {
   LogStats stats;
   stats.log_entries = log_.size();

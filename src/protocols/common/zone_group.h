@@ -34,10 +34,22 @@ struct GroupP2a : Message {
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(slot))
+        .Mix(batch.ContentDigest())
+        .Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 struct GroupP2b : Message {
   Slot slot = 0;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(static_cast<std::uint64_t>(slot)).value();
+  }
 };
 
 // Group-log slots travel as the shared SlotEntryWire
@@ -50,6 +62,10 @@ struct GroupP2b : Message {
 /// group leader, paced at one per flush interval.
 struct GroupFill : Message {
   Slot from_slot = 0;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(static_cast<std::uint64_t>(from_slot)).value();
+  }
 };
 
 struct GroupFillReply : Message {
@@ -57,6 +73,13 @@ struct GroupFillReply : Message {
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override { return 100 + WireBytesOf(entries); }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixWireEntries(d, entries);
+    d.Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 /// Leader's answer to a GroupFill whose range fell below the group's
@@ -71,6 +94,14 @@ struct GroupInstallSnapshot : Message {
   std::size_t ByteSize() const override {
     return 100 + state.ByteSizeEstimate() + WireBytesOf(tail);
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(state.applied)).Mix(state.digest);
+    MixWireEntries(d, tail);
+    d.Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 }  // namespace zone_group
@@ -84,6 +115,12 @@ class ZoneGroupNode : public Node {
   /// Invariant hook: per-slot agreement on this zone group's committed
   /// log (domain "group:<zone>"); group members cross-check each other.
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: the zone group's log, votes and
+  /// watermarks on top of Node's store digest. Reply callbacks (`dones`)
+  /// are opaque std::functions and are fingerprinted by count only;
+  /// subclasses mix in their own level-2 state.
+  std::uint64_t StateDigest() const override;
 
   bool IsGroupLeader() const { return id().node == 1; }
   static NodeId GroupLeaderOf(int zone) { return NodeId{zone, 1}; }

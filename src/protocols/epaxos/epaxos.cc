@@ -577,6 +577,78 @@ void EPaxosReplica::Audit(AuditScope& scope) const {
   audit_pending_.clear();
 }
 
+std::uint64_t EPaxosReplica::StateDigest() const {
+  Digest d;
+  d.Mix(Node::StateDigest());
+  // Instance space. All containers are ordered (std::map / std::set /
+  // std::vector), so iteration order is deterministic by construction.
+  d.Mix(static_cast<std::uint64_t>(instances_.size()));
+  for (const auto& [iid, inst] : instances_) {
+    MixInstanceId(d, iid);
+    d.Mix(inst.batch.ContentDigest()).Mix(static_cast<std::uint64_t>(inst.seq));
+    MixInstanceIds(d, inst.deps);
+    d.Mix(static_cast<std::uint64_t>(inst.phase));
+    d.Mix(static_cast<std::uint64_t>(inst.preaccept_voters.size()));
+    for (const NodeId& v : inst.preaccept_voters) MixNodeId(d, v);
+    d.Mix(static_cast<std::uint64_t>(inst.accept_voters.size()));
+    for (const NodeId& v : inst.accept_voters) MixNodeId(d, v);
+    d.Mix(inst.attrs_changed ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(inst.merged_seq));
+    MixInstanceIds(d, inst.merged_deps);
+    d.Mix(inst.has_origin ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(inst.origins.size()));
+    for (const ClientRequest& req : inst.origins) d.Mix(req.ContentDigest());
+    d.Mix(static_cast<std::uint64_t>(inst.replied.size()));
+    for (bool r : inst.replied) d.Mix(r ? 1u : 0u);
+  }
+  d.Mix(static_cast<std::uint64_t>(next_slot_));
+  // Interference record: which instance a new command would depend on.
+  d.Mix(static_cast<std::uint64_t>(last_write_.size()));
+  for (const auto& [key, iid] : last_write_) {
+    d.Mix(key);
+    MixInstanceId(d, iid);
+  }
+  d.Mix(static_cast<std::uint64_t>(reads_since_write_.size()));
+  for (const auto& [key, iids] : reads_since_write_) {
+    d.Mix(key);
+    MixInstanceIds(d, iids);
+  }
+  // Execution graph blockage.
+  d.Mix(static_cast<std::uint64_t>(waiters_.size()));
+  for (const auto& [dep, blocked] : waiters_) {
+    MixInstanceId(d, dep);
+    d.Mix(static_cast<std::uint64_t>(blocked.size()));
+    for (const InstanceId& w : blocked) MixInstanceId(d, w);
+  }
+  // GC frontiers (only populated when compaction is enabled).
+  d.Mix(static_cast<std::uint64_t>(exec_frontier_.size()));
+  for (const auto& [origin, slot] : exec_frontier_) {
+    MixNodeId(d, origin);
+    d.Mix(static_cast<std::uint64_t>(slot));
+  }
+  d.Mix(static_cast<std::uint64_t>(peer_frontiers_.size()));
+  for (const auto& [peer, frontiers] : peer_frontiers_) {
+    MixNodeId(d, peer);
+    d.Mix(static_cast<std::uint64_t>(frontiers.size()));
+    for (const auto& [origin, slot] : frontiers) {
+      MixNodeId(d, origin);
+      d.Mix(static_cast<std::uint64_t>(slot));
+    }
+  }
+  d.Mix(static_cast<std::uint64_t>(gc_floor_.size()));
+  for (const auto& [origin, slot] : gc_floor_) {
+    MixNodeId(d, origin);
+    d.Mix(static_cast<std::uint64_t>(slot));
+  }
+  // Per-interference-group intake pipelines (queued batches count).
+  d.Mix(static_cast<std::uint64_t>(pipelines_.size()));
+  for (const auto& [key, pipeline] : pipelines_) {
+    d.Mix(key);
+    d.Mix(pipeline.StateDigest());
+  }
+  return d.value();
+}
+
 void RegisterEPaxosProtocol() {
   RegisterProtocol(
       "epaxos",

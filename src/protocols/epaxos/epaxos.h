@@ -9,6 +9,7 @@
 #include "core/messages.h"
 #include "core/node.h"
 #include "protocols/common/commit_pipeline.h"
+#include "protocols/common/wire_entry.h"
 
 namespace paxi {
 
@@ -43,6 +44,16 @@ struct InstanceId {
   friend auto operator<=>(const InstanceId&, const InstanceId&) = default;
 };
 
+inline void MixInstanceId(Digest& d, const InstanceId& iid) {
+  MixNodeId(d, iid.replica);
+  d.Mix(static_cast<std::uint64_t>(iid.slot));
+}
+
+inline void MixInstanceIds(Digest& d, const std::vector<InstanceId>& iids) {
+  d.Mix(static_cast<std::uint64_t>(iids.size()));
+  for (const InstanceId& iid : iids) MixInstanceId(d, iid);
+}
+
 struct PreAccept : Message {
   InstanceId iid;
   /// The instance's payload: same-key (interfering) commands batched by
@@ -54,6 +65,14 @@ struct PreAccept : Message {
   std::size_t ByteSize() const override {
     return 70 + batch.WireBytes() + deps.size() * 12;
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixInstanceId(d, iid);
+    d.Mix(batch.ContentDigest()).Mix(static_cast<std::uint64_t>(seq));
+    MixInstanceIds(d, deps);
+    return d.value();
+  }
 };
 
 struct PreAcceptOk : Message {
@@ -63,6 +82,15 @@ struct PreAcceptOk : Message {
   bool changed = false;  ///< Acceptor added deps / bumped seq.
 
   std::size_t ByteSize() const override { return 120 + deps.size() * 12; }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixInstanceId(d, iid);
+    d.Mix(static_cast<std::uint64_t>(seq));
+    MixInstanceIds(d, deps);
+    d.Mix(changed ? 1u : 0u);
+    return d.value();
+  }
 };
 
 struct Accept : Message {
@@ -74,10 +102,24 @@ struct Accept : Message {
   std::size_t ByteSize() const override {
     return 70 + batch.WireBytes() + deps.size() * 12;
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixInstanceId(d, iid);
+    d.Mix(batch.ContentDigest()).Mix(static_cast<std::uint64_t>(seq));
+    MixInstanceIds(d, deps);
+    return d.value();
+  }
 };
 
 struct AcceptOk : Message {
   InstanceId iid;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixInstanceId(d, iid);
+    return d.value();
+  }
 };
 
 struct CommitMsg : Message {
@@ -89,6 +131,14 @@ struct CommitMsg : Message {
   std::size_t ByteSize() const override {
     return 70 + batch.WireBytes() + deps.size() * 12;
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixInstanceId(d, iid);
+    d.Mix(batch.ContentDigest()).Mix(static_cast<std::uint64_t>(seq));
+    MixInstanceIds(d, deps);
+    return d.value();
+  }
 };
 
 /// Recovery probe: "my execution is blocked on `iid`, which I have not
@@ -99,6 +149,12 @@ struct CommitMsg : Message {
 /// state) rather than forever.
 struct Recover : Message {
   InstanceId iid;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixInstanceId(d, iid);
+    return d.value();
+  }
 };
 
 struct FrontierWire {
@@ -119,6 +175,16 @@ struct GcStatus : Message {
   std::size_t ByteSize() const override {
     return 50 + frontiers.size() * 16;
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(frontiers.size()));
+    for (const FrontierWire& f : frontiers) {
+      MixNodeId(d, f.replica);
+      d.Mix(static_cast<std::uint64_t>(f.executed));
+    }
+    return d.value();
+  }
 };
 
 }  // namespace epaxos
@@ -135,6 +201,11 @@ class EPaxosReplica : public Node {
   /// its (command, seq, deps) triple (sim/auditor.h). Commits are queued
   /// on the mutation path and drained here, so auditing stays O(commits).
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: instance space (attrs, phases, voter
+  /// sets), interference record, execution graph and GC frontiers on top
+  /// of Node's store digest.
+  std::uint64_t StateDigest() const override;
 
   /// Commands committed via the fast path / slow (Accept) path, for the
   /// conflict-rate analyses.

@@ -25,6 +25,15 @@ class FPaxosReplica : public PaxosReplica {
  public:
   FPaxosReplica(NodeId id, Env env);
 
+  /// PaxosReplica's fingerprint with the flexible quorum sizes mixed in,
+  /// so a checker never conflates states across quorum configurations.
+  std::uint64_t StateDigest() const override {
+    Digest d;
+    d.Mix(PaxosReplica::StateDigest());
+    d.Mix(static_cast<std::uint64_t>(q1_)).Mix(static_cast<std::uint64_t>(q2_));
+    return d.value();
+  }
+
  protected:
   std::size_t Phase1QuorumSize() const override { return q1_; }
   std::size_t Phase2QuorumSize() const override { return q2_; }

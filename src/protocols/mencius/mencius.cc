@@ -415,6 +415,37 @@ Node::LogStats MenciusReplica::GetLogStats() const {
   return stats;
 }
 
+std::uint64_t MenciusReplica::StateDigest() const {
+  Digest d;
+  d.Mix(Node::StateDigest());
+  d.Mix(static_cast<std::uint64_t>(log_.size()));
+  for (const auto& [slot, entry] : log_) {
+    d.Mix(static_cast<std::uint64_t>(slot));
+    d.Mix(entry.batch.ContentDigest())
+        .Mix(entry.has_cmd ? 1u : 0u)
+        .Mix(entry.noop ? 1u : 0u)
+        .Mix(entry.committed ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(entry.voters.size()));
+    for (const NodeId& v : entry.voters) MixNodeId(d, v);
+  }
+  d.Mix(static_cast<std::uint64_t>(log_.snapshot_index()));
+  d.Mix(static_cast<std::uint64_t>(snapshot_.applied)).Mix(snapshot_.digest);
+  d.Mix(static_cast<std::uint64_t>(next_own_slot_))
+      .Mix(static_cast<std::uint64_t>(max_slot_seen_))
+      .Mix(static_cast<std::uint64_t>(commit_up_to_))
+      .Mix(static_cast<std::uint64_t>(execute_up_to_))
+      .Mix(static_cast<std::uint64_t>(flushed_up_to_))
+      .Mix(static_cast<std::uint64_t>(stalled_exec_));
+  d.Mix(static_cast<std::uint64_t>(pending_.size()));
+  for (const auto& [slot, origins] : pending_) {
+    d.Mix(static_cast<std::uint64_t>(slot));
+    d.Mix(static_cast<std::uint64_t>(origins.size()));
+    for (const ClientRequest& req : origins) d.Mix(req.ContentDigest());
+  }
+  d.Mix(pipeline_.StateDigest());
+  return d.value();
+}
+
 void RegisterMenciusProtocol() {
   RegisterProtocol(
       "mencius",

@@ -9,6 +9,7 @@
 #include "core/messages.h"
 #include "core/node.h"
 #include "protocols/common/commit_pipeline.h"
+#include "protocols/common/wire_entry.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
 
@@ -54,6 +55,15 @@ struct Accept : Message {
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(slot))
+        .Mix(batch.ContentDigest())
+        .Mix(static_cast<std::uint64_t>(skip_before))
+        .Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 struct AcceptAck : Message {
@@ -65,6 +75,14 @@ struct AcceptAck : Message {
   /// messages first — marking from 0 would race in-flight Accepts.
   Slot skip_from = 0;
   Slot skip_up_to = 0;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(slot))
+        .Mix(static_cast<std::uint64_t>(skip_from))
+        .Mix(static_cast<std::uint64_t>(skip_up_to));
+    return d.value();
+  }
 };
 
 /// Idle-server announcement: "I will not use my slots in
@@ -74,6 +92,14 @@ struct Skip : Message {
   Slot skip_from = 0;
   Slot up_to = 0;
   Slot commit_up_to = -1;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(skip_from))
+        .Mix(static_cast<std::uint64_t>(up_to))
+        .Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 /// Watermark-only flush, broadcast from the timer when commits advanced
@@ -81,6 +107,10 @@ struct Skip : Message {
 /// otherwise never reach the other replicas).
 struct CommitFlush : Message {
   Slot commit_up_to = -1;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(static_cast<std::uint64_t>(commit_up_to)).value();
+  }
 };
 
 /// Recovery probe sent to a slot's owner when execution has been stuck on
@@ -91,6 +121,10 @@ struct CommitFlush : Message {
 /// is answered with an InstallSnapshot instead.
 struct Fill : Message {
   Slot slot = 0;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(static_cast<std::uint64_t>(slot)).value();
+  }
 };
 
 /// Owner -> stalled replica: the probed slot was folded into a snapshot;
@@ -101,6 +135,12 @@ struct InstallSnapshot : Message {
 
   std::size_t ByteSize() const override {
     return 100 + state.ByteSizeEstimate();
+  }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(state.applied)).Mix(state.digest);
+    return d.value();
   }
 };
 
@@ -115,6 +155,10 @@ class MenciusReplica : public Node {
   /// Invariant hook: per-slot agreement on committed entries, including
   /// skip placeholders (sim/auditor.h).
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: log (entries, skips, votes),
+  /// watermarks and reply-fanout state on top of Node's store digest.
+  std::uint64_t StateDigest() const override;
 
   Slot executed_up_to() const { return execute_up_to_; }
   std::size_t skips_sent() const { return skips_sent_; }

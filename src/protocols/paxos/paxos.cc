@@ -94,6 +94,40 @@ void PaxosReplica::Audit(AuditScope& scope) const {
   }
 }
 
+std::uint64_t PaxosReplica::StateDigest() const {
+  Digest d;
+  d.Mix(Node::StateDigest());
+  MixBallot(d, ballot_);
+  d.Mix(active_ ? 1u : 0u).Mix(electing_ ? 1u : 0u);
+  d.Mix(static_cast<std::uint64_t>(p1_voters_.size()));
+  for (const NodeId& v : p1_voters_) MixNodeId(d, v);  // std::set: ordered
+  MixWireEntries(d, recovered_);
+  d.Mix(static_cast<std::uint64_t>(log_.size()));
+  for (const auto& [slot, entry] : log_) {
+    d.Mix(static_cast<std::uint64_t>(slot));
+    MixBallot(d, entry.ballot);
+    d.Mix(entry.batch.ContentDigest()).Mix(entry.committed ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(entry.voters.size()));
+    for (const NodeId& v : entry.voters) MixNodeId(d, v);
+  }
+  d.Mix(static_cast<std::uint64_t>(next_slot_))
+      .Mix(static_cast<std::uint64_t>(commit_up_to_))
+      .Mix(static_cast<std::uint64_t>(execute_up_to_))
+      .Mix(static_cast<std::uint64_t>(log_.snapshot_index()))
+      .Mix(static_cast<std::uint64_t>(snapshot_.applied))
+      .Mix(snapshot_.digest);
+  d.Mix(static_cast<std::uint64_t>(pending_replies_.size()));
+  for (const auto& [slot, origins] : pending_replies_) {
+    d.Mix(static_cast<std::uint64_t>(slot));
+    d.Mix(static_cast<std::uint64_t>(origins.size()));
+    for (const ClientRequest& req : origins) d.Mix(req.ContentDigest());
+  }
+  d.Mix(static_cast<std::uint64_t>(backlog_.size()));
+  for (const ClientRequest& req : backlog_) d.Mix(req.ContentDigest());
+  d.Mix(pipeline_.StateDigest());
+  return d.value();
+}
+
 void PaxosReplica::Demote() {
   if (active_) pipeline_.Abort();
   active_ = false;
@@ -467,11 +501,24 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
         // partitioned. Only entries accepted under the sender's own
         // ballot are safe to commit here; anything older is treated as a
         // hole and pulled via catch-up, which serves the chosen values.
+#if defined(PAXI_MC_MUTATION)
+        // Mutation-validation build (tools: model checker, src/mc): the
+        // original PR-2 watermark bug, reintroduced on purpose — trust
+        // the watermark for ANY locally present entry, even one accepted
+        // under a superseded ballot. The mc mutation test proves the
+        // explorer finds the resulting agreement violation; never define
+        // PAXI_MC_MUTATION in a real build.
+        if (it == log_.end()) {
+          gap = true;
+          break;
+        }
+#else
         if (it == log_.end() || (!it->second.committed &&
                                  it->second.ballot != msg.ballot)) {
           gap = true;
           break;
         }
+#endif
         it->second.committed = true;
       }
       if (gap) {
@@ -557,6 +604,14 @@ Node::LogStats PaxosReplica::GetLogStats() const {
   stats.snapshots_taken = snapshots_taken_;
   stats.snapshots_installed = snapshots_installed_;
   return stats;
+}
+
+bool PaxosMutationCompiledIn() {
+#if defined(PAXI_MC_MUTATION)
+  return true;
+#else
+  return false;
+#endif
 }
 
 void RegisterPaxosProtocol() {

@@ -33,6 +33,13 @@ struct P1a : Message {
   Ballot ballot;
   /// Requester's commit watermark; responders report entries above it.
   Slot commit_up_to = -1;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixBallot(d, ballot);
+    d.Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 struct P1b : Message {
@@ -49,6 +56,16 @@ struct P1b : Message {
     return 100 + WireBytesOf(entries) +
            (has_snapshot ? snapshot.ByteSizeEstimate() : 0);
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixBallot(d, ballot);
+    d.Mix(ok ? 1u : 0u);
+    MixWireEntries(d, entries);
+    d.Mix(has_snapshot ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(snapshot.applied)).Mix(snapshot.digest);
+    return d.value();
+  }
 };
 
 struct P2a : Message {
@@ -61,12 +78,28 @@ struct P2a : Message {
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixBallot(d, ballot);
+    d.Mix(static_cast<std::uint64_t>(slot))
+        .Mix(batch.ContentDigest())
+        .Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 struct P2b : Message {
   Ballot ballot;  ///< Responder's ballot (rival ballot when ok == false).
   Slot slot = 0;
   bool ok = false;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixBallot(d, ballot);
+    d.Mix(static_cast<std::uint64_t>(slot)).Mix(ok ? 1u : 0u);
+    return d.value();
+  }
 };
 
 /// Follower -> leader: my commit watermark has a hole (a committed slot I
@@ -74,6 +107,10 @@ struct P2b : Message {
 /// Send me committed entries from `from` up.
 struct CatchupRequest : Message {
   Slot from_slot = 0;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(static_cast<std::uint64_t>(from_slot)).value();
+  }
 };
 
 /// Leader -> follower: committed entries answering a CatchupRequest.
@@ -83,6 +120,13 @@ struct CatchupReply : Message {
 
   std::size_t ByteSize() const override {
     return 100 + WireBytesOf(entries);
+  }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    MixWireEntries(d, entries);
+    d.Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
   }
 };
 
@@ -99,9 +143,23 @@ struct InstallSnapshot : Message {
   std::size_t ByteSize() const override {
     return 100 + state.ByteSizeEstimate() + WireBytesOf(tail);
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(state.applied)).Mix(state.digest);
+    MixWireEntries(d, tail);
+    d.Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 }  // namespace paxos
+
+/// True when the library was built with -DPAXI_MC_MUTATION, i.e. with the
+/// PR-2 commit-watermark bug deliberately reintroduced in HandleP2a so
+/// the model checker's power can be validated (see src/mc). Always false
+/// in real builds.
+bool PaxosMutationCompiledIn();
 
 class PaxosReplica : public Node {
  public:
@@ -118,6 +176,10 @@ class PaxosReplica : public Node {
   /// Invariant hook: ballot monotonicity, per-slot agreement on committed
   /// entries, and phase-1/phase-2 quorum intersection (sim/auditor.h).
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: ballots, role, log, watermarks,
+  /// recovery and reply-fanout state on top of Node's store digest.
+  std::uint64_t StateDigest() const override;
 
   bool IsLeader() const { return active_; }
   Ballot ballot() const { return ballot_; }

@@ -87,6 +87,47 @@ void RaftReplica::Audit(AuditScope& scope) const {
   }
 }
 
+std::uint64_t RaftReplica::StateDigest() const {
+  Digest d;
+  d.Mix(Node::StateDigest());
+  d.Mix(static_cast<std::uint64_t>(role_ == Role::kLeader     ? 2u
+                                   : role_ == Role::kCandidate ? 1u
+                                                                : 0u));
+  d.Mix(static_cast<std::uint64_t>(term_));
+  MixNodeId(d, voted_for_);
+  MixNodeId(d, leader_);
+  d.Mix(static_cast<std::uint64_t>(log_.size()));
+  for (const auto& [index, entry] : log_) {
+    d.Mix(static_cast<std::uint64_t>(index)).Mix(entry.ContentDigest());
+  }
+  d.Mix(static_cast<std::uint64_t>(log_.snapshot_index()))
+      .Mix(static_cast<std::uint64_t>(snapshot_.applied))
+      .Mix(snapshot_.digest)
+      .Mix(static_cast<std::uint64_t>(snapshot_term_))
+      .Mix(static_cast<std::uint64_t>(commit_index_))
+      .Mix(static_cast<std::uint64_t>(last_applied_));
+  d.Mix(static_cast<std::uint64_t>(next_index_.size()));
+  for (const auto& [peer, idx] : next_index_) {  // std::map: ordered
+    MixNodeId(d, peer);
+    d.Mix(static_cast<std::uint64_t>(idx));
+  }
+  d.Mix(static_cast<std::uint64_t>(match_index_.size()));
+  for (const auto& [peer, idx] : match_index_) {
+    MixNodeId(d, peer);
+    d.Mix(static_cast<std::uint64_t>(idx));
+  }
+  d.Mix(static_cast<std::uint64_t>(votes_.size()));
+  for (const NodeId& v : votes_) MixNodeId(d, v);  // std::set: ordered
+  d.Mix(static_cast<std::uint64_t>(pending_replies_.size()));
+  for (const auto& [index, origins] : pending_replies_) {
+    d.Mix(static_cast<std::uint64_t>(index));
+    d.Mix(static_cast<std::uint64_t>(origins.size()));
+    for (const ClientRequest& req : origins) d.Mix(req.ContentDigest());
+  }
+  d.Mix(pipeline_.StateDigest());
+  return d.value();
+}
+
 void RaftReplica::ArmElectionTimer() {
   const std::uint64_t epoch = election_epoch_;
   const Time jitter = rng().UniformInt(0, election_timeout_);

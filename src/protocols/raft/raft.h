@@ -9,6 +9,7 @@
 #include "core/messages.h"
 #include "core/node.h"
 #include "protocols/common/commit_pipeline.h"
+#include "protocols/common/wire_entry.h"
 #include "store/log_storage.h"
 #include "store/snapshot.h"
 
@@ -38,6 +39,14 @@ struct LogEntry {
   bool noop = true;  ///< Leader-change barrier entries carry no command.
 
   std::size_t WireBytes() const { return batch.WireBytes(); }
+
+  std::uint64_t ContentDigest() const {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(term))
+        .Mix(batch.ContentDigest())
+        .Mix(noop ? 1u : 0u);
+    return d.value();
+  }
 };
 
 struct AppendEntries : Message {
@@ -52,23 +61,56 @@ struct AppendEntries : Message {
     for (const LogEntry& e : entries) total += e.WireBytes();
     return total;
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(term))
+        .Mix(static_cast<std::uint64_t>(prev_index))
+        .Mix(static_cast<std::uint64_t>(prev_term));
+    d.Mix(static_cast<std::uint64_t>(entries.size()));
+    for (const LogEntry& e : entries) d.Mix(e.ContentDigest());
+    d.Mix(static_cast<std::uint64_t>(commit_index));
+    return d.value();
+  }
 };
 
 struct AppendReply : Message {
   std::int64_t term = 0;
   bool success = false;
   Slot match_index = -1;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(term))
+        .Mix(success ? 1u : 0u)
+        .Mix(static_cast<std::uint64_t>(match_index));
+    return d.value();
+  }
 };
 
 struct RequestVote : Message {
   std::int64_t term = 0;
   Slot last_log_index = -1;
   std::int64_t last_log_term = 0;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(term))
+        .Mix(static_cast<std::uint64_t>(last_log_index))
+        .Mix(static_cast<std::uint64_t>(last_log_term));
+    return d.value();
+  }
 };
 
 struct VoteReply : Message {
   std::int64_t term = 0;
   bool granted = false;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(term)).Mix(granted ? 1u : 0u);
+    return d.value();
+  }
 };
 
 /// Leader -> lagging follower whose next_index fell below the leader's
@@ -82,6 +124,15 @@ struct InstallSnapshot : Message {
 
   std::size_t ByteSize() const override {
     return 100 + state.ByteSizeEstimate();
+  }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(term))
+        .Mix(static_cast<std::uint64_t>(state.applied))
+        .Mix(state.digest)
+        .Mix(static_cast<std::uint64_t>(last_included_term));
+    return d.value();
   }
 };
 
@@ -101,6 +152,10 @@ class RaftReplica : public Node {
   /// Invariant hook: term monotonicity and per-index agreement on
   /// committed entries (sim/auditor.h).
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: role, term, vote, log, replication
+  /// indices and reply-fanout state on top of Node's store digest.
+  std::uint64_t StateDigest() const override;
 
   bool IsLeader() const { return role_ == Role::kLeader; }
   std::int64_t term() const { return term_; }

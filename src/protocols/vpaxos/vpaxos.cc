@@ -250,6 +250,28 @@ void VPaxosReplica::HandleStateTransfer(const StateTransfer& msg) {
   }
 }
 
+std::uint64_t VPaxosReplica::StateDigest() const {
+  Digest d;
+  d.Mix(ZoneGroupNode::StateDigest());
+  d.Mix(static_cast<std::uint64_t>(owners_.size()));
+  for (const auto& [key, info] : owners_) {
+    d.Mix(key);
+    d.Mix(static_cast<std::uint64_t>(info.zone))
+        .Mix(static_cast<std::uint64_t>(info.version))
+        .Mix(static_cast<std::uint64_t>(info.run_zone))
+        .Mix(static_cast<std::uint64_t>(info.run_length))
+        .Mix(info.change_requested ? 1u : 0u)
+        .Mix(info.awaiting_transfer ? 1u : 0u)
+        .Mix(info.transfer_arrived_early ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(info.parked.size()));
+    for (const ClientRequest& req : info.parked) d.Mix(req.ContentDigest());
+    // policy_cooldown_until is pacing state (see Node::StateDigest docs).
+  }
+  d.Mix(static_cast<std::uint64_t>(config_version_));
+  d.Mix(pipeline_.StateDigest());
+  return d.value();
+}
+
 void RegisterVPaxosProtocol() {
   RegisterProtocol(
       "vpaxos",

@@ -33,6 +33,12 @@ namespace vpaxos {
 struct ConfigChangeReq : Message {
   Key key = 0;
   int to_zone = 0;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key).Mix(static_cast<std::uint64_t>(to_zone));
+    return d.value();
+  }
 };
 
 /// Master leader -> all zone leaders: new owner for `key`.
@@ -40,6 +46,14 @@ struct ConfigUpdate : Message {
   Key key = 0;
   int owner_zone = 0;
   std::int64_t version = 0;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key)
+        .Mix(static_cast<std::uint64_t>(owner_zone))
+        .Mix(static_cast<std::uint64_t>(version));
+    return d.value();
+  }
 };
 
 /// Old owner -> new owner: snapshot of the moved object at the source
@@ -55,6 +69,13 @@ struct StateTransfer : Message {
   std::size_t ByteSize() const override {
     return 50 + (has_state ? state.ByteSizeEstimate() : 0);
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key).Mix(has_state ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(state.applied)).Mix(state.digest);
+    return d.value();
+  }
 };
 
 }  // namespace vpaxos
@@ -67,6 +88,10 @@ class VPaxosReplica : public ZoneGroupNode {
   /// sanity — the (version, owner-zone) pair for each object must advance
   /// monotonically and two zones may never share a config version.
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: the group log (inherited) plus the
+  /// ownership map and in-flight migration handshakes.
+  std::uint64_t StateDigest() const override;
 
   bool IsMasterZone() const { return id().zone == master_zone_; }
   std::size_t migrations() const { return migrations_; }

@@ -253,6 +253,26 @@ void WanKeeperReplica::HandleTokenReturn(const TokenReturn& msg) {
   }
 }
 
+std::uint64_t WanKeeperReplica::StateDigest() const {
+  Digest d;
+  d.Mix(ZoneGroupNode::StateDigest());
+  d.Mix(static_cast<std::uint64_t>(tokens_.size()));
+  for (const Key& key : tokens_) d.Mix(key);
+  d.Mix(static_cast<std::uint64_t>(table_.size()));
+  for (const auto& [key, token] : table_) {
+    d.Mix(key);
+    d.Mix(static_cast<std::uint64_t>(token.state));
+    d.Mix(static_cast<std::uint64_t>(token.zone))
+        .Mix(static_cast<std::uint64_t>(token.run_zone))
+        .Mix(static_cast<std::uint64_t>(token.run_length));
+    d.Mix(static_cast<std::uint64_t>(token.queued.size()));
+    for (const ClientRequest& req : token.queued) d.Mix(req.ContentDigest());
+    // policy_cooldown_until is pacing state (see Node::StateDigest docs).
+  }
+  d.Mix(pipeline_.StateDigest());
+  return d.value();
+}
+
 void RegisterWanKeeperProtocol() {
   RegisterProtocol(
       "wankeeper",

@@ -31,6 +31,10 @@ namespace wankeeper {
 /// Zone leader -> master leader: I lack the token for this command's key.
 struct TokenRequest : Message {
   ClientRequest req;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(req.ContentDigest()).value();
+  }
 };
 
 /// Master -> zone leader: you now hold the token (state transfer included
@@ -39,11 +43,21 @@ struct TokenGrant : Message {
   Key key = 0;
   bool has_value = false;
   Value value;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key).Mix(has_value ? 1u : 0u).Mix(value);
+    return d.value();
+  }
 };
 
 /// Master -> zone leader: return the token for `key`.
 struct TokenRevoke : Message {
   Key key = 0;
+
+  std::uint64_t ContentDigest() const override {
+    return Digest().Mix(key).value();
+  }
 };
 
 /// Zone leader -> master: token returned (with latest value for state
@@ -52,6 +66,12 @@ struct TokenReturn : Message {
   Key key = 0;
   bool has_value = false;
   Value value;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key).Mix(has_value ? 1u : 0u).Mix(value);
+    return d.value();
+  }
 };
 
 }  // namespace wankeeper
@@ -64,6 +84,10 @@ class WanKeeperReplica : public ZoneGroupNode {
   /// sanity — only group leaders may hold tokens, and the master's token
   /// table must be internally consistent.
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: the group log (inherited) plus the
+  /// token cache and the master's token table.
+  std::uint64_t StateDigest() const override;
 
   bool IsMasterZone() const { return id().zone == master_zone_; }
   std::size_t tokens_held() const { return tokens_.size(); }

@@ -519,6 +519,47 @@ Node::LogStats WPaxosReplica::GetLogStats() const {
   return stats;
 }
 
+std::uint64_t WPaxosReplica::StateDigest() const {
+  Digest d;
+  d.Mix(Node::StateDigest());
+  d.Mix(static_cast<std::uint64_t>(objects_.size()));
+  for (const auto& [key, obj] : objects_) {
+    d.Mix(key);
+    MixBallot(d, obj.ballot);
+    d.Mix(obj.active ? 1u : 0u).Mix(obj.stealing ? 1u : 0u);
+    MixQuorum(d, obj.q1.get());
+    MixWireEntries(d, obj.recovered);
+    d.Mix(static_cast<std::uint64_t>(obj.log.size()));
+    for (const auto& [slot, entry] : obj.log) {
+      d.Mix(static_cast<std::uint64_t>(slot));
+      MixBallot(d, entry.ballot);
+      d.Mix(entry.batch.ContentDigest()).Mix(entry.committed ? 1u : 0u);
+      MixQuorum(d, entry.q2.get());
+    }
+    d.Mix(static_cast<std::uint64_t>(obj.log.snapshot_index()));
+    d.Mix(static_cast<std::uint64_t>(obj.snapshot.applied))
+        .Mix(obj.snapshot.digest);
+    d.Mix(static_cast<std::uint64_t>(obj.next_slot))
+        .Mix(static_cast<std::uint64_t>(obj.commit_up_to))
+        .Mix(static_cast<std::uint64_t>(obj.execute_up_to));
+    d.Mix(static_cast<std::uint64_t>(obj.pending.size()));
+    for (const auto& [slot, origins] : obj.pending) {
+      d.Mix(static_cast<std::uint64_t>(slot));
+      d.Mix(static_cast<std::uint64_t>(origins.size()));
+      for (const ClientRequest& req : origins) d.Mix(req.ContentDigest());
+    }
+    d.Mix(static_cast<std::uint64_t>(obj.backlog.size()));
+    for (const ClientRequest& req : obj.backlog) d.Mix(req.ContentDigest());
+    d.Mix(obj.pipeline != nullptr ? obj.pipeline->StateDigest() : 0u);
+    // Handoff-policy counters steer future migrations; the cooldown
+    // deadline is pacing state and stays out (see Node::StateDigest docs).
+    d.Mix(static_cast<std::uint64_t>(obj.run_zone))
+        .Mix(static_cast<std::uint64_t>(obj.run_length))
+        .Mix(obj.handoff_sent ? 1u : 0u);
+  }
+  return d.value();
+}
+
 void RegisterWPaxosProtocol() {
   RegisterProtocol(
       "wpaxos",

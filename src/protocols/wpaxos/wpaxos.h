@@ -54,6 +54,14 @@ struct P1a : Message {
   /// Requester's commit watermark: the responder only reports entries
   /// above it.
   Slot commit_up_to = -1;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key);
+    MixBallot(d, ballot);
+    d.Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 struct P1b : Message {
@@ -73,6 +81,17 @@ struct P1b : Message {
     return 100 + WireBytesOf(entries) +
            (has_snapshot ? snapshot.ByteSizeEstimate() : 0);
   }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key);
+    MixBallot(d, ballot);
+    d.Mix(ok ? 1u : 0u);
+    MixWireEntries(d, entries);
+    d.Mix(has_snapshot ? 1u : 0u);
+    d.Mix(static_cast<std::uint64_t>(snapshot.applied)).Mix(snapshot.digest);
+    return d.value();
+  }
 };
 
 struct P2a : Message {
@@ -84,6 +103,16 @@ struct P2a : Message {
   Slot commit_up_to = -1;
 
   std::size_t ByteSize() const override { return 50 + batch.WireBytes(); }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key);
+    MixBallot(d, ballot);
+    d.Mix(static_cast<std::uint64_t>(slot))
+        .Mix(batch.ContentDigest())
+        .Mix(static_cast<std::uint64_t>(commit_up_to));
+    return d.value();
+  }
 };
 
 struct P2b : Message {
@@ -91,6 +120,14 @@ struct P2b : Message {
   Ballot ballot;
   Slot slot = 0;
   bool ok = false;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key);
+    MixBallot(d, ballot);
+    d.Mix(static_cast<std::uint64_t>(slot)).Mix(ok ? 1u : 0u);
+    return d.value();
+  }
 };
 
 /// Owner-initiated migration: "you have been accessing this object
@@ -98,6 +135,13 @@ struct P2b : Message {
 struct Handoff : Message {
   Key key = 0;
   Ballot ballot;  ///< Owner's current ballot, so the new leader outbids it.
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(key);
+    MixBallot(d, ballot);
+    return d.value();
+  }
 };
 
 }  // namespace wpaxos
@@ -115,6 +159,11 @@ class WPaxosReplica : public Node {
   /// and grid-quorum intersection (sim/auditor.h). Only objects touched
   /// since the last pass are re-examined.
   void Audit(AuditScope& scope) const override;
+
+  /// Model-checker state fingerprint: every object's ballot/ownership,
+  /// log, quorum tallies and handoff-policy state on top of Node's store
+  /// digest.
+  std::uint64_t StateDigest() const override;
 
   /// Number of objects this node currently owns.
   std::size_t objects_owned() const;

@@ -75,23 +75,6 @@ ReplayReport AuditReplay(
 
 // --- Digests ---------------------------------------------------------------
 
-Digest& Digest::Mix(std::uint64_t x) {
-  for (int i = 0; i < 8; ++i) {
-    h_ ^= (x >> (8 * i)) & 0xffu;
-    h_ *= 1099511628211ULL;  // FNV prime
-  }
-  return *this;
-}
-
-Digest& Digest::Mix(std::string_view s) {
-  for (const char c : s) {
-    h_ ^= static_cast<unsigned char>(c);
-    h_ *= 1099511628211ULL;
-  }
-  Mix(static_cast<std::uint64_t>(s.size()));
-  return *this;
-}
-
 std::uint64_t DigestCommand(const Command& cmd) {
   Digest d;
   d.Mix(cmd.op == Command::Op::kPut ? 2u : 1u)

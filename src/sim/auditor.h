@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/digest.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 #include "store/command.h"
@@ -74,16 +75,9 @@ ReplayReport AuditReplay(const std::function<void(TraceRecorder&)>& scenario);
 // Part 2: protocol-invariant auditing.
 // ---------------------------------------------------------------------------
 
-/// FNV-1a accumulator for fingerprinting chosen commands.
-class Digest {
- public:
-  Digest& Mix(std::uint64_t x);
-  Digest& Mix(std::string_view s);
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
-};
+// The Digest accumulator itself lives in common/digest.h (shared with
+// snapshots and the model checker); the command digests below stay here
+// because they depend on store/command.h.
 
 /// Digest of a command's full identity and effect (op, key, value, issuer).
 /// Two log slots holding commands with different digests are different
@@ -178,6 +172,12 @@ class Auditable {
 class InvariantAuditor : public SimObserver {
  public:
   explicit InvariantAuditor(bool fail_fast = true);
+
+  /// Switches between abort-on-violation and accumulate modes. The model
+  /// checker needs accumulate: a violation is the *answer* of an
+  /// exploration (recorded with its schedule), not a crash.
+  void set_fail_fast(bool fail_fast) { fail_fast_ = fail_fast; }
+  bool fail_fast() const { return fail_fast_; }
 
   /// Adds a node to the audit set (not owned; must outlive the auditor or
   /// the simulation, whichever stops first).

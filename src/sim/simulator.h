@@ -1,6 +1,7 @@
 #ifndef PAXI_SIM_SIMULATOR_H_
 #define PAXI_SIM_SIMULATOR_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "sim/event_queue.h"
 
 namespace paxi {
+
+struct Message;  // net/message.h; kept incomplete to avoid a sim -> net edge.
 
 /// One executed simulator event, as seen by observers: the event's
 /// insertion sequence number (a deterministic id), the virtual time it ran
@@ -34,6 +37,24 @@ class SimObserver {
   /// Called after each event's callback has run (and after the clock
   /// advanced to the event's time).
   virtual void OnEventExecuted(const EventFingerprint& fp) = 0;
+};
+
+/// Choice-point hook for systematic exploration (src/mc): when installed
+/// on a Simulator, the transport offers every message delivery to the
+/// hook *before* scheduling it on the event clock. A hook that returns
+/// true takes ownership of the delivery (parks it as a pending choice and
+/// later fires it via Transport::DeliverNow in whatever order the
+/// explorer picks); returning false leaves the delivery on the normal
+/// timeline. Timers and other non-delivery events are not intercepted —
+/// the explorer controls those by stepping the event queue itself.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+
+  /// Offered once per scheduled delivery (duplicates included), at the
+  /// send instant, with the arrival time the transport computed.
+  virtual bool InterceptDelivery(NodeId to, std::shared_ptr<const Message> msg,
+                                 Time arrival) = 0;
 };
 
 /// Deterministic discrete-event simulator: a virtual clock plus an event
@@ -96,6 +117,16 @@ class Simulator {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Virtual time of the earliest pending event. Requires pending_events()
+  /// > 0; the explorer uses this to decide whether advancing the clock is
+  /// meaningful before branching on a timer step.
+  Time NextEventTime() const { return queue_.PeekTime(); }
+
+  /// Installs (or clears, with nullptr) the exploration hook consulted by
+  /// the transport on every delivery. Not owned; at most one at a time.
+  void set_scheduler_hook(SchedulerHook* hook) { scheduler_hook_ = hook; }
+  SchedulerHook* scheduler_hook() const { return scheduler_hook_; }
+
  private:
   /// Advances the clock to the earliest event, runs it in place in the
   /// queue's slab (EventQueue::RunTop — no callback relocation), and
@@ -106,6 +137,7 @@ class Simulator {
   EventQueue queue_;
   Rng rng_;
   std::vector<SimObserver*> observers_;
+  SchedulerHook* scheduler_hook_ = nullptr;
 };
 
 }  // namespace paxi

@@ -1,6 +1,9 @@
 #include "store/kvstore.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "common/digest.h"
 
 namespace paxi {
 
@@ -48,8 +51,43 @@ std::vector<CommandId> KvStore::WriteHistory(Key key) const {
 std::vector<Key> KvStore::Keys() const {
   std::vector<Key> keys;
   keys.reserve(history_.size());
+  // Iteration order is unspecified here; the sort below is what callers
+  // get to see (determinism_allowlist.txt records this exception).
   for (const auto& [key, hist] : history_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   return keys;
+}
+
+std::uint64_t KvStore::StateDigest() const {
+  Digest d;
+  const std::vector<Key> keys = Keys();  // sorted: deterministic order
+  d.Mix(static_cast<std::uint64_t>(keys.size()));
+  for (const Key key : keys) {
+    d.Mix(static_cast<std::uint64_t>(key));
+    if (auto it = versions_.find(key); it != versions_.end()) {
+      d.Mix(static_cast<std::uint64_t>(it->second.size()));
+      for (const VersionedValue& v : it->second) {
+        d.Mix(v.value).Mix(static_cast<std::uint64_t>(v.version));
+        d.Mix(static_cast<std::uint64_t>(v.writer.client))
+            .Mix(static_cast<std::uint64_t>(v.writer.request));
+      }
+    }
+    if (auto it = history_.find(key); it != history_.end()) {
+      d.Mix(static_cast<std::uint64_t>(it->second.size()));
+      for (const CommandId& id : it->second) {
+        d.Mix(static_cast<std::uint64_t>(id.client))
+            .Mix(static_cast<std::uint64_t>(id.request));
+      }
+    }
+    if (auto it = write_history_.find(key); it != write_history_.end()) {
+      d.Mix(static_cast<std::uint64_t>(it->second.size()));
+      for (const CommandId& id : it->second) {
+        d.Mix(static_cast<std::uint64_t>(id.client))
+            .Mix(static_cast<std::uint64_t>(id.request));
+      }
+    }
+  }
+  return d.value();
 }
 
 void KvStore::RestoreKeyState(Key key, std::vector<VersionedValue> versions,

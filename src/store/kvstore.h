@@ -1,6 +1,7 @@
 #ifndef PAXI_STORE_KVSTORE_H_
 #define PAXI_STORE_KVSTORE_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -44,8 +45,15 @@ class KvStore {
   std::vector<CommandId> WriteHistory(Key key) const;
 
   /// Every key the store has executed a command against (reads included),
-  /// in unspecified order. Snapshot capture sorts these for determinism.
+  /// sorted ascending — callers (snapshot capture, checkers, digests)
+  /// must never observe hash-map iteration order.
   std::vector<Key> Keys() const;
+
+  /// Deterministic digest of the entire store — every version, history
+  /// entry, and write-history entry, in sorted key order. Equal digests
+  /// mean (up to FNV collisions) state-machine equality; the model
+  /// checker's Node::StateDigest builds on this.
+  std::uint64_t StateDigest() const;
 
   /// Replaces `key`'s state wholesale — the snapshot-install primitive.
   /// `num_executed` is adjusted by the change in history length so the

@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Determinism lint for the paxi source tree.
+
+The simulator's whole value proposition is byte-replayable runs (same seed,
+same event stream — see sim/auditor.h), and the model checker (src/mc)
+additionally requires that replaying a choice prefix reproduces the exact
+same state. Both break silently when code sneaks in a source of
+nondeterminism. This lint catches the classes that have actually bitten
+similar codebases:
+
+  unordered-iteration  Iterating an unordered container whose order can
+                       leak into messages, replies, logs, or digests.
+                       (Order is a hash-seed/allocation artifact.)
+  wall-clock           Wall-clock time (std::chrono, time(), ...) instead
+                       of the simulator's virtual clock.
+  raw-rand             rand()/random_device/... instead of the simulator's
+                       seeded Rng (common/rng.h).
+  raw-assert           assert() instead of PAXI_CHECK (common/check.h):
+                       assert vanishes under NDEBUG, so release and debug
+                       builds would diverge in behavior on broken state.
+  pointer-keyed        std::map/std::set keyed on pointers: iteration
+                       order is allocation-address order, different every
+                       run.
+
+Usage:  tools/determinism_lint.py [--allowlist FILE] [paths...]
+        (default path: src/, default allowlist: tools/determinism_allowlist.txt)
+
+Exit status: 0 clean, 1 findings (or stale allowlist entries), 2 usage.
+
+Allowlist format, one entry per line:
+    <path-suffix>:<rule>:<line-substring>  # one-line justification
+An entry suppresses findings of <rule> on lines containing <line-substring>
+in files whose path ends with <path-suffix>. The justification is
+mandatory; unused entries are reported as errors so the list cannot rot.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "unordered-iteration",
+    "wall-clock",
+    "raw-rand",
+    "raw-assert",
+    "pointer-keyed",
+)
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono|steady_clock|system_clock|high_resolution_clock"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+RAW_RAND_RE = re.compile(
+    r"\bstd::rand\b|(?<![\w_.])rand\s*\(|\bsrand\s*\(|random_device|mt19937"
+)
+RAW_ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+POINTER_KEYED_RE = re.compile(
+    r"\b(?:std::)?(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+)
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+# Identifier that ends a declaration whose type mentions an unordered
+# container: "... unordered_map<...> name;" / "...>& Fn() {" / "...> name = ".
+DECL_NAME_RE = re.compile(r">\s*&?\s*(\w+)\s*(?:[;={]|\(\s*\))")
+NEXTLINE_NAME_RE = re.compile(r"^\s*(\w+)\s*[;={]")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving line
+    structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def unordered_names(lines):
+    """Pass 1: identifiers declared (or returned by a nullary function)
+    with an unordered container type in this file."""
+    names = set()
+    for idx, line in enumerate(lines):
+        if not UNORDERED_DECL_RE.search(line):
+            continue
+        m = DECL_NAME_RE.search(line)
+        if m:
+            names.add(m.group(1))
+            continue
+        # Declaration split across lines: the name opens the next line.
+        if idx + 1 < len(lines):
+            m = NEXTLINE_NAME_RE.match(lines[idx + 1])
+            if m:
+                names.add(m.group(1))
+    names.discard("unordered_map")
+    names.discard("unordered_set")
+    return names
+
+
+def paired_header_names(path):
+    """Unordered-container members of a .cc file usually live in its
+    header; fold the sibling .h declarations into the name set."""
+    base, ext = os.path.splitext(path)
+    if ext not in (".cc", ".cpp"):
+        return set()
+    for header_ext in (".h", ".hpp"):
+        header = base + header_ext
+        if os.path.exists(header):
+            try:
+                with open(header, encoding="utf-8") as f:
+                    header_text = f.read()
+            except OSError:
+                return set()
+            return unordered_names(
+                strip_comments_and_strings(header_text).split("\n")
+            )
+    return set()
+
+
+def check_file(path, text):
+    """Yields (line_number, rule, line_text) findings."""
+    clean = strip_comments_and_strings(text)
+    lines = clean.split("\n")
+    raw_lines = text.split("\n")
+    names = unordered_names(lines) | paired_header_names(path)
+    iter_res = [
+        re.compile(r"for\s*\([^)]*:\s*&?\s*" + re.escape(n) + r"\b")
+        for n in names
+    ] + [
+        re.compile(r"\b" + re.escape(n) + r"\s*(?:\(\s*\))?\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+        for n in names
+    ]
+    in_check_header = path.endswith(os.path.join("common", "check.h"))
+    for lineno, line in enumerate(lines, start=1):
+        if WALL_CLOCK_RE.search(line):
+            yield lineno, "wall-clock", raw_lines[lineno - 1]
+        if RAW_RAND_RE.search(line):
+            yield lineno, "raw-rand", raw_lines[lineno - 1]
+        if not in_check_header and RAW_ASSERT_RE.search(line):
+            yield lineno, "raw-assert", raw_lines[lineno - 1]
+        if POINTER_KEYED_RE.search(line):
+            yield lineno, "pointer-keyed", raw_lines[lineno - 1]
+        for iter_re in iter_res:
+            if iter_re.search(line):
+                yield lineno, "unordered-iteration", raw_lines[lineno - 1]
+                break
+
+
+def load_allowlist(path):
+    """Returns a list of dicts: {file_suffix, rule, substring, line, used}."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(":", 2)
+            if len(parts) != 3:
+                print(
+                    f"{path}:{lineno}: malformed allowlist entry "
+                    f"(want path:rule:substring): {line}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            file_suffix, rule, substring = (p.strip() for p in parts)
+            if rule not in RULES:
+                print(
+                    f"{path}:{lineno}: unknown rule '{rule}' "
+                    f"(known: {', '.join(RULES)})",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            if "#" not in raw:
+                print(
+                    f"{path}:{lineno}: allowlist entry lacks a justification "
+                    f"comment",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            entries.append(
+                {
+                    "file_suffix": file_suffix,
+                    "rule": rule,
+                    "substring": substring,
+                    "line": lineno,
+                    "used": False,
+                }
+            )
+    return entries
+
+
+def allowed(entries, path, rule, line_text):
+    norm = path.replace(os.sep, "/")
+    for entry in entries:
+        if (
+            norm.endswith(entry["file_suffix"])
+            and entry["rule"] == rule
+            and entry["substring"] in line_text
+        ):
+            entry["used"] = True
+            return True
+    return False
+
+
+def collect_sources(paths):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs.sort()
+            for name in sorted(files):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    yield os.path.join(root, name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument(
+        "--allowlist",
+        default=None,
+        help="allowlist file (default: tools/determinism_allowlist.txt "
+        "next to this script)",
+    )
+    args = parser.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(here)
+    paths = args.paths or [os.path.join(repo, "src")]
+    allowlist_path = args.allowlist or os.path.join(
+        here, "determinism_allowlist.txt"
+    )
+    entries = load_allowlist(allowlist_path)
+
+    findings = 0
+    for path in collect_sources(paths):
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as err:
+            print(f"{path}: unreadable: {err}", file=sys.stderr)
+            sys.exit(2)
+        for lineno, rule, line_text in check_file(path, text):
+            if allowed(entries, path, rule, line_text):
+                continue
+            findings += 1
+            print(f"{path}:{lineno}: [{rule}] {line_text.strip()}")
+
+    stale = [e for e in entries if not e["used"]]
+    for entry in stale:
+        print(
+            f"{allowlist_path}:{entry['line']}: stale allowlist entry "
+            f"(matched nothing): {entry['file_suffix']}:{entry['rule']}:"
+            f"{entry['substring']}",
+            file=sys.stderr,
+        )
+
+    if findings or stale:
+        print(
+            f"determinism lint: {findings} finding(s), "
+            f"{len(stale)} stale allowlist entr{'y' if len(stale) == 1 else 'ies'}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
