@@ -74,7 +74,62 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // -- Fig. 8c: in-memory vs durable — the fsync joins the critical path.
+  // With group commit (G=8) the disk amortizes below the CPU cost and the
+  // protocols keep their in-memory capacity, paying only the ack-path
+  // sync latency; without it (G=1) every record buys a full fsync and the
+  // leader's capacity collapses to the disk's — the fsync-bound regime.
+  model::ModelEnv flat_gc = flat;
+  flat_gc.disk.durable = true;
+  model::ModelEnv flat_nogc = flat_gc;
+  flat_nogc.disk.group_commit_max = 1.0;
+  model::ModelEnv grid_gc = grid;
+  grid_gc.disk.durable = true;
+
+  model::PaxosModel paxos_gc(flat_gc, NodeId{1, 1});
+  model::PaxosModel paxos_nogc(flat_nogc, NodeId{1, 1});
+  model::EPaxosModel epaxos_gc(flat_gc, /*conflict=*/0.05, /*penalty=*/2.0);
+  model::WPaxosModel wpaxos_gc(grid_gc, /*fz=*/0, /*locality=*/1.0);
+
+  const Entry durable_entries[] = {{"MultiPaxos+wal", &paxos_gc},
+                                   {"MultiPaxos+wal(G=1)", &paxos_nogc},
+                                   {"EPaxos+wal", &epaxos_gc},
+                                   {"WPaxos+wal", &wpaxos_gc}};
+  std::printf("\n-- Fig. 8c: durable variants (WAL + group commit) --\n");
+  std::printf("csv: series,max_throughput_rounds_s,latency_at_1k_ms\n");
+  for (const auto& e : durable_entries) {
+    std::printf("csv: %s,%.0f,%.3f\n", e.name, e.model->MaxThroughput(),
+                e.model->LatencyMs(1000.0));
+  }
+
   int failures = 0;
+  // Fsync-bound regime: with group commit off, the leader's capacity is
+  // the disk's — one record per sync — and sits well below the CPU-bound
+  // in-memory maximum.
+  const double fsync_cap =
+      1e6 / flat_nogc.disk.SyncUs(flat_nogc.disk.RecordBytes(1.0));
+  failures += !bench::Check(
+      paxos_nogc.MaxThroughput() < paxos.MaxThroughput() * 0.8,
+      "without group commit the durable leader is fsync-bound (well below "
+      "the in-memory maximum)");
+  failures += !bench::Check(
+      paxos_nogc.MaxThroughput() < fsync_cap * 1.05,
+      "...and that bound is the disk's: ~one record service time per "
+      "command");
+  failures += !bench::Check(
+      paxos_gc.MaxThroughput() > paxos_nogc.MaxThroughput() * 1.5,
+      "group commit amortizes the fsync and restores most of the "
+      "throughput");
+  const double ack_cost_ms =
+      paxos_gc.LatencyMs(1000.0) - paxos.LatencyMs(1000.0);
+  failures += !bench::Check(
+      ack_cost_ms > 0.3 && ack_cost_ms < 3.0,
+      "durability is not free at low load: the ack path gains roughly two "
+      "uncontended record syncs");
+  failures += !bench::Check(
+      wpaxos_gc.MaxThroughput() <= wpaxos.MaxThroughput() &&
+          epaxos_gc.MaxThroughput() <= epaxos.MaxThroughput(),
+      "durable variants never exceed their in-memory counterparts");
   const double ratio = wpaxos.MaxThroughput() / paxos.MaxThroughput();
   failures += !bench::Check(
       ratio > 1.4 && ratio < 2.5,

@@ -53,6 +53,21 @@ int Run(int argc, char** argv) {
   series.push_back(
       {"WanKeeper", Config::LanGrid3x3("wankeeper"), {1, 3, 6, 11, 20, 34}});
 
+  // Durable lanes: the same protocols over the simulated WAL. With group
+  // commit (default G=8) the disk runs in parallel with the CPU and the
+  // fsync amortizes below it — capacity holds, latency gains the sync
+  // floor. With group commit off (G=1) every record pays a full fsync and
+  // the leader saturates at the disk, not the CPU: the fsync-bound regime.
+  Config paxos_wal = Config::Lan9("paxos");
+  paxos_wal.params["durable"] = "1";
+  Config paxos_wal_nogc = paxos_wal;
+  paxos_wal_nogc.params["group_commit_max"] = "1";
+  Config wpaxos_wal = Config::LanGrid3x3("wpaxos");
+  wpaxos_wal.params["durable"] = "1";
+  series.push_back({"Paxos+wal", paxos_wal, {2, 8, 16, 32, 60}});
+  series.push_back({"Paxos+wal(G=1)", paxos_wal_nogc, {2, 8, 16, 32, 60}});
+  series.push_back({"WPaxos+wal", wpaxos_wal, {1, 3, 6, 11, 20, 34}});
+
   // Flatten series x level so the engine load-balances across all 27
   // universes at once (saturated 60-client points dwarf 2-client ones).
   struct Job {
@@ -108,8 +123,27 @@ int Run(int argc, char** argv) {
   const auto& epaxos = series[2];
   const auto& wpaxos = series[3];
   const auto& wankeeper = series[4];
+  const auto& paxos_d = series[5];
+  const auto& paxos_d_nogc = series[6];
+  const auto& wpaxos_d = series[7];
 
   int failures = 0;
+  failures += !bench::Check(
+      paxos_d_nogc.max_throughput < paxos.max_throughput * 0.8,
+      "without group commit durable Paxos is fsync-bound: saturation sits "
+      "well below the in-memory maximum");
+  failures += !bench::Check(
+      paxos_d.max_throughput > paxos_d_nogc.max_throughput * 1.5,
+      "group commit amortizes the fsync and restores most of the lost "
+      "throughput");
+  failures += !bench::Check(
+      paxos_d.low_load_latency > paxos.low_load_latency,
+      "durability has a low-load latency floor: the ack path waits for "
+      "the record sync");
+  failures += !bench::Check(
+      paxos_d.max_throughput <= paxos.max_throughput * 1.05 &&
+          wpaxos_d.max_throughput <= wpaxos.max_throughput * 1.05,
+      "durable lanes never exceed their in-memory counterparts");
   failures += !bench::Check(
       wpaxos.max_throughput > paxos.max_throughput * 1.3,
       "multi-leader WPaxos clearly outperforms single-leader Paxos");

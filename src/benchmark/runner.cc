@@ -4,6 +4,7 @@
 
 #include "benchmark/sweep.h"
 #include "common/check.h"
+#include "store/wal.h"
 
 namespace paxi {
 namespace {
@@ -175,6 +176,18 @@ BenchResult BenchRunner::Run() {
           gauge.snapshots_taken = stats.snapshots_taken;
           gauge.snapshots_installed = stats.snapshots_installed;
           tracker->RecordLogGauge(gauge);
+          const NodeDisk* disk = cluster->disk(id);
+          if (disk == nullptr) continue;  // in-memory cluster
+          const NodeDisk::Stats& ds = disk->stats();
+          AvailabilityTracker::DiskGauge disk_gauge;
+          disk_gauge.at = now;
+          disk_gauge.node = id.ToString();
+          disk_gauge.sync_count = ds.sync_count;
+          disk_gauge.bytes_synced = ds.bytes_synced;
+          disk_gauge.mean_group_commit = ds.MeanGroupCommit();
+          disk_gauge.recoveries = ds.recoveries;
+          disk_gauge.bytes_compacted = ds.bytes_compacted;
+          tracker->RecordDiskGauge(disk_gauge);
         }
       });
     }

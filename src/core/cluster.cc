@@ -90,8 +90,23 @@ Cluster::Cluster(Config config) : config_(std::move(config)) {
       config_.ordered_transport);
 
   node_ids_ = config_.Nodes();
-  Node::Env env{sim_.get(), transport_.get(), &config_};
+
+  // Durable deployments (param "durable"): every node gets a simulated
+  // disk, created before the nodes so Env.disk can point at it. The disk
+  // service-time knobs ride in the same param map as everything else.
+  if (config_.GetParamBool("durable", false)) {
+    DiskParams disk_params;
+    disk_params.sync_latency_us = config_.GetParamInt("sync_latency_us", 400);
+    disk_params.disk_mbps = config_.GetParamDouble("disk_mbps", 250.0);
+    disk_params.group_commit_max =
+        static_cast<int>(config_.GetParamInt("group_commit_max", 8));
+    for (const NodeId& id : node_ids_) {
+      disks_.emplace(id, std::make_unique<NodeDisk>(disk_params));
+    }
+  }
+
   for (const NodeId& id : node_ids_) {
+    Node::Env env{sim_.get(), transport_.get(), &config_, disk(id)};
     auto node = it->second.factory(id, env, config_);
     transport_->Register(node.get());
     nodes_.emplace(id, std::move(node));
@@ -171,8 +186,10 @@ void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
   // rather than a frozen one.
   transport_->Unregister(id);
 
-  if (mode == RestartMode::kDurable) {
-    // Freeze the node so its armed timers hold until the outage ends.
+  if (mode == RestartMode::kDurable && !durable()) {
+    // In-memory cluster: there is nothing to recover from, so "durable"
+    // restart degrades to a freeze — the node keeps its live state and its
+    // armed timers hold until the outage ends.
     it->second->Crash(downtime);
     sim_->After(downtime, [this, id]() {
       auto alive = nodes_.find(id);
@@ -185,15 +202,44 @@ void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
     return;
   }
 
+  if (mode == RestartMode::kDurable) {
+    // Real crash-restart: the process dies — volatile state, queued
+    // deliveries and the in-flight sync all vanish with the Node object —
+    // and the disk applies its crash mode to the unsynced tail. The
+    // auditor forgets the incarnation's volatile promises: any ballot it
+    // held but never finished syncing was never acknowledged to anyone,
+    // so the successor legitimately restarts below it.
+    NodeDisk* d = disks_.at(id).get();
+    d->Crash();
+    if (auditor_ != nullptr) auditor_->ForgetNode(id);
+    nodes_.erase(it);
+    sim_->After(downtime, [this, id]() {
+      if (nodes_.find(id) != nodes_.end()) return;  // already reborn
+      Node::Env env{sim_.get(), transport_.get(), &config_,
+                    disks_.at(id).get()};
+      auto node = factory_(id, env, config_);
+      Node* raw = node.get();
+      nodes_.emplace(id, std::move(node));
+      if (!transport_->IsRegistered(id)) transport_->Register(raw);
+      if (auditor_ != nullptr) auditor_->Watch(raw);
+      raw->RecoverFromWal();
+      raw->Rejoin();
+      raw->Start();
+    });
+    return;
+  }
+
   // Amnesia: destroy the replica now (its queued deliveries/timers become
   // no-ops via the liveness token) and build a fresh one at wake-up. The
   // auditor forgets the old incarnation's ballots — the newborn starts
   // from zero legitimately — but keeps the cluster's agreement history.
+  // On a durable cluster the medium is lost too (disk swap): wipe it.
   if (auditor_ != nullptr) auditor_->ForgetNode(id);
   nodes_.erase(it);
+  if (NodeDisk* d = disk(id)) d->Wipe();
   sim_->After(downtime, [this, id]() {
     if (nodes_.find(id) != nodes_.end()) return;  // already reborn
-    Node::Env env{sim_.get(), transport_.get(), &config_};
+    Node::Env env{sim_.get(), transport_.get(), &config_, disk(id)};
     auto node = factory_(id, env, config_);
     Node* raw = node.get();
     nodes_.emplace(id, std::move(node));
@@ -201,6 +247,30 @@ void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
     if (auditor_ != nullptr) auditor_->Watch(raw);
     raw->Start();
   });
+}
+
+NodeDisk* Cluster::disk(NodeId id) {
+  auto it = disks_.find(id);
+  return it == disks_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::SetDiskCrashMode(NodeId id, NodeDisk::CrashMode mode) {
+  NodeDisk* d = disk(id);
+  PAXI_CHECK(d != nullptr, "storage faults need a durable cluster");
+  d->set_crash_mode(mode);
+}
+
+void Cluster::CorruptDisk(NodeId id) {
+  NodeDisk* d = disk(id);
+  PAXI_CHECK(d != nullptr, "storage faults need a durable cluster");
+  d->CorruptByte(static_cast<std::size_t>(sim_->rng().Next()));
+}
+
+void Cluster::SetDiskSlowFactor(NodeId id, double factor) {
+  NodeDisk* d = disk(id);
+  PAXI_CHECK(d != nullptr, "storage faults need a durable cluster");
+  PAXI_CHECK(factor > 0.0, "slow-disk factor must be positive");
+  d->set_slow_factor(factor);
 }
 
 InvariantAuditor* Cluster::EnableAuditing(bool fail_fast) {

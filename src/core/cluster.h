@@ -105,8 +105,33 @@ class Cluster {
   /// transport, so in-flight and new messages to it are dropped (unlike
   /// CrashNode's freeze, which queues them) — then brings it back per
   /// `mode` and calls Node::Rejoin (durable) or Start (amnesia).
+  ///
+  /// On a durable cluster (param "durable") kDurable is the real thing: the
+  /// replica object is destroyed with its volatile state, the disk keeps
+  /// only what completed a sync (per its crash mode), and the replacement
+  /// recovers by replaying the WAL (Node::RecoverFromWal) before rejoining
+  /// — no live state is copied. kAmnesia additionally wipes the disk.
   void RestartNode(NodeId id, Time downtime,
                    RestartMode mode = RestartMode::kDurable);
+
+  /// True when this cluster simulates durable storage (param "durable"):
+  /// every node has a NodeDisk and persists through the WAL.
+  bool durable() const { return !disks_.empty(); }
+
+  /// The durable medium of `id`; nullptr on an in-memory cluster.
+  NodeDisk* disk(NodeId id);
+
+  // --- Storage-fault switches (used by the nemesis) ------------------------
+
+  /// Sets what happens to `id`'s unsynced WAL tail at its next crash.
+  void SetDiskCrashMode(NodeId id, NodeDisk::CrashMode mode);
+
+  /// Flips one bit in the durable region of `id`'s WAL at a seeded
+  /// pseudo-random offset — media corruption for recovery to catch.
+  void CorruptDisk(NodeId id);
+
+  /// Scales `id`'s subsequent fsync durations (slow-disk fault).
+  void SetDiskSlowFactor(NodeId id, double factor);
 
   /// Scales all subsequently armed timers of `id` by `factor`
   /// (Node::SetClockSkew).
@@ -138,6 +163,10 @@ class Cluster {
   std::unique_ptr<InvariantAuditor> auditor_;
   std::vector<NodeId> node_ids_;
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  /// Durable media, one per node when param "durable" is set. Owned here —
+  /// NOT by the nodes — because the disk is exactly the state that
+  /// survives a replica's death and restart.
+  std::unordered_map<NodeId, std::unique_ptr<NodeDisk>> disks_;
   std::vector<std::unique_ptr<Client>> clients_;
   ClientId next_client_ = 1;
 };

@@ -6,14 +6,29 @@
 
 namespace paxi {
 
+// The disk model charges batches what the NIC model charges them; if the
+// canonical wire size of a command changes, the WAL constant must follow.
+static_assert(kWalCommandModelBytes == kCommandWireBytes,
+              "modeled WAL command bytes must track the wire model");
+
 Node::Node(NodeId id, Env env)
     : id_(id),
       id_str_(id.ToString()),
       sim_(env.sim),
       transport_(env.transport),
-      config_(env.config) {
+      config_(env.config),
+      disk_(env.disk) {
   PAXI_CHECK(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
   peers_ = config_->Nodes();
+  if (disk_ != nullptr) {
+    // Sync completions ride the node's own timer path: they postpone
+    // across crash freezes and die with the node (alive_ token), which is
+    // precisely the semantics of an fsync whose issuer no longer exists.
+    writer_ = std::make_unique<WalWriter>(
+        disk_, [this](Time delay, std::function<void()> fn) {
+          ArmTimer(delay, EventFn(std::move(fn)));
+        });
+  }
 }
 
 Node::~Node() { *alive_ = false; }
@@ -141,6 +156,11 @@ std::uint64_t Node::StateDigest() const {
         .Mix(session.value)
         .Mix(session.found ? 1u : 0u);
   }
+  if (writer_ != nullptr) {
+    // Pending-but-unsynced appends change what acks can still fire, so
+    // two states differing only in queued WAL work must not deduplicate.
+    d.Mix(writer_->StateDigest());
+  }
   return d.value();
 }
 
@@ -152,6 +172,43 @@ void Node::Crash(Time duration) {
 void Node::SetClockSkew(double factor) {
   PAXI_CHECK(factor > 0.0, "clock skew factor must be positive");
   clock_skew_ = factor;
+}
+
+void Node::Persist(WalRecord rec, std::function<void()> on_durable) {
+  if (writer_ == nullptr) {
+    // In-memory node: durability is free and instantaneous; the protocol
+    // logic above this call stays identical either way.
+    if (on_durable) on_durable();
+    return;
+  }
+  writer_->Append(std::move(rec), std::move(on_durable));
+}
+
+void Node::RecoverFromWal() {
+  PAXI_CHECK(disk_ != nullptr, "RecoverFromWal requires a durable node");
+  ScopedCheckContext ctx(
+      CheckContext{config_->protocol, id_str_, sim_->now_ptr()});
+  const NodeDisk::Recovered recovered = disk_->Decode();
+  // Cut the torn/corrupted suffix so new appends extend a clean log.
+  disk_->TruncateTo(recovered.valid_bytes);
+  ApplyWalRecovery(recovered.records);
+  // Rebuild the at-most-once write sessions from the recovered state
+  // machine: the newest version of every key names the command that wrote
+  // it, and a closed-loop client has at most one write outstanding — so
+  // its largest recovered request id is exactly the session watermark. A
+  // put's reply carries the written value (found=true), reproducible here.
+  for (const Key key : store_.Keys()) {
+    const std::vector<KvStore::VersionedValue> versions = store_.Versions(key);
+    if (versions.empty()) continue;
+    const KvStore::VersionedValue& latest = versions.back();
+    Session& s = sessions_[latest.writer.client];
+    if (latest.writer.request < s.newest) continue;
+    s.newest = latest.writer.request;
+    s.replied = true;
+    s.value = latest.value;
+    s.found = true;
+  }
+  disk_->NoteRecovery();
 }
 
 CompactionPolicy Node::SnapshotPolicy() const {

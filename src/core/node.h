@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 #include "store/kvstore.h"
 #include "store/log_storage.h"
+#include "store/wal.h"
 
 namespace paxi {
 
@@ -41,6 +42,9 @@ class Node : public Endpoint, public Auditable {
     Simulator* sim = nullptr;
     Transport* transport = nullptr;
     const Config* config = nullptr;
+    /// Durable medium, owned by the Cluster; null = in-memory node (the
+    /// default — all persistence hooks become synchronous no-ops).
+    NodeDisk* disk = nullptr;
   };
 
   Node(NodeId id, Env env);
@@ -82,6 +86,17 @@ class Node : public Endpoint, public Auditable {
   /// leadership role and rejoin as a follower; catch-up then happens
   /// through their normal recovery paths. Default: nothing.
   virtual void Rejoin() {}
+
+  /// Crash-consistent recovery for durable nodes: decodes the valid WAL
+  /// prefix off this node's disk (truncating a torn or corrupted tail),
+  /// hands the surviving records to the protocol's ApplyWalRecovery, and
+  /// rebuilds the client write sessions from the recovered state machine.
+  /// Called by Cluster::RestartNode on the freshly constructed replacement
+  /// replica, before Rejoin()/Start().
+  void RecoverFromWal();
+
+  bool durable() const { return disk_ != nullptr; }
+  NodeDisk* disk() const { return disk_; }
 
   /// Freezes the node for `duration` (paper §4.2 Crash(t)): no message is
   /// processed and no timer fires until the freeze ends; arrivals queue up
@@ -216,6 +231,23 @@ class Node : public Endpoint, public Auditable {
     ArmTimer(scaled, EventFn(std::forward<F>(fn)));
   }
 
+  /// Persists `rec` to the write-ahead log and runs `on_durable` once the
+  /// covering group-commit sync completes (append order is preserved).
+  /// This is the protocols' durability gate: an acknowledgment that
+  /// certifies state goes inside the continuation, so it cannot be sent
+  /// before the state survives a crash. On an in-memory node (no disk)
+  /// the continuation runs synchronously inline — the durable build is a
+  /// strict superset of the seed behavior.
+  void Persist(WalRecord rec, std::function<void()> on_durable = nullptr);
+
+  /// Replays recovered WAL records into protocol state during
+  /// RecoverFromWal. Protocols that persist anything must override; the
+  /// records arrive in append order, already truncated to the valid
+  /// durable prefix. Default: nothing (protocol persists no state).
+  virtual void ApplyWalRecovery(const std::vector<WalRecord>& records) {
+    (void)records;
+  }
+
   /// Log-compaction policy from the deployment config (`snapshot_interval`
   /// applied entries / `snapshot_max_bytes`; both absent = disabled).
   CompactionPolicy SnapshotPolicy() const;
@@ -272,6 +304,10 @@ class Node : public Endpoint, public Auditable {
   Simulator* sim_;
   Transport* transport_;
   const Config* config_;
+  NodeDisk* disk_ = nullptr;
+  /// Group-commit scheduler over disk_; dies with the node, which is
+  /// exactly what abandons an in-flight sync on crash.
+  std::unique_ptr<WalWriter> writer_;
   std::vector<NodeId> peers_;
   std::unordered_map<std::type_index, std::function<void(const Message&)>>
       handlers_;

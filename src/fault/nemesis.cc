@@ -116,6 +116,31 @@ void Nemesis::Apply(const FaultAction& action) {
     case FaultAction::Kind::kClockSkew:
       cluster_->SetClockSkew(action.node, action.skew);
       break;
+    case FaultAction::Kind::kCrashMidSync:
+      // A restart at an arbitrary instant: whatever sync was in flight
+      // never completes and its records are lost at the durable frontier.
+      cluster_->SetDiskCrashMode(action.node, NodeDisk::CrashMode::kClean);
+      cluster_->RestartNode(action.node, action.duration,
+                            Cluster::RestartMode::kDurable);
+      break;
+    case FaultAction::Kind::kTornWrite:
+      cluster_->SetDiskCrashMode(action.node, NodeDisk::CrashMode::kTornTail);
+      cluster_->RestartNode(action.node, action.duration,
+                            Cluster::RestartMode::kDurable);
+      break;
+    case FaultAction::Kind::kBitFlip:
+      // Damage the durable region, then force the recovery path to read
+      // it: checksum verification must cut the log at the flipped byte.
+      cluster_->CorruptDisk(action.node);
+      cluster_->RestartNode(action.node, action.duration,
+                            Cluster::RestartMode::kDurable);
+      break;
+    case FaultAction::Kind::kSlowDisk:
+      cluster_->SetDiskSlowFactor(action.node, action.skew);
+      cluster_->sim().After(action.duration, [this, node = action.node]() {
+        cluster_->SetDiskSlowFactor(node, 1.0);
+      });
+      break;
   }
 }
 

@@ -21,6 +21,15 @@ std::string LinkName(const NodeId& a, const NodeId& b) {
   return a.ToString() + ">" + b.ToString();
 }
 
+std::string Factor(double f) {
+  // "x8" for whole factors, "x1.5" otherwise — stable across locales.
+  const auto whole = static_cast<long long>(f);
+  if (static_cast<double>(whole) == f) return "x" + std::to_string(whole);
+  const auto tenths = static_cast<long long>(f * 10 + 0.5);
+  return "x" + std::to_string(tenths / 10) + "." +
+         std::to_string(tenths % 10);
+}
+
 }  // namespace
 
 FaultAction FaultAction::Partition(std::vector<std::vector<NodeId>> groups,
@@ -132,6 +141,39 @@ FaultAction FaultAction::ClockSkew(NodeId node, double factor) {
   return action;
 }
 
+FaultAction FaultAction::CrashMidSync(NodeId node, Time downtime) {
+  FaultAction action;
+  action.kind = Kind::kCrashMidSync;
+  action.node = node;
+  action.duration = downtime;
+  return action;
+}
+
+FaultAction FaultAction::TornWrite(NodeId node, Time downtime) {
+  FaultAction action;
+  action.kind = Kind::kTornWrite;
+  action.node = node;
+  action.duration = downtime;
+  return action;
+}
+
+FaultAction FaultAction::BitFlip(NodeId node, Time downtime) {
+  FaultAction action;
+  action.kind = Kind::kBitFlip;
+  action.node = node;
+  action.duration = downtime;
+  return action;
+}
+
+FaultAction FaultAction::SlowDisk(NodeId node, double factor, Time duration) {
+  FaultAction action;
+  action.kind = Kind::kSlowDisk;
+  action.node = node;
+  action.skew = factor;
+  action.duration = duration;
+  return action;
+}
+
 std::string FaultAction::Describe() const {
   switch (kind) {
     case Kind::kNone:
@@ -174,6 +216,15 @@ std::string FaultAction::Describe() const {
     case Kind::kClockSkew:
       return "clock-skew " + node.ToString() + " x" +
              std::to_string(skew);
+    case Kind::kCrashMidSync:
+      return "crash-mid-sync " + node.ToString() + " " + Ms(duration);
+    case Kind::kTornWrite:
+      return "torn-write " + node.ToString() + " " + Ms(duration);
+    case Kind::kBitFlip:
+      return "bit-flip " + node.ToString() + " " + Ms(duration);
+    case Kind::kSlowDisk:
+      return "slow-disk " + node.ToString() + " " + Factor(skew) + " " +
+             Ms(duration);
   }
   return "none";
 }

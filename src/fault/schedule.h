@@ -33,6 +33,11 @@ struct FaultAction {
     kDuplicate,   ///< Probabilistic duplication on a link (or every link).
     kReorder,     ///< Bounded reordering on a link (or every link).
     kClockSkew,   ///< Scale one node's timers (Cluster::SetClockSkew).
+    // Storage faults (durable clusters only; see store/wal.h).
+    kCrashMidSync,  ///< Durable restart; unsynced WAL tail lost cleanly.
+    kTornWrite,     ///< Durable restart; tail torn mid-record on the platter.
+    kBitFlip,       ///< Corrupt one durable WAL byte, then durable restart.
+    kSlowDisk,      ///< Scale a node's fsync times for a while.
   };
 
   Kind kind = Kind::kNone;
@@ -65,6 +70,15 @@ struct FaultAction {
   static FaultAction Reorder(NodeId a, NodeId b, double p, Time max_extra,
                              Time duration);
   static FaultAction ClockSkew(NodeId node, double factor);
+  /// Storage faults. The three crash flavors kill the node for `downtime`
+  /// with different fates for the WAL bytes a sync had not finished
+  /// covering: lost cleanly (crash-mid-sync), partially written
+  /// (torn-write), or — for bit-flip — the durable region itself damaged
+  /// before the node comes back and replays it.
+  static FaultAction CrashMidSync(NodeId node, Time downtime);
+  static FaultAction TornWrite(NodeId node, Time downtime);
+  static FaultAction BitFlip(NodeId node, Time downtime);
+  static FaultAction SlowDisk(NodeId node, double factor, Time duration);
 
   /// Deterministic one-line description ("partition {1.1 1.2|2.1} 500ms"),
   /// used for telemetry labels and byte-identical replay comparison.

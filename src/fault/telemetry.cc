@@ -67,6 +67,11 @@ void AvailabilityTracker::RecordLogGauge(const LogGauge& gauge) {
   gauges_.push_back(gauge);
 }
 
+void AvailabilityTracker::RecordDiskGauge(const DiskGauge& gauge) {
+  if (finalized_) return;
+  disk_gauges_.push_back(gauge);
+}
+
 std::size_t AvailabilityTracker::MaxLogEntries(const std::string& node) const {
   std::size_t max_entries = 0;
   for (const LogGauge& g : gauges_) {
@@ -184,6 +189,19 @@ std::string AvailabilityTracker::ToJson() const {
     json += ",\"entries_compacted\":" + std::to_string(g.entries_compacted);
     json += ",\"snapshots_taken\":" + std::to_string(g.snapshots_taken);
     json += ",\"snapshots_installed\":" + std::to_string(g.snapshots_installed);
+    json += "}";
+  }
+  json += "],\"disk_gauges\":[";
+  for (std::size_t i = 0; i < disk_gauges_.size(); ++i) {
+    const DiskGauge& g = disk_gauges_[i];
+    if (i > 0) json += ",";
+    json += "{\"t_us\":" + std::to_string(g.at);
+    json += ",\"node\":\"" + JsonEscape(g.node) + "\"";
+    json += ",\"sync_count\":" + std::to_string(g.sync_count);
+    json += ",\"bytes_synced\":" + std::to_string(g.bytes_synced);
+    json += ",\"mean_group_commit\":" + JsonDouble(g.mean_group_commit);
+    json += ",\"recoveries\":" + std::to_string(g.recoveries);
+    json += ",\"bytes_compacted\":" + std::to_string(g.bytes_compacted);
     json += "}";
   }
   json += "],\"max_ttr_us\":" + std::to_string(MaxTimeToRecovery());

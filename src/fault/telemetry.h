@@ -2,6 +2,7 @@
 #define PAXI_FAULT_TELEMETRY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,6 +57,20 @@ class AvailabilityTracker {
     std::size_t snapshots_installed = 0;
   };
 
+  /// Point-in-time sample of one node's durable-storage activity
+  /// (store/wal.h NodeDisk::Stats), recorded only on durable clusters.
+  /// Cumulative counters; the per-interval sync rate is the difference of
+  /// consecutive samples for the same node.
+  struct DiskGauge {
+    Time at = 0;
+    std::string node;                   ///< "zone.node".
+    std::uint64_t sync_count = 0;       ///< Completed group-commit syncs.
+    std::uint64_t bytes_synced = 0;     ///< Modeled bytes across all syncs.
+    double mean_group_commit = 0;       ///< Mean records per sync so far.
+    std::uint64_t recoveries = 0;       ///< Successful WAL replays.
+    std::uint64_t bytes_compacted = 0;  ///< Encoded bytes dropped by GC.
+  };
+
   explicit AvailabilityTracker(Time interval = 100 * kMillisecond);
 
   /// Records a completed client operation (ok) or a failed reply (!ok)
@@ -70,6 +85,10 @@ class AvailabilityTracker {
   /// every node once per tracker interval when a tracker is attached).
   void RecordLogGauge(const LogGauge& gauge);
 
+  /// Records one node's durable-storage sample (sampled alongside the log
+  /// gauges when the cluster is durable).
+  void RecordDiskGauge(const DiskGauge& gauge);
+
   /// Closes the timeline at `end`: materializes contiguous interval stats
   /// (empty buckets included), computes unavailability windows and each
   /// fault's time-to-recovery. Call once, after the run.
@@ -82,6 +101,7 @@ class AvailabilityTracker {
     return windows_;
   }
   const std::vector<LogGauge>& log_gauges() const { return gauges_; }
+  const std::vector<DiskGauge>& disk_gauges() const { return disk_gauges_; }
 
   /// Largest log_entries sample recorded for `node` ("" = any node).
   std::size_t MaxLogEntries(const std::string& node = "") const;
@@ -113,6 +133,7 @@ class AvailabilityTracker {
   std::vector<FaultMark> faults_;
   std::vector<Window> windows_;
   std::vector<LogGauge> gauges_;
+  std::vector<DiskGauge> disk_gauges_;
 };
 
 }  // namespace paxi

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/digest.h"
 #include "net/topology.h"
+#include "store/wal.h"
 
 namespace paxi {
 
@@ -203,12 +204,17 @@ std::uint64_t McUniverse::ContentKey(const Parked& p) {
 std::uint64_t McUniverse::StateDigest() const {
   Digest d;
   // Replica states, in the deterministic node-id vector order. A down
-  // node contributes its registration bit only.
+  // node contributes its registration bit only — but its durable medium
+  // still shapes the future (it decides what a kDurable rebuild replays),
+  // so on durable clusters each node's disk digest is mixed even while
+  // the node itself is dead.
   for (const NodeId& id : cluster_->nodes()) {
     const bool up = cluster_->transport().IsRegistered(id);
     d.Mix(up ? 1u : 0u);
     const Node* node = const_cast<Cluster&>(*cluster_).node(id);
     d.Mix(node != nullptr ? node->StateDigest() : 0u);
+    const NodeDisk* disk = cluster_->disk(id);
+    d.Mix(disk != nullptr ? disk->StateDigest() : 0u);
   }
   // Parked multiset by content key, order-insensitive: two states whose
   // pending messages are the same *set* are the same state even if they

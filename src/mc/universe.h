@@ -88,7 +88,9 @@ class McUniverse : public SchedulerHook, public SimObserver {
 
   // --- State fingerprint ---------------------------------------------------
   /// Digest of everything that shapes future behavior: every replica's
-  /// StateDigest (0 for a down node), the parked-delivery multiset (by
+  /// StateDigest (0 for a down node) and — on durable clusters — its
+  /// disk's digest (the medium outlives the node and decides what a
+  /// kDurable rebuild replays), the parked-delivery multiset (by
   /// content key, order-insensitive), the virtual clock, the remaining
   /// choice budgets, and each op's issue/completion status. Client-side
   /// retry state and armed-timer details are not introspectable and ride

@@ -68,6 +68,16 @@ double ProtocolModel::MeanClientRttMs(NodeId target) const {
   return sum / env_.zones;
 }
 
+double ProtocolModel::WithDisk(double cpu_us, double record_share) const {
+  if (!env_.disk.durable) return cpu_us;
+  return std::max(cpu_us, record_share * env_.disk.PerCommandUs(env_.batch));
+}
+
+double ProtocolModel::DiskLatencyMs() const {
+  if (!env_.disk.durable) return 0.0;
+  return 2.0 * env_.disk.UncontendedSyncUs(env_.batch) / 1000.0;
+}
+
 double ProtocolModel::MaxThroughput() const {
   return 1e6 / EffectiveServiceUs();
 }
@@ -123,10 +133,13 @@ double PaxosModel::EffectiveServiceUs() const {
   // NIC). At B = 1 every factor reduces exactly to the paper's formula.
   const double n = env_.NumNodes();
   const double b = env_.batch;
-  return (1.0 + b) / b * env_.node.t_out_us +
-         (b + n - 1.0) / b * env_.node.t_in_us +
-         (2.0 * b + (n - 1.0) + (n - 1.0) * (0.5 + 0.5 * b)) / b *
-             env_.node.NicUs();
+  const double cpu = (1.0 + b) / b * env_.node.t_out_us +
+                     (b + n - 1.0) / b * env_.node.t_in_us +
+                     (2.0 * b + (n - 1.0) + (n - 1.0) * (0.5 + 0.5 * b)) / b *
+                         env_.node.NicUs();
+  // Durable: the leader writes one accept record per slot, so it syncs
+  // every command's record — capacity is min(CPU, disk).
+  return WithDisk(cpu, 1.0);
 }
 
 double PaxosModel::NetworkLatencyMs() const {
@@ -136,7 +149,7 @@ double PaxosModel::NetworkLatencyMs() const {
   }
   const double dl = MeanClientRttMs(leader_);
   const double dq = QuorumWaitMs(leader_, followers, q2_ - 1);
-  return dl + dq;
+  return dl + dq + DiskLatencyMs();
 }
 
 // --- EPaxosModel -------------------------------------------------------------
@@ -188,8 +201,10 @@ double EPaxosModel::EffectiveServiceUs() const {
       (2.0 * (0.5 + 0.5 * b) + 1.0) / b * nic +
       conflict_ * (1.0 / b * ti + 1.0 / b * to +
                    ((0.5 + 0.5 * b) + 1.0) / b * nic);
-  // L = N opportunistic leaders share the load evenly.
-  return OwnRoundServiceUs() / n + (1.0 - 1.0 / n) * follower;
+  // L = N opportunistic leaders share the load evenly. Durable: every
+  // replica persists every instance (its own leads plus PreAccepts it
+  // answers), so the per-node record rate equals the command rate.
+  return WithDisk(OwnRoundServiceUs() / n + (1.0 - 1.0 / n) * follower, 1.0);
 }
 
 double EPaxosModel::FastQuorumWaitMs() const {
@@ -232,7 +247,8 @@ double EPaxosModel::NetworkLatencyMs() const {
   // Clients use their zone's replica as opportunistic leader: l = 1, so
   // D_L is just the local RTT (§6.2).
   const double dl = env_.topology.RttMeanMs(1, 1);
-  return dl + FastQuorumWaitMs() + conflict_ * MajorityWaitMs();
+  return dl + FastQuorumWaitMs() + conflict_ * MajorityWaitMs() +
+         DiskLatencyMs();
 }
 
 // --- WPaxosModel -------------------------------------------------------------
@@ -282,7 +298,9 @@ double WPaxosModel::EffectiveServiceUs() const {
               (1.0 - 1.0 / leaders) * FollowerDutyUs();
   // A non-local request also transits the client's zone leader (in + out).
   ts += (1.0 - locality_) * (ti + to + 2.0 * nic) / leaders;
-  return ts;
+  // Durable: the per-object logs are split across the zone leaders, so
+  // each leader syncs 1/L of the system's accept records.
+  return WithDisk(ts, 1.0 / leaders);
 }
 
 double WPaxosModel::OwnRoundServiceUs() const { return LeadRoundUs(); }
@@ -324,7 +342,7 @@ double WPaxosModel::NetworkLatencyMs() const {
   const double remote = MeanRemoteRttMs(env_.topology, env_.zones);
   // Local requests: client -> zone leader (local RTT) + quorum wait.
   // Remote requests additionally traverse to the owning leader.
-  return local_rtt + dq + (1.0 - locality_) * remote;
+  return local_rtt + dq + (1.0 - locality_) * remote + DiskLatencyMs();
 }
 
 // --- WanKeeperModel ----------------------------------------------------------
@@ -367,7 +385,9 @@ double WanKeeperModel::EffectiveServiceUs() const {
   const double leaders = env_.zones;
   const double share =
       locality_ / leaders + (1.0 - locality_);
-  return share * GroupRoundUs();
+  // Durable: the master leads `share` of the system's group slots, so it
+  // writes that fraction of the accept records too.
+  return WithDisk(share * GroupRoundUs(), share);
 }
 
 double WanKeeperModel::NetworkLatencyMs() const {
@@ -380,7 +400,7 @@ double WanKeeperModel::NetworkLatencyMs() const {
   to_master /= env_.zones;
   const double local = local_rtt + GroupWaitMs(NodeId{1, 1});
   const double remote = to_master + GroupWaitMs(master);
-  return locality_ * local + (1.0 - locality_) * remote;
+  return locality_ * local + (1.0 - locality_) * remote + DiskLatencyMs();
 }
 
 }  // namespace paxi::model

@@ -1,6 +1,7 @@
 #ifndef PAXI_MODEL_PROTOCOL_MODEL_H_
 #define PAXI_MODEL_PROTOCOL_MODEL_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/types.h"
 #include "model/queueing.h"
 #include "net/topology.h"
+#include "store/wal.h"
 
 namespace paxi::model {
 
@@ -21,6 +23,49 @@ struct NodeParams {
 
   /// NIC time per message in microseconds (s_m / b).
   double NicUs() const { return msg_bytes * 8.0 / bandwidth_bps * 1e6; }
+};
+
+/// Analytic counterpart of the simulated durable-storage layer
+/// (store/wal.h): a WAL with group commit whose fsync costs a fixed
+/// latency plus a per-byte transfer, mirroring DiskParams. When enabled,
+/// the bottleneck node's capacity becomes min(CPU, disk) — disk and CPU
+/// are parallel resources, so whichever is slower per command binds —
+/// and the uncontended ack path gains sync time.
+struct DiskModel {
+  bool durable = false;
+  double sync_latency_us = 400.0;
+  double disk_mbps = 250.0;
+  /// Records coalesced per sync at saturation (DiskParams::group_commit_max).
+  double group_commit_max = 8.0;
+
+  /// One fsync over `bytes` modeled bytes, microseconds.
+  double SyncUs(double bytes) const {
+    return sync_latency_us + bytes / disk_mbps;
+  }
+
+  /// Modeled bytes of one accept record carrying a B-command batch —
+  /// must match WalRecord::ModeledBytes.
+  double RecordBytes(double batch) const {
+    return static_cast<double>(kWalRecordModelBytes) +
+           static_cast<double>(kWalCommandModelBytes) * batch;
+  }
+
+  /// Per-command disk service time at saturation: full groups of
+  /// group_commit_max records, each carrying B commands, share one sync.
+  /// This is where batching amortizes the fsync the same way it
+  /// amortizes the broadcast: commands-per-sync = G * B.
+  double PerCommandUs(double batch) const {
+    const double group = std::max(1.0, group_commit_max);
+    return SyncUs(group * RecordBytes(batch)) /
+           (group * std::max(1.0, batch));
+  }
+
+  /// Uncontended single-record sync (the latency-path term: at low load
+  /// a group holds one record; queueing near saturation is already
+  /// covered by W_q).
+  double UncontendedSyncUs(double batch) const {
+    return SyncUs(RecordBytes(batch));
+  }
 };
 
 /// Deployment the model evaluates: topology plus node placement. Requests
@@ -37,6 +82,8 @@ struct ModelEnv {
   /// while per-command costs (client I/O, per-command wire bytes in the
   /// slot broadcast) remain. 1.0 = batching off, the paper's §3 model.
   double batch = 1.0;
+  /// Durable-storage model; disabled by default (in-memory logs).
+  DiskModel disk;
   QueueKind queue = QueueKind::kMD1;
   /// Service-time CV used by the M/G/1 and G/G/1 variants (Fig. 4): our
   /// modeled service times are nearly deterministic, so this is small.
@@ -101,6 +148,17 @@ class ProtocolModel {
   /// Average client-to-node RTT (D_L) for clients homed uniformly across
   /// zones addressing `target`.
   double MeanClientRttMs(NodeId target) const;
+
+  /// Folds the disk bound into a CPU service time: the bottleneck node
+  /// persists `record_share` WAL records per system-wide command (1.0
+  /// for a single leader syncing every slot; 1/L when L leaders split
+  /// the log), so its capacity is the max of the two per-command costs.
+  double WithDisk(double cpu_us, double record_share) const;
+
+  /// Ack-path sync time when durable (ms): the quorum follower's sync on
+  /// the reply path plus the leader's own record sync, approximated as
+  /// two uncontended single-record syncs. Zero when in-memory.
+  double DiskLatencyMs() const;
 
   std::vector<NodeId> AllNodes() const;
 

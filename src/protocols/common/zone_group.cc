@@ -12,6 +12,21 @@ using zone_group::GroupInstallSnapshot;
 using zone_group::GroupP2a;
 using zone_group::GroupP2b;
 
+namespace {
+
+/// Slots between durable commit-watermark checkpoints.
+constexpr Slot kCommitPersistInterval = 32;
+
+WalRecord GroupRecord(Slot slot, const CommandBatch& batch) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.slot = slot;
+  rec.cmds = batch.cmds;
+  return rec;
+}
+
+}  // namespace
+
 ZoneGroupNode::ZoneGroupNode(NodeId id, Env env) : Node(id, env) {
   const auto zone_size =
       static_cast<std::size_t>(config().nodes_per_zone);
@@ -21,6 +36,10 @@ ZoneGroupNode::ZoneGroupNode(NodeId id, Env env) : Node(id, env) {
   }
   flush_interval_ = config().GetParamInt("group_flush_ms", 100) * kMillisecond;
   log_.set_policy(SnapshotPolicy());
+  if (durable()) {
+    log_.set_compaction_listener(
+        [this](Slot up_to, std::size_t) { OnLogCompacted(up_to); });
+  }
 
   OnMessage<GroupP2a>([this](const GroupP2a& m) { HandleGroupP2a(m); });
   OnMessage<GroupP2b>([this](const GroupP2b& m) { HandleGroupP2b(m); });
@@ -67,6 +86,10 @@ void ZoneGroupNode::RetransmitStalled() {
        it != log_.end() && sent < kRetransmitBatch; ++it) {
     GroupEntry& entry = it->second;
     if (entry.committed) continue;
+    // Durable leaders only self-vote once a slot's record survives a sync;
+    // until then the slot has never been broadcast and must not be (the
+    // persist-before-broadcast rule above).
+    if (durable() && entry.voters.count(id()) == 0) continue;
     if (Now() - entry.last_sent < flush_interval_) continue;
     entry.last_sent = Now();
     ++sent;
@@ -93,11 +116,36 @@ void ZoneGroupNode::GroupSubmitBatch(CommandBatch batch,
   const Slot slot = next_slot_++;
   GroupEntry entry;
   entry.batch = batch;
-  entry.voters = {id()};
+  if (!durable()) entry.voters = {id()};
   entry.dones = std::move(dones);
   entry.last_sent = Now();
   const bool solo = group_majority_ <= 1;
   log_[slot] = std::move(entry);
+
+  if (durable()) {
+    // Persist before the first broadcast: the group log has no ballots, so
+    // a leader that forgot slot `slot` across a crash could reuse it for a
+    // different batch while followers still hold — and re-ack — the old
+    // one, splitting the commit. The durable record also carries the
+    // leader's self-vote: it is only counted once the record survives.
+    Persist(GroupRecord(slot, batch), [this, slot]() {
+      auto it = log_.find(slot);
+      if (it == log_.end()) return;
+      GroupEntry& stored = it->second;
+      GroupP2a msg;
+      msg.slot = slot;
+      msg.batch = stored.batch;
+      msg.commit_up_to = commit_up_to_;
+      Broadcast(group_peers_, std::move(msg));
+      if (stored.committed) return;
+      stored.voters.insert(id());
+      if (stored.voters.size() >= group_majority_) {
+        stored.committed = true;
+        AdvanceCommit();
+      }
+    });
+    return;
+  }
 
   GroupP2a msg;
   msg.slot = slot;
@@ -117,18 +165,30 @@ void ZoneGroupNode::HandleGroupP2a(const GroupP2a& msg) {
     // Slots at or below our snapshot watermark are already executed and
     // compacted; ack them (the leader's voter set dedups) but do not
     // resurrect the entry.
+    bool fresh = false;
     if (msg.slot > log_.snapshot_index()) {
       auto it = log_.find(msg.slot);
       if (it == log_.end()) {
         GroupEntry entry;
         entry.batch = msg.batch;
         log_[msg.slot] = std::move(entry);
+        fresh = true;
       }
     }
     // Re-ack retransmissions too — the leader's voter set dedups.
     GroupP2b reply;
     reply.slot = msg.slot;
-    Send(msg.from, std::move(reply));
+    if (durable() && fresh) {
+      // The ack certifies the slot is held here: withhold it until the
+      // record survives a sync. Re-acks and compacted slots are covered by
+      // earlier durable state and answer immediately.
+      Persist(GroupRecord(msg.slot, msg.batch),
+              [this, to = msg.from, reply]() mutable {
+                Send(to, std::move(reply));
+              });
+    } else {
+      Send(msg.from, std::move(reply));
+    }
   }
   ApplyWatermark(msg.commit_up_to, msg.from);
 }
@@ -210,8 +270,10 @@ void ZoneGroupNode::HandleGroupInstallSnapshot(const GroupInstallSnapshot& msg) 
   // jumping the state machine backwards is never allowed.
   if (state.valid() && state.applied > execute_up_to_) {
     RestoreStore(state, &store_);
-    log_.CompactTo(state.applied);
+    // Snapshot before CompactTo: the compaction listener persists
+    // `snapshot_` and must see the state the log was truncated under.
     snapshot_ = state;
+    log_.CompactTo(state.applied);
     ++snapshots_installed_;
     commit_up_to_ = std::max(commit_up_to_, state.applied);
     execute_up_to_ = state.applied;
@@ -268,6 +330,7 @@ void ZoneGroupNode::ExecuteCommitted() {
     // auditor cross-checks digests at equal watermarks).
     MaybeSnapshot();
   }
+  MaybePersistCommit();
 }
 
 void ZoneGroupNode::MaybeSnapshot() {
@@ -275,6 +338,88 @@ void ZoneGroupNode::MaybeSnapshot() {
   snapshot_ = SnapshotStore(store_, execute_up_to_);
   ++snapshots_taken_;
   log_.CompactTo(execute_up_to_);
+}
+
+void ZoneGroupNode::MaybePersistCommit() {
+  if (!durable() || recovering_) return;
+  if (commit_up_to_ - last_persisted_commit_ < kCommitPersistInterval) return;
+  last_persisted_commit_ = commit_up_to_;
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCommit;
+  rec.slot = commit_up_to_;
+  Persist(std::move(rec));
+}
+
+void ZoneGroupNode::OnLogCompacted(Slot up_to) {
+  if (!durable() || recovering_) return;
+  if (!snapshot_.valid() || snapshot_.applied != up_to) return;
+  disk()->SaveSnapshot(kWalMainDomain, snapshot_);
+  // The mark's durability is the snapshot's commit point: only then may
+  // the WAL prefix it supersedes be garbage-collected.
+  WalRecord mark;
+  mark.type = WalRecord::Type::kSnapshotMark;
+  mark.slot = up_to;
+  mark.extra = {snapshot_.digest};
+  mark.modeled_payload =
+      static_cast<std::uint64_t>(snapshot_.ByteSizeEstimate());
+  Persist(std::move(mark),
+          [this, up_to]() { disk()->CompactDomain(kWalMainDomain, up_to); });
+}
+
+void ZoneGroupNode::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  recovering_ = true;
+  Slot watermark = -1;
+  Slot snap_applied = -1;
+  for (const WalRecord& rec : records) {
+    if (rec.domain != kWalMainDomain) continue;  // subclass control records
+    switch (rec.type) {
+      case WalRecord::Type::kAccept: {
+        GroupEntry entry;
+        entry.batch.cmds = rec.cmds;
+        log_[rec.slot] = std::move(entry);
+        next_slot_ = std::max(next_slot_, rec.slot + 1);
+        break;
+      }
+      case WalRecord::Type::kCommit:
+        watermark = std::max(watermark, rec.slot);
+        break;
+      case WalRecord::Type::kSnapshotMark:
+        snap_applied = std::max(snap_applied, rec.slot);
+        break;
+      case WalRecord::Type::kBallot:
+        break;  // the group log has no ballots
+    }
+  }
+  // Newest durable snapshot first: it supersedes the replayed log below
+  // its watermark.
+  if (snap_applied >= 0) {
+    const StoreSnapshot* snap =
+        disk()->FindSnapshot(kWalMainDomain, snap_applied);
+    if (snap != nullptr && snap->applied > execute_up_to_) {
+      RestoreStore(*snap, &store_);
+      snapshot_ = *snap;
+      log_.CompactTo(snap->applied);
+      commit_up_to_ = snap->applied;
+      execute_up_to_ = snap->applied;
+    }
+  }
+  // Slots under the durable watermark are committed; a hole (a slot this
+  // follower only ever learned through a fill, which is not persisted)
+  // stops AdvanceCommit there and the normal fill path re-learns the rest.
+  for (auto it = log_.upper_bound(commit_up_to_);
+       it != log_.end() && it->first <= watermark; ++it) {
+    it->second.committed = true;
+  }
+  last_persisted_commit_ = watermark;
+  if (IsGroupLeader()) {
+    // Our own uncommitted slots are durable by definition (they were just
+    // replayed): restore the self-vote so RetransmitStalled re-drives them.
+    for (auto it = log_.upper_bound(commit_up_to_); it != log_.end(); ++it) {
+      it->second.voters.insert(id());
+    }
+  }
+  AdvanceCommit();
+  recovering_ = false;
 }
 
 std::uint64_t ZoneGroupNode::StateDigest() const {
@@ -293,7 +438,8 @@ std::uint64_t ZoneGroupNode::StateDigest() const {
   d.Mix(static_cast<std::uint64_t>(snapshot_.applied)).Mix(snapshot_.digest);
   d.Mix(static_cast<std::uint64_t>(next_slot_))
       .Mix(static_cast<std::uint64_t>(commit_up_to_))
-      .Mix(static_cast<std::uint64_t>(execute_up_to_));
+      .Mix(static_cast<std::uint64_t>(execute_up_to_))
+      .Mix(static_cast<std::uint64_t>(last_persisted_commit_));
   return d.value();
 }
 

@@ -26,6 +26,13 @@ namespace paxi {
 /// failure" characterization (§5.3).
 namespace zone_group {
 
+/// WAL domain for the hierarchical protocols' level-2 control state
+/// (WanKeeper token placement, Vertical Paxos ownership records). Sits one
+/// above the main-log sentinel so the group log's CompactDomain passes
+/// never touch it — control state is a handful of tiny records per key and
+/// is kept for the life of the log.
+constexpr std::int64_t kWalControlDomain = kWalMainDomain + 1;
+
 struct GroupP2a : Message {
   Slot slot = -1;  ///< -1 = pure watermark flush.
   /// The slot's payload: every command the leader packed into it. Empty
@@ -136,6 +143,23 @@ class ZoneGroupNode : public Node {
  protected:
   using DoneFn = std::function<void(Result<Value>)>;
 
+  /// Rebuilds the zone group's log from the durable WAL prefix. The group
+  /// log has no ballots — slot identity is the only fence — so the live
+  /// path persists every slot *before* its first broadcast: a leader that
+  /// broadcast slot s and then forgot it could reuse s for a different
+  /// batch while followers still hold (and re-ack) the old one, splitting
+  /// the commit. Replay therefore restores every surviving entry as
+  /// uncommitted, marks the prefix under the durable commit watermark
+  /// committed (safe: no accept for a slot is appended after it committed
+  /// locally), restores the newest durable snapshot, and — on the fixed
+  /// group leader — re-adds the leader's self-vote for its own uncommitted
+  /// entries (their records are durable by definition; RetransmitStalled
+  /// re-drives them). Entries a follower learned through fills are not
+  /// persisted and are simply re-learned the same way. Subclasses override
+  /// to additionally replay their kWalControlDomain records and must call
+  /// this base first.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
   /// Leader-only: replicate `cmd` on this zone's group; `done` fires at
   /// the leader with the execution result once a zone majority acked and
   /// every prior group slot has executed. Shorthand for a 1-command
@@ -165,6 +189,14 @@ class ZoneGroupNode : public Node {
   void ArmFlush();
   /// Leader-side: re-broadcasts GroupP2as for quiet uncommitted slots.
   void RetransmitStalled();
+  /// Lazily checkpoints the commit watermark to the WAL (every
+  /// kCommitPersistInterval slots; commits are re-learnable from the
+  /// leader, so losing the tail only costs catch-up traffic).
+  void MaybePersistCommit();
+  /// Compaction-listener hook: saves the snapshot the log was just
+  /// compacted under and garbage-collects the WAL prefix once the
+  /// snapshot mark is sync-durable.
+  void OnLogCompacted(Slot up_to);
 
   struct GroupEntry {
     CommandBatch batch;
@@ -191,6 +223,10 @@ class ZoneGroupNode : public Node {
   Time flush_interval_;
   Time last_fill_request_ = -1;
   std::size_t fills_requested_ = 0;
+  Slot last_persisted_commit_ = -1;
+  /// True while ApplyWalRecovery runs: replay must not re-persist the
+  /// records it is reading back.
+  bool recovering_ = false;
 };
 
 }  // namespace paxi

@@ -85,17 +85,29 @@ void EPaxosReplica::ArmRecoveryTimer() {
         continue;  // already settled; waiters drain via TryExecute
       }
       if (dep.replica == id()) {
-        // Our own instance is stuck: re-drive its current round.
-        if (it == instances_.end()) continue;
+        // Our own instance is stuck: re-drive its current round. (Not
+        // gated on has_origin — an instance replayed from the WAL lost
+        // its origins with the crash but must still be driven to a
+        // decision, or every replica's execution blocks on it forever.)
+        if (it == instances_.end()) {
+          // We do not even have the instance: a media failure erased its
+          // records. Only the peers hold the decision now; ask all of
+          // them (any replica that committed it answers with the commit).
+          ++recovers_sent_;
+          Recover probe;
+          probe.iid = dep;
+          BroadcastToAll(std::move(probe));
+          continue;
+        }
         Instance& inst = it->second;
-        if (inst.phase == Phase::kPreAccepted && inst.has_origin) {
+        if (inst.phase == Phase::kPreAccepted) {
           PreAccept msg;
           msg.iid = dep;
           msg.batch = inst.batch;
           msg.seq = inst.seq;
           msg.deps = inst.deps;
           BroadcastToAll(std::move(msg));
-        } else if (inst.phase == Phase::kAccepted && inst.has_origin) {
+        } else if (inst.phase == Phase::kAccepted) {
           Accept acc;
           acc.iid = dep;
           acc.batch = inst.batch;
@@ -130,6 +142,11 @@ void EPaxosReplica::HandleGcStatus(const GcStatus& msg) {
   for (const FrontierWire& wire : msg.frontiers) {
     Slot& f = reported.try_emplace(wire.replica, -1).first->second;
     f = std::max(f, wire.executed);
+    if (wire.replica == id()) {
+      // A peer has executed our instances up to this slot: those ids are
+      // spent even if a media failure erased their records from our WAL.
+      next_slot_ = std::max(next_slot_, wire.executed + 1);
+    }
   }
   CollectGarbage();
 }
@@ -205,14 +222,16 @@ void EPaxosReplica::HandleRecover(const Recover& msg) {
   if (msg.iid.replica != id()) return;
   // Our own in-flight instance: re-broadcast the current round so lost
   // replies can be regenerated (voter sets make the re-votes idempotent).
-  if (inst.phase == Phase::kPreAccepted && inst.has_origin) {
+  // Not gated on has_origin: a WAL-replayed instance has no origins but
+  // still needs driving to a decision.
+  if (inst.phase == Phase::kPreAccepted) {
     PreAccept pa;
     pa.iid = msg.iid;
     pa.batch = inst.batch;
     pa.seq = inst.seq;
     pa.deps = inst.deps;
     BroadcastToAll(std::move(pa));
-  } else if (inst.phase == Phase::kAccepted && inst.has_origin) {
+  } else if (inst.phase == Phase::kAccepted) {
     Accept acc;
     acc.iid = msg.iid;
     acc.batch = inst.batch;
@@ -286,7 +305,7 @@ void EPaxosReplica::ProposeBatch(CommandBatch batch,
   inst.deps = BatchDeps(inst.batch);
   inst.seq = SeqFor(inst.deps);
   inst.phase = Phase::kPreAccepted;
-  inst.preaccept_voters = {id()};
+  if (!durable()) inst.preaccept_voters = {id()};
   inst.merged_seq = inst.seq;
   inst.merged_deps = inst.deps;
   inst.has_origin = true;
@@ -299,11 +318,49 @@ void EPaxosReplica::ProposeBatch(CommandBatch batch,
   msg.batch = std::move(batch);
   msg.seq = inst.seq;
   msg.deps = inst.deps;
-  instances_[iid] = std::move(inst);
+  Instance& stored = (instances_[iid] = std::move(inst));
+  if (durable()) {
+    // Instance ids carry no ballot, so the only fence against a recovered
+    // leader reopening this id with a different command is the disk: the
+    // record (and with it next_slot_'s replayed floor) must be durable
+    // before any replica can hear about the instance.
+    Persist(InstanceRecord(iid, stored, /*phase=*/0),
+            [this, iid, m = std::move(msg)]() mutable {
+              auto it = instances_.find(iid);
+              if (it == instances_.end() ||
+                  it->second.phase != Phase::kPreAccepted) {
+                return;
+              }
+              it->second.preaccept_voters.insert(id());
+              BroadcastToAll(std::move(m));
+            });
+    return;
+  }
   BroadcastToAll(std::move(msg));
 }
 
+void EPaxosReplica::ReplyCommitted(NodeId to, const InstanceId& iid,
+                                   const Instance& inst) {
+  CommitMsg commit;
+  commit.iid = iid;
+  commit.batch = inst.batch;
+  commit.seq = inst.seq;
+  commit.deps = inst.deps;
+  Send(to, std::move(commit));
+}
+
 void EPaxosReplica::HandlePreAccept(const PreAccept& msg) {
+  if (auto it = instances_.find(msg.iid);
+      it != instances_.end() && (it->second.phase == Phase::kCommitted ||
+                                 it->second.phase == Phase::kExecuted)) {
+    // Decided instances are immutable. A round can still arrive for one —
+    // a retransmission, or a command leader re-driving an instance whose
+    // decision its WAL lost to a media failure (ids carry no ballot, so
+    // without this reply the leader would merge fresh attributes and
+    // re-decide differently). Converge it onto the decision instead.
+    ReplyCommitted(msg.from, msg.iid, it->second);
+    return;
+  }
   // Merge the leader's attributes with this replica's local view.
   std::vector<InstanceId> deps = msg.deps;
   const std::vector<InstanceId> local = BatchDeps(msg.batch);
@@ -315,6 +372,12 @@ void EPaxosReplica::HandlePreAccept(const PreAccept& msg) {
   std::int64_t seq = std::max(msg.seq, SeqFor(merged));
 
   Instance& inst = instances_[msg.iid];
+  // A commit record for this instance is already on its way to disk: the
+  // decision is frozen, and this (retransmitted / reordered) round must
+  // not drift the attributes out from under the in-flight record. Drop
+  // the reply too — it would certify attributes that will never be
+  // durable; the leader's retry machinery covers the lost round.
+  if (inst.commit_pending) return;
   inst.batch = msg.batch;
   inst.seq = seq;
   inst.deps = merged;
@@ -328,6 +391,17 @@ void EPaxosReplica::HandlePreAccept(const PreAccept& msg) {
   reply.seq = seq;
   reply.deps = merged;
   reply.changed = seq != msg.seq || !SameDeps(merged, msg.deps);
+  if (durable() && inst.phase == Phase::kPreAccepted) {
+    // The ok certifies the merged attributes stored above; it may not
+    // leave before they are durable. (A retransmission hitting a
+    // committed instance is answered immediately — the commit record
+    // already on disk subsumes this round.)
+    Persist(InstanceRecord(msg.iid, inst, /*phase=*/0),
+            [this, to = msg.from, r = std::move(reply)]() mutable {
+              Send(to, std::move(r));
+            });
+    return;
+  }
   Send(msg.from, std::move(reply));
 }
 
@@ -336,6 +410,10 @@ void EPaxosReplica::HandlePreAcceptOk(const PreAcceptOk& msg) {
   if (it == instances_.end()) return;
   Instance& inst = it->second;
   if (inst.phase != Phase::kPreAccepted || msg.iid.replica != id()) return;
+  // Decision already frozen into an in-flight commit record (fast path):
+  // a straggler reply must not reopen the attributes or spawn a spurious
+  // Accept round during the sync window.
+  if (inst.commit_pending) return;
 
   if (!inst.preaccept_voters.insert(msg.from).second) return;
   if (msg.changed) inst.attrs_changed = true;
@@ -354,26 +432,54 @@ void EPaxosReplica::HandlePreAcceptOk(const PreAcceptOk& msg) {
   inst.phase = Phase::kAccepted;
   inst.seq = inst.merged_seq;
   inst.deps = inst.merged_deps;
-  inst.accept_voters = {id()};
   Accept acc;
   acc.iid = msg.iid;
   acc.batch = inst.batch;
   acc.seq = inst.seq;
   acc.deps = inst.deps;
+  if (durable()) {
+    // Self-vote and broadcast wait for the merged attributes' record.
+    Persist(InstanceRecord(msg.iid, inst, /*phase=*/1),
+            [this, iid = msg.iid, a = std::move(acc)]() mutable {
+              auto entry = instances_.find(iid);
+              if (entry == instances_.end() ||
+                  entry->second.phase != Phase::kAccepted) {
+                return;
+              }
+              entry->second.accept_voters.insert(id());
+              BroadcastToAll(std::move(a));
+            });
+    return;
+  }
+  inst.accept_voters = {id()};
   BroadcastToAll(std::move(acc));
 }
 
 void EPaxosReplica::HandleAccept(const Accept& msg) {
+  if (auto it = instances_.find(msg.iid);
+      it != instances_.end() && (it->second.phase == Phase::kCommitted ||
+                                 it->second.phase == Phase::kExecuted)) {
+    // Immutable once decided — see HandlePreAccept.
+    ReplyCommitted(msg.from, msg.iid, it->second);
+    return;
+  }
   Instance& inst = instances_[msg.iid];
+  // Frozen: a commit record is in flight; see HandlePreAccept.
+  if (inst.commit_pending) return;
   inst.batch = msg.batch;
   inst.seq = msg.seq;
   inst.deps = msg.deps;
-  if (inst.phase != Phase::kCommitted && inst.phase != Phase::kExecuted) {
-    inst.phase = Phase::kAccepted;
-  }
+  inst.phase = Phase::kAccepted;
   for (const Command& cmd : msg.batch.cmds) RecordInterference(cmd, msg.iid);
   AcceptOk reply;
   reply.iid = msg.iid;
+  if (durable() && inst.phase == Phase::kAccepted) {
+    Persist(InstanceRecord(msg.iid, inst, /*phase=*/1),
+            [this, to = msg.from, r = std::move(reply)]() mutable {
+              Send(to, std::move(r));
+            });
+    return;
+  }
   Send(msg.from, std::move(reply));
 }
 
@@ -382,27 +488,85 @@ void EPaxosReplica::HandleAcceptOk(const AcceptOk& msg) {
   if (it == instances_.end()) return;
   Instance& inst = it->second;
   if (inst.phase != Phase::kAccepted || msg.iid.replica != id()) return;
+  if (inst.commit_pending) return;  // decision frozen; see HandlePreAccept
   if (!inst.accept_voters.insert(msg.from).second) return;
   if (inst.accept_voters.size() < SlowQuorumSize()) return;
   ++slow_commits_;
   CommitInstance(msg.iid, inst, inst.seq, inst.deps, /*broadcast=*/true);
 }
 
+WalRecord EPaxosReplica::InstanceRecord(const InstanceId& iid,
+                                        const Instance& inst,
+                                        int phase) const {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.slot = iid.slot;
+  rec.ballot = Ballot{inst.seq, iid.replica};
+  rec.committed = phase == 2;
+  rec.cmds = inst.batch.cmds;
+  rec.extra.reserve(1 + inst.deps.size() * 3);
+  rec.extra.push_back(static_cast<std::uint64_t>(phase));
+  for (const InstanceId& dep : inst.deps) {
+    rec.extra.push_back(static_cast<std::uint64_t>(dep.replica.zone));
+    rec.extra.push_back(static_cast<std::uint64_t>(dep.replica.node));
+    rec.extra.push_back(static_cast<std::uint64_t>(dep.slot));
+  }
+  return rec;
+}
+
 void EPaxosReplica::CommitInstance(const InstanceId& iid, Instance& inst,
                                    std::int64_t seq,
                                    const std::vector<InstanceId>& deps,
                                    bool broadcast) {
+  if (durable()) {
+    // The commit takes effect only when its record is durable: execution,
+    // acks and the Commit broadcast would otherwise race ahead of the
+    // disk, and a crash could un-commit an instance another TryExecute
+    // already applied. The phase stays pre-commit until the sync lands so
+    // the dependency walk blocks on this instance like on any other
+    // undecided one (and is woken through the normal waiter path).
+    if (inst.phase == Phase::kExecuted) return;
+    if (inst.commit_pending || inst.phase == Phase::kCommitted) return;
+    // The attributes are assigned only past the guards: the decision is
+    // frozen the moment the commit record is cut. The continuation
+    // broadcasts exactly what the disk holds — if a late message could
+    // still drift the live attrs during the sync window, replay after a
+    // crash would disagree with what the cluster was told was chosen.
+    inst.seq = seq;
+    inst.deps = deps;
+    inst.commit_pending = true;
+    Persist(InstanceRecord(iid, inst, /*phase=*/2),
+            [this, iid, broadcast]() {
+              auto it = instances_.find(iid);
+              if (it == instances_.end()) return;
+              Instance& inst2 = it->second;
+              inst2.commit_pending = false;
+              if (inst2.phase == Phase::kCommitted ||
+                  inst2.phase == Phase::kExecuted) {
+                return;
+              }
+              inst2.phase = Phase::kCommitted;
+              if (audit_tracking()) audit_pending_.push_back(iid);
+              FinishCommit(iid, inst2, broadcast);
+            });
+    return;
+  }
   inst.seq = seq;
   inst.deps = deps;
   if (inst.phase == Phase::kExecuted) return;
   inst.phase = Phase::kCommitted;
   if (audit_tracking()) audit_pending_.push_back(iid);
+  FinishCommit(iid, inst, broadcast);
+}
+
+void EPaxosReplica::FinishCommit(const InstanceId& iid, Instance& inst,
+                                 bool broadcast) {
   if (broadcast) {
     CommitMsg msg;
     msg.iid = iid;
     msg.batch = inst.batch;
-    msg.seq = seq;
-    msg.deps = deps;
+    msg.seq = inst.seq;
+    msg.deps = inst.deps;
     BroadcastToAll(std::move(msg));
   }
   MaybeReplyAtCommit(inst);
@@ -429,6 +593,37 @@ void EPaxosReplica::MaybeReplyAtCommit(Instance& inst) {
 
 void EPaxosReplica::HandleCommit(const CommitMsg& msg) {
   Instance& inst = instances_[msg.iid];
+  if (msg.iid.replica == id()) {
+    // A commit naming one of our own ids proves the id is spent. After a
+    // media failure ate the WAL suffix, the replayed next_slot_ floor can
+    // sit below ids the previous incarnation already broadcast; every such
+    // commit re-fences the floor.
+    next_slot_ = std::max(next_slot_, msg.iid.slot + 1);
+    if (inst.has_origin &&
+        inst.batch.ContentDigest() != msg.batch.ContentDigest()) {
+      // Collision: we reused a spent id for a fresh batch, and a peer
+      // answered with the id's actual decision. Adopt the decision for
+      // this id, then move our batch (with its waiting clients) to a
+      // fresh id — by now the floor above has cleared the collided one.
+      // The re-proposal goes last so its interference record supersedes
+      // the adopted (already decided) one for the shared key.
+      CommandBatch retry = std::move(inst.batch);
+      std::vector<ClientRequest> origins = std::move(inst.origins);
+      inst.has_origin = false;
+      inst.origins.clear();
+      inst.replied.clear();
+      inst.preaccept_voters.clear();
+      inst.accept_voters.clear();
+      inst.attrs_changed = false;
+      inst.batch = msg.batch;
+      for (const Command& cmd : msg.batch.cmds) {
+        RecordInterference(cmd, msg.iid);
+      }
+      CommitInstance(msg.iid, inst, msg.seq, msg.deps, /*broadcast=*/false);
+      ProposeBatch(std::move(retry), std::move(origins));
+      return;
+    }
+  }
   inst.batch = msg.batch;
   for (const Command& cmd : msg.batch.cmds) RecordInterference(cmd, msg.iid);
   CommitInstance(msg.iid, inst, msg.seq, msg.deps, /*broadcast=*/false);
@@ -555,6 +750,59 @@ void EPaxosReplica::ExecuteInstance(const InstanceId& iid, Instance& inst) {
   }
 }
 
+void EPaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  // Replay in append order: later rounds for an instance overwrite
+  // earlier ones, except that a commit is final — an acceptor's
+  // retransmission-driven pre-accept record can land after the commit
+  // record in the log (its sync was already in flight), and must lose.
+  for (const WalRecord& rec : records) {
+    if (rec.type != WalRecord::Type::kAccept || rec.extra.empty()) continue;
+    const InstanceId iid{rec.ballot.id, rec.slot};
+    // next_slot_ must clear every own id the cluster may have seen, even
+    // ones whose later records decide nothing.
+    if (iid.replica == id()) {
+      next_slot_ = std::max(next_slot_, iid.slot + 1);
+    }
+    Instance& inst = instances_[iid];
+    if (inst.phase == Phase::kCommitted) continue;
+    const auto phase = static_cast<int>(rec.extra[0]);
+    inst.batch.cmds = rec.cmds;
+    inst.seq = rec.ballot.n;
+    inst.deps.clear();
+    for (std::size_t i = 1; i + 3 <= rec.extra.size(); i += 3) {
+      InstanceId dep;
+      dep.replica = NodeId{static_cast<std::int32_t>(rec.extra[i]),
+                           static_cast<std::int32_t>(rec.extra[i + 1])};
+      dep.slot = static_cast<Slot>(rec.extra[i + 2]);
+      inst.deps.push_back(dep);
+    }
+    inst.phase = phase == 2   ? Phase::kCommitted
+                 : phase == 1 ? Phase::kAccepted
+                              : Phase::kPreAccepted;
+    inst.merged_seq = inst.seq;
+    inst.merged_deps = inst.deps;
+    // Origins died with the process; clients re-try. Re-driving our own
+    // undecided instances is handled by the recovery timer / probes.
+    inst.has_origin = false;
+    inst.origins.clear();
+    inst.replied.clear();
+    for (const Command& cmd : inst.batch.cmds) RecordInterference(cmd, iid);
+  }
+  // Re-assert replayed commits to the auditor (attrs are the decided
+  // ones, so agreement with the pre-crash incarnation is checked), then
+  // rebuild the store by executing the committed graph in dependency
+  // order — EPaxos has no store snapshot, which is why its WAL is never
+  // domain-compacted.
+  for (const auto& [iid, inst] : instances_) {
+    if (inst.phase == Phase::kCommitted && audit_tracking()) {
+      audit_pending_.push_back(iid);
+    }
+  }
+  for (const auto& [iid, inst] : instances_) {
+    if (inst.phase == Phase::kCommitted) TryExecute(iid);
+  }
+}
+
 void EPaxosReplica::Audit(AuditScope& scope) const {
   for (const InstanceId& iid : audit_pending_) {
     const auto it = instances_.find(iid);
@@ -600,6 +848,7 @@ std::uint64_t EPaxosReplica::StateDigest() const {
     for (const ClientRequest& req : inst.origins) d.Mix(req.ContentDigest());
     d.Mix(static_cast<std::uint64_t>(inst.replied.size()));
     for (bool r : inst.replied) d.Mix(r ? 1u : 0u);
+    d.Mix(inst.commit_pending ? 1u : 0u);
   }
   d.Mix(static_cast<std::uint64_t>(next_slot_));
   // Interference record: which instance a new command would depend on.

@@ -207,6 +207,20 @@ class EPaxosReplica : public Node {
   /// of Node's store digest.
   std::uint64_t StateDigest() const override;
 
+  /// WAL replay (durable restart). Instance identity is (leader, slot)
+  /// with no ballots to fence a recovered leader, so — like Mencius — a
+  /// proposal is persisted BEFORE its PreAccept is broadcast and replay
+  /// rebuilds next_slot_ from own records: a recovered leader can never
+  /// open a second instance under a used id. The store is rebuilt by
+  /// re-executing the replayed committed instances in dependency order
+  /// (EPaxos has no store snapshot to restore), which is why the WAL is
+  /// never domain-compacted for this protocol: instance-space GC stays
+  /// memory-only, and every committed record must survive to recovery.
+  /// Recovered own instances drop their origins (replies were lost with
+  /// the process; clients re-try), and in-flight rounds are re-driven by
+  /// peers' Recover probes.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
   /// Commands committed via the fast path / slow (Accept) path, for the
   /// conflict-rate analyses.
   std::size_t fast_path_commits() const { return fast_commits_; }
@@ -240,6 +254,11 @@ class EPaxosReplica : public Node {
     std::vector<ClientRequest> origins;
     /// Per-command reply flags (writes ack at commit, reads at execute).
     std::vector<bool> replied;
+    /// Durable mode: a commit record's sync is in flight. The phase stays
+    /// pre-commit until the record is durable — execution, client acks and
+    /// the Commit broadcast all wait for the disk, and duplicate commit
+    /// decisions during the window are absorbed here.
+    bool commit_pending = false;
   };
 
   void HandleRequest(const ClientRequest& req);
@@ -254,6 +273,12 @@ class EPaxosReplica : public Node {
   void HandleCommit(const epaxos::CommitMsg& msg);
   void HandleRecover(const epaxos::Recover& msg);
   void HandleGcStatus(const epaxos::GcStatus& msg);
+  /// Answers a round for an already-decided instance with the decided
+  /// CommitMsg: decided instances are immutable, and a command leader that
+  /// lost the decision to a media failure must be converged onto it
+  /// rather than allowed to re-run the round.
+  void ReplyCommitted(NodeId to, const epaxos::InstanceId& iid,
+                      const Instance& inst);
   /// Probes the command leaders of (a few) instances blocking execution;
   /// re-drives our own stalled rounds directly. Also gossips GC frontiers
   /// when compaction is enabled.
@@ -282,7 +307,18 @@ class EPaxosReplica : public Node {
                       std::int64_t seq,
                       const std::vector<epaxos::InstanceId>& deps,
                       bool broadcast);
+  /// The commit's visible tail (Commit broadcast, write acks, execution,
+  /// waiter wake-up) — runs immediately in-memory, or from the commit
+  /// record's durability continuation in durable mode.
+  void FinishCommit(const epaxos::InstanceId& iid, Instance& inst,
+                    bool broadcast);
   void MaybeReplyAtCommit(Instance& inst);
+  /// WAL record for an instance's current round: slot = iid.slot,
+  /// ballot = (seq, command leader), extra = [phase, deps as
+  /// (zone, node, slot) triples]. `phase`: 0 pre-accepted, 1 accepted,
+  /// 2 committed.
+  WalRecord InstanceRecord(const epaxos::InstanceId& iid,
+                           const Instance& inst, int phase) const;
 
   // --- Execution (dependency graph) ---------------------------------------
   void TryExecute(const epaxos::InstanceId& iid);

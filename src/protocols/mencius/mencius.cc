@@ -11,6 +11,36 @@ using mencius::Fill;
 using mencius::InstallSnapshot;
 using mencius::Skip;
 
+namespace {
+
+/// Commit-watermark checkpoint cadence (slots); the watermark is
+/// re-learnable from peers' piggybacked commit_up_to.
+constexpr Slot kCommitPersistInterval = 32;
+
+WalRecord AcceptRecordOf(Slot slot, const CommandBatch& batch,
+                         bool committed) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.slot = slot;
+  rec.cmds = batch.cmds;
+  rec.committed = committed;
+  return rec;
+}
+
+/// A durable own-skip promise for slots [from, up_to): noop accept at
+/// `from` with the exclusive range end in extra[0].
+WalRecord SkipRecordOf(Slot from, Slot up_to) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.slot = from;
+  rec.noop = true;
+  rec.committed = true;
+  rec.extra = {static_cast<std::uint64_t>(up_to)};
+  return rec;
+}
+
+}  // namespace
+
 MenciusReplica::MenciusReplica(NodeId id, Env env)
     : Node(id, env),
       pipeline_(this, CommitPipeline::Params::FromConfig(config()),
@@ -25,6 +55,10 @@ MenciusReplica::MenciusReplica(NodeId id, Env env)
   majority_ = peers().size() / 2 + 1;
   skip_interval_ = config().GetParamInt("skip_interval_ms", 5) * kMillisecond;
   log_.set_policy(SnapshotPolicy());
+  if (durable()) {
+    log_.set_compaction_listener(
+        [this](Slot up_to, std::size_t) { OnLogCompacted(up_to); });
+  }
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<Accept>([this](const Accept& m) { HandleAccept(m); });
@@ -80,8 +114,17 @@ void MenciusReplica::ArmSkipTimer() {
       msg.up_to = up_to;
       msg.commit_up_to = commit_up_to_;
       flushed_up_to_ = commit_up_to_;
-      BroadcastToAll(std::move(msg));
-      AdvanceExecution();
+      if (durable()) {
+        // The relinquishment is a promise never to use these slots: it
+        // must survive our crash before anyone can act on it.
+        Persist(SkipRecordOf(from, up_to), [this, m = std::move(msg)]() mutable {
+          BroadcastToAll(std::move(m));
+          AdvanceExecution();
+        });
+      } else {
+        BroadcastToAll(std::move(msg));
+        AdvanceExecution();
+      }
     } else if (commit_up_to_ > flushed_up_to_) {
       // Commits advanced but nothing carried the watermark out: flush it
       // so followers can execute (and reply paths stay live).
@@ -154,6 +197,14 @@ void MenciusReplica::HandleFill(const Fill& msg) {
   skip.skip_from = msg.slot;
   skip.up_to = msg.slot + 1;
   skip.commit_up_to = commit_up_to_;
+  if (durable()) {
+    Persist(SkipRecordOf(msg.slot, msg.slot + 1),
+            [this, s = std::move(skip)]() mutable {
+              BroadcastToAll(std::move(s));
+              AdvanceExecution();
+            });
+    return;
+  }
   BroadcastToAll(std::move(skip));
   AdvanceExecution();
 }
@@ -199,7 +250,7 @@ void MenciusReplica::ProposeBatch(CommandBatch batch,
   Entry entry;
   entry.batch = batch;
   entry.has_cmd = true;
-  entry.voters = {id()};  // proposer self-ack
+  if (!durable()) entry.voters = {id()};  // proposer self-ack
   log_[slot] = std::move(entry);
   pending_[slot] = std::move(origins);
 
@@ -208,6 +259,20 @@ void MenciusReplica::ProposeBatch(CommandBatch batch,
   msg.batch = std::move(batch);
   msg.skip_before = skip_from;
   msg.commit_up_to = commit_up_to_;
+  if (durable()) {
+    // Without ballots, nothing fences a recovered owner out of a slot it
+    // already used: the proposal (and the implicit skip below it) must be
+    // durable before anyone can see it, or a crash could let us propose a
+    // second value in the same slot — unrecoverable divergence.
+    if (slot > skip_from) Persist(SkipRecordOf(skip_from, slot));
+    Persist(AcceptRecordOf(slot, log_[slot].batch, /*committed=*/false),
+            [this, slot, m = std::move(msg)]() mutable {
+              BroadcastToAll(std::move(m));
+              CountVote(slot, id());  // self-ack, now durable
+              AdvanceExecution();
+            });
+    return;
+  }
   BroadcastToAll(std::move(msg));
   if (majority_ <= 1) {
     log_[slot].committed = true;
@@ -257,16 +322,19 @@ void MenciusReplica::HandleAccept(const Accept& msg) {
   }
 
   auto it = log_.find(msg.slot);
+  bool fresh = false;
   if (it == log_.end()) {
     Entry entry;
     entry.batch = msg.batch;
     entry.has_cmd = true;
     entry.voters = {OwnerOf(msg.slot)};  // the owner's implicit self-ack
     log_[msg.slot] = std::move(entry);
+    fresh = true;
   } else if (!it->second.has_cmd && !it->second.noop) {
     // Fill a vote-only placeholder left by an early ack.
     it->second.batch = msg.batch;
     it->second.has_cmd = true;
+    fresh = true;
   }
   // Acks are broadcast (learner pattern): every replica tallies every
   // slot's majority independently, so commits are learned in one round
@@ -282,6 +350,24 @@ void MenciusReplica::HandleAccept(const Accept& msg) {
     MarkSkipped(index_, next_own_slot_, msg.slot);
     next_own_slot_ = NextOwnedSlot(msg.slot);
     ++skips_sent_;
+  }
+  if (durable() && (fresh || ack.skip_up_to > ack.skip_from)) {
+    // The ack certifies both the acceptance and the piggybacked skip
+    // promise; it leaves once the last of their records is sync-durable
+    // (records sync in append order).
+    if (ack.skip_up_to > ack.skip_from && fresh) {
+      Persist(SkipRecordOf(ack.skip_from, ack.skip_up_to));
+    }
+    WalRecord rec = fresh ? AcceptRecordOf(msg.slot, msg.batch,
+                                           /*committed=*/false)
+                          : SkipRecordOf(ack.skip_from, ack.skip_up_to);
+    ApplyWatermark(msg.commit_up_to);
+    Persist(std::move(rec), [this, slot = msg.slot, a = std::move(ack)]() mutable {
+      BroadcastToAll(std::move(a));
+      CountVote(slot, id());
+      AdvanceExecution();
+    });
+    return;
   }
   BroadcastToAll(std::move(ack));
   // Count our own vote locally (our broadcast does not loop back).
@@ -359,6 +445,7 @@ void MenciusReplica::AdvanceExecution() {
     }
     MaybeSnapshot();
   }
+  MaybePersistCommit();
 }
 
 void MenciusReplica::MaybeSnapshot() {
@@ -368,13 +455,107 @@ void MenciusReplica::MaybeSnapshot() {
   log_.CompactTo(execute_up_to_);
 }
 
+void MenciusReplica::MaybePersistCommit() {
+  if (!durable() || recovering_) return;
+  if (commit_up_to_ - last_persisted_commit_ < kCommitPersistInterval) return;
+  last_persisted_commit_ = commit_up_to_;
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCommit;
+  rec.slot = commit_up_to_;
+  Persist(std::move(rec));
+}
+
+void MenciusReplica::OnLogCompacted(Slot up_to) {
+  if (!durable() || recovering_) return;
+  if (!snapshot_.valid() || snapshot_.applied != up_to) return;
+  disk()->SaveSnapshot(kWalMainDomain, snapshot_);
+  // The mark's durability is the snapshot's commit point: only once it is
+  // synced may the WAL prefix it supersedes be garbage-collected.
+  WalRecord mark;
+  mark.type = WalRecord::Type::kSnapshotMark;
+  mark.slot = up_to;
+  mark.extra = {snapshot_.digest};
+  mark.modeled_payload =
+      static_cast<std::uint64_t>(snapshot_.ByteSizeEstimate());
+  Persist(std::move(mark),
+          [this, up_to]() { disk()->CompactDomain(kWalMainDomain, up_to); });
+}
+
+void MenciusReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  recovering_ = true;
+  Slot watermark = -1;
+  Slot snap_applied = -1;
+  Slot own_frontier = 0;  // first own slot we may still propose in
+  for (const WalRecord& rec : records) {
+    switch (rec.type) {
+      case WalRecord::Type::kAccept:
+        if (rec.noop) {
+          // Own-skip promise for [slot, extra[0]): re-mark and never
+          // propose below the range end again.
+          const Slot up_to = rec.extra.empty()
+                                 ? rec.slot + 1
+                                 : static_cast<Slot>(rec.extra[0]);
+          MarkSkipped(index_, rec.slot, up_to);
+          own_frontier = std::max(own_frontier, up_to);
+        } else {
+          Entry entry;
+          entry.batch.cmds = rec.cmds;
+          entry.has_cmd = true;
+          entry.committed = rec.committed;
+          log_[rec.slot] = std::move(entry);
+          max_slot_seen_ = std::max(max_slot_seen_, rec.slot);
+          if (OwnsSlot(rec.slot)) {
+            own_frontier = std::max(own_frontier, rec.slot + 1);
+          }
+        }
+        break;
+      case WalRecord::Type::kCommit:
+        watermark = std::max(watermark, rec.slot);
+        break;
+      case WalRecord::Type::kSnapshotMark:
+        snap_applied = std::max(snap_applied, rec.slot);
+        break;
+      case WalRecord::Type::kBallot:
+        break;  // Mencius writes none
+    }
+  }
+  if (snap_applied >= 0) {
+    const StoreSnapshot* snap =
+        disk()->FindSnapshot(kWalMainDomain, snap_applied);
+    if (snap != nullptr && snap->applied > execute_up_to_) {
+      RestoreStore(*snap, &store_);
+      snapshot_ = *snap;
+      log_.CompactTo(snap->applied);
+      commit_up_to_ = std::max(commit_up_to_, snap->applied);
+      execute_up_to_ = snap->applied;
+      max_slot_seen_ = std::max(max_slot_seen_, snap->applied);
+    }
+  }
+  // Re-commit up to the persisted watermark; slots above it (and entries
+  // of other owners we never saw) are re-learned live via acks, piggybacked
+  // watermarks, and the Fill probe. Safe because a slot's latest durable
+  // record is the value it was last acked with — no record is written for
+  // an already-committed slot with a different value.
+  for (auto it = log_.upper_bound(commit_up_to_);
+       it != log_.end() && it->first <= watermark; ++it) {
+    if (it->second.has_cmd || it->second.noop) it->second.committed = true;
+  }
+  own_frontier = std::max(own_frontier, log_.snapshot_index() + 1);
+  next_own_slot_ = NextOwnedSlot(own_frontier);
+  last_persisted_commit_ = watermark;
+  AdvanceExecution();
+  recovering_ = false;
+}
+
 void MenciusReplica::HandleInstallSnapshot(const InstallSnapshot& msg) {
   const StoreSnapshot& state = msg.state;
   // Duplicated, reordered, or stale installs must be no-ops.
   if (!state.valid() || state.applied <= execute_up_to_) return;
   RestoreStore(state, &store_);
-  log_.CompactTo(state.applied);
+  // snapshot_ first: CompactTo's listener persists the mark for whatever
+  // snapshot_ currently holds.
   snapshot_ = state;
+  log_.CompactTo(state.applied);
   ++snapshots_installed_;
   commit_up_to_ = std::max(commit_up_to_, state.applied);
   execute_up_to_ = state.applied;
@@ -443,6 +624,7 @@ std::uint64_t MenciusReplica::StateDigest() const {
     for (const ClientRequest& req : origins) d.Mix(req.ContentDigest());
   }
   d.Mix(pipeline_.StateDigest());
+  d.Mix(static_cast<std::uint64_t>(last_persisted_commit_));
   return d.value();
 }
 

@@ -160,6 +160,16 @@ class MenciusReplica : public Node {
   /// watermarks and reply-fanout state on top of Node's store digest.
   std::uint64_t StateDigest() const override;
 
+  /// WAL replay (durable restart). Mencius has no ballots to fence a
+  /// recovered owner away from its pre-crash slots, so durability carries
+  /// the burden ballots carry elsewhere: a proposal or skip is persisted
+  /// BEFORE it is broadcast, and replay rebuilds the own-slot frontier
+  /// from those records — the recovered node can never reuse (with a
+  /// different value) or un-skip a slot the cluster may have seen.
+  /// Other owners' skips are deliberately not persisted: they are
+  /// re-learnable through the Fill probe, like the commit watermark.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
   Slot executed_up_to() const { return execute_up_to_; }
   std::size_t skips_sent() const { return skips_sent_; }
   std::size_t fills_sent() const { return fills_sent_; }
@@ -198,6 +208,12 @@ class MenciusReplica : public Node {
 
   void MarkSkipped(int owner_index, Slot from, Slot before);
   void AdvanceExecution();
+  /// Lazy commit-watermark checkpoint (kCommit) every N committed slots.
+  void MaybePersistCommit();
+  /// LogStorage compaction listener: saves the snapshot out-of-line,
+  /// persists the kSnapshotMark, and garbage-collects the WAL prefix
+  /// only once the mark is sync-durable.
+  void OnLogCompacted(Slot up_to);
   void ArmSkipTimer();
   /// Execution has sat on `slot` for a full skip interval: retransmit our
   /// own lost Accept, or probe the owner with a Fill.
@@ -240,6 +256,8 @@ class MenciusReplica : public Node {
   /// execute_up_to_ as of the previous skip-timer tick; if unchanged for a
   /// whole interval while higher slots exist, the blocking slot is probed.
   Slot stalled_exec_ = -2;
+  Slot last_persisted_commit_ = -1;
+  bool recovering_ = false;
 };
 
 /// Registers "mencius" with the cluster factory.

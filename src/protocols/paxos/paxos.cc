@@ -18,6 +18,21 @@ namespace {
 /// message.
 constexpr std::size_t kRetransmitBatch = 64;
 constexpr std::size_t kCatchupBatch = 256;
+/// Commit watermarks are checkpointed to the WAL every this many slots.
+/// They are re-learnable from any quorum member, so losing the tail only
+/// costs a catch-up round after recovery — not correctness.
+constexpr Slot kCommitPersistInterval = 32;
+
+WalRecord AcceptRecordOf(Slot slot, Ballot ballot, const CommandBatch& batch,
+                         bool committed) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.slot = slot;
+  rec.ballot = ballot;
+  rec.committed = committed;
+  rec.cmds = batch.cmds;
+  return rec;
+}
 }  // namespace
 
 PaxosReplica::PaxosReplica(NodeId id, Env env)
@@ -34,6 +49,10 @@ PaxosReplica::PaxosReplica(NodeId id, Env env)
   max_backlog_ = static_cast<std::size_t>(
       std::max<std::int64_t>(1, config().GetParamInt("max_backlog", 1024)));
   log_.set_policy(SnapshotPolicy());
+  if (durable()) {
+    log_.set_compaction_listener(
+        [this](Slot up_to, std::size_t) { OnLogCompacted(up_to); });
+  }
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<P1a>([this](const P1a& m) { HandleP1a(m); });
@@ -125,6 +144,7 @@ std::uint64_t PaxosReplica::StateDigest() const {
   d.Mix(static_cast<std::uint64_t>(backlog_.size()));
   for (const ClientRequest& req : backlog_) d.Mix(req.ContentDigest());
   d.Mix(pipeline_.StateDigest());
+  d.Mix(static_cast<std::uint64_t>(last_persisted_commit_));
   return d.value();
 }
 
@@ -233,6 +253,7 @@ void PaxosReplica::AdoptCommittedEntries(
       entry.committed = true;
       log_[wire.slot] = std::move(entry);
       next_slot_ = std::max(next_slot_, wire.slot + 1);
+      PersistAdoptedEntry(wire.slot, log_[wire.slot]);
     } else if (!it->second.committed) {
       // Replace, not just mark: our uncommitted entry may be a stale
       // acceptance from a superseded leader; the reply carries the value
@@ -240,6 +261,7 @@ void PaxosReplica::AdoptCommittedEntries(
       it->second.ballot = wire.ballot;
       it->second.batch = wire.batch;
       it->second.committed = true;
+      PersistAdoptedEntry(wire.slot, it->second);
     }
   }
 }
@@ -255,9 +277,10 @@ void PaxosReplica::InstallSnapshotState(const StoreSnapshot& state) {
   if (!state.valid() || state.applied <= execute_up_to_) return;
   RestoreStore(state, &store_);
   // Our own tail at or below the watermark — committed or not — is
-  // superseded by the snapshot.
-  log_.CompactTo(state.applied);
+  // superseded by the snapshot. snapshot_ is updated first: CompactTo's
+  // listener persists the mark for whatever snapshot_ currently holds.
   snapshot_ = state;
+  log_.CompactTo(state.applied);
   ++snapshots_installed_;
   commit_up_to_ = std::max(commit_up_to_, state.applied);
   execute_up_to_ = state.applied;
@@ -296,10 +319,20 @@ void PaxosReplica::StartPhase1() {
           SlotEntryWire{slot, entry.ballot, entry.batch, entry.committed});
     }
   }
-  P1a msg;
-  msg.ballot = ballot_;
-  msg.commit_up_to = commit_up_to_;
-  BroadcastToAll(std::move(msg));
+  // Durability gate: the candidate ballot must survive a crash BEFORE any
+  // P1a goes out. A recovered candidate reusing a pre-crash ballot could
+  // otherwise combine stale and fresh P2bs (which carry only ballot+slot,
+  // no value digest) into a quorum for a value it never proposed.
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.ballot = ballot_;
+  Persist(std::move(rec), [this, b = ballot_]() {
+    if (!electing_ || ballot_ != b) return;  // preempted while syncing
+    P1a msg;
+    msg.ballot = ballot_;
+    msg.commit_up_to = commit_up_to_;
+    BroadcastToAll(std::move(msg));
+  });
 }
 
 void PaxosReplica::HandleRequest(const ClientRequest& req) {
@@ -347,7 +380,6 @@ void PaxosReplica::ProposeBatch(CommandBatch batch,
   Entry entry;
   entry.ballot = ballot_;
   entry.batch = batch;
-  entry.voters = {id()};
   entry.last_sent = Now();
   log_[slot] = std::move(entry);
   pending_replies_[slot] = std::move(origins);
@@ -359,10 +391,10 @@ void PaxosReplica::ProposeBatch(CommandBatch batch,
   msg.commit_up_to = commit_up_to_;
   BroadcastToAll(std::move(msg));
 
-  if (Phase2QuorumSize() <= 1) {
-    log_[slot].committed = true;
-    AdvanceCommit();
-  }
+  // The leader's self-vote counts only once its own record is durable —
+  // the same gate a follower's P2b obeys. In-memory this runs inline, so
+  // the slot commits immediately when the quorum is 1.
+  PersistAcceptAndSelfVote(slot);
 }
 
 void PaxosReplica::HandleP1a(const P1a& msg) {
@@ -385,9 +417,20 @@ void PaxosReplica::HandleP1a(const P1a& msg) {
             SlotEntryWire{slot, entry.ballot, entry.batch, entry.committed});
       }
     }
-  } else {
-    reply.ok = false;
+    reply.ballot = ballot_;
+    // Positive promise: durable before it is spoken. Crashing after the
+    // sync replays the promise (harmless); crashing before it loses a
+    // promise nobody ever received.
+    WalRecord rec;
+    rec.type = WalRecord::Type::kBallot;
+    rec.ballot = msg.ballot;
+    Persist(std::move(rec),
+            [this, to = msg.from, r = std::move(reply)]() mutable {
+              Send(to, std::move(r));
+            });
+    return;
   }
+  reply.ok = false;
   reply.ballot = ballot_;
   Send(msg.from, std::move(reply));
 }
@@ -432,12 +475,14 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     Entry entry;
     entry.ballot = ballot_;
     entry.batch = wire.batch;
-    entry.voters = {id()};
     entry.last_sent = Now();
     next_slot_ = std::max(next_slot_, slot + 1);
     if (wire.committed) {
       entry.committed = true;
       log_[slot] = std::move(entry);
+      // Adoption of an already-decided slot certifies nothing new:
+      // persist fire-and-forget.
+      PersistAdoptedEntry(slot, log_[slot]);
       // Re-broadcast so followers that missed the old regime's P2a can
       // fill the slot and advance their watermark.
       P2a refresh;
@@ -455,6 +500,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
     p2a.batch = wire.batch;
     p2a.commit_up_to = commit_up_to_;
     BroadcastToAll(std::move(p2a));
+    PersistAcceptAndSelfVote(slot);
   }
   recovered_.clear();
   AdvanceCommit();
@@ -474,7 +520,8 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
     last_leader_contact_ = Now();
     if (msg.slot >= 0) {
       auto it = log_.find(msg.slot);
-      if (it == log_.end() || !it->second.committed) {
+      const bool fresh_accept = it == log_.end() || !it->second.committed;
+      if (fresh_accept) {
         // Never overwrite a committed slot: a retransmitted P2a arriving
         // after the commit watermark passed it must not reset the flag
         // (execution would wedge on the "uncommitted" slot forever).
@@ -484,11 +531,29 @@ void PaxosReplica::HandleP2a(const P2a& msg) {
         log_[msg.slot] = std::move(entry);
       }
       next_slot_ = std::max(next_slot_, msg.slot + 1);
-      P2b reply;
-      reply.ballot = msg.ballot;
-      reply.slot = msg.slot;
-      reply.ok = true;
-      Send(msg.from, std::move(reply));
+      if (fresh_accept) {
+        // Positive P2b gate: the acceptance must be on stable storage
+        // before the leader may count this vote — the record doubles as
+        // the durable promise for msg.ballot. (A retransmission for an
+        // already-committed slot needs no new record: appending one
+        // would break the no-accept-after-local-commit rule recovery
+        // relies on.)
+        Persist(AcceptRecordOf(msg.slot, msg.ballot, msg.batch,
+                               /*committed=*/false),
+                [this, to = msg.from, b = msg.ballot, slot = msg.slot]() {
+                  P2b reply;
+                  reply.ballot = b;
+                  reply.slot = slot;
+                  reply.ok = true;
+                  Send(to, std::move(reply));
+                });
+      } else {
+        P2b reply;
+        reply.ballot = msg.ballot;
+        reply.slot = msg.slot;
+        reply.ok = true;
+        Send(msg.from, std::move(reply));
+      }
     }
     // Piggybacked commit watermark (phase-3).
     if (msg.commit_up_to > commit_up_to_) {
@@ -570,6 +635,107 @@ void PaxosReplica::AdvanceCommit() {
   ExecuteCommitted();
 }
 
+void PaxosReplica::PersistAcceptAndSelfVote(Slot slot) {
+  auto it = log_.find(slot);
+  if (it == log_.end()) return;
+  const Ballot b = it->second.ballot;
+  Persist(AcceptRecordOf(slot, b, it->second.batch, /*committed=*/false),
+          [this, slot, b]() {
+            if (!active_ || ballot_ != b) return;  // demoted while syncing
+            auto entry = log_.find(slot);
+            if (entry == log_.end() || entry->second.committed) return;
+            if (entry->second.ballot != b) return;
+            entry->second.voters.insert(id());
+            if (entry->second.voters.size() >= Phase2QuorumSize()) {
+              entry->second.committed = true;
+              AdvanceCommit();
+            }
+          });
+}
+
+void PaxosReplica::PersistAdoptedEntry(Slot slot, const Entry& entry) {
+  if (!durable()) return;
+  Persist(AcceptRecordOf(slot, entry.ballot, entry.batch,
+                         /*committed=*/true));
+}
+
+void PaxosReplica::MaybePersistCommit() {
+  if (!durable()) return;
+  if (commit_up_to_ - last_persisted_commit_ < kCommitPersistInterval) return;
+  last_persisted_commit_ = commit_up_to_;
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCommit;
+  rec.slot = commit_up_to_;
+  rec.ballot = ballot_;
+  Persist(std::move(rec));
+}
+
+void PaxosReplica::OnLogCompacted(Slot up_to) {
+  if (!durable() || recovering_) return;
+  if (!snapshot_.valid() || snapshot_.applied != up_to) return;
+  disk()->SaveSnapshot(kWalMainDomain, snapshot_);
+  // The mark's durability is the snapshot's commit point: only then may
+  // the WAL prefix it supersedes be garbage-collected — dropping the
+  // entries first and crashing would lose both the entries and the
+  // snapshot that replaced them.
+  WalRecord mark;
+  mark.type = WalRecord::Type::kSnapshotMark;
+  mark.slot = up_to;
+  mark.ballot = ballot_;
+  mark.extra = {snapshot_.digest};
+  mark.modeled_payload =
+      static_cast<std::uint64_t>(snapshot_.ByteSizeEstimate());
+  Persist(std::move(mark),
+          [this, up_to]() { disk()->CompactDomain(kWalMainDomain, up_to); });
+}
+
+void PaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  recovering_ = true;
+  Slot watermark = -1;
+  Slot snap_applied = -1;
+  for (const WalRecord& rec : records) {
+    if (rec.ballot > ballot_) ballot_ = rec.ballot;
+    switch (rec.type) {
+      case WalRecord::Type::kBallot:
+        break;  // ballot already folded in above
+      case WalRecord::Type::kAccept: {
+        // Replay in append order, latest accept wins — exactly the
+        // live HandleP2a overwrite discipline.
+        Entry entry;
+        entry.ballot = rec.ballot;
+        entry.batch.cmds = rec.cmds;
+        entry.committed = rec.committed;
+        log_[rec.slot] = std::move(entry);
+        next_slot_ = std::max(next_slot_, rec.slot + 1);
+        break;
+      }
+      case WalRecord::Type::kCommit:
+        watermark = std::max(watermark, rec.slot);
+        break;
+      case WalRecord::Type::kSnapshotMark:
+        snap_applied = std::max(snap_applied, rec.slot);
+        break;
+    }
+  }
+  // Newest durable snapshot first: it may supersede part of the replayed
+  // log (InstallSnapshotState compacts below its watermark).
+  if (snap_applied >= 0) {
+    const StoreSnapshot* snap =
+        disk()->FindSnapshot(kWalMainDomain, snap_applied);
+    if (snap != nullptr) InstallSnapshotState(*snap);
+  }
+  // Commit watermark at the end: safe because no accept record for a slot
+  // is ever appended after that slot committed locally, so the surviving
+  // latest accept of every slot <= watermark holds the decided value.
+  for (auto it = log_.upper_bound(commit_up_to_);
+       it != log_.end() && it->first <= watermark; ++it) {
+    it->second.committed = true;
+  }
+  last_persisted_commit_ = watermark;
+  AdvanceCommit();
+  recovering_ = false;
+}
+
 void PaxosReplica::ExecuteCommitted() {
   while (execute_up_to_ < commit_up_to_) {
     const Slot slot = execute_up_to_ + 1;
@@ -593,6 +759,7 @@ void PaxosReplica::ExecuteCommitted() {
       MaybeSnapshot();
     }
   }
+  MaybePersistCommit();
 }
 
 Node::LogStats PaxosReplica::GetLogStats() const {

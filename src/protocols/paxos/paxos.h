@@ -181,6 +181,14 @@ class PaxosReplica : public Node {
   /// recovery and reply-fanout state on top of Node's store digest.
   std::uint64_t StateDigest() const override;
 
+  /// WAL replay (durable crash-restart): rebuilds ballot, log, commit
+  /// watermark and snapshot purely from the surviving records — no live
+  /// state is copied. Accepts replay latest-wins; the commit watermark is
+  /// applied at the end (safe because no accept for a slot is ever
+  /// appended after that slot committed locally); the newest durable
+  /// snapshot mark pulls its snapshot from the disk's snapshot area.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
   bool IsLeader() const { return active_; }
   Ballot ballot() const { return ballot_; }
   Slot committed_up_to() const { return commit_up_to_; }
@@ -239,6 +247,22 @@ class PaxosReplica : public Node {
   /// CommitPipeline's propose callback: assigns the next slot to `batch`,
   /// parks `origins` for the reply fan-out, and broadcasts phase-2a.
   void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
+
+  // --- Durability gates (all no-ops / inline on an in-memory node) ---------
+  /// Persists the accept record for `slot` and counts the leader's own
+  /// phase-2 vote only once it is sync-durable — a self-vote certifies
+  /// the acceptance, so it obeys the same gate as a follower's P2b.
+  void PersistAcceptAndSelfVote(Slot slot);
+  /// Persists an adopted committed entry (catch-up / install tails);
+  /// fire-and-forget — adoption acknowledges nothing.
+  void PersistAdoptedEntry(Slot slot, const Entry& entry);
+  /// Lazily checkpoints the commit watermark (every few slots; recovery
+  /// re-learns the rest through catch-up).
+  void MaybePersistCommit();
+  /// LogStorage compaction listener: saves the current snapshot to the
+  /// disk's snapshot area, persists its mark, and garbage-collects the
+  /// WAL prefix once the mark is sync-durable.
+  void OnLogCompacted(Slot up_to);
   /// Drops any leadership/candidacy role. Sheds the pipeline's queued
   /// requests with a retryable reject when stepping down from active
   /// leadership.
@@ -267,6 +291,8 @@ class PaxosReplica : public Node {
   Slot next_slot_ = 0;
   Slot commit_up_to_ = -1;        ///< Highest slot s.t. all <= it committed.
   Slot execute_up_to_ = -1;       ///< Highest executed slot.
+  Slot last_persisted_commit_ = -1;  ///< Last kCommit watermark written.
+  bool recovering_ = false;       ///< Inside ApplyWalRecovery (gates GC).
 
   /// Latest store snapshot (locally taken or installed from a peer): the
   /// state every compacted slot has been folded into, served to lagging

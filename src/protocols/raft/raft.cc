@@ -13,6 +13,25 @@ using raft::LogEntry;
 using raft::RequestVote;
 using raft::VoteReply;
 
+namespace {
+
+/// Commit-watermark checkpoint cadence (slots). Commits are re-learnable
+/// from the leader's AppendEntries, so the watermark is a recovery
+/// accelerator, not a safety requirement.
+constexpr Slot kCommitPersistInterval = 32;
+
+WalRecord EntryRecordOf(Slot index, const LogEntry& entry) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.slot = index;
+  rec.ballot = Ballot{entry.term, NodeId::Invalid()};
+  rec.noop = entry.noop;
+  rec.cmds = entry.batch.cmds;
+  return rec;
+}
+
+}  // namespace
+
 RaftReplica::RaftReplica(NodeId id, Env env)
     : Node(id, env),
       pipeline_(this, CommitPipeline::Params::FromConfig(config()),
@@ -26,6 +45,10 @@ RaftReplica::RaftReplica(NodeId id, Env env)
   http_extra_ = config().GetParamInt("http_extra_us", 300);
   SetProcessingMultiplier(config().GetParamDouble("etcd_penalty", 1.15));
   log_.set_policy(SnapshotPolicy());
+  if (durable()) {
+    log_.set_compaction_listener(
+        [this](Slot up_to, std::size_t) { OnLogCompacted(up_to); });
+  }
 
   OnMessage<ClientRequest>([this](const ClientRequest& m) { HandleRequest(m); });
   OnMessage<AppendEntries>([this](const AppendEntries& m) { HandleAppend(m); });
@@ -125,6 +148,8 @@ std::uint64_t RaftReplica::StateDigest() const {
     for (const ClientRequest& req : origins) d.Mix(req.ContentDigest());
   }
   d.Mix(pipeline_.StateDigest());
+  d.Mix(static_cast<std::uint64_t>(durable_index_))
+      .Mix(static_cast<std::uint64_t>(last_persisted_commit_));
   return d.value();
 }
 
@@ -174,7 +199,25 @@ void RaftReplica::BecomeCandidate() {
   rv.term = term_;
   rv.last_log_index = LastIndex();
   rv.last_log_term = LastTerm();
+  if (durable()) {
+    // The campaign's (term, self-vote) must be durable before any peer can
+    // grant it: recovering without it and re-campaigning at the same term
+    // could collect a second, disjoint majority.
+    Persist(BallotRecord(),
+            [this, t = term_, rv = std::move(rv)]() mutable {
+              if (role_ != Role::kCandidate || term_ != t) return;
+              BroadcastToAll(std::move(rv));
+            });
+    return;
+  }
   BroadcastToAll(std::move(rv));
+}
+
+WalRecord RaftReplica::BallotRecord() const {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.ballot = Ballot{term_, voted_for_};
+  return rec;
 }
 
 void RaftReplica::BecomeLeader() {
@@ -191,7 +234,18 @@ void RaftReplica::BecomeLeader() {
   noop.noop = true;
   Append(std::move(noop));
   BroadcastNewEntry();
+  PersistOwnEntry(LastIndex());
   ArmHeartbeat();
+}
+
+void RaftReplica::PersistOwnEntry(Slot index) {
+  if (!durable()) return;
+  auto it = log_.find(index);
+  if (it == log_.end()) return;
+  Persist(EntryRecordOf(index, it->second), [this, index]() {
+    durable_index_ = std::max(durable_index_, index);
+    if (role_ == Role::kLeader) AdvanceCommit();
+  });
 }
 
 void RaftReplica::HandleRequest(const ClientRequest& req) {
@@ -217,6 +271,7 @@ void RaftReplica::ProposeBatch(CommandBatch batch,
   Append(std::move(entry));
   pending_replies_[LastIndex()] = std::move(origins);
   BroadcastNewEntry();
+  PersistOwnEntry(LastIndex());
 }
 
 void RaftReplica::BroadcastNewEntry() {
@@ -273,11 +328,15 @@ void RaftReplica::HandleInstallSnapshot(const InstallSnapshot& msg) {
     RestoreStore(msg.state, &store_);
     // Drop the entire log: the committed prefix is subsumed by the
     // snapshot and any suffix beyond it is uncommitted here — the leader
-    // re-replicates it from match_index up.
-    log_.EraseFrom(log_.snapshot_index() + 1);
-    log_.CompactTo(msg.state.applied);
+    // re-replicates it from match_index up. snapshot_ / snapshot_term_
+    // are set before CompactTo so the compaction listener marks the
+    // snapshot actually being installed. The ack below is not gated on
+    // the mark's durability: everything in the snapshot was committed by
+    // earlier majorities, so no commit decision rests on our copy.
     snapshot_ = msg.state;
     snapshot_term_ = msg.last_included_term;
+    log_.EraseFrom(log_.snapshot_index() + 1);
+    log_.CompactTo(msg.state.applied);
     ++snapshots_installed_;
     commit_index_ = std::max(commit_index_, msg.state.applied);
     last_applied_ = msg.state.applied;
@@ -322,8 +381,12 @@ void RaftReplica::HandleAppend(const AppendEntries& msg) {
     Send(msg.from, std::move(reply));
     return;
   }
-  // Append, truncating any conflicting suffix.
+  // Append, truncating any conflicting suffix. Only mutations produce WAL
+  // records: heartbeats and retransmissions of entries already held match
+  // below and must stay persistence-free, or the commit-watermark replay
+  // rule (latest record per index is the entry that was acked) breaks.
   Slot index = msg.prev_index;
+  std::vector<Slot> fresh;
   for (const LogEntry& e : msg.entries) {
     ++index;
     auto it = log_.find(index);
@@ -331,9 +394,11 @@ void RaftReplica::HandleAppend(const AppendEntries& msg) {
       if (it->second.term != e.term) {
         log_.EraseFrom(index);
         log_[index] = e;
+        fresh.push_back(index);
       }
     } else {
       log_[index] = e;
+      fresh.push_back(index);
     }
   }
   if (msg.commit_index > commit_index_) {
@@ -342,7 +407,21 @@ void RaftReplica::HandleAppend(const AppendEntries& msg) {
   }
   reply.success = true;
   reply.match_index = index;
-  Send(msg.from, std::move(reply));
+  if (!durable() || fresh.empty()) {
+    Send(msg.from, std::move(reply));
+    return;
+  }
+  // The success ack certifies the appended entries: it leaves only after
+  // the last of them is sync-durable. Records sync in append order, so
+  // gating on the last covers the whole run.
+  for (std::size_t i = 0; i + 1 < fresh.size(); ++i) {
+    Persist(EntryRecordOf(fresh[i], log_.find(fresh[i])->second));
+  }
+  const Slot tail = fresh.back();
+  Persist(EntryRecordOf(tail, log_.find(tail)->second),
+          [this, to = msg.from, r = std::move(reply)]() mutable {
+            Send(to, std::move(r));
+          });
 }
 
 void RaftReplica::HandleAppendReply(const AppendReply& msg) {
@@ -365,7 +444,10 @@ void RaftReplica::HandleAppendReply(const AppendReply& msg) {
 void RaftReplica::AdvanceCommit() {
   for (Slot n = LastIndex(); n > commit_index_; --n) {
     if (TermAt(n) != term_) continue;
-    std::size_t count = 1;  // self
+    // Self counts only once its own record is sync-durable (a durable
+    // cluster's analog of the follower ack gating); in-memory the
+    // self-vote is unconditional, as before.
+    std::size_t count = (!durable() || durable_index_ >= n) ? 1u : 0u;
     for (const auto& [peer, match] : match_index_) {
       if (peer != id() && match >= n) ++count;
     }
@@ -401,6 +483,7 @@ void RaftReplica::Apply() {
     }
     MaybeSnapshot();
   }
+  MaybePersistCommit();
 }
 
 void RaftReplica::MaybeSnapshot() {
@@ -409,6 +492,99 @@ void RaftReplica::MaybeSnapshot() {
   snapshot_term_ = TermAt(last_applied_);
   ++snapshots_taken_;
   log_.CompactTo(last_applied_);
+}
+
+void RaftReplica::MaybePersistCommit() {
+  if (!durable() || recovering_) return;
+  if (commit_index_ - last_persisted_commit_ < kCommitPersistInterval) return;
+  last_persisted_commit_ = commit_index_;
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCommit;
+  rec.slot = commit_index_;
+  rec.ballot = Ballot{term_, id()};
+  Persist(std::move(rec));
+}
+
+void RaftReplica::OnLogCompacted(Slot up_to) {
+  if (!durable() || recovering_) return;
+  if (!snapshot_.valid() || snapshot_.applied != up_to) return;
+  disk()->SaveSnapshot(kWalMainDomain, snapshot_);
+  // The mark's durability is the snapshot's commit point: the WAL prefix
+  // it supersedes may be garbage-collected only once the mark is synced —
+  // dropping the entries first and crashing would lose both.
+  WalRecord mark;
+  mark.type = WalRecord::Type::kSnapshotMark;
+  mark.slot = up_to;
+  mark.ballot = Ballot{term_, id()};
+  mark.extra = {snapshot_.digest, static_cast<std::uint64_t>(snapshot_term_)};
+  mark.modeled_payload =
+      static_cast<std::uint64_t>(snapshot_.ByteSizeEstimate());
+  Persist(std::move(mark),
+          [this, up_to]() { disk()->CompactDomain(kWalMainDomain, up_to); });
+}
+
+void RaftReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  recovering_ = true;
+  Slot watermark = -1;
+  Slot snap_applied = -1;
+  std::int64_t snap_term = 0;
+  std::int64_t vote_term = -1;
+  NodeId vote = NodeId::Invalid();
+  for (const WalRecord& rec : records) {
+    term_ = std::max(term_, rec.ballot.n);
+    switch (rec.type) {
+      case WalRecord::Type::kBallot:
+        if (rec.ballot.n >= vote_term) {
+          vote_term = rec.ballot.n;
+          vote = rec.ballot.id;
+        }
+        break;
+      case WalRecord::Type::kAccept: {
+        // Append order replays the live overwrite discipline: the last
+        // record for an index is the entry that was last acked.
+        LogEntry entry;
+        entry.term = rec.ballot.n;
+        entry.batch.cmds = rec.cmds;
+        entry.noop = rec.noop;
+        log_[rec.slot] = std::move(entry);
+        durable_index_ = std::max(durable_index_, rec.slot);
+        break;
+      }
+      case WalRecord::Type::kCommit:
+        watermark = std::max(watermark, rec.slot);
+        break;
+      case WalRecord::Type::kSnapshotMark:
+        if (rec.slot >= snap_applied) {
+          snap_applied = rec.slot;
+          snap_term = rec.extra.size() > 1
+                          ? static_cast<std::int64_t>(rec.extra[1])
+                          : 0;
+        }
+        break;
+    }
+  }
+  // A vote only binds in the term it was cast; recovering to a higher
+  // term (learned from later records) voids it.
+  voted_for_ = vote_term == term_ ? vote : NodeId::Invalid();
+  if (snap_applied >= 0) {
+    const StoreSnapshot* snap =
+        disk()->FindSnapshot(kWalMainDomain, snap_applied);
+    if (snap != nullptr && snap->applied > last_applied_) {
+      RestoreStore(*snap, &store_);
+      snapshot_ = *snap;
+      snapshot_term_ = snap_term;
+      log_.CompactTo(snap->applied);
+      commit_index_ = std::max(commit_index_, snap->applied);
+      last_applied_ = snap->applied;
+    }
+  }
+  // The watermark re-commits the surviving prefix; anything above it is
+  // re-learned from the leader's AppendEntries. Clamped to the log: the
+  // watermark may name slots whose records were in a lost tail.
+  commit_index_ = std::max(commit_index_, std::min(watermark, LastIndex()));
+  last_persisted_commit_ = watermark;
+  Apply();
+  recovering_ = false;
 }
 
 Node::LogStats RaftReplica::GetLogStats() const {
@@ -434,6 +610,15 @@ void RaftReplica::HandleVote(const RequestVote& msg) {
     voted_for_ = msg.from;
     last_leader_contact_ = Now();  // grant resets the election clock
     reply.granted = true;
+    if (durable()) {
+      // A grant certifies (term, voted_for): losing it to a crash and
+      // voting again in the same term could elect two leaders.
+      Persist(BallotRecord(),
+              [this, to = msg.from, r = reply]() mutable {
+                Send(to, std::move(r));
+              });
+      return;
+    }
   }
   Send(msg.from, std::move(reply));
 }

@@ -157,6 +157,16 @@ class RaftReplica : public Node {
   /// indices and reply-fanout state on top of Node's store digest.
   std::uint64_t StateDigest() const override;
 
+  /// WAL replay (durable restart): accept records rebuild the log in
+  /// append order (latest write to an index wins — suffixes truncated
+  /// before the crash may resurrect, which is safe: they were never
+  /// acked above the surviving match point and the election restriction
+  /// keeps a resurrected tail from outvoting a committed one), kBallot
+  /// records restore term and vote, the commit watermark re-commits the
+  /// prefix, and the newest snapshot mark pulls its snapshot from the
+  /// disk's out-of-line area.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
   bool IsLeader() const { return role_ == Role::kLeader; }
   std::int64_t term() const { return term_; }
   Slot commit_index() const { return commit_index_; }
@@ -191,6 +201,17 @@ class RaftReplica : public Node {
   void MaybeSnapshot();
   void ArmElectionTimer();
   void ArmHeartbeat();
+  /// Persists `index`'s entry; the continuation advances durable_index_
+  /// (the leader's own vote in commit counting) and retries commit.
+  void PersistOwnEntry(Slot index);
+  /// Durable (term, voted_for) before the ack that certifies it leaves.
+  WalRecord BallotRecord() const;
+  /// Lazy commit-watermark checkpoint (kCommit) every N applied slots.
+  void MaybePersistCommit();
+  /// LogStorage compaction listener: saves the snapshot out-of-line,
+  /// persists the kSnapshotMark, and garbage-collects the WAL prefix
+  /// only once the mark is sync-durable.
+  void OnLogCompacted(Slot up_to);
   void Append(raft::LogEntry entry) { log_[LastIndex() + 1] = std::move(entry); }
   Slot LastIndex() const { return log_.last_index(); }
   std::int64_t LastTerm() const { return TermAt(LastIndex()); }
@@ -222,6 +243,13 @@ class RaftReplica : public Node {
 
   /// Shared request intake (protocols/common/commit_pipeline.h).
   CommitPipeline pipeline_;
+
+  /// Highest own-log index whose WAL record is sync-durable; the leader's
+  /// self-vote in AdvanceCommit counts only up to here. Stays -1 (and the
+  /// self-vote unconditional) when the cluster runs in-memory.
+  Slot durable_index_ = -1;
+  Slot last_persisted_commit_ = -1;
+  bool recovering_ = false;
 
   Time last_leader_contact_ = 0;
   Time heartbeat_interval_;

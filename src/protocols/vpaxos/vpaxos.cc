@@ -7,6 +7,50 @@ using vpaxos::ConfigChangeReq;
 using vpaxos::ConfigUpdate;
 using vpaxos::StateTransfer;
 
+namespace {
+
+// kWalControlDomain record tags (extra[0]).
+constexpr std::uint64_t kOwnerTag = 1;     ///< Per-key ownership view.
+constexpr std::uint64_t kVersionTag = 2;   ///< Master version counter.
+constexpr std::uint64_t kTransferTag = 3;  ///< Old-owner transfer debt.
+
+/// One leader's view of a key's owner: the audit ballot (version, zone)
+/// plus the new-owner awaiting-transfer flag in extra[1].
+WalRecord OwnerRecord(Key key, int zone, std::int64_t version,
+                      bool awaiting) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.domain = zone_group::kWalControlDomain;
+  rec.slot = key;
+  rec.ballot = Ballot{version, NodeId{zone, 1}};
+  rec.extra = {kOwnerTag, awaiting ? 1u : 0u};
+  return rec;
+}
+
+WalRecord VersionRecord(std::int64_t version) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.domain = zone_group::kWalControlDomain;
+  rec.slot = -1;
+  rec.ballot = Ballot{version, NodeId::Invalid()};
+  rec.extra = {kVersionTag};
+  return rec;
+}
+
+/// Old-owner migration debt: extra[2] is the destination zone; `committed`
+/// carries the still-owed bit (cleared once the StateTransfer is sent).
+WalRecord TransferRecord(Key key, int to_zone, bool owed) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.domain = zone_group::kWalControlDomain;
+  rec.slot = key;
+  rec.committed = owed;
+  rec.extra = {kTransferTag, 0, static_cast<std::uint64_t>(to_zone)};
+  return rec;
+}
+
+}  // namespace
+
 VPaxosReplica::VPaxosReplica(NodeId id, Env env)
     : ZoneGroupNode(id, env),
       pipeline_(this, CommitPipeline::Params::FromConfig(config()),
@@ -147,6 +191,10 @@ void VPaxosReplica::HandleConfigChange(const ConfigChangeReq& msg) {
   // Replicate the decision in the master group before announcing it; the
   // marker command lives in a reserved key space (client 0).
   const std::int64_t version = ++config_version_;
+  // Counter record first, marker second: if the migration is ever
+  // announced (the marker committed, hence durable), the version that
+  // fenced it is durable too, and a restarted master can never reissue it.
+  if (durable()) Persist(VersionRecord(version));
   Command marker;
   marker.op = Command::Op::kPut;
   marker.key = -1 - msg.key;  // control-plane namespace
@@ -186,29 +234,11 @@ void VPaxosReplica::HandleConfigUpdate(const ConfigUpdate& msg) {
   info.change_requested = false;
   ++migrations_;
   if (was_owner && !becomes_owner) {
-    // Ship the latest value to the new owner group, behind a group
-    // barrier so every in-flight local write to the key is included —
-    // the intake pipeline's queue too.
-    pipeline_.DrainAll();
-    const Key key = msg.key;
-    const int new_zone = msg.owner_zone;
-    Command barrier;
-    barrier.op = Command::Op::kGet;
-    barrier.key = key;
-    barrier.client = 0;
-    barrier.request = 0;
-    GroupSubmit(std::move(barrier),
-                [this, key, new_zone](Result<Value> value) {
-                  StateTransfer st;
-                  st.key = key;
-                  st.has_state = value.ok();
-                  if (value.ok()) {
-                    // Executed behind the barrier, so the store holds
-                    // every local write to the key.
-                    st.state = SnapshotStoreKey(store_, key, group_executed());
-                  }
-                  Send(GroupLeaderOf(new_zone), std::move(st));
-                });
+    // Record the debt before starting the handoff: a crash anywhere
+    // between here and the StateTransfer send re-runs the transfer on
+    // recovery instead of leaving the new owner parked forever.
+    if (durable()) Persist(TransferRecord(msg.key, msg.owner_zone, true));
+    SendStateTransfer(msg.key, msg.owner_zone);
   }
   if (becomes_owner && !was_owner) {
     info.policy_cooldown_until = Now() + migrate_cooldown_;
@@ -218,10 +248,52 @@ void VPaxosReplica::HandleConfigUpdate(const ConfigUpdate& msg) {
       info.awaiting_transfer = true;
     }
   }
+  if (durable()) {
+    Persist(OwnerRecord(msg.key, info.zone, info.version,
+                        info.awaiting_transfer));
+  }
+}
+
+void VPaxosReplica::SendStateTransfer(Key key, int new_zone) {
+  // Ship the latest value to the new owner group, behind a group
+  // barrier so every in-flight local write to the key is included —
+  // the intake pipeline's queue too.
+  pipeline_.DrainAll();
+  Command barrier;
+  barrier.op = Command::Op::kGet;
+  barrier.key = key;
+  barrier.client = 0;
+  barrier.request = 0;
+  GroupSubmit(std::move(barrier),
+              [this, key, new_zone](Result<Value> value) {
+                StateTransfer st;
+                st.key = key;
+                st.has_state = value.ok();
+                if (value.ok()) {
+                  // Executed behind the barrier, so the store holds
+                  // every local write to the key.
+                  st.state = SnapshotStoreKey(store_, key, group_executed());
+                }
+                Send(GroupLeaderOf(new_zone), std::move(st));
+                // Debt settled; appended after the barrier slot's record,
+                // so replay sees it exactly when the send happened.
+                if (durable()) {
+                  Persist(TransferRecord(key, new_zone, false));
+                }
+              });
 }
 
 void VPaxosReplica::HandleStateTransfer(const StateTransfer& msg) {
   if (!IsGroupLeader()) return;
+  {
+    // A duplicate transfer (the durable re-send path) for an object we
+    // already own and are no longer awaiting carries state our group may
+    // since have overwritten — drop it. A legitimate early transfer
+    // arrives while the ConfigUpdate is still in flight, i.e. while our
+    // view of the owner is still the old zone.
+    const OwnerInfo& info = Info(msg.key);
+    if (info.zone == id().zone && !info.awaiting_transfer) return;
+  }
   if (msg.has_state && !msg.state.state.versions.empty()) {
     // Seed through the group log (not a direct store write) so every
     // member's store stays a pure function of the group log — the
@@ -241,12 +313,58 @@ void VPaxosReplica::HandleStateTransfer(const StateTransfer& msg) {
     return;
   }
   info.awaiting_transfer = false;
+  if (durable()) {
+    Persist(OwnerRecord(msg.key, info.zone, info.version,
+                        /*awaiting=*/false));
+  }
   // Group slots are ordered, so parked commands submitted now execute
   // after the seed.
   std::vector<ClientRequest> parked = std::move(info.parked);
   info.parked.clear();
   for (const ClientRequest& req : parked) {
     Serve(req, /*track_policy=*/false);
+  }
+}
+
+void VPaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  ZoneGroupNode::ApplyWalRecovery(records);
+  std::map<Key, int> owed;  // key -> destination zone; 0 = debt settled
+  for (const WalRecord& rec : records) {
+    if (rec.domain != zone_group::kWalControlDomain || rec.extra.empty()) {
+      continue;
+    }
+    switch (rec.extra[0]) {
+      case kOwnerTag: {
+        // Latest record wins, in append order — the live path only ever
+        // persists monotonically newer (version, zone) pairs.
+        OwnerInfo& info = Info(rec.slot);
+        info.zone = rec.ballot.id.zone;
+        info.version = rec.ballot.n;
+        info.awaiting_transfer = rec.extra.size() > 1 && rec.extra[1] != 0;
+        info.transfer_arrived_early = false;
+        break;
+      }
+      case kVersionTag:
+        config_version_ = std::max(config_version_, rec.ballot.n);
+        break;
+      case kTransferTag:
+        owed[rec.slot] =
+            rec.committed ? static_cast<int>(rec.extra[2]) : 0;
+        break;
+      default:
+        break;
+    }
+  }
+  // The counter must fence every version this master ever announced, even
+  // if the counter record itself was lost with the tail.
+  for (const auto& [key, info] : owners_) {
+    config_version_ = std::max(config_version_, info.version);
+  }
+  // Re-run handoffs the crash interrupted: the group store was replayed
+  // above, so the barrier re-reads the exact pre-crash value. The new
+  // owner's first-consume guard drops a duplicate.
+  for (const auto& [key, zone] : owed) {
+    if (zone != 0) SendStateTransfer(key, zone);
   }
 }
 

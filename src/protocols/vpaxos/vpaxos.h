@@ -99,6 +99,25 @@ class VPaxosReplica : public ZoneGroupNode {
   /// One-line dump of this node's view of `key` (tests/diagnostics).
   std::string DebugKey(Key key) const;
 
+ protected:
+  /// Replays the group log (base) plus VPaxos's kWalControlDomain records:
+  /// per-key ownership (zone, version, awaiting-transfer flag), the
+  /// master's config-version counter, and outstanding state-transfer
+  /// debts. An old owner persists "transfer owed" before running the
+  /// handoff barrier and clears it only after the StateTransfer is sent,
+  /// so a crash mid-handoff re-sends the transfer on recovery (the new
+  /// owner's first-consume guard in HandleStateTransfer makes a duplicate
+  /// harmless). Version monotonicity survives because the counter record
+  /// precedes the master-group marker in append order: if the migration
+  /// was ever announced, the version that fenced it is durable.
+  ///
+  /// Known (documented) liveness gap: a new owner that crashes in the
+  /// window between consuming a StateTransfer and its awaiting-clear
+  /// record becoming durable recovers still awaiting a transfer nobody
+  /// owes; requests for that key park until the next migration. Safety is
+  /// unaffected — parking never serves stale state.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
  private:
   struct OwnerInfo {
     int zone = 0;
@@ -130,6 +149,10 @@ class VPaxosReplica : public ZoneGroupNode {
   /// The pipeline's propose callback: forwards the batch into the group
   /// log as one slot with a per-command reply fan-out.
   void ProposeBatch(CommandBatch batch, std::vector<ClientRequest> origins);
+  /// Old-owner side of a migration: barrier the group, snapshot the key,
+  /// ship it to `new_zone`'s leader (and clear the durable transfer debt).
+  /// Shared by the live ConfigUpdate path and crash recovery.
+  void SendStateTransfer(Key key, int new_zone);
   int OwnerZone(Key key) const;
   OwnerInfo& Info(Key key);
 

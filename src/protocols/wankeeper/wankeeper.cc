@@ -9,6 +9,37 @@ using wankeeper::TokenRequest;
 using wankeeper::TokenReturn;
 using wankeeper::TokenRevoke;
 
+namespace {
+
+// kWalControlDomain record tags (extra[0]): the two sides of the token
+// machinery persist different state under the same domain.
+constexpr std::uint64_t kTokenCacheTag = 1;  ///< Zone leader: tokens_.
+constexpr std::uint64_t kTokenTableTag = 2;  ///< Master leader: table_.
+
+/// Zone-leader token cache change: `committed` carries the held bit.
+WalRecord TokenCacheRecord(Key key, bool held) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.domain = zone_group::kWalControlDomain;
+  rec.slot = key;
+  rec.committed = held;
+  rec.extra = {kTokenCacheTag};
+  return rec;
+}
+
+/// Master token-table change: ballot.n is the holding zone (0 = master).
+WalRecord TokenTableRecord(Key key, int zone) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.domain = zone_group::kWalControlDomain;
+  rec.slot = key;
+  rec.ballot = Ballot{zone, NodeId::Invalid()};
+  rec.extra = {kTokenTableTag};
+  return rec;
+}
+
+}  // namespace
+
 WanKeeperReplica::WanKeeperReplica(NodeId id, Env env)
     : ZoneGroupNode(id, env),
       pipeline_(this, CommitPipeline::Params::FromConfig(config()),
@@ -106,6 +137,17 @@ void WanKeeperReplica::MasterDecide(const ClientRequest& req,
   if (token.state == TokenState::State::kGranting ||
       token.state == TokenState::State::kRevoking) {
     token.queued.push_back(req);
+    // A durable holder may have crashed after the revoke reached it but
+    // before its TokenReturn — the revoke is consumed and the token would
+    // stay in motion forever. Re-send, paced; HandleTokenReturn's
+    // revoking-only guard makes a duplicate return harmless.
+    if (durable() && token.state == TokenState::State::kRevoking &&
+        Now() - token.revoke_sent >= token_cooldown_) {
+      token.revoke_sent = Now();
+      TokenRevoke revoke;
+      revoke.key = key;
+      Send(GroupLeaderOf(token.zone), std::move(revoke));
+    }
     return;
   }
 
@@ -126,6 +168,17 @@ void WanKeeperReplica::MasterDecide(const ClientRequest& req,
 
   // kAtZone:
   if (token.zone == source_zone) {
+    if (durable()) {
+      // The holder itself asked. Either a request raced its grant
+      // (harmless: a holder ignores a duplicate grant) or the holder
+      // crashed before its grant became durable — in which case a plain
+      // bounce would ping-pong forever. Re-run the grant: the holder
+      // never acknowledged a command under the lost token (its acks are
+      // WAL-ordered after the token record), so the master's value is
+      // still the latest and re-seeding it is safe.
+      MasterGrant(key, token, token.zone, req);
+      return;
+    }
     // The holder itself asked (e.g. a request raced its grant); bounce it
     // back — the token is already there.
     Forward(GroupLeaderOf(token.zone), req);
@@ -142,6 +195,7 @@ void WanKeeperReplica::MasterDecide(const ClientRequest& req,
   }
   token.state = TokenState::State::kRevoking;
   token.queued.push_back(req);
+  token.revoke_sent = Now();
   ++revokes_;
   TokenRevoke revoke;
   revoke.key = key;
@@ -156,6 +210,11 @@ void WanKeeperReplica::MasterGrant(Key key, TokenState& token, int zone,
   token.run_zone = zone;
   token.run_length = 0;
   ++grants_;
+  // The table change persists as its durable anchor (kAtZone): a crash
+  // anywhere in the movement recovers to "granted" and re-converges
+  // through the re-grant path above. Fire-and-forget — the grant itself
+  // is the ack-bearing action and rides the group log's durability.
+  if (durable()) Persist(TokenTableRecord(key, zone));
   // Barrier read through the master group: every in-flight level-2 write
   // to this key executes before the grant's value snapshot is taken, so
   // the token never travels with a stale value. Admitted-but-unproposed
@@ -195,7 +254,12 @@ void WanKeeperReplica::HandleTokenRequest(const TokenRequest& msg) {
 
 void WanKeeperReplica::HandleTokenGrant(const TokenGrant& msg) {
   if (!IsGroupLeader()) return;
-  tokens_.insert(msg.key);
+  // First insert only: a duplicate grant (the durable re-grant path) must
+  // not re-seed a value the group may since have overwritten.
+  if (!tokens_.insert(msg.key).second) return;
+  // Appended before the seed and before any command served under the
+  // token, so prefix durability gives: acked commands => token survives.
+  if (durable()) Persist(TokenCacheRecord(msg.key, /*held=*/true));
   if (msg.has_value) {
     // State transfer: replicate the key's latest value into this group
     // before serving. Client 0 marks synthetic transfer writes. Group
@@ -213,6 +277,7 @@ void WanKeeperReplica::HandleTokenGrant(const TokenGrant& msg) {
 void WanKeeperReplica::HandleTokenRevoke(const TokenRevoke& msg) {
   if (!IsGroupLeader()) return;
   tokens_.erase(msg.key);  // new requests now go to the master
+  if (durable()) Persist(TokenCacheRecord(msg.key, /*held=*/false));
   // Barrier read through this zone's group: in-flight local writes to the
   // key execute before the token returns with the value snapshot —
   // including any still waiting in the intake pipeline.
@@ -235,8 +300,13 @@ void WanKeeperReplica::HandleTokenRevoke(const TokenRevoke& msg) {
 void WanKeeperReplica::HandleTokenReturn(const TokenReturn& msg) {
   if (!IsGroupLeader() || !IsMasterZone()) return;
   TokenState& token = table_[msg.key];
+  // Only an outstanding revoke may land a return: a duplicate (the
+  // durable re-revoke path) carries a value the master group may since
+  // have overwritten, and must not re-seed it.
+  if (token.state != TokenState::State::kRevoking) return;
   token.zone = 0;
   token.state = TokenState::State::kAtMaster;
+  if (durable()) Persist(TokenTableRecord(msg.key, /*zone=*/0));
   if (msg.has_value) {
     Command seed;
     seed.op = Command::Op::kPut;
@@ -250,6 +320,28 @@ void WanKeeperReplica::HandleTokenReturn(const TokenReturn& msg) {
   token.queued.clear();
   for (const ClientRequest& req : queued) {
     MasterDecide(req, /*track_policy=*/false);
+  }
+}
+
+void WanKeeperReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  ZoneGroupNode::ApplyWalRecovery(records);
+  for (const WalRecord& rec : records) {
+    if (rec.domain != zone_group::kWalControlDomain || rec.extra.empty()) {
+      continue;
+    }
+    if (rec.extra[0] == kTokenCacheTag) {
+      // Latest record wins, in append order.
+      if (rec.committed) {
+        tokens_.insert(rec.slot);
+      } else {
+        tokens_.erase(rec.slot);
+      }
+    } else if (rec.extra[0] == kTokenTableTag) {
+      TokenState& token = table_[rec.slot];
+      token.zone = static_cast<int>(rec.ballot.n);
+      token.state = token.zone == 0 ? TokenState::State::kAtMaster
+                                    : TokenState::State::kAtZone;
+    }
   }
 }
 

@@ -94,6 +94,22 @@ class WanKeeperReplica : public ZoneGroupNode {
   std::size_t grants() const { return grants_; }
   std::size_t revokes() const { return revokes_; }
 
+ protected:
+  /// Replays the group log (base) plus WanKeeper's kWalControlDomain
+  /// records: the zone leader's token cache and the master's token table.
+  /// Both sides of every movement are persisted fire-and-forget — the
+  /// records precede, in append order, the group-log records whose client
+  /// acks certify them, so WAL prefix durability guarantees that a zone
+  /// leader which ever acknowledged a command under a token still holds
+  /// that token after replay. The master collapses in-motion states to
+  /// their durable anchor (kGranting persists as kAtZone at grant time,
+  /// kRevoking stays kAtZone): a crash mid-movement re-converges through
+  /// the re-grant / re-revoke paths in MasterDecide, which are themselves
+  /// idempotent because HandleTokenGrant seeds only on first insert and
+  /// HandleTokenReturn only acts while revoking. Parked requests die with
+  /// the crash; clients retry.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
  private:
   /// Master-side bookkeeping for one key's token.
   struct TokenState {
@@ -111,6 +127,10 @@ class WanKeeperReplica : public ZoneGroupNode {
     std::vector<ClientRequest> queued;
     /// Post-movement hysteresis: policy triggers suppressed until then.
     Time policy_cooldown_until = 0;
+    /// When the outstanding TokenRevoke went out (durable mode re-sends a
+    /// revoke whose holder may have crashed before returning; pacing
+    /// state, not digested).
+    Time revoke_sent = 0;
   };
 
   void HandleRequest(const ClientRequest& req);

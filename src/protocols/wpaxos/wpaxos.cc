@@ -12,6 +12,36 @@ using wpaxos::P1b;
 using wpaxos::P2a;
 using wpaxos::P2b;
 
+namespace {
+
+/// Commit watermarks are re-learnable from the grid quorum, so they are
+/// checkpointed lazily, every this-many committed slots per object.
+constexpr Slot kCommitPersistInterval = 32;
+
+/// WAL records are per-object: the domain is the key, so recovery and
+/// compaction stay independent across objects.
+WalRecord ObjectAcceptRecord(Key key, Slot slot, const Ballot& ballot,
+                             const CommandBatch& batch, bool committed) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kAccept;
+  rec.domain = key;
+  rec.slot = slot;
+  rec.ballot = ballot;
+  rec.committed = committed;
+  rec.cmds = batch.cmds;
+  return rec;
+}
+
+WalRecord ObjectBallotRecord(Key key, const Ballot& ballot) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBallot;
+  rec.domain = key;
+  rec.ballot = ballot;
+  return rec;
+}
+
+}  // namespace
+
 WPaxosReplica::WPaxosReplica(NodeId id, Env env) : Node(id, env) {
   fz_ = static_cast<int>(config().GetParamInt("fz", 0));
   fz_ = std::clamp(fz_, 0, config().zones - 1);
@@ -245,6 +275,16 @@ void WPaxosReplica::HandleP1a(const P1a& msg) {
     reply.ok = false;
   }
   reply.ballot = obj.ballot;
+  if (durable() && reply.ok) {
+    // The grant is a phase-1 promise; it may not leave before it is
+    // durable, or a crash-restarted responder could re-promise an older
+    // ballot behind the stealer's back.
+    Persist(ObjectBallotRecord(msg.key, obj.ballot),
+            [this, to = msg.from, r = std::move(reply)]() mutable {
+              Send(to, std::move(r));
+            });
+    return;
+  }
   Send(msg.from, std::move(reply));
 }
 
@@ -302,6 +342,11 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
     if (wire.committed) {
       entry.committed = true;
       obj.log[slot] = std::move(entry);
+      if (durable()) {
+        // Passive adoption of an already-decided slot: fire-and-forget.
+        Persist(ObjectAcceptRecord(msg.key, slot, obj.ballot,
+                                   obj.log[slot].batch, /*committed=*/true));
+      }
       // Re-broadcast so followers that missed the old regime's P2a can
       // fill the slot and advance their watermark.
       P2a refresh;
@@ -314,9 +359,9 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
       continue;
     }
     entry.q2 = MakeQuorum(fz_ + 1);
-    entry.q2->Ack(id());
+    if (!durable()) entry.q2->Ack(id());
     entry.last_sent = Now();
-    const bool already = entry.q2->Satisfied();
+    const bool already = !durable() && entry.q2->Satisfied();
     obj.log[slot] = std::move(entry);
     P2a p2a;
     p2a.key = msg.key;
@@ -326,6 +371,7 @@ void WPaxosReplica::HandleP1b(const P1b& msg) {
     p2a.commit_up_to = obj.commit_up_to;
     BroadcastToAll(std::move(p2a));
     if (already) obj.log[slot].committed = true;
+    if (durable()) PersistAcceptAndSelfVote(msg.key, slot);
   }
   AdvanceCommit(msg.key, obj);
 
@@ -346,9 +392,9 @@ void WPaxosReplica::ProposeBatch(Key key, CommandBatch batch,
   entry.ballot = obj.ballot;
   entry.batch = batch;
   entry.q2 = MakeQuorum(fz_ + 1);
-  entry.q2->Ack(id());
+  if (!durable()) entry.q2->Ack(id());
   entry.last_sent = Now();
-  const bool already_satisfied = entry.q2->Satisfied();
+  const bool already_satisfied = !durable() && entry.q2->Satisfied();
   obj.log[slot] = std::move(entry);
   obj.pending[slot] = std::move(origins);
 
@@ -360,6 +406,13 @@ void WPaxosReplica::ProposeBatch(Key key, CommandBatch batch,
   msg.commit_up_to = obj.commit_up_to;
   BroadcastToAll(std::move(msg));
 
+  if (durable()) {
+    // The owner's own grid-quorum vote waits for the accept record; the
+    // broadcast above is safe to race it (a recovered owner lost the
+    // ballot and must re-steal higher before touching this slot again).
+    PersistAcceptAndSelfVote(key, slot);
+    return;
+  }
   if (already_satisfied) {
     obj.log[slot].committed = true;
     AdvanceCommit(key, obj);
@@ -372,10 +425,12 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
   reply.key = msg.key;
   reply.slot = msg.slot;
   if (msg.ballot >= obj.ballot) {
-    if (msg.ballot > obj.ballot) {
+    const bool adopted = msg.ballot > obj.ballot;
+    if (adopted) {
       obj.ballot = msg.ballot;
       DeactivateObject(obj);
     }
+    bool stored = false;
     if (msg.slot > obj.log.snapshot_index()) {
       auto existing = obj.log.find(msg.slot);
       if (existing == obj.log.end() || !existing->second.committed) {
@@ -386,12 +441,30 @@ void WPaxosReplica::HandleP2a(const P2a& msg) {
         entry.ballot = msg.ballot;
         entry.batch = msg.batch;
         obj.log[msg.slot] = std::move(entry);
+        stored = true;
       }
     }
     obj.next_slot = std::max(obj.next_slot, msg.slot + 1);
     reply.ok = true;
     reply.ballot = msg.ballot;
-    Send(msg.from, std::move(reply));
+    if (durable() && stored) {
+      // The ok certifies the acceptance just written (and its record
+      // doubles as the ballot promise): it waits for the disk.
+      Persist(ObjectAcceptRecord(msg.key, msg.slot, msg.ballot, msg.batch,
+                                 /*committed=*/false),
+              [this, to = msg.from, r = std::move(reply)]() mutable {
+                Send(to, std::move(r));
+              });
+    } else if (durable() && adopted) {
+      // Nothing new accepted (committed or compacted slot) but the ballot
+      // moved: the promise alone still gates the ack.
+      Persist(ObjectBallotRecord(msg.key, msg.ballot),
+              [this, to = msg.from, r = std::move(reply)]() mutable {
+                Send(to, std::move(r));
+              });
+    } else {
+      Send(msg.from, std::move(reply));
+    }
     if (msg.commit_up_to > obj.commit_up_to) {
       bool all_known = true;
       for (Slot s = obj.commit_up_to + 1; s <= msg.commit_up_to; ++s) {
@@ -479,6 +552,7 @@ void WPaxosReplica::ExecuteCommitted(Key key, ObjectState& obj) {
     ExecuteBatchAndReply(it->second.batch, /*origins=*/nullptr);
     MaybeSnapshotObject(key, obj);
   }
+  MaybePersistObjectCommit(key, obj);
 }
 
 void WPaxosReplica::MaybeSnapshotObject(Key key, ObjectState& obj) {
@@ -486,17 +560,127 @@ void WPaxosReplica::MaybeSnapshotObject(Key key, ObjectState& obj) {
   obj.snapshot = SnapshotStoreKey(store_, key, obj.execute_up_to);
   ++snapshots_taken_;
   obj.log.CompactTo(obj.execute_up_to);
+  if (durable() && !recovering_) PersistObjectSnapshot(key, obj);
+}
+
+void WPaxosReplica::PersistAcceptAndSelfVote(Key key, Slot slot) {
+  ObjectState& obj = Obj(key);
+  auto it = obj.log.find(slot);
+  if (it == obj.log.end()) return;
+  const Ballot b = it->second.ballot;
+  Persist(ObjectAcceptRecord(key, slot, b, it->second.batch,
+                             /*committed=*/false),
+          [this, key, slot, b]() {
+            ObjectState& obj2 = Obj(key);
+            if (!obj2.active || obj2.ballot != b) return;  // superseded
+            auto entry = obj2.log.find(slot);
+            if (entry == obj2.log.end() || entry->second.committed ||
+                entry->second.ballot != b || entry->second.q2 == nullptr) {
+              return;
+            }
+            entry->second.q2->Ack(id());
+            if (entry->second.q2->Satisfied()) {
+              entry->second.committed = true;
+              AdvanceCommit(key, obj2);
+            }
+          });
+}
+
+void WPaxosReplica::MaybePersistObjectCommit(Key key, ObjectState& obj) {
+  if (!durable() || recovering_) return;
+  if (obj.commit_up_to - obj.last_persisted_commit < kCommitPersistInterval) {
+    return;
+  }
+  obj.last_persisted_commit = obj.commit_up_to;
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCommit;
+  rec.domain = key;
+  rec.slot = obj.commit_up_to;
+  rec.ballot = obj.ballot;
+  Persist(std::move(rec));
+}
+
+void WPaxosReplica::PersistObjectSnapshot(Key key, ObjectState& obj) {
+  if (!obj.snapshot.valid()) return;
+  disk()->SaveKeySnapshot(key, obj.snapshot);
+  WalRecord mark;
+  mark.type = WalRecord::Type::kSnapshotMark;
+  mark.domain = key;
+  mark.slot = obj.snapshot.applied;
+  mark.ballot = obj.ballot;
+  mark.extra = {obj.snapshot.digest};
+  mark.modeled_payload =
+      static_cast<std::uint64_t>(obj.snapshot.ByteSizeEstimate());
+  Persist(std::move(mark), [this, key, up_to = obj.snapshot.applied]() {
+    disk()->CompactDomain(key, up_to);
+  });
+}
+
+void WPaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
+  recovering_ = true;
+  std::map<Key, Slot> watermark;
+  std::map<Key, Slot> snap_mark;
+  for (const WalRecord& rec : records) {
+    const Key key = rec.domain;
+    ObjectState& obj = Obj(key);
+    switch (rec.type) {
+      case WalRecord::Type::kBallot:
+        obj.ballot = std::max(obj.ballot, rec.ballot);
+        break;
+      case WalRecord::Type::kAccept: {
+        obj.ballot = std::max(obj.ballot, rec.ballot);
+        obj.next_slot = std::max(obj.next_slot, rec.slot + 1);
+        auto it = obj.log.find(rec.slot);
+        if (it != obj.log.end() && it->second.committed && !rec.committed) {
+          break;  // a committed adoption is final for the slot
+        }
+        Entry entry;
+        entry.ballot = rec.ballot;
+        entry.batch.cmds = rec.cmds;
+        entry.committed = rec.committed;
+        obj.log[rec.slot] = std::move(entry);
+        break;
+      }
+      case WalRecord::Type::kCommit: {
+        Slot& w = watermark.try_emplace(key, -1).first->second;
+        w = std::max(w, rec.slot);
+        break;
+      }
+      case WalRecord::Type::kSnapshotMark: {
+        Slot& s = snap_mark.try_emplace(key, -1).first->second;
+        s = std::max(s, rec.slot);
+        break;
+      }
+    }
+  }
+  for (const auto& [key, applied] : snap_mark) {
+    const KeySnapshot* snap = disk()->FindKeySnapshot(key, applied);
+    if (snap != nullptr) InstallObjectSnapshot(key, Obj(key), *snap);
+  }
+  for (const auto& [key, w] : watermark) {
+    ObjectState& obj = Obj(key);
+    for (Slot s = obj.commit_up_to + 1; s <= w; ++s) {
+      auto it = obj.log.find(s);
+      if (it != obj.log.end()) it->second.committed = true;
+    }
+    obj.last_persisted_commit = std::max(obj.last_persisted_commit, w);
+  }
+  // Commit/execute whatever replayed contiguously. Objects come back
+  // inactive (even where we hold the ballot): the next request triggers
+  // a fresh steal, whose phase-1 recovers anything still in flight.
+  for (auto& [key, obj] : objects_) AdvanceCommit(key, obj);
+  recovering_ = false;
 }
 
 void WPaxosReplica::InstallObjectSnapshot(Key key, ObjectState& obj,
                                           const KeySnapshot& snap) {
-  (void)key;
   // Duplicated, reordered, or stale installs must be no-ops.
   if (!snap.valid() || snap.applied <= obj.execute_up_to) return;
   RestoreStoreKey(snap, &store_);
-  obj.log.CompactTo(snap.applied);
   obj.snapshot = snap;
+  obj.log.CompactTo(snap.applied);
   ++snapshots_installed_;
+  if (durable() && !recovering_) PersistObjectSnapshot(key, obj);
   obj.commit_up_to = std::max(obj.commit_up_to, snap.applied);
   obj.execute_up_to = snap.applied;
   obj.next_slot = std::max(obj.next_slot, snap.applied + 1);
@@ -541,7 +725,8 @@ std::uint64_t WPaxosReplica::StateDigest() const {
         .Mix(obj.snapshot.digest);
     d.Mix(static_cast<std::uint64_t>(obj.next_slot))
         .Mix(static_cast<std::uint64_t>(obj.commit_up_to))
-        .Mix(static_cast<std::uint64_t>(obj.execute_up_to));
+        .Mix(static_cast<std::uint64_t>(obj.execute_up_to))
+        .Mix(static_cast<std::uint64_t>(obj.last_persisted_commit));
     d.Mix(static_cast<std::uint64_t>(obj.pending.size()));
     for (const auto& [slot, origins] : obj.pending) {
       d.Mix(static_cast<std::uint64_t>(slot));

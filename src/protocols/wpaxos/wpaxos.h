@@ -165,6 +165,16 @@ class WPaxosReplica : public Node {
   /// digest.
   std::uint64_t StateDigest() const override;
 
+  /// WAL replay (durable restart). Records are per-object: the WAL
+  /// domain IS the key, so each object's accept/ballot/commit/snapshot
+  /// records replay into its own log, its key snapshot is pulled from
+  /// the disk's out-of-line area, and compaction stays per-object.
+  /// Recovered objects come back INACTIVE even where this node held the
+  /// ballot: ownership is re-established by a fresh steal at a higher
+  /// ballot (phase-1 replays any in-flight slots from the grid quorum),
+  /// which also covers whatever the crash interrupted.
+  void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
+
   /// Number of objects this node currently owns.
   std::size_t objects_owned() const;
 
@@ -215,6 +225,9 @@ class WPaxosReplica : public Node {
     bool handoff_sent = false;
     /// Post-steal hysteresis: handoffs are suppressed until this instant.
     Time policy_cooldown_until = 0;
+    /// Durable mode: commit watermark already checkpointed to the WAL
+    /// (kCommit, every kCommitPersistInterval committed slots).
+    Slot last_persisted_commit = -1;
   };
 
   void HandleRequest(const ClientRequest& req);
@@ -245,6 +258,18 @@ class WPaxosReplica : public Node {
   void ExecuteCommitted(Key key, ObjectState& obj);
   void TrackAccess(Key key, ObjectState& obj, int source_zone);
 
+  // --- Durable-mode plumbing (no-ops when the cluster runs in-memory) ------
+  /// Persists `slot`'s accept record; the continuation adds the owner's
+  /// own grid-quorum ack (an owner may not count itself before its vote
+  /// is sync-durable) and commits if that completed the quorum.
+  void PersistAcceptAndSelfVote(Key key, Slot slot);
+  /// Lazy per-object commit-watermark checkpoint (kCommit).
+  void MaybePersistObjectCommit(Key key, ObjectState& obj);
+  /// Saves the object's key snapshot out-of-line, persists its
+  /// kSnapshotMark, and garbage-collects the object's WAL domain only
+  /// once the mark is sync-durable.
+  void PersistObjectSnapshot(Key key, ObjectState& obj);
+
   ObjectState& Obj(Key key) {
     if (audit_tracking()) audit_dirty_.insert(key);
     auto [it, inserted] = objects_.try_emplace(key);
@@ -273,6 +298,7 @@ class WPaxosReplica : public Node {
   std::size_t steals_ = 0;
   std::size_t snapshots_taken_ = 0;
   std::size_t snapshots_installed_ = 0;
+  bool recovering_ = false;
 
   /// Objects touched since the last audit pass (only filled while an
   /// InvariantAuditor watches this node; drained by Audit, hence mutable).

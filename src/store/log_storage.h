@@ -2,7 +2,9 @@
 #define PAXI_STORE_LOG_STORAGE_H_
 
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "common/types.h"
 
@@ -43,6 +45,16 @@ class LogStorage {
 
   void set_policy(const CompactionPolicy& policy) { policy_ = policy; }
   const CompactionPolicy& policy() const { return policy_; }
+
+  /// Invoked after every CompactTo that advances the watermark, with the
+  /// new watermark and the number of entries dropped. Durable protocols
+  /// hook their WAL garbage collection here (persist the snapshot mark,
+  /// then NodeDisk::CompactDomain once the mark is sync-durable) so the
+  /// in-memory log and the on-disk log compact in lockstep.
+  using CompactionListener = std::function<void(Slot, std::size_t)>;
+  void set_compaction_listener(CompactionListener listener) {
+    compaction_listener_ = std::move(listener);
+  }
 
   // --- std::map-compatible access ------------------------------------------
   Entry& operator[](Slot slot) { return entries_[slot]; }
@@ -103,6 +115,7 @@ class LogStorage {
     }
     snapshot_index_ = index;
     total_compacted_ += erased;
+    if (compaction_listener_) compaction_listener_(index, erased);
     return erased;
   }
 
@@ -117,6 +130,7 @@ class LogStorage {
  private:
   Map entries_;
   CompactionPolicy policy_;
+  CompactionListener compaction_listener_;
   Slot snapshot_index_ = -1;
   std::size_t total_compacted_ = 0;
 };

@@ -1,0 +1,458 @@
+#include "store/wal.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace paxi {
+namespace {
+
+// Little-endian fixed-width primitives for the record codec. The encoding
+// only exists inside the simulation (checksums, torn-tail realism), but
+// it is still a real byte format: recovery decodes exactly what a crash
+// left behind.
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void PutI64(std::string* out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+void PutI32(std::string* out, std::int32_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+}
+
+bool GetU8(const std::string& b, std::size_t* off, std::uint8_t* v) {
+  if (*off + 1 > b.size()) return false;
+  *v = static_cast<std::uint8_t>(b[*off]);
+  *off += 1;
+  return true;
+}
+
+bool GetU32(const std::string& b, std::size_t* off, std::uint32_t* v) {
+  if (*off + 4 > b.size()) return false;
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[*off + i]))
+         << (8 * i);
+  }
+  *v = x;
+  *off += 4;
+  return true;
+}
+
+bool GetU64(const std::string& b, std::size_t* off, std::uint64_t* v) {
+  if (*off + 8 > b.size()) return false;
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    x |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[*off + i]))
+         << (8 * i);
+  }
+  *v = x;
+  *off += 8;
+  return true;
+}
+
+bool GetI64(const std::string& b, std::size_t* off, std::int64_t* v) {
+  std::uint64_t x = 0;
+  if (!GetU64(b, off, &x)) return false;
+  *v = static_cast<std::int64_t>(x);
+  return true;
+}
+
+bool GetI32(const std::string& b, std::size_t* off, std::int32_t* v) {
+  std::uint32_t x = 0;
+  if (!GetU32(b, off, &x)) return false;
+  *v = static_cast<std::int32_t>(x);
+  return true;
+}
+
+std::string EncodePayload(const WalRecord& rec) {
+  std::string p;
+  PutU8(&p, static_cast<std::uint8_t>(rec.type));
+  std::uint8_t flags = 0;
+  if (rec.committed) flags |= 1u;
+  if (rec.noop) flags |= 2u;
+  PutU8(&p, flags);
+  PutI64(&p, rec.domain);
+  PutI64(&p, rec.slot);
+  PutI64(&p, rec.ballot.n);
+  PutI32(&p, rec.ballot.id.zone);
+  PutI32(&p, rec.ballot.id.node);
+  PutU64(&p, rec.modeled_payload);
+  PutU32(&p, static_cast<std::uint32_t>(rec.extra.size()));
+  for (const std::uint64_t x : rec.extra) PutU64(&p, x);
+  PutU32(&p, static_cast<std::uint32_t>(rec.cmds.size()));
+  for (const Command& cmd : rec.cmds) {
+    PutU8(&p, cmd.op == Command::Op::kPut ? 1u : 0u);
+    PutI64(&p, cmd.key);
+    PutI64(&p, static_cast<std::int64_t>(cmd.client));
+    PutI64(&p, cmd.request);
+    PutU32(&p, static_cast<std::uint32_t>(cmd.value.size()));
+    p.append(cmd.value);
+  }
+  return p;
+}
+
+bool DecodePayload(const std::string& p, WalRecord* out) {
+  std::size_t off = 0;
+  std::uint8_t type = 0;
+  std::uint8_t flags = 0;
+  if (!GetU8(p, &off, &type) || !GetU8(p, &off, &flags)) return false;
+  if (type < 1 || type > 4) return false;
+  out->type = static_cast<WalRecord::Type>(type);
+  out->committed = (flags & 1u) != 0;
+  out->noop = (flags & 2u) != 0;
+  if (!GetI64(p, &off, &out->domain)) return false;
+  if (!GetI64(p, &off, &out->slot)) return false;
+  if (!GetI64(p, &off, &out->ballot.n)) return false;
+  if (!GetI32(p, &off, &out->ballot.id.zone)) return false;
+  if (!GetI32(p, &off, &out->ballot.id.node)) return false;
+  if (!GetU64(p, &off, &out->modeled_payload)) return false;
+  std::uint32_t extra_n = 0;
+  if (!GetU32(p, &off, &extra_n)) return false;
+  if (p.size() - off < static_cast<std::size_t>(extra_n) * 8) return false;
+  out->extra.clear();
+  out->extra.reserve(extra_n);
+  for (std::uint32_t i = 0; i < extra_n; ++i) {
+    std::uint64_t x = 0;
+    if (!GetU64(p, &off, &x)) return false;
+    out->extra.push_back(x);
+  }
+  std::uint32_t cmd_n = 0;
+  if (!GetU32(p, &off, &cmd_n)) return false;
+  out->cmds.clear();
+  out->cmds.reserve(std::min<std::uint32_t>(cmd_n, 1024));
+  for (std::uint32_t i = 0; i < cmd_n; ++i) {
+    Command cmd;
+    std::uint8_t op = 0;
+    std::uint32_t vlen = 0;
+    std::int64_t client = 0;
+    if (!GetU8(p, &off, &op)) return false;
+    if (op > 1) return false;
+    cmd.op = op == 1 ? Command::Op::kPut : Command::Op::kGet;
+    if (!GetI64(p, &off, &cmd.key)) return false;
+    if (!GetI64(p, &off, &client)) return false;
+    cmd.client = static_cast<ClientId>(client);
+    if (!GetI64(p, &off, &cmd.request)) return false;
+    if (!GetU32(p, &off, &vlen)) return false;
+    if (p.size() - off < vlen) return false;
+    cmd.value.assign(p, off, vlen);
+    off += vlen;
+    out->cmds.push_back(std::move(cmd));
+  }
+  return off == p.size();
+}
+
+std::uint64_t ChecksumOf(const std::string& payload) {
+  return Digest().Mix(std::string_view(payload)).value();
+}
+
+}  // namespace
+
+std::size_t WalRecord::ModeledBytes() const {
+  return kWalRecordModelBytes + kWalCommandModelBytes * cmds.size() +
+         static_cast<std::size_t>(modeled_payload);
+}
+
+std::uint64_t WalRecord::ContentDigest() const {
+  Digest d;
+  d.Mix(static_cast<std::uint64_t>(type))
+      .Mix(static_cast<std::uint64_t>(domain))
+      .Mix(static_cast<std::uint64_t>(slot))
+      .Mix(static_cast<std::uint64_t>(ballot.n))
+      .Mix(static_cast<std::uint64_t>(ballot.id.zone))
+      .Mix(static_cast<std::uint64_t>(ballot.id.node))
+      .Mix(committed ? 1u : 0u)
+      .Mix(noop ? 1u : 0u)
+      .Mix(modeled_payload);
+  d.Mix(static_cast<std::uint64_t>(extra.size()));
+  for (const std::uint64_t x : extra) d.Mix(x);
+  d.Mix(static_cast<std::uint64_t>(cmds.size()));
+  for (const Command& cmd : cmds) {
+    d.Mix(cmd.op == Command::Op::kPut ? 2u : 1u)
+        .Mix(static_cast<std::uint64_t>(cmd.key))
+        .Mix(cmd.value)
+        .Mix(static_cast<std::uint64_t>(cmd.client))
+        .Mix(static_cast<std::uint64_t>(cmd.request));
+  }
+  return d.value();
+}
+
+std::string EncodeWalRecord(const WalRecord& rec) {
+  const std::string payload = EncodePayload(rec);
+  std::string frame;
+  frame.reserve(kWalFrameBytes + payload.size());
+  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  PutU64(&frame, ChecksumOf(payload));
+  frame.append(payload);
+  return frame;
+}
+
+bool DecodeWalRecord(const std::string& bytes, std::size_t* offset,
+                     WalRecord* out) {
+  std::size_t off = *offset;
+  std::uint32_t len = 0;
+  std::uint64_t checksum = 0;
+  if (!GetU32(bytes, &off, &len)) return false;
+  if (!GetU64(bytes, &off, &checksum)) return false;
+  if (bytes.size() - off < len) return false;  // torn frame
+  const std::string payload = bytes.substr(off, len);
+  if (ChecksumOf(payload) != checksum) return false;
+  if (!DecodePayload(payload, out)) return false;
+  *offset = off + len;
+  return true;
+}
+
+// --- NodeDisk ----------------------------------------------------------------
+
+void NodeDisk::Append(const WalRecord& rec) {
+  log_.append(EncodeWalRecord(rec));
+  unsynced_ends_.push_back(log_.size());
+  ++stats_.records_appended;
+}
+
+void NodeDisk::MarkDurable(std::size_t records, std::size_t modeled_bytes) {
+  PAXI_CHECK(records > 0 && records <= unsynced_ends_.size(),
+             "group commit must cover appended, unsynced records");
+  for (std::size_t i = 0; i < records; ++i) {
+    durable_bytes_ = unsynced_ends_.front();
+    unsynced_ends_.pop_front();
+  }
+  ++stats_.sync_count;
+  stats_.bytes_synced += modeled_bytes;
+  stats_.records_synced += records;
+}
+
+Time NodeDisk::SyncDuration(std::size_t modeled_bytes) const {
+  // Fixed fsync latency + sequential-write transfer time, both scaled by
+  // the slow-disk fault factor; floor of 1us so a sync is never free.
+  const double transfer_us =
+      static_cast<double>(modeled_bytes) / params_.disk_mbps;
+  const double us =
+      (static_cast<double>(params_.sync_latency_us) + transfer_us) *
+      slow_factor_;
+  return std::max<Time>(1, static_cast<Time>(us));
+}
+
+void NodeDisk::SaveSnapshot(std::int64_t domain, const StoreSnapshot& snap) {
+  snapshots_[{domain, snap.applied}] = snap;
+}
+
+const StoreSnapshot* NodeDisk::FindSnapshot(std::int64_t domain,
+                                            Slot applied) const {
+  auto it = snapshots_.find({domain, applied});
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+void NodeDisk::SaveKeySnapshot(std::int64_t domain, const KeySnapshot& snap) {
+  key_snapshots_[{domain, snap.applied}] = snap;
+}
+
+const KeySnapshot* NodeDisk::FindKeySnapshot(std::int64_t domain,
+                                             Slot applied) const {
+  auto it = key_snapshots_.find({domain, applied});
+  return it == key_snapshots_.end() ? nullptr : &it->second;
+}
+
+void NodeDisk::CompactDomain(std::int64_t domain, Slot up_to) {
+  // Decode the durable region; if any of it fails to decode (a bit-flip
+  // landed there), leave the log alone — rewriting would silently discard
+  // the suffix behind the damage while the node is still running on it.
+  std::vector<WalRecord> kept;
+  std::size_t off = 0;
+  bool clean = true;
+  while (off < durable_bytes_) {
+    WalRecord rec;
+    std::size_t next = off;
+    if (!DecodeWalRecord(log_, &next, &rec) || next > durable_bytes_) {
+      clean = false;
+      break;
+    }
+    const bool obsolete_entry =
+        (rec.type == WalRecord::Type::kAccept ||
+         rec.type == WalRecord::Type::kCommit) &&
+        rec.domain == domain && rec.slot <= up_to;
+    const bool obsolete_mark = rec.type == WalRecord::Type::kSnapshotMark &&
+                               rec.domain == domain && rec.slot < up_to;
+    if (!obsolete_entry && !obsolete_mark) kept.push_back(std::move(rec));
+    off = next;
+  }
+  if (!clean) return;
+
+  std::string region;
+  for (const WalRecord& rec : kept) region.append(EncodeWalRecord(rec));
+  if (region.size() >= durable_bytes_) return;  // nothing gained
+  const std::size_t delta = durable_bytes_ - region.size();
+  stats_.bytes_compacted += delta;
+  region.append(log_, durable_bytes_, log_.size() - durable_bytes_);
+  log_ = std::move(region);
+  durable_bytes_ -= delta;
+  for (std::size_t& end : unsynced_ends_) end -= delta;
+
+  // Snapshots of this domain below the surviving mark are unreachable.
+  for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+    if (it->first.first == domain && it->first.second < up_to) {
+      it = snapshots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = key_snapshots_.begin(); it != key_snapshots_.end();) {
+    if (it->first.first == domain && it->first.second < up_to) {
+      it = key_snapshots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NodeDisk::Crash() {
+  const std::size_t tail = log_.size() - durable_bytes_;
+  switch (crash_mode_) {
+    case CrashMode::kClean:
+      log_.resize(durable_bytes_);
+      break;
+    case CrashMode::kTornTail:
+      // Power failed mid-write: a prefix of the in-flight tail made it to
+      // the platter, almost certainly ending inside a record frame.
+      if (tail > 0) log_.resize(durable_bytes_ + (tail + 1) / 2);
+      break;
+    case CrashMode::kSyncedTail:
+      // The device completed the write; only the ack was lost.
+      break;
+  }
+  durable_bytes_ = log_.size();
+  unsynced_ends_.clear();
+  crash_mode_ = CrashMode::kClean;
+}
+
+NodeDisk::Recovered NodeDisk::Decode() const {
+  Recovered out;
+  std::size_t off = 0;
+  while (off < log_.size()) {
+    WalRecord rec;
+    if (!DecodeWalRecord(log_, &off, &rec)) {
+      out.truncated = true;
+      break;
+    }
+    out.records.push_back(std::move(rec));
+  }
+  // DecodeWalRecord does not advance past a bad frame, so `off` is the
+  // exact end of the valid prefix in both outcomes.
+  out.valid_bytes = off;
+  return out;
+}
+
+void NodeDisk::TruncateTo(std::size_t bytes) {
+  PAXI_CHECK(bytes <= log_.size());
+  log_.resize(bytes);
+  durable_bytes_ = std::min(durable_bytes_, bytes);
+  unsynced_ends_.clear();
+}
+
+void NodeDisk::Wipe() {
+  log_.clear();
+  durable_bytes_ = 0;
+  unsynced_ends_.clear();
+  snapshots_.clear();
+  key_snapshots_.clear();
+  crash_mode_ = CrashMode::kClean;
+}
+
+void NodeDisk::CorruptByte(std::size_t offset) {
+  const std::size_t region = durable_bytes_ > 0 ? durable_bytes_ : log_.size();
+  if (region == 0) return;
+  const std::size_t at = offset % region;
+  log_[at] = static_cast<char>(static_cast<unsigned char>(log_[at]) ^ 0x40u);
+}
+
+std::uint64_t NodeDisk::StateDigest() const {
+  Digest d;
+  d.Mix(std::string_view(log_));
+  d.Mix(static_cast<std::uint64_t>(durable_bytes_));
+  d.Mix(static_cast<std::uint64_t>(unsynced_ends_.size()));
+  d.Mix(static_cast<std::uint64_t>(snapshots_.size()));
+  for (const auto& [key, snap] : snapshots_) {  // std::map: ordered
+    d.Mix(static_cast<std::uint64_t>(key.first))
+        .Mix(static_cast<std::uint64_t>(key.second))
+        .Mix(snap.digest);
+  }
+  d.Mix(static_cast<std::uint64_t>(key_snapshots_.size()));
+  for (const auto& [key, snap] : key_snapshots_) {
+    d.Mix(static_cast<std::uint64_t>(key.first))
+        .Mix(static_cast<std::uint64_t>(key.second))
+        .Mix(snap.digest);
+  }
+  d.Mix(static_cast<std::uint64_t>(crash_mode_));
+  d.Mix(static_cast<std::uint64_t>(slow_factor_ * 1e6));
+  return d.value();
+}
+
+// --- WalWriter ---------------------------------------------------------------
+
+WalWriter::WalWriter(NodeDisk* disk, Scheduler schedule)
+    : disk_(disk), schedule_(std::move(schedule)) {
+  PAXI_CHECK(disk_ != nullptr && schedule_ != nullptr);
+}
+
+void WalWriter::Append(WalRecord rec, std::function<void()> on_durable) {
+  Pending pending;
+  pending.modeled_bytes = rec.ModeledBytes();
+  pending.on_durable = std::move(on_durable);
+  disk_->Append(rec);
+  pending_.push_back(std::move(pending));
+  StartSync();
+}
+
+void WalWriter::StartSync() {
+  if (sync_in_flight_ || pending_.empty()) return;
+  sync_in_flight_ = true;
+  const std::size_t cap = static_cast<std::size_t>(
+      std::max(1, disk_->params().group_commit_max));
+  const std::size_t group = std::min(pending_.size(), cap);
+  std::size_t modeled = 0;
+  for (std::size_t i = 0; i < group; ++i) {
+    modeled += pending_[i].modeled_bytes;
+  }
+  schedule_(disk_->SyncDuration(modeled), [this, group, modeled]() {
+    disk_->MarkDurable(group, modeled);
+    std::vector<std::function<void()>> done;
+    done.reserve(group);
+    for (std::size_t i = 0; i < group; ++i) {
+      done.push_back(std::move(pending_.front().on_durable));
+      pending_.pop_front();
+    }
+    // Clear the in-flight flag before running callbacks: a callback that
+    // appends (protocols ack, clients react, new proposals arrive within
+    // the same instant) may legitimately start the next group commit.
+    sync_in_flight_ = false;
+    for (auto& fn : done) {
+      if (fn) fn();
+    }
+    StartSync();
+  });
+}
+
+std::uint64_t WalWriter::StateDigest() const {
+  return Digest()
+      .Mix(static_cast<std::uint64_t>(pending_.size()))
+      .Mix(sync_in_flight_ ? 1u : 0u)
+      .value();
+}
+
+}  // namespace paxi

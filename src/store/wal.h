@@ -1,0 +1,322 @@
+#ifndef PAXI_STORE_WAL_H_
+#define PAXI_STORE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/digest.h"
+#include "common/types.h"
+#include "store/command.h"
+#include "store/snapshot.h"
+
+namespace paxi {
+
+/// Domain id of a protocol's single main log in its WAL. Protocols with
+/// one replicated log (paxos, raft, mencius's per-peer logs use the peer
+/// index, zone-group protocols) write under this id or small non-negative
+/// ids; WPaxos's per-object logs use the object key as the domain. The
+/// sentinel sits at the bottom of the int64 range where no key or peer
+/// index can collide with it.
+constexpr std::int64_t kWalMainDomain =
+    std::numeric_limits<std::int64_t>::min();
+
+/// Modeled byte cost of one WAL record's framing + fixed fields, the
+/// disk-side analog of the canonical 100-byte message of the NIC model:
+/// sync durations and the bytes_synced gauge are computed from modeled
+/// bytes, not from the encoded representation (values are strings of
+/// arbitrary length; charging their real size would let payload choice
+/// skew the performance model).
+constexpr std::size_t kWalRecordModelBytes = 40;
+
+/// Modeled bytes per command carried in an accept record. Kept equal to
+/// kCommandWireBytes (core/messages.h) so a batch costs the disk what it
+/// costs the NIC; node.cc static_asserts the two stay in sync.
+constexpr std::size_t kWalCommandModelBytes = 50;
+
+/// Framing overhead of one encoded record: u32 payload length + u64
+/// FNV-1a checksum of the payload.
+constexpr std::size_t kWalFrameBytes = 12;
+
+/// One write-ahead-log record. Protocols append these through
+/// Node::Persist before acknowledging the state they certify (an
+/// acceptance is not acked until its record is sync-durable); recovery
+/// replays the surviving prefix in append order.
+struct WalRecord {
+  enum class Type : std::uint8_t {
+    /// A log-slot acceptance: (domain, slot, ballot, cmds). The workhorse
+    /// record; also doubles as the durable promise for `ballot`.
+    kAccept = 1,
+    /// Commit-watermark advance: every slot of `domain` <= `slot` is
+    /// known committed. Written lazily (commits are re-learnable from a
+    /// quorum), so recovery may see a stale watermark — safe, the node
+    /// re-learns the rest through the protocol's catch-up path.
+    kCommit = 2,
+    /// Reference to a snapshot in the disk's snapshot area: `slot` is the
+    /// applied watermark, extra[0] the snapshot digest. The snapshot
+    /// itself is stored out-of-line (NodeDisk::SaveSnapshot); this record
+    /// becoming durable is its commit point, like Raft's snapshot file +
+    /// log mark.
+    kSnapshotMark = 3,
+    /// A ballot/term promise or adoption with no slot attached.
+    kBallot = 4,
+  };
+
+  Type type = Type::kAccept;
+  std::int64_t domain = kWalMainDomain;
+  Slot slot = -1;
+  Ballot ballot;
+  bool committed = false;
+  bool noop = false;
+  /// Protocol scratch: EPaxos seq + deps, Raft terms, snapshot digests.
+  std::vector<std::uint64_t> extra;
+  std::vector<Command> cmds;
+  /// Extra modeled payload bytes beyond the record's own cost — snapshot
+  /// marks charge the referenced snapshot's ByteSizeEstimate here, so
+  /// writing a snapshot pays disk time proportional to the state saved.
+  std::uint64_t modeled_payload = 0;
+
+  /// Bytes this record charges the group-commit sync model.
+  std::size_t ModeledBytes() const;
+
+  /// Content fingerprint (testing / state digests).
+  std::uint64_t ContentDigest() const;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Encodes `rec` as one length-prefixed, checksummed frame:
+/// [u32 payload_len][u64 fnv1a(payload)][payload].
+std::string EncodeWalRecord(const WalRecord& rec);
+
+/// Decodes one frame at `offset` of `bytes`. Returns false — without
+/// advancing — on a torn frame (length prefix or payload extending past
+/// the end), a checksum mismatch, or a malformed payload; recovery treats
+/// any of these as the end of the valid prefix.
+bool DecodeWalRecord(const std::string& bytes, std::size_t* offset,
+                     WalRecord* out);
+
+/// Service-time model of the simulated disk, the storage analog of the
+/// NIC model (paper §3.2): one fsync costs a fixed latency plus a
+/// per-byte transfer cost, charged on the simulator clock. Group commit
+/// amortizes the fixed cost over up to `group_commit_max` records.
+struct DiskParams {
+  /// Fixed per-fsync latency (device + syscall), microseconds.
+  Time sync_latency_us = 400;
+  /// Sequential write bandwidth, megabytes per second.
+  double disk_mbps = 250.0;
+  /// Max records coalesced into one sync. Bounding the group is what
+  /// lets command batching multiply commands-per-sync: at batch size B
+  /// one sync covers at most group_commit_max * B commands.
+  int group_commit_max = 8;
+};
+
+/// The simulated durable medium of one replica. Owned by the Cluster and
+/// kept across crash-restarts — it is exactly the state that survives a
+/// node's death. Holds the append-only WAL byte stream (with a durable
+/// frontier: bytes below it survived the last completed sync), the
+/// out-of-line snapshot area, and the storage-fault switches the nemesis
+/// flips (crash modes, bit-flips, slow-disk).
+class NodeDisk {
+ public:
+  /// What happens to the unsynced tail when the node dies.
+  enum class CrashMode : std::uint8_t {
+    /// Unsynced bytes are lost cleanly at the durable frontier.
+    kClean = 0,
+    /// The device wrote part of the in-flight sync before power was cut:
+    /// a prefix of the unsynced tail survives, usually ending mid-record
+    /// — recovery must detect and truncate the torn frame.
+    kTornTail = 1,
+    /// The device finished the in-flight sync but the ack never reached
+    /// the node: the whole tail survives. Recovery replays records that
+    /// were never acknowledged — which must be (and is) safe.
+    kSyncedTail = 2,
+  };
+
+  struct Stats {
+    std::uint64_t sync_count = 0;      ///< Completed group-commit syncs.
+    std::uint64_t bytes_synced = 0;    ///< Modeled bytes across all syncs.
+    std::uint64_t records_synced = 0;  ///< Records made durable.
+    std::uint64_t records_appended = 0;
+    std::uint64_t bytes_compacted = 0;  ///< Encoded bytes dropped by GC.
+    std::uint64_t recoveries = 0;       ///< Successful WAL replays.
+
+    double MeanGroupCommit() const {
+      return sync_count == 0 ? 0.0
+                             : static_cast<double>(records_synced) /
+                                   static_cast<double>(sync_count);
+    }
+  };
+
+  struct Recovered {
+    std::vector<WalRecord> records;  ///< The valid durable prefix.
+    std::size_t valid_bytes = 0;     ///< Where the prefix ends.
+    /// True when bytes past `valid_bytes` existed but failed to decode
+    /// (torn tail or corruption) and were discarded.
+    bool truncated = false;
+  };
+
+  explicit NodeDisk(DiskParams params) : params_(params) {}
+
+  NodeDisk(const NodeDisk&) = delete;
+  NodeDisk& operator=(const NodeDisk&) = delete;
+
+  const DiskParams& params() const { return params_; }
+
+  // --- Append path (driven by WalWriter) -----------------------------------
+
+  /// Appends one encoded record to the (volatile) tail of the log.
+  void Append(const WalRecord& rec);
+
+  /// Completes one group-commit sync covering the next `records` unsynced
+  /// records: advances the durable frontier past them and accounts
+  /// `modeled_bytes` of disk traffic.
+  void MarkDurable(std::size_t records, std::size_t modeled_bytes);
+
+  /// Duration of one fsync covering `modeled_bytes`, under the current
+  /// slow-disk factor.
+  Time SyncDuration(std::size_t modeled_bytes) const;
+
+  std::size_t log_bytes() const { return log_.size(); }
+  std::size_t durable_bytes() const { return durable_bytes_; }
+  std::size_t unsynced_records() const { return unsynced_ends_.size(); }
+
+  // --- Snapshot area -------------------------------------------------------
+  // Snapshots live out-of-line, keyed by (domain, applied watermark); a
+  // kSnapshotMark record in the durable WAL prefix is what makes one
+  // recoverable. Obsolete entries are pruned by CompactDomain.
+
+  void SaveSnapshot(std::int64_t domain, const StoreSnapshot& snap);
+  const StoreSnapshot* FindSnapshot(std::int64_t domain, Slot applied) const;
+  void SaveKeySnapshot(std::int64_t domain, const KeySnapshot& snap);
+  const KeySnapshot* FindKeySnapshot(std::int64_t domain, Slot applied) const;
+
+  // --- Compaction ----------------------------------------------------------
+
+  /// WAL garbage collection after a snapshot at `up_to`: rewrites the
+  /// durable region dropping accept/commit records of `domain` with
+  /// slot <= `up_to` and snapshot marks of `domain` below `up_to`, and
+  /// prunes the domain's obsolete snapshots. The unsynced tail is
+  /// preserved byte-for-byte. A durable region that no longer decodes
+  /// cleanly (bit-flip fault) is left untouched — recovery, not
+  /// compaction, owns corruption handling.
+  void CompactDomain(std::int64_t domain, Slot up_to);
+
+  // --- Crash / recovery ----------------------------------------------------
+
+  /// Applies the crash mode to the byte log (the node just died): the
+  /// unsynced tail is cut per `crash_mode()`, the frontier moves to the
+  /// surviving end, and the mode resets to kClean.
+  void Crash();
+
+  /// Decodes the valid record prefix of the log. Recovery truncates to
+  /// `valid_bytes` afterwards (TruncateTo) so new appends extend a clean
+  /// log.
+  Recovered Decode() const;
+
+  /// Physically truncates the log to `bytes` (<= log_bytes()); resets the
+  /// durable frontier to match. Only meaningful right after Decode().
+  void TruncateTo(std::size_t bytes);
+
+  /// Records a completed WAL replay (telemetry).
+  void NoteRecovery() { ++stats_.recoveries; }
+
+  /// Total state loss (amnesia restart): log, frontier and snapshot area
+  /// are cleared. Lifetime stats survive — the device is the same.
+  void Wipe();
+
+  // --- Fault switches (set by the nemesis) ---------------------------------
+
+  void set_crash_mode(CrashMode mode) { crash_mode_ = mode; }
+  CrashMode crash_mode() const { return crash_mode_; }
+
+  /// Flips one bit of the byte at `offset` (clamped into the durable
+  /// region; no-op on an empty log) — media corruption that recovery must
+  /// detect via the record checksums.
+  void CorruptByte(std::size_t offset);
+
+  /// Scales subsequent sync durations (slow-disk fault); 1.0 = healthy.
+  void set_slow_factor(double factor) { slow_factor_ = factor; }
+  double slow_factor() const { return slow_factor_; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Fingerprint of everything on the medium, mixed into the model
+  /// checker's universe digest: the disk survives node death, so two
+  /// explorer states with identical live replicas but different disks
+  /// must not deduplicate.
+  std::uint64_t StateDigest() const;
+
+ private:
+  DiskParams params_;
+  std::string log_;                 ///< Encoded record stream.
+  std::size_t durable_bytes_ = 0;   ///< Sync frontier into log_.
+  /// End offsets of appended-but-unsynced records, oldest first; rebased
+  /// by CompactDomain so an in-flight sync completes correctly across a
+  /// rewrite.
+  std::deque<std::size_t> unsynced_ends_;
+
+  std::map<std::pair<std::int64_t, Slot>, StoreSnapshot> snapshots_;
+  std::map<std::pair<std::int64_t, Slot>, KeySnapshot> key_snapshots_;
+
+  CrashMode crash_mode_ = CrashMode::kClean;
+  double slow_factor_ = 1.0;
+  Stats stats_;
+};
+
+/// Group-commit scheduler: the bridge between a Node's append stream and
+/// its NodeDisk. Appends are queued; at most one sync is in flight, each
+/// covering up to DiskParams::group_commit_max queued records, and every
+/// record's completion callback fires when its sync completes — that
+/// callback is where the protocol sends the acknowledgment it withheld.
+///
+/// Owned by the Node (it dies with the node: an in-flight sync whose
+/// completion never fires is exactly a crash mid-sync — the disk keeps
+/// the unsynced tail until NodeDisk::Crash cuts it). The scheduler
+/// callable must guarantee the deferred callback is dropped, not run,
+/// once the owner is destroyed (Node::ArmTimer's liveness token).
+class WalWriter {
+ public:
+  /// schedule(delay, fn): run `fn` after `delay` of virtual time on the
+  /// owner's timeline, or never if the owner died first.
+  using Scheduler = std::function<void(Time, std::function<void()>)>;
+
+  WalWriter(NodeDisk* disk, Scheduler schedule);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends `rec` and schedules it into a group commit. `on_durable`
+  /// (may be empty) fires once the record's sync completes, in append
+  /// order.
+  void Append(WalRecord rec, std::function<void()> on_durable);
+
+  bool sync_in_flight() const { return sync_in_flight_; }
+  std::size_t pending_records() const { return pending_.size(); }
+
+  /// Pending-work fingerprint for Node::StateDigest composition.
+  std::uint64_t StateDigest() const;
+
+ private:
+  void StartSync();
+
+  struct Pending {
+    std::size_t modeled_bytes = 0;
+    std::function<void()> on_durable;
+  };
+
+  NodeDisk* disk_;
+  Scheduler schedule_;
+  std::deque<Pending> pending_;
+  bool sync_in_flight_ = false;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_STORE_WAL_H_

@@ -9,6 +9,7 @@
 #include "mc/scenario.h"
 #include "mc/universe.h"
 #include "protocols/paxos/paxos.h"
+#include "store/wal.h"
 
 namespace paxi {
 namespace {
@@ -336,6 +337,121 @@ TEST(ExploreTest, DepthBudgetTruncatesInsteadOfDiverging) {
   const McResult result = Explore(scenario, budget);
   EXPECT_FALSE(result.violation_found);
   EXPECT_GT(result.stats.truncated_depth, 0u);
+}
+
+// --- Durable storage under the checker ----------------------------------------
+
+/// Durable 3-node paxos: one put, one crash-restart of the initial
+/// leader from its surviving WAL. In zero-cost universes every group
+/// commit is still a *future* timer event (SyncDuration >= 1us), so the
+/// checker naturally reaches states where a record is appended but not
+/// yet sync-durable — injecting the crash there explores crash-between-
+/// append-and-sync, advancing the timer first explores the synced
+/// outcome.
+McScenario DurableCrashScenario() {
+  McScenario scenario;
+  scenario.params["durable"] = "1";
+  scenario.ops = {Put(1, "x")};
+  scenario.max_drops = 0;
+  scenario.max_timer_steps = 60;
+  McCrash crash;
+  crash.node = NodeId{1, 1};
+  crash.mode = Cluster::RestartMode::kDurable;
+  crash.downtime = 50 * kMillisecond;
+  crash.min_step = 0;
+  crash.max_step = 30;
+  scenario.crashes = {crash};
+  return scenario;
+}
+
+/// FIFO hand schedule: deliver the oldest parked message; when the
+/// network is quiet, advance timers. Stops when `done` returns true or
+/// the choice budgets run dry.
+template <typename Pred>
+void DriveUntil(McUniverse& universe, Pred done, int max_steps = 600) {
+  for (int step = 0; step < max_steps; ++step) {
+    if (done()) return;
+    if (!universe.parked().empty()) {
+      universe.DeliverParked(universe.parked().front().id);
+    } else if (universe.timer_steps_left() > 0 && universe.HasPendingEvents()) {
+      universe.AdvanceTimer();
+    } else {
+      return;
+    }
+  }
+}
+
+TEST(McUniverseTest, DurableCrashGoldenScheduleBothOutcomes) {
+  // The golden durable-crash schedule, driven by hand in two universes
+  // that diverge at exactly one choice. Both run the FIFO schedule until
+  // the victim has appended a WAL record whose group-commit sync is
+  // still pending — the window the WAL's ack rule exists for. Universe
+  // `lost` injects the crash inside that window: the unsynced tail dies
+  // with the node and recovery replays the shorter durable prefix.
+  // Universe `kept` lets the sync land first: the record survives the
+  // crash and recovery replays it. Neither outcome may trip the auditor
+  // and both histories must linearize — losing an unacknowledged suffix
+  // is crash-consistent; losing an acknowledged record would not be.
+  const NodeId victim{1, 1};
+  const auto sync_window_open = [&victim](McUniverse& u) {
+    const NodeDisk* disk = u.cluster().disk(victim);
+    return disk->log_bytes() > disk->durable_bytes();
+  };
+
+  McUniverse lost(DurableCrashScenario());
+  ASSERT_NE(lost.cluster().disk(victim), nullptr)
+      << "scenario did not build a durable cluster";
+  DriveUntil(lost, [&] { return sync_window_open(lost); });
+  ASSERT_TRUE(sync_window_open(lost))
+      << "appended-but-unsynced window never reached";
+  const std::size_t durable_before = lost.cluster().disk(victim)->durable_bytes();
+  ASSERT_TRUE(lost.CrashEnabled(0));
+  lost.InjectCrash(0);
+  // The unsynced tail died on the medium at the crash instant; only the
+  // sync-durable prefix remains for replay.
+  EXPECT_EQ(lost.cluster().disk(victim)->log_bytes(), durable_before);
+
+  McUniverse kept(DurableCrashScenario());
+  DriveUntil(kept, [&] { return sync_window_open(kept); });
+  ASSERT_TRUE(sync_window_open(kept));
+  // Same state, different choice: advance timers until the group commit
+  // lands, then crash.
+  for (int i = 0; i < 50 && sync_window_open(kept); ++i) {
+    ASSERT_TRUE(kept.HasPendingEvents() && kept.timer_steps_left() > 0);
+    kept.AdvanceTimer();
+  }
+  ASSERT_FALSE(sync_window_open(kept)) << "group commit never landed";
+  const std::size_t durable_kept = kept.cluster().disk(victim)->durable_bytes();
+  EXPECT_GT(durable_kept, durable_before)
+      << "the sync should have advanced the durable frontier";
+  ASSERT_TRUE(kept.CrashEnabled(0));
+  kept.InjectCrash(0);
+  EXPECT_EQ(kept.cluster().disk(victim)->log_bytes(), durable_kept);
+
+  for (McUniverse* u : {&lost, &kept}) {
+    DriveUntil(*u, [u] { return u->op_records()[0].completed_step >= 0; });
+    EXPECT_GE(u->cluster().disk(victim)->stats().recoveries, 1u)
+        << "victim never replayed its WAL";
+    EXPECT_TRUE(u->violations().empty())
+        << (u->violations().empty() ? "" : u->violations()[0]);
+    std::string error;
+    EXPECT_TRUE(CheckLinearizability(u->op_records(), &error)) << error;
+    EXPECT_GE(u->op_records()[0].completed_step, 0)
+        << "put never completed after the durable restart";
+  }
+}
+
+TEST(ExploreTest, PaxosDurableCrashCleanWithinBudget) {
+  // Systematic sweep of the same family: every interleaving of message
+  // deliveries, group-commit syncs, and the crash choice — including
+  // crashes between append and sync — must keep the auditor silent.
+  McScenario scenario = DurableCrashScenario();
+  scenario.max_timer_steps = 16;
+  const McResult result = Explore(scenario, BoundedBudget());
+  EXPECT_FALSE(result.violation_found)
+      << (result.violations.empty() ? "" : result.violations[0]);
+  EXPECT_GT(result.stats.executions, 0u);
+  EXPECT_GE(result.stats.distinct_states, 1'000u);
 }
 
 // --- Exploration: mutation validation ----------------------------------------

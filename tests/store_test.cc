@@ -1,6 +1,10 @@
+#include <utility>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "store/command.h"
 #include "store/kvstore.h"
+#include "store/log_storage.h"
 
 namespace paxi {
 namespace {
@@ -96,6 +100,40 @@ TEST(KvStoreTest, IndependentKeys) {
   EXPECT_EQ(store.Get(2).value(), "y");
   EXPECT_TRUE(store.History(3).empty());
   EXPECT_TRUE(store.Versions(3).empty());
+}
+
+TEST(LogStorageListenerTest, CompactionListenerFiresOnlyOnAdvance) {
+  // Durable protocols hook WAL garbage collection on this callback
+  // (log_storage.h), so its contract — fire once per advancing CompactTo,
+  // with the new watermark and the real entry count dropped — is what
+  // keeps the in-memory log and the on-disk log compacting in lockstep.
+  LogStorage<int> log;
+  for (Slot s = 0; s <= 9; ++s) log[s] = static_cast<int>(s);
+  std::vector<std::pair<Slot, std::size_t>> calls;
+  log.set_compaction_listener(
+      [&calls](Slot watermark, std::size_t erased) {
+        calls.emplace_back(watermark, erased);
+      });
+
+  EXPECT_EQ(log.CompactTo(4), 5u);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 4);
+  EXPECT_EQ(calls[0].second, 5u);
+
+  // A watermark that does not advance must not re-trigger WAL GC.
+  EXPECT_EQ(log.CompactTo(4), 0u);
+  EXPECT_EQ(log.CompactTo(2), 0u);
+  EXPECT_EQ(calls.size(), 1u);
+
+  // Holes below the watermark (entries already erased individually) are
+  // not double-counted.
+  log.erase(6);
+  EXPECT_EQ(log.CompactTo(7), 2u);  // drops 5 and 7; 6 is a hole
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[1].first, 7);
+  EXPECT_EQ(calls[1].second, 2u);
+  EXPECT_EQ(log.snapshot_index(), 7);
+  EXPECT_EQ(log.total_compacted(), 7u);
 }
 
 }  // namespace

@@ -21,6 +21,12 @@ similar codebases:
   pointer-keyed        std::map/std::set keyed on pointers: iteration
                        order is allocation-address order, different every
                        run.
+  file-io              Direct file I/O (<fstream>, <cstdio>, FILE*,
+                       std::filesystem) anywhere in src/ outside store/.
+                       Durability must go through the simulated NodeDisk
+                       (src/store/wal.h): real files escape the virtual
+                       clock, survive simulated crashes, and make runs
+                       depend on host filesystem state.
 
 Usage:  tools/determinism_lint.py [--allowlist FILE] [paths...]
         (default path: src/, default allowlist: tools/determinism_allowlist.txt)
@@ -45,6 +51,7 @@ RULES = (
     "raw-rand",
     "raw-assert",
     "pointer-keyed",
+    "file-io",
 )
 
 WALL_CLOCK_RE = re.compile(
@@ -57,6 +64,13 @@ RAW_RAND_RE = re.compile(
 RAW_ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 POINTER_KEYED_RE = re.compile(
     r"\b(?:std::)?(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+)
+FILE_IO_RE = re.compile(
+    r"#\s*include\s*<(?:fstream|cstdio|filesystem)>"
+    r"|\b(?:std::)?[io]?fstream\b"
+    r"|\bf(?:open|reopen|write|read|close|seek|tell)\s*\("
+    r"|\bFILE\s*\*"
+    r"|std::filesystem"
 )
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 # Identifier that ends a declaration whose type mentions an unordered
@@ -177,9 +191,12 @@ def check_file(path, text):
         for n in names
     ]
     in_check_header = path.endswith(os.path.join("common", "check.h"))
+    in_store = "/store/" in path.replace(os.sep, "/")
     for lineno, line in enumerate(lines, start=1):
         if WALL_CLOCK_RE.search(line):
             yield lineno, "wall-clock", raw_lines[lineno - 1]
+        if not in_store and FILE_IO_RE.search(line):
+            yield lineno, "file-io", raw_lines[lineno - 1]
         if RAW_RAND_RE.search(line):
             yield lineno, "raw-rand", raw_lines[lineno - 1]
         if not in_check_header and RAW_ASSERT_RE.search(line):
