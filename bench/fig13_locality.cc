@@ -62,6 +62,22 @@ std::vector<Variant> Variants() {
     Config c = Config::Wan5("epaxos", 1);
     out.push_back({"EPaxos", c});
   }
+  // Durable lanes: the locality-aware pair over the simulated WAL. In the
+  // WAN the per-round fsync is small against inter-region RTTs, so the
+  // locality story must survive durability essentially unchanged.
+  {
+    Config c = Config::Wan5("wpaxos", 1);
+    c.params["fz"] = "0";
+    c.params["initial_owner"] = "2.1";
+    c.params["durable"] = "1";
+    out.push_back({"WPaxos(fz=0)+wal", c});
+  }
+  {
+    Config c = Config::Wan5("wankeeper", 1);
+    c.params["master_zone"] = "2";
+    c.params["durable"] = "1";
+    out.push_back({"WanKeeper+wal", c});
+  }
   return out;
 }
 
@@ -74,10 +90,10 @@ int Run(int argc, char** argv) {
   std::map<std::string, Sampler> global;
   const std::vector<Variant> variants = Variants();
 
-  // Each variant is an independent 26-virtual-second universe; run all six
-  // concurrently on the sweep engine (--jobs N / PAXI_JOBS) and print from
-  // the gathered results in submission order (byte-identical output for
-  // any job count).
+  // Each variant is an independent 26-virtual-second universe; run all of
+  // them concurrently on the sweep engine (--jobs N / PAXI_JOBS) and print
+  // from the gathered results in submission order (byte-identical output
+  // for any job count).
   SweepEngine engine(SweepJobs(argc, argv));
   const std::vector<BenchResult> bench_results = engine.Map<BenchResult>(
       variants.size(), [&variants](std::size_t i) {
@@ -153,6 +169,21 @@ int Run(int argc, char** argv) {
   failures += !bench::Check(
       global["WPaxos(fz=2)"].mean() > global["WPaxos(fz=0)"].mean() + 5.0,
       "WPaxos fz=2 pays a visible latency premium over fz=0");
+  // Durable lanes: a WAN round is RTT-dominated, so the WAL adds only a
+  // small latency floor and preserves the locality conclusions.
+  const double wp_wal = global["WPaxos(fz=0)+wal"].mean();
+  const double wk_wal = global["WanKeeper+wal"].mean();
+  failures += !bench::Check(
+      wp_wal >= wp && wp_wal < wp + 8.0,
+      "durable WPaxos pays only a small fsync floor over in-memory in the "
+      "WAN");
+  failures += !bench::Check(
+      region_means["WanKeeper+wal"][2] < 8.0,
+      "durable WanKeeper still gives its master region near-LAN latency");
+  failures += !bench::Check(
+      wk_wal > wp_wal,
+      "durability preserves the ordering: WanKeeper still sees more WAN "
+      "latency than WPaxos globally");
   return bench::Summary(failures);
 }
 

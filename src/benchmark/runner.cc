@@ -4,6 +4,7 @@
 
 #include "benchmark/sweep.h"
 #include "common/check.h"
+#include "lease/lease.h"
 #include "store/wal.h"
 
 namespace paxi {
@@ -94,6 +95,7 @@ struct ClientLoop : std::enable_shared_from_this<ClientLoop> {
       op.value = is_write ? written : reply.value;
       op.found = is_write || reply.found;
       op.client = client->client_id();
+      op.read_mode = is_write ? 0 : reply.read_mode;
       result->ops.push_back(op);
     }
     IssueNext();
@@ -188,6 +190,34 @@ BenchResult BenchRunner::Run() {
           disk_gauge.recoveries = ds.recoveries;
           disk_gauge.bytes_compacted = ds.bytes_compacted;
           tracker->RecordDiskGauge(disk_gauge);
+        }
+        // Read-path gauges + degradation transitions, for runs with a
+        // non-default read mode (lease_manager() is null otherwise).
+        for (const NodeId& id : cluster->nodes()) {
+          Node* node = cluster->node(id);
+          if (node == nullptr) continue;
+          LeaseManager* lm = node->lease_manager();
+          if (lm == nullptr) continue;
+          const LeaseManager::ReadStats& rs = lm->read_stats();
+          AvailabilityTracker::ReadGauge read_gauge;
+          read_gauge.at = now;
+          read_gauge.node = id.ToString();
+          read_gauge.lease_reads = rs.lease_reads;
+          read_gauge.quorum_reads = rs.quorum_reads;
+          read_gauge.full_reads = rs.full_reads;
+          read_gauge.degrade_to_quorum = rs.degrade_to_quorum;
+          read_gauge.degrade_to_full = rs.degrade_to_full;
+          read_gauge.holds_lease = lm->HoldsLeaseNow();
+          tracker->RecordReadGauge(read_gauge);
+          for (const LeaseManager::Transition& t : lm->DrainTransitions()) {
+            AvailabilityTracker::DegradationEvent event;
+            event.at = t.at;
+            event.node = id.ToString();
+            event.from_mode = t.from_mode;
+            event.to_mode = t.to_mode;
+            event.reason = t.reason;
+            tracker->RecordDegradation(event);
+          }
         }
       });
     }

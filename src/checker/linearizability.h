@@ -18,6 +18,12 @@ struct OpRecord {
   bool found = false; ///< Reads: whether a value was returned.
   ClientId client = 0;
   RequestId request = 0;
+  /// Consistency rung the op was served at (lease/lease.h ReadMode as a
+  /// plain int: 0 full, 1 leader-lease, 2 quorum, 3 relaxed-local).
+  /// Writes are always 0. CheckReadModes (checker/staleness.h) classifies
+  /// reads by this: modes 0-2 must be linearizable; mode 3 is audited
+  /// against the relaxed bounded-staleness contract instead.
+  int read_mode = 0;
 };
 
 /// An anomalous read detected by the checker.

@@ -67,4 +67,44 @@ StalenessReport CheckBoundedStaleness(const std::vector<OpRecord>& ops,
   return report;
 }
 
+ReadModeReport CheckReadModes(const std::vector<OpRecord>& ops,
+                              Time relaxed_bound) {
+  ReadModeReport report;
+  // Writes are shared history context for both audits; reads are routed
+  // to the contract their declared mode promises.
+  std::vector<OpRecord> strict;
+  std::vector<OpRecord> relaxed;
+  for (const OpRecord& op : ops) {
+    if (op.is_write) {
+      strict.push_back(op);
+      relaxed.push_back(op);
+      continue;
+    }
+    if (op.read_mode >= 0 && op.read_mode <= 3) {
+      ++report.reads_by_mode[op.read_mode];
+    }
+    switch (op.read_mode) {
+      case 0:
+      case 1:
+      case 2:
+        strict.push_back(op);
+        break;
+      case 3:
+        relaxed.push_back(op);
+        break;
+      default:
+        report.unlabeled.push_back(
+            {op, "read declares unknown mode " +
+                     std::to_string(op.read_mode) +
+                     "; undeclared consistency is never accepted"});
+        break;
+    }
+  }
+  LinearizabilityChecker checker;
+  checker.AddAll(strict);
+  report.strict_anomalies = checker.Check();
+  report.relaxed = CheckBoundedStaleness(relaxed, relaxed_bound);
+  return report;
+}
+
 }  // namespace paxi

@@ -42,6 +42,42 @@ struct StalenessReport {
 StalenessReport CheckBoundedStaleness(const std::vector<OpRecord>& ops,
                                       Time bound);
 
+/// Mode-aware consistency audit: every read is classified by the mode it
+/// DECLARED (OpRecord::read_mode, stamped end-to-end by the serving
+/// replica), and each class is held to its own contract:
+///
+///  - modes 0 (full), 1 (leader_lease), 2 (quorum) are strict: they must
+///    be linearizable, and any anomaly lands in `strict_anomalies`;
+///  - mode 3 (relaxed_local) is explicitly weaker: audited against the
+///    bounded-staleness contract with `relaxed_bound` into `relaxed`;
+///  - any other mode value is an `unlabeled` violation outright — a read
+///    whose consistency was never declared is never silently accepted.
+///
+/// Writes participate in both audits as history context. This replaces
+/// the earlier all-or-nothing use of the linearizability checker, which
+/// could only be applied to runs where every read had the same strength.
+struct ReadModeReport {
+  /// Read counts by declared mode (index = ReadMode as int, 0..3).
+  std::size_t reads_by_mode[4] = {0, 0, 0, 0};
+  /// Linearizability anomalies among strict reads (modes 0-2).
+  std::vector<Anomaly> strict_anomalies;
+  /// Bounded-staleness audit of the relaxed reads (mode 3).
+  StalenessReport relaxed;
+  /// Reads carrying an undeclared/unknown mode value.
+  std::vector<Anomaly> unlabeled;
+
+  std::size_t strict_reads() const {
+    return reads_by_mode[0] + reads_by_mode[1] + reads_by_mode[2];
+  }
+  bool ok() const {
+    return strict_anomalies.empty() && relaxed.violations.empty() &&
+           unlabeled.empty();
+  }
+};
+
+ReadModeReport CheckReadModes(const std::vector<OpRecord>& ops,
+                              Time relaxed_bound);
+
 }  // namespace paxi
 
 #endif  // PAXI_CHECKER_STALENESS_H_

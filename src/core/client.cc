@@ -158,6 +158,7 @@ void Client::Deliver(MessagePtr msg) {
   out.found = reply->found;
   out.latency = sim_->Now() - p.issued_at;
   out.attempts = p.attempts;
+  out.read_mode = reply->read_mode;
   Callback done = std::move(p.done);
   pending_.erase(it);
   done(out);

@@ -35,6 +35,9 @@ class Client : public Endpoint {
     bool found = false;
     Time latency = 0;  ///< Issue-to-reply round trip in virtual time.
     int attempts = 1;  ///< 1 = first try succeeded.
+    /// Consistency rung the read was served at (lease/lease.h ReadMode as
+    /// int; 0 = full consensus round), copied from the replica's reply.
+    int read_mode = 0;
   };
   using Callback = std::function<void(const Reply&)>;
 

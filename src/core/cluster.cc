@@ -297,6 +297,12 @@ void Cluster::SetClockSkew(NodeId id, double factor) {
   it->second->SetClockSkew(factor);
 }
 
+void Cluster::ExpireLease(NodeId id) {
+  auto it = nodes_.find(id);
+  PAXI_CHECK(it != nodes_.end());
+  it->second->ForceLeaseExpiry();
+}
+
 std::size_t Cluster::TotalMessagesProcessed() const {
   std::size_t total = 0;
   for (const auto& [id, node] : nodes_) {

@@ -137,6 +137,10 @@ class Cluster {
   /// (Node::SetClockSkew).
   void SetClockSkew(NodeId id, double factor);
 
+  /// Force-drops `id`'s held read lease (Node::ForceLeaseExpiry); no-op
+  /// when leases are off or the node holds none. Nemesis kExpireLease.
+  void ExpireLease(NodeId id);
+
   /// Sum of messages processed across replicas; per-node counters are on
   /// Node itself.
   std::size_t TotalMessagesProcessed() const;

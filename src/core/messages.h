@@ -99,6 +99,10 @@ struct ClientReply : Message {
   bool found = false;
   /// Where future requests should go (leader hint; Invalid if none).
   NodeId leader_hint = NodeId::Invalid();
+  /// Consistency rung a read was served at (lease/lease.h ReadMode as
+  /// int; 0 = full consensus round). Plain int so this header stays
+  /// independent of the lease subsystem.
+  int read_mode = 0;
 
   std::size_t ByteSize() const override { return 100; }
 
@@ -109,7 +113,8 @@ struct ClientReply : Message {
         .Mix(ok ? 1u : 0u)
         .Mix(value)
         .Mix(found ? 1u : 0u)
-        .Mix(std::hash<NodeId>()(leader_hint));
+        .Mix(std::hash<NodeId>()(leader_hint))
+        .Mix(static_cast<std::uint64_t>(read_mode));
     return d.value();
   }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "lease/lease.h"
 
 namespace paxi {
 
@@ -28,6 +29,10 @@ Node::Node(NodeId id, Env env)
         disk_, [this](Time delay, std::function<void()> fn) {
           ArmTimer(delay, EventFn(std::move(fn)));
         });
+  }
+  const ReadMode mode = ReadModeFromParam(config_->GetParam("read_mode", ""));
+  if (mode != ReadMode::kFull) {
+    lease_ = std::make_unique<LeaseManager>(this, mode);
   }
 }
 
@@ -71,14 +76,29 @@ void Node::Deliver(MessagePtr msg) {
 
 void Node::Dispatch(MessagePtr msg) {
   ++messages_processed_;
-  auto it = handlers_.find(std::type_index(typeid(*msg)));
-  if (it == handlers_.end()) return;  // unhandled type: silently ignored
   // Handlers run with protocol/node/virtual-time context installed, so a
   // PAXI_CHECK tripping anywhere below reports where in the simulation it
   // fired.
   ScopedCheckContext ctx(
       CheckContext{config_->protocol, id_str_, sim_->now_ptr()});
+  if (lease_ != nullptr) {
+    // Client reads are intercepted ahead of the protocol handler: the
+    // lease manager serves them on the strongest safely-available rung
+    // and falls through to the full consensus round otherwise.
+    if (const auto* req = dynamic_cast<const ClientRequest*>(msg.get());
+        req != nullptr && req->cmd.IsRead() && lease_->TryServeRead(*req)) {
+      return;
+    }
+  }
+  auto it = handlers_.find(std::type_index(typeid(*msg)));
+  if (it == handlers_.end()) return;  // unhandled type: silently ignored
   it->second(*msg);
+}
+
+void Node::DispatchToProtocol(const ClientRequest& req) {
+  auto it = handlers_.find(std::type_index(typeid(ClientRequest)));
+  if (it == handlers_.end()) return;
+  it->second(req);
 }
 
 void Node::SendShared(NodeId to, MessagePtr msg) {
@@ -122,8 +142,18 @@ bool Node::AdmitRequest(const ClientRequest& req) {
   return false;
 }
 
+void Node::Audit(AuditScope& scope) const {
+  if (lease_ != nullptr && lease_->HoldsLeaseNow()) {
+    scope.LeaseHeld("lease");
+  }
+}
+
+void Node::ForceLeaseExpiry() {
+  if (lease_ != nullptr) lease_->ForceExpire();
+}
+
 void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
-                         bool found, NodeId leader_hint) {
+                         bool found, NodeId leader_hint, int read_mode) {
   if (ok && req.cmd.IsWrite()) {
     // Record the terminal answer so AdmitRequest can replay it when a
     // duplicate of this request surfaces later.
@@ -142,6 +172,7 @@ void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
   reply.value = value;
   reply.found = found;
   reply.leader_hint = leader_hint;
+  reply.read_mode = read_mode;
   Send(req.client_addr, std::move(reply));
 }
 
@@ -161,6 +192,11 @@ std::uint64_t Node::StateDigest() const {
     // two states differing only in queued WAL work must not deduplicate.
     d.Mix(writer_->StateDigest());
   }
+  if (lease_ != nullptr) {
+    // Promise windows, held-lease validity and pending quorum reads all
+    // change what this node can do next.
+    d.Mix(lease_->StateDigest());
+  }
   return d.value();
 }
 
@@ -171,7 +207,19 @@ void Node::Crash(Time duration) {
 
 void Node::SetClockSkew(double factor) {
   PAXI_CHECK(factor > 0.0, "clock skew factor must be positive");
+  // Fold the anchor so LocalNow stays continuous across the rate change;
+  // the node does NOT otherwise observe the change mid-window (leases
+  // keep running on the skewed clock — the margin absorbs the drift).
+  local_base_ = LocalNow();
+  skew_base_ = sim_->Now();
   clock_skew_ = factor;
+}
+
+Time Node::LocalNow() const {
+  const Time elapsed = sim_->Now() - skew_base_;
+  if (clock_skew_ == 1.0) return local_base_ + elapsed;
+  return local_base_ +
+         static_cast<Time>(static_cast<double>(elapsed) / clock_skew_);
 }
 
 void Node::Persist(WalRecord rec, std::function<void()> on_durable) {
@@ -191,7 +239,24 @@ void Node::RecoverFromWal() {
   const NodeDisk::Recovered recovered = disk_->Decode();
   // Cut the torn/corrupted suffix so new appends extend a clean log.
   disk_->TruncateTo(recovered.valid_bytes);
-  ApplyWalRecovery(recovered.records);
+  // Lease-promise records are consumed here, never by the protocol: the
+  // last one re-arms the promise for a full window measured from now —
+  // conservative (covers any renewal extension the holder obtained), so
+  // a durable restart cannot help elect past a lease it promised.
+  std::vector<WalRecord> protocol_records;
+  protocol_records.reserve(recovered.records.size());
+  const WalRecord* last_lease = nullptr;
+  for (const WalRecord& rec : recovered.records) {
+    if (rec.type == WalRecord::Type::kLease) {
+      last_lease = &rec;
+    } else {
+      protocol_records.push_back(rec);
+    }
+  }
+  ApplyWalRecovery(protocol_records);
+  if (last_lease != nullptr && lease_ != nullptr) {
+    lease_->RestorePromiseFromWal(*last_lease);
+  }
   // Rebuild the at-most-once write sessions from the recovered state
   // machine: the newest version of every key names the command that wrote
   // it, and a closed-loop client has at most one write outstanding — so

@@ -23,6 +23,7 @@
 namespace paxi {
 
 class CommitPipeline;
+class LeaseManager;
 
 /// Base class for protocol replicas — the counterpart of Paxi's Replica/
 /// Node modules (paper Fig. 5). A protocol implementation subclasses Node,
@@ -56,8 +57,10 @@ class Node : public Endpoint, public Auditable {
   NodeId id() const override { return id_; }
 
   /// Invariant-auditor hook (sim/auditor.h): protocols override this to
-  /// report ballots and chosen slots. Default: nothing to audit.
-  void Audit(AuditScope& scope) const override { (void)scope; }
+  /// report ballots and chosen slots, and must chain up (Node::Audit) so
+  /// the base can report cross-protocol claims — today the lease-holder
+  /// claim the auditor checks for exclusivity.
+  void Audit(AuditScope& scope) const override;
 
   /// Deterministic fingerprint of this replica's protocol-visible state,
   /// the per-node ingredient of the model checker's visited-state
@@ -109,6 +112,22 @@ class Node : public Endpoint, public Auditable {
   /// clock: timeouts fire early). Already-armed timers are unaffected.
   void SetClockSkew(double factor);
   double clock_skew() const { return clock_skew_; }
+
+  /// This node's local clock: virtual time as the node's own (possibly
+  /// skewed) clock measures it, continuous across SetClockSkew changes.
+  /// A factor > 1 (slow clock, late timers) makes local time advance
+  /// slower than simulator time. Lease timing runs entirely on this
+  /// clock — which is exactly what the skew margin has to absorb.
+  Time LocalNow() const;
+
+  /// The lease/read-mode subsystem (src/lease); null unless the config
+  /// sets `read_mode` — the default config pays nothing for it.
+  LeaseManager* lease_manager() { return lease_.get(); }
+  const LeaseManager* lease_manager() const { return lease_.get(); }
+
+  /// Nemesis surface (FaultAction::kExpireLease): immediately drops any
+  /// lease this node holds. No-op without a lease manager.
+  void ForceLeaseExpiry();
 
   /// All replica ids in the cluster (zone-major order).
   const std::vector<NodeId>& peers() const { return peers_; }
@@ -190,9 +209,13 @@ class Node : public Endpoint, public Auditable {
     BroadcastShared(targets, ptr);
   }
 
-  /// Replies to the client that issued `req`.
+  /// Replies to the client that issued `req`. `read_mode` declares the
+  /// consistency rung a read was served at (lease/ReadMode as int; 0 =
+  /// full round) — intentionally weaker reads MUST label themselves so
+  /// the checker never silently accepts them as linearizable.
   void ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
-                     bool found, NodeId leader_hint = NodeId::Invalid());
+                     bool found, NodeId leader_hint = NodeId::Invalid(),
+                     int read_mode = 0);
 
   /// At-most-once admission filter for client *writes* (reads are
   /// idempotent and always admitted). Message duplication and client
@@ -277,6 +300,14 @@ class Node : public Endpoint, public Auditable {
   /// The shared commit pipeline runs admission, timers, and the reply
   /// fan-out on behalf of its owning protocol replica.
   friend class CommitPipeline;
+  /// The lease manager serves reads and runs grant/promise timers on its
+  /// owning node's behalf.
+  friend class LeaseManager;
+
+  /// Invokes the protocol's registered ClientRequest handler directly —
+  /// the lease manager's degrade-to-full hand-off (the request already
+  /// paid its delivery cost; re-dispatching is free).
+  void DispatchToProtocol(const ClientRequest& req);
 
   /// Per-client write-session record for AdmitRequest: closed-loop clients
   /// have at most one write outstanding, so tracking the newest request id
@@ -315,6 +346,13 @@ class Node : public Endpoint, public Auditable {
   Time crashed_until_ = 0;
   double proc_multiplier_ = 1.0;
   double clock_skew_ = 1.0;
+  /// LocalNow anchor: local time read `local_base_` when simulator time
+  /// read `skew_base_`; SetClockSkew folds the pair so the local clock
+  /// stays continuous across rate changes.
+  Time local_base_ = 0;
+  Time skew_base_ = 0;
+  /// Read-path subsystem; null in the default (full-round) config.
+  std::unique_ptr<LeaseManager> lease_;
   std::size_t messages_processed_ = 0;
   std::size_t messages_sent_ = 0;
   std::map<ClientId, Session> sessions_;

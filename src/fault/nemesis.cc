@@ -141,6 +141,15 @@ void Nemesis::Apply(const FaultAction& action) {
         cluster_->SetDiskSlowFactor(node, 1.0);
       });
       break;
+    case FaultAction::Kind::kExpireLease:
+      cluster_->ExpireLease(action.node);
+      break;
+    case FaultAction::Kind::kSkewBeyondMargin:
+      // Same mechanism as kClockSkew, but the factor was derived from the
+      // lease tolerance band — the node must bench itself from lease
+      // duty until re-skewed back in band.
+      cluster_->SetClockSkew(action.node, action.skew);
+      break;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "lease/lease.h"
 
 namespace paxi {
 
@@ -174,6 +175,25 @@ FaultAction FaultAction::SlowDisk(NodeId node, double factor, Time duration) {
   return action;
 }
 
+FaultAction FaultAction::ExpireLease(NodeId node) {
+  FaultAction action;
+  action.kind = Kind::kExpireLease;
+  action.node = node;
+  return action;
+}
+
+FaultAction FaultAction::SkewBeyondMargin(NodeId node, Time lease, Time margin,
+                                          double overshoot) {
+  FaultAction action;
+  action.kind = Kind::kSkewBeyondMargin;
+  action.node = node;
+  // Slow clock (factor > 1) just outside the symmetric tolerance band:
+  // the node's margined validity would stretch past its granters' real
+  // promise windows, so a sound lease layer must refuse to hold/grant.
+  action.skew = LeaseSkewTolerance(lease, margin) * overshoot;
+  return action;
+}
+
 std::string FaultAction::Describe() const {
   switch (kind) {
     case Kind::kNone:
@@ -225,6 +245,11 @@ std::string FaultAction::Describe() const {
     case Kind::kSlowDisk:
       return "slow-disk " + node.ToString() + " " + Factor(skew) + " " +
              Ms(duration);
+    case Kind::kExpireLease:
+      return "expire-lease " + node.ToString();
+    case Kind::kSkewBeyondMargin:
+      return "skew-beyond-margin " + node.ToString() + " x" +
+             std::to_string(skew);
   }
   return "none";
 }

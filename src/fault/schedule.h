@@ -38,6 +38,9 @@ struct FaultAction {
     kTornWrite,     ///< Durable restart; tail torn mid-record on the platter.
     kBitFlip,       ///< Corrupt one durable WAL byte, then durable restart.
     kSlowDisk,      ///< Scale a node's fsync times for a while.
+    // Lease faults (lease/lease.h; no-ops when leases are off).
+    kExpireLease,      ///< Drop a node's held lease (Cluster::ExpireLease).
+    kSkewBeyondMargin, ///< Skew a node's clock just past the lease band.
   };
 
   Kind kind = Kind::kNone;
@@ -79,6 +82,16 @@ struct FaultAction {
   static FaultAction TornWrite(NodeId node, Time downtime);
   static FaultAction BitFlip(NodeId node, Time downtime);
   static FaultAction SlowDisk(NodeId node, double factor, Time duration);
+  /// Lease faults. ExpireLease force-drops a held lease (the holder
+  /// degrades to quorum/full reads until the next heartbeat renews it).
+  /// SkewBeyondMargin sets the node's clock-rate factor to
+  /// `tolerance * overshoot` where `tolerance` is the band for the given
+  /// lease/margin config (lease/lease.h LeaseSkewTolerance) — just past
+  /// the edge, so a sound lease layer refuses to hold or grant and a
+  /// broken one serves stale reads.
+  static FaultAction ExpireLease(NodeId node);
+  static FaultAction SkewBeyondMargin(NodeId node, Time lease, Time margin,
+                                      double overshoot = 1.05);
 
   /// Deterministic one-line description ("partition {1.1 1.2|2.1} 500ms"),
   /// used for telemetry labels and byte-identical replay comparison.

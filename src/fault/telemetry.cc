@@ -72,6 +72,16 @@ void AvailabilityTracker::RecordDiskGauge(const DiskGauge& gauge) {
   disk_gauges_.push_back(gauge);
 }
 
+void AvailabilityTracker::RecordReadGauge(const ReadGauge& gauge) {
+  if (finalized_) return;
+  read_gauges_.push_back(gauge);
+}
+
+void AvailabilityTracker::RecordDegradation(const DegradationEvent& event) {
+  if (finalized_) return;
+  degradations_.push_back(event);
+}
+
 std::size_t AvailabilityTracker::MaxLogEntries(const std::string& node) const {
   std::size_t max_entries = 0;
   for (const LogGauge& g : gauges_) {
@@ -202,6 +212,32 @@ std::string AvailabilityTracker::ToJson() const {
     json += ",\"mean_group_commit\":" + JsonDouble(g.mean_group_commit);
     json += ",\"recoveries\":" + std::to_string(g.recoveries);
     json += ",\"bytes_compacted\":" + std::to_string(g.bytes_compacted);
+    json += "}";
+  }
+  json += "],\"read_gauges\":[";
+  for (std::size_t i = 0; i < read_gauges_.size(); ++i) {
+    const ReadGauge& g = read_gauges_[i];
+    if (i > 0) json += ",";
+    json += "{\"t_us\":" + std::to_string(g.at);
+    json += ",\"node\":\"" + JsonEscape(g.node) + "\"";
+    json += ",\"lease_reads\":" + std::to_string(g.lease_reads);
+    json += ",\"quorum_reads\":" + std::to_string(g.quorum_reads);
+    json += ",\"full_reads\":" + std::to_string(g.full_reads);
+    json += ",\"degrade_to_quorum\":" + std::to_string(g.degrade_to_quorum);
+    json += ",\"degrade_to_full\":" + std::to_string(g.degrade_to_full);
+    json += std::string(",\"holds_lease\":") +
+            (g.holds_lease ? "true" : "false");
+    json += "}";
+  }
+  json += "],\"degradations\":[";
+  for (std::size_t i = 0; i < degradations_.size(); ++i) {
+    const DegradationEvent& e = degradations_[i];
+    if (i > 0) json += ",";
+    json += "{\"at_us\":" + std::to_string(e.at);
+    json += ",\"node\":\"" + JsonEscape(e.node) + "\"";
+    json += ",\"from_mode\":" + std::to_string(e.from_mode);
+    json += ",\"to_mode\":" + std::to_string(e.to_mode);
+    json += ",\"reason\":\"" + JsonEscape(e.reason) + "\"";
     json += "}";
   }
   json += "],\"max_ttr_us\":" + std::to_string(MaxTimeToRecovery());

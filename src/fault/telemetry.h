@@ -71,6 +71,32 @@ class AvailabilityTracker {
     std::uint64_t bytes_compacted = 0;  ///< Encoded bytes dropped by GC.
   };
 
+  /// Point-in-time sample of one node's read-path counters
+  /// (lease/lease.h LeaseManager::ReadStats), recorded only when the run
+  /// uses a non-default read mode. Cumulative counters.
+  struct ReadGauge {
+    Time at = 0;
+    std::string node;                    ///< "zone.node".
+    std::uint64_t lease_reads = 0;       ///< Served locally under the lease.
+    std::uint64_t quorum_reads = 0;      ///< Served by read-quorum probe.
+    std::uint64_t full_reads = 0;        ///< Degraded to the full round.
+    std::uint64_t degrade_to_quorum = 0; ///< lease -> quorum rung drops.
+    std::uint64_t degrade_to_full = 0;   ///< quorum/lease -> full rung drops.
+    bool holds_lease = false;            ///< Lease held at sample time.
+  };
+
+  /// One serving-mode transition on a node's read degradation ladder
+  /// (edge-triggered; drained from LeaseManager::DrainTransitions). The
+  /// availability story of a lease fault is told by these: every
+  /// degradation and every recovery is a visible record.
+  struct DegradationEvent {
+    Time at = 0;
+    std::string node;     ///< "zone.node".
+    int from_mode = 0;    ///< lease/lease.h ReadMode as int.
+    int to_mode = 0;
+    std::string reason;   ///< "lease expired", "probe quorum timeout", ...
+  };
+
   explicit AvailabilityTracker(Time interval = 100 * kMillisecond);
 
   /// Records a completed client operation (ok) or a failed reply (!ok)
@@ -89,6 +115,13 @@ class AvailabilityTracker {
   /// gauges when the cluster is durable).
   void RecordDiskGauge(const DiskGauge& gauge);
 
+  /// Records one node's read-path sample (sampled alongside the log
+  /// gauges when leases/read modes are active).
+  void RecordReadGauge(const ReadGauge& gauge);
+
+  /// Records one serving-mode transition.
+  void RecordDegradation(const DegradationEvent& event);
+
   /// Closes the timeline at `end`: materializes contiguous interval stats
   /// (empty buckets included), computes unavailability windows and each
   /// fault's time-to-recovery. Call once, after the run.
@@ -102,6 +135,10 @@ class AvailabilityTracker {
   }
   const std::vector<LogGauge>& log_gauges() const { return gauges_; }
   const std::vector<DiskGauge>& disk_gauges() const { return disk_gauges_; }
+  const std::vector<ReadGauge>& read_gauges() const { return read_gauges_; }
+  const std::vector<DegradationEvent>& degradations() const {
+    return degradations_;
+  }
 
   /// Largest log_entries sample recorded for `node` ("" = any node).
   std::size_t MaxLogEntries(const std::string& node = "") const;
@@ -134,6 +171,8 @@ class AvailabilityTracker {
   std::vector<Window> windows_;
   std::vector<LogGauge> gauges_;
   std::vector<DiskGauge> disk_gauges_;
+  std::vector<ReadGauge> read_gauges_;
+  std::vector<DegradationEvent> degradations_;
 };
 
 }  // namespace paxi

@@ -1,0 +1,467 @@
+#include "lease/lease.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "core/node.h"
+#include "store/wal.h"
+
+namespace paxi {
+
+ReadMode ReadModeFromParam(const std::string& value) {
+  if (value == "leader_lease") return ReadMode::kLeaderLease;
+  if (value == "quorum") return ReadMode::kQuorum;
+  return ReadMode::kFull;
+}
+
+std::string ReadModeName(int mode) {
+  switch (static_cast<ReadMode>(mode)) {
+    case ReadMode::kFull:
+      return "full";
+    case ReadMode::kLeaderLease:
+      return "leader_lease";
+    case ReadMode::kQuorum:
+      return "quorum";
+    case ReadMode::kRelaxedLocal:
+      return "relaxed_local";
+  }
+  return "unknown";
+}
+
+double LeaseSkewTolerance(Time lease, Time margin) {
+  if (lease <= 0 || margin < 0 || margin >= lease) return 1.0;
+  return std::sqrt(static_cast<double>(lease) /
+                   static_cast<double>(lease - margin));
+}
+
+LeaseManager::LeaseManager(Node* node, ReadMode mode)
+    : node_(node), mode_(mode) {
+  PAXI_CHECK(node_ != nullptr);
+  const Config& config = node_->config();
+  lease_ = FromMillis(config.GetParamDouble("lease_ms", 400.0));
+  margin_ = FromMillis(config.GetParamDouble("lease_skew_margin_ms", 100.0));
+  read_timeout_ =
+      FromMillis(config.GetParamDouble("lease_read_timeout_ms", 100.0));
+  margin_enforced_ = config.GetParamBool("lease_margin_enforced", true);
+  PAXI_CHECK(lease_ > 0 && margin_ >= 0 && margin_ < lease_,
+             "lease_ms must exceed lease_skew_margin_ms");
+  last_served_mode_ = static_cast<int>(mode_);
+  RegisterHandlers();
+}
+
+void LeaseManager::RegisterHandlers() {
+  node_->OnMessage<leasemsg::LeaseGrant>(
+      [this](const leasemsg::LeaseGrant& msg) { HandleGrant(msg); });
+  node_->OnMessage<leasemsg::LeaseAck>(
+      [this](const leasemsg::LeaseAck& msg) { HandleAck(msg); });
+  node_->OnMessage<leasemsg::LeaseRevoke>(
+      [this](const leasemsg::LeaseRevoke& msg) { HandleRevoke(msg); });
+  node_->OnMessage<leasemsg::QuorumReadProbe>(
+      [this](const leasemsg::QuorumReadProbe& msg) { HandleProbe(msg); });
+  node_->OnMessage<leasemsg::QuorumReadAck>(
+      [this](const leasemsg::QuorumReadAck& msg) { HandleProbeAck(msg); });
+}
+
+void LeaseManager::EnableProtocolSupport(Hooks hooks) {
+  PAXI_CHECK(hooks.is_leader && hooks.ballot && hooks.accepted &&
+                 hooks.applied && hooks.grant_quorum && hooks.read_quorum,
+             "incomplete lease hook set");
+  hooks_ = std::move(hooks);
+  capable_ = true;
+}
+
+// --- Skew math --------------------------------------------------------------
+
+bool LeaseManager::SkewWithinTolerance() const {
+  const double tol = LeaseSkewTolerance(lease_, margin_);
+  const double skew = node_->clock_skew();
+  // The node's modeled drift estimate: lease roles require the observed
+  // rate inside [1/tol, tol]. Timing itself always uses the local clock —
+  // the margin, not this guard, is what absorbs in-band drift.
+  return skew <= tol && skew >= 1.0 / tol;
+}
+
+// --- Granter side -----------------------------------------------------------
+
+bool LeaseManager::PromiseActive() const {
+  return promise_expires_local_ >= 0 &&
+         node_->LocalNow() < promise_expires_local_;
+}
+
+bool LeaseManager::BlocksElectionPromise(NodeId candidate) const {
+  return PromiseActive() && candidate != promised_epoch_.id;
+}
+
+void LeaseManager::HandleGrant(const leasemsg::LeaseGrant& msg) {
+  if (!capable_) return;
+  leasemsg::LeaseAck ack;
+  ack.epoch = msg.epoch;
+  ack.seq = msg.seq;
+  ack.accepted = hooks_.accepted();
+  ack.applied = hooks_.applied();
+  // Refuse: the grant is from a deposed epoch (we promised a newer ballot
+  // in phase 1 — re-extending the old lease could straddle an election
+  // already in flight), an older holder while another promise is live, or
+  // our own clock drifts too fast for the promise window to be trusted.
+  const bool stale_epoch = msg.epoch < hooks_.ballot();
+  const bool conflicting =
+      PromiseActive() && msg.epoch < promised_epoch_;
+  if (stale_epoch || conflicting || !SkewWithinTolerance()) {
+    ack.ok = false;
+    // Tell the holder how far the world moved: a nack carrying a newer
+    // epoch makes a deposed holder relinquish instead of riding out its
+    // window.
+    ack.epoch = std::max(hooks_.ballot(), promised_epoch_);
+    node_->Send(msg.from, std::move(ack));
+    return;
+  }
+  ack.ok = true;
+  const bool holder_changed = promised_epoch_.id != msg.epoch.id;
+  promised_epoch_ = msg.epoch;
+  promise_expires_local_ = node_->LocalNow() + lease_;
+  if (holder_changed) {
+    // One durable record per holder change: recovery re-arms the full
+    // window from recovery time, which covers every renewal extension, so
+    // renewals need no further writes. The ack waits for the sync — a
+    // promise the holder counts on must survive a durable restart.
+    WalRecord rec;
+    rec.type = WalRecord::Type::kLease;
+    rec.domain = kWalLeaseDomain;
+    rec.ballot = msg.epoch;
+    node_->Persist(std::move(rec),
+                   [this, to = msg.from, ack = std::move(ack)]() {
+                     node_->Send(to, leasemsg::LeaseAck(ack));
+                   });
+    return;
+  }
+  node_->Send(msg.from, std::move(ack));
+}
+
+void LeaseManager::HandleRevoke(const leasemsg::LeaseRevoke& msg) {
+  if (PromiseActive() && msg.epoch >= promised_epoch_) {
+    promise_expires_local_ = node_->LocalNow();
+  }
+}
+
+void LeaseManager::RestorePromiseFromWal(const WalRecord& rec) {
+  promised_epoch_ = rec.ballot;
+  promise_expires_local_ = node_->LocalNow() + lease_;
+}
+
+// --- Holder side ------------------------------------------------------------
+
+bool LeaseManager::HoldsLeaseNow() const {
+  if (valid_until_local_ < 0 || node_->LocalNow() >= valid_until_local_) {
+    return false;
+  }
+  // A deposed or skew-suspect holder stops believing in its lease even
+  // inside the nominal window.
+  return capable_ && hooks_.is_leader() && SkewWithinTolerance();
+}
+
+void LeaseManager::SendGrantRound() {
+  if (!capable_ || mode_ != ReadMode::kLeaderLease) return;
+  if (!hooks_.is_leader()) return;
+  ++grant_seq_;
+  round_start_local_ = node_->LocalNow();
+  round_acks_.clear();
+  round_floor_ = hooks_.accepted();  // self-sample
+  leasemsg::LeaseGrant grant;
+  grant.epoch = hooks_.ballot();
+  grant.seq = grant_seq_;
+  node_->BroadcastToAll(std::move(grant));
+}
+
+void LeaseManager::HandleAck(const leasemsg::LeaseAck& msg) {
+  if (!capable_ || !hooks_.is_leader()) return;
+  if (!msg.ok) {
+    // A granter moved to a newer epoch: this leadership is stale — drop
+    // the lease now instead of riding out the window.
+    if (msg.epoch > hooks_.ballot()) Relinquish("deposed");
+    return;
+  }
+  if (msg.epoch != hooks_.ballot() || msg.seq != grant_seq_) return;
+  round_acks_.insert(msg.from);
+  round_floor_ = std::max(round_floor_, msg.accepted);
+  const std::size_t quorum = hooks_.grant_quorum();
+  // +1: the holder trivially promises to itself.
+  if (round_acks_.size() + 1 < quorum) return;
+  const Time margin = margin_enforced_ ? margin_ : 0;
+  const Time until = round_start_local_ + lease_ - margin;
+  if (until > valid_until_local_) {
+    valid_until_local_ = until;
+    held_epoch_ = hooks_.ballot();
+  }
+  read_floor_ = std::max(read_floor_, round_floor_);
+}
+
+void LeaseManager::Relinquish(const std::string& reason) {
+  (void)reason;
+  valid_until_local_ = -1;
+  round_acks_.clear();
+  round_start_local_ = -1;
+  if (!held_epoch_.valid()) return;
+  // Releasing granters early is an optimization (promises also expire on
+  // their own clocks), but it is what makes a voluntary hand-off fast.
+  leasemsg::LeaseRevoke revoke;
+  revoke.epoch = held_epoch_;
+  node_->BroadcastToAll(std::move(revoke));
+}
+
+void LeaseManager::OnElected() {
+  if (mode_ != ReadMode::kLeaderLease) return;
+  // A new term starts from scratch: the previous holder's floor and
+  // validity are meaningless under the new epoch.
+  valid_until_local_ = -1;
+  read_floor_ = -1;
+  SendGrantRound();
+}
+
+void LeaseManager::OnStepDown() {
+  if (valid_until_local_ >= 0) Relinquish("step-down");
+}
+
+void LeaseManager::OnHeartbeatTick() {
+  if (mode_ != ReadMode::kLeaderLease) return;
+  if (!capable_ || !hooks_.is_leader()) return;
+  if (!SkewWithinTolerance()) return;  // don't renew what we can't trust
+  SendGrantRound();
+}
+
+void LeaseManager::ForceExpire() {
+  Relinquish("nemesis-expire");
+}
+
+// --- Read path --------------------------------------------------------------
+
+bool LeaseManager::CanServeLeaseRead() const {
+  if (!HoldsLeaseNow()) return false;
+  // Read floor: every slot any granter had accepted at grant time must be
+  // applied locally, or a read could miss a write committed just before
+  // the lease was (re)acquired.
+  return hooks_.applied() >= read_floor_;
+}
+
+bool LeaseManager::TryServeRead(const ClientRequest& req) {
+  if (mode_ == ReadMode::kLeaderLease) {
+    if (CanServeLeaseRead()) {
+      const Result<Value> result = node_->store().Get(req.cmd.key);
+      NoteServedMode(ReadMode::kLeaderLease, "lease-valid");
+      ++stats_.lease_reads;
+      ReplyRead(req, result.ok() ? result.value() : Value(), result.ok(),
+                ReadMode::kLeaderLease);
+      return true;
+    }
+    ++stats_.degrade_to_quorum;
+    if (StartQuorumRead(req)) {
+      NoteServedMode(ReadMode::kQuorum, "lease-unavailable");
+      return true;
+    }
+    ++stats_.degrade_to_full;
+    ++stats_.full_reads;
+    NoteServedMode(ReadMode::kFull, "lease-and-quorum-unavailable");
+    return false;
+  }
+  if (mode_ == ReadMode::kQuorum) {
+    if (StartQuorumRead(req)) return true;
+    ++stats_.degrade_to_full;
+    ++stats_.full_reads;
+    NoteServedMode(ReadMode::kFull, "quorum-unavailable");
+    return false;
+  }
+  return false;
+}
+
+bool LeaseManager::StartQuorumRead(const ClientRequest& req) {
+  if (!capable_) return false;
+  const std::uint64_t read_id = ++next_read_id_;
+  PendingRead pending;
+  pending.req = req;
+  pending.deadline = node_->Now() + read_timeout_;
+  PendingRead::Sample self;
+  self.accepted = hooks_.accepted();
+  self.applied = hooks_.applied();
+  const Result<Value> local = node_->store().Get(req.cmd.key);
+  self.found = local.ok();
+  self.value = local.ok() ? local.value() : Value();
+  pending.samples[node_->id()] = std::move(self);
+  pending_reads_[read_id] = std::move(pending);
+
+  leasemsg::QuorumReadProbe probe;
+  probe.read_id = read_id;
+  probe.key = req.cmd.key;
+  node_->BroadcastToAll(std::move(probe));
+
+  // A one-node "cluster" is its own quorum.
+  if (pending_reads_[read_id].samples.size() >= hooks_.read_quorum()) {
+    PendingRead& p = pending_reads_[read_id];
+    p.target = p.samples[node_->id()].accepted;
+    if (TryFinishQuorumRead(read_id)) return true;
+  }
+  ArmQuorumReadPoll(read_id);
+  return true;
+}
+
+void LeaseManager::HandleProbe(const leasemsg::QuorumReadProbe& msg) {
+  if (!capable_) return;
+  leasemsg::QuorumReadAck ack;
+  ack.read_id = msg.read_id;
+  ack.accepted = hooks_.accepted();
+  ack.applied = hooks_.applied();
+  const Result<Value> local = node_->store().Get(msg.key);
+  ack.found = local.ok();
+  ack.value = local.ok() ? local.value() : Value();
+  node_->Send(msg.from, std::move(ack));
+}
+
+void LeaseManager::HandleProbeAck(const leasemsg::QuorumReadAck& msg) {
+  auto it = pending_reads_.find(msg.read_id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& pending = it->second;
+  PendingRead::Sample sample;
+  sample.accepted = msg.accepted;
+  sample.applied = msg.applied;
+  sample.value = msg.value;
+  sample.found = msg.found;
+  pending.samples[msg.from] = std::move(sample);
+  if (pending.target < 0 &&
+      pending.samples.size() >= hooks_.read_quorum()) {
+    // Quorum reached: the read's target is the highest accepted slot any
+    // quorum member reported. Any client-acked write before this read
+    // started sits at a commit quorum, which intersects this read quorum,
+    // so the target covers it.
+    Slot target = -1;
+    for (const auto& [id, s] : pending.samples) {
+      target = std::max(target, s.accepted);
+    }
+    pending.target = target;
+  }
+  TryFinishQuorumRead(msg.read_id);
+}
+
+bool LeaseManager::TryFinishQuorumRead(std::uint64_t read_id) {
+  auto it = pending_reads_.find(read_id);
+  if (it == pending_reads_.end()) return false;
+  PendingRead& pending = it->second;
+  if (pending.target < 0) return false;
+  // Serve the first sample whose state machine covers the target —
+  // usually the local one; rinse via the poll timer otherwise.
+  const Slot local_applied = hooks_.applied();
+  if (local_applied >= pending.target) {
+    const Result<Value> local = node_->store().Get(pending.req.cmd.key);
+    const ClientRequest req = pending.req;
+    pending_reads_.erase(it);
+    ++stats_.quorum_reads;
+    if (mode_ == ReadMode::kQuorum) {
+      NoteServedMode(ReadMode::kQuorum, "quorum-read");
+    }
+    ReplyRead(req, local.ok() ? local.value() : Value(), local.ok(),
+              ReadMode::kQuorum);
+    return true;
+  }
+  for (const auto& [id, s] : pending.samples) {
+    if (id == node_->id() || s.applied < pending.target) continue;
+    const ClientRequest req = pending.req;
+    const Value value = s.value;
+    const bool found = s.found;
+    pending_reads_.erase(it);
+    ++stats_.quorum_reads;
+    if (mode_ == ReadMode::kQuorum) {
+      NoteServedMode(ReadMode::kQuorum, "quorum-read");
+    }
+    ReplyRead(req, value, found, ReadMode::kQuorum);
+    return true;
+  }
+  return false;
+}
+
+void LeaseManager::ArmQuorumReadPoll(std::uint64_t read_id) {
+  node_->SetTimer(kMillisecond, [this, read_id]() {
+    auto it = pending_reads_.find(read_id);
+    if (it == pending_reads_.end()) return;  // already served
+    if (TryFinishQuorumRead(read_id)) return;
+    if (node_->Now() >= it->second.deadline) {
+      // Quorum unreachable (partition, stalled commits): degrade this
+      // read to the full consensus round.
+      const ClientRequest req = it->second.req;
+      pending_reads_.erase(it);
+      ++stats_.degrade_to_full;
+      ++stats_.full_reads;
+      NoteServedMode(ReadMode::kFull, "quorum-read-timeout");
+      node_->DispatchToProtocol(req);
+      return;
+    }
+    ArmQuorumReadPoll(read_id);
+  });
+}
+
+void LeaseManager::ReplyRead(const ClientRequest& req, const Value& value,
+                             bool found, ReadMode served) {
+  ClientReply reply;
+  reply.request = req.cmd.request;
+  reply.client = req.cmd.client;
+  reply.ok = true;
+  reply.value = value;
+  reply.found = found;
+  reply.read_mode = static_cast<int>(served);
+  node_->Send(req.client_addr, std::move(reply));
+}
+
+void LeaseManager::NoteServedMode(ReadMode served, const std::string& reason) {
+  const int mode = static_cast<int>(served);
+  if (mode == last_served_mode_) return;
+  Transition t;
+  t.at = node_->Now();
+  t.from_mode = last_served_mode_;
+  t.to_mode = mode;
+  t.reason = reason;
+  last_served_mode_ = mode;
+  // Bounded: the bench runner drains these once per telemetry interval;
+  // cap protects pathological runs with no tracker attached.
+  if (transitions_.size() < 4096) transitions_.push_back(std::move(t));
+}
+
+std::vector<LeaseManager::Transition> LeaseManager::DrainTransitions() {
+  std::vector<Transition> out;
+  out.swap(transitions_);
+  return out;
+}
+
+std::uint64_t LeaseManager::StateDigest() const {
+  Digest d;
+  d.Mix(static_cast<std::uint64_t>(mode_))
+      .Mix(static_cast<std::uint64_t>(promised_epoch_.n))
+      .Mix(std::hash<NodeId>()(promised_epoch_.id))
+      .Mix(static_cast<std::uint64_t>(promise_expires_local_))
+      .Mix(grant_seq_)
+      .Mix(static_cast<std::uint64_t>(round_start_local_))
+      .Mix(static_cast<std::uint64_t>(round_floor_))
+      .Mix(static_cast<std::uint64_t>(valid_until_local_))
+      .Mix(static_cast<std::uint64_t>(read_floor_))
+      .Mix(static_cast<std::uint64_t>(held_epoch_.n))
+      .Mix(std::hash<NodeId>()(held_epoch_.id));
+  d.Mix(static_cast<std::uint64_t>(round_acks_.size()));
+  for (const NodeId& id : round_acks_) {  // std::set: ordered
+    d.Mix(std::hash<NodeId>()(id));
+  }
+  d.Mix(static_cast<std::uint64_t>(pending_reads_.size()));
+  for (const auto& [read_id, pending] : pending_reads_) {  // std::map
+    d.Mix(read_id)
+        .Mix(pending.req.ContentDigest())
+        .Mix(static_cast<std::uint64_t>(pending.target))
+        .Mix(static_cast<std::uint64_t>(pending.deadline))
+        .Mix(static_cast<std::uint64_t>(pending.samples.size()));
+    for (const auto& [id, s] : pending.samples) {
+      d.Mix(std::hash<NodeId>()(id))
+          .Mix(static_cast<std::uint64_t>(s.accepted))
+          .Mix(static_cast<std::uint64_t>(s.applied))
+          .Mix(s.value)
+          .Mix(s.found ? 1u : 0u);
+    }
+  }
+  return d.value();
+}
+
+}  // namespace paxi

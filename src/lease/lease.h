@@ -1,0 +1,368 @@
+#ifndef PAXI_LEASE_LEASE_H_
+#define PAXI_LEASE_LEASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/messages.h"
+#include "net/message.h"
+
+namespace paxi {
+
+class Node;
+struct WalRecord;
+
+/// Consistency mode of one client read, declared end-to-end: the serving
+/// replica stamps it on the reply, the client surfaces it, the bench
+/// records it per-op, and the checker classifies the read by it
+/// (checker/staleness.h CheckReadModes). Values are stable wire/telemetry
+/// ints — OpRecord and ClientReply carry them as plain `int` so the
+/// checker layer does not depend on this header.
+enum class ReadMode : int {
+  /// Full consensus round (the historical default; always linearizable).
+  kFull = 0,
+  /// Served locally by the quorum-promised lease holder. Linearizable as
+  /// long as the lease machinery is sound — exactly what the checker and
+  /// the auditor verify.
+  kLeaderLease = 1,
+  /// Read-quorum read: probe a majority for the highest accepted slot,
+  /// wait until the local state machine caught up, serve locally.
+  /// Linearizable; no leader involvement.
+  kQuorum = 2,
+  /// The legacy `local_reads` relaxation: any replica answers from local
+  /// state with no coordination. Intentionally weaker — bounded-stale,
+  /// not linearizable — and must always be labeled as such.
+  kRelaxedLocal = 3,
+};
+
+/// Parses the `read_mode` config param ("full" | "leader_lease" |
+/// "quorum"); anything else (including absent) is kFull.
+ReadMode ReadModeFromParam(const std::string& value);
+
+/// Human-readable mode name for telemetry and bench output.
+std::string ReadModeName(int mode);
+
+/// Largest clock-rate factor a node may observe on its own clock (the
+/// modeled NTP drift estimate, Node::clock_skew) and still participate in
+/// lease timing. Symmetric band [1/tol, tol]: a holder running slower
+/// than `tol` or a granter running faster than `1/tol` could stretch its
+/// margined validity past a granter's promise window, so both refuse
+/// their role beyond it and the read path degrades instead. Derivation:
+/// holder real validity (lease - margin) * s_holder must stay within
+/// granter real promise lease * s_granter for any two in-band factors,
+/// which holds exactly when tol^2 <= lease / (lease - margin).
+double LeaseSkewTolerance(Time lease, Time margin);
+
+namespace leasemsg {
+
+/// Holder -> all: "extend my read lease". Broadcast from the leader's
+/// heartbeat tick (the grant piggybacks on the liveness beacon cadence).
+struct LeaseGrant : Message {
+  Ballot epoch;            ///< The holder's current ballot/term.
+  std::uint64_t seq = 0;   ///< Grant round, for ack matching.
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(epoch.n))
+        .Mix(std::hash<NodeId>()(epoch.id))
+        .Mix(seq);
+    return d.value();
+  }
+};
+
+/// Granter -> holder: promise (ok) or refusal, with the granter's log
+/// watermarks. The accepted watermark feeds the holder's read floor: a
+/// lease read is served only once the holder applied everything any
+/// granter had accepted at grant time.
+struct LeaseAck : Message {
+  Ballot epoch;
+  std::uint64_t seq = 0;
+  bool ok = false;
+  Slot accepted = -1;
+  Slot applied = -1;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(epoch.n))
+        .Mix(std::hash<NodeId>()(epoch.id))
+        .Mix(seq)
+        .Mix(ok ? 1u : 0u)
+        .Mix(static_cast<std::uint64_t>(accepted))
+        .Mix(static_cast<std::uint64_t>(applied));
+    return d.value();
+  }
+};
+
+/// Holder -> all: "I relinquished the lease" (step-down, nemesis expiry).
+/// Purely an optimization — promises also die by local-clock expiry — but
+/// it releases election promises immediately after a voluntary hand-off.
+struct LeaseRevoke : Message {
+  Ballot epoch;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(static_cast<std::uint64_t>(epoch.n))
+        .Mix(std::hash<NodeId>()(epoch.id));
+    return d.value();
+  }
+};
+
+/// Quorum-read coordinator -> peers: report your log watermarks and your
+/// current local value of `key`.
+struct QuorumReadProbe : Message {
+  std::uint64_t read_id = 0;
+  Key key = 0;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(read_id).Mix(static_cast<std::uint64_t>(key));
+    return d.value();
+  }
+};
+
+/// Probe answer. `value`/`found` are only servable if this responder's
+/// applied watermark covers the read's target slot.
+struct QuorumReadAck : Message {
+  std::uint64_t read_id = 0;
+  Slot accepted = -1;
+  Slot applied = -1;
+  Value value;
+  bool found = false;
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(read_id)
+        .Mix(static_cast<std::uint64_t>(accepted))
+        .Mix(static_cast<std::uint64_t>(applied))
+        .Mix(value)
+        .Mix(found ? 1u : 0u);
+    return d.value();
+  }
+};
+
+}  // namespace leasemsg
+
+/// Leader-lease and read-quorum read paths, owned by every Node whose
+/// config sets `read_mode` (core/node.h creates one; the default config
+/// creates none and pays nothing). The manager intercepts client reads in
+/// Node::Dispatch and serves them on the degradation ladder
+///
+///   leader_lease -> quorum -> full round
+///
+/// dropping a rung whenever the stronger mode cannot be safely served
+/// (no lease, lease expired or revoked, observed clock drift beyond the
+/// skew tolerance, probe quorum unreachable) — every rung change is
+/// recorded as a telemetry-visible transition.
+///
+/// Grant protocol: the leader broadcasts LeaseGrant on its heartbeat
+/// cadence; a granter promises `lease_ms` on its *local* clock not to
+/// help elect anyone else (protocols consult BlocksElectionPromise from
+/// their phase-1/vote handlers) and acks with its watermarks. Once a
+/// grant quorum acks — a set large enough to intersect every election
+/// quorum — the holder may serve reads locally until
+/// `round start + lease_ms - skew_margin_ms` on *its* local clock: the
+/// margin is what absorbs in-band clock drift between holder and
+/// granters. Promises are persisted (one kLease WAL record per holder
+/// change) so a durable crash-restart conservatively re-arms the promise
+/// window instead of forgetting it.
+class LeaseManager {
+ public:
+  /// Protocol capability surface. Registered by protocols that can host
+  /// leases (single-leader, log-ordered: paxos/fpaxos/raft); without it
+  /// the manager degrades every read to the full round.
+  struct Hooks {
+    std::function<bool()> is_leader;
+    /// Current ballot/term, with the holder's id when leading. Granters
+    /// refuse grants below their own ballot — an election promise to a
+    /// newer candidate implicitly revokes renewal of older leases.
+    std::function<Ballot()> ballot;
+    std::function<Slot()> accepted;  ///< Highest slot accepted locally.
+    std::function<Slot()> applied;   ///< Executed watermark.
+    /// Grant-quorum size (incl. the holder): must intersect every
+    /// phase-1/election quorum, i.e. N - phase1_quorum + 1.
+    std::function<std::size_t()> grant_quorum;
+    /// Read-quorum size (incl. the coordinator): must intersect every
+    /// phase-2/commit quorum, i.e. N - phase2_quorum + 1.
+    std::function<std::size_t()> read_quorum;
+  };
+
+  /// Per-node read-path counters (sampled into the availability
+  /// telemetry by the bench runner).
+  struct ReadStats {
+    std::uint64_t lease_reads = 0;
+    std::uint64_t quorum_reads = 0;
+    std::uint64_t full_reads = 0;       ///< Reads degraded to the full round.
+    std::uint64_t degrade_to_quorum = 0;
+    std::uint64_t degrade_to_full = 0;
+  };
+
+  /// One edge-triggered serving-mode change (e.g. lease -> quorum when
+  /// the lease lapsed, quorum -> lease when it was re-acquired).
+  struct Transition {
+    Time at = 0;
+    int from_mode = 0;
+    int to_mode = 0;
+    std::string reason;
+  };
+
+  LeaseManager(Node* node, ReadMode mode);
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  ReadMode mode() const { return mode_; }
+  bool capable() const { return capable_; }
+  Time lease_duration() const { return lease_; }
+  Time skew_margin() const { return margin_; }
+
+  /// Called once from a capable protocol's constructor.
+  void EnableProtocolSupport(Hooks hooks);
+
+  // --- Protocol lifecycle notifications ------------------------------------
+
+  /// The protocol just won an election. Starts the first grant round.
+  void OnElected();
+
+  /// The protocol stepped down (demotion, rejoin, explicit abdication).
+  /// Relinquishes any held/pending lease and broadcasts the revoke.
+  void OnStepDown();
+
+  /// The protocol's heartbeat fired. Renews the lease while leading.
+  void OnHeartbeatTick();
+
+  /// True while an unexpired promise to a *different* holder forbids
+  /// helping `candidate` get elected. Consulted by phase-1/vote handlers.
+  bool BlocksElectionPromise(NodeId candidate) const;
+
+  // --- Read path ------------------------------------------------------------
+
+  /// Serves `req` (a read) on the strongest safely-available rung.
+  /// Returns true when handled here (replied, or pending on a quorum
+  /// probe); false to fall through to the protocol's full-round path.
+  bool TryServeRead(const ClientRequest& req);
+
+  // --- Faults & recovery ----------------------------------------------------
+
+  /// Nemesis kExpireLease: drop the held lease immediately and tell the
+  /// granters. The next heartbeat renews it — the fault exercises the
+  /// degradation window in between.
+  void ForceExpire();
+
+  /// Conservatively re-arms a recovered lease promise for the full
+  /// window, measured from recovery time (Node::RecoverFromWal).
+  void RestorePromiseFromWal(const WalRecord& rec);
+
+  // --- Introspection --------------------------------------------------------
+
+  /// True while this node believes it holds a currently-valid lease —
+  /// the claim the invariant auditor cross-checks for exclusivity.
+  bool HoldsLeaseNow() const;
+
+  /// True while this node's promise to some holder is unexpired.
+  bool PromiseActive() const;
+
+  const ReadStats& read_stats() const { return stats_; }
+
+  /// Returns and clears the accumulated serving-mode transitions.
+  std::vector<Transition> DrainTransitions();
+
+  /// Lease + pending-read state fingerprint for Node::StateDigest.
+  std::uint64_t StateDigest() const;
+
+ private:
+  struct PendingRead {
+    ClientRequest req;  // owned copy; replies go to req.client_addr
+    Slot target = -1;   ///< Max accepted over the quorum; -1 until reached.
+    /// Watermark samples by responder (self included), ordered.
+    struct Sample {
+      Slot accepted = -1;
+      Slot applied = -1;
+      Value value;
+      bool found = false;
+    };
+    std::map<NodeId, Sample> samples;
+    Time deadline = 0;
+  };
+
+  void RegisterHandlers();
+  void HandleGrant(const leasemsg::LeaseGrant& msg);
+  void HandleAck(const leasemsg::LeaseAck& msg);
+  void HandleRevoke(const leasemsg::LeaseRevoke& msg);
+  void HandleProbe(const leasemsg::QuorumReadProbe& msg);
+  void HandleProbeAck(const leasemsg::QuorumReadAck& msg);
+
+  /// Broadcasts one grant round (election win or heartbeat renewal).
+  void SendGrantRound();
+
+  /// Drops the held lease; broadcasts LeaseRevoke when one was active.
+  void Relinquish(const std::string& reason);
+
+  /// True when this node's own observed drift estimate allows it to act
+  /// as lease holder / granter.
+  bool SkewWithinTolerance() const;
+
+  /// Whether a lease read can be served right now (all guards).
+  bool CanServeLeaseRead() const;
+
+  /// Starts a quorum read for `req`; returns false when the protocol
+  /// cannot host quorum reads (degrade to full).
+  bool StartQuorumRead(const ClientRequest& req);
+
+  /// Completes `read` if some sample's applied watermark covers the
+  /// target; returns true when the reply was sent.
+  bool TryFinishQuorumRead(std::uint64_t read_id);
+
+  /// Polls the local applied watermark until the target is covered or
+  /// the deadline passes (then degrades to the full round).
+  void ArmQuorumReadPoll(std::uint64_t read_id);
+
+  void ReplyRead(const ClientRequest& req, const Value& value, bool found,
+                 ReadMode served);
+
+  /// Records the edge-triggered serving-mode change.
+  void NoteServedMode(ReadMode served, const std::string& reason);
+
+  Node* node_;
+  ReadMode mode_;
+  Time lease_;        ///< lease_ms, as Time.
+  Time margin_;       ///< skew_margin_ms, as Time.
+  Time read_timeout_; ///< Quorum-read deadline before degrading to full.
+  /// Golden-scenario mutation knob (`lease_margin_enforced=0`): disables
+  /// the margin subtraction so the MC stale-read scenario fires. Always
+  /// true in real configs.
+  bool margin_enforced_ = true;
+
+  bool capable_ = false;
+  Hooks hooks_;
+
+  // Granter state: promise not to elect past the holder's window.
+  Ballot promised_epoch_;          ///< Holder of the active promise.
+  Time promise_expires_local_ = -1;
+
+  // Holder state.
+  std::uint64_t grant_seq_ = 0;      ///< Current grant round.
+  Time round_start_local_ = -1;      ///< When the current round began.
+  std::set<NodeId> round_acks_;      ///< Granters acking current round.
+  Slot round_floor_ = -1;            ///< Max accepted over current acks.
+  Time valid_until_local_ = -1;      ///< Margined lease validity.
+  Slot read_floor_ = -1;             ///< Applied floor for lease reads.
+  Ballot held_epoch_;                ///< Epoch the lease was acquired under.
+
+  // Quorum-read coordinator state.
+  std::uint64_t next_read_id_ = 0;
+  std::map<std::uint64_t, PendingRead> pending_reads_;
+
+  ReadStats stats_;
+  int last_served_mode_;  ///< Last rung actually served (edge detection).
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_LEASE_LEASE_H_

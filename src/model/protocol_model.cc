@@ -82,6 +82,25 @@ double ProtocolModel::MaxThroughput() const {
   return 1e6 / EffectiveServiceUs();
 }
 
+double ProtocolModel::LeaseReadServiceUs() const {
+  const NodeParams& n = env_.node;
+  return n.t_in_us + n.t_out_us + 2.0 * n.NicUs();
+}
+
+double ProtocolModel::MixedServiceUs(double read_ratio) const {
+  PAXI_CHECK(read_ratio >= 0.0 && read_ratio <= 1.0);
+  return read_ratio * LeaseReadServiceUs() +
+         (1.0 - read_ratio) * EffectiveServiceUs();
+}
+
+double ProtocolModel::MixedMaxThroughput(double read_ratio) const {
+  return 1e6 / MixedServiceUs(read_ratio);
+}
+
+double ProtocolModel::LeaseReadLatencyMs(NodeId leader) const {
+  return MeanClientRttMs(leader) + LeaseReadServiceUs() / 1000.0;
+}
+
 double ProtocolModel::LatencyMs(double lambda) const {
   const double ts_s = EffectiveServiceUs() * 1e-6;
   QueueParams q;

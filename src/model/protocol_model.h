@@ -133,6 +133,27 @@ class ProtocolModel {
   std::vector<ModelPoint> Curve(std::size_t points,
                                 double fraction_of_max = 0.98) const;
 
+  // --- Read-path extension (leader leases, lease/lease.h) -------------------
+
+  /// Service time of one lease read at the leader, microseconds: request
+  /// in, local state-machine answer, reply out — two message handlings
+  /// and no quorum, broadcast, or disk. The floor any replication round
+  /// is compared against in the read_sweep bench.
+  double LeaseReadServiceUs() const;
+
+  /// Effective per-op bottleneck service time for a workload where a
+  /// `read_ratio` fraction of ops are lease reads and the rest run the
+  /// full protocol round (writes, or degraded reads), microseconds.
+  double MixedServiceUs(double read_ratio) const;
+
+  /// Saturation throughput of the mixed workload, ops/s: the read-ratio
+  /// envelope the read_sweep bench checks simulated throughput against.
+  double MixedMaxThroughput(double read_ratio) const;
+
+  /// Load-independent latency of one lease read addressed to `leader`
+  /// (ms): mean client RTT plus the local service time.
+  double LeaseReadLatencyMs(NodeId leader) const;
+
   const ModelEnv& env() const { return env_; }
 
  protected:

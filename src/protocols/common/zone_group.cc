@@ -55,6 +55,7 @@ void ZoneGroupNode::Start() {
 }
 
 void ZoneGroupNode::Audit(AuditScope& scope) const {
+  Node::Audit(scope);  // lease-exclusivity claim lives in the base class
   const std::string domain = "group:" + std::to_string(id().zone);
   // All group members snapshot at identical watermarks (the policy fires
   // on applied count), so digests at equal watermarks must collide.
@@ -388,6 +389,8 @@ void ZoneGroupNode::ApplyWalRecovery(const std::vector<WalRecord>& records) {
         break;
       case WalRecord::Type::kBallot:
         break;  // the group log has no ballots
+      case WalRecord::Type::kLease:
+        break;  // consumed by Node::RecoverFromWal, never forwarded here
     }
   }
   // Newest durable snapshot first: it supersedes the replayed log below

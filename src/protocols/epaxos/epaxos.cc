@@ -804,6 +804,7 @@ void EPaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
 }
 
 void EPaxosReplica::Audit(AuditScope& scope) const {
+  Node::Audit(scope);  // lease-exclusivity claim lives in the base class
   for (const InstanceId& iid : audit_pending_) {
     const auto it = instances_.find(iid);
     if (it == instances_.end()) continue;

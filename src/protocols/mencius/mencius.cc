@@ -73,6 +73,7 @@ MenciusReplica::MenciusReplica(NodeId id, Env env)
 void MenciusReplica::Start() { ArmSkipTimer(); }
 
 void MenciusReplica::Audit(AuditScope& scope) const {
+  Node::Audit(scope);  // lease-exclusivity claim lives in the base class
   // Compacted prefix: all replicas snapshot at identical watermarks (the
   // policy fires on applied count), so digests must collide.
   if (snapshot_.valid()) {
@@ -517,6 +518,8 @@ void MenciusReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
         break;
       case WalRecord::Type::kBallot:
         break;  // Mencius writes none
+      case WalRecord::Type::kLease:
+        break;  // consumed by Node::RecoverFromWal, never forwarded here
     }
   }
   if (snap_applied >= 0) {

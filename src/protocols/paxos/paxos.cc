@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lease/lease.h"
+
 namespace paxi {
 
 using paxos::CatchupReply;
@@ -65,6 +67,26 @@ PaxosReplica::PaxosReplica(NodeId id, Env env)
       [this](const CatchupReply& m) { HandleCatchupReply(m); });
   OnMessage<InstallSnapshot>(
       [this](const InstallSnapshot& m) { HandleInstallSnapshot(m); });
+
+  // Lease capability: single leader over one ordered log, so the stable
+  // leader can host a read lease. The quorum hooks route through the
+  // virtual Phase1/Phase2 sizes, so FPaxos inherits lease support with
+  // its smaller phase-2 quorum automatically (the lambdas dispatch
+  // virtually at call time, after construction completes).
+  if (LeaseManager* lm = lease_manager()) {
+    LeaseManager::Hooks hooks;
+    hooks.is_leader = [this] { return active_; };
+    hooks.ballot = [this] { return ballot_; };
+    hooks.accepted = [this] { return next_slot_ - 1; };
+    hooks.applied = [this] { return execute_up_to_; };
+    hooks.grant_quorum = [this] {
+      return peers().size() - Phase1QuorumSize() + 1;
+    };
+    hooks.read_quorum = [this] {
+      return peers().size() - Phase2QuorumSize() + 1;
+    };
+    lm->EnableProtocolSupport(std::move(hooks));
+  }
 }
 
 std::size_t PaxosReplica::Phase1QuorumSize() const {
@@ -94,6 +116,7 @@ void PaxosReplica::Rejoin() {
 }
 
 void PaxosReplica::Audit(AuditScope& scope) const {
+  Node::Audit(scope);  // lease-exclusivity claim lives in the base class
   scope.BallotIs("log", ballot_);
   scope.Require(InvariantAuditor::CountQuorumsIntersect(
                     peers().size(), Phase1QuorumSize(), Phase2QuorumSize()),
@@ -149,7 +172,10 @@ std::uint64_t PaxosReplica::StateDigest() const {
 }
 
 void PaxosReplica::Demote() {
-  if (active_) pipeline_.Abort();
+  if (active_) {
+    pipeline_.Abort();
+    if (LeaseManager* lm = lease_manager()) lm->OnStepDown();
+  }
   active_ = false;
   electing_ = false;
 }
@@ -173,6 +199,7 @@ void PaxosReplica::ArmHeartbeat() {
   SetTimer(heartbeat_interval_, [this]() {
     if (!active_) return;
     RetransmitStalled();
+    if (LeaseManager* lm = lease_manager()) lm->OnHeartbeatTick();
     P2a hb;
     hb.ballot = ballot_;
     hb.slot = -1;
@@ -343,10 +370,14 @@ void PaxosReplica::HandleRequest(const ClientRequest& req) {
   if (local_reads_ && req.cmd.IsRead()) {
     // Relaxed-consistency read: answer from the local state machine
     // without a consensus round. Freshness lags the leader by at most the
-    // watermark propagation (one heartbeat + delivery).
+    // watermark propagation (one heartbeat + delivery). The reply is
+    // labeled kRelaxedLocal so the staleness checker never mistakes it
+    // for a linearizable read.
     Result<Value> result = store_.Get(req.cmd.key);
     ReplyToClient(req, /*ok=*/true,
-                  result.ok() ? result.value() : Value(), result.ok());
+                  result.ok() ? result.value() : Value(), result.ok(),
+                  NodeId::Invalid(),
+                  static_cast<int>(ReadMode::kRelaxedLocal));
     return;
   }
   if (electing_) {
@@ -400,6 +431,18 @@ void PaxosReplica::ProposeBatch(CommandBatch batch,
 void PaxosReplica::HandleP1a(const P1a& msg) {
   P1b reply;
   if (msg.ballot > ballot_) {
+    // An unexpired lease promise to a different holder forbids helping
+    // this candidate: refuse WITHOUT adopting the ballot, so the current
+    // holder's grant renewals (carrying the older epoch) keep succeeding
+    // until the promise lapses on our local clock. The candidate retries
+    // after its election timeout, by which point the promise has expired.
+    if (const LeaseManager* lm = lease_manager();
+        lm != nullptr && lm->BlocksElectionPromise(msg.ballot.id)) {
+      reply.ok = false;
+      reply.ballot = ballot_;
+      Send(msg.from, std::move(reply));
+      return;
+    }
     ballot_ = msg.ballot;
     Demote();
     last_leader_contact_ = Now();
@@ -508,6 +551,7 @@ void PaxosReplica::HandleP1b(const P1b& msg) {
   std::vector<ClientRequest> queued;
   queued.swap(backlog_);
   for (const ClientRequest& req : queued) pipeline_.Enqueue(req);
+  if (LeaseManager* lm = lease_manager()) lm->OnElected();
   ArmHeartbeat();
 }
 
@@ -715,6 +759,8 @@ void PaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
       case WalRecord::Type::kSnapshotMark:
         snap_applied = std::max(snap_applied, rec.slot);
         break;
+      case WalRecord::Type::kLease:
+        break;  // consumed by Node::RecoverFromWal, never forwarded here
     }
   }
   // Newest durable snapshot first: it may supersede part of the replayed

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "lease/lease.h"
 
 namespace paxi {
 
@@ -57,6 +58,24 @@ RaftReplica::RaftReplica(NodeId id, Env env)
   OnMessage<VoteReply>([this](const VoteReply& m) { HandleVoteReply(m); });
   OnMessage<InstallSnapshot>(
       [this](const InstallSnapshot& m) { HandleInstallSnapshot(m); });
+
+  // Lease capability. The epoch a granter compares against is
+  // Ballot{term, leader-if-leading}: a follower reports an Invalid id so
+  // the current leader's grants (same term, valid id) are never refused
+  // as "stale", while anything from an older term is.
+  if (LeaseManager* lm = lease_manager()) {
+    LeaseManager::Hooks hooks;
+    hooks.is_leader = [this] { return role_ == Role::kLeader; };
+    hooks.ballot = [this] {
+      return Ballot{term_,
+                    role_ == Role::kLeader ? this->id() : NodeId::Invalid()};
+    };
+    hooks.accepted = [this] { return LastIndex(); };
+    hooks.applied = [this] { return last_applied_; };
+    hooks.grant_quorum = [this] { return peers().size() / 2 + 1; };
+    hooks.read_quorum = [this] { return peers().size() / 2 + 1; };
+    lm->EnableProtocolSupport(std::move(hooks));
+  }
 }
 
 std::int64_t RaftReplica::TermAt(Slot index) const {
@@ -87,6 +106,7 @@ void RaftReplica::Rejoin() {
 }
 
 void RaftReplica::Audit(AuditScope& scope) const {
+  Node::Audit(scope);  // lease-exclusivity claim lives in the base class
   scope.BallotIs("term", Ballot{term_, id()});
   scope.Require(commit_index_ <= LastIndex(),
                 "commit index beyond end of log");
@@ -171,6 +191,7 @@ void RaftReplica::ArmHeartbeat() {
     for (const NodeId& p : peers()) {
       if (p != id()) ReplicateTo(p);
     }
+    if (LeaseManager* lm = lease_manager()) lm->OnHeartbeatTick();
     ArmHeartbeat();
   });
 }
@@ -180,6 +201,7 @@ void RaftReplica::BecomeFollower(std::int64_t term) {
     // Stepping down: shed the pipeline's queued requests with a retryable
     // reject and reset its in-flight window.
     pipeline_.Abort();
+    if (LeaseManager* lm = lease_manager()) lm->OnStepDown();
   }
   if (term > term_) {
     term_ = term;
@@ -235,6 +257,7 @@ void RaftReplica::BecomeLeader() {
   Append(std::move(noop));
   BroadcastNewEntry();
   PersistOwnEntry(LastIndex());
+  if (LeaseManager* lm = lease_manager()) lm->OnElected();
   ArmHeartbeat();
 }
 
@@ -561,6 +584,8 @@ void RaftReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
                           : 0;
         }
         break;
+      case WalRecord::Type::kLease:
+        break;  // consumed by Node::RecoverFromWal, never forwarded here
     }
   }
   // A vote only binds in the term it was cast; recovering to a higher
@@ -607,6 +632,15 @@ void RaftReplica::HandleVote(const RequestVote& msg) {
       (msg.last_log_term == LastTerm() && msg.last_log_index >= LastIndex());
   if (msg.term == term_ && log_ok &&
       (!voted_for_.valid() || voted_for_ == msg.from)) {
+    // An unexpired lease promise to a different holder withholds the vote
+    // (granted stays false, voted_for_ stays free): the candidate can win
+    // only with voters whose promises have lapsed — and a grant quorum
+    // intersects every vote quorum, so it cannot, until the lease expires.
+    if (const LeaseManager* lm = lease_manager();
+        lm != nullptr && lm->BlocksElectionPromise(msg.from)) {
+      Send(msg.from, std::move(reply));
+      return;
+    }
     voted_for_ = msg.from;
     last_leader_contact_ = Now();  // grant resets the election clock
     reply.granted = true;

@@ -92,6 +92,7 @@ void WPaxosReplica::RepairStalled() {
 }
 
 void WPaxosReplica::Audit(AuditScope& scope) const {
+  Node::Audit(scope);  // lease-exclusivity claim lives in the base class
   scope.Require(InvariantAuditor::GridQuorumsIntersect(
                     config().zones, config().zones - fz_, fz_ + 1),
                 "WPaxos phase-1/phase-2 grid quorums must intersect");
@@ -651,6 +652,8 @@ void WPaxosReplica::ApplyWalRecovery(const std::vector<WalRecord>& records) {
         s = std::max(s, rec.slot);
         break;
       }
+      case WalRecord::Type::kLease:
+        break;  // consumed by Node::RecoverFromWal, never forwarded here
     }
   }
   for (const auto& [key, applied] : snap_mark) {

@@ -155,6 +155,17 @@ void AuditScope::Require(bool ok, const std::string& what) {
   if (!ok) auditor_->ReportViolation(node_, what);
 }
 
+void AuditScope::LeaseHeld(const std::string& domain) {
+  auto [it, inserted] =
+      auditor_->lease_claims_.try_emplace(domain, node_);
+  if (inserted || it->second == node_) return;
+  auditor_->ReportViolation(
+      node_, "lease exclusivity violation in domain '" + domain +
+                 "': node " + it->second.ToString() + " and node " +
+                 node_.ToString() +
+                 " simultaneously believe they hold a valid lease");
+}
+
 InvariantAuditor::InvariantAuditor(bool fail_fast) : fail_fast_(fail_fast) {}
 
 void InvariantAuditor::Watch(const Auditable* node) {
@@ -183,6 +194,7 @@ void InvariantAuditor::OnEventExecuted(const EventFingerprint& /*fp*/) {
 
 void InvariantAuditor::AuditNow() {
   ++events_audited_;
+  lease_claims_.clear();  // claims are instantaneous, not historical
   for (const Auditable* node : watched_) {
     AuditScope scope(this, node->id());
     node->Audit(scope);

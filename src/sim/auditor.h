@@ -132,6 +132,16 @@ class AuditScope {
   /// Generic protocol invariant; trips when `ok` is false.
   void Require(bool ok, const std::string& what);
 
+  /// Reports that this node *currently believes* it holds a valid lease
+  /// for `domain`. The auditor trips if two distinct nodes claim the same
+  /// domain within one audit pass — leases are exclusive by construction
+  /// (grant quorums intersect election quorums, validity is margined
+  /// below every granter's promise window), so simultaneous believers
+  /// mean the skew-margin math was violated. Claims are per-pass: a node
+  /// only reports while its margined window is open on its own clock, so
+  /// the skew bound is accounted for by the claimant itself.
+  void LeaseHeld(const std::string& domain);
+
  private:
   friend class InvariantAuditor;
   AuditScope(InvariantAuditor* auditor, NodeId node)
@@ -228,6 +238,9 @@ class InvariantAuditor : public SimObserver {
   /// Snapshot digests by (domain, watermark slot), cross-checked the same
   /// way as chosen_: first report wins, later reports must match.
   std::map<std::pair<std::string, Slot>, ChosenRecord> snapshots_;
+  /// Lease claims of the *current* audit pass (domain -> first claimant);
+  /// cleared at the start of every pass.
+  std::map<std::string, NodeId> lease_claims_;
 
   std::vector<std::string> violations_;
   std::uint64_t events_audited_ = 0;

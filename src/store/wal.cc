@@ -113,7 +113,7 @@ bool DecodePayload(const std::string& p, WalRecord* out) {
   std::uint8_t type = 0;
   std::uint8_t flags = 0;
   if (!GetU8(p, &off, &type) || !GetU8(p, &off, &flags)) return false;
-  if (type < 1 || type > 4) return false;
+  if (type < 1 || type > 5) return false;
   out->type = static_cast<WalRecord::Type>(type);
   out->committed = (flags & 1u) != 0;
   out->noop = (flags & 2u) != 0;

@@ -27,6 +27,11 @@ namespace paxi {
 constexpr std::int64_t kWalMainDomain =
     std::numeric_limits<std::int64_t>::min();
 
+/// Domain id for lease-promise records (src/lease). Kept out of every
+/// protocol's log domain so CompactDomain never garbage-collects a
+/// promise with the log it happens to share a WAL with.
+constexpr std::int64_t kWalLeaseDomain = kWalMainDomain + 1;
+
 /// Modeled byte cost of one WAL record's framing + fixed fields, the
 /// disk-side analog of the canonical 100-byte message of the NIC model:
 /// sync durations and the bytes_synced gauge are computed from modeled
@@ -66,6 +71,12 @@ struct WalRecord {
     kSnapshotMark = 3,
     /// A ballot/term promise or adoption with no slot attached.
     kBallot = 4,
+    /// A lease promise: this node promised not to help elect anyone but
+    /// `ballot.id` while the holder's lease could still be valid. Written
+    /// under kWalLeaseDomain and consumed by Node::RecoverFromWal (the
+    /// promise window is conservatively re-armed in full), never by a
+    /// protocol's ApplyWalRecovery.
+    kLease = 5,
   };
 
   Type type = Type::kAccept;

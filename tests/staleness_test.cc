@@ -22,7 +22,7 @@ OpRecord Write(Key key, const Value& v, Time invoke, Time response) {
 }
 
 OpRecord Read(Key key, const Value& v, Time invoke, Time response,
-              bool found = true) {
+              bool found = true, int read_mode = 0) {
   OpRecord op;
   op.is_write = false;
   op.key = key;
@@ -30,6 +30,7 @@ OpRecord Read(Key key, const Value& v, Time invoke, Time response,
   op.invoke = invoke;
   op.response = response;
   op.found = found;
+  op.read_mode = read_mode;
   return op;
 }
 
@@ -95,6 +96,49 @@ TEST(StalenessCheckerTest, ConcurrentWriteDoesNotCount) {
   EXPECT_EQ(report.stale_reads(), 0u);
 }
 
+// --- Mode-aware classification -----------------------------------------------
+
+TEST(ReadModeCheckerTest, RoutesEachModeToItsContract) {
+  // The same stale read is an anomaly under the strict contract and merely
+  // bounded staleness under the relaxed one — the declared mode decides
+  // which contract judges it.
+  const std::vector<OpRecord> history = {Write(1, "a", 0, 10),
+                                         Write(1, "b", 20, 30)};
+  for (int mode : {0, 1, 2}) {
+    std::vector<OpRecord> ops = history;
+    ops.push_back(Read(1, "a", 100, 110, /*found=*/true, mode));
+    const auto modes = CheckReadModes(ops, /*relaxed_bound=*/kSecond);
+    EXPECT_EQ(modes.reads_by_mode[mode], 1u);
+    EXPECT_EQ(modes.strict_anomalies.size(), 1u)
+        << "mode " << mode << " is a strict mode; the stale read must land "
+        << "in strict_anomalies";
+    EXPECT_TRUE(modes.relaxed.violations.empty());
+    EXPECT_FALSE(modes.ok());
+  }
+  std::vector<OpRecord> ops = history;
+  ops.push_back(Read(1, "a", 100, 110, /*found=*/true, /*read_mode=*/3));
+  const auto modes = CheckReadModes(ops, /*relaxed_bound=*/kSecond);
+  EXPECT_EQ(modes.reads_by_mode[3], 1u);
+  EXPECT_TRUE(modes.strict_anomalies.empty())
+      << "a declared-relaxed read must not be judged by the strict contract";
+  EXPECT_TRUE(modes.ok()) << "70us of staleness is within the 1s bound";
+
+  const auto tight = CheckReadModes(ops, /*relaxed_bound=*/50);
+  EXPECT_FALSE(tight.ok()) << "beyond its declared bound the relaxed read "
+                              "is a violation too";
+}
+
+TEST(ReadModeCheckerTest, UnknownModeIsRejectedOutright) {
+  // A read labeled with a mode nobody declared is never silently
+  // accepted, fresh or not.
+  std::vector<OpRecord> ops = {Write(1, "a", 0, 10),
+                               Read(1, "a", 20, 30, /*found=*/true,
+                                    /*read_mode=*/7)};
+  const auto modes = CheckReadModes(ops, kSecond);
+  ASSERT_EQ(modes.unlabeled.size(), 1u);
+  EXPECT_FALSE(modes.ok());
+}
+
 // --- End to end: Paxos with relaxed local reads ------------------------------
 
 TEST(LocalReadsTest, FollowerServesReadLocally) {
@@ -144,6 +188,15 @@ TEST(LocalReadsTest, StalenessBoundedByHeartbeat) {
       << report.violations.size() << " of " << report.read_staleness.size()
       << " reads exceeded the bound; max staleness "
       << ToMillis(report.max_staleness()) << " ms";
+
+  // Every one of those replies is labeled kRelaxedLocal, so the
+  // mode-aware classifier judges them by the relaxed contract and the
+  // weaker mode is never silently accepted as linearizable.
+  const auto modes = CheckReadModes(result.ops, 200 * kMillisecond);
+  EXPECT_GT(modes.reads_by_mode[3], 0u);
+  EXPECT_EQ(modes.strict_reads(), 0u)
+      << "a relaxed deployment emitted a read claiming a strict mode";
+  EXPECT_TRUE(modes.ok());
 }
 
 TEST(LocalReadsTest, LinearizableModeStaysClean) {
@@ -158,6 +211,14 @@ TEST(LocalReadsTest, LinearizableModeStaysClean) {
   const BenchResult result = RunBenchmark(cfg, options);
   const auto report = CheckBoundedStaleness(result.ops, 0);
   EXPECT_EQ(report.stale_reads(), 0u);
+
+  // And mode-aware: every read declares kFull and the strict contract holds.
+  const auto modes = CheckReadModes(result.ops, 0);
+  EXPECT_EQ(modes.reads_by_mode[3], 0u);
+  EXPECT_EQ(modes.reads_by_mode[1], 0u);
+  EXPECT_EQ(modes.reads_by_mode[2], 0u);
+  EXPECT_GT(modes.reads_by_mode[0], 0u);
+  EXPECT_TRUE(modes.ok());
 }
 
 }  // namespace
