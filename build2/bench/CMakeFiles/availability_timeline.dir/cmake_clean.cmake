@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_timeline.dir/availability_timeline.cc.o"
+  "CMakeFiles/availability_timeline.dir/availability_timeline.cc.o.d"
+  "availability_timeline"
+  "availability_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_sweep.dir/batch_sweep.cc.o"
+  "CMakeFiles/batch_sweep.dir/batch_sweep.cc.o.d"
+  "batch_sweep"
+  "batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_rtt_histogram.dir/fig03_rtt_histogram.cc.o"
+  "CMakeFiles/fig03_rtt_histogram.dir/fig03_rtt_histogram.cc.o.d"
+  "fig03_rtt_histogram"
+  "fig03_rtt_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_rtt_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_queue_models.dir/fig04_queue_models.cc.o"
+  "CMakeFiles/fig04_queue_models.dir/fig04_queue_models.cc.o.d"
+  "fig04_queue_models"
+  "fig04_queue_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_queue_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

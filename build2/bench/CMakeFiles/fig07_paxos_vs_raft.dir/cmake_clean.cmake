@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_paxos_vs_raft.dir/fig07_paxos_vs_raft.cc.o"
+  "CMakeFiles/fig07_paxos_vs_raft.dir/fig07_paxos_vs_raft.cc.o.d"
+  "fig07_paxos_vs_raft"
+  "fig07_paxos_vs_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_paxos_vs_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_paxos_vs_raft.
+# This may be replaced when dependencies are built.

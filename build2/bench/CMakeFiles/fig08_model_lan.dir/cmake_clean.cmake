@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_model_lan.dir/fig08_model_lan.cc.o"
+  "CMakeFiles/fig08_model_lan.dir/fig08_model_lan.cc.o.d"
+  "fig08_model_lan"
+  "fig08_model_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_model_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_paxi_lan.dir/fig09_paxi_lan.cc.o"
+  "CMakeFiles/fig09_paxi_lan.dir/fig09_paxi_lan.cc.o.d"
+  "fig09_paxi_lan"
+  "fig09_paxi_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_paxi_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_paxi_lan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_model_wan.dir/fig10_model_wan.cc.o"
+  "CMakeFiles/fig10_model_wan.dir/fig10_model_wan.cc.o.d"
+  "fig10_model_wan"
+  "fig10_model_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_model_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

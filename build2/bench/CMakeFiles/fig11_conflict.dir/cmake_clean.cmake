@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_conflict.dir/fig11_conflict.cc.o"
+  "CMakeFiles/fig11_conflict.dir/fig11_conflict.cc.o.d"
+  "fig11_conflict"
+  "fig11_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

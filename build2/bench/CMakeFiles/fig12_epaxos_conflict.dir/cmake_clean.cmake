@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_epaxos_conflict.dir/fig12_epaxos_conflict.cc.o"
+  "CMakeFiles/fig12_epaxos_conflict.dir/fig12_epaxos_conflict.cc.o.d"
+  "fig12_epaxos_conflict"
+  "fig12_epaxos_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_epaxos_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_locality.dir/fig13_locality.cc.o"
+  "CMakeFiles/fig13_locality.dir/fig13_locality.cc.o.d"
+  "fig13_locality"
+  "fig13_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

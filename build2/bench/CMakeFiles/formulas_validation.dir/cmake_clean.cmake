@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formulas_validation.dir/formulas_validation.cc.o"
+  "CMakeFiles/formulas_validation.dir/formulas_validation.cc.o.d"
+  "formulas_validation"
+  "formulas_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formulas_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

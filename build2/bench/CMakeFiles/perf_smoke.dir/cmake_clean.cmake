@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_smoke.dir/perf_smoke.cc.o"
+  "CMakeFiles/perf_smoke.dir/perf_smoke.cc.o.d"
+  "perf_smoke"
+  "perf_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

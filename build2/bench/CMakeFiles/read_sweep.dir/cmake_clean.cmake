@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_sweep.dir/read_sweep.cc.o"
+  "CMakeFiles/read_sweep.dir/read_sweep.cc.o.d"
+  "read_sweep"
+  "read_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

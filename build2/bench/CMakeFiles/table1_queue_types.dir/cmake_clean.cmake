@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_queue_types.dir/table1_queue_types.cc.o"
+  "CMakeFiles/table1_queue_types.dir/table1_queue_types.cc.o.d"
+  "table1_queue_types"
+  "table1_queue_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_queue_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_locality.dir/wan_locality.cc.o"
+  "CMakeFiles/wan_locality.dir/wan_locality.cc.o.d"
+  "wan_locality"
+  "wan_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmark/runner.cc" "src/CMakeFiles/paxi.dir/benchmark/runner.cc.o" "gcc" "src/CMakeFiles/paxi.dir/benchmark/runner.cc.o.d"
+  "/root/repo/src/benchmark/sweep.cc" "src/CMakeFiles/paxi.dir/benchmark/sweep.cc.o" "gcc" "src/CMakeFiles/paxi.dir/benchmark/sweep.cc.o.d"
+  "/root/repo/src/checker/consensus.cc" "src/CMakeFiles/paxi.dir/checker/consensus.cc.o" "gcc" "src/CMakeFiles/paxi.dir/checker/consensus.cc.o.d"
+  "/root/repo/src/checker/linearizability.cc" "src/CMakeFiles/paxi.dir/checker/linearizability.cc.o" "gcc" "src/CMakeFiles/paxi.dir/checker/linearizability.cc.o.d"
+  "/root/repo/src/checker/staleness.cc" "src/CMakeFiles/paxi.dir/checker/staleness.cc.o" "gcc" "src/CMakeFiles/paxi.dir/checker/staleness.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/paxi.dir/common/check.cc.o" "gcc" "src/CMakeFiles/paxi.dir/common/check.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/paxi.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/paxi.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/paxi.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/paxi.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/paxi.dir/common/status.cc.o" "gcc" "src/CMakeFiles/paxi.dir/common/status.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/paxi.dir/core/client.cc.o" "gcc" "src/CMakeFiles/paxi.dir/core/client.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/paxi.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/paxi.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/paxi.dir/core/config.cc.o" "gcc" "src/CMakeFiles/paxi.dir/core/config.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/CMakeFiles/paxi.dir/core/node.cc.o" "gcc" "src/CMakeFiles/paxi.dir/core/node.cc.o.d"
+  "/root/repo/src/fault/nemesis.cc" "src/CMakeFiles/paxi.dir/fault/nemesis.cc.o" "gcc" "src/CMakeFiles/paxi.dir/fault/nemesis.cc.o.d"
+  "/root/repo/src/fault/schedule.cc" "src/CMakeFiles/paxi.dir/fault/schedule.cc.o" "gcc" "src/CMakeFiles/paxi.dir/fault/schedule.cc.o.d"
+  "/root/repo/src/fault/telemetry.cc" "src/CMakeFiles/paxi.dir/fault/telemetry.cc.o" "gcc" "src/CMakeFiles/paxi.dir/fault/telemetry.cc.o.d"
+  "/root/repo/src/lease/lease.cc" "src/CMakeFiles/paxi.dir/lease/lease.cc.o" "gcc" "src/CMakeFiles/paxi.dir/lease/lease.cc.o.d"
+  "/root/repo/src/mc/explorer.cc" "src/CMakeFiles/paxi.dir/mc/explorer.cc.o" "gcc" "src/CMakeFiles/paxi.dir/mc/explorer.cc.o.d"
+  "/root/repo/src/mc/linearizability.cc" "src/CMakeFiles/paxi.dir/mc/linearizability.cc.o" "gcc" "src/CMakeFiles/paxi.dir/mc/linearizability.cc.o.d"
+  "/root/repo/src/mc/universe.cc" "src/CMakeFiles/paxi.dir/mc/universe.cc.o" "gcc" "src/CMakeFiles/paxi.dir/mc/universe.cc.o.d"
+  "/root/repo/src/model/flowchart.cc" "src/CMakeFiles/paxi.dir/model/flowchart.cc.o" "gcc" "src/CMakeFiles/paxi.dir/model/flowchart.cc.o.d"
+  "/root/repo/src/model/formulas.cc" "src/CMakeFiles/paxi.dir/model/formulas.cc.o" "gcc" "src/CMakeFiles/paxi.dir/model/formulas.cc.o.d"
+  "/root/repo/src/model/korder.cc" "src/CMakeFiles/paxi.dir/model/korder.cc.o" "gcc" "src/CMakeFiles/paxi.dir/model/korder.cc.o.d"
+  "/root/repo/src/model/protocol_model.cc" "src/CMakeFiles/paxi.dir/model/protocol_model.cc.o" "gcc" "src/CMakeFiles/paxi.dir/model/protocol_model.cc.o.d"
+  "/root/repo/src/model/queueing.cc" "src/CMakeFiles/paxi.dir/model/queueing.cc.o" "gcc" "src/CMakeFiles/paxi.dir/model/queueing.cc.o.d"
+  "/root/repo/src/net/latency.cc" "src/CMakeFiles/paxi.dir/net/latency.cc.o" "gcc" "src/CMakeFiles/paxi.dir/net/latency.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/paxi.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/paxi.dir/net/topology.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/CMakeFiles/paxi.dir/net/transport.cc.o" "gcc" "src/CMakeFiles/paxi.dir/net/transport.cc.o.d"
+  "/root/repo/src/protocols/common/commit_pipeline.cc" "src/CMakeFiles/paxi.dir/protocols/common/commit_pipeline.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/common/commit_pipeline.cc.o.d"
+  "/root/repo/src/protocols/common/zone_group.cc" "src/CMakeFiles/paxi.dir/protocols/common/zone_group.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/common/zone_group.cc.o.d"
+  "/root/repo/src/protocols/epaxos/epaxos.cc" "src/CMakeFiles/paxi.dir/protocols/epaxos/epaxos.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/epaxos/epaxos.cc.o.d"
+  "/root/repo/src/protocols/fpaxos/fpaxos.cc" "src/CMakeFiles/paxi.dir/protocols/fpaxos/fpaxos.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/fpaxos/fpaxos.cc.o.d"
+  "/root/repo/src/protocols/mencius/mencius.cc" "src/CMakeFiles/paxi.dir/protocols/mencius/mencius.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/mencius/mencius.cc.o.d"
+  "/root/repo/src/protocols/paxos/paxos.cc" "src/CMakeFiles/paxi.dir/protocols/paxos/paxos.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/paxos/paxos.cc.o.d"
+  "/root/repo/src/protocols/raft/raft.cc" "src/CMakeFiles/paxi.dir/protocols/raft/raft.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/raft/raft.cc.o.d"
+  "/root/repo/src/protocols/vpaxos/vpaxos.cc" "src/CMakeFiles/paxi.dir/protocols/vpaxos/vpaxos.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/vpaxos/vpaxos.cc.o.d"
+  "/root/repo/src/protocols/wankeeper/wankeeper.cc" "src/CMakeFiles/paxi.dir/protocols/wankeeper/wankeeper.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/wankeeper/wankeeper.cc.o.d"
+  "/root/repo/src/protocols/wpaxos/wpaxos.cc" "src/CMakeFiles/paxi.dir/protocols/wpaxos/wpaxos.cc.o" "gcc" "src/CMakeFiles/paxi.dir/protocols/wpaxos/wpaxos.cc.o.d"
+  "/root/repo/src/quorum/quorum.cc" "src/CMakeFiles/paxi.dir/quorum/quorum.cc.o" "gcc" "src/CMakeFiles/paxi.dir/quorum/quorum.cc.o.d"
+  "/root/repo/src/sim/auditor.cc" "src/CMakeFiles/paxi.dir/sim/auditor.cc.o" "gcc" "src/CMakeFiles/paxi.dir/sim/auditor.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/paxi.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/paxi.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/paxi.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/paxi.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/store/kvstore.cc" "src/CMakeFiles/paxi.dir/store/kvstore.cc.o" "gcc" "src/CMakeFiles/paxi.dir/store/kvstore.cc.o.d"
+  "/root/repo/src/store/snapshot.cc" "src/CMakeFiles/paxi.dir/store/snapshot.cc.o" "gcc" "src/CMakeFiles/paxi.dir/store/snapshot.cc.o.d"
+  "/root/repo/src/store/wal.cc" "src/CMakeFiles/paxi.dir/store/wal.cc.o" "gcc" "src/CMakeFiles/paxi.dir/store/wal.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/paxi.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/paxi.dir/workload/distributions.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/paxi.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/paxi.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_test.dir/compaction_test.cc.o"
+  "CMakeFiles/compaction_test.dir/compaction_test.cc.o.d"
+  "compaction_test"
+  "compaction_test.pdb"
+  "compaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_test.dir/durable_test.cc.o"
+  "CMakeFiles/durable_test.dir/durable_test.cc.o.d"
+  "durable_test"
+  "durable_test.pdb"
+  "durable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epaxos_test.dir/epaxos_test.cc.o"
+  "CMakeFiles/epaxos_test.dir/epaxos_test.cc.o.d"
+  "epaxos_test"
+  "epaxos_test.pdb"
+  "epaxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epaxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpaxos_test.dir/fpaxos_test.cc.o"
+  "CMakeFiles/fpaxos_test.dir/fpaxos_test.cc.o.d"
+  "fpaxos_test"
+  "fpaxos_test.pdb"
+  "fpaxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpaxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

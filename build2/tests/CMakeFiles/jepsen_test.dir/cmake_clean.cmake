@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepsen_test.dir/jepsen_test.cc.o"
+  "CMakeFiles/jepsen_test.dir/jepsen_test.cc.o.d"
+  "jepsen_test"
+  "jepsen_test.pdb"
+  "jepsen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepsen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_test.dir/lease_test.cc.o"
+  "CMakeFiles/lease_test.dir/lease_test.cc.o.d"
+  "lease_test"
+  "lease_test.pdb"
+  "lease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

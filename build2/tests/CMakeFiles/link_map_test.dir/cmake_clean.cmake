@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_map_test.dir/link_map_test.cc.o"
+  "CMakeFiles/link_map_test.dir/link_map_test.cc.o.d"
+  "link_map_test"
+  "link_map_test.pdb"
+  "link_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mencius_test.dir/mencius_test.cc.o"
+  "CMakeFiles/mencius_test.dir/mencius_test.cc.o.d"
+  "mencius_test"
+  "mencius_test.pdb"
+  "mencius_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mencius_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_test.dir/paxos_test.cc.o"
+  "CMakeFiles/paxos_test.dir/paxos_test.cc.o.d"
+  "paxos_test"
+  "paxos_test.pdb"
+  "paxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_test.dir/raft_test.cc.o"
+  "CMakeFiles/raft_test.dir/raft_test.cc.o.d"
+  "raft_test"
+  "raft_test.pdb"
+  "raft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

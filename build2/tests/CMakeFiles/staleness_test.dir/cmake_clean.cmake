@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleness_test.dir/staleness_test.cc.o"
+  "CMakeFiles/staleness_test.dir/staleness_test.cc.o.d"
+  "staleness_test"
+  "staleness_test.pdb"
+  "staleness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpaxos_test.dir/vpaxos_test.cc.o"
+  "CMakeFiles/vpaxos_test.dir/vpaxos_test.cc.o.d"
+  "vpaxos_test"
+  "vpaxos_test.pdb"
+  "vpaxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpaxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wankeeper_test.dir/wankeeper_test.cc.o"
+  "CMakeFiles/wankeeper_test.dir/wankeeper_test.cc.o.d"
+  "wankeeper_test"
+  "wankeeper_test.pdb"
+  "wankeeper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wankeeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpaxos_test.dir/wpaxos_test.cc.o"
+  "CMakeFiles/wpaxos_test.dir/wpaxos_test.cc.o.d"
+  "wpaxos_test"
+  "wpaxos_test.pdb"
+  "wpaxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpaxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_group_test.dir/zone_group_test.cc.o"
+  "CMakeFiles/zone_group_test.dir/zone_group_test.cc.o.d"
+  "zone_group_test"
+  "zone_group_test.pdb"
+  "zone_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
