@@ -1,20 +1,32 @@
 // Performance smoke harness — the CI perf-regression gate.
 //
-// Measures, on the current build:
-//   1. Raw event-kernel throughput (events/sec) with realistic callback
-//      capture sizes — the number every simulation's wall-clock divides by.
-//   2. Wall-clock for two fixed end-to-end scenarios: a saturated LAN
-//      Paxos run (fig. 9-style point) and a WAN EPaxos conflict run
-//      (fig. 11-style point).
-//   3. Sweep-engine scaling: the same 8-point batch run with --jobs 1 and
-//      with one job per core, plus a determinism cross-check that both
-//      produce identical results.
+// Two lanes, selectable with --lane (default "all" runs both):
+//
+//   --lane single   Core-pinned single-thread measurements:
+//     1. Raw event-kernel throughput (events/sec) with realistic callback
+//        capture sizes — the number every simulation's wall-clock divides
+//        by. Pinned to one CPU (Linux) so a busy runner can't migrate the
+//        hot loop mid-measurement.
+//     2. Wall-clock for two fixed end-to-end scenarios: a saturated LAN
+//        Paxos run (fig. 9-style point) and a WAN EPaxos conflict run
+//        (fig. 11-style point).
+//     3. Allocation accounting on the LAN Paxos scenario via the message
+//        pool's stats hook (common/pool.h — no heaptrack dependency):
+//        messages created per event, and *fresh* allocations (new memory,
+//        not pool reuse) per event. Both are virtual-time deterministic,
+//        so the >= 5x reuse gate is exact, not statistical.
+//   --lane sweep    Multi-core sweep-engine scaling: the same 8-point
+//        batch run with --jobs 1 and with one job per core, a determinism
+//        cross-check that both produce identical results, and the
+//        measured sweep_speedup. On a 1-core machine the speedup is
+//        recorded as "skipped"; the >= 2x scaling gate arms only with
+//        4+ cores (the CI multicore runner).
 //
 // Results go to BENCH_PERF.json (override with --out FILE). With
-// --baseline FILE (e.g. the checked-in bench/perf_baseline.json, measured
-// on the pre-optimization tree), the run FAILS if events/sec regressed by
-// more than 2x — a deliberately loose gate that survives machine-to-
-// machine variation but catches "accidentally quadratic" changes.
+// --baseline FILE (e.g. the checked-in bench/perf_baseline.json), the run
+// FAILS if events/sec regressed by more than 2x — a deliberately loose
+// gate that survives machine-to-machine variation but catches
+// "accidentally quadratic" changes.
 
 #include <chrono>
 #include <cstdio>
@@ -24,9 +36,15 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include "bench_util.h"
 #include "benchmark/runner.h"
 #include "benchmark/sweep.h"
+#include "common/live_flag.h"
+#include "common/pool.h"
 #include "sim/simulator.h"
 
 namespace paxi {
@@ -38,23 +56,50 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+// Pins the calling thread to one CPU so the single-thread lane is immune
+// to migration on busy runners. Returns false (and measures unpinned) on
+// non-Linux or on failure; the numbers are still valid, just noisier.
+bool PinToOneCpu() {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(0, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+// Undoes PinToOneCpu for the sweep lane (lane=all runs both in one
+// process and the sweep needs every core).
+void UnpinCpu() {
+#ifdef __linux__
+  const unsigned hw = std::thread::hardware_concurrency();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (unsigned c = 0; c < (hw == 0 ? 1 : hw); ++c) CPU_SET(c, &set);
+  sched_setaffinity(0, sizeof(set), &set);
+#endif
+}
+
 // Event-kernel throughput with realistic capture sizes: each event carries
-// a shared_ptr (16B) + this-like pointer (8B) + payload (16B), the shape of
-// Node::Deliver / Transport::ScheduleDelivery callbacks.
+// a LiveRef (8B) + this-like pointer (8B) + payload (16B) — the exact
+// shape of Node::Deliver / timer callbacks after the LiveFlag conversion
+// (common/live_flag.h).
 double EventsPerSec() {
   constexpr int kChains = 64;
   constexpr std::int64_t kEventsPerChain = 40'000;
   Simulator sim(7);
-  auto token = std::make_shared<bool>(true);
+  LiveFlag alive;
   std::int64_t executed = 0;
   struct Chain {
     Simulator* sim;
-    std::shared_ptr<bool> token;
+    LiveRef alive;
     std::int64_t* executed;
     std::int64_t remaining;
     void Step(Time at) {
       sim->At(at, [c = *this]() mutable {
-        if (!*c.token) return;
+        if (!c.alive) return;
         ++*c.executed;
         if (--c.remaining > 0) c.Step(c.sim->Now() + 3);
       });
@@ -62,7 +107,7 @@ double EventsPerSec() {
   };
   const auto t0 = Clock::now();
   for (int i = 0; i < kChains; ++i) {
-    Chain c{&sim, token, &executed, kEventsPerChain};
+    Chain c{&sim, LiveRef(alive), &executed, kEventsPerChain};
     c.Step(static_cast<Time>(i));
   }
   sim.RunToCompletion();
@@ -85,18 +130,40 @@ double PaxosBenchWallMs() {
   return ms;
 }
 
-// Saturated LAN Paxos throughput (virtual ops/s) at a given batch_max —
-// simulated time, so the value is deterministic and can be gated hard.
-double PaxosSaturatedThroughput(int batch_max) {
+// Allocation accounting for the LAN Paxos scenario: messages created per
+// simulator event, and fresh pool allocations (slab carves + heap
+// fallbacks — memory that a per-message malloc would have paid every
+// time) per event. Runs the scenario once to warm this thread's pool,
+// then measures the stats delta over a second run; both runs are
+// virtual-time deterministic, so the ratio is exact.
+struct AllocStats {
+  double msgs_per_event = 0;
+  double allocs_per_event = 0;
+  double reuse_factor = 0;  ///< msgs / fresh allocs; >= 5 gated.
+};
+
+AllocStats MeasureAllocs() {
   BenchOptions options;
   options.workload = UniformWorkload(1000, 0.5);
-  options.clients_per_zone = 60;
+  options.clients_per_zone = 40;
   options.bootstrap_s = 0.2;
-  options.warmup_s = 0.3;
+  options.warmup_s = 0.2;
   options.duration_s = 1.0;
-  Config cfg = Config::Lan9("paxos");
-  cfg.params["batch_max"] = std::to_string(batch_max);
-  return RunBenchmark(cfg, options).throughput;
+  RunBenchmark(Config::Lan9("paxos"), options);  // warm the pool
+  const BlockPool::Stats before = BlockPool::Local().stats();
+  const BenchResult r = RunBenchmark(Config::Lan9("paxos"), options);
+  const BlockPool::Stats after = BlockPool::Local().stats();
+  AllocStats a;
+  const double events = static_cast<double>(r.events);
+  const double msgs = static_cast<double>(after.allocs - before.allocs);
+  const double fresh =
+      static_cast<double>(after.FreshAllocs() - before.FreshAllocs());
+  if (events > 0) {
+    a.msgs_per_event = msgs / events;
+    a.allocs_per_event = fresh / events;
+  }
+  a.reuse_factor = fresh > 0 ? msgs / fresh : msgs;
+  return a;
 }
 
 double EpaxosBenchWallMs() {
@@ -112,6 +179,20 @@ double EpaxosBenchWallMs() {
   const double ms = Seconds(t0, Clock::now()) * 1e3;
   std::printf("  epaxos completed=%zu\n", r.completed);
   return ms;
+}
+
+// Saturated LAN Paxos throughput (virtual ops/s) at a given batch_max —
+// simulated time, so the value is deterministic and can be gated hard.
+double PaxosSaturatedThroughput(int batch_max) {
+  BenchOptions options;
+  options.workload = UniformWorkload(1000, 0.5);
+  options.clients_per_zone = 60;
+  options.bootstrap_s = 0.2;
+  options.warmup_s = 0.3;
+  options.duration_s = 1.0;
+  Config cfg = Config::Lan9("paxos");
+  cfg.params["batch_max"] = std::to_string(batch_max);
+  return RunBenchmark(cfg, options).throughput;
 }
 
 // One small sweep point for the scaling measurement: ~0.9 virtual seconds
@@ -166,92 +247,151 @@ SweepScaling MeasureSweepScaling() {
 int Run(int argc, char** argv) {
   std::string out_path = "BENCH_PERF.json";
   std::string baseline_path;
+  std::string lane = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--lane") == 0 && i + 1 < argc) {
+      lane = argv[++i];
+    }
+  }
+  if (lane != "single" && lane != "sweep" && lane != "all") {
+    std::printf("unknown --lane %s (want single|sweep|all)\n", lane.c_str());
+    return 2;
+  }
+  const bool run_single = lane != "sweep";
+  const bool run_sweep = lane != "single";
+
+  bench::Banner("Performance smoke (CI perf-regression gate)",
+                ("lane: " + lane).c_str());
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cores = hw == 0 ? 1 : static_cast<int>(hw);
+
+  bench::JsonResult json;
+  json.Set("lane", lane);
+  json.Set("cores", static_cast<double>(cores));
+  int failures = 0;
+
+  if (run_single) {
+    const bool pinned = PinToOneCpu();
+    std::printf("single-thread lane %s\n",
+                pinned ? "(pinned to cpu 0)" : "(not pinned)");
+
+    // Best-of-3 everywhere to damp scheduler noise on shared runners.
+    double events_per_sec = 0;
+    for (int i = 0; i < 3; ++i) {
+      events_per_sec = std::max(events_per_sec, EventsPerSec());
+    }
+    double paxos_ms = 1e18;
+    for (int i = 0; i < 3; ++i) {
+      paxos_ms = std::min(paxos_ms, PaxosBenchWallMs());
+    }
+    double epaxos_ms = 1e18;
+    for (int i = 0; i < 3; ++i) {
+      epaxos_ms = std::min(epaxos_ms, EpaxosBenchWallMs());
+    }
+    const AllocStats allocs = MeasureAllocs();
+
+    // Commit-pipeline batching gate: virtual-time throughput, so a single
+    // run is exact and machine-independent.
+    const double paxos_unbatched_tps = PaxosSaturatedThroughput(1);
+    const double paxos_batched_tps = PaxosSaturatedThroughput(8);
+    const double paxos_batched_speedup =
+        paxos_unbatched_tps > 0 ? paxos_batched_tps / paxos_unbatched_tps
+                                : 0.0;
+
+    std::printf("\nevents_per_sec      %12.0f\n", events_per_sec);
+    std::printf("paxos_lan_wall_ms   %12.1f\n", paxos_ms);
+    std::printf("epaxos_wan_wall_ms  %12.1f\n", epaxos_ms);
+    std::printf("msgs_per_event      %12.3f\n", allocs.msgs_per_event);
+    std::printf("allocs_per_event    %12.4f  (fresh memory only; reuse "
+                "%.1fx)\n",
+                allocs.allocs_per_event, allocs.reuse_factor);
+    std::printf("paxos_batched_speedup %10.2fx  (batch_max 8: %.0f ops/s, "
+                "1: %.0f ops/s)\n",
+                paxos_batched_speedup, paxos_batched_tps,
+                paxos_unbatched_tps);
+
+    json.Set("pinned", std::string(pinned ? "true" : "false"));
+    json.Set("events_per_sec", events_per_sec);
+    json.Set("paxos_lan_wall_ms", paxos_ms);
+    json.Set("epaxos_wan_wall_ms", epaxos_ms);
+    json.Set("msgs_per_event", allocs.msgs_per_event);
+    json.Set("allocs_per_event", allocs.allocs_per_event);
+    json.Set("alloc_reuse_factor", allocs.reuse_factor);
+    json.Set("paxos_unbatched_ops_s", paxos_unbatched_tps);
+    json.Set("paxos_batched_ops_s", paxos_batched_tps);
+    json.Set("paxos_batched_speedup", paxos_batched_speedup);
+
+    failures += !bench::Check(
+        paxos_batched_speedup >= 2.0,
+        "batch_max=8 at least doubles saturated LAN Paxos throughput "
+        "(commit-pipeline batching gate)");
+    failures += !bench::Check(
+        allocs.reuse_factor >= 5.0,
+        "message pool serves >= 5x more messages than fresh allocations "
+        "(allocs_per_event gate)");
+
+    if (!baseline_path.empty()) {
+      const double base_events =
+          bench::JsonNumberField(baseline_path, "events_per_sec", 0.0);
+      if (base_events > 0) {
+        const double ratio = events_per_sec / base_events;
+        json.Set("baseline_events_per_sec", base_events);
+        json.Set("events_per_sec_vs_baseline", ratio);
+        std::printf("events/sec vs baseline (%s): %.2fx\n",
+                    baseline_path.c_str(), ratio);
+        failures += !bench::Check(
+            ratio > 0.5,
+            "events/sec within 2x of the recorded baseline (perf gate)");
+      } else {
+        std::printf("note: no events_per_sec in %s; skipping the gate\n",
+                    baseline_path.c_str());
+      }
     }
   }
 
-  bench::Banner("Performance smoke (CI perf-regression gate)",
-                "events/sec kernel + fixed end-to-end scenarios");
+  if (run_sweep) {
+    UnpinCpu();  // lane=all pinned above; the sweep needs every core
+    const SweepScaling scaling = MeasureSweepScaling();
+    const double speedup =
+        scaling.parallel_wall_ms > 0
+            ? scaling.serial_wall_ms / scaling.parallel_wall_ms
+            : 0.0;
+    std::printf("sweep jobs=%d: serial %.1f ms, parallel %.1f ms "
+                "(speedup %.2fx, %s)\n",
+                scaling.jobs, scaling.serial_wall_ms,
+                scaling.parallel_wall_ms, speedup,
+                scaling.deterministic ? "deterministic" : "DIVERGED");
 
-  // Best-of-3 everywhere to damp scheduler noise on shared runners.
-  double events_per_sec = 0;
-  for (int i = 0; i < 3; ++i) {
-    events_per_sec = std::max(events_per_sec, EventsPerSec());
-  }
-  double paxos_ms = 1e18;
-  for (int i = 0; i < 3; ++i) {
-    paxos_ms = std::min(paxos_ms, PaxosBenchWallMs());
-  }
-  double epaxos_ms = 1e18;
-  for (int i = 0; i < 3; ++i) {
-    epaxos_ms = std::min(epaxos_ms, EpaxosBenchWallMs());
-  }
-  const SweepScaling scaling = MeasureSweepScaling();
-
-  // Commit-pipeline batching gate: virtual-time throughput, so a single
-  // run is exact and machine-independent.
-  const double paxos_unbatched_tps = PaxosSaturatedThroughput(1);
-  const double paxos_batched_tps = PaxosSaturatedThroughput(8);
-  const double paxos_batched_speedup =
-      paxos_unbatched_tps > 0 ? paxos_batched_tps / paxos_unbatched_tps : 0.0;
-
-  const double speedup = scaling.parallel_wall_ms > 0
-                             ? scaling.serial_wall_ms / scaling.parallel_wall_ms
-                             : 0.0;
-  std::printf("\nevents_per_sec      %12.0f\n", events_per_sec);
-  std::printf("paxos_lan_wall_ms   %12.1f\n", paxos_ms);
-  std::printf("epaxos_wan_wall_ms  %12.1f\n", epaxos_ms);
-  std::printf("paxos_batched_speedup %10.2fx  (batch_max 8: %.0f ops/s, "
-              "1: %.0f ops/s)\n",
-              paxos_batched_speedup, paxos_batched_tps, paxos_unbatched_tps);
-  std::printf("sweep jobs=%d: serial %.1f ms, parallel %.1f ms "
-              "(speedup %.2fx, %s)\n",
-              scaling.jobs, scaling.serial_wall_ms, scaling.parallel_wall_ms,
-              speedup, scaling.deterministic ? "deterministic" : "DIVERGED");
-
-  bench::JsonResult json;
-  json.Set("events_per_sec", events_per_sec);
-  json.Set("paxos_lan_wall_ms", paxos_ms);
-  json.Set("epaxos_wan_wall_ms", epaxos_ms);
-  json.Set("paxos_unbatched_ops_s", paxos_unbatched_tps);
-  json.Set("paxos_batched_ops_s", paxos_batched_tps);
-  json.Set("paxos_batched_speedup", paxos_batched_speedup);
-  json.Set("sweep_jobs", static_cast<double>(scaling.jobs));
-  json.Set("cores",
-           static_cast<double>(std::thread::hardware_concurrency()));
-  json.Set("sweep_serial_wall_ms", scaling.serial_wall_ms);
-  json.Set("sweep_parallel_wall_ms", scaling.parallel_wall_ms);
-  json.Set("sweep_speedup", speedup);
-  json.Set("sweep_deterministic",
-           std::string(scaling.deterministic ? "true" : "false"));
-
-  int failures = 0;
-  failures += !bench::Check(scaling.deterministic,
-                            "sweep results identical for jobs=1 and jobs=N");
-  failures += !bench::Check(
-      paxos_batched_speedup >= 2.0,
-      "batch_max=8 at least doubles saturated LAN Paxos throughput "
-      "(commit-pipeline batching gate)");
-
-  if (!baseline_path.empty()) {
-    const double base_events =
-        bench::JsonNumberField(baseline_path, "events_per_sec", 0.0);
-    if (base_events > 0) {
-      const double ratio = events_per_sec / base_events;
-      json.Set("baseline_events_per_sec", base_events);
-      json.Set("events_per_sec_vs_baseline", ratio);
-      std::printf("events/sec vs baseline (%s): %.2fx\n",
-                  baseline_path.c_str(), ratio);
-      failures += !bench::Check(
-          ratio > 0.5,
-          "events/sec within 2x of the recorded baseline (perf gate)");
+    json.Set("sweep_jobs", static_cast<double>(scaling.jobs));
+    json.Set("sweep_serial_wall_ms", scaling.serial_wall_ms);
+    json.Set("sweep_parallel_wall_ms", scaling.parallel_wall_ms);
+    if (cores > 1) {
+      json.Set("sweep_speedup", speedup);
     } else {
-      std::printf("note: no events_per_sec in %s; skipping the gate\n",
-                  baseline_path.c_str());
+      // One core: parallel == serial by construction; recording a ~1.0
+      // "speedup" would just pollute baselines.
+      json.Set("sweep_speedup", std::string("skipped (1 core)"));
+    }
+    json.Set("sweep_deterministic",
+             std::string(scaling.deterministic ? "true" : "false"));
+
+    failures += !bench::Check(
+        scaling.deterministic,
+        "sweep results identical for jobs=1 and jobs=N");
+    if (cores >= 4) {
+      failures += !bench::Check(
+          speedup >= 2.0,
+          "sweep engine scales >= 2x on a 4+ core runner (multi-core "
+          "lane gate)");
+    } else {
+      std::printf("note: %d core(s); sweep_speedup >= 2 gate needs 4+ "
+                  "cores, skipping\n",
+                  cores);
     }
   }
 

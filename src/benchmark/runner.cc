@@ -123,7 +123,7 @@ BenchResult BenchRunner::Run() {
   cluster_->Start();
   const Time bootstrap_end =
       sim.Now() + static_cast<Time>(options_.bootstrap_s * kSecond);
-  sim.RunUntil(bootstrap_end);
+  std::size_t events = sim.RunUntil(bootstrap_end);
 
   const Time traffic_start = sim.Now();
   const Time measure_start =
@@ -225,13 +225,14 @@ BenchResult BenchRunner::Run() {
 
   // Run through the measured window plus a grace period for in-flight
   // requests (they do not count, but their callbacks must not dangle).
-  sim.RunUntil(deadline);
+  events += sim.RunUntil(deadline);
   // The availability timeline closes at the deadline: straggler replies
   // landing during the grace period belong to no bucket.
   if (options_.availability != nullptr) options_.availability->Finalize(deadline);
-  sim.RunUntil(deadline + config.client_timeout + kSecond);
+  events += sim.RunUntil(deadline + config.client_timeout + kSecond);
 
   BenchResult result = state->result;
+  result.events = events;
   result.throughput =
       static_cast<double>(result.completed) / options_.duration_s;
   for (const NodeId& id : cluster_->nodes()) {

@@ -52,6 +52,9 @@ struct BenchResult {
   /// Messages processed per replica over the whole run — the "busiest
   /// node" data behind the §6.1 load analysis.
   std::map<NodeId, std::size_t> node_messages;
+  /// Simulator events executed over the whole run (bootstrap + traffic +
+  /// grace). The denominator for the perf lane's allocs_per_event.
+  std::size_t events = 0;
 
   double MeanLatencyMs() const { return latency_ms.mean(); }
   double MedianLatencyMs() const { return latency_ms.Percentile(50); }

@@ -1,0 +1,91 @@
+#ifndef PAXI_COMMON_LIVE_FLAG_H_
+#define PAXI_COMMON_LIVE_FLAG_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace paxi {
+
+/// Shared liveness token for simulation objects whose scheduled events can
+/// outlive them (a Node destroyed by an amnesia restart while deliveries
+/// and timers are still queued). The owner holds a LiveFlag and flips it
+/// in its destructor; every event captures a LiveRef and bails out when
+/// the flag is down.
+///
+/// This used to be std::shared_ptr<bool>, which put two atomic refcount
+/// operations into EVERY delivery and timer capture — measurable at the
+/// event rates the perf lane gates on. A simulation universe is
+/// single-threaded (PR 4: each sweep point owns its universe on one
+/// worker thread), so the count here is deliberately non-atomic; a
+/// LiveRef must never be shared across threads.
+class LiveRef;
+
+class LiveFlag {
+ public:
+  LiveFlag() : state_(new State{1, true}) {}
+  ~LiveFlag() {
+    state_->alive = false;
+    Unref(state_);
+  }
+
+  LiveFlag(const LiveFlag&) = delete;
+  LiveFlag& operator=(const LiveFlag&) = delete;
+
+  /// Marks the owner dead without destroying the flag (rare; destructor
+  /// normally does it).
+  void Kill() { state_->alive = false; }
+
+ private:
+  friend class LiveRef;
+
+  struct State {
+    std::uint32_t refs;
+    bool alive;
+  };
+
+  static void Unref(State* s) {
+    if (--s->refs == 0) delete s;
+  }
+
+  State* state_;
+};
+
+/// Copyable 8-byte handle captured by events. `if (!ref) return;` is the
+/// whole liveness check.
+class LiveRef {
+ public:
+  LiveRef() = default;
+  explicit LiveRef(const LiveFlag& flag) : state_(flag.state_) {
+    ++state_->refs;
+  }
+  LiveRef(const LiveRef& o) : state_(o.state_) {
+    if (state_ != nullptr) ++state_->refs;
+  }
+  LiveRef(LiveRef&& o) noexcept : state_(o.state_) { o.state_ = nullptr; }
+  LiveRef& operator=(const LiveRef& o) {
+    LiveRef copy(o);
+    std::swap(state_, copy.state_);
+    return *this;
+  }
+  LiveRef& operator=(LiveRef&& o) noexcept {
+    if (this != &o) {
+      if (state_ != nullptr) LiveFlag::Unref(state_);
+      state_ = o.state_;
+      o.state_ = nullptr;
+    }
+    return *this;
+  }
+  ~LiveRef() {
+    if (state_ != nullptr) LiveFlag::Unref(state_);
+  }
+
+  /// True while the owner is alive.
+  explicit operator bool() const { return state_ != nullptr && state_->alive; }
+
+ private:
+  LiveFlag::State* state_ = nullptr;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_LIVE_FLAG_H_

@@ -1,0 +1,166 @@
+#include "common/pool.h"
+
+#include <new>
+
+#include "common/check.h"
+
+namespace paxi {
+namespace {
+
+/// Block prefix written at Allocate, read back by Release. 16 bytes so the
+/// payload keeps max_align_t alignment on every slab carve.
+struct BlockHeader {
+  BlockPool::Core* core;    ///< Owning core; null for heap-fallback blocks.
+  std::uint32_t size_class; ///< Index into the class table, or kHeapClass.
+  std::uint32_t pad;
+};
+static_assert(sizeof(BlockHeader) == 16);
+static_assert(alignof(std::max_align_t) <= 16,
+              "slab carving assumes 16-byte max alignment");
+
+constexpr std::size_t kSlabChunkBytes = 64 * 1024;
+
+/// The calling thread's core, or null once the thread's pool handle has
+/// been destroyed (or before it was ever constructed). Trivially
+/// destructible on purpose: Release may run during thread teardown, after
+/// the BlockPool thread_local's destructor, and must not resurrect it.
+thread_local BlockPool::Core* tls_core = nullptr;
+
+}  // namespace
+
+/// Shared slab + remote-release state, refcounted by {owner handle} +
+/// {every outstanding block}. Deleted by whoever drops the last reference,
+/// on whichever thread that happens — the cross-thread-release guarantee.
+struct BlockPool::Core {
+  /// Blocks released off the owner thread, per class (Treiber stacks).
+  std::atomic<FreeNode*> remote_free[kNumClasses] = {};
+  /// Owner handle (1) + outstanding pool blocks. Heap-fallback blocks are
+  /// not counted: they never touch the core on release.
+  std::atomic<std::int64_t> refs{1};
+  /// Slab chunks. Owner-only until the owner handle dies; after that the
+  /// pool no longer carves, so the last releaser only deletes.
+  std::vector<std::unique_ptr<std::byte[]>> slabs;
+
+  static void Unref(Core* core) {
+    if (core->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete core;
+    }
+  }
+};
+
+BlockPool::BlockPool() : core_(new Core) {}
+
+BlockPool::BlockPool(AdoptThreadTag) : core_(new Core) { tls_core = core_; }
+
+BlockPool::~BlockPool() {
+  if (tls_core == core_) tls_core = nullptr;
+  Core::Unref(core_);
+}
+
+BlockPool& BlockPool::Local() {
+  thread_local BlockPool pool{AdoptThreadTag{}};
+  return pool;
+}
+
+std::size_t BlockPool::ClassFor(std::size_t block_bytes) {
+  std::size_t cls = 0;
+  std::size_t size = kMinClassBytes;
+  while (cls < kNumClasses && size < block_bytes) {
+    size <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+void* BlockPool::CarveBlock(std::size_t cls) {
+  const std::size_t block_bytes = kMinClassBytes << cls;
+  if (bump_[cls] + block_bytes > bump_end_[cls]) {
+    if (slab_limit_ != 0 && stats_.slab_bytes >= slab_limit_) {
+      return nullptr;  // exhausted (test knob): caller falls back to heap
+    }
+    core_->slabs.push_back(std::make_unique<std::byte[]>(kSlabChunkBytes));
+    stats_.slab_bytes += kSlabChunkBytes;
+    bump_[cls] = core_->slabs.back().get();
+    bump_end_[cls] = bump_[cls] + kSlabChunkBytes;
+  }
+  std::byte* block = bump_[cls];
+  bump_[cls] += block_bytes;
+  ++stats_.fresh_carves;
+  return block;
+}
+
+void* BlockPool::Allocate(std::size_t bytes) {
+  ++stats_.allocs;
+  const std::size_t cls = ClassFor(bytes + sizeof(BlockHeader));
+  void* block = nullptr;
+  if (cls < kNumClasses) {
+    if (free_heads_[cls] != nullptr) {
+      block = free_heads_[cls];
+      free_heads_[cls] = free_heads_[cls]->next;
+      ++stats_.freelist_hits;
+    } else if (FreeNode* remote = core_->remote_free[cls].exchange(
+                   nullptr, std::memory_order_acquire);
+               remote != nullptr) {
+      // Splice the whole remote stack into the local list, serve the head.
+      block = remote;
+      free_heads_[cls] = remote->next;
+      for (FreeNode* n = remote->next; n != nullptr; n = n->next) {
+        ++stats_.remote_reclaims;
+      }
+      ++stats_.remote_reclaims;
+    } else {
+      block = CarveBlock(cls);
+    }
+  }
+  if (block == nullptr) {
+    // Oversize or exhausted: plain heap block, never touches the core.
+    ++stats_.heap_fallbacks;
+    auto* header = static_cast<BlockHeader*>(::operator new(
+        bytes + sizeof(BlockHeader), std::align_val_t{16}));
+    header->core = nullptr;
+    header->size_class = kHeapClass;
+    return header + 1;
+  }
+  auto* header = static_cast<BlockHeader*>(block);
+  header->core = core_;
+  header->size_class = static_cast<std::uint32_t>(cls);
+  core_->refs.fetch_add(1, std::memory_order_relaxed);
+  return header + 1;
+}
+
+void BlockPool::Release(void* payload) {
+  PAXI_CHECK(payload != nullptr);
+  BlockHeader* header = static_cast<BlockHeader*>(payload) - 1;
+  if (header->size_class == kHeapClass) {
+    ::operator delete(header, std::align_val_t{16});
+    return;
+  }
+  PAXI_CHECK(header->size_class < kNumClasses, "corrupt pool block header");
+  Core* core = header->core;
+  auto* node = reinterpret_cast<FreeNode*>(header);
+  if (core == tls_core) {
+    // Owner-thread release: plain free-list push, no atomics beyond the
+    // refcount. This is the path every simulated message takes.
+    BlockPool& pool = Local();
+    node->next = pool.free_heads_[header->size_class];
+    pool.free_heads_[header->size_class] = node;
+    ++pool.stats_.local_releases;
+  } else {
+    // Cross-thread (or post-owner-exit) release: park on the owner's
+    // remote stack. If the core dies with this unref, the stack dies
+    // with the slabs — the node memory is inside them.
+    std::atomic<FreeNode*>& head = core->remote_free[header->size_class];
+    node->next = head.load(std::memory_order_relaxed);
+    while (!head.compare_exchange_weak(node->next, node,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  Core::Unref(core);
+}
+
+std::int64_t BlockPool::CoreRefsForTest() const {
+  return core_->refs.load(std::memory_order_relaxed);
+}
+
+}  // namespace paxi

@@ -1,0 +1,144 @@
+#ifndef PAXI_COMMON_POOL_H_
+#define PAXI_COMMON_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace paxi {
+
+/// Size-classed slab pool for the simulator's per-event allocations —
+/// today, every protocol message (net/message.h MakeMessage). The paper's
+/// dissection methodology multiplies the experiment matrix with every new
+/// sweep dimension, so the per-event cost of the simulator bounds how much
+/// of that matrix is affordable; BENCH_PERF.json showed the global
+/// allocator (one malloc/free pair per message, plus shared_ptr control
+/// blocks) as the largest remaining per-event cost after PR 4.
+///
+/// Design:
+///  - Blocks are handed out by size class (64..1024 bytes, header
+///    included); requests larger than the biggest class fall back to the
+///    heap and are released straight back to it — the pool never refuses
+///    an allocation.
+///  - Each block is prefixed by a 16-byte BlockHeader naming its owning
+///    pool core and size class, so release needs no size argument and no
+///    thread context.
+///  - One pool per thread (BlockPool::Local()): allocation and the
+///    common-case release are single-threaded and lock-free-by-absence —
+///    plain intrusive free lists, no atomics. This matches the PR 4 sweep
+///    architecture, where every sweep point builds its whole universe on
+///    one worker thread.
+///  - A block released on a thread other than its owner (a message that
+///    escaped its universe — legal, e.g. a test harness inspecting
+///    replies after an engine join) is pushed onto the owner core's
+///    atomic Treiber stack; the owner splices that stack into its local
+///    free list when the local list runs dry.
+///  - The core (slabs + remote stacks) is refcounted by its outstanding
+///    blocks plus the owning thread-local handle, so slabs are freed by
+///    whoever lets go last: a worker thread can exit while the caller
+///    still holds messages allocated there, and nothing dangles.
+///
+/// Determinism: pooling recycles addresses but changes no observable
+/// behaviour — nothing in the simulator keys on message addresses (the
+/// determinism lint's pointer-keyed rule enforces that), so same-seed
+/// replay fingerprints and --jobs N outputs stay byte-identical.
+class BlockPool {
+ public:
+  /// Size classes are powers of two from 64 B to 1 KiB (header included).
+  /// The common protocol messages land in 64-1024: a field-less ack is
+  /// ~48 B with header, a P2a carrying an 8-command inline batch ~640 B.
+  static constexpr std::size_t kNumClasses = 5;
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = kMinClassBytes
+                                                << (kNumClasses - 1);
+  /// Marker for blocks served by the heap fallback.
+  static constexpr std::uint32_t kHeapClass = 0xffu;
+
+  /// Allocation/reuse counters, the no-heaptrack-dependency stats hook
+  /// behind BENCH_PERF.json's allocs_per_event. "Fresh" means the pool
+  /// had to acquire new memory (slab carve or heap fallback); everything
+  /// else was recycled.
+  struct Stats {
+    std::uint64_t allocs = 0;         ///< Total blocks handed out.
+    std::uint64_t freelist_hits = 0;  ///< Served from the local free list.
+    std::uint64_t remote_reclaims = 0;  ///< Blocks spliced from remote stacks.
+    std::uint64_t fresh_carves = 0;   ///< Carved from (possibly new) slabs.
+    std::uint64_t heap_fallbacks = 0; ///< Oversize/exhausted -> plain heap.
+    std::uint64_t local_releases = 0;   ///< Released on the owner thread.
+    std::uint64_t slab_bytes = 0;     ///< Slab memory held by the core.
+
+    /// Allocations that actually hit new memory — the number that was
+    /// "one per message" before pooling.
+    std::uint64_t FreshAllocs() const { return fresh_carves + heap_fallbacks; }
+  };
+
+  /// Shared slab + remote-release state (defined in pool.cc). Public only
+  /// so block headers can name it; all members are managed by BlockPool.
+  struct Core;
+
+  /// A detached pool: usable directly (tests build capped private pools),
+  /// but NOT adopted as the calling thread's pool — its blocks release
+  /// through the atomic remote path even on this thread. Only Local()'s
+  /// per-thread instance binds the thread-local owner pointer that the
+  /// fast release path keys on.
+  BlockPool();
+  ~BlockPool();
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  /// The calling thread's pool. First use on a thread constructs it;
+  /// thread exit releases the handle (slabs live on until the last
+  /// outstanding block is released).
+  static BlockPool& Local();
+
+  /// Returns a payload pointer with at least `bytes` usable bytes,
+  /// max_align_t-aligned. Never returns null (heap fallback throws on
+  /// genuine OOM, like operator new).
+  void* Allocate(std::size_t bytes);
+
+  /// Releases a payload previously returned by any thread's Allocate.
+  /// Safe from any thread; safe after the owning thread has exited.
+  static void Release(void* payload);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Caps slab memory for tests: once `bytes` of slab are held, further
+  /// carves fall back to the heap (exhaustion path). 0 = unlimited.
+  void SetSlabLimitForTest(std::size_t bytes) { slab_limit_ = bytes; }
+
+  /// Total blocks currently outstanding against this pool's core,
+  /// including the handle's own reference-of-one. Test visibility only.
+  std::int64_t CoreRefsForTest() const;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+ private:
+  struct AdoptThreadTag {};
+  explicit BlockPool(AdoptThreadTag);
+
+  /// Index of the smallest class that fits `block_bytes` (header
+  /// included), or kNumClasses if none does.
+  static std::size_t ClassFor(std::size_t block_bytes);
+
+  /// Cold path: carve one block of `cls` from the slab, appending a new
+  /// slab chunk if the current one is full.
+  void* CarveBlock(std::size_t cls);
+
+  Core* core_;
+  /// Owner-thread free lists, one per class (intrusive, heads only).
+  FreeNode* free_heads_[kNumClasses] = {};
+  /// Bump regions into the newest slab chunk, one per class.
+  std::byte* bump_[kNumClasses] = {};
+  std::byte* bump_end_[kNumClasses] = {};
+  std::size_t slab_limit_ = 0;
+  Stats stats_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_POOL_H_

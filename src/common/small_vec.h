@@ -1,0 +1,195 @@
+#ifndef PAXI_COMMON_SMALL_VEC_H_
+#define PAXI_COMMON_SMALL_VEC_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace paxi {
+
+/// Small-buffer vector: the first `N` elements live inline, so the common
+/// case never touches the allocator. Built for CommandBatch (batches of
+/// <= 8 commands dominate every workload in the paper's experiments) —
+/// a batch that fits inline is copied as part of its owning message's
+/// pool block instead of costing a separate heap vector.
+///
+/// Deliberately minimal: grows monotonically like std::vector, spills to
+/// heap storage past N, and converts to/from std::vector for boundaries
+/// that stay vector-based (the WAL record format keeps std::vector so
+/// log replay code is untouched). Not exception-safe beyond what the
+/// simulator needs (element types here don't throw on move).
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+  SmallVec(const SmallVec& o) { CopyFrom(o.data(), o.size_); }
+  SmallVec(SmallVec&& o) noexcept { MoveFrom(std::move(o)); }
+  explicit SmallVec(const std::vector<T>& v) { CopyFrom(v.data(), v.size()); }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      clear();
+      CopyFrom(o.data(), o.size_);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+  SmallVec& operator=(const std::vector<T>& v) {
+    clear();
+    CopyFrom(v.data(), v.size());
+    return *this;
+  }
+
+  ~SmallVec() { Destroy(); }
+
+  /// Implicit view as std::vector for boundaries that kept the vector
+  /// representation (WAL records, digest helpers taking vectors).
+  operator std::vector<T>() const { return std::vector<T>(begin(), end()); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool inlined() const { return heap_ == nullptr; }
+
+  T* data() { return heap_ != nullptr ? heap_ : InlinePtr(); }
+  const T* data() const { return heap_ != nullptr ? heap_ : InlinePtr(); }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) {
+    PAXI_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    PAXI_DCHECK(i < size_);
+    return data()[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) Grow(cap_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    PAXI_DCHECK(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() {
+    T* p = data();
+    for (std::size_t i = 0; i < size_; ++i) p[i].~T();
+    size_ = 0;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* InlinePtr() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* InlinePtr() const {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void CopyFrom(const T* src, std::size_t n) {
+    reserve(n);
+    T* dst = data();
+    for (std::size_t i = 0; i < n; ++i) {
+      ::new (static_cast<void*>(dst + i)) T(src[i]);
+    }
+    size_ = n;
+  }
+
+  // Leaves `o` empty. Inline elements move one by one; a heap buffer is
+  // stolen wholesale.
+  void MoveFrom(SmallVec&& o) {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+      return;
+    }
+    heap_ = nullptr;
+    cap_ = N;
+    size_ = o.size_;
+    T* dst = InlinePtr();
+    for (std::size_t i = 0; i < o.size_; ++i) {
+      ::new (static_cast<void*>(dst + i)) T(std::move(o.InlinePtr()[i]));
+      o.InlinePtr()[i].~T();
+    }
+    o.size_ = 0;
+  }
+
+  void Grow(std::size_t want) {
+    const std::size_t new_cap = want > 2 * N ? want : 2 * N;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void Destroy() {
+    clear();
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = nullptr;
+    cap_ = N;
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_COMMON_SMALL_VEC_H_

@@ -59,7 +59,7 @@ void Client::SendRequest(const Pending& p) {
   req.client_addr = id_;
   req.issued_at = p.issued_at;
   req.from = id_;
-  transport_->Send(p.target, std::make_shared<const ClientRequest>(req),
+  transport_->Send(p.target, MakeMessage<ClientRequest>(std::move(req)),
                    sim_->Now());
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/status.h"
 #include "net/message.h"
 #include "store/command.h"
@@ -27,7 +28,10 @@ constexpr std::size_t kCommandWireBytes = 50;
 /// carried, which is exactly how batching trades latency for throughput
 /// in the paper's model (§3.3).
 struct CommandBatch {
-  std::vector<Command> cmds;
+  /// Inline capacity of 8 covers the common case (the paper's experiments
+  /// saturate around batch sizes of a few commands), so a batch rides
+  /// inside its message's pool block with no separate heap allocation.
+  SmallVec<Command, 8> cmds;
 
   bool empty() const { return cmds.empty(); }
   std::size_t size() const { return cmds.size(); }

@@ -36,7 +36,7 @@ Node::Node(NodeId id, Env env)
   }
 }
 
-Node::~Node() { *alive_ = false; }
+Node::~Node() = default;  // ~LiveFlag flips the token for queued events.
 
 std::vector<NodeId> Node::PeersInZone(int zone) const {
   std::vector<NodeId> out;
@@ -68,8 +68,8 @@ void Node::Deliver(MessagePtr msg) {
       NicTime(msg->ByteSize());
   busy_until_ = start + cost;
   sim_->At(busy_until_,
-           [this, alive = alive_, msg = std::move(msg)]() mutable {
-             if (!*alive) return;
+           [this, alive = LiveRef(alive_), msg = std::move(msg)]() mutable {
+             if (!alive) return;
              Dispatch(std::move(msg));
            });
 }
@@ -298,8 +298,8 @@ void Node::ArmTimer(Time delay, EventFn fn) {
 }
 
 void Node::ScheduleTimerSlot(Time delay, std::uint32_t slot) {
-  sim_->After(delay, [this, alive = alive_, slot]() {
-    if (!*alive) return;
+  sim_->After(delay, [this, alive = LiveRef(alive_), slot]() {
+    if (!alive) return;
     if (IsCrashed()) {
       // Postpone timer callbacks past the freeze, preserving order; the
       // callable stays parked in its slot.

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/live_flag.h"
 #include "common/types.h"
 #include "core/config.h"
 #include "core/messages.h"
@@ -169,12 +170,13 @@ class Node : public Endpoint, public Auditable {
   }
 
   /// Sends one message: charges t_o + NIC, stamps `from`, hands to the
-  /// transport with the correct departure time.
+  /// transport with the correct departure time. The message is placed in
+  /// the thread's BlockPool (net/message.h MakeMessage) — no heap
+  /// allocation in steady state.
   template <typename M>
   void Send(NodeId to, M msg) {
     msg.from = id_;
-    auto ptr = std::make_shared<const M>(std::move(msg));
-    SendShared(to, ptr);
+    SendShared(to, MakeMessage<M>(std::move(msg)));
   }
 
   /// Re-sends an already-built message (e.g. forwarding a received
@@ -191,8 +193,7 @@ class Node : public Endpoint, public Auditable {
   template <typename M>
   void Broadcast(const std::vector<NodeId>& targets, M msg) {
     msg.from = id_;
-    auto ptr = std::make_shared<const M>(std::move(msg));
-    BroadcastShared(targets, ptr);
+    BroadcastShared(targets, MakeMessage<M>(std::move(msg)));
   }
 
   /// Convenience: broadcast to every peer (including self via loopback if
@@ -200,13 +201,12 @@ class Node : public Endpoint, public Auditable {
   template <typename M>
   void BroadcastToAll(M msg, bool include_self = false) {
     msg.from = id_;
-    auto ptr = std::make_shared<const M>(std::move(msg));
     std::vector<NodeId> targets;
     targets.reserve(peers_.size());
     for (const NodeId& p : peers_) {
       if (include_self || p != id_) targets.push_back(p);
     }
-    BroadcastShared(targets, ptr);
+    BroadcastShared(targets, MakeMessage<M>(std::move(msg)));
   }
 
   /// Replies to the client that issued `req`. `read_mode` declares the
@@ -366,7 +366,10 @@ class Node : public Endpoint, public Auditable {
   /// `this`. An amnesia restart destroys the Node while its deliveries and
   /// timers are still queued in the simulator; the destructor flips the
   /// token and those events become no-ops instead of use-after-frees.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// LiveFlag (common/live_flag.h) is the non-atomic replacement for the
+  /// shared_ptr<bool> this used to be — two fewer atomic refcount ops in
+  /// every delivery and timer event.
+  LiveFlag alive_;
 };
 
 }  // namespace paxi

@@ -3,12 +3,20 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 
+#include "common/check.h"
 #include "common/digest.h"
+#include "common/pool.h"
 #include "common/types.h"
 
 namespace paxi {
+
+class MessagePtr;
+template <typename M, typename... Args>
+MessagePtr MakeMessage(Args&&... args);
 
 /// Base class for every message exchanged between nodes (and clients).
 ///
@@ -18,6 +26,20 @@ namespace paxi {
 /// needed. Messages are delivered as shared const pointers — a broadcast
 /// shares one instance across receivers, so handlers must treat received
 /// messages as immutable.
+///
+/// Allocation: messages are created ONLY through MakeMessage<M>() below,
+/// which places them in the calling thread's BlockPool (common/pool.h) —
+/// one free-list pop instead of a malloc + shared_ptr control block. The
+/// determinism lint's message-alloc rule flags any raw new/make_shared of
+/// a Message subclass. Sharing is intrusive: MessagePtr manipulates a
+/// refcount inside the message. The count is deliberately NOT atomic —
+/// a message lives inside one single-threaded simulation universe (the
+/// PR 4 sweep architecture), so atomic refcounting would charge every
+/// send, broadcast fan-out copy, and delivery capture for a concurrency
+/// that cannot occur. Handing a message to another thread is safe only
+/// as an ownership transfer with external synchronization (e.g. across a
+/// SweepEngine join); the final release may then happen on any thread —
+/// the pool routes it to the owner's remote-free stack.
 struct Message {
   virtual ~Message() = default;
 
@@ -37,9 +59,114 @@ struct Message {
   /// messages (pings, acks whose meaning is entirely their type+sender);
   /// any message carrying slots, ballots, or commands should override.
   virtual std::uint64_t ContentDigest() const { return 0; }
+
+ private:
+  friend class MessagePtr;
+  template <typename M, typename... Args>
+  friend MessagePtr MakeMessage(Args&&... args);
+
+  /// Intrusive share count, mutated through const pointers (delivered
+  /// messages are immutable payload-wise, but sharing them is not a
+  /// payload mutation). Non-atomic by design — see the class comment.
+  mutable std::uint32_t pool_refs_ = 0;
 };
 
-using MessagePtr = std::shared_ptr<const Message>;
+/// Shared const handle to a pooled Message — the delivery currency of the
+/// transport and every Node. Replaces std::shared_ptr<const Message>:
+/// 8 bytes instead of 16 in every event capture, non-atomic share/release,
+/// and the final release returns the block to the BlockPool free list
+/// instead of the heap.
+class MessagePtr {
+ public:
+  constexpr MessagePtr() noexcept = default;
+  constexpr MessagePtr(std::nullptr_t) noexcept {}  // NOLINT: like shared_ptr
+
+  MessagePtr(const MessagePtr& other) noexcept : msg_(other.msg_) {
+    if (msg_ != nullptr) ++msg_->pool_refs_;
+  }
+
+  MessagePtr(MessagePtr&& other) noexcept : msg_(other.msg_) {
+    other.msg_ = nullptr;
+  }
+
+  MessagePtr& operator=(const MessagePtr& other) noexcept {
+    MessagePtr copy(other);
+    Swap(copy);
+    return *this;
+  }
+
+  MessagePtr& operator=(MessagePtr&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      msg_ = other.msg_;
+      other.msg_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~MessagePtr() { Reset(); }
+
+  const Message* get() const noexcept { return msg_; }
+  const Message& operator*() const noexcept { return *msg_; }
+  const Message* operator->() const noexcept { return msg_; }
+  explicit operator bool() const noexcept { return msg_ != nullptr; }
+
+  friend bool operator==(const MessagePtr& a, const MessagePtr& b) noexcept {
+    return a.msg_ == b.msg_;
+  }
+  friend bool operator==(const MessagePtr& a, std::nullptr_t) noexcept {
+    return a.msg_ == nullptr;
+  }
+
+  /// Share count, for tests (1 = sole owner).
+  std::uint32_t use_count() const noexcept {
+    return msg_ == nullptr ? 0 : msg_->pool_refs_;
+  }
+
+ private:
+  template <typename M, typename... Args>
+  friend MessagePtr MakeMessage(Args&&... args);
+
+  /// Adopts a freshly pooled message whose refcount is already 1.
+  explicit MessagePtr(const Message* adopted) noexcept : msg_(adopted) {}
+
+  void Swap(MessagePtr& other) noexcept { std::swap(msg_, other.msg_); }
+
+  void Reset() noexcept {
+    if (msg_ != nullptr && --msg_->pool_refs_ == 0) {
+      // Destroy in place, then hand the block back to its pool. The
+      // payload address is the allocation address because Message is
+      // every message's first (and only) base — checked in MakeMessage.
+      void* block =
+          const_cast<void*>(static_cast<const void*>(msg_));
+      msg_->~Message();
+      BlockPool::Release(block);
+    }
+    msg_ = nullptr;
+  }
+
+  const Message* msg_ = nullptr;
+};
+
+/// The pool entry point: constructs M in a BlockPool block and returns the
+/// owning handle. This (plus the test-side copy in MakeMessage-converted
+/// fixtures) is the only sanctioned way to create a Message — see the
+/// determinism lint's message-alloc rule.
+template <typename M, typename... Args>
+MessagePtr MakeMessage(Args&&... args) {
+  static_assert(std::is_base_of_v<Message, M>,
+                "MakeMessage is for Message subclasses");
+  static_assert(alignof(M) <= alignof(std::max_align_t),
+                "pool blocks are max_align_t-aligned");
+  void* mem = BlockPool::Local().Allocate(sizeof(M));
+  M* m = ::new (mem) M(std::forward<Args>(args)...);
+  // Single inheritance only: the Message subobject must sit at offset 0,
+  // or Release would return a shifted pointer to the pool.
+  const Message* base = m;
+  PAXI_DCHECK(static_cast<const void*>(base) == mem);
+  base->pool_refs_ = 1;
+  return MessagePtr(base);
+}
 
 }  // namespace paxi
 

@@ -87,7 +87,7 @@ std::uint64_t DigestCommand(const Command& cmd) {
 
 std::uint64_t DigestNoop() { return Digest().Mix("noop").value(); }
 
-std::uint64_t DigestCommands(const std::vector<Command>& cmds) {
+std::uint64_t DigestCommands(std::span<const Command> cmds) {
   if (cmds.empty()) return DigestNoop();
   if (cmds.size() == 1) return DigestCommand(cmds.front());
   Digest d;

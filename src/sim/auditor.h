@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -88,7 +89,9 @@ std::uint64_t DigestCommand(const Command& cmd);
 /// carries a command *batch*, and replicas must agree on the entire
 /// sequence. A one-command batch digests exactly like the command alone
 /// (continuity with unbatched logs); an empty batch digests as a no-op.
-std::uint64_t DigestCommands(const std::vector<Command>& cmds);
+/// Takes a span so both std::vector (WAL records) and the inline
+/// SmallVec batch storage (core/messages.h) digest through one symbol.
+std::uint64_t DigestCommands(std::span<const Command> cmds);
 
 /// Digest for a no-op / skipped slot (leader-change barriers, Mencius
 /// skips). Distinct from every command digest with overwhelming probability.

@@ -36,16 +36,19 @@ class EventFn {
     requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
              std::is_invocable_r_v<void, std::decay_t<F>&>)
   EventFn(F&& f) {  // NOLINT(google-explicit-constructor): like std::function
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineCapacity &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
-      ops_ = &kInlineOps<Fn>;
-    } else {
-      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
-      ops_ = &kHeapOps<Fn>;
-    }
+    Construct(std::forward<F>(f));
+  }
+
+  /// Replaces the held callable with `f`, constructed in place — the
+  /// relocation-free path EventQueue uses to materialize a lambda directly
+  /// into its slab (a temp EventFn + relocate would cost an extra move of
+  /// the capture plus an indirect call per event).
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  void Assign(F&& f) {
+    Destroy();
+    Construct(std::forward<F>(f));
   }
 
   EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
@@ -95,6 +98,20 @@ class EventFn {
       },
       [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
   };
+
+  template <typename F>
+  void Construct(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
 
   void MoveFrom(EventFn&& other) noexcept {
     ops_ = other.ops_;

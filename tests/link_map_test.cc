@@ -199,10 +199,10 @@ class RecordingEndpoint : public Endpoint {
 };
 
 MessagePtr MakePing(NodeId from, int seq) {
-  auto msg = std::make_shared<Ping>();
-  msg->from = from;
-  msg->seq = seq;
-  return msg;
+  Ping ping;
+  ping.from = from;
+  ping.seq = seq;
+  return MakeMessage<Ping>(ping);
 }
 
 class TransportLinkStateTest : public ::testing::Test {

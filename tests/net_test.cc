@@ -119,7 +119,7 @@ class TransportTest : public ::testing::Test {
     TestMsg msg;
     msg.payload = payload;
     msg.from = a_.id_;
-    transport_.Send(b_.id_, std::make_shared<const TestMsg>(msg), departure);
+    transport_.Send(b_.id_, MakeMessage<TestMsg>(msg), departure);
   }
 
   Simulator sim_;
@@ -148,7 +148,7 @@ TEST_F(TransportTest, DepartureDelaysArrival) {
 TEST_F(TransportTest, UnknownDestinationCountsDropped) {
   TestMsg msg;
   msg.from = a_.id_;
-  transport_.Send(NodeId{9, 9}, std::make_shared<const TestMsg>(msg), 0);
+  transport_.Send(NodeId{9, 9}, MakeMessage<TestMsg>(msg), 0);
   sim_.RunUntil(1000);
   EXPECT_EQ(transport_.messages_dropped(), 1u);
 }
@@ -175,7 +175,7 @@ TEST_F(TransportTest, DropIsDirectional) {
   transport_.Drop(a_.id_, b_.id_, 10 * kSecond);
   TestMsg msg;
   msg.from = b_.id_;
-  transport_.Send(a_.id_, std::make_shared<const TestMsg>(msg), 0);
+  transport_.Send(a_.id_, MakeMessage<TestMsg>(msg), 0);
   sim_.RunUntil(kSecond);
   EXPECT_EQ(a_.received.size(), 1u);
 }
@@ -336,10 +336,10 @@ TEST_F(TransportTest, PartitionCutsBothDirectionsAndHeals) {
   Send(1);  // a->b: cut
   TestMsg from_b;
   from_b.from = b_.id_;
-  transport_.Send(a_.id_, std::make_shared<const TestMsg>(from_b), 0);  // cut
+  transport_.Send(a_.id_, MakeMessage<TestMsg>(from_b), 0);  // cut
   TestMsg same_group;
   same_group.from = b_.id_;
-  transport_.Send(c.id_, std::make_shared<const TestMsg>(same_group), 0);
+  transport_.Send(c.id_, MakeMessage<TestMsg>(same_group), 0);
   sim_.RunUntil(kSecond);
   EXPECT_TRUE(b_.received.empty());
   EXPECT_TRUE(a_.received.empty());
@@ -357,7 +357,7 @@ TEST_F(TransportTest, DirectedPartitionCutsOneDirectionOnly) {
   Send(1);  // a->b: cut
   TestMsg reverse;
   reverse.from = b_.id_;
-  transport_.Send(a_.id_, std::make_shared<const TestMsg>(reverse), 0);
+  transport_.Send(a_.id_, MakeMessage<TestMsg>(reverse), 0);
   sim_.RunUntil(kSecond);
   EXPECT_TRUE(b_.received.empty());
   EXPECT_EQ(a_.received.size(), 1u);
@@ -391,7 +391,7 @@ TEST(TransportUnorderedTest, UnorderedMayReorder) {
     TestMsg msg;
     msg.payload = i;
     msg.from = a.id_;
-    transport.Send(b.id_, std::make_shared<const TestMsg>(msg), 0);
+    transport.Send(b.id_, MakeMessage<TestMsg>(msg), 0);
   }
   sim.RunUntil(kSecond);
   EXPECT_EQ(b.received.size(), 100u);

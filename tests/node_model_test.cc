@@ -61,7 +61,7 @@ class NodeModelTest : public ::testing::Test {
     sim_->At(at, [this] {
       Ping ping;
       ping.from = a_->id();
-      transport_->Send(b_->id(), std::make_shared<const Ping>(ping),
+      transport_->Send(b_->id(), MakeMessage<Ping>(ping),
                        sim_->Now());
     });
   }
@@ -205,10 +205,10 @@ TEST(NicCostTest, BandwidthBoundsLargeMessages) {
 
   Jumbo big;
   big.from = NodeId{1, 1};
-  transport.Send(receiver.id(), std::make_shared<const Jumbo>(big), 0);
+  transport.Send(receiver.id(), MakeMessage<Jumbo>(big), 0);
   Ping small;
   small.from = NodeId{1, 1};
-  transport.Send(receiver.id(), std::make_shared<const Ping>(small), 0);
+  transport.Send(receiver.id(), MakeMessage<Ping>(small), 0);
   sim.RunUntil(kSecond);
   ASSERT_EQ(receiver.pings, 1);
   // The small message queued behind ~8 ms of NIC time for the jumbo one.

@@ -1,0 +1,198 @@
+#include "common/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/config.h"
+#include "net/message.h"
+#include "sim/auditor.h"
+
+namespace paxi {
+namespace {
+
+// --- Size-class round trips ------------------------------------------------
+
+TEST(BlockPoolTest, RoundTripsEverySizeClass) {
+  BlockPool& pool = BlockPool::Local();
+  // Payload sizes chosen to land in each class (the 16-byte header is
+  // added internally) plus one oversize request.
+  const std::size_t sizes[] = {1, 40, 48, 100, 200, 440, 900, 1000, 5000};
+  for (const std::size_t size : sizes) {
+    void* p = pool.Allocate(size);
+    ASSERT_NE(p, nullptr) << size;
+    // The payload must be fully usable and max_align_t-aligned.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u)
+        << size;
+    std::memset(p, 0xab, size);
+    BlockPool::Release(p);
+  }
+}
+
+TEST(BlockPoolTest, FreeListReusesReleasedBlock) {
+  BlockPool& pool = BlockPool::Local();
+  void* first = pool.Allocate(100);
+  BlockPool::Release(first);
+  const std::uint64_t hits_before = pool.stats().freelist_hits;
+  // Same class -> the free list must hand the same block straight back.
+  void* second = pool.Allocate(100);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(pool.stats().freelist_hits, hits_before + 1);
+  BlockPool::Release(second);
+}
+
+TEST(BlockPoolTest, DistinctClassesDoNotShareBlocks) {
+  BlockPool& pool = BlockPool::Local();
+  void* small = pool.Allocate(30);
+  BlockPool::Release(small);
+  // A much larger request must not be served from the small class's list.
+  void* large = pool.Allocate(700);
+  EXPECT_NE(large, small);
+  BlockPool::Release(large);
+}
+
+TEST(BlockPoolTest, OversizeRequestsFallBackToHeap) {
+  BlockPool& pool = BlockPool::Local();
+  const std::uint64_t fallbacks_before = pool.stats().heap_fallbacks;
+  void* big = pool.Allocate(BlockPool::kMaxClassBytes + 1);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(pool.stats().heap_fallbacks, fallbacks_before + 1);
+  std::memset(big, 0xcd, BlockPool::kMaxClassBytes + 1);
+  BlockPool::Release(big);
+}
+
+TEST(BlockPoolTest, ExhaustedSlabFallsBackToHeapAndRecovers) {
+  // A private pool (not Local()) so the cap can't interfere with other
+  // tests on this thread.
+  BlockPool pool;
+  pool.SetSlabLimitForTest(64 * 1024);  // one slab chunk
+  std::vector<void*> held;
+  // Burn through the capped slab; the pool must keep serving (from the
+  // heap) rather than failing.
+  while (pool.stats().heap_fallbacks == 0) {
+    ASSERT_LT(held.size(), 100'000u) << "slab cap never tripped";
+    held.push_back(pool.Allocate(1000));
+  }
+  const std::uint64_t fallbacks = pool.stats().heap_fallbacks;
+  EXPECT_GT(fallbacks, 0u);
+  // Releasing pooled blocks refills the free list: the next allocation
+  // must come from there, not the heap.
+  for (void* p : held) BlockPool::Release(p);
+  void* again = pool.Allocate(1000);
+  EXPECT_EQ(pool.stats().heap_fallbacks, fallbacks);
+  BlockPool::Release(again);
+}
+
+// --- Cross-thread release --------------------------------------------------
+
+TEST(BlockPoolTest, ReleaseFromAnotherThreadIsReclaimed) {
+  BlockPool& pool = BlockPool::Local();
+  // Drain: allocate enough blocks of one class that the local free list
+  // is empty for some of them.
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) blocks.push_back(pool.Allocate(100));
+
+  // A worker (the shape of a sweep-engine thread handing results back)
+  // releases them all: each lands on this pool's atomic remote stack.
+  std::thread worker([&blocks]() {
+    for (void* p : blocks) BlockPool::Release(p);
+  });
+  worker.join();
+
+  // The owner thread reclaims the remote stack once the local list runs
+  // dry; every one of the 64 blocks must come back.
+  const std::uint64_t reclaims_before = pool.stats().remote_reclaims;
+  std::vector<void*> again;
+  for (int i = 0; i < 64; ++i) again.push_back(pool.Allocate(100));
+  EXPECT_GE(pool.stats().remote_reclaims, reclaims_before + 64);
+  for (void* p : again) BlockPool::Release(p);
+}
+
+TEST(BlockPoolTest, BlocksSurviveTheirAllocatingThread) {
+  // Allocate on a worker, release on the main thread after the worker has
+  // exited: the worker's pool core must stay alive (refcounted by the
+  // outstanding blocks) until the last release.
+  void* escaped = nullptr;
+  std::thread worker([&escaped]() {
+    escaped = BlockPool::Local().Allocate(200);
+    std::memset(escaped, 0x5a, 200);
+  });
+  worker.join();
+  ASSERT_NE(escaped, nullptr);
+  // The payload is still readable; releasing must not touch freed memory
+  // (ASan would flag both).
+  unsigned char probe[200];
+  std::memcpy(probe, escaped, 200);
+  EXPECT_EQ(probe[0], 0x5a);
+  EXPECT_EQ(probe[199], 0x5a);
+  BlockPool::Release(escaped);
+}
+
+// --- MessagePtr lifecycle on top of the pool -------------------------------
+
+struct PoolTestMsg : Message {
+  int payload = 0;
+};
+
+TEST(MessagePtrTest, RefcountGovernsReturnToPool) {
+  MessagePtr a = MakeMessage<PoolTestMsg>();
+  EXPECT_EQ(a.use_count(), 1u);
+  {
+    MessagePtr b = a;  // broadcast-style sharing: one instance, two refs
+    EXPECT_EQ(a.use_count(), 2u);
+    EXPECT_EQ(a.get(), b.get());
+  }
+  EXPECT_EQ(a.use_count(), 1u);
+  const void* block = a.get();
+  a = MessagePtr();  // last ref: destructor runs, block returns to pool
+  // The freed block is at the head of its class's free list.
+  PoolTestMsg probe;
+  probe.payload = 7;
+  MessagePtr c = MakeMessage<PoolTestMsg>(probe);
+  EXPECT_EQ(static_cast<const void*>(c.get()), block);
+  EXPECT_EQ(static_cast<const PoolTestMsg*>(c.get())->payload, 7);
+}
+
+TEST(MessagePtrTest, MoveTransfersWithoutRefcountTraffic) {
+  MessagePtr a = MakeMessage<PoolTestMsg>();
+  const Message* raw = a.get();
+  MessagePtr b = std::move(a);
+  EXPECT_EQ(a.get(), nullptr);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(b.use_count(), 1u);
+}
+
+// --- Determinism: pooling must be invisible to replay ----------------------
+
+// Runs a full Paxos cluster scenario twice in one process. The first run
+// warms this thread's pool, so the second run is served almost entirely
+// from recycled blocks — same workload, different (recycled) message
+// addresses. Identical fingerprint traces prove address recycling cannot
+// leak into behaviour (nothing keys on message addresses), i.e. pooled
+// and fresh-heap runs are byte-identical.
+TEST(BlockPoolTest, SameSeedReplayIsByteIdenticalAcrossPoolReuse) {
+  const ReplayReport report = AuditReplay([](TraceRecorder& rec) {
+    Config config = Config::Lan9("paxos");
+    Cluster cluster(config);
+    cluster.sim().AddObserver(&rec);
+    cluster.Start();
+    Client* client = cluster.NewClient(1);
+    for (RequestId r = 1; r <= 30; ++r) {
+      client->Put(static_cast<Key>(r), "pool" + std::to_string(r),
+                  cluster.TargetFor(1), [](const Client::Reply&) {});
+    }
+    cluster.RunFor(2 * kSecond);
+  });
+  EXPECT_TRUE(report.deterministic) << report.detail;
+  EXPECT_GT(report.events_a, 0u);
+  EXPECT_EQ(report.events_a, report.events_b);
+}
+
+}  // namespace
+}  // namespace paxi

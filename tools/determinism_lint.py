@@ -27,6 +27,16 @@ similar codebases:
                        (src/store/wal.h): real files escape the virtual
                        clock, survive simulated crashes, and make runs
                        depend on host filesystem state.
+  message-alloc        `new SomeMessage` / `make_shared<SomeMessage>` on a
+                       Message subclass outside the pool entry point
+                       (net/message.h MakeMessage). Pooled messages are
+                       the hot-path contract: a stray heap-allocated
+                       message dodges the pool's stats (breaking the
+                       allocs_per_event perf gate) and, worse, would be
+                       handed to BlockPool::Release by ~MessagePtr. The
+                       subclass set is computed transitively from every
+                       scanned file, so new message types are covered
+                       automatically.
 
 Usage:  tools/determinism_lint.py [--allowlist FILE] [paths...]
         (default path: src/, default allowlist: tools/determinism_allowlist.txt)
@@ -52,6 +62,7 @@ RULES = (
     "raw-assert",
     "pointer-keyed",
     "file-io",
+    "message-alloc",
 )
 
 WALL_CLOCK_RE = re.compile(
@@ -71,6 +82,12 @@ FILE_IO_RE = re.compile(
     r"|\bf(?:open|reopen|write|read|close|seek|tell)\s*\("
     r"|\bFILE\s*\*"
     r"|std::filesystem"
+)
+# "struct P2a final : Message {", "class ClientRequest : public Message {".
+# Captures (derived, first base); protocol messages use single inheritance.
+INHERIT_RE = re.compile(
+    r"\b(?:struct|class)\s+(\w+)\s*(?:final\s*)?"
+    r":\s*(?:virtual\s+)?(?:public\s+|private\s+|protected\s+)?([\w:]+)"
 )
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 # Identifier that ends a declaration whose type mentions an unordered
@@ -136,6 +153,39 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
+def message_subclasses(stripped_texts):
+    """Global pre-pass: transitive closure of types deriving (directly or
+    through intermediates) from Message, across every scanned file. Bases
+    may be spelled qualified (paxi::Message); only the last component is
+    compared."""
+    edges = []
+    for text in stripped_texts:
+        for m in INHERIT_RE.finditer(text):
+            edges.append((m.group(1), m.group(2).rsplit("::", 1)[-1]))
+    names = {"Message"}
+    changed = True
+    while changed:
+        changed = False
+        for derived, base in edges:
+            if base in names and derived not in names:
+                names.add(derived)
+                changed = True
+    return names
+
+
+def message_alloc_re(names):
+    """Regex flagging raw allocation of any name in `names`. Placement new
+    ("::new (mem) M(...)", the pool entry point's own construction in
+    net/message.h) does not match: the type must directly follow `new`."""
+    if not names:
+        return None
+    alt = "|".join(sorted(names))
+    return re.compile(
+        r"\bnew\s+(?:const\s+)?(?:" + alt + r")\b"
+        r"|make_shared\s*<\s*(?:const\s+)?(?:" + alt + r")\b"
+    )
+
+
 def unordered_names(lines):
     """Pass 1: identifiers declared (or returned by a nullary function)
     with an unordered container type in this file."""
@@ -177,8 +227,11 @@ def paired_header_names(path):
     return set()
 
 
-def check_file(path, text):
-    """Yields (line_number, rule, line_text) findings."""
+def check_file(path, text, msg_alloc=None):
+    """Yields (line_number, rule, line_text) findings. `msg_alloc` is the
+    compiled Message-subclass allocation regex from the global pre-pass
+    (None disables the message-alloc rule, e.g. single-file invocations
+    where the closure would be incomplete anyway)."""
     clean = strip_comments_and_strings(text)
     lines = clean.split("\n")
     raw_lines = text.split("\n")
@@ -192,6 +245,10 @@ def check_file(path, text):
     ]
     in_check_header = path.endswith(os.path.join("common", "check.h"))
     in_store = "/store/" in path.replace(os.sep, "/")
+    # net/message.h is the sanctioned pool entry point (MakeMessage); its
+    # placement-new construction would not match anyway, but exempting the
+    # file keeps the rule honest if the entry point is ever refactored.
+    in_message_header = path.endswith(os.path.join("net", "message.h"))
     for lineno, line in enumerate(lines, start=1):
         if WALL_CLOCK_RE.search(line):
             yield lineno, "wall-clock", raw_lines[lineno - 1]
@@ -203,6 +260,12 @@ def check_file(path, text):
             yield lineno, "raw-assert", raw_lines[lineno - 1]
         if POINTER_KEYED_RE.search(line):
             yield lineno, "pointer-keyed", raw_lines[lineno - 1]
+        if (
+            msg_alloc is not None
+            and not in_message_header
+            and msg_alloc.search(line)
+        ):
+            yield lineno, "message-alloc", raw_lines[lineno - 1]
         for iter_re in iter_res:
             if iter_re.search(line):
                 yield lineno, "unordered-iteration", raw_lines[lineno - 1]
@@ -298,15 +361,26 @@ def main():
     )
     entries = load_allowlist(allowlist_path)
 
-    findings = 0
+    sources = []
     for path in collect_sources(paths):
         try:
             with open(path, encoding="utf-8") as f:
-                text = f.read()
+                sources.append((path, f.read()))
         except OSError as err:
             print(f"{path}: unreadable: {err}", file=sys.stderr)
             sys.exit(2)
-        for lineno, rule, line_text in check_file(path, text):
+
+    # Pre-pass for the message-alloc rule: the subclass closure needs every
+    # file's inheritance edges before any file can be checked.
+    msg_alloc = message_alloc_re(
+        message_subclasses(
+            strip_comments_and_strings(text) for _, text in sources
+        )
+    )
+
+    findings = 0
+    for path, text in sources:
+        for lineno, rule, line_text in check_file(path, text, msg_alloc):
             if allowed(entries, path, rule, line_text):
                 continue
             findings += 1
