@@ -69,6 +69,22 @@ std::vector<Variant> Variants() {
     c.params["leader"] = "2.1";  // hot-object leader region: Ohio
     out.push_back({"Paxos", c});
   }
+  // Durable lanes: the owner-forwarding pair over the simulated WAL. WAN
+  // rounds are RTT-dominated, so the per-round fsync must show up only
+  // as a small additive floor — the conflict-ratio story is unchanged.
+  {
+    Config c = Config::Wan5("wpaxos", 1);
+    c.params["fz"] = "0";
+    c.params["initial_owner"] = "2.1";
+    c.params["durable"] = "1";
+    out.push_back({"WPaxos(fz=0)+wal", c});
+  }
+  {
+    Config c = Config::Wan5("paxos", 1);
+    c.params["leader"] = "2.1";
+    c.params["durable"] = "1";
+    out.push_back({"Paxos+wal", c});
+  }
   return out;
 }
 
@@ -168,6 +184,25 @@ int Run(int argc, char** argv) {
           results["WPaxos(fz=0)"][0.0][3] + 20.0,
       "California pays the CA->OH forward in proportion to conflict% "
       "(WPaxos fz=0)");
+  // Durable lanes: the WAL adds a bounded fsync floor and preserves the
+  // conflict-ratio conclusions.
+  failures += !bench::Check(
+      results["WPaxos(fz=0)+wal"][1.0][2] < 12.0,
+      "durable WPaxos fz=0 keeps Ohio near-local at 100% conflict (fsync "
+      "floor only)");
+  failures += !bench::Check(
+      results["WPaxos(fz=0)+wal"][0.0][1] >= results["WPaxos(fz=0)"][0.0][1] &&
+          results["WPaxos(fz=0)+wal"][0.0][1] <
+              results["WPaxos(fz=0)"][0.0][1] + 8.0,
+      "durability costs only a small additive floor in the WAN (VA, 0% "
+      "conflict)");
+  failures += !bench::Check(
+      results["WPaxos(fz=0)+wal"][1.0][3] >
+          results["WPaxos(fz=0)+wal"][0.0][3] + 20.0,
+      "the conflict-proportional forwarding story survives durability");
+  failures += !bench::Check(
+      results["Paxos+wal"][0.4][2] >= results["Paxos"][0.4][2],
+      "durable Paxos never beats in-memory Paxos in its leader region");
   return bench::Summary(failures);
 }
 

@@ -25,6 +25,9 @@ void Client::Issue(Command cmd, NodeId target, Callback done) {
   const RequestId rid = next_request_++;
   cmd.client = cid_;
   cmd.request = rid;
+  // Sharded client: placement is per key, so the caller's target (picked
+  // without knowing the key) yields to the router's view.
+  if (router_ != nullptr) target = router_->TargetFor(cmd.key);
   Pending p;
   p.cmd = std::move(cmd);
   p.target = target;
@@ -81,7 +84,7 @@ void Client::ArmTimeout(RequestId rid, std::uint64_t epoch) {
     }
     ++p.attempts;
     ++p.epoch;
-    p.target = NextTarget(p.target);
+    p.target = NextTarget(p.cmd, p.target);
     ScheduleRetry(rid);
   });
 }
@@ -115,7 +118,10 @@ void Client::ScheduleRetry(RequestId rid) {
   });
 }
 
-NodeId Client::NextTarget(NodeId current) const {
+NodeId Client::NextTarget(const Command& cmd, NodeId current) const {
+  // Sharded: cycle within the group the router believes owns the key —
+  // replicas of other groups would only redirect us back.
+  if (router_ != nullptr) return router_->NextInGroup(cmd.key, current);
   // Round-robin over the replica list so a retry lands on a different node
   // (the previous target may be crashed or partitioned away).
   const auto nodes = config_->Nodes();
@@ -132,15 +138,32 @@ void Client::Deliver(MessagePtr msg) {
   if (it == pending_.end()) return;  // duplicate or post-timeout reply
   Pending& p = it->second;
   if (!reply->ok && p.attempts < kMaxAttempts) {
+    ++p.attempts;
+    ++p.epoch;
+    if (router_ != nullptr && reply->shard_group >= 1) {
+      // Shard redirect: the replica named the owning group and the map
+      // epoch it speaks for. If that teaches us something new, adopt it
+      // and go straight there; a redirect that taught nothing (we already
+      // believed it — the loop-terminating case) backs off instead, so
+      // two replicas disagreeing can never bounce us in a tight cycle.
+      const bool learned = router_->ObserveRedirect(
+          p.cmd.key, reply->shard_group, reply->shard_epoch);
+      p.target = router_->TargetFor(p.cmd.key);
+      if (learned) {
+        SendRequest(p);
+        ArmTimeout(reply->request, p.epoch);
+      } else {
+        ScheduleRetry(reply->request);
+      }
+      return;
+    }
     // Rejected (e.g. by a non-leader): retry, following the leader hint
     // when one was provided. A hinted retry goes out immediately — the
     // rejecting node told us exactly where the leader is — while a blind
     // one backs off like a timeout retry.
-    ++p.attempts;
-    ++p.epoch;
     const bool hinted = reply->leader_hint.valid() &&
                         reply->leader_hint.node < Client::kClientNodeBase;
-    p.target = hinted ? reply->leader_hint : NextTarget(p.target);
+    p.target = hinted ? reply->leader_hint : NextTarget(p.cmd, p.target);
     if (hinted) {
       SendRequest(p);
       ArmTimeout(reply->request, p.epoch);

@@ -3,12 +3,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "common/status.h"
 #include "common/types.h"
 #include "core/config.h"
 #include "core/messages.h"
 #include "net/transport.h"
+#include "shard/router.h"
 #include "sim/simulator.h"
 
 namespace paxi {
@@ -53,8 +55,18 @@ class Client : public Endpoint {
   int zone() const { return id_.zone; }
 
   /// Issues `cmd` to `target`. Fills in the command's client/request ids.
-  /// `done` fires exactly once, on reply or final timeout.
+  /// `done` fires exactly once, on reply or final timeout. On a sharded
+  /// client (SetRouter) the router's per-key placement overrides `target`.
   void Issue(Command cmd, NodeId target, Callback done);
+
+  /// Gives this client a shard-routing view (sharded clusters): targets
+  /// are then derived per key, and rejections carrying routing info
+  /// update the view. The view starts at the base placement and is
+  /// deliberately stale-able — it learns only through redirects.
+  void SetRouter(std::unique_ptr<ShardRouterView> router) {
+    router_ = std::move(router);
+  }
+  const ShardRouterView* router() const { return router_.get(); }
 
   /// Convenience wrappers used by examples.
   void Put(Key key, Value value, NodeId target, Callback done);
@@ -80,7 +92,7 @@ class Client : public Endpoint {
 
   void SendRequest(const Pending& p);
   void ArmTimeout(RequestId rid, std::uint64_t epoch);
-  NodeId NextTarget(NodeId current) const;
+  NodeId NextTarget(const Command& cmd, NodeId current) const;
   /// Jittered, capped exponential backoff before the retry numbered
   /// `attempts_made` (1 = first retry). 0 when backoff is disabled.
   Time RetryDelay(int attempts_made);
@@ -96,6 +108,7 @@ class Client : public Endpoint {
   Time backoff_base_ = 0;
   Time backoff_max_ = 0;
   RequestId next_request_ = 1;
+  std::unique_ptr<ShardRouterView> router_;
   std::map<RequestId, Pending> pending_;
   std::size_t timeouts_ = 0;
   std::size_t issued_ = 0;

@@ -89,7 +89,23 @@ Cluster::Cluster(Config config) : config_(std::move(config)) {
       std::make_shared<TopologyLatencyModel>(config_.topology),
       config_.ordered_transport);
 
-  node_ids_ = config_.Nodes();
+  // Sharded deployment (param "groups"): one coordinator carves the id
+  // space into per-group configs; the node list is the union of all
+  // groups. Every group shares this cluster's simulator and transport —
+  // cross-group isolation is purely a matter of disjoint peer sets.
+  const int groups = static_cast<int>(config_.GetParamInt("groups", 1));
+  if (groups > 1) {
+    coordinator_ = std::make_unique<ShardCoordinator>(
+        sim_.get(), transport_.get(), config_, groups);
+    coordinator_->SetNodeLookup([this](NodeId id) { return node(id); });
+    transport_->Register(coordinator_.get());
+    for (int g = 1; g <= groups; ++g) {
+      const auto ids = coordinator_->GroupConfig(g).Nodes();
+      node_ids_.insert(node_ids_.end(), ids.begin(), ids.end());
+    }
+  } else {
+    node_ids_ = config_.Nodes();
+  }
 
   // Durable deployments (param "durable"): every node gets a simulated
   // disk, created before the nodes so Env.disk can point at it. The disk
@@ -106,8 +122,8 @@ Cluster::Cluster(Config config) : config_(std::move(config)) {
   }
 
   for (const NodeId& id : node_ids_) {
-    Node::Env env{sim_.get(), transport_.get(), &config_, disk(id)};
-    auto node = it->second.factory(id, env, config_);
+    Node::Env env = MakeEnv(id);
+    auto node = it->second.factory(id, env, *env.config);
     transport_->Register(node.get());
     nodes_.emplace(id, std::move(node));
   }
@@ -132,6 +148,22 @@ Cluster::Cluster(Config config) : config_(std::move(config)) {
 
 Cluster::~Cluster() = default;
 
+Node::Env Cluster::MakeEnv(NodeId id) {
+  Node::Env env{sim_.get(), transport_.get(), &config_, disk(id)};
+  if (coordinator_ != nullptr) {
+    env.config = &coordinator_->ConfigFor(id);
+    env.shard = coordinator_.get();
+    env.shard_group = coordinator_->GroupOfNode(id);
+  }
+  return env;
+}
+
+bool Cluster::MigrateKey(Key key, int to_group) {
+  PAXI_CHECK(coordinator_ != nullptr,
+             "MigrateKey needs a sharded cluster (param \"groups\")");
+  return coordinator_->MigrateKey(key, to_group);
+}
+
 void Cluster::Start() {
   for (const NodeId& id : node_ids_) nodes_.at(id)->Start();
 }
@@ -144,6 +176,12 @@ Node* Cluster::node(NodeId id) {
 Client* Cluster::NewClient(int zone) {
   auto client = std::make_unique<Client>(next_client_++, zone, sim_.get(),
                                          transport_.get(), &config_);
+  if (coordinator_ != nullptr) {
+    // Each client gets its own stale-able view of the shard map; it only
+    // learns about migrations through redirects (shard/router.h).
+    client->SetRouter(std::make_unique<ShardRouterView>(
+        coordinator_->GroupInfos(), traits_.single_leader, zone));
+  }
   transport_->Register(client.get());
   clients_.push_back(std::move(client));
   return clients_.back().get();
@@ -215,9 +253,8 @@ void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
     nodes_.erase(it);
     sim_->After(downtime, [this, id]() {
       if (nodes_.find(id) != nodes_.end()) return;  // already reborn
-      Node::Env env{sim_.get(), transport_.get(), &config_,
-                    disks_.at(id).get()};
-      auto node = factory_(id, env, config_);
+      Node::Env env = MakeEnv(id);
+      auto node = factory_(id, env, *env.config);
       Node* raw = node.get();
       nodes_.emplace(id, std::move(node));
       if (!transport_->IsRegistered(id)) transport_->Register(raw);
@@ -239,8 +276,8 @@ void Cluster::RestartNode(NodeId id, Time downtime, RestartMode mode) {
   if (NodeDisk* d = disk(id)) d->Wipe();
   sim_->After(downtime, [this, id]() {
     if (nodes_.find(id) != nodes_.end()) return;  // already reborn
-    Node::Env env{sim_.get(), transport_.get(), &config_, disk(id)};
-    auto node = factory_(id, env, config_);
+    Node::Env env = MakeEnv(id);
+    auto node = factory_(id, env, *env.config);
     Node* raw = node.get();
     nodes_.emplace(id, std::move(node));
     if (!transport_->IsRegistered(id)) transport_->Register(raw);

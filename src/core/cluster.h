@@ -11,6 +11,7 @@
 #include "core/config.h"
 #include "core/node.h"
 #include "net/transport.h"
+#include "shard/coordinator.h"
 #include "sim/simulator.h"
 
 namespace paxi {
@@ -118,6 +119,21 @@ class Cluster {
   /// every node has a NodeDisk and persists through the WAL.
   bool durable() const { return !disks_.empty(); }
 
+  // --- Sharding (param "groups" > 1) ---------------------------------------
+
+  /// True when this deployment runs multiple independent consensus groups
+  /// over one shared transport (param "groups"). Each group is a full
+  /// instance of the configured protocol over its own disjoint slice of
+  /// the node id space; the coordinator owns placement and migration.
+  bool sharded() const { return coordinator_ != nullptr; }
+
+  /// The shard control plane; nullptr on a standalone cluster.
+  ShardCoordinator* coordinator() { return coordinator_.get(); }
+
+  /// Starts a fenced migration of `key` into `to_group` (sharded clusters
+  /// only). Returns false when the key is already there or mid-handoff.
+  bool MigrateKey(Key key, int to_group);
+
   /// The durable medium of `id`; nullptr on an in-memory cluster.
   NodeDisk* disk(NodeId id);
 
@@ -158,12 +174,19 @@ class Cluster {
   InvariantAuditor* EnableAuditing(bool fail_fast);
 
  private:
+  /// The config (and shard gate wiring) node `id` must run under: the
+  /// per-group config on a sharded cluster, the cluster config otherwise.
+  /// Every construction site — initial build and all restart paths — goes
+  /// through this, so a reborn replica sees its own group's peer set.
+  Node::Env MakeEnv(NodeId id);
+
   Config config_;
   ProtocolTraits traits_;
   NodeFactory factory_;  ///< Kept for amnesia restarts (node re-creation).
   NodeId leader_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::vector<NodeId> node_ids_;
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;

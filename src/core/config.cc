@@ -21,7 +21,7 @@ std::vector<NodeId> Config::Nodes() const {
   out.reserve(static_cast<std::size_t>(num_nodes()));
   for (int z = 1; z <= zones; ++z) {
     for (int n = 1; n <= nodes_per_zone; ++n) {
-      out.push_back(NodeId{z, n});
+      out.push_back(NodeId{z, node_base + n});
     }
   }
   return out;
@@ -30,7 +30,9 @@ std::vector<NodeId> Config::Nodes() const {
 std::vector<NodeId> Config::NodesIn(int zone) const {
   std::vector<NodeId> out;
   out.reserve(static_cast<std::size_t>(nodes_per_zone));
-  for (int n = 1; n <= nodes_per_zone; ++n) out.push_back(NodeId{zone, n});
+  for (int n = 1; n <= nodes_per_zone; ++n) {
+    out.push_back(NodeId{zone, node_base + n});
+  }
   return out;
 }
 

@@ -22,6 +22,12 @@ struct Config {
   int zones = 1;
   int nodes_per_zone = 9;
   Topology topology = Topology::Lan(1);
+  /// Offset added to in-zone node indices: Nodes() spans
+  /// {z, node_base+1 .. node_base+nodes_per_zone}. Zero for a standalone
+  /// cluster; a sharded cluster (src/shard) gives consensus group g the
+  /// base (g-1)*nodes_per_zone so groups occupy disjoint id ranges on one
+  /// shared transport.
+  int node_base = 0;
 
   // --- Node processing model (paper §3.3), calibrated to m5.large ---------
   /// CPU time to process one incoming message (t_i), microseconds.

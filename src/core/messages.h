@@ -77,6 +77,16 @@ struct ClientRequest : Message {
   NodeId client_addr = NodeId::Invalid();
   /// Virtual time the client issued the request (round-trip accounting).
   Time issued_at = 0;
+  /// True for a shard-migration install (src/shard): the write carries a
+  /// key's latest snapshot into its new group. Installs bypass the shard
+  /// gate's fencing (they are the one write allowed while the key is
+  /// fenced) and the stale-duplicate admission check (the migrated
+  /// version's writer may be older than the destination's session).
+  bool shard_install = false;
+  /// For installs: the ShardMap epoch observed when the key was fenced.
+  /// The destination drops installs whose epoch is no longer current —
+  /// a straggler retry from a migration that already committed/aborted.
+  std::uint64_t shard_epoch = 0;
 
   std::size_t ByteSize() const override { return 100; }
 
@@ -87,7 +97,9 @@ struct ClientRequest : Message {
         .Mix(cmd.value)
         .Mix(static_cast<std::uint64_t>(cmd.client))
         .Mix(static_cast<std::uint64_t>(cmd.request))
-        .Mix(std::hash<NodeId>()(client_addr));
+        .Mix(std::hash<NodeId>()(client_addr))
+        .Mix(shard_install ? 1u : 0u)
+        .Mix(shard_epoch);
     return d.value();
   }
 };
@@ -107,6 +119,13 @@ struct ClientReply : Message {
   /// int; 0 = full consensus round). Plain int so this header stays
   /// independent of the lease subsystem.
   int read_mode = 0;
+  /// Shard-routing feedback on a rejection (src/shard): the group that
+  /// owns the request's key per the authoritative ShardMap, and the map
+  /// epoch backing that claim. -1 when the reply carries no routing info.
+  /// Clients adopt the override only when `shard_epoch` is newer than
+  /// their view, which is what breaks stale-map redirect loops.
+  int shard_group = -1;
+  std::uint64_t shard_epoch = 0;
 
   std::size_t ByteSize() const override { return 100; }
 
@@ -118,7 +137,9 @@ struct ClientReply : Message {
         .Mix(value)
         .Mix(found ? 1u : 0u)
         .Mix(std::hash<NodeId>()(leader_hint))
-        .Mix(static_cast<std::uint64_t>(read_mode));
+        .Mix(static_cast<std::uint64_t>(read_mode))
+        .Mix(static_cast<std::uint64_t>(shard_group + 1))
+        .Mix(shard_epoch);
     return d.value();
   }
 };

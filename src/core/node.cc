@@ -18,7 +18,11 @@ Node::Node(NodeId id, Env env)
       sim_(env.sim),
       transport_(env.transport),
       config_(env.config),
-      disk_(env.disk) {
+      disk_(env.disk),
+      shard_gate_(env.shard),
+      shard_group_(env.shard_group),
+      relay_(static_cast<int>(env.config->GetParamInt("relay_fanout", 0)),
+             env.config->GetParamInt("relay_ack_wait_us", 1000)) {
   PAXI_CHECK(sim_ != nullptr && transport_ != nullptr && config_ != nullptr);
   peers_ = config_->Nodes();
   if (disk_ != nullptr) {
@@ -81,6 +85,46 @@ void Node::Dispatch(MessagePtr msg) {
   // fired.
   ScopedCheckContext ctx(
       CheckContext{config_->protocol, id_str_, sim_->now_ptr()});
+  if (relay_.fanout() > 0) {
+    // Relay-tree plumbing sits below the protocol handler table so every
+    // protocol inherits it (net/relay.h). Clusters with relaying off pay
+    // nothing on this path.
+    if (const auto* env = dynamic_cast<const RelayEnvelope*>(msg.get());
+        env != nullptr) {
+      HandleRelayEnvelope(*env);
+      return;
+    }
+    if (const auto* batch = dynamic_cast<const RelayAckBatch*>(msg.get());
+        batch != nullptr) {
+      HandleRelayAckBatch(*batch);
+      return;
+    }
+  }
+  if (shard_gate_ != nullptr) {
+    // Shard admission runs before anything serves the request — including
+    // the lease read path: a leased read of a key this group no longer
+    // owns must redirect, not answer.
+    if (const auto* req = dynamic_cast<const ClientRequest*>(msg.get());
+        req != nullptr) {
+      const ShardGate::Verdict v = shard_gate_->CheckRequest(*req,
+                                                             shard_group_);
+      if (v.action == ShardGate::Action::kRedirect) {
+        ReplyToClient(*req, /*ok=*/false, Value(), /*found=*/false,
+                      v.leader_hint, /*read_mode=*/0, v.group, v.epoch);
+        return;
+      }
+      if (v.action == ShardGate::Action::kFenced) {
+        // Migration handoff in progress. Stray installs are dropped (the
+        // coordinator's retry owns them); client commands are rejected
+        // without a hint, so the client backs off and re-routes once the
+        // fence lifts.
+        if (!req->shard_install) {
+          ReplyToClient(*req, /*ok=*/false, Value(), /*found=*/false);
+        }
+        return;
+      }
+    }
+  }
   if (lease_ != nullptr) {
     // Client reads are intercepted ahead of the protocol handler: the
     // lease manager serves them on the strongest safely-available rung
@@ -102,6 +146,16 @@ void Node::DispatchToProtocol(const ClientRequest& req) {
 }
 
 void Node::SendShared(NodeId to, MessagePtr msg) {
+  if (relay_capture_ != nullptr && to == relay_capture_->origin) {
+    // An ack produced while dispatching a relayed payload: divert it into
+    // the aggregation channel instead of the wire. No charge here — the
+    // RelayAckBatch that carries it pays serialization + NIC for the
+    // aggregate once. (Acks sent asynchronously — e.g. from a WAL-sync
+    // continuation on a durable node — escape the capture window and go
+    // directly to the origin: graceful degradation, not an error.)
+    relay_capture_->out->push_back(std::move(msg));
+    return;
+  }
   // Outgoing message: t_o serialization + NIC transfer, queued behind any
   // in-progress work. The message departs once the NIC is done with it.
   busy_until_ = std::max(busy_until_, sim_->Now());
@@ -113,6 +167,10 @@ void Node::SendShared(NodeId to, MessagePtr msg) {
 void Node::BroadcastShared(const std::vector<NodeId>& targets,
                            MessagePtr msg) {
   if (targets.empty()) return;
+  if (relay_.Engaged(targets.size())) {
+    RelayBroadcast(targets, std::move(msg));
+    return;
+  }
   // One serialization (t_o) for the whole broadcast, then per-destination
   // NIC time; this is why a leader's CPU cost per round stays ~2 t_o while
   // NIC cost grows with N.
@@ -125,8 +183,155 @@ void Node::BroadcastShared(const std::vector<NodeId>& targets,
   }
 }
 
+void Node::RelayBroadcast(const std::vector<NodeId>& targets,
+                          MessagePtr msg) {
+  // The broadcaster sends R envelopes instead of N-1 payload copies: one
+  // serialization as before, but NIC time for R framed envelopes — the
+  // outbound half of the PigPaxos saving (the inbound half is receiving
+  // R ack batches instead of N-1 individual acks).
+  const std::vector<RelayTree> trees = relay_.Plan(targets, relay_rotation_);
+  ++relay_rotation_;
+  const std::uint64_t tag = ++relay_tag_seq_;
+  busy_until_ = std::max(busy_until_, sim_->Now());
+  busy_until_ += ProcOutCost();
+  for (const RelayTree& tree : trees) {
+    RelayEnvelope env;
+    env.from = id_;
+    env.origin = id_;
+    env.tag = tag;
+    env.inner = msg;
+    env.members = tree.members;
+    MessagePtr p = MakeMessage<RelayEnvelope>(std::move(env));
+    busy_until_ += NicTime(p->ByteSize());
+    ++messages_sent_;
+    transport_->Send(tree.relay, std::move(p), busy_until_);
+  }
+}
+
+void Node::DispatchRelayedPayload(const Message& payload) {
+  ++messages_processed_;
+  auto it = handlers_.find(std::type_index(typeid(payload)));
+  if (it == handlers_.end()) return;
+  it->second(payload);
+}
+
+void Node::HandleRelayEnvelope(const RelayEnvelope& env) {
+  PAXI_CHECK(env.inner != nullptr, "relay envelope without payload");
+  // Dispatch the payload locally with ack capture: whatever the handler
+  // sends to the origin belongs in the aggregate, not on the wire.
+  std::vector<MessagePtr> captured;
+  RelayCapture capture{env.origin, &captured};
+  relay_capture_ = &capture;
+  DispatchRelayedPayload(*env.inner);
+  relay_capture_ = nullptr;
+
+  if (env.members.empty()) {
+    // Leaf: ship our captured acks to the relay that served us (the
+    // envelope's sender); it folds them into the subtree batch.
+    if (!captured.empty()) {
+      SendAckBatch(env.from, env.origin, env.tag, std::move(captured));
+    }
+    return;
+  }
+
+  // Relay: open the aggregation round (we are one of its sources), then
+  // fan the payload out to the subtree as leaf envelopes — one t_o, one
+  // framed copy per member, exactly like a broadcast.
+  const RelayBufferKey key{env.origin, env.tag};
+  RelayBuffer& buf = relay_buffers_[key];
+  buf.expected_sources = env.members.size() + 1;
+  buf.sources = 1;
+  buf.acks = std::move(captured);
+  busy_until_ = std::max(busy_until_, sim_->Now());
+  busy_until_ += ProcOutCost();
+  for (const NodeId& member : env.members) {
+    RelayEnvelope leaf;
+    leaf.from = id_;
+    leaf.origin = env.origin;
+    leaf.tag = env.tag;
+    leaf.inner = env.inner;
+    MessagePtr p = MakeMessage<RelayEnvelope>(std::move(leaf));
+    busy_until_ += NicTime(p->ByteSize());
+    ++messages_sent_;
+    transport_->Send(member, std::move(p), busy_until_);
+  }
+  // A crashed or partitioned member must not hold the subtree's acks
+  // hostage: after the ack wait, whatever arrived is flushed upward.
+  SetTimer(relay_.ack_wait_us(), [this, key]() { FlushRelayBuffer(key); });
+}
+
+void Node::HandleRelayAckBatch(const RelayAckBatch& batch) {
+  if (batch.origin == id_) {
+    // Our own broadcast's acks coming home: unwrap and run each through
+    // its handler. The whole batch paid t_i once at Deliver — that is
+    // the leader-side saving.
+    for (const MessagePtr& ack : batch.acks) DispatchRelayedPayload(*ack);
+    return;
+  }
+  // We are the relay for this round: fold the member's acks in.
+  const RelayBufferKey key{batch.origin, batch.tag};
+  auto it = relay_buffers_.find(key);
+  if (it == relay_buffers_.end()) {
+    // The round already flushed (ack wait expired before this member
+    // answered): pass the stragglers straight up to the origin.
+    RelayAckBatch late;
+    late.origin = batch.origin;
+    late.tag = batch.tag;
+    late.acks = batch.acks;
+    Send(batch.origin, std::move(late));
+    return;
+  }
+  RelayBuffer& buf = it->second;
+  for (const MessagePtr& ack : batch.acks) buf.acks.push_back(ack);
+  ++buf.sources;
+  if (buf.sources >= buf.expected_sources) {
+    std::vector<MessagePtr> acks = std::move(buf.acks);
+    const NodeId origin = key.origin;
+    const std::uint64_t tag = key.tag;
+    relay_buffers_.erase(it);
+    if (!acks.empty()) SendAckBatch(origin, origin, tag, std::move(acks));
+  }
+}
+
+void Node::FlushRelayBuffer(RelayBufferKey key) {
+  auto it = relay_buffers_.find(key);
+  if (it == relay_buffers_.end()) return;  // completed before the timer
+  std::vector<MessagePtr> acks = std::move(it->second.acks);
+  relay_buffers_.erase(it);
+  if (!acks.empty()) SendAckBatch(key.origin, key.origin, key.tag,
+                                  std::move(acks));
+}
+
+void Node::SendAckBatch(NodeId to, NodeId origin, std::uint64_t tag,
+                        std::vector<MessagePtr> acks) {
+  RelayAckBatch batch;
+  batch.origin = origin;
+  batch.tag = tag;
+  batch.acks = std::move(acks);
+  Send(to, std::move(batch));
+}
+
 bool Node::AdmitRequest(const ClientRequest& req) {
   if (!req.cmd.IsWrite()) return true;
+  if (req.shard_install) {
+    // A migration install replays the original writer's latest command
+    // into the key's new group (src/shard). The writer's session here may
+    // already be *ahead* of the migrated version's request id (the client
+    // kept writing other keys to this group), so the stale-duplicate rule
+    // below must not drop it. Duplicates of the install itself — the
+    // coordinator's resend racing the first copy — are still filtered.
+    Session& s = sessions_[req.cmd.client];
+    if (req.cmd.request > s.newest) {
+      s.newest = req.cmd.request;
+      s.replied = false;
+      return true;
+    }
+    if (req.cmd.request == s.newest) {
+      if (s.replied) ReplyToClient(req, true, s.value, s.found);
+      return false;
+    }
+    return true;  // older than the session: install without touching it
+  }
   Session& s = sessions_[req.cmd.client];
   if (req.cmd.request > s.newest) {
     s.newest = req.cmd.request;
@@ -153,7 +358,8 @@ void Node::ForceLeaseExpiry() {
 }
 
 void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
-                         bool found, NodeId leader_hint, int read_mode) {
+                         bool found, NodeId leader_hint, int read_mode,
+                         int shard_group, std::uint64_t shard_epoch) {
   if (ok && req.cmd.IsWrite()) {
     // Record the terminal answer so AdmitRequest can replay it when a
     // duplicate of this request surfaces later.
@@ -173,6 +379,8 @@ void Node::ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
   reply.found = found;
   reply.leader_hint = leader_hint;
   reply.read_mode = read_mode;
+  reply.shard_group = shard_group;
+  reply.shard_epoch = shard_epoch;
   Send(req.client_addr, std::move(reply));
 }
 
@@ -196,6 +404,19 @@ std::uint64_t Node::StateDigest() const {
     // Promise windows, held-lease validity and pending quorum reads all
     // change what this node can do next.
     d.Mix(lease_->StateDigest());
+  }
+  // Relay aggregation state: open ack buffers decide which acks are still
+  // owed upstream, and the rotation/tag counters decide the shape of the
+  // next broadcast.
+  d.Mix(relay_rotation_).Mix(relay_tag_seq_);
+  d.Mix(static_cast<std::uint64_t>(relay_buffers_.size()));
+  for (const auto& [key, buf] : relay_buffers_) {  // std::map: ordered
+    d.Mix(std::hash<NodeId>()(key.origin))
+        .Mix(key.tag)
+        .Mix(static_cast<std::uint64_t>(buf.expected_sources))
+        .Mix(static_cast<std::uint64_t>(buf.sources))
+        .Mix(static_cast<std::uint64_t>(buf.acks.size()));
+    for (const MessagePtr& ack : buf.acks) d.Mix(ack->ContentDigest());
   }
   return d.value();
 }

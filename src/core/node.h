@@ -13,7 +13,9 @@
 #include "common/types.h"
 #include "core/config.h"
 #include "core/messages.h"
+#include "net/relay.h"
 #include "net/transport.h"
+#include "shard/gate.h"
 #include "sim/auditor.h"
 #include "sim/callback.h"
 #include "sim/simulator.h"
@@ -47,6 +49,12 @@ class Node : public Endpoint, public Auditable {
     /// Durable medium, owned by the Cluster; null = in-memory node (the
     /// default — all persistence hooks become synchronous no-ops).
     NodeDisk* disk = nullptr;
+    /// Shard admission gate (src/shard), consulted per client request;
+    /// null on a standalone (unsharded) cluster. Owned by the Cluster's
+    /// ShardCoordinator.
+    const ShardGate* shard = nullptr;
+    /// This replica's consensus group (1-based) when sharded; 0 otherwise.
+    int shard_group = 0;
   };
 
   Node(NodeId id, Env env);
@@ -158,6 +166,27 @@ class Node : public Endpoint, public Auditable {
   std::size_t messages_processed() const { return messages_processed_; }
   std::size_t messages_sent() const { return messages_sent_; }
 
+  /// This replica's consensus group in a sharded cluster; 0 standalone.
+  int shard_group() const { return shard_group_; }
+
+  /// Audit claims are scoped per consensus group: independent groups run
+  /// independent logs, so "slot 5 of group 1" and "slot 5 of group 2"
+  /// must not be cross-checked for agreement (sim/auditor.h).
+  int audit_realm() const override { return shard_group_; }
+
+  /// The shared request-intake pipeline, when this protocol funnels all
+  /// commands through a single CommitPipeline (paxos family, raft,
+  /// mencius, the zone-group protocols). Protocols with per-object or
+  /// per-instance pipelines (wpaxos, epaxos) return null. The shard
+  /// coordinator's migration drain uses this generically.
+  virtual CommitPipeline* commit_pipeline() { return nullptr; }
+
+  /// True while this replica would currently propose commands itself
+  /// (an elected/active leader, or any replica of a protocol where every
+  /// node proposes). Used by the migration drain to pick the replica
+  /// whose executed store carries the group's latest state.
+  virtual bool IsLeaderNow() const { return false; }
+
  protected:
   /// Registers the handler for message type M (subclass of Message).
   /// Exactly one handler per type; later registrations replace earlier.
@@ -213,9 +242,12 @@ class Node : public Endpoint, public Auditable {
   /// consistency rung a read was served at (lease/ReadMode as int; 0 =
   /// full round) — intentionally weaker reads MUST label themselves so
   /// the checker never silently accepts them as linearizable.
+  /// `shard_group`/`shard_epoch` attach routing feedback to a rejection
+  /// (wrong-group redirect); -1 = no routing info.
   void ReplyToClient(const ClientRequest& req, bool ok, const Value& value,
                      bool found, NodeId leader_hint = NodeId::Invalid(),
-                     int read_mode = 0);
+                     int read_mode = 0, int shard_group = -1,
+                     std::uint64_t shard_epoch = 0);
 
   /// At-most-once admission filter for client *writes* (reads are
   /// idempotent and always admitted). Message duplication and client
@@ -322,6 +354,40 @@ class Node : public Endpoint, public Auditable {
   void SendShared(NodeId to, MessagePtr msg);
   void BroadcastShared(const std::vector<NodeId>& targets, MessagePtr msg);
   void Dispatch(MessagePtr msg);
+
+  // --- Relay-tree dissemination (net/relay.h) ------------------------------
+  /// While a relayed payload is being dispatched, sends addressed to the
+  /// broadcast's origin are diverted here instead of the transport — the
+  /// relay/leaf then ships them upward as one RelayAckBatch.
+  struct RelayCapture {
+    NodeId origin;
+    std::vector<MessagePtr>* out;
+  };
+  struct RelayBufferKey {
+    NodeId origin;
+    std::uint64_t tag = 0;
+    friend auto operator<=>(const RelayBufferKey&,
+                            const RelayBufferKey&) = default;
+  };
+  /// One in-progress ack aggregation at a relay. `sources` counts ack
+  /// batches folded in (self + one per subtree member that answered).
+  struct RelayBuffer {
+    std::size_t expected_sources = 0;
+    std::size_t sources = 0;
+    std::vector<MessagePtr> acks;
+  };
+  /// Broadcast via relay trees: R envelopes out instead of N-1 copies.
+  void RelayBroadcast(const std::vector<NodeId>& targets, MessagePtr msg);
+  void HandleRelayEnvelope(const RelayEnvelope& env);
+  void HandleRelayAckBatch(const RelayAckBatch& batch);
+  /// Ack-wait expiry: sends whatever the buffer collected (a dead member
+  /// must not hold the subtree's acks hostage) and closes the round.
+  void FlushRelayBuffer(RelayBufferKey key);
+  void SendAckBatch(NodeId to, NodeId origin, std::uint64_t tag,
+                    std::vector<MessagePtr> acks);
+  /// Runs the registered handler for a payload that already paid its
+  /// delivery cost inside an envelope/ack batch.
+  void DispatchRelayedPayload(const Message& payload);
   /// Arms `fn` after an already-skew-scaled `delay`, guarded by `alive_`:
   /// parks the callable in the timer slab and schedules a small slot-
   /// reference event.
@@ -336,6 +402,15 @@ class Node : public Endpoint, public Auditable {
   Transport* transport_;
   const Config* config_;
   NodeDisk* disk_ = nullptr;
+  const ShardGate* shard_gate_ = nullptr;
+  int shard_group_ = 0;
+  RelayPolicy relay_;
+  /// Advances per relayed broadcast: rotates the relay role through the
+  /// peer set (duty amortization + crash tolerance via retransmission).
+  std::uint64_t relay_rotation_ = 0;
+  std::uint64_t relay_tag_seq_ = 0;
+  RelayCapture* relay_capture_ = nullptr;
+  std::map<RelayBufferKey, RelayBuffer> relay_buffers_;
   /// Group-commit scheduler over disk_; dies with the node, which is
   /// exactly what abandons an in-flight sync on crash.
   std::unique_ptr<WalWriter> writer_;

@@ -150,6 +150,11 @@ void Nemesis::Apply(const FaultAction& action) {
       // duty until re-skewed back in band.
       cluster_->SetClockSkew(action.node, action.skew);
       break;
+    case FaultAction::Kind::kMigrateKey:
+      // false = key already there or mid-handoff; the schedule stays
+      // valid either way.
+      (void)cluster_->MigrateKey(action.key, action.group);
+      break;
   }
 }
 

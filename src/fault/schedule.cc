@@ -194,6 +194,14 @@ FaultAction FaultAction::SkewBeyondMargin(NodeId node, Time lease, Time margin,
   return action;
 }
 
+FaultAction FaultAction::MigrateKey(Key key, int to_group) {
+  FaultAction action;
+  action.kind = Kind::kMigrateKey;
+  action.key = key;
+  action.group = to_group;
+  return action;
+}
+
 std::string FaultAction::Describe() const {
   switch (kind) {
     case Kind::kNone:
@@ -250,6 +258,9 @@ std::string FaultAction::Describe() const {
     case Kind::kSkewBeyondMargin:
       return "skew-beyond-margin " + node.ToString() + " x" +
              std::to_string(skew);
+    case Kind::kMigrateKey:
+      return "migrate-key " + std::to_string(key) + " -> g" +
+             std::to_string(group);
   }
   return "none";
 }

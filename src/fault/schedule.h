@@ -41,6 +41,10 @@ struct FaultAction {
     // Lease faults (lease/lease.h; no-ops when leases are off).
     kExpireLease,      ///< Drop a node's held lease (Cluster::ExpireLease).
     kSkewBeyondMargin, ///< Skew a node's clock just past the lease band.
+    // Shard faults (sharded clusters only; see src/shard).
+    kMigrateKey,       ///< Fenced key handoff (Cluster::MigrateKey) — not a
+                       ///< fault per se, but scheduling migrations through
+                       ///< the nemesis lets them race partitions/crashes.
   };
 
   Kind kind = Kind::kNone;
@@ -57,6 +61,8 @@ struct FaultAction {
   Time extra = 0;      ///< Slow / reorder max extra delay.
   Cluster::RestartMode restart_mode = Cluster::RestartMode::kDurable;
   double skew = 1.0;   ///< Clock-skew factor.
+  Key key = 0;         ///< kMigrateKey: the key to move.
+  int group = 0;       ///< kMigrateKey: the destination group.
 
   static FaultAction Partition(std::vector<std::vector<NodeId>> groups,
                                Time duration);
@@ -92,6 +98,10 @@ struct FaultAction {
   static FaultAction ExpireLease(NodeId node);
   static FaultAction SkewBeyondMargin(NodeId node, Time lease, Time margin,
                                       double overshoot = 1.05);
+  /// Shard migration (sharded clusters): starts a fenced handoff of `key`
+  /// into `to_group` at the scheduled instant. Already-owned keys and
+  /// keys mid-handoff are no-ops, so random schedules stay valid.
+  static FaultAction MigrateKey(Key key, int to_group);
 
   /// Deterministic one-line description ("partition {1.1 1.2|2.1} 500ms"),
   /// used for telemetry labels and byte-identical replay comparison.

@@ -82,6 +82,10 @@ double ProtocolModel::MaxThroughput() const {
   return 1e6 / EffectiveServiceUs();
 }
 
+double ProtocolModel::ShardedMaxThroughput() const {
+  return std::max(1, env_.groups) * MaxThroughput();
+}
+
 double ProtocolModel::LeaseReadServiceUs() const {
   const NodeParams& n = env_.node;
   return n.t_in_us + n.t_out_us + 2.0 * n.NicUs();
@@ -152,6 +156,25 @@ double PaxosModel::EffectiveServiceUs() const {
   // NIC). At B = 1 every factor reduces exactly to the paper's formula.
   const double n = env_.NumNodes();
   const double b = env_.batch;
+  const double r = env_.relay_fanout;
+  if (r >= 1.0 && n > r + 1.0) {
+    // Relay-tree dissemination (net/relay.h, PigPaxos): the leader sends
+    // R envelopes instead of N-1 copies and takes R aggregated ack
+    // batches instead of N-1 P2bs — the (N-1) t_i term, the one that
+    // collapses flat Paxos at N >= 9, becomes R t_i. On the NIC, per
+    // slot: B client requests + replies (2B); R envelopes each carrying
+    // the P2a (0.5 + 0.5B message units) plus the relay framing (20-byte
+    // header = 0.2 units) and the subtree member list (8 bytes/member,
+    // N-1-R members across all envelopes = 0.08(N-1-R) units); R ack
+    // batches whose payloads total the N-1 fixed-size P2bs plus 0.2
+    // units of framing each.
+    const double cpu = (1.0 + b) / b * env_.node.t_out_us +
+                       (b + r) / b * env_.node.t_in_us +
+                       (2.0 * b + r * (0.7 + 0.5 * b) +
+                        0.08 * (n - 1.0 - r) + r * 0.2 + (n - 1.0)) /
+                           b * env_.node.NicUs();
+    return WithDisk(cpu, 1.0);
+  }
   const double cpu = (1.0 + b) / b * env_.node.t_out_us +
                      (b + n - 1.0) / b * env_.node.t_in_us +
                      (2.0 * b + (n - 1.0) + (n - 1.0) * (0.5 + 0.5 * b)) / b *
@@ -167,7 +190,16 @@ double PaxosModel::NetworkLatencyMs() const {
     if (node != leader_) followers.push_back(node);
   }
   const double dl = MeanClientRttMs(leader_);
-  const double dq = QuorumWaitMs(leader_, followers, q2_ - 1);
+  double dq = QuorumWaitMs(leader_, followers, q2_ - 1);
+  if (env_.relay_fanout >= 1 &&
+      env_.NumNodes() > env_.relay_fanout + 1) {
+    // A relayed phase-2 takes two hops each way (leader -> relay ->
+    // follower and back), and the relay waits for its whole subtree
+    // before batching the acks up — so the quorum wait roughly doubles
+    // and each intermediate adds a processing step. Latency is the price
+    // of the fan-out's throughput win; the scale_sweep bench shows both.
+    dq = 2.0 * dq + 2.0 * (env_.node.t_in_us + env_.node.t_out_us) / 1000.0;
+  }
   return dl + dq + DiskLatencyMs();
 }
 

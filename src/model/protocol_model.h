@@ -2,6 +2,7 @@
 #define PAXI_MODEL_PROTOCOL_MODEL_H_
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,21 @@ struct DiskModel {
   double UncontendedSyncUs(double batch) const {
     return SyncUs(RecordBytes(batch));
   }
+
+  /// M/M/1-style queueing delay at a *contended* medium: several writers
+  /// (co-located replicas, or a WAL sharing a disk with another log)
+  /// submit syncs to one device at an aggregate rate of
+  /// `sync_rate_per_us`, each holding it for one uncontended sync. The
+  /// expected extra wait before a sync starts is rho/(1-rho) * S —
+  /// infinite at/past saturation. The uncontended terms above stay valid
+  /// for a dedicated disk (rate * S << 1); this term is what a
+  /// two-writers-one-disk deployment adds on top (tests/wal_test.cc).
+  double QueueingWaitUs(double sync_rate_per_us, double batch) const {
+    const double service = UncontendedSyncUs(batch);
+    const double rho = sync_rate_per_us * service;
+    if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+    return rho / (1.0 - rho) * service;
+  }
 };
 
 /// Deployment the model evaluates: topology plus node placement. Requests
@@ -84,6 +100,13 @@ struct ModelEnv {
   double batch = 1.0;
   /// Durable-storage model; disabled by default (in-memory logs).
   DiskModel disk;
+  /// Relay-tree fan-out R on the leader's broadcast path (net/relay.h);
+  /// 0 = flat broadcast, the paper's §3 model. With R relays the leader
+  /// takes R aggregated ack batches instead of N-1 individual acks.
+  int relay_fanout = 0;
+  /// Independent consensus groups sharing the deployment (src/shard).
+  /// Aggregate capacity scales by this; per-group terms are unchanged.
+  int groups = 1;
   QueueKind queue = QueueKind::kMD1;
   /// Service-time CV used by the M/G/1 and G/G/1 variants (Fig. 4): our
   /// modeled service times are nearly deterministic, so this is small.
@@ -123,6 +146,10 @@ class ProtocolModel {
 
   /// Aggregate saturation throughput, rounds per second.
   double MaxThroughput() const;
+
+  /// Saturation throughput of `env.groups` independent groups of this
+  /// shape (src/shard): keys spread uniformly, so capacity adds.
+  double ShardedMaxThroughput() const;
 
   /// Average client-perceived latency (ms) at aggregate arrival rate
   /// `lambda` (rounds/s); +infinity past saturation.

@@ -1,0 +1,27 @@
+#include "net/relay.h"
+
+#include "common/check.h"
+
+namespace paxi {
+
+std::vector<RelayTree> RelayPolicy::Plan(const std::vector<NodeId>& targets,
+                                         std::uint64_t rotation) const {
+  PAXI_CHECK(Engaged(targets.size()),
+             "planning a relay tree the policy would not engage");
+  const std::size_t n = targets.size();
+  const std::size_t r = static_cast<std::size_t>(fanout_);
+  // Rotate deterministically so the relay role cycles through the target
+  // list across consecutive broadcasts.
+  const std::size_t shift = static_cast<std::size_t>(rotation % n);
+  std::vector<RelayTree> trees(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    trees[i].relay = targets[(shift + i) % n];
+    trees[i].members.reserve(n / r);
+  }
+  for (std::size_t i = r; i < n; ++i) {
+    trees[(i - r) % r].members.push_back(targets[(shift + i) % n]);
+  }
+  return trees;
+}
+
+}  // namespace paxi

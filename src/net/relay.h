@@ -1,0 +1,137 @@
+#ifndef PAXI_NET_RELAY_H_
+#define PAXI_NET_RELAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/digest.h"
+#include "common/types.h"
+#include "net/message.h"
+
+namespace paxi {
+
+/// Modeled bytes of relay framing: envelope/ack-batch header (tag, origin,
+/// counts) on top of the wrapped payload. Each subtree member listed in an
+/// envelope adds kRelayMemberBytes of routing table.
+constexpr std::size_t kRelayHeaderBytes = 20;
+constexpr std::size_t kRelayMemberBytes = 8;
+
+/// PigPaxos-style relay-tree broadcast (PAPERS.md, arXiv:2003.07760
+/// "Scaling Strongly Consistent Replication"): instead of the leader
+/// paying t_i for N-1 individual acks and NIC time for N-1 full copies,
+/// it sends R envelopes to relays, each relay fans the payload out to its
+/// subtree and aggregates the subtree's acks into one batch back to the
+/// origin. The leader's per-round CPU drops from (N-1)·t_i to R·t_i —
+/// which is exactly the term that makes flat Paxos collapse at N ≥ 9.
+///
+/// Wrapping happens at the transport layer of the node (core/node.cc
+/// BroadcastShared / SendShared), below every protocol's handler table,
+/// so all 8 protocols inherit relaying from one config knob
+/// (`relay_fanout`). Caveat: a relayed broadcast takes a different path
+/// per rotation, so cross-round per-link FIFO is not preserved — leave
+/// relaying off for protocols that rely on ordered links (Mencius).
+///
+/// One envelope carrying the original message rides to each relay; the
+/// relay re-wraps it (empty member list = "you are a leaf, ack via me")
+/// for its members. Acks are captured: while a node dispatches a relayed
+/// payload, sends addressed to the origin are diverted into the relay
+/// ack channel instead of the transport. Relay crash tolerance comes
+/// from rotation — every broadcast rotates the relay set, so a
+/// retransmission after a dead relay reaches the lost subtree through a
+/// different tree (and rotation also spreads the relay duty, keeping any
+/// single follower from becoming the new bottleneck).
+struct RelayEnvelope : Message {
+  MessagePtr inner;
+  /// The broadcasting node — where aggregated acks are owed.
+  NodeId origin = NodeId::Invalid();
+  /// Per-origin sequence number identifying this broadcast's ack round.
+  std::uint64_t tag = 0;
+  /// Subtree this relay serves; empty = leaf delivery.
+  std::vector<NodeId> members;
+
+  std::size_t ByteSize() const override {
+    return kRelayHeaderBytes + (inner != nullptr ? inner->ByteSize() : 0) +
+           kRelayMemberBytes * members.size();
+  }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(0x52454c59u)  // "RELY": keep envelopes distinct from payloads
+        .Mix(std::hash<NodeId>()(origin))
+        .Mix(tag)
+        .Mix(inner != nullptr ? inner->ContentDigest() : 0u)
+        .Mix(static_cast<std::uint64_t>(members.size()));
+    for (const NodeId& m : members) d.Mix(std::hash<NodeId>()(m));
+    return d.value();
+  }
+};
+
+/// Aggregated acks flowing back up a relay tree: leaf -> relay (one
+/// member's captured replies) and relay -> origin (the whole subtree's).
+/// The origin unwraps and dispatches each inner ack as if it had arrived
+/// individually — but paid t_i once for the batch, which is the win.
+struct RelayAckBatch : Message {
+  NodeId origin = NodeId::Invalid();
+  std::uint64_t tag = 0;
+  std::vector<MessagePtr> acks;
+
+  std::size_t ByteSize() const override {
+    std::size_t bytes = kRelayHeaderBytes;
+    for (const MessagePtr& ack : acks) bytes += ack->ByteSize();
+    return bytes;
+  }
+
+  std::uint64_t ContentDigest() const override {
+    Digest d;
+    d.Mix(0x52414342u)  // "RACB"
+        .Mix(std::hash<NodeId>()(origin))
+        .Mix(tag)
+        .Mix(static_cast<std::uint64_t>(acks.size()));
+    for (const MessagePtr& ack : acks) d.Mix(ack->ContentDigest());
+    return d.value();
+  }
+};
+
+/// One relay subtree of a planned broadcast.
+struct RelayTree {
+  NodeId relay;
+  std::vector<NodeId> members;
+};
+
+/// Deterministic relay-tree planner, configured per node from the
+/// deployment params (`relay_fanout` R, 0 = off; `relay_ack_wait_us` for
+/// the relay's partial-aggregation flush). Plan() is a pure function of
+/// (targets, rotation): the rotation counter advances per broadcast, so
+/// consecutive broadcasts use different relays — amortizing relay duty
+/// and routing retransmissions around a crashed relay.
+class RelayPolicy {
+ public:
+  RelayPolicy() = default;
+  RelayPolicy(int fanout, Time ack_wait_us)
+      : fanout_(fanout), ack_wait_us_(ack_wait_us) {}
+
+  int fanout() const { return fanout_; }
+  Time ack_wait_us() const { return ack_wait_us_; }
+
+  /// Relaying engages only when it can help: at least one relay would
+  /// serve a member beyond itself (otherwise the envelope is pure
+  /// overhead over a direct broadcast).
+  bool Engaged(std::size_t num_targets) const {
+    return fanout_ > 0 && num_targets > static_cast<std::size_t>(fanout_) + 1;
+  }
+
+  /// Partitions `targets` into fanout() trees: after rotating the target
+  /// list by `rotation`, the first R targets relay for the rest
+  /// (round-robin assignment).
+  std::vector<RelayTree> Plan(const std::vector<NodeId>& targets,
+                              std::uint64_t rotation) const;
+
+ private:
+  int fanout_ = 0;
+  Time ack_wait_us_ = 1000;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_NET_RELAY_H_

@@ -170,6 +170,11 @@ class MenciusReplica : public Node {
   /// re-learnable through the Fill probe, like the commit watermark.
   void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
 
+  /// Every Mencius replica owns a slot lane and admits requests, so for
+  /// shard-drain purposes each one counts as a leader with a pipeline.
+  bool IsLeaderNow() const override { return true; }
+  CommitPipeline* commit_pipeline() override { return &pipeline_; }
+
   Slot executed_up_to() const { return execute_up_to_; }
   std::size_t skips_sent() const { return skips_sent_; }
   std::size_t fills_sent() const { return fills_sent_; }

@@ -190,6 +190,8 @@ class PaxosReplica : public Node {
   void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
 
   bool IsLeader() const { return active_; }
+  bool IsLeaderNow() const override { return IsLeader(); }
+  CommitPipeline* commit_pipeline() override { return &pipeline_; }
   Ballot ballot() const { return ballot_; }
   Slot committed_up_to() const { return commit_up_to_; }
   Slot executed_up_to() const { return execute_up_to_; }

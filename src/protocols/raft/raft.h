@@ -168,6 +168,8 @@ class RaftReplica : public Node {
   void ApplyWalRecovery(const std::vector<WalRecord>& records) override;
 
   bool IsLeader() const { return role_ == Role::kLeader; }
+  bool IsLeaderNow() const override { return IsLeader(); }
+  CommitPipeline* commit_pipeline() override { return &pipeline_; }
   std::int64_t term() const { return term_; }
   Slot commit_index() const { return commit_index_; }
   /// Live (uncompacted) entries held by this replica.

@@ -95,6 +95,7 @@ class VPaxosReplica : public ZoneGroupNode {
 
   bool IsMasterZone() const { return id().zone == master_zone_; }
   std::size_t migrations() const { return migrations_; }
+  CommitPipeline* commit_pipeline() override { return &pipeline_; }
 
   /// One-line dump of this node's view of `key` (tests/diagnostics).
   std::string DebugKey(Key key) const;

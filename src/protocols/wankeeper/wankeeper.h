@@ -90,6 +90,7 @@ class WanKeeperReplica : public ZoneGroupNode {
   std::uint64_t StateDigest() const override;
 
   bool IsMasterZone() const { return id().zone == master_zone_; }
+  CommitPipeline* commit_pipeline() override { return &pipeline_; }
   std::size_t tokens_held() const { return tokens_.size(); }
   std::size_t grants() const { return grants_; }
   std::size_t revokes() const { return revokes_; }

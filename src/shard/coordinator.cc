@@ -1,0 +1,298 @@
+#include "shard/coordinator.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/digest.h"
+#include "core/messages.h"
+#include "core/node.h"
+#include "protocols/common/commit_pipeline.h"
+
+namespace paxi {
+namespace {
+
+/// Drain polling cadence and budget: ~2s of virtual time before a
+/// handoff gives up on the source group going quiet (it rarely needs
+/// more than a few polls — closed-loop load empties the pipeline between
+/// rounds; a crashed source replica is what exhausts the budget).
+constexpr Time kDrainPollUs = 500;
+constexpr int kMaxDrainPolls = 4000;
+/// Install retry timer: generous against a LAN/WAN consensus round but
+/// far below the client timeout, so a lost install or a deposed
+/// destination leader costs one rotation, not a stalled fence.
+constexpr Time kInstallTimeoutUs = 20 * kMillisecond;
+constexpr int kMaxInstallAttempts = 10;
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(Simulator* sim, Transport* transport,
+                                   const Config& base, int num_groups)
+    : sim_(sim),
+      transport_(transport),
+      nodes_per_group_(base.nodes_per_zone),
+      map_(num_groups) {
+  PAXI_CHECK(sim_ != nullptr && transport_ != nullptr);
+  PAXI_CHECK(num_groups >= 1);
+  PAXI_CHECK(num_groups * base.nodes_per_zone < kCoordinatorNode,
+             "group id ranges would collide with the coordinator endpoint");
+  group_configs_.reserve(static_cast<std::size_t>(num_groups));
+  infos_.reserve(static_cast<std::size_t>(num_groups));
+  for (int g = 1; g <= num_groups; ++g) {
+    auto cfg = std::make_unique<Config>(base);
+    cfg->node_base = (g - 1) * base.nodes_per_zone;
+    cfg->params["leader"] = "1." + std::to_string(cfg->node_base + 1);
+    cfg->params["group_id"] = std::to_string(g);
+    GroupInfo info;
+    info.group = g;
+    info.leader = NodeId{1, cfg->node_base + 1};
+    info.nodes = cfg->Nodes();
+    infos_.push_back(std::move(info));
+    group_configs_.push_back(std::move(cfg));
+  }
+}
+
+const Config& ShardCoordinator::GroupConfig(int group) const {
+  PAXI_CHECK(group >= 1 && group <= num_groups());
+  return *group_configs_[static_cast<std::size_t>(group - 1)];
+}
+
+int ShardCoordinator::GroupOfNode(NodeId id) const {
+  const int group = (id.node - 1) / nodes_per_group_ + 1;
+  PAXI_CHECK(id.node >= 1 && group >= 1 && group <= num_groups(),
+             "node id outside every group's range");
+  return group;
+}
+
+const Config& ShardCoordinator::ConfigFor(NodeId id) const {
+  return GroupConfig(GroupOfNode(id));
+}
+
+ShardGate::Verdict ShardCoordinator::CheckRequest(const ClientRequest& req,
+                                                  int group) const {
+  Verdict v;
+  v.epoch = map_.epoch();
+  const Key key = req.cmd.key;
+  if (req.shard_install) {
+    // An install is admissible only at the destination of the live
+    // migration it stamps (fence-time epoch). Anything else is a
+    // straggler copy of a finished or abandoned handoff — drop it; the
+    // coordinator's retry machinery owns redelivery.
+    const auto it = active_.find(key);
+    const bool live = it != active_.end() && it->second.installing &&
+                      it->second.to == group &&
+                      it->second.fence_epoch == req.shard_epoch;
+    if (!live) v.action = Action::kFenced;
+    return v;
+  }
+  if (map_.IsFenced(key)) {
+    v.action = Action::kFenced;
+    return v;
+  }
+  const int owner = map_.GroupOf(key);
+  if (owner != group) {
+    v.action = Action::kRedirect;
+    v.group = owner;
+    v.leader_hint = infos_[static_cast<std::size_t>(owner - 1)].leader;
+  }
+  return v;
+}
+
+bool ShardCoordinator::MigrateKey(Key key, int to_group) {
+  PAXI_CHECK(to_group >= 1 && to_group <= num_groups());
+  if (active_.count(key) != 0) return false;  // one handoff per key
+  const int from = map_.GroupOf(key);
+  if (from == to_group) return false;
+  Migration mig;
+  mig.from = from;
+  mig.to = to_group;
+  map_.Fence(key);
+  mig.fence_epoch = map_.epoch();
+  active_.emplace(key, std::move(mig));
+  ++stats_.started;
+  sim_->After(kDrainPollUs, [this, key]() { PollDrain(key); });
+  return true;
+}
+
+bool ShardCoordinator::SourceQuiet(const Migration& mig) const {
+  PAXI_CHECK(lookup_ != nullptr, "coordinator has no node lookup wired");
+  for (const NodeId id :
+       infos_[static_cast<std::size_t>(mig.from - 1)].nodes) {
+    Node* node = lookup_(id);
+    // A dead replica (mid-restart) has no pipeline: whatever it had
+    // queued died with it, and anything that committed lives on the
+    // survivors the value scan reads. Protocols without a central
+    // pipeline (EPaxos, WPaxos) report none and are likewise skipped —
+    // their migrations rely on the fence plus the poll delay to settle.
+    if (node == nullptr) continue;
+    CommitPipeline* pipeline = node->commit_pipeline();
+    if (pipeline == nullptr) continue;
+    // Kick everything admitted into flight, then require full quiet.
+    pipeline->DrainAll();
+    if (pipeline->queued() != 0 || pipeline->in_flight() != 0) return false;
+  }
+  return true;
+}
+
+void ShardCoordinator::PollDrain(Key key) {
+  const auto it = active_.find(key);
+  if (it == active_.end()) return;
+  Migration& mig = it->second;
+  ++stats_.drain_polls;
+  if (SourceQuiet(mig)) {
+    CaptureAndInstall(key, mig);
+    return;
+  }
+  if (++mig.drain_polls >= kMaxDrainPolls) {
+    Abandon(key, "source group never drained");
+    return;
+  }
+  sim_->After(kDrainPollUs, [this, key]() { PollDrain(key); });
+}
+
+void ShardCoordinator::CaptureAndInstall(Key key, Migration& mig) {
+  // Take the longest per-key version history across *all* source
+  // replicas: with the fence up and the pipelines drained, every
+  // committed write has executed somewhere, and the replica that
+  // executed the most of them holds the newest value — no reliance on
+  // any node's (possibly stale) claim to leadership.
+  std::size_t best_len = 0;
+  for (const NodeId id :
+       infos_[static_cast<std::size_t>(mig.from - 1)].nodes) {
+    Node* node = lookup_(id);
+    if (node == nullptr) continue;
+    const auto versions = node->store().Versions(key);
+    if (versions.size() > best_len) {
+      best_len = versions.size();
+      mig.value = versions.back().value;
+      mig.writer = versions.back().writer;
+    }
+  }
+  if (best_len == 0) {
+    // Never written: nothing to ship, the handoff is a pure map flip.
+    ++stats_.empty_handoffs;
+    Finish(key, mig);
+    return;
+  }
+  mig.installing = true;
+  mig.install_attempts = 1;
+  SendInstall(key, mig);
+  ArmInstallTimeout(key, mig.install_attempts);
+}
+
+void ShardCoordinator::SendInstall(Key key, Migration& mig) {
+  const auto& dest = infos_[static_cast<std::size_t>(mig.to - 1)].nodes;
+  const NodeId target = dest[mig.target_cursor % dest.size()];
+  ClientRequest req;
+  req.cmd.op = Command::Op::kPut;
+  req.cmd.key = key;
+  req.cmd.value = mig.value;
+  // Keep the original writer's identity: the destination's session table
+  // and the per-key write history then attribute the version to the
+  // client that actually wrote it, not to the coordinator.
+  req.cmd.client = mig.writer.client;
+  req.cmd.request = mig.writer.request;
+  req.shard_install = true;
+  req.shard_epoch = mig.fence_epoch;
+  req.client_addr = id();
+  req.issued_at = sim_->Now();
+  req.from = id();
+  ++stats_.installs_sent;
+  transport_->Send(target, MakeMessage<ClientRequest>(std::move(req)),
+                   sim_->Now());
+}
+
+void ShardCoordinator::ArmInstallTimeout(Key key, int attempt) {
+  sim_->After(kInstallTimeoutUs, [this, key, attempt]() {
+    const auto it = active_.find(key);
+    if (it == active_.end()) return;
+    Migration& mig = it->second;
+    if (!mig.installing || mig.install_attempts != attempt) return;
+    if (mig.install_attempts >= kMaxInstallAttempts) {
+      Abandon(key, "install never acknowledged");
+      return;
+    }
+    ++mig.install_attempts;
+    ++mig.target_cursor;  // rotate off the unresponsive replica
+    ++stats_.install_retries;
+    SendInstall(key, mig);
+    ArmInstallTimeout(key, mig.install_attempts);
+  });
+}
+
+void ShardCoordinator::Deliver(MessagePtr msg) {
+  const auto* reply = dynamic_cast<const ClientReply*>(msg.get());
+  if (reply == nullptr) return;
+  // Installs carry the original writer's (client, request): match them
+  // back to the live migration. std::map iteration keeps this scan
+  // deterministic; active migrations are few.
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    Migration& mig = it->second;
+    if (!mig.installing || mig.writer.client != reply->client ||
+        mig.writer.request != reply->request) {
+      continue;
+    }
+    const Key key = it->first;
+    if (reply->ok) {
+      Finish(key, mig);
+      return;
+    }
+    // Rejected (non-leader replica, mid-election): rotate — onto the
+    // hinted leader when the rejection named one — and resend.
+    if (mig.install_attempts >= kMaxInstallAttempts) {
+      Abandon(key, "install rejected by destination group");
+      return;
+    }
+    const auto& dest = infos_[static_cast<std::size_t>(mig.to - 1)].nodes;
+    if (reply->leader_hint.valid()) {
+      for (std::size_t i = 0; i < dest.size(); ++i) {
+        if (dest[i] == reply->leader_hint) {
+          mig.target_cursor = i;
+          break;
+        }
+      }
+    } else {
+      ++mig.target_cursor;
+    }
+    ++mig.install_attempts;
+    ++stats_.install_retries;
+    SendInstall(key, mig);
+    ArmInstallTimeout(key, mig.install_attempts);
+    return;
+  }
+}
+
+void ShardCoordinator::Finish(Key key, Migration& mig) {
+  map_.SetOverride(key, mig.to);
+  map_.Unfence(key);
+  ++stats_.completed;
+  active_.erase(key);
+}
+
+void ShardCoordinator::Abandon(Key key, const char* why) {
+  // The fence lifts and the old placement stands. If the install in fact
+  // committed but its reply was lost, the destination holds an orphaned
+  // copy — harmless, because the map still routes every read and write
+  // to the source group, so the orphan is never observable.
+  (void)why;
+  map_.Unfence(key);
+  ++stats_.aborted;
+  active_.erase(key);
+}
+
+std::uint64_t ShardCoordinator::StateDigest() const {
+  Digest d;
+  d.Mix(map_.StateDigest());
+  d.Mix(static_cast<std::uint64_t>(active_.size()));
+  for (const auto& [key, mig] : active_) {
+    d.Mix(static_cast<std::uint64_t>(key))
+        .Mix(static_cast<std::uint64_t>(mig.from))
+        .Mix(static_cast<std::uint64_t>(mig.to))
+        .Mix(mig.fence_epoch)
+        .Mix(static_cast<std::uint64_t>(mig.install_attempts))
+        .Mix(mig.installing ? 1u : 0u);
+  }
+  return d.value();
+}
+
+}  // namespace paxi

@@ -1,0 +1,152 @@
+#ifndef PAXI_SHARD_COORDINATOR_H_
+#define PAXI_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "store/command.h"
+#include "net/transport.h"
+#include "shard/gate.h"
+#include "shard/router.h"
+#include "shard/shard_map.h"
+#include "sim/simulator.h"
+
+namespace paxi {
+
+class Node;
+
+/// Control plane of a sharded cluster (Cluster with param "groups" > 1):
+/// owns the authoritative ShardMap, the per-group Configs that carve the
+/// shared transport's id space into disjoint consensus groups, the
+/// admission gate every replica consults (ShardGate), and the fenced
+/// key-migration state machine.
+///
+/// The coordinator is deliberately *not* itself replicated: it stands in
+/// for an external configuration service (a la a placement driver) whose
+/// own consensus is out of scope. What the simulation does model
+/// faithfully is the interesting distributed part — clients with stale
+/// views, the handoff fence, the source-group drain, and the install
+/// racing normal traffic — because those all flow through the same
+/// transport and protocol machinery as everything else.
+///
+/// Migration protocol (DESIGN.md "Sharding and relay dissemination"):
+///   1. Fence the key in the ShardMap: every group now rejects normal
+///      commands for it (gate kFenced), so no new writes can enter any
+///      log while ownership is in motion.
+///   2. Drain the source group: poll until every replica's commit
+///      pipeline is quiet (nothing queued, nothing in flight), so every
+///      admitted write for the key has committed and executed. Gives up
+///      and unfences after a bounded number of polls.
+///   3. Capture the key's latest value by scanning *all* source-group
+///      replicas and taking the longest per-key version history —
+///      consensus guarantees the replica that executed the most writes
+///      holds the newest value, without trusting any node's leadership
+///      claim.
+///   4. Install into the destination group as a shard_install
+///      ClientRequest (the original writer's command identity, the fence
+///      epoch as a validity stamp) through the destination's ordinary
+///      consensus path; retries rotate across destination replicas.
+///   5. On the install's commit reply: record the override (bumping the
+///      map epoch) and lift the fence. Clients learn the new placement
+///      lazily via redirects (shard/router.h).
+class ShardCoordinator : public Endpoint, public ShardGate {
+ public:
+  /// In-zone index of the coordinator's transport endpoint. Sits between
+  /// the replica id range (groups * nodes_per_zone must stay below it)
+  /// and the client range (Client::kClientNodeBase = 1000).
+  static constexpr std::int32_t kCoordinatorNode = 999;
+
+  struct Stats {
+    std::size_t started = 0;
+    std::size_t completed = 0;
+    std::size_t aborted = 0;  ///< Drain or install gave up; fence lifted.
+    std::size_t installs_sent = 0;
+    std::size_t install_retries = 0;
+    std::size_t drain_polls = 0;
+    /// Migrations of never-written keys: no state to ship, pure map flip.
+    std::size_t empty_handoffs = 0;
+  };
+
+  /// Carves `base` into `num_groups` per-group configs (disjoint
+  /// node_base ranges, per-group bootstrap leader "1.<base+1>").
+  ShardCoordinator(Simulator* sim, Transport* transport, const Config& base,
+                   int num_groups);
+
+  /// How the coordinator reaches live replicas for drain checks and
+  /// store scans; wired by the Cluster after node construction.
+  using NodeLookup = std::function<Node*(NodeId)>;
+  void SetNodeLookup(NodeLookup lookup) { lookup_ = std::move(lookup); }
+
+  int num_groups() const { return map_.num_groups(); }
+  const ShardMap& map() const { return map_; }
+
+  const Config& GroupConfig(int group) const;
+  /// The per-group config governing replica `id` (its peer set, leader).
+  const Config& ConfigFor(NodeId id) const;
+  /// The consensus group replica `id` belongs to (from its id range).
+  int GroupOfNode(NodeId id) const;
+
+  /// Static routing facts for seeding client views (shard/router.h).
+  std::vector<GroupInfo> GroupInfos() const { return infos_; }
+
+  // --- ShardGate -----------------------------------------------------------
+  Verdict CheckRequest(const ClientRequest& req, int group) const override;
+
+  // --- Endpoint (install replies land here) --------------------------------
+  NodeId id() const override { return NodeId{1, kCoordinatorNode}; }
+  void Deliver(MessagePtr msg) override;
+
+  /// Starts a fenced handoff of `key` to `to_group`. Returns false (and
+  /// does nothing) when a migration for the key is already running or the
+  /// key already lives there. Completion is asynchronous; observe it via
+  /// MigrationActive / stats / the map's epoch.
+  bool MigrateKey(Key key, int to_group);
+
+  bool MigrationActive(Key key) const { return active_.count(key) != 0; }
+  const Stats& stats() const { return stats_; }
+
+  std::uint64_t StateDigest() const;
+
+ private:
+  struct Migration {
+    int from = 0;
+    int to = 0;
+    /// Map epoch at fence time; stamps the install so a straggler copy
+    /// arriving after this migration finished is recognizably stale.
+    std::uint64_t fence_epoch = 0;
+    int drain_polls = 0;
+    int install_attempts = 0;
+    /// Round-robin cursor over destination replicas for install retries.
+    std::size_t target_cursor = 0;
+    bool installing = false;
+    CommandId writer;  ///< Original writer of the shipped version.
+    Value value;
+  };
+
+  void PollDrain(Key key);
+  bool SourceQuiet(const Migration& mig) const;
+  void CaptureAndInstall(Key key, Migration& mig);
+  void SendInstall(Key key, Migration& mig);
+  void ArmInstallTimeout(Key key, int attempt);
+  void Finish(Key key, Migration& mig);
+  void Abandon(Key key, const char* why);
+
+  Simulator* sim_;
+  Transport* transport_;
+  NodeLookup lookup_;
+  int nodes_per_group_;
+  std::vector<std::unique_ptr<Config>> group_configs_;
+  std::vector<GroupInfo> infos_;
+  ShardMap map_;
+  std::map<Key, Migration> active_;
+  Stats stats_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_SHARD_COORDINATOR_H_

@@ -1,0 +1,55 @@
+#ifndef PAXI_SHARD_GATE_H_
+#define PAXI_SHARD_GATE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace paxi {
+
+struct ClientRequest;
+
+/// Admission gate a replica of a sharded cluster consults before handing
+/// a client request to its protocol (core/node.cc Dispatch). Implemented
+/// by the ShardCoordinator; kept as a tiny interface so core/ depends on
+/// nothing but this header. Replicas of a standalone cluster have no
+/// gate and skip the check entirely.
+///
+/// The gate is authoritative: it reads the coordinator's live ShardMap,
+/// so a placement flip is visible to every replica at the next dispatch.
+/// Client-side staleness (the interesting failure mode) is modeled in
+/// the per-client router view (shard/router.h), which only learns
+/// through redirects.
+class ShardGate {
+ public:
+  enum class Action {
+    /// The key belongs to this replica's group — proceed to the protocol.
+    kOwned,
+    /// Another group owns the key: reject with a redirect (owning group,
+    /// current epoch, that group's default leader as the hint).
+    kRedirect,
+    /// A migration handoff is open for the key: reject with no hint; the
+    /// client backs off and retries, landing on whichever group owns the
+    /// key once the fence lifts.
+    kFenced,
+  };
+
+  struct Verdict {
+    Action action = Action::kOwned;
+    int group = -1;  ///< Owning group (kRedirect only).
+    std::uint64_t epoch = 0;
+    NodeId leader_hint = NodeId::Invalid();
+  };
+
+  virtual ~ShardGate() = default;
+
+  /// Checks `req` against the map on behalf of a replica of `group`.
+  /// Handles shard installs too: an install is kOwned at its destination
+  /// while its fence epoch is current, kFenced (drop-and-let-the-
+  /// coordinator-retry) otherwise.
+  virtual Verdict CheckRequest(const ClientRequest& req, int group) const = 0;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_SHARD_GATE_H_

@@ -1,0 +1,70 @@
+#include "shard/router.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "shard/shard_map.h"
+
+namespace paxi {
+
+ShardRouterView::ShardRouterView(std::vector<GroupInfo> groups,
+                                 bool single_leader, int client_zone)
+    : groups_(std::move(groups)),
+      single_leader_(single_leader),
+      client_zone_(client_zone) {
+  PAXI_CHECK(!groups_.empty());
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    PAXI_CHECK(groups_[i].group == static_cast<int>(i) + 1,
+               "group infos must be dense and 1-based");
+    PAXI_CHECK(!groups_[i].nodes.empty());
+  }
+}
+
+const GroupInfo& ShardRouterView::Info(int group) const {
+  PAXI_CHECK(group >= 1 && group <= num_groups());
+  return groups_[static_cast<std::size_t>(group - 1)];
+}
+
+int ShardRouterView::GroupOf(Key key) const {
+  const auto it = overrides_.find(key);
+  if (it != overrides_.end()) return it->second;
+  return ShardMap::BaseGroupOf(key, num_groups());
+}
+
+NodeId ShardRouterView::TargetFor(Key key) const {
+  const GroupInfo& info = Info(GroupOf(key));
+  if (single_leader_) return info.leader;
+  for (const NodeId id : info.nodes) {
+    if (id.zone == client_zone_) return id;
+  }
+  return info.nodes.front();
+}
+
+NodeId ShardRouterView::NextInGroup(Key key, NodeId current) const {
+  const GroupInfo& info = Info(GroupOf(key));
+  const auto& nodes = info.nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == current) return nodes[(i + 1) % nodes.size()];
+  }
+  // `current` is outside the believed group (we just adopted an
+  // override): start over at the group's preferred target.
+  return TargetFor(key);
+}
+
+bool ShardRouterView::ObserveRedirect(Key key, int group,
+                                      std::uint64_t epoch) {
+  if (group < 1 || group > num_groups()) return false;
+  if (epoch < epoch_) return false;
+  // Same epoch can still teach us a *different key's* placement: two
+  // migrations finalized before we refreshed leave several keys moved at
+  // our newest-seen epoch. Only a no-op redirect is rejected.
+  const auto it = overrides_.find(key);
+  if (epoch == epoch_ && it != overrides_.end() && it->second == group) {
+    return false;
+  }
+  epoch_ = epoch;
+  overrides_[key] = group;
+  return true;
+}
+
+}  // namespace paxi

@@ -1,0 +1,66 @@
+#ifndef PAXI_SHARD_ROUTER_H_
+#define PAXI_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Static per-group facts a client needs to aim a request: the group's
+/// replicas and its configured (bootstrap) leader. Real leadership may
+/// have moved — the normal leader_hint redirect machinery handles that
+/// once the request reaches the right group.
+struct GroupInfo {
+  int group = 0;
+  NodeId leader = NodeId::Invalid();
+  std::vector<NodeId> nodes;
+};
+
+/// A client's *stale-able* view of the shard map — the GroupDirectory a
+/// client consults before every request. It starts from the static base
+/// placement (hash mod groups, epoch 0) and only learns about migrations
+/// through redirects: when a replica rejects a request with routing info
+/// carrying a newer epoch, the client adopts the override. Epoch
+/// comparison is what terminates redirect loops — an older or equal
+/// epoch teaches nothing, so a client never flip-flops between two
+/// groups on stale hints.
+class ShardRouterView {
+ public:
+  /// `single_leader`: route to the group's leader (leader-based
+  /// protocols); otherwise to the group replica in the client's zone.
+  ShardRouterView(std::vector<GroupInfo> groups, bool single_leader,
+                  int client_zone);
+
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The group this view believes owns `key`.
+  int GroupOf(Key key) const;
+
+  /// Where to aim a request for `key` right now.
+  NodeId TargetFor(Key key) const;
+
+  /// Round-robin fallback *within the believed group* after a timeout —
+  /// the sharded analog of Client::NextTarget cycling config Nodes().
+  NodeId NextInGroup(Key key, NodeId current) const;
+
+  /// Learns from a rejection that carried routing info. Returns true if
+  /// the view changed (the redirect's epoch was newer than ours).
+  bool ObserveRedirect(Key key, int group, std::uint64_t epoch);
+
+ private:
+  const GroupInfo& Info(int group) const;
+
+  std::vector<GroupInfo> groups_;
+  bool single_leader_;
+  int client_zone_;
+  std::uint64_t epoch_ = 0;
+  std::map<Key, int> overrides_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_SHARD_ROUTER_H_

@@ -1,0 +1,59 @@
+#include "shard/shard_map.h"
+
+#include "common/check.h"
+#include "common/digest.h"
+
+namespace paxi {
+
+ShardMap::ShardMap(int num_groups) : num_groups_(num_groups) {
+  PAXI_CHECK(num_groups >= 1, "a shard map needs at least one group");
+}
+
+int ShardMap::BaseGroupOf(Key key, int num_groups) {
+  PAXI_CHECK(num_groups >= 1);
+  // splitmix64 finalizer: a seeded-quality spread so consecutive keys
+  // (the workload generators draw small integers) don't all land in one
+  // group. Pure function of the key — clients compute the same base map
+  // without talking to anyone.
+  std::uint64_t x = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(num_groups)) + 1;
+}
+
+int ShardMap::GroupOf(Key key) const {
+  const auto it = overrides_.find(key);
+  if (it != overrides_.end()) return it->second;
+  return BaseGroupOf(key, num_groups_);
+}
+
+void ShardMap::Fence(Key key) {
+  PAXI_CHECK(fenced_.insert(key).second,
+             "key is already fenced (one migration at a time per key)");
+}
+
+void ShardMap::Unfence(Key key) {
+  PAXI_CHECK(fenced_.erase(key) == 1, "unfencing a key that is not fenced");
+}
+
+void ShardMap::SetOverride(Key key, int group) {
+  PAXI_CHECK(group >= 1 && group <= num_groups_);
+  overrides_[key] = group;
+  ++epoch_;
+}
+
+std::uint64_t ShardMap::StateDigest() const {
+  Digest d;
+  d.Mix(static_cast<std::uint64_t>(num_groups_)).Mix(epoch_);
+  d.Mix(static_cast<std::uint64_t>(overrides_.size()));
+  for (const auto& [key, group] : overrides_) {
+    d.Mix(static_cast<std::uint64_t>(key))
+        .Mix(static_cast<std::uint64_t>(group));
+  }
+  d.Mix(static_cast<std::uint64_t>(fenced_.size()));
+  for (const Key key : fenced_) d.Mix(static_cast<std::uint64_t>(key));
+  return d.value();
+}
+
+}  // namespace paxi

@@ -1,0 +1,62 @@
+#ifndef PAXI_SHARD_SHARD_MAP_H_
+#define PAXI_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/types.h"
+
+namespace paxi {
+
+/// Keyspace -> consensus-group placement map (paper-scale sharding: the
+/// next factor of N over one leader comes from N independent groups, not
+/// a faster leader). Groups are numbered 1..num_groups. Placement is a
+/// deterministic hash of the key plus an override table for keys that
+/// have been migrated; the `epoch` counts placement changes so clients
+/// can tell a fresh redirect from a stale one.
+///
+/// A key being *fenced* means a migration's handoff window is open: no
+/// group may accept normal client commands for it (the destination still
+/// accepts the one fenced install that ships the key's state). Fencing
+/// plus the source-pipeline drain is what makes the handoff atomic —
+/// see DESIGN.md "Sharding and relay dissemination".
+///
+/// All containers are ordered (std::map/std::set): iteration order feeds
+/// digests and, through the coordinator, the event schedule, so the
+/// determinism lint's unordered-iteration rule applies in full.
+class ShardMap {
+ public:
+  explicit ShardMap(int num_groups);
+
+  int num_groups() const { return num_groups_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The group a fresh client view would route `key` to before learning
+  /// any overrides: a splitmix-style hash of the key mod num_groups.
+  static int BaseGroupOf(Key key, int num_groups);
+
+  /// Authoritative placement: override if migrated, else BaseGroupOf.
+  int GroupOf(Key key) const;
+
+  bool IsFenced(Key key) const { return fenced_.count(key) != 0; }
+  void Fence(Key key);
+  void Unfence(Key key);
+
+  /// Commits a migration: records the override and bumps the epoch.
+  void SetOverride(Key key, int group);
+
+  const std::map<Key, int>& overrides() const { return overrides_; }
+
+  std::uint64_t StateDigest() const;
+
+ private:
+  int num_groups_;
+  std::uint64_t epoch_ = 0;
+  std::map<Key, int> overrides_;
+  std::set<Key> fenced_;
+};
+
+}  // namespace paxi
+
+#endif  // PAXI_SHARD_SHARD_MAP_H_

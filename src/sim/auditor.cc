@@ -98,7 +98,14 @@ std::uint64_t DigestCommands(std::span<const Command> cmds) {
 
 // --- Invariant auditing ----------------------------------------------------
 
-void AuditScope::BallotIs(const std::string& domain, const Ballot& ballot) {
+std::string AuditScope::Scoped(const std::string& domain) const {
+  if (realm_ == 0) return domain;
+  return "g" + std::to_string(realm_) + "/" + domain;
+}
+
+void AuditScope::BallotIs(const std::string& raw_domain,
+                          const Ballot& ballot) {
+  const std::string domain = Scoped(raw_domain);
   auto [it, inserted] =
       auditor_->max_ballot_.try_emplace({node_, domain}, ballot);
   if (inserted) return;
@@ -111,8 +118,9 @@ void AuditScope::BallotIs(const std::string& domain, const Ballot& ballot) {
   it->second = ballot;
 }
 
-void AuditScope::Chosen(const std::string& domain, Slot slot,
+void AuditScope::Chosen(const std::string& raw_domain, Slot slot,
                         std::uint64_t digest) {
+  const std::string domain = Scoped(raw_domain);
   auto& frontier = auditor_->frontier_[{node_, domain}];
   frontier = std::max(frontier, slot);
   auto [it, inserted] = auditor_->chosen_.try_emplace(
@@ -129,8 +137,9 @@ void AuditScope::Chosen(const std::string& domain, Slot slot,
   }
 }
 
-void AuditScope::SnapshotAt(const std::string& domain, Slot slot,
+void AuditScope::SnapshotAt(const std::string& raw_domain, Slot slot,
                             std::uint64_t digest) {
+  const std::string domain = Scoped(raw_domain);
   auto& frontier = auditor_->frontier_[{node_, domain}];
   frontier = std::max(frontier, slot);
   auto [it, inserted] = auditor_->snapshots_.try_emplace(
@@ -146,8 +155,8 @@ void AuditScope::SnapshotAt(const std::string& domain, Slot slot,
   }
 }
 
-Slot AuditScope::ChosenFrontier(const std::string& domain) const {
-  const auto it = auditor_->frontier_.find({node_, domain});
+Slot AuditScope::ChosenFrontier(const std::string& raw_domain) const {
+  const auto it = auditor_->frontier_.find({node_, Scoped(raw_domain)});
   return it == auditor_->frontier_.end() ? -1 : it->second;
 }
 
@@ -155,7 +164,8 @@ void AuditScope::Require(bool ok, const std::string& what) {
   if (!ok) auditor_->ReportViolation(node_, what);
 }
 
-void AuditScope::LeaseHeld(const std::string& domain) {
+void AuditScope::LeaseHeld(const std::string& raw_domain) {
+  const std::string domain = Scoped(raw_domain);
   auto [it, inserted] =
       auditor_->lease_claims_.try_emplace(domain, node_);
   if (inserted || it->second == node_) return;
@@ -196,7 +206,7 @@ void InvariantAuditor::AuditNow() {
   ++events_audited_;
   lease_claims_.clear();  // claims are instantaneous, not historical
   for (const Auditable* node : watched_) {
-    AuditScope scope(this, node->id());
+    AuditScope scope(this, node->id(), node->audit_realm());
     node->Audit(scope);
   }
 }

@@ -147,11 +147,18 @@ class AuditScope {
 
  private:
   friend class InvariantAuditor;
-  AuditScope(InvariantAuditor* auditor, NodeId node)
-      : auditor_(auditor), node_(node) {}
+  AuditScope(InvariantAuditor* auditor, NodeId node, int realm)
+      : auditor_(auditor), node_(node), realm_(realm) {}
+
+  /// Realm-qualifies a domain name. Independent consensus groups of a
+  /// sharded cluster (src/shard) each run their own "log" domain; without
+  /// the realm prefix their unrelated slot decisions would collide in the
+  /// cluster-wide agreement table and trip false violations.
+  std::string Scoped(const std::string& domain) const;
 
   InvariantAuditor* auditor_;
   NodeId node_;
+  int realm_;
 };
 
 /// Implemented by anything the invariant auditor can watch (Node derives
@@ -161,6 +168,12 @@ class Auditable {
   virtual ~Auditable() = default;
 
   virtual NodeId id() const = 0;
+
+  /// Audit realm this node's domains belong to. Nodes of independent
+  /// consensus groups (sharded clusters) return their group id so each
+  /// group's "log" domain is checked separately; 0 = the default
+  /// single-cluster realm (domains used unprefixed).
+  virtual int audit_realm() const { return 0; }
 
   /// Reports current protocol state into `scope`. Called after every
   /// simulator event while auditing is enabled — implementations must be

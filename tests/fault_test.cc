@@ -478,5 +478,139 @@ TEST(AvailabilityTest, TimelineRecordsInjectedUnavailabilityWindow) {
   EXPECT_NE(json.find("isolate"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Sharding/relay faults: a relay crashing mid-aggregation, and migrations
+// racing the random partitioner.
+// ---------------------------------------------------------------------------
+
+// A relay-tree cluster loses a follower — with R=3 over 9 nodes every
+// follower takes relay duty in rotation, so the isolation is guaranteed
+// to hit a node while it owes the leader aggregated acks. Retransmissions
+// route around it through rotated trees; after the heal the log must
+// still be one linearizable history.
+TEST(ShardFaultTest, RelayCrashDuringAckAggregationStaysSafe) {
+  ScopedAudit audit;
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 9;
+  cfg.params["relay_fanout"] = "3";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker;
+  FaultSchedule schedule;
+  // Isolate a follower (never the leader: the point is to kill a relay,
+  // not force an election) mid-traffic, twice, healing in between.
+  schedule.events.push_back(FaultEvent{
+      1 * kSecond, FaultAction::Isolate(NodeId{1, 4}, 600 * kMillisecond)});
+  schedule.events.push_back(
+      FaultEvent{1700 * kMillisecond, FaultAction::Heal()});
+  schedule.events.push_back(FaultEvent{
+      2400 * kMillisecond,
+      FaultAction::Isolate(NodeId{1, 7}, 600 * kMillisecond)});
+  schedule.events.push_back(
+      FaultEvent{3100 * kMillisecond, FaultAction::Heal()});
+  Nemesis nemesis(&cluster, schedule, &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 4;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 4.0;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_EQ(nemesis.executed(), 4u);
+  // Progress through both relay outages (a 9-node majority never breaks).
+  EXPECT_GT(result.completed, 1000u);
+  EXPECT_GE(tracker.MaxTimeToRecovery(), 0);
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
+// Live migrations racing the random partitioner on a sharded cluster:
+// handoffs start while links are cut, drains stall, installs retry — and
+// every per-key history (including the migrated keys') must stay
+// linearizable. Acceptance: "per-key linearizability holds across live
+// migration under a random-partitioner nemesis".
+TEST(ShardFaultTest, MigrationUnderRandomPartitionerStaysLinearizable) {
+  ScopedAudit audit;
+  Config cfg = Config::Lan9("paxos");
+  cfg.nodes_per_zone = 3;
+  cfg.params["groups"] = "3";
+  cfg.client_timeout = 500 * kMillisecond;
+
+  Cluster cluster(cfg);
+  AvailabilityTracker tracker;
+  NemesisOptions opts;
+  opts.start = kSecond;
+  opts.period = 1500 * kMillisecond;
+  opts.fault_duration = 400 * kMillisecond;
+  opts.horizon = 4 * kSecond;
+  opts.seed = 0xC0FFEE;
+  FaultSchedule schedule = MakeBuiltinSchedule(
+      BuiltinNemesis::kRandomPartitioner, cfg.Nodes(), cluster.leader(), opts);
+  // Interleave fenced handoffs with the partitions: keys of the benchmark
+  // workload (0..24), pushed round-robin across the groups, some while a
+  // partition is up, some while the network is whole. Destinations the
+  // key already lives in are no-ops by design — the schedule stays valid
+  // without knowing the hash.
+  for (int i = 0; i < 8; ++i) {
+    const Key key = static_cast<Key>(3 * i);
+    const int to_group = 1 + i % 3;
+    schedule.events.push_back(
+        FaultEvent{kSecond + i * 450 * kMillisecond,
+                   FaultAction::MigrateKey(key, to_group)});
+  }
+  Nemesis nemesis(&cluster, schedule, &tracker);
+  nemesis.Arm();
+
+  BenchOptions options;
+  options.workload = UniformWorkload(25, 0.5);
+  options.clients_per_zone = 6;
+  options.bootstrap_s = 0.5;
+  options.warmup_s = 0.0;
+  options.duration_s = 5.0;
+  options.record_ops = true;
+  options.availability = &tracker;
+  BenchRunner runner(&cluster, options);
+  const BenchResult result = runner.Run();
+
+  EXPECT_GT(nemesis.executed(), 8u);  // partitions + heals + migrations
+  EXPECT_GT(result.completed, 500u);
+
+  // No migration may end the run wedged: every fence lifted, every
+  // handoff either completed or cleanly abandoned.
+  const ShardCoordinator& coord = *cluster.coordinator();
+  for (Key key = 0; key < 25; ++key) {
+    EXPECT_FALSE(coord.MigrationActive(key)) << "key " << key << " wedged";
+    EXPECT_FALSE(coord.map().IsFenced(key)) << "key " << key << " fenced";
+  }
+  EXPECT_GT(coord.stats().started, 0u);
+  EXPECT_EQ(coord.stats().started,
+            coord.stats().completed + coord.stats().aborted);
+
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_TRUE(cluster.auditor()->violations().empty());
+
+  LinearizabilityChecker lin;
+  lin.AddAll(result.ops);
+  const auto anomalies = lin.Check();
+  EXPECT_TRUE(anomalies.empty())
+      << anomalies.size() << " anomalies, first: "
+      << (anomalies.empty() ? "" : anomalies[0].reason);
+}
+
 }  // namespace
 }  // namespace paxi

@@ -2,15 +2,20 @@
 // roundtrip and corruption detection, NodeDisk crash semantics (clean /
 // torn-tail / synced-tail), checksum-driven prefix truncation on
 // recovery, group-commit coalescing in WalWriter, and WAL compaction's
-// preservation of the unsynced tail.
+// preservation of the unsynced tail — plus the contended-disk queueing
+// model (DiskModel::QueueingWaitUs) validated against a simulated
+// two-writers-one-device queue.
 
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "gtest/gtest.h"
+#include "model/protocol_model.h"
 #include "store/wal.h"
 
 namespace paxi {
@@ -433,6 +438,90 @@ TEST(WalWriterTest, CrashMidSyncLosesExactlyTheInFlightGroup) {
   ASSERT_EQ(rec.records.size(), 1u);
   EXPECT_EQ(rec.records[0].slot, 0);
   EXPECT_EQ(done, (std::vector<int>{0})) << "no callback after death";
+}
+
+// ---------------------------------------------------------------------------
+// Contended-disk queueing: DiskModel::QueueingWaitUs vs a simulated
+// shared device.
+// ---------------------------------------------------------------------------
+
+// The analytic disk and the simulated disk must agree on what one
+// uncontended single-record sync costs — QueueingWaitUs scales off that
+// service time, so the identity anchors the whole queueing term.
+TEST(DiskQueueingModelTest, ServiceTimeMatchesSimulatedDisk) {
+  const model::DiskModel dm;  // defaults mirror DiskParams
+  NodeDisk disk(DiskParams{});
+  const WalRecord rec = AcceptRecord(1);
+  EXPECT_DOUBLE_EQ(dm.RecordBytes(1.0),
+                   static_cast<double>(rec.ModeledBytes()));
+  EXPECT_NEAR(dm.UncontendedSyncUs(1.0),
+              static_cast<double>(disk.SyncDuration(rec.ModeledBytes())),
+              1.0);  // SyncDuration truncates to integer microseconds
+}
+
+// Two replicas' WALs sharing one physical device: each writer's syncs
+// arrive as a Poisson stream and the device serves them one at a time
+// (exponential service with mean = one uncontended sync — the M/M/1
+// assumptions QueueingWaitUs encodes). NodeDisk itself gives every
+// writer a dedicated device, so the contended medium is simulated here:
+// a busy-until clock over the merged arrival stream. The measured mean
+// wait-before-service must track rho/(1-rho) * S.
+TEST(DiskQueueingModelTest, TwoWritersOneDiskMatchesQueueingWait) {
+  const model::DiskModel dm;
+  const double service_us = dm.UncontendedSyncUs(1.0);
+
+  // Mean queueing wait from a two-writer merged Poisson stream at
+  // utilization rho, over `arrivals` syncs.
+  auto simulate = [&](double rho, std::uint64_t seed) {
+    const int arrivals = 20000;
+    // Each of the two writers submits at rho / (2 * S): the merged
+    // stream is Poisson at rate rho / S, which is what the model's
+    // `sync_rate_per_us` aggregates.
+    const double per_writer_rate = rho / service_us / 2.0;
+    Rng rng(seed);
+    double next_a = rng.Exponential(per_writer_rate);
+    double next_b = rng.Exponential(per_writer_rate);
+    double busy_until = 0.0;
+    double total_wait = 0.0;
+    for (int i = 0; i < arrivals; ++i) {
+      // The device takes whichever writer's submission comes first and
+      // holds it for one (exponential) sync; the served writer re-arms
+      // its own stream. The superposition of the two streams is Poisson
+      // at the aggregate rate — exactly the model's contention picture.
+      const bool a_first = next_a <= next_b;
+      const double at = a_first ? next_a : next_b;
+      const double start = at > busy_until ? at : busy_until;
+      total_wait += start - at;
+      busy_until = start + rng.Exponential(1.0 / service_us);
+      if (a_first) {
+        next_a = at + rng.Exponential(per_writer_rate);
+      } else {
+        next_b = at + rng.Exponential(per_writer_rate);
+      }
+    }
+    return total_wait / arrivals;
+  };
+
+  for (const double rho : {0.3, 0.6}) {
+    const double measured = simulate(rho, /*seed=*/0xD15C + 7);
+    const double modeled = dm.QueueingWaitUs(rho / service_us, 1.0);
+    EXPECT_NEAR(measured, modeled, 0.25 * modeled)
+        << "rho=" << rho << ": measured " << measured << "us vs modeled "
+        << modeled << "us";
+  }
+
+  // Contention is superlinear in utilization: doubling rho from 0.3 to
+  // 0.6 more than triples the modeled wait (rho/(1-rho) curvature), and
+  // the simulated queue shows the same blow-up.
+  EXPECT_GT(dm.QueueingWaitUs(0.6 / service_us, 1.0),
+            3.0 * dm.QueueingWaitUs(0.3 / service_us, 1.0));
+  EXPECT_GT(simulate(0.6, 11), 2.5 * simulate(0.3, 11));
+
+  // At and past saturation the queue never drains: the model pins the
+  // wait at infinity instead of returning a misleading finite number.
+  EXPECT_TRUE(std::isinf(dm.QueueingWaitUs(1.01 / service_us, 1.0)));
+  EXPECT_TRUE(std::isinf(dm.QueueingWaitUs(1.7 / service_us, 1.0)));
+  EXPECT_EQ(dm.QueueingWaitUs(0.0, 1.0), 0.0);
 }
 
 }  // namespace
